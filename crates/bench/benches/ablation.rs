@@ -1,0 +1,47 @@
+//! Ablations A1/A2: incremental vs from-scratch local evaluation, and
+//! the push threshold θ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::Workloads;
+use dgs_core::dgpm::DgpmConfig;
+use dgs_core::{Algorithm, DistributedSim};
+use dgs_net::CostModel;
+use dgs_partition::Fragmentation;
+use std::sync::Arc;
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = Workloads {
+        scale: 0.1,
+        queries: 1,
+        seed: 42,
+    };
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let k = 8;
+    let (g, assign) = w.web_graph(k, 0.35);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let q = &w.cyclic_queries(5, 10)[0];
+
+    let mut group = c.benchmark_group("ablation_incremental");
+    group.sample_size(10);
+    for algo in [Algorithm::dgpm_incremental_only(), Algorithm::dgpm_nopt()] {
+        group.bench_function(algo.name(), |b| b.iter(|| runner.run(&algo, &g, &frag, q)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_push_theta");
+    group.sample_size(10);
+    for (label, theta) in [("off", None), ("0.2", Some(0.2)), ("0.0", Some(0.0))] {
+        let algo = Algorithm::Dgpm(DgpmConfig {
+            incremental: true,
+            push_threshold: theta,
+            push_size_cap: 4096,
+        });
+        group.bench_with_input(BenchmarkId::new("theta", label), &theta, |b, _| {
+            b.iter(|| runner.run(&algo, &g, &frag, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation A4: counter-based HHK vs the naive fixpoint (the
+//! centralized substrate behind the oracle and the `Match`/`disHHK`
+//! baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_graph::generate::{patterns, random};
+use dgs_sim::{hhk_simulation, naive_simulation};
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_simulation");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let g = random::web_like(n, 5 * n, 15, 7);
+        let q = patterns::random_cyclic(5, 10, 15, 7);
+        group.bench_with_input(BenchmarkId::new("hhk", n), &n, |b, _| {
+            b.iter(|| hhk_simulation(&q, &g))
+        });
+        // The naive algorithm is quadratic; keep it to small inputs.
+        if n <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| naive_simulation(&q, &g))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized);
+criterion_main!(benches);

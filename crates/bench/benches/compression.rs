@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for query-preserving compression:
+//! compression cost (simulation equivalence vs bisimulation) and the
+//! query-time payoff on the quotient graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_graph::generate::{patterns, random};
+use dgs_sim::{compress_bisim, compress_simeq, hhk_simulation};
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let g = random::web_like(n, 5 * n, 15, 7);
+        group.bench_with_input(BenchmarkId::new("simeq", n), &g, |b, g| {
+            b.iter(|| compress_simeq(g))
+        });
+        group.bench_with_input(BenchmarkId::new("bisim", n), &g, |b, g| {
+            b.iter(|| compress_bisim(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_on_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_compressed");
+    group.sample_size(10);
+    let n = 2_000;
+    let g = random::web_like(n, 5 * n, 15, 7);
+    let q = patterns::random_cyclic(4, 7, 15, 3);
+    let simeq = compress_simeq(&g);
+    let bisim = compress_bisim(&g);
+    group.bench_function("original", |b| b.iter(|| hhk_simulation(&q, &g)));
+    group.bench_function("simeq_quotient", |b| b.iter(|| simeq.query(&q)));
+    group.bench_function("bisim_quotient", |b| b.iter(|| bisim.query(&q)));
+    group.bench_function("simeq_quotient_expanded", |b| {
+        b.iter(|| simeq.query_expanded(&q))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression, bench_query_on_quotient);
+criterion_main!(benches);

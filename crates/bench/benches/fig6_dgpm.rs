@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 6(a)–(f): the Exp-1 engines on the
+//! web-graph workload. Wall-clock here complements the harness's
+//! virtual-time series (`experiments -- exp1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::Workloads;
+use dgs_core::{Algorithm, DistributedSim};
+use dgs_net::CostModel;
+use dgs_partition::Fragmentation;
+use std::sync::Arc;
+
+fn bench_exp1(c: &mut Criterion) {
+    let w = Workloads {
+        scale: 0.1,
+        queries: 1,
+        seed: 42,
+    };
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let q = &w.cyclic_queries(5, 10)[0];
+    let mut group = c.benchmark_group("fig6a_pt_vs_F");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        let (g, assign) = w.web_graph(k, 0.25);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        for algo in [
+            Algorithm::dgpm(),
+            Algorithm::DisHhk,
+            Algorithm::DMes,
+            Algorithm::MatchCentral,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), k),
+                &k,
+                |b, _| b.iter(|| runner.run(&algo, &g, &frag, q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp1);
+criterion_main!(benches);

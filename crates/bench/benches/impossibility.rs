@@ -1,0 +1,35 @@
+//! Theorem 1 companion bench: response cost on the Fig. 2 adversarial
+//! ring grows with the number of fragments even though `|Fm|` and
+//! `|Q|` are constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_core::{Algorithm, DistributedSim};
+use dgs_graph::generate::adversarial;
+use dgs_net::CostModel;
+use dgs_partition::Fragmentation;
+use std::sync::Arc;
+
+fn bench_impossibility(c: &mut Criterion) {
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let q = adversarial::q0();
+    let algo = Algorithm::dgpm_incremental_only();
+    let mut group = c.benchmark_group("impossibility_ring");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let g = adversarial::broken_cycle_graph(n);
+        let assign = adversarial::per_pair_assignment(n);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, n));
+        group.bench_with_input(BenchmarkId::new("broken", n), &n, |b, _| {
+            b.iter(|| runner.run(&algo, &g, &frag, &q))
+        });
+        let g2 = adversarial::cycle_graph(n);
+        let frag2 = Arc::new(Fragmentation::build(&g2, &assign, n));
+        group.bench_with_input(BenchmarkId::new("intact", n), &n, |b, _| {
+            b.iter(|| runner.run(&algo, &g2, &frag2, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_impossibility);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! The query-preserving compression experiment (`abl-compress`).
+//!
+//! §7 of the paper proposes combining distributed processing with
+//! graph compression; `dgs-sim::compress` implements the
+//! simulation-query compression of Fan et al. (SIGMOD 2012). This
+//! experiment measures, per graph family:
+//!
+//! * the compression ratio `|Gc| / |G|` under simulation equivalence
+//!   and under the cheaper bisimulation partition;
+//! * one-off compression time;
+//! * query time on `G` vs on `Gc` (mean over the workload queries,
+//!   answers verified equal).
+//!
+//! Simulation-equivalence compression holds an `O(|V|²)` table, so
+//! this experiment runs on fixed moderate sizes (thousands of nodes)
+//! rather than the `--scale`d figure workloads; bisimulation has no
+//! such limit.
+
+use crate::workloads::Workloads;
+use dgs_graph::{Graph, Pattern};
+use dgs_sim::{compress_bisim, compress_simeq, hhk_simulation, CompressedGraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One graph family's compression measurements.
+#[derive(Clone, Debug)]
+pub struct CompressionRow {
+    /// Family name.
+    pub family: String,
+    /// `|V| + |E|` of the original graph.
+    pub g_size: usize,
+    /// `|Gc|` and compression time under simulation equivalence.
+    pub simeq_size: usize,
+    /// Simulation-equivalence compression time, ms.
+    pub simeq_ms: f64,
+    /// `|Gc|` and compression time under bisimulation.
+    pub bisim_size: usize,
+    /// Bisimulation compression time, ms.
+    pub bisim_ms: f64,
+    /// Mean query time on `G`, ms.
+    pub query_g_ms: f64,
+    /// Mean query time on the simulation-equivalence quotient, ms.
+    pub query_simeq_ms: f64,
+    /// Mean query time on the bisimulation quotient, ms.
+    pub query_bisim_ms: f64,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn mean_query_ms(g: &Graph, queries: &[Pattern]) -> f64 {
+    let mut total = 0.0;
+    for q in queries {
+        let (_, ms) = time_ms(|| hhk_simulation(q, g));
+        total += ms;
+    }
+    total / queries.len().max(1) as f64
+}
+
+fn mean_query_compressed_ms(c: &CompressedGraph, queries: &[Pattern]) -> f64 {
+    let mut total = 0.0;
+    for q in queries {
+        let (_, ms) = time_ms(|| c.query(q));
+        total += ms;
+    }
+    total / queries.len().max(1) as f64
+}
+
+/// Measures one family; panics if either quotient answers any query
+/// differently from the oracle (the experiment doubles as an
+/// end-to-end exactness check).
+pub fn measure_family(family: &str, g: &Graph, queries: &[Pattern]) -> CompressionRow {
+    let (simeq, simeq_ms) = time_ms(|| compress_simeq(g));
+    let (bisim, bisim_ms) = time_ms(|| compress_bisim(g));
+    for q in queries {
+        let oracle = hhk_simulation(q, g).relation;
+        assert_eq!(simeq.query_expanded(q), oracle, "{family}: simeq mismatch");
+        assert_eq!(bisim.query_expanded(q), oracle, "{family}: bisim mismatch");
+    }
+    CompressionRow {
+        family: family.to_owned(),
+        g_size: g.size(),
+        simeq_size: simeq.graph.size(),
+        simeq_ms,
+        bisim_size: bisim.graph.size(),
+        bisim_ms,
+        query_g_ms: mean_query_ms(g, queries),
+        query_simeq_ms: mean_query_compressed_ms(&simeq, queries),
+        query_bisim_ms: mean_query_compressed_ms(&bisim, queries),
+    }
+}
+
+/// Runs the compression experiment over the graph families. Label
+/// selectivity drives the achievable ratio (equivalence respects
+/// labels), so the web family is measured at both the paper's
+/// `|Σ| = 15` and a label-sparse `|Σ| = 4`.
+pub fn run(w: &Workloads) -> Vec<CompressionRow> {
+    use dgs_graph::generate::{dag, random, tree};
+    let queries15 = w.cyclic_queries(4, 7);
+    let dag_queries: Vec<Pattern> = (0..w.queries)
+        .map(|i| dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 8, w.seed + i as u64))
+        .collect();
+    let sparse_queries: Vec<Pattern> = (0..w.queries)
+        .map(|i| dgs_graph::generate::patterns::random_cyclic(4, 7, 4, w.seed + i as u64))
+        .collect();
+    let sparse_dag_queries: Vec<Pattern> = (0..w.queries)
+        .map(|i| dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 4, w.seed + i as u64))
+        .collect();
+    vec![
+        measure_family(
+            "web |Σ|=15",
+            &random::web_like(3_000, 15_000, 15, w.seed),
+            &queries15,
+        ),
+        measure_family(
+            "web |Σ|=4",
+            &random::web_like(3_000, 15_000, 4, w.seed),
+            &sparse_queries,
+        ),
+        measure_family(
+            "citation DAG",
+            &dag::citation_like(1_400, 3_000, 8, w.seed),
+            &dag_queries,
+        ),
+        measure_family(
+            "tree |Σ|=4",
+            &tree::random_tree(2_000, 4, w.seed),
+            &sparse_dag_queries,
+        ),
+    ]
+}
+
+/// Renders the rows as a paper-style table.
+pub fn render(rows: &[CompressionRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== Ablation: query-preserving compression (centralized; exactness asserted) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>8}  {:>8} {:>6} {:>9}  {:>8} {:>6} {:>9}  {:>8} {:>9} {:>9}",
+        "family",
+        "|G|",
+        "|Gc|sim",
+        "ratio",
+        "t_c (ms)",
+        "|Gc|bis",
+        "ratio",
+        "t_c (ms)",
+        "q(G) ms",
+        "q(Gsim)",
+        "q(Gbis)"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:<14} {:>8}  {:>8} {:>5.0}% {:>9.2}  {:>8} {:>5.0}% {:>9.2}  {:>8.3} {:>9.3} {:>9.3}",
+            r.family,
+            r.g_size,
+            r.simeq_size,
+            100.0 * r.simeq_size as f64 / r.g_size.max(1) as f64,
+            r.simeq_ms,
+            r.bisim_size,
+            100.0 * r.bisim_size as f64 / r.g_size.max(1) as f64,
+            r.bisim_ms,
+            r.query_g_ms,
+            r.query_simeq_ms,
+            r.query_bisim_ms,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Writes the rows as `abl-compress.csv` under `dir`.
+pub fn write_csv(rows: &[CompressionRow], dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = String::from(
+        "family,g_size,simeq_size,simeq_ms,bisim_size,bisim_ms,query_g_ms,query_simeq_ms,query_bisim_ms\n",
+    );
+    for r in rows {
+        writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{}",
+            r.family,
+            r.g_size,
+            r.simeq_size,
+            r.simeq_ms,
+            r.bisim_size,
+            r.bisim_ms,
+            r.query_g_ms,
+            r.query_simeq_ms,
+            r.query_bisim_ms
+        )
+        .unwrap();
+    }
+    std::fs::write(dir.join("abl-compress.csv"), csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_family_measures_and_verifies() {
+        let w = Workloads {
+            scale: 0.01,
+            queries: 2,
+            seed: 3,
+        };
+        let g = dgs_graph::generate::random::web_like(400, 2_000, 8, 3);
+        let queries = w.cyclic_queries(4, 7);
+        let row = measure_family("tiny-web", &g, &queries);
+        assert!(row.simeq_size <= row.g_size);
+        assert!(row.bisim_size <= row.g_size);
+        assert!(row.simeq_size <= row.bisim_size);
+        let table = render(std::slice::from_ref(&row));
+        assert!(table.contains("tiny-web"));
+        let dir = std::env::temp_dir().join("dgs-compress-test");
+        write_csv(&[row], &dir).unwrap();
+        assert!(dir.join("abl-compress.csv").exists());
+    }
+}

@@ -1,0 +1,785 @@
+//! Per-figure sweep runners.
+//!
+//! Each `exp_*` function reproduces one parameter sweep of §6 and
+//! returns a [`Sweep`] carrying both the PT series (Fig. 6 left
+//! column) and the DS series (right column); the experiment ids match
+//! DESIGN.md §5.
+
+use crate::workloads::Workloads;
+use dgs_core::{Algorithm, DistributedSim};
+use dgs_graph::generate::adversarial;
+use dgs_graph::generate::tree as gen_tree;
+use dgs_graph::{Graph, Pattern};
+use dgs_net::CostModel;
+use dgs_partition::{tree_partition, Fragmentation, SiteId};
+use std::sync::Arc;
+
+/// One algorithm's measurements across the sweep's x-axis.
+#[derive(Clone, Debug)]
+pub struct SweepSeries {
+    /// Legend name (paper's algorithm names).
+    pub name: String,
+    /// Mean virtual response time per point, ms.
+    pub pt_ms: Vec<f64>,
+    /// Mean data shipment per point, KB.
+    pub ds_kb: Vec<f64>,
+}
+
+/// One parameter sweep = one PT figure + one DS figure.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Experiment id of the PT figure (e.g. `fig6a`).
+    pub id_pt: String,
+    /// Experiment id of the DS figure (e.g. `fig6b`).
+    pub id_ds: String,
+    /// Human title.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// x-axis tick values.
+    pub xs: Vec<String>,
+    /// One series per algorithm.
+    pub series: Vec<SweepSeries>,
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs `algos` over all `queries` on one fragmented graph; returns
+/// `(mean PT ms, mean DS KB)` per algorithm.
+fn run_point(
+    algos: &[Algorithm],
+    graph: &Graph,
+    assign: &[SiteId],
+    k: usize,
+    queries: &[Pattern],
+    cost: &CostModel,
+) -> Vec<(f64, f64)> {
+    let frag = Arc::new(Fragmentation::build(graph, assign, k));
+    let runner = DistributedSim::virtual_time(cost.clone());
+    algos
+        .iter()
+        .map(|algo| {
+            let mut pts = Vec::with_capacity(queries.len());
+            let mut dss = Vec::with_capacity(queries.len());
+            for q in queries {
+                let r = runner.run(algo, graph, &frag, q);
+                pts.push(r.metrics.virtual_time_ms());
+                dss.push(r.metrics.data_kb());
+            }
+            (mean(&pts), mean(&dss))
+        })
+        .collect()
+}
+
+fn sweep_from_points(
+    id_pt: &str,
+    id_ds: &str,
+    title: &str,
+    x_label: &str,
+    xs: Vec<String>,
+    algos: &[Algorithm],
+    points: Vec<Vec<(f64, f64)>>,
+) -> Sweep {
+    let series = algos
+        .iter()
+        .enumerate()
+        .map(|(i, a)| SweepSeries {
+            name: a.name().to_owned(),
+            pt_ms: points.iter().map(|p| p[i].0).collect(),
+            ds_kb: points.iter().map(|p| p[i].1).collect(),
+        })
+        .collect();
+    Sweep {
+        id_pt: id_pt.to_owned(),
+        id_ds: id_ds.to_owned(),
+        title: title.to_owned(),
+        x_label: x_label.to_owned(),
+        xs,
+        series,
+    }
+}
+
+/// The Exp-1 algorithm set (Fig. 6(a)–(f)).
+fn exp1_algos() -> Vec<Algorithm> {
+    vec![
+        Algorithm::dgpm(),
+        Algorithm::DisHhk,
+        Algorithm::dgpm_nopt(),
+        Algorithm::DMes,
+        Algorithm::MatchCentral,
+    ]
+}
+
+/// Fig. 6(a)/(b): PT and DS vs `|F|` on the web graph.
+pub fn exp_dgpm_vary_f(w: &Workloads) -> Sweep {
+    let algos = exp1_algos();
+    let queries = w.cyclic_queries(5, 10);
+    let ks = [4usize, 8, 12, 16, 20];
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let (g, assign) = w.web_graph(k, 0.25);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6a",
+        "fig6b",
+        "dGPM on the web graph, varying |F| (|Q|=(5,10), |Vf|=25%)",
+        "|F|",
+        ks.iter().map(|k| k.to_string()).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Fig. 6(c)/(d): PT and DS vs `|Q|` at `|F| = 8`.
+pub fn exp_dgpm_vary_q(w: &Workloads) -> Sweep {
+    let algos = exp1_algos();
+    let k = 8;
+    let (g, assign) = w.web_graph(k, 0.25);
+    let sizes = [(4usize, 8usize), (5, 10), (6, 12), (7, 14), (8, 16)];
+    let points = sizes
+        .iter()
+        .map(|&(nq, eq)| {
+            let queries = w.cyclic_queries(nq, eq);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6c",
+        "fig6d",
+        "dGPM on the web graph, varying |Q| (|F|=8, |Vf|=25%)",
+        "|Q|",
+        sizes.iter().map(|(n, e)| format!("({n},{e})")).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Fig. 6(e)/(f): PT and DS vs `|Vf|` at `|F| = 8`.
+pub fn exp_dgpm_vary_vf(w: &Workloads) -> Sweep {
+    let algos = exp1_algos();
+    let k = 8;
+    let queries = w.cyclic_queries(5, 10);
+    let targets = [0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+    let points = targets
+        .iter()
+        .map(|&t| {
+            let (g, assign) = w.web_graph(k, t);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6e",
+        "fig6f",
+        "dGPM on the web graph, varying |Vf| (|F|=8, |Q|=(5,10))",
+        "|Vf|/|V|",
+        targets.iter().map(|t| format!("{t:.2}")).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// The Exp-2 algorithm set (Fig. 6(g)–(l)).
+fn exp2_algos() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Dgpmd,
+        Algorithm::DisHhk,
+        Algorithm::DMes,
+        Algorithm::MatchCentral,
+    ]
+}
+
+/// Fig. 6(g)/(h): PT and DS vs pattern diameter `d` on the citation
+/// DAG.
+pub fn exp_dgpmd_vary_d(w: &Workloads) -> Sweep {
+    let algos = exp2_algos();
+    let k = 8;
+    let (g, assign) = w.citation_graph(k, 0.25);
+    let ds = [2usize, 3, 4, 5, 6, 7, 8];
+    let points = ds
+        .iter()
+        .map(|&d| {
+            let queries = w.dag_queries(9, 13, d);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6g",
+        "fig6h",
+        "dGPMd on the citation DAG, varying d (|F|=8, |Q|=(9,13))",
+        "d",
+        ds.iter().map(|d| d.to_string()).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Fig. 6(i)/(j): PT and DS vs `|F|` on the citation DAG (d = 4).
+pub fn exp_dgpmd_vary_f(w: &Workloads) -> Sweep {
+    let algos = exp2_algos();
+    let queries = w.dag_queries(9, 13, 4);
+    let ks = [4usize, 8, 12, 16, 20];
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let (g, assign) = w.citation_graph(k, 0.25);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6i",
+        "fig6j",
+        "dGPMd on the citation DAG, varying |F| (d=4, |Q|=(9,13))",
+        "|F|",
+        ks.iter().map(|k| k.to_string()).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Fig. 6(k)/(l): PT and DS vs `|Vf|` on the citation DAG.
+pub fn exp_dgpmd_vary_vf(w: &Workloads) -> Sweep {
+    let algos = exp2_algos();
+    let k = 8;
+    let queries = w.dag_queries(9, 13, 4);
+    let targets = [0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+    let points = targets
+        .iter()
+        .map(|&t| {
+            let (g, assign) = w.citation_graph(k, t);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6k",
+        "fig6l",
+        "dGPMd on the citation DAG, varying |Vf| (|F|=8, d=4)",
+        "|Vf|/|V|",
+        targets.iter().map(|t| format!("{t:.2}")).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// The Exp-3 algorithm set (Fig. 6(m)–(p); Match cannot cope with the
+/// large graphs, exactly as in the paper).
+fn exp3_algos() -> Vec<Algorithm> {
+    vec![
+        Algorithm::dgpm(),
+        Algorithm::DisHhk,
+        Algorithm::dgpm_nopt(),
+        Algorithm::DMes,
+    ]
+}
+
+/// Fig. 6(m)/(n): PT and DS vs `|F|` on the large synthetic graph.
+pub fn exp_syn_vary_f(w: &Workloads) -> Sweep {
+    let algos = exp3_algos();
+    let queries = w.cyclic_queries(5, 10);
+    let ks = [8usize, 12, 16, 20];
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let (g, assign) = w.synthetic_graph(300_000, k, 0.20);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6m",
+        "fig6n",
+        "Synthetic graph (300K,1.2M)·scale, varying |F| (|Vf|=20%)",
+        "|F|",
+        ks.iter().map(|k| k.to_string()).collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Fig. 6(o)/(p): PT and DS vs `|G|` at `|F| = 20`.
+pub fn exp_syn_vary_g(w: &Workloads) -> Sweep {
+    let algos = exp3_algos();
+    let queries = w.cyclic_queries(5, 10);
+    let k = 20;
+    let bases = [200_000usize, 300_000, 400_000, 500_000, 600_000, 700_000, 800_000];
+    let points = bases
+        .iter()
+        .map(|&n| {
+            let (g, assign) = w.synthetic_graph(n, k, 0.20);
+            run_point(&algos, &g, &assign, k, &queries, &w.cost_model())
+        })
+        .collect();
+    sweep_from_points(
+        "fig6o",
+        "fig6p",
+        "Synthetic graphs, varying |G| (|F|=20, |Vf|=20%)",
+        "|V| (·scale)",
+        bases
+            .iter()
+            .map(|n| format!("{}K", (*n as f64 * w.scale / 1000.0).round()))
+            .collect(),
+        &algos,
+        points,
+    )
+}
+
+/// Theorem 1(1) companion: response time on the Fig. 2 ring family
+/// must grow with the number of fragments `n` even though `|Fm|` and
+/// `|Q|` stay constant. The intact ring is the possibility contrast
+/// (constant PT, zero DS).
+pub fn exp_impossibility_rt(_w: &Workloads) -> Sweep {
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let q = adversarial::q0();
+    let ns = [4usize, 8, 16, 32, 64, 128];
+    let algo = Algorithm::dgpm_incremental_only();
+    let mut broken = SweepSeries {
+        name: "dGPM (broken ring)".into(),
+        pt_ms: vec![],
+        ds_kb: vec![],
+    };
+    let mut intact = SweepSeries {
+        name: "dGPM (intact ring)".into(),
+        pt_ms: vec![],
+        ds_kb: vec![],
+    };
+    for &n in &ns {
+        let assign = adversarial::per_pair_assignment(n);
+        let g = adversarial::broken_cycle_graph(n);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, n));
+        let r = runner.run(&algo, &g, &frag, &q);
+        assert!(!r.is_match);
+        broken.pt_ms.push(r.metrics.virtual_time_ms());
+        broken.ds_kb.push(r.metrics.data_kb());
+
+        let g2 = adversarial::cycle_graph(n);
+        let frag2 = Arc::new(Fragmentation::build(&g2, &assign, n));
+        let r2 = runner.run(&algo, &g2, &frag2, &q);
+        assert!(r2.is_match);
+        intact.pt_ms.push(r2.metrics.virtual_time_ms());
+        intact.ds_kb.push(r2.metrics.data_kb());
+    }
+    Sweep {
+        id_pt: "imp-rt".into(),
+        id_ds: "imp-rt-ds".into(),
+        title: "Impossibility (Thm 1(1)): Fig. 2 ring, one pair per site".into(),
+        x_label: "n (pairs = sites)".into(),
+        xs: ns.iter().map(|n| n.to_string()).collect(),
+        series: vec![broken, intact],
+    }
+}
+
+/// Theorem 1(2) companion: with only two fragments (A side / B side),
+/// data shipment on the broken ring must grow with `n` even though
+/// `|F|` and `|Q|` are constants.
+pub fn exp_impossibility_ds(_w: &Workloads) -> Sweep {
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let q = adversarial::q0();
+    let ns = [64usize, 128, 256, 512, 1024];
+    let algo = Algorithm::dgpm_incremental_only();
+    let mut broken = SweepSeries {
+        name: "dGPM (broken ring, |F|=2)".into(),
+        pt_ms: vec![],
+        ds_kb: vec![],
+    };
+    for &n in &ns {
+        let assign = adversarial::bipartite_assignment(n);
+        let g = adversarial::broken_cycle_graph(n);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let r = runner.run(&algo, &g, &frag, &q);
+        assert!(!r.is_match);
+        broken.pt_ms.push(r.metrics.virtual_time_ms());
+        broken.ds_kb.push(r.metrics.data_kb());
+    }
+    Sweep {
+        id_pt: "imp-ds-pt".into(),
+        id_ds: "imp-ds".into(),
+        title: "Impossibility (Thm 1(2)): Fig. 2 ring, 2 fragments".into(),
+        x_label: "n (pairs)".into(),
+        xs: ns.iter().map(|n| n.to_string()).collect(),
+        series: vec![broken],
+    }
+}
+
+/// Corollary 4 companion: `dGPMt` vs `dGPM` on distributed trees —
+/// DS stays `O(|Q||F|)` while PT drops with `|F|`.
+pub fn exp_tree(w: &Workloads) -> Sweep {
+    let runner = DistributedSim::virtual_time(w.cost_model());
+    let n = ((20_000.0 * w.scale) as usize).max(64);
+    let g = gen_tree::random_tree_with_chain_bias(n, 15, 0.3, w.seed + 3);
+    let queries: Vec<Pattern> = w.dag_queries(5, 7, 3);
+    let ks = [4usize, 8, 12, 16, 20];
+    let algos = [Algorithm::Dgpmt, Algorithm::dgpm_incremental_only()];
+    let mut series: Vec<SweepSeries> = algos
+        .iter()
+        .map(|a| SweepSeries {
+            name: a.name().to_owned(),
+            pt_ms: vec![],
+            ds_kb: vec![],
+        })
+        .collect();
+    for &k in &ks {
+        let assign = tree_partition(&g, k);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        for (i, algo) in algos.iter().enumerate() {
+            let mut pts = vec![];
+            let mut dss = vec![];
+            for q in &queries {
+                let r = runner.run(algo, &g, &frag, q);
+                pts.push(r.metrics.virtual_time_ms());
+                dss.push(r.metrics.data_kb());
+            }
+            series[i].pt_ms.push(mean(&pts));
+            series[i].ds_kb.push(mean(&dss));
+        }
+    }
+    Sweep {
+        id_pt: "tree-pt".into(),
+        id_ds: "tree-ds".into(),
+        title: "Corollary 4: dGPMt on a distributed tree, varying |F|".into(),
+        x_label: "|F|".into(),
+        xs: ks.iter().map(|k| k.to_string()).collect(),
+        series,
+    }
+}
+
+/// Ablation A2: the push threshold θ (PT/DS trade-off of §4.2).
+pub fn exp_ablation_push(w: &Workloads) -> Sweep {
+    use dgs_core::dgpm::DgpmConfig;
+    let k = 8;
+    let (g, assign) = w.web_graph(k, 0.35);
+    let queries = w.cyclic_queries(5, 10);
+    let thetas: Vec<(String, Option<f64>)> = vec![
+        ("off".into(), None),
+        ("2.0".into(), Some(2.0)),
+        ("0.5".into(), Some(0.5)),
+        ("0.2".into(), Some(0.2)),
+        ("0.05".into(), Some(0.05)),
+        ("0.0".into(), Some(0.0)),
+    ];
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let runner = DistributedSim::virtual_time(w.cost_model());
+    let mut s = SweepSeries {
+        name: "dGPM(θ)".into(),
+        pt_ms: vec![],
+        ds_kb: vec![],
+    };
+    for (_, theta) in &thetas {
+        let cfg = DgpmConfig {
+            incremental: true,
+            push_threshold: *theta,
+            push_size_cap: 4096,
+        };
+        let algo = Algorithm::Dgpm(cfg);
+        let mut pts = vec![];
+        let mut dss = vec![];
+        for q in &queries {
+            let r = runner.run(&algo, &g, &frag, q);
+            pts.push(r.metrics.virtual_time_ms());
+            dss.push(r.metrics.data_kb());
+        }
+        s.pt_ms.push(mean(&pts));
+        s.ds_kb.push(mean(&dss));
+    }
+    Sweep {
+        id_pt: "abl-push-pt".into(),
+        id_ds: "abl-push-ds".into(),
+        title: "Ablation: push threshold θ (web graph, |F|=8, |Vf|=35%)".into(),
+        x_label: "θ".into(),
+        xs: thetas.into_iter().map(|(s, _)| s).collect(),
+        series: vec![s],
+    }
+}
+
+/// Ablation A2b: the push operation on a *latency-bound* workload —
+/// the Fig. 2 ring, where waiting time is the response-time
+/// bottleneck. This is the regime §4.2 designs the push for: "a push
+/// operation ships more data in exchange for better waiting time".
+pub fn exp_ablation_push_ring(_w: &Workloads) -> Sweep {
+    use dgs_core::dgpm::DgpmConfig;
+    let runner = DistributedSim::virtual_time(CostModel::default());
+    let q = adversarial::q0();
+    let ns = [8usize, 16, 32, 64];
+    let algos: Vec<(String, Algorithm)> = vec![
+        ("dGPM (push θ=0)".into(), Algorithm::Dgpm(DgpmConfig {
+            incremental: true,
+            push_threshold: Some(0.0),
+            push_size_cap: 4096,
+        })),
+        ("dGPM (no push)".into(), Algorithm::dgpm_incremental_only()),
+    ];
+    let mut series: Vec<SweepSeries> = algos
+        .iter()
+        .map(|(name, _)| SweepSeries {
+            name: name.clone(),
+            pt_ms: vec![],
+            ds_kb: vec![],
+        })
+        .collect();
+    for &n in &ns {
+        let g = adversarial::broken_cycle_graph(n);
+        let assign = adversarial::per_pair_assignment(n);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, n));
+        for (i, (_, algo)) in algos.iter().enumerate() {
+            let r = runner.run(algo, &g, &frag, &q);
+            series[i].pt_ms.push(r.metrics.virtual_time_ms());
+            series[i].ds_kb.push(r.metrics.data_kb());
+        }
+    }
+    Sweep {
+        id_pt: "abl-push-ring-pt".into(),
+        id_ds: "abl-push-ring-ds".into(),
+        title: "Ablation: push on a latency-bound ring (waiting-time regime)".into(),
+        x_label: "n (pairs = sites)".into(),
+        xs: ns.iter().map(|n| n.to_string()).collect(),
+        series,
+    }
+}
+
+/// Ablation A1: incremental vs from-scratch local evaluation across
+/// fragment sizes (the paper's "dGPM is 20× faster than dGPMNOpt,
+/// more so on larger fragments").
+pub fn exp_ablation_incremental(w: &Workloads) -> Sweep {
+    let algos = [Algorithm::dgpm_incremental_only(), Algorithm::dgpm_nopt()];
+    let queries = w.cyclic_queries(5, 10);
+    let k = 8;
+    let sizes = [10_000usize, 20_000, 40_000, 80_000];
+    let mut series: Vec<SweepSeries> = algos
+        .iter()
+        .map(|a| SweepSeries {
+            name: a.name().to_owned(),
+            pt_ms: vec![],
+            ds_kb: vec![],
+        })
+        .collect();
+    for &n in &sizes {
+        let (g, assign) = w.synthetic_graph(n, k, 0.35);
+        let pts = run_point(&algos, &g, &assign, k, &queries, &w.cost_model());
+        for (i, (pt, ds)) in pts.into_iter().enumerate() {
+            series[i].pt_ms.push(pt);
+            series[i].ds_kb.push(ds);
+        }
+    }
+    Sweep {
+        id_pt: "abl-incr-pt".into(),
+        id_ds: "abl-incr-ds".into(),
+        title: "Ablation: incremental lEval vs from-scratch (|F|=8)".into(),
+        x_label: "|V| (·scale)".into(),
+        xs: sizes.iter().map(|n| format!("{}K", n / 1000)).collect(),
+        series,
+    }
+}
+
+/// Ablation A5: SCC-stratified batching (`dGPMs`) vs asynchronous
+/// `dGPM` on cyclic queries, across `|F|`, under a **latency-bound**
+/// cost model (per-message overhead ×20): the regime where batched
+/// rounds pay off, mirroring Example 10's message-count argument.
+pub fn exp_ablation_scc(w: &Workloads) -> Sweep {
+    let algos = [
+        Algorithm::Dgpms,
+        Algorithm::dgpm_incremental_only(),
+        Algorithm::dgpm(),
+    ];
+    let queries = w.cyclic_queries(5, 10);
+    let ks = [4usize, 8, 12, 16, 20];
+    let mut cost = w.cost_model();
+    cost.ns_per_message *= 20;
+    cost.latency_ns *= 4;
+    let mut series: Vec<SweepSeries> = algos
+        .iter()
+        .map(|a| SweepSeries {
+            name: a.name().to_owned(),
+            pt_ms: vec![],
+            ds_kb: vec![],
+        })
+        .collect();
+    for &k in &ks {
+        let (g, assign) = w.web_graph(k, 0.35);
+        let pts = run_point(&algos, &g, &assign, k, &queries, &cost);
+        for (i, (pt, ds)) in pts.into_iter().enumerate() {
+            series[i].pt_ms.push(pt);
+            series[i].ds_kb.push(ds);
+        }
+    }
+    Sweep {
+        id_pt: "abl-scc-pt".into(),
+        id_ds: "abl-scc-ds".into(),
+        title: "Ablation: SCC-stratified dGPMs vs async dGPM (latency-bound net)".into(),
+        x_label: "|F|".into(),
+        xs: ks.iter().map(|k| k.to_string()).collect(),
+        series,
+    }
+}
+
+/// Ablation A6: stragglers — one site slowed by 1–16×, web graph,
+/// `|F|` = 8. The asynchronous `dGPM` degrades gracefully (only work
+/// that *depends* on the straggler waits), while the round-based
+/// `dGPMs` pays the slowdown at every barrier.
+pub fn exp_ablation_straggler(w: &Workloads) -> Sweep {
+    let algos = [Algorithm::dgpm(), Algorithm::dgpm_incremental_only(), Algorithm::Dgpms];
+    let k = 8;
+    let (g, assign) = w.web_graph(k, 0.35);
+    let queries = w.cyclic_queries(5, 10);
+    let slowdowns = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+    let mut series: Vec<SweepSeries> = algos
+        .iter()
+        .map(|a| SweepSeries {
+            name: a.name().to_owned(),
+            pt_ms: vec![],
+            ds_kb: vec![],
+        })
+        .collect();
+    for &s in &slowdowns {
+        let cost = w.cost_model().with_straggler(0, s);
+        let pts = run_point(&algos, &g, &assign, k, &queries, &cost);
+        for (i, (pt, ds)) in pts.into_iter().enumerate() {
+            series[i].pt_ms.push(pt);
+            series[i].ds_kb.push(ds);
+        }
+    }
+    Sweep {
+        id_pt: "abl-straggler-pt".into(),
+        id_ds: "abl-straggler-ds".into(),
+        title: "Ablation: one straggler site (web graph, |F|=8)".into(),
+        x_label: "slowdown".into(),
+        xs: slowdowns.iter().map(|s| format!("{s}x")).collect(),
+        series,
+    }
+}
+
+/// Ablation A7: at-least-once fault injection — a fraction of data
+/// messages is delivered twice. Answers are unchanged (asserted by the
+/// integration tests); here we measure the traffic and response-time
+/// cost of the redundancy.
+pub fn exp_ablation_faults(w: &Workloads) -> Sweep {
+    use dgs_core::dgpm::{self, DgpmConfig};
+    use dgs_net::{FaultPlan, VirtualExecutor};
+    let k = 8;
+    let (g, assign) = w.web_graph(k, 0.35);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let queries = w.cyclic_queries(5, 10);
+    let rates = [0.0f64, 0.25, 0.5, 1.0];
+    let mut s = SweepSeries {
+        name: "dGPM".into(),
+        pt_ms: vec![],
+        ds_kb: vec![],
+    };
+    for &rate in &rates {
+        let mut pts = vec![];
+        let mut dss = vec![];
+        for q in &queries {
+            let qa = Arc::new(q.clone());
+            let (coord, sites) = dgpm::build(&frag, &qa, DgpmConfig::incremental_only());
+            let exec = VirtualExecutor::new(w.cost_model())
+                .with_faults(FaultPlan::duplicating(rate, w.seed));
+            let o = exec.run(coord, sites);
+            pts.push(o.metrics.virtual_time_ms());
+            dss.push(o.metrics.data_kb());
+        }
+        s.pt_ms.push(mean(&pts));
+        s.ds_kb.push(mean(&dss));
+    }
+    Sweep {
+        id_pt: "abl-faults-pt".into(),
+        id_ds: "abl-faults-ds".into(),
+        title: "Ablation: at-least-once delivery (duplicate rate; web graph, |F|=8)".into(),
+        x_label: "dup rate".into(),
+        xs: rates.iter().map(|r| format!("{r}")).collect(),
+        series: vec![s],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workloads {
+        Workloads {
+            scale: 0.01,
+            queries: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn dgpm_sweep_produces_full_series() {
+        let s = exp_dgpm_vary_f(&tiny());
+        assert_eq!(s.xs.len(), 5);
+        assert_eq!(s.series.len(), 5);
+        for ser in &s.series {
+            assert_eq!(ser.pt_ms.len(), 5);
+            assert_eq!(ser.ds_kb.len(), 5);
+            assert!(ser.pt_ms.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn impossibility_rt_grows_with_n() {
+        let s = exp_impossibility_rt(&tiny());
+        let broken = &s.series[0];
+        let first = broken.pt_ms.first().unwrap();
+        let last = broken.pt_ms.last().unwrap();
+        // 4 -> 128 pairs: PT must grow by far more than noise (the
+        // falsification must travel the whole ring).
+        assert!(last > &(first * 8.0), "PT {first} -> {last}");
+        // The intact ring stays flat and ships nothing.
+        let intact = &s.series[1];
+        assert!(intact.ds_kb.iter().all(|&x| x == 0.0));
+        let ratio = intact.pt_ms.last().unwrap() / intact.pt_ms.first().unwrap();
+        assert!(ratio < 3.0, "intact ring PT should stay near-flat: {ratio}");
+    }
+
+    #[test]
+    fn impossibility_ds_grows_with_n() {
+        let s = exp_impossibility_ds(&tiny());
+        let ds = &s.series[0].ds_kb;
+        assert!(
+            ds.last().unwrap() > &(ds.first().unwrap() * 8.0),
+            "DS must grow with n: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn tree_sweep_runs() {
+        let s = exp_tree(&tiny());
+        assert_eq!(s.series.len(), 2);
+        assert_eq!(s.series[0].pt_ms.len(), 5);
+    }
+
+    #[test]
+    fn scc_ablation_runs_and_dgpms_batches() {
+        let s = exp_ablation_scc(&tiny());
+        assert_eq!(s.series.len(), 3);
+        assert_eq!(s.series[0].name, "dGPMs");
+        assert!(s.series[0].pt_ms.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn straggler_ablation_pt_grows_with_slowdown() {
+        let s = exp_ablation_straggler(&tiny());
+        for ser in &s.series {
+            assert!(
+                ser.pt_ms.last().unwrap() > ser.pt_ms.first().unwrap(),
+                "{}: {:?}",
+                ser.name,
+                ser.pt_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fault_ablation_ds_grows_with_rate() {
+        let s = exp_ablation_faults(&tiny());
+        let ds = &s.series[0].ds_kb;
+        assert!(
+            ds.last().unwrap() >= ds.first().unwrap(),
+            "duplication cannot shrink traffic: {ds:?}"
+        );
+    }
+}

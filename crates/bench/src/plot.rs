@@ -1,0 +1,194 @@
+//! ASCII line plots of sweeps — log-scale y-axis, one glyph per
+//! series, mirroring the look of the paper's Fig. 6 panels in a
+//! terminal.
+
+use crate::figures::Sweep;
+use std::fmt::Write as _;
+
+const GLYPHS: &[char] = &['o', 'x', '*', '+', '#', '@'];
+const HEIGHT: usize = 14;
+
+/// Which metric of a sweep to plot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Response time (ms).
+    Pt,
+    /// Data shipment (KB).
+    Ds,
+}
+
+fn values(sweep: &Sweep, metric: Metric) -> Vec<(&str, &[f64])> {
+    sweep
+        .series
+        .iter()
+        .map(|s| {
+            (
+                s.name.as_str(),
+                match metric {
+                    Metric::Pt => s.pt_ms.as_slice(),
+                    Metric::Ds => s.ds_kb.as_slice(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Renders one metric of a sweep as a log-scale ASCII plot.
+/// Zero/negative values are clamped to the bottom row (log-scale
+/// cannot represent them; the paper's plots share this property).
+pub fn render_plot(sweep: &Sweep, metric: Metric) -> String {
+    let series = values(sweep, metric);
+    let npoints = sweep.xs.len();
+    let mut out = String::new();
+    let (id, unit) = match metric {
+        Metric::Pt => (&sweep.id_pt, "PT ms"),
+        Metric::Ds => (&sweep.id_ds, "DS KB"),
+    };
+    writeln!(out, "[{id}] {} — {}", sweep.title, unit).unwrap();
+
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|&v| v > 0.0)
+        .collect();
+    if finite.is_empty() || npoints == 0 {
+        writeln!(out, "  (no positive data to plot)").unwrap();
+        return out;
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(0.0f64, f64::max);
+    let (log_lo, log_hi) = (lo.log10().floor(), hi.log10().ceil());
+    let span = (log_hi - log_lo).max(1.0);
+
+    // Column layout: each x value gets a fixed-width column.
+    let col_w = sweep
+        .xs
+        .iter()
+        .map(|x| x.len())
+        .max()
+        .unwrap_or(1)
+        .max(3)
+        + 2;
+    let mut grid = vec![vec![' '; npoints * col_w]; HEIGHT];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (i, &v) in vals.iter().enumerate() {
+            let frac = if v > 0.0 {
+                ((v.log10() - log_lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let row = HEIGHT - 1 - ((frac * (HEIGHT - 1) as f64).round() as usize);
+            let col = i * col_w + col_w / 2;
+            // Overlapping points: later series wins, note with '%'.
+            grid[row][col] = if grid[row][col] == ' ' { glyph } else { '%' };
+        }
+    }
+
+    for (r, row) in grid.iter().enumerate() {
+        // y-axis label: powers of ten at the edges and middle.
+        let frac = 1.0 - r as f64 / (HEIGHT - 1) as f64;
+        let label = if r == 0 || r == HEIGHT - 1 || r == HEIGHT / 2 {
+            format!("{:>8.2}", 10f64.powf(log_lo + frac * span))
+        } else {
+            " ".repeat(8)
+        };
+        let line: String = row.iter().collect();
+        writeln!(out, "{label} |{}", line.trim_end()).unwrap();
+    }
+    write!(out, "{} +", " ".repeat(8)).unwrap();
+    writeln!(out, "{}", "-".repeat(npoints * col_w)).unwrap();
+    write!(out, "{} ", " ".repeat(8)).unwrap();
+    for x in &sweep.xs {
+        write!(out, " {x:^w$}", w = col_w - 1).unwrap();
+    }
+    writeln!(out).unwrap();
+    write!(out, "{} {}", " ".repeat(8), sweep.x_label).unwrap();
+    writeln!(out).unwrap();
+    for (si, (name, _)) in series.iter().enumerate() {
+        writeln!(out, "{}   {} {}", " ".repeat(8), GLYPHS[si % GLYPHS.len()], name).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SweepSeries;
+
+    fn sweep() -> Sweep {
+        Sweep {
+            id_pt: "p".into(),
+            id_ds: "d".into(),
+            title: "t".into(),
+            x_label: "|F|".into(),
+            xs: vec!["4".into(), "8".into(), "16".into()],
+            series: vec![
+                SweepSeries {
+                    name: "dGPM".into(),
+                    pt_ms: vec![2.0, 1.0, 0.5],
+                    ds_kb: vec![10.0, 11.0, 12.0],
+                },
+                SweepSeries {
+                    name: "Match".into(),
+                    pt_ms: vec![100.0, 100.0, 100.0],
+                    ds_kb: vec![1000.0, 1000.0, 1000.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plot_contains_axes_and_legend() {
+        let text = render_plot(&sweep(), Metric::Pt);
+        assert!(text.contains("o dGPM"));
+        assert!(text.contains("x Match"));
+        assert!(text.contains("|F|"));
+        assert!(text.contains('+'));
+        // Both glyphs appear in the grid.
+        assert!(text.matches('o').count() >= 3);
+        assert!(text.matches('x').count() >= 3);
+    }
+
+    #[test]
+    fn log_scale_orders_series() {
+        let text = render_plot(&sweep(), Metric::Ds);
+        // Match (1000 KB) must be drawn above dGPM (~10 KB): the first
+        // grid row containing 'x' precedes the first containing 'o'.
+        let first_x = text.lines().position(|l| l.contains('x')).unwrap();
+        let first_o = text.lines().position(|l| l.contains('o')).unwrap();
+        assert!(first_x < first_o, "{text}");
+    }
+
+    #[test]
+    fn empty_sweep_handled() {
+        let s = Sweep {
+            id_pt: "p".into(),
+            id_ds: "d".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            xs: vec![],
+            series: vec![],
+        };
+        let text = render_plot(&s, Metric::Pt);
+        assert!(text.contains("no positive data"));
+    }
+
+    #[test]
+    fn zeros_clamp_to_bottom() {
+        let s = Sweep {
+            id_pt: "p".into(),
+            id_ds: "d".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            xs: vec!["1".into(), "2".into()],
+            series: vec![SweepSeries {
+                name: "z".into(),
+                pt_ms: vec![0.0, 5.0],
+                ds_kb: vec![0.0, 0.0],
+            }],
+        };
+        let text = render_plot(&s, Metric::Pt);
+        assert!(text.contains('o'));
+    }
+}

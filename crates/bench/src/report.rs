@@ -1,0 +1,202 @@
+//! Paper-style table rendering and CSV output.
+
+use crate::figures::Sweep;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v < 0.01 {
+        format!("{v:.4}")
+    } else if v < 10.0 {
+        format!("{v:.2}")
+    } else if v < 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn render_table(title: &str, x_label: &str, xs: &[String], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(4)
+        .max(x_label.len());
+    let mut col_w: Vec<usize> = xs.iter().map(|x| x.len()).collect();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(_, vals)| vals.iter().map(|&v| fmt_value(v)).collect())
+        .collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            col_w[i] = col_w[i].max(c.len());
+        }
+    }
+    write!(out, "  {x_label:<name_w$}").unwrap();
+    for (x, w) in xs.iter().zip(&col_w) {
+        write!(out, "  {x:>w$}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for ((name, _), row) in rows.iter().zip(&cells) {
+        write!(out, "  {name:<name_w$}").unwrap();
+        for (c, w) in row.iter().zip(&col_w) {
+            write!(out, "  {c:>w$}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Renders a sweep as two paper-style tables (PT in ms, DS in KB).
+pub fn render_sweep(sweep: &Sweep) -> String {
+    let pt_rows: Vec<(String, Vec<f64>)> = sweep
+        .series
+        .iter()
+        .map(|s| (s.name.clone(), s.pt_ms.clone()))
+        .collect();
+    let ds_rows: Vec<(String, Vec<f64>)> = sweep
+        .series
+        .iter()
+        .map(|s| (s.name.clone(), s.ds_kb.clone()))
+        .collect();
+    let mut out = String::new();
+    writeln!(out, "== {} ==", sweep.title).unwrap();
+    out.push_str(&render_table(
+        &format!("[{}] response time PT (ms, virtual)", sweep.id_pt),
+        &sweep.x_label,
+        &sweep.xs,
+        &pt_rows,
+    ));
+    out.push_str(&render_table(
+        &format!("[{}] data shipment DS (KB)", sweep.id_ds),
+        &sweep.x_label,
+        &sweep.xs,
+        &ds_rows,
+    ));
+    out
+}
+
+/// Prints a sweep to stdout.
+pub fn print_sweep(sweep: &Sweep) {
+    print!("{}", render_sweep(sweep));
+}
+
+/// Writes a sweep's PT and DS tables as CSV files
+/// (`<id>.csv`) under `dir`.
+pub fn write_csv(sweep: &Sweep, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (id, metric) in [(&sweep.id_pt, "pt_ms"), (&sweep.id_ds, "ds_kb")] {
+        let mut csv = String::new();
+        write!(csv, "{}", sweep.x_label).unwrap();
+        for s in &sweep.series {
+            write!(csv, ",{}", s.name).unwrap();
+        }
+        writeln!(csv).unwrap();
+        for (i, x) in sweep.xs.iter().enumerate() {
+            write!(csv, "{x}").unwrap();
+            for s in &sweep.series {
+                let v = if metric == "pt_ms" {
+                    s.pt_ms[i]
+                } else {
+                    s.ds_kb[i]
+                };
+                write!(csv, ",{v}").unwrap();
+            }
+            writeln!(csv).unwrap();
+        }
+        std::fs::write(dir.join(format!("{id}.csv")), csv)?;
+    }
+    Ok(())
+}
+
+/// Renders Table 1 (the analytic performance bounds) together with a
+/// measured sanity row per implemented algorithm.
+pub fn render_table1(measured: &[(String, f64, f64)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 1: distributed graph pattern matching — performance bounds ==").unwrap();
+    writeln!(out, "{:<22} {:<14} {:<6} {:<46} DS", "Query", "Data graph", "Type", "PT").unwrap();
+    let rows = [
+        ("XPath [10]", "XML trees", "P", "O(|Q||Fm| + |Q||F|)", "O(|Q||F|)"),
+        ("regular path [5]", "XML trees", "P", "O(|Q||Vf||Fm| + |Fm||F|)", "O(|Ef|^2)"),
+        ("regular path [30]", "general graphs", "P", "O(|Q||Vf||Fm| + |Vf|^2|F|)", "O(|Ef|^2)"),
+        ("regular path [29]", "general graphs", "M", "-", "O(|Q|^2|G|^2)"),
+        ("regular path [12]", "general graphs", "P", "O((|Fm| + |Vf|^2)|Q|^2)", "O(|Q|^2|Vf|^2)"),
+        ("bisimulation [6]", "general graphs", "M", "O((|V|^2+|V||E|)/|F|) total", "O(|V|^2)"),
+        ("simulation [25]", "general graphs", "M", "O((|Vq|+|V|)(|Eq|+|E|))", "O(|G|+4|Vf|+|F||Q|)"),
+        ("simulation (dGPM)", "general graphs", "P&M", "O((|Vq|+|Vm|)(|Eq|+|Em|)|Vq||Vf|)", "O(|Ef||Vq|)"),
+        ("simulation (dGPMd)", "DAGs", "P&M", "O(d(|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|)", "O(|Ef||Vq|)"),
+        ("simulation (dGPMt)", "trees", "P", "O(|Q||Fm| + |Q||F|)", "O(|Q||F|)"),
+    ];
+    for (q, g, t, pt, ds) in rows {
+        writeln!(out, "{q:<22} {g:<14} {t:<6} {pt:<46} {ds}").unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "Measured on the reference workloads (this implementation):").unwrap();
+    writeln!(out, "{:<22} {:>14} {:>14}", "Algorithm", "PT (ms)", "DS (KB)").unwrap();
+    for (name, pt, ds) in measured {
+        writeln!(out, "{:<22} {:>14} {:>14}", name, fmt_value(*pt), fmt_value(*ds)).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SweepSeries;
+
+    fn sample_sweep() -> Sweep {
+        Sweep {
+            id_pt: "figX".into(),
+            id_ds: "figY".into(),
+            title: "test sweep".into(),
+            x_label: "|F|".into(),
+            xs: vec!["4".into(), "8".into()],
+            series: vec![
+                SweepSeries {
+                    name: "dGPM".into(),
+                    pt_ms: vec![1.5, 0.9],
+                    ds_kb: vec![0.25, 0.3],
+                },
+                SweepSeries {
+                    name: "Match".into(),
+                    pt_ms: vec![100.0, 100.0],
+                    ds_kb: vec![5000.0, 5000.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = render_sweep(&sample_sweep());
+        for needle in ["figX", "figY", "dGPM", "Match", "1.50", "5000", "|F|"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn csv_written_per_metric() {
+        let dir = std::env::temp_dir().join(format!("dgs-bench-test-{}", std::process::id()));
+        write_csv(&sample_sweep(), &dir).unwrap();
+        let pt = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert!(pt.starts_with("|F|,dGPM,Match"));
+        assert!(pt.contains("4,1.5,100"));
+        let ds = std::fs::read_to_string(dir.join("figY.csv")).unwrap();
+        assert!(ds.contains("8,0.3,5000"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn table1_lists_our_algorithms() {
+        let text = render_table1(&[("dGPM".into(), 1.0, 2.0)]);
+        for needle in ["dGPMd", "dGPMt", "O(|Ef||Vq|)", "Measured"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! High-level entry point: run any algorithm on any executor and get
+//! the answer plus PT/DS metrics.
+//!
+//! ```
+//! use dgs_core::{Algorithm, DistributedSim};
+//! use dgs_graph::generate::social::fig1;
+//! use dgs_partition::Fragmentation;
+//! use std::sync::Arc;
+//!
+//! let w = fig1();
+//! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! let report = DistributedSim::default().run(
+//!     &Algorithm::dgpm(),
+//!     &w.graph,
+//!     &frag,
+//!     &w.pattern,
+//! );
+//! assert!(report.is_match);
+//! assert_eq!(report.answer.len(), 11);
+//! ```
+
+use crate::dgpm::{self, DgpmConfig};
+use crate::{baselines, dgpmd, dgpms, dgpmt};
+use dgs_graph::algo::{graph_is_dag, pattern_is_dag};
+use dgs_graph::{Graph, Pattern};
+use dgs_net::{CostModel, ExecutorKind, RunMetrics};
+use dgs_partition::Fragmentation;
+use dgs_sim::MatchRelation;
+use std::sync::Arc;
+
+/// Which engine to run.
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// `dGPM` with the given configuration (§4).
+    Dgpm(DgpmConfig),
+    /// `dGPMd` for DAG patterns or DAG graphs (§5.1).
+    Dgpmd,
+    /// `dGPMs`: SCC-stratified batched shipping for arbitrary
+    /// (cyclic) patterns — this repository's extension of `dGPMd`.
+    Dgpms,
+    /// `dGPMt` for trees with connected fragments (§5.2).
+    Dgpmt,
+    /// `Match`: ship everything to one site (§3.1).
+    MatchCentral,
+    /// `disHHK` \[25\].
+    DisHhk,
+    /// `dMes`: vertex-centric supersteps (§6 / \[14\]).
+    DMes,
+}
+
+impl Algorithm {
+    /// The paper's `dGPM` (incremental + push, θ = 0.2).
+    pub fn dgpm() -> Self {
+        Algorithm::Dgpm(DgpmConfig::optimized())
+    }
+
+    /// The paper's `dGPMNOpt`.
+    pub fn dgpm_nopt() -> Self {
+        Algorithm::Dgpm(DgpmConfig::no_opt())
+    }
+
+    /// `dGPM` with incremental evaluation but no push (ablation).
+    pub fn dgpm_incremental_only() -> Self {
+        Algorithm::Dgpm(DgpmConfig::incremental_only())
+    }
+
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Dgpm(cfg) if !cfg.incremental => "dGPMNOpt",
+            Algorithm::Dgpm(cfg) if cfg.push_threshold.is_none() => "dGPM-nopush",
+            Algorithm::Dgpm(_) => "dGPM",
+            Algorithm::Dgpmd => "dGPMd",
+            Algorithm::Dgpms => "dGPMs",
+            Algorithm::Dgpmt => "dGPMt",
+            Algorithm::MatchCentral => "Match",
+            Algorithm::DisHhk => "disHHK",
+            Algorithm::DMes => "dMes",
+        }
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The maximum relation under the child condition.
+    pub relation: MatchRelation,
+    /// `Q(G)` with the paper's convention (`∅` when some query node
+    /// has no match).
+    pub answer: MatchRelation,
+    /// The Boolean query answer.
+    pub is_match: bool,
+    /// PT/DS metrics of the run.
+    pub metrics: RunMetrics,
+    /// The algorithm's display name.
+    pub algorithm: &'static str,
+}
+
+/// Runner configuration: executor choice and cost model.
+#[derive(Clone, Debug)]
+pub struct DistributedSim {
+    /// Which executor drives the protocol.
+    pub executor: ExecutorKind,
+    /// The virtual-time cost model.
+    pub cost: CostModel,
+}
+
+impl Default for DistributedSim {
+    fn default() -> Self {
+        DistributedSim {
+            executor: ExecutorKind::Virtual,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl DistributedSim {
+    /// A runner on the deterministic virtual-time executor.
+    pub fn virtual_time(cost: CostModel) -> Self {
+        DistributedSim {
+            executor: ExecutorKind::Virtual,
+            cost,
+        }
+    }
+
+    /// A runner on real threads.
+    pub fn threaded() -> Self {
+        DistributedSim {
+            executor: ExecutorKind::Threaded,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Runs a **Boolean** pattern query (§2.1): returns only whether
+    /// `G` matches `Q`, plus metrics.
+    ///
+    /// For the `dGPM` family this uses the dedicated Boolean gather
+    /// path (`O(|F|)` bytes of result traffic, §4.1's "Sc simply
+    /// checks whether each node of Q has a match in any local site");
+    /// other algorithms run normally and reduce their relation.
+    pub fn run_boolean(
+        &self,
+        algorithm: &Algorithm,
+        graph: &Graph,
+        frag: &Arc<Fragmentation>,
+        q: &Pattern,
+    ) -> (bool, RunMetrics) {
+        if let Algorithm::Dgpm(cfg) = algorithm {
+            let q = Arc::new(q.clone());
+            let (coord, sites) =
+                dgpm::build_with_mode(frag, &q, cfg.clone(), dgpm::QueryMode::Boolean);
+            let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+            return (o.coordinator.boolean.expect("boolean run"), o.metrics);
+        }
+        let report = self.run(algorithm, graph, frag, q);
+        (report.is_match, report.metrics)
+    }
+
+    /// Runs `algorithm` on the fragmented graph and returns the
+    /// answer with metrics.
+    ///
+    /// `graph` is used for answer finalization and for the acyclicity
+    /// checks of `dGPMd`; the distributed engines themselves only see
+    /// the fragments.
+    ///
+    /// # Panics
+    /// Panics if `Dgpmd` is requested with a cyclic pattern *and* a
+    /// cyclic graph (Theorem 3 does not apply), or `Dgpmt` with a
+    /// non-tree graph.
+    pub fn run(
+        &self,
+        algorithm: &Algorithm,
+        graph: &Graph,
+        frag: &Arc<Fragmentation>,
+        q: &Pattern,
+    ) -> RunReport {
+        let q = Arc::new(q.clone());
+        let (relation, mut metrics) = match algorithm {
+            Algorithm::Dgpm(cfg) => {
+                let (coord, sites) = dgpm::build(frag, &q, cfg.clone());
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+            Algorithm::Dgpmd => {
+                if !pattern_is_dag(&q) {
+                    // §5.1: on a DAG graph, a cyclic pattern can never
+                    // match — no distributed work needed.
+                    assert!(
+                        graph_is_dag(graph),
+                        "dGPMd requires a DAG pattern or a DAG graph"
+                    );
+                    let empty = MatchRelation::empty(q.node_count());
+                    let report = RunReport {
+                        relation: empty.clone(),
+                        answer: empty,
+                        is_match: false,
+                        metrics: RunMetrics::default(),
+                        algorithm: algorithm.name(),
+                    };
+                    return report;
+                }
+                let (coord, sites) = dgpmd::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+            Algorithm::Dgpms => {
+                let (coord, sites) = dgpms::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.clone().unwrap(), o.metrics)
+            }
+            Algorithm::Dgpmt => {
+                assert!(
+                    dgs_graph::generate::tree::is_rooted_tree(graph),
+                    "dGPMt requires a rooted tree graph"
+                );
+                let (coord, sites) = dgpmt::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+            Algorithm::MatchCentral => {
+                let (coord, sites) = baselines::match_central::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+            Algorithm::DisHhk => {
+                let (coord, sites) = baselines::dishhk::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+            Algorithm::DMes => {
+                let (coord, sites) = baselines::dmes::build(frag, &q);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                (o.coordinator.answer.unwrap(), o.metrics)
+            }
+        };
+
+        // Account the query broadcast (Sc posts Q to each site):
+        // control traffic of |F| messages of ~|Q| size each.
+        let q_bytes = 8 + 3 * q.node_count() + 4 * q.edge_count();
+        metrics.control_messages += frag.num_sites() as u64;
+        metrics.control_bytes += (frag.num_sites() * q_bytes) as u64;
+
+        let is_match = relation.is_total();
+        let answer = if is_match {
+            relation.clone()
+        } else {
+            MatchRelation::empty(q.node_count())
+        };
+        RunReport {
+            relation,
+            answer,
+            is_match,
+            metrics,
+            algorithm: algorithm.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+    use dgs_graph::generate::{patterns, random, tree};
+    use dgs_partition::{hash_partition, tree_partition};
+    use dgs_sim::hhk_simulation;
+
+    #[test]
+    fn all_general_algorithms_agree_with_oracle() {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
+        for algo in [
+            Algorithm::dgpm(),
+            Algorithm::dgpm_nopt(),
+            Algorithm::dgpm_incremental_only(),
+            Algorithm::Dgpms,
+            Algorithm::MatchCentral,
+            Algorithm::DisHhk,
+            Algorithm::DMes,
+        ] {
+            let report = DistributedSim::default().run(&algo, &w.graph, &frag, &w.pattern);
+            assert_eq!(report.relation, oracle, "{}", report.algorithm);
+            assert!(report.is_match);
+        }
+    }
+
+    #[test]
+    fn dgpmd_shortcircuits_cyclic_pattern_on_dag() {
+        let g = dgs_graph::generate::dag::citation_like(100, 250, 4, 1);
+        let q = patterns::random_cyclic(3, 5, 4, 1);
+        let assign = hash_partition(100, 3, 1);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let report = DistributedSim::default().run(&Algorithm::Dgpmd, &g, &frag, &q);
+        assert!(!report.is_match);
+        assert!(report.answer.is_empty());
+        assert_eq!(report.metrics.data_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DAG pattern or a DAG graph")]
+    fn dgpmd_rejects_doubly_cyclic_input() {
+        let g = random::uniform(50, 200, 4, 2);
+        let q = patterns::random_cyclic(3, 5, 4, 2);
+        let assign = hash_partition(50, 2, 2);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let _ = DistributedSim::default().run(&Algorithm::Dgpmd, &g, &frag, &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "rooted tree")]
+    fn dgpmt_rejects_non_tree() {
+        let g = random::uniform(50, 200, 4, 3);
+        let q = patterns::random_cyclic(3, 5, 4, 3);
+        let assign = hash_partition(50, 2, 3);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let _ = DistributedSim::default().run(&Algorithm::Dgpmt, &g, &frag, &q);
+    }
+
+    #[test]
+    fn tree_algorithm_via_api() {
+        let g = tree::random_tree(200, 4, 4);
+        let q = patterns::path_pattern(2, &[dgs_graph::Label(0), dgs_graph::Label(1)]);
+        let assign = tree_partition(&g, 4);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+        let report = DistributedSim::default().run(&Algorithm::Dgpmt, &g, &frag, &q);
+        let oracle = hhk_simulation(&q, &g).relation;
+        assert_eq!(report.relation, oracle);
+    }
+
+    #[test]
+    fn empty_answer_convention() {
+        // A pattern whose label does not occur: relation is empty,
+        // is_match false, answer empty.
+        let g = random::uniform(60, 200, 3, 5);
+        let mut qb = dgs_graph::PatternBuilder::new();
+        qb.add_node(dgs_graph::Label(9)); // label 9 not in the graph
+        let q = qb.build();
+        let assign = hash_partition(60, 2, 5);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let report = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
+        assert!(!report.is_match);
+        assert!(report.answer.is_empty());
+    }
+
+    #[test]
+    fn query_broadcast_is_accounted() {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let report = DistributedSim::default().run(
+            &Algorithm::dgpm_incremental_only(),
+            &w.graph,
+            &frag,
+            &w.pattern,
+        );
+        // Gather (3) + broadcast (3).
+        assert_eq!(report.metrics.control_messages, 6);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Algorithm::dgpm().name(), "dGPM");
+        assert_eq!(Algorithm::dgpm_nopt().name(), "dGPMNOpt");
+        assert_eq!(Algorithm::dgpm_incremental_only().name(), "dGPM-nopush");
+        assert_eq!(Algorithm::Dgpmd.name(), "dGPMd");
+        assert_eq!(Algorithm::Dgpms.name(), "dGPMs");
+        assert_eq!(Algorithm::Dgpmt.name(), "dGPMt");
+        assert_eq!(Algorithm::MatchCentral.name(), "Match");
+        assert_eq!(Algorithm::DisHhk.name(), "disHHK");
+        assert_eq!(Algorithm::DMes.name(), "dMes");
+    }
+}

@@ -1,0 +1,15 @@
+//! The baselines the paper compares against (§6, "Algorithms"):
+//!
+//! * [`match_central`] — `Match`: ship every fragment to one site and
+//!   run centralized HHK (the naive algorithm of §3.1; DS = `O(|G|)`);
+//! * [`dishhk`] — `disHHK`, a reconstruction of [Ma et al., WWW'12]:
+//!   ship candidate-induced subgraphs to a single site and query the
+//!   assembled graph (DS = `O(|G| + 4|Vf| + |F||Q|)` per Table 1);
+//! * [`dmes`] — `dMes`, the paper's own vertex-centric stand-in for
+//!   Pregel [14, 26]: synchronized supersteps in which every site
+//!   re-requests the Boolean vectors of all its virtual nodes,
+//!   performs local evaluation and votes to halt.
+
+pub mod dishhk;
+pub mod dmes;
+pub mod match_central;

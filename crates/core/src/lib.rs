@@ -1,0 +1,45 @@
+//! # dgs-core
+//!
+//! The distributed graph simulation algorithms of Fan, Wang, Wu & Deng,
+//! *"Distributed Graph Simulation: Impossibility and Possibility"*,
+//! PVLDB 7(12), 2014 — plus the baselines the paper compares against.
+//!
+//! Given a pattern `Q` and a graph `G` fragmented over sites
+//! (`dgs-partition`), these engines compute `Q(G)` with message passing
+//! over the `dgs-net` runtime:
+//!
+//! | engine | paper | guarantee |
+//! |--------|-------|-----------|
+//! | [`dgpm`] (`dGPM`) | §4, Thm 2 | partition bounded: PT `O(|Vf||Vq|(|Vq|+|Vm|)(|Eq|+|Em|))`, DS `O(|Ef||Vq|)` |
+//! | [`dgpm`] (`dGPMNOpt`) | §4.2 | dGPM without incremental evaluation / push |
+//! | [`dgpmd`] (`dGPMd`) | §5.1, Thm 3 | DAG `Q` or `G`: PT `O(d(|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|)`, DS `O(|Ef||Vq|)`; parallel scalable in PT for fixed `|F|` |
+//! | [`dgpms`] (`dGPMs`) | extension | SCC-stratified batching for *cyclic* `Q`: `dGPMd`'s rank rounds over the condensation DAG with per-stratum changed-flag convergence; DS `O(|Ef||Vq|)`, ≤ 1 data message per site pair per round |
+//! | [`dgpmt`] (`dGPMt`) | §5.2, Cor 4 | trees: PT `O(|Q||Fm| + |Q||F|)`, DS `O(|Q||F|)`; parallel scalable in DS |
+//! | [`baselines::match_central`] (`Match`) | §3.1 | naive: ship everything, centralized HHK |
+//! | [`baselines::dishhk`] (`disHHK`) | \[25\] | ship candidate subgraphs to one site |
+//! | [`baselines::dmes`] (`dMes`) | §6 / \[14\] | vertex-centric supersteps (Pregel-style) |
+//!
+//! The one entry point most users want is [`api::DistributedSim`],
+//! which pairs any engine with either `dgs-net` executor and returns
+//! the answer plus PT/DS metrics.
+//!
+//! The building blocks are public too: [`local_eval::LocalEval`] is the
+//! paper's `lEval` (optimistic counter-based local fixpoint with
+//! incremental falsification), [`boolexpr`] is the Boolean
+//! equation machinery behind partial answers, the push operation and
+//! the tree algorithm, and [`vars::Var`] is the Boolean variable
+//! `X(u,v)`.
+
+pub mod api;
+pub mod baselines;
+pub mod boolexpr;
+pub mod dgpm;
+pub mod dgpmd;
+pub mod dgpms;
+pub mod dgpmt;
+pub mod local_eval;
+pub mod push;
+pub mod vars;
+
+pub use api::{Algorithm, DistributedSim, RunReport};
+pub use vars::Var;

@@ -1,0 +1,493 @@
+//! `lEval`: optimistic local evaluation with incremental falsification
+//! (§4.1, Fig. 4 of the paper).
+//!
+//! Each site keeps, for every node of its fragment (local *and*
+//! virtual) and every query node, a candidacy bit for the Boolean
+//! variable `X(u,v)`:
+//!
+//! * label mismatch → `false` from the start (both sides of a crossing
+//!   edge know the virtual node's label, so this never needs shipping);
+//! * `u` a sink query node and labels match → `true` forever (`lEval`
+//!   line 5);
+//! * otherwise `X(u,v)` starts optimistically `true` and can only be
+//!   *falsified* — for local nodes by the counter-based worklist below,
+//!   for virtual nodes by falsification messages from their owner.
+//!
+//! The counters are the HHK scheme restricted to the fragment: pair
+//! `(u, v)` holds, per query edge `(u, u')`, the number of
+//! still-candidate successors matching `u'`. Virtual nodes have no
+//! out-edges in `Ei`, so their pairs are never falsified locally —
+//! exactly the paper's "always assume the unevaluated virtual nodes
+//! are match candidates".
+//!
+//! [`LocalEval::apply_virtual_falsifications`] is the *incremental*
+//! `lEval` of §4.2: it touches only the affected area `AFF` (the
+//! counters reachable from the changed variables), and returns the
+//! in-node variables that became false — precisely what `lMsg` must
+//! ship. The non-incremental `dGPMNOpt` variant instead rebuilds a
+//! fresh `LocalEval` with the known-false virtual variables pinned
+//! (`LocalEval::new_with_pinned`).
+
+use crate::vars::Var;
+use dgs_graph::{Pattern, QNodeId};
+use dgs_partition::{Fragmentation, SiteId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Per-site optimistic evaluation state.
+pub struct LocalEval {
+    frag: Arc<Fragmentation>,
+    site: SiteId,
+    q: Arc<Pattern>,
+    nq: usize,
+    n: usize,
+    n_local: usize,
+    /// Per query node: `(edge index, parent)` pairs of incoming query
+    /// edges.
+    parent_edges: Vec<Vec<(usize, u16)>>,
+    /// Per query node: indices of outgoing query edges.
+    out_edges: Vec<Vec<usize>>,
+    /// Candidacy of `X(u, v)`: `cand[idx * nq + u]`.
+    cand: Vec<bool>,
+    /// Support counters: `cnt[e * n + idx]` (meaningful for local
+    /// indices only).
+    cnt: Vec<u32>,
+    /// Charged basic operations since the last [`LocalEval::take_ops`].
+    ops: u64,
+}
+
+impl LocalEval {
+    /// Builds the evaluation state and runs the initial local fixpoint
+    /// (Phase 1 partial evaluation). Returns the state and the in-node
+    /// variables that are already falsified — the site's first
+    /// `lMsg` payload.
+    pub fn new(frag: Arc<Fragmentation>, site: SiteId, q: Arc<Pattern>) -> (Self, Vec<Var>) {
+        Self::new_with_pinned(frag, site, q, &HashSet::new())
+    }
+
+    /// Like [`LocalEval::new`], but with a set of virtual variables
+    /// already known false (used by the from-scratch re-evaluation of
+    /// `dGPMNOpt`).
+    pub fn new_with_pinned(
+        frag: Arc<Fragmentation>,
+        site: SiteId,
+        q: Arc<Pattern>,
+        pinned_false: &HashSet<Var>,
+    ) -> (Self, Vec<Var>) {
+        let f = frag.fragment(site);
+        let nq = q.node_count();
+        let n = f.n_total();
+        let n_local = f.n_local();
+        let qedges: Vec<(u16, u16)> = q.edges().map(|(u, c)| (u.0, c.0)).collect();
+        let ne = qedges.len();
+        let mut parent_edges: Vec<Vec<(usize, u16)>> = vec![Vec::new(); nq];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); nq];
+        for (e, &(u, uc)) in qedges.iter().enumerate() {
+            parent_edges[uc as usize].push((e, u));
+            out_edges[u as usize].push(e);
+        }
+
+        let mut ops: u64 = 0;
+
+        // Candidacy by label; virtual pairs additionally respect the
+        // pinned-false set.
+        let mut cand = vec![false; n * nq];
+        for idx in 0..n as u32 {
+            let label = f.label(idx);
+            for u in q.nodes() {
+                ops += 1;
+                if q.label(u) != label {
+                    continue;
+                }
+                let pinned = f.is_virtual(idx)
+                    && pinned_false.contains(&Var {
+                        q: u.0,
+                        node: f.global_id(idx).0,
+                    });
+                cand[idx as usize * nq + u.index()] = !pinned;
+            }
+        }
+
+        // Seed counters from current candidacy.
+        let mut cnt = vec![0u32; ne * n];
+        for idx in 0..n_local as u32 {
+            for &s in f.successors(idx) {
+                for (e, &(_, uc)) in qedges.iter().enumerate() {
+                    ops += 1;
+                    if cand[s as usize * nq + uc as usize] {
+                        cnt[e * n + idx as usize] += 1;
+                    }
+                }
+            }
+        }
+
+        let mut ev = LocalEval {
+            frag: Arc::clone(&frag),
+            site,
+            q,
+            nq,
+            n,
+            n_local,
+            parent_edges,
+            out_edges,
+            cand,
+            cnt,
+            ops,
+        };
+
+        // Initial worklist: local label-candidates with an unsupported
+        // query edge.
+        let mut worklist: Vec<(u16, u32)> = Vec::new();
+        for idx in 0..n_local as u32 {
+            for u in 0..nq as u16 {
+                if !ev.cand[idx as usize * nq + u as usize] {
+                    continue;
+                }
+                ev.ops += 1;
+                let dead = ev.out_edges[u as usize]
+                    .iter()
+                    .any(|&e| ev.cnt[e * n + idx as usize] == 0);
+                if dead {
+                    ev.cand[idx as usize * nq + u as usize] = false;
+                    worklist.push((u, idx));
+                }
+            }
+        }
+        let falsified = ev.run_worklist(worklist);
+        (ev, falsified)
+    }
+
+    #[inline]
+    fn fragment(&self) -> &dgs_partition::Fragment {
+        self.frag.fragment(self.site)
+    }
+
+    /// Is `X(u, idx)` still a candidate? (`idx` is a fragment-local
+    /// index.)
+    #[inline]
+    pub fn is_candidate(&self, u: u16, idx: u32) -> bool {
+        self.cand[idx as usize * self.nq + u as usize]
+    }
+
+    /// The pattern this evaluation runs.
+    pub fn pattern(&self) -> &Pattern {
+        &self.q
+    }
+
+    /// Fragment-local index space size.
+    pub fn n_total(&self) -> usize {
+        self.n
+    }
+
+    /// Takes and resets the charged operation counter.
+    pub fn take_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Propagates a batch of falsified *virtual* variables (received
+    /// from their owner sites). Returns the in-node variables newly
+    /// falsified by the incremental propagation — the next `lMsg`
+    /// payload. Unknown or already-false variables are ignored
+    /// (messages are idempotent).
+    pub fn apply_virtual_falsifications(&mut self, vars: &[Var]) -> Vec<Var> {
+        let frag = Arc::clone(&self.frag);
+        let f = frag.fragment(self.site);
+        let mut worklist = Vec::new();
+        for var in vars {
+            self.ops += 1;
+            let Some(idx) = f.index_of(var.node_id()) else {
+                continue;
+            };
+            debug_assert!(
+                f.is_virtual(idx),
+                "falsification for a non-virtual node {:?}",
+                var
+            );
+            let slot = idx as usize * self.nq + var.q as usize;
+            if self.cand[slot] {
+                self.cand[slot] = false;
+                worklist.push((var.q, idx));
+            }
+        }
+        self.run_worklist(worklist)
+    }
+
+    /// Directly falsifies a (local or virtual) pair by local index;
+    /// used by `dGPMt` when the coordinator returns solved root
+    /// variables. Returns newly falsified in-node variables.
+    pub fn falsify_pair(&mut self, u: u16, idx: u32) -> Vec<Var> {
+        let slot = idx as usize * self.nq + u as usize;
+        if !self.cand[slot] {
+            return Vec::new();
+        }
+        self.cand[slot] = false;
+        self.run_worklist(vec![(u, idx)])
+    }
+
+    /// The downward worklist: each entry has just been set non-candidate;
+    /// decrement supporting counters of local predecessors and cascade.
+    fn run_worklist(&mut self, mut worklist: Vec<(u16, u32)>) -> Vec<Var> {
+        let frag = Arc::clone(&self.frag);
+        let f = frag.fragment(self.site);
+        let nq = self.nq;
+        let n = self.n;
+        let mut falsified_in_nodes = Vec::new();
+        while let Some((uq, idx)) = worklist.pop() {
+            if (idx as usize) < self.n_local && f.in_node_pos(idx).is_some() {
+                falsified_in_nodes.push(Var {
+                    q: uq,
+                    node: f.global_id(idx).0,
+                });
+            }
+            for &(e, up) in &self.parent_edges[uq as usize] {
+                for &vp in f.predecessors(idx) {
+                    self.ops += 1;
+                    let c = &mut self.cnt[e * n + vp as usize];
+                    debug_assert!(*c > 0, "support counter underflow");
+                    *c -= 1;
+                    if *c == 0 {
+                        let slot = vp as usize * nq + up as usize;
+                        if self.cand[slot] {
+                            self.cand[slot] = false;
+                            worklist.push((up, vp));
+                        }
+                    }
+                }
+            }
+        }
+        falsified_in_nodes
+    }
+
+    /// Current matches among *local* nodes, as global ids per query
+    /// node (the payload of the final result collection).
+    pub fn local_match_lists(&mut self) -> Vec<(u16, Vec<u32>)> {
+        let frag = Arc::clone(&self.frag);
+        let f = frag.fragment(self.site);
+        let mut out = Vec::with_capacity(self.nq);
+        for u in 0..self.nq as u16 {
+            let mut l = Vec::new();
+            for idx in 0..self.n_local as u32 {
+                self.ops += 1;
+                if self.is_candidate(u, idx) {
+                    l.push(f.global_id(idx).0);
+                }
+            }
+            out.push((u, l));
+        }
+        out
+    }
+
+    /// Count of still-candidate virtual variables (`|Fi.O'|` of the
+    /// push benefit function — unevaluated virtual nodes).
+    pub fn unevaluated_virtuals(&self) -> usize {
+        let f = self.fragment();
+        f.virtual_indices()
+            .map(|idx| {
+                (0..self.nq).filter(|&u| self.cand[idx as usize * self.nq + u]).count()
+            })
+            .sum()
+    }
+
+    /// Count of still-candidate in-node variables (`|Fi.I'|`).
+    pub fn unevaluated_in_nodes(&self) -> usize {
+        let f = self.fragment();
+        f.in_nodes()
+            .iter()
+            .map(|&idx| {
+                (0..self.nq).filter(|&u| self.cand[idx as usize * self.nq + u]).count()
+            })
+            .sum()
+    }
+
+    /// Still-candidate in-node variables as `Var`s.
+    pub fn candidate_in_node_vars(&self) -> Vec<Var> {
+        let f = self.fragment();
+        let mut out = Vec::new();
+        for &idx in f.in_nodes() {
+            for u in 0..self.nq as u16 {
+                if self.is_candidate(u, idx) {
+                    out.push(Var {
+                        q: u,
+                        node: f.global_id(idx).0,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Query children of `u` paired with matching successors of `idx`,
+    /// for the symbolic expansion in [`crate::push`] / `dGPMt`.
+    pub(crate) fn and_or_structure(&self, u: u16, idx: u32) -> Vec<(u16, Vec<u32>)> {
+        let f = self.fragment();
+        let q = &self.q;
+        q.children(QNodeId(u))
+            .iter()
+            .map(|&uc| {
+                let vs: Vec<u32> = f
+                    .successors(idx)
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.is_candidate(uc.0, s))
+                    .collect();
+                (uc.0, vs)
+            })
+            .collect()
+    }
+
+    /// Charges `n` extra operations (used by callers that do work on
+    /// top of the evaluation state, e.g. equation expansion).
+    pub fn charge(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// The fragmentation backing this evaluation.
+    pub fn fragmentation(&self) -> &Arc<Fragmentation> {
+        &self.frag
+    }
+
+    /// This evaluation's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+
+    fn fig1_eval(site: usize) -> (LocalEval, Vec<Var>, dgs_graph::generate::social::Fig1) {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let q = Arc::new(w.pattern.clone());
+        let (ev, falsified) = LocalEval::new(frag, site, q);
+        (ev, falsified, w)
+    }
+
+    #[test]
+    fn initial_eval_kills_local_only_failures() {
+        // At F1: yb1 has no F successor, so X(YB, yb1) dies locally;
+        // f1 has no SP successor at all (f1 -> f4 only, F label), so
+        // X(F, f1) dies locally. Neither is an in-node, so the initial
+        // falsified list is empty (in-nodes yf1/sp1 survive
+        // optimistically).
+        let (ev, falsified, w) = fig1_eval(0);
+        assert!(falsified.is_empty());
+        let f = ev.fragmentation().fragment(0);
+        let yb1 = f.index_of(w.node("yb1")).unwrap();
+        let f1 = f.index_of(w.node("f1")).unwrap();
+        let yf1 = f.index_of(w.node("yf1")).unwrap();
+        let sp1 = f.index_of(w.node("sp1")).unwrap();
+        assert!(!ev.is_candidate(w.qnode("YB").0, yb1));
+        assert!(!ev.is_candidate(w.qnode("F").0, f1));
+        assert!(ev.is_candidate(w.qnode("YF").0, yf1));
+        assert!(ev.is_candidate(w.qnode("SP").0, sp1));
+    }
+
+    #[test]
+    fn virtual_pairs_survive_optimistically() {
+        let (ev, _, w) = fig1_eval(0);
+        let f = ev.fragmentation().fragment(0);
+        // f2 and yf2 are virtual at F1; their label-matched vars stay
+        // candidates until a message arrives.
+        let f2 = f.index_of(w.node("f2")).unwrap();
+        assert!(f.is_virtual(f2));
+        assert!(ev.is_candidate(w.qnode("F").0, f2));
+        // Label-mismatched virtual pair is false without any message.
+        assert!(!ev.is_candidate(w.qnode("SP").0, f2));
+    }
+
+    #[test]
+    fn incremental_falsification_cascades_example8() {
+        // Example 8 of the paper: if X(F, f2) is falsified at F1, then
+        // X(YF, yf1) = X(F, f2) falls, and X(SP, sp1) reduces to
+        // X(YF, yf2) but stays a candidate.
+        let (mut ev, _, w) = fig1_eval(0);
+        let out = ev.apply_virtual_falsifications(&[Var::new(w.qnode("F"), w.node("f2"))]);
+        let f = ev.fragmentation().fragment(0);
+        let yf1 = f.index_of(w.node("yf1")).unwrap();
+        let sp1 = f.index_of(w.node("sp1")).unwrap();
+        assert!(!ev.is_candidate(w.qnode("YF").0, yf1));
+        assert!(ev.is_candidate(w.qnode("SP").0, sp1));
+        // yf1 is an in-node of F1, so its falsification must be
+        // reported for shipping.
+        assert_eq!(out, vec![Var::new(w.qnode("YF"), w.node("yf1"))]);
+    }
+
+    #[test]
+    fn falsifications_idempotent_and_unknown_ignored() {
+        let (mut ev, _, w) = fig1_eval(0);
+        let var = Var::new(w.qnode("F"), w.node("f2"));
+        let first = ev.apply_virtual_falsifications(&[var]);
+        assert!(!first.is_empty());
+        let second = ev.apply_virtual_falsifications(&[var]);
+        assert!(second.is_empty());
+        // A node this fragment has never heard of.
+        let foreign = Var { q: 0, node: 9999 };
+        assert!(ev.apply_virtual_falsifications(&[foreign]).is_empty());
+    }
+
+    #[test]
+    fn pinned_construction_matches_incremental() {
+        // dGPMNOpt invariant: rebuilding from scratch with the pinned
+        // set must land in the same state as incremental propagation.
+        let (mut incr, _, w) = fig1_eval(1);
+        let var = Var::new(w.qnode("SP"), w.node("sp1"));
+        incr.apply_virtual_falsifications(&[var]);
+
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let mut pinned = HashSet::new();
+        pinned.insert(var);
+        let (scratch, _) =
+            LocalEval::new_with_pinned(frag, 1, Arc::new(w.pattern.clone()), &pinned);
+        for idx in 0..incr.n_total() as u32 {
+            for u in 0..w.pattern.node_count() as u16 {
+                assert_eq!(
+                    incr.is_candidate(u, idx),
+                    scratch.is_candidate(u, idx),
+                    "mismatch at u{u}, idx{idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_match_lists_cover_local_nodes_only() {
+        let (mut ev, _, w) = fig1_eval(2);
+        let lists = ev.local_match_lists();
+        assert_eq!(lists.len(), 4);
+        let f = ev.fragmentation().fragment(2);
+        for (_, l) in &lists {
+            for &g in l {
+                let idx = f.index_of(dgs_graph::NodeId(g)).unwrap();
+                assert!(!f.is_virtual(idx));
+            }
+        }
+        // yb3 matches YB at F3 even before any messages (all its
+        // support is optimistic).
+        let yb = w.qnode("YB").0;
+        let yb3 = w.node("yb3").0;
+        assert!(lists[yb as usize].1.contains(&yb3));
+    }
+
+    #[test]
+    fn unevaluated_counts() {
+        let (ev, _, _) = fig1_eval(0);
+        // F1 virtuals: f2 (F matches), f4 (F), yf2 (YF) → 3 candidate
+        // virtual vars; in-nodes yf1 (YF), sp1 (SP) → 2 candidates.
+        assert_eq!(ev.unevaluated_virtuals(), 3);
+        assert_eq!(ev.unevaluated_in_nodes(), 2);
+        assert_eq!(ev.candidate_in_node_vars().len(), 2);
+    }
+
+    #[test]
+    fn ops_are_charged_and_taken() {
+        let (mut ev, _, _) = fig1_eval(0);
+        let ops = ev.take_ops();
+        assert!(ops > 0);
+        assert_eq!(ev.take_ops(), 0);
+        ev.charge(5);
+        assert_eq!(ev.take_ops(), 5);
+    }
+}

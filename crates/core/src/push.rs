@@ -1,0 +1,437 @@
+//! The push operation (§4.2) and symbolic equation extraction.
+//!
+//! A site `Si` whose parents would otherwise wait on a long dependency
+//! chain can *push* the Boolean equations of its unevaluated in-node
+//! variables to its parent sites `Sj`, expressed over `Si`'s virtual
+//! variables. `Sj` inlines those equations and subscribes directly to
+//! the third-party sites `Sk` that own the referenced variables,
+//! bypassing the hop through `Si`. The decision uses the benefit
+//! function
+//!
+//! ```text
+//! B(Si) = |Fi.O'| / (m · |Fi.I'|)      (push iff B(Si) ≥ θ)
+//! ```
+//!
+//! where `Fi.O'`/`Fi.I'` are the unevaluated virtual/in-node variable
+//! counts and `m` is the total size of the equations to ship.
+//!
+//! Equation extraction ([`Expander`]) reduces an in-node variable to a
+//! formula over virtual variables by DFS substitution through the
+//! fragment's AND–OR structure. Cycles among local nodes are resolved
+//! by *greatest-fixpoint elimination*: a back-edge to a variable
+//! currently being expanded substitutes `true` (for a monotone system
+//! `gfp X. f(X) = f(true)`, applied along the DFS as nested Bekić
+//! elimination). Results that saw a back-edge are "tainted" and not
+//! memoized — their closed form is only valid for the root being
+//! expanded; clean results are cached and shared. A size budget aborts
+//! pathological expansions (the push is then skipped, never wrong).
+//!
+//! Rewiring is additive: `Sk` keeps notifying `Si` (which still needs
+//! its own matches) and *additionally* notifies `Sj` — extra shipment
+//! traded for latency, as the paper describes.
+
+use crate::boolexpr::BExpr;
+use crate::local_eval::LocalEval;
+use crate::vars::Var;
+use dgs_net::WireSize;
+use dgs_partition::SiteId;
+use std::collections::{HashMap, HashSet};
+
+/// One pushed equation: the in-node variable and its closed form over
+/// the pushing site's virtual variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PushedEq {
+    /// The in-node variable of the pushing site.
+    pub var: Var,
+    /// Its equation over virtual variables (of the pushing site).
+    pub expr: BExpr,
+}
+
+impl WireSize for PushedEq {
+    fn wire_size(&self) -> usize {
+        self.var.wire_size() + self.expr.wire_size()
+    }
+}
+
+/// Bounded symbolic expansion over a [`LocalEval`] state.
+pub struct Expander<'a> {
+    ev: &'a LocalEval,
+    memo: HashMap<(u16, u32), BExpr>,
+    in_progress: HashSet<(u16, u32)>,
+    budget: i64,
+}
+
+impl<'a> Expander<'a> {
+    /// Creates an expander with a total size budget (in expression
+    /// nodes) shared across all extractions.
+    pub fn new(ev: &'a LocalEval, budget: usize) -> Self {
+        Expander {
+            ev,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            budget: budget as i64,
+        }
+    }
+
+    /// Expands `X(u, idx)` (`idx` fragment-local) into a formula over
+    /// virtual variables; `None` if the budget is exhausted.
+    pub fn extract(&mut self, u: u16, idx: u32) -> Option<BExpr> {
+        self.expand(u, idx).map(|(e, _)| e)
+    }
+
+    /// Remaining budget (tests + ops accounting).
+    pub fn budget_left(&self) -> i64 {
+        self.budget
+    }
+
+    fn expand(&mut self, u: u16, idx: u32) -> Option<(BExpr, bool)> {
+        self.budget -= 1;
+        if self.budget < 0 {
+            return None;
+        }
+        if !self.ev.is_candidate(u, idx) {
+            return Some((BExpr::FALSE, false));
+        }
+        let frag = self.ev.fragmentation().fragment(self.ev.site());
+        if frag.is_virtual(idx) {
+            return Some((
+                BExpr::Var(Var {
+                    q: u,
+                    node: frag.global_id(idx).0,
+                }),
+                false,
+            ));
+        }
+        if self
+            .ev
+            .pattern()
+            .is_sink(dgs_graph::QNodeId(u))
+        {
+            return Some((BExpr::TRUE, false));
+        }
+        if let Some(e) = self.memo.get(&(u, idx)) {
+            return Some((e.clone(), false));
+        }
+        if self.in_progress.contains(&(u, idx)) {
+            // gfp elimination of the back-edge.
+            return Some((BExpr::TRUE, true));
+        }
+        self.in_progress.insert((u, idx));
+        let mut tainted = false;
+        let mut conj = Vec::new();
+        for (uc, succs) in self.ev.and_or_structure(u, idx) {
+            let mut disj = Vec::with_capacity(succs.len());
+            for s in succs {
+                let (e, t) = match self.expand(uc, s) {
+                    Some(x) => x,
+                    None => {
+                        self.in_progress.remove(&(u, idx));
+                        return None;
+                    }
+                };
+                tainted |= t;
+                disj.push(e);
+            }
+            conj.push(BExpr::or(disj));
+        }
+        self.in_progress.remove(&(u, idx));
+        let expr = BExpr::and(conj);
+        self.budget -= expr.size() as i64;
+        if self.budget < 0 {
+            return None;
+        }
+        if !tainted {
+            self.memo.insert((u, idx), expr.clone());
+        }
+        Some((expr, tainted))
+    }
+}
+
+/// Outcome of evaluating the push benefit function at a site.
+#[derive(Clone, Debug)]
+pub struct PushPlan {
+    /// Equations to ship, one entry per in-node variable.
+    pub equations: Vec<PushedEq>,
+    /// The measured benefit `B(Si)`.
+    pub benefit: f64,
+}
+
+/// Evaluates `B(Si)` and extracts the equations if the threshold is
+/// met; `None` if pushing is not beneficial (or extraction overflowed
+/// the size cap).
+pub fn plan_push(ev: &mut LocalEval, theta: f64, size_cap: usize) -> Option<PushPlan> {
+    let unevaluated_in = ev.unevaluated_in_nodes();
+    if unevaluated_in == 0 {
+        return None;
+    }
+    let unevaluated_virt = ev.unevaluated_virtuals();
+    if unevaluated_virt == 0 {
+        return None;
+    }
+    let in_vars = ev.candidate_in_node_vars();
+    let frag = std::sync::Arc::clone(ev.fragmentation());
+    let f = frag.fragment(ev.site());
+    let mut expander = Expander::new(ev, size_cap);
+    let mut equations = Vec::with_capacity(in_vars.len());
+    let mut m = 0usize;
+    for var in in_vars {
+        let idx = f.index_of(var.node_id()).expect("in-node is local");
+        let expr = expander.extract(var.q, idx)?;
+        // `m` is the total equation size in expression nodes — the
+        // unit under which the paper's θ = 0.2 is calibrated.
+        m += expr.size();
+        equations.push(PushedEq { var, expr });
+    }
+    let spent = (size_cap as i64 - expander.budget_left()).max(0) as u64;
+    ev.charge(spent);
+    if m == 0 {
+        return None;
+    }
+    let benefit = unevaluated_virt as f64 / (m as f64 * unevaluated_in as f64);
+    (benefit >= theta).then_some(PushPlan { equations, benefit })
+}
+
+/// Equations inlined at a *receiving* site, tracking foreign-variable
+/// falsifications.
+#[derive(Default, Debug)]
+pub struct InlinedEquations {
+    eqs: Vec<(Var, BExpr)>,
+    false_foreign: HashSet<Var>,
+}
+
+impl InlinedEquations {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live inlined equations.
+    pub fn len(&self) -> usize {
+        self.eqs.len()
+    }
+
+    /// True iff no equations are inlined.
+    pub fn is_empty(&self) -> bool {
+        self.eqs.is_empty()
+    }
+
+    /// Inlines freshly received equations; returns the equation
+    /// variables that are *already* false under known foreign
+    /// falsifications.
+    pub fn add(&mut self, eqs: Vec<PushedEq>) -> Vec<Var> {
+        let mut newly_false = Vec::new();
+        for PushedEq { var, expr } in eqs {
+            if self.eval_false(&expr) {
+                newly_false.push(var);
+            } else {
+                self.eqs.push((var, expr));
+            }
+        }
+        newly_false
+    }
+
+    /// Records falsified foreign variables; returns equation variables
+    /// that become false as a result.
+    pub fn apply_false(&mut self, vars: &[Var]) -> Vec<Var> {
+        if self.eqs.is_empty() {
+            return Vec::new();
+        }
+        for v in vars {
+            self.false_foreign.insert(*v);
+        }
+        let mut newly_false = Vec::new();
+        self.eqs.retain(|(var, expr)| {
+            let is_false = {
+                let ff = &self.false_foreign;
+                !expr.eval(&|v| !ff.contains(&v))
+            };
+            if is_false {
+                newly_false.push(*var);
+            }
+            !is_false
+        });
+        newly_false
+    }
+
+    /// Total size of the live equations (ops accounting).
+    pub fn total_size(&self) -> usize {
+        self.eqs.iter().map(|(_, e)| e.size()).sum()
+    }
+
+    fn eval_false(&self, expr: &BExpr) -> bool {
+        let ff = &self.false_foreign;
+        !expr.eval(&|v| !ff.contains(&v))
+    }
+}
+
+/// Per-variable extra subscribers registered by `Subscribe` rewiring
+/// messages at a third-party site.
+#[derive(Default, Debug)]
+pub struct ExtraSubscribers {
+    subs: HashMap<Var, Vec<SiteId>>,
+}
+
+impl ExtraSubscribers {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `to` for future falsifications of `var`.
+    pub fn register(&mut self, var: Var, to: SiteId) {
+        let subs = self.subs.entry(var).or_default();
+        if !subs.contains(&to) {
+            subs.push(to);
+        }
+    }
+
+    /// Extra destinations for a falsified `var`.
+    pub fn of(&self, var: Var) -> &[SiteId] {
+        self.subs.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+    use dgs_partition::Fragmentation;
+    use std::sync::Arc;
+
+    fn fig1_eval(site: usize) -> (LocalEval, dgs_graph::generate::social::Fig1) {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let (ev, _) = LocalEval::new(frag, site, Arc::new(w.pattern.clone()));
+        (ev, w)
+    }
+
+    #[test]
+    fn expander_reproduces_example6_equations() {
+        // Example 6: at F1, X(YF, yf1) = X(F, f2) and
+        // X(SP, sp1) = X(YF, yf2) ∨ X(F, f2).
+        let (ev, w) = fig1_eval(0);
+        let f = ev.fragmentation().fragment(0);
+        let mut ex = Expander::new(&ev, 10_000);
+
+        let yf1 = f.index_of(w.node("yf1")).unwrap();
+        let e = ex.extract(w.qnode("YF").0, yf1).unwrap();
+        assert_eq!(e, BExpr::Var(Var::new(w.qnode("F"), w.node("f2"))));
+
+        let sp1 = f.index_of(w.node("sp1")).unwrap();
+        let e = ex.extract(w.qnode("SP").0, sp1).unwrap();
+        assert_eq!(
+            e,
+            BExpr::or(vec![
+                BExpr::Var(Var::new(w.qnode("F"), w.node("f2"))),
+                BExpr::Var(Var::new(w.qnode("YF"), w.node("yf2"))),
+            ])
+        );
+    }
+
+    #[test]
+    fn expander_reproduces_example6_f2_yf2_equations() {
+        // At F2: X(F, f2) = X(SP, sp1); X(YF, yf2) = X(YF, yf3)
+        // (the latter via the local chain yf2 -> f3 -> sp2).
+        let (ev, w) = fig1_eval(1);
+        let f = ev.fragmentation().fragment(1);
+        let mut ex = Expander::new(&ev, 10_000);
+
+        let f2 = f.index_of(w.node("f2")).unwrap();
+        let e = ex.extract(w.qnode("F").0, f2).unwrap();
+        assert_eq!(e, BExpr::Var(Var::new(w.qnode("SP"), w.node("sp1"))));
+
+        let yf2 = f.index_of(w.node("yf2")).unwrap();
+        let e = ex.extract(w.qnode("YF").0, yf2).unwrap();
+        assert_eq!(e, BExpr::Var(Var::new(w.qnode("YF"), w.node("yf3"))));
+    }
+
+    #[test]
+    fn expander_budget_aborts() {
+        let (ev, w) = fig1_eval(1);
+        let f = ev.fragmentation().fragment(1);
+        let yf2 = f.index_of(w.node("yf2")).unwrap();
+        let mut ex = Expander::new(&ev, 1);
+        assert!(ex.extract(w.qnode("YF").0, yf2).is_none());
+    }
+
+    #[test]
+    fn gfp_elimination_on_local_cycle() {
+        // A fragment-local 2-cycle x <-> y with matching labels and a
+        // virtual anchor: X(A, x) should reduce over the virtual var
+        // only. Build: pattern A -> B -> A; graph x(A) -> y(B) -> x,
+        // y -> z(A virtual on other site), all on site 0 except z.
+        use dgs_graph::{GraphBuilder, Label, PatternBuilder};
+        let mut qb = PatternBuilder::new();
+        let a = qb.add_node(Label(0));
+        let b = qb.add_node(Label(1));
+        qb.add_edge(a, b);
+        qb.add_edge(b, a);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new();
+        let x = gb.add_node(Label(0));
+        let y = gb.add_node(Label(1));
+        let z = gb.add_node(Label(0));
+        gb.add_edge(x, y);
+        gb.add_edge(y, x);
+        gb.add_edge(y, z);
+        let g = gb.build();
+
+        let frag = Arc::new(Fragmentation::build(&g, &[0, 0, 1], 2));
+        let (ev, _) = LocalEval::new(frag, 0, Arc::new(q));
+        let f = ev.fragmentation().fragment(0);
+        let xi = f.index_of(x).unwrap();
+        let mut ex = Expander::new(&ev, 1_000);
+        // gfp: X(A,x) = X(B,y); X(B,y) = X(A,x) ∨ X(A,z); eliminating
+        // the cycle optimistically: X(A,x) = true ∨ X(A,z) = true.
+        let e = ex.extract(0, xi).unwrap();
+        assert_eq!(e, BExpr::TRUE);
+    }
+
+    #[test]
+    fn plan_push_fires_on_fig1() {
+        let (mut ev, _) = fig1_eval(0);
+        // F1: O' = 3, I' = 2, equations are tiny → benefit is large.
+        let plan = plan_push(&mut ev, 0.2, 10_000).expect("push should fire");
+        assert_eq!(plan.equations.len(), 2);
+        assert!(plan.benefit > 0.0);
+        // High theta suppresses the push.
+        let (mut ev2, _) = fig1_eval(0);
+        assert!(plan_push(&mut ev2, 1e9, 10_000).is_none());
+    }
+
+    #[test]
+    fn inlined_equations_lifecycle() {
+        let v1 = Var { q: 0, node: 1 };
+        let v2 = Var { q: 0, node: 2 };
+        let target = Var { q: 1, node: 9 };
+        let mut inl = InlinedEquations::new();
+        // target = v1 ∨ v2.
+        let pending = inl.add(vec![PushedEq {
+            var: target,
+            expr: BExpr::or(vec![BExpr::Var(v1), BExpr::Var(v2)]),
+        }]);
+        assert!(pending.is_empty());
+        assert_eq!(inl.len(), 1);
+        assert!(inl.apply_false(&[v1]).is_empty());
+        assert_eq!(inl.apply_false(&[v2]), vec![target]);
+        assert!(inl.is_empty());
+        // Equations already false on arrival are reported immediately.
+        let immediate = inl.add(vec![PushedEq {
+            var: target,
+            expr: BExpr::Var(v1),
+        }]);
+        assert_eq!(immediate, vec![target]);
+    }
+
+    #[test]
+    fn extra_subscribers_dedup() {
+        let v = Var { q: 0, node: 5 };
+        let mut subs = ExtraSubscribers::new();
+        subs.register(v, 3);
+        subs.register(v, 3);
+        subs.register(v, 1);
+        assert_eq!(subs.of(v), &[3, 1]);
+        assert!(subs.of(Var { q: 0, node: 6 }).is_empty());
+    }
+}

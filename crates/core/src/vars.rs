@@ -1,0 +1,153 @@
+//! Boolean variables `X(u,v)` and shared wire types.
+
+use dgs_graph::{NodeId, QNodeId};
+use dgs_net::WireSize;
+
+/// The Boolean variable `X(u,v)`: "does data node `v` match query node
+/// `u`?" (§4.1). Variables refer to nodes by *global* id so they are
+/// meaningful across sites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var {
+    /// The query node `u`.
+    pub q: u16,
+    /// The data node `v` (global id).
+    pub node: u32,
+}
+
+impl Var {
+    /// Builds a variable from typed ids.
+    pub fn new(q: QNodeId, node: NodeId) -> Self {
+        Var { q: q.0, node: node.0 }
+    }
+
+    /// The query node as a typed id.
+    pub fn qnode(self) -> QNodeId {
+        QNodeId(self.q)
+    }
+
+    /// The data node as a typed id.
+    pub fn node_id(self) -> NodeId {
+        NodeId(self.node)
+    }
+}
+
+impl WireSize for Var {
+    fn wire_size(&self) -> usize {
+        2 + 4
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X(u{},v{})", self.q, self.node)
+    }
+}
+
+/// Per-query-node match lists shipped to the coordinator during result
+/// collection (`Result`-class messages).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MatchLists(pub Vec<(u16, Vec<u32>)>);
+
+impl WireSize for MatchLists {
+    fn wire_size(&self) -> usize {
+        4 + self
+            .0
+            .iter()
+            .map(|(_, l)| 2 + 4 + 4 * l.len())
+            .sum::<usize>()
+    }
+}
+
+/// A shipped subgraph: `(node, label)` pairs plus edges over global
+/// ids. Used by the `Match` and `disHHK` baselines.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WireSubgraph {
+    /// Nodes as `(global id, label)`.
+    pub nodes: Vec<(u32, u16)>,
+    /// Edges over global ids.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl WireSize for WireSubgraph {
+    fn wire_size(&self) -> usize {
+        8 + 6 * self.nodes.len() + 8 * self.edges.len()
+    }
+}
+
+/// Accumulates per-site [`MatchLists`] into the final
+/// [`dgs_sim::MatchRelation`]
+/// at the coordinator (Phase 3 of the framework, Fig. 3).
+#[derive(Clone, Debug)]
+pub struct AnswerBuilder {
+    lists: Vec<Vec<u32>>,
+}
+
+impl AnswerBuilder {
+    /// Starts an empty answer over `nq` query nodes.
+    pub fn new(nq: usize) -> Self {
+        AnswerBuilder {
+            lists: vec![Vec::new(); nq],
+        }
+    }
+
+    /// Merges one site's local matches; returns the merge cost in
+    /// basic operations.
+    pub fn merge(&mut self, m: &MatchLists) -> u64 {
+        let mut ops = 0;
+        for (q, l) in &m.0 {
+            ops += l.len() as u64 + 1;
+            self.lists[*q as usize].extend_from_slice(l);
+        }
+        ops
+    }
+
+    /// Finalizes into the maximum match relation.
+    pub fn finish(self) -> dgs_sim::MatchRelation {
+        dgs_sim::MatchRelation::from_lists(
+            self.lists
+                .into_iter()
+                .map(|l| l.into_iter().map(NodeId).collect())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_builder_merges_sites() {
+        let mut b = AnswerBuilder::new(2);
+        b.merge(&MatchLists(vec![(0, vec![1]), (1, vec![2, 3])]));
+        b.merge(&MatchLists(vec![(0, vec![4]), (1, vec![])]));
+        let r = b.finish();
+        assert_eq!(r.matches_of(QNodeId(0)), &[NodeId(1), NodeId(4)]);
+        assert_eq!(r.matches_of(QNodeId(1)), &[NodeId(2), NodeId(3)]);
+        assert!(r.is_total());
+    }
+
+    #[test]
+    fn var_roundtrip() {
+        let v = Var::new(QNodeId(3), NodeId(42));
+        assert_eq!(v.qnode(), QNodeId(3));
+        assert_eq!(v.node_id(), NodeId(42));
+        assert_eq!(v.wire_size(), 6);
+        assert_eq!(v.to_string(), "X(u3,v42)");
+    }
+
+    #[test]
+    fn match_lists_wire_size() {
+        let m = MatchLists(vec![(0, vec![1, 2, 3]), (1, vec![])]);
+        assert_eq!(m.wire_size(), 4 + (2 + 4 + 12) + (2 + 4));
+    }
+
+    #[test]
+    fn subgraph_wire_size() {
+        let s = WireSubgraph {
+            nodes: vec![(0, 1), (1, 1)],
+            edges: vec![(0, 1)],
+        };
+        assert_eq!(s.wire_size(), 8 + 12 + 8);
+    }
+}

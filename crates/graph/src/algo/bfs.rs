@@ -1,0 +1,106 @@
+//! Breadth-first distances over graphs and patterns.
+
+use crate::graph::{Graph, NodeId};
+use crate::pattern::{Pattern, QNodeId};
+
+/// Unreached marker in distance vectors.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `source` following out-edges; unreachable nodes
+/// get [`UNREACHED`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in g.successors(v) {
+            if dist[w.index()] == UNREACHED {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances from `source` in a pattern, following query edges.
+pub fn bfs_distances_pattern(q: &Pattern, source: QNodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; q.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        for &c in q.children(u) {
+            if dist[c.index()] == UNREACHED {
+                dist[c.index()] = d + 1;
+                queue.push_back(c);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::label::Label;
+    use crate::pattern::PatternBuilder;
+
+    #[test]
+    fn chain_distances() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d[2], UNREACHED);
+    }
+
+    #[test]
+    fn directed_only() {
+        // 1 -> 0: node 1 is not reachable *from* 0.
+        let mut b = GraphBuilder::new();
+        b.add_nodes(2, Label(0));
+        b.add_edge(NodeId(1), NodeId(0));
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d, vec![0, UNREACHED]);
+    }
+
+    #[test]
+    fn shortest_of_two_paths() {
+        // 0 -> 1 -> 2, 0 -> 2.
+        let mut b = GraphBuilder::new();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    fn pattern_bfs() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        let e = b.add_node(Label(2));
+        b.add_edge(a, c);
+        b.add_edge(c, e);
+        let d = bfs_distances_pattern(&b.build(), a);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph algorithms used by the simulation engines.
+//!
+//! * [`tarjan`] — strongly connected components and DAG detection
+//!   (`dGPMd` must check whether `Q`/`G` is a DAG, §5.1);
+//! * [`topo`] — topological ranks `r(u)` that drive `dGPMd`'s message
+//!   scheduling;
+//! * [`bfs`] — breadth-first distances;
+//! * [`diameter`] — the pattern diameter `d` (longest shortest path),
+//!   which bounds the number of rank rounds of `dGPMd`.
+
+pub mod bfs;
+pub mod diameter;
+pub mod tarjan;
+pub mod topo;
+
+pub use bfs::{bfs_distances, bfs_distances_pattern};
+pub use diameter::{pattern_diameter, pattern_longest_path};
+pub use tarjan::{graph_is_dag, pattern_is_dag, strongly_connected_components, PatternView, SccView};
+pub use topo::{graph_topo_ranks, pattern_topo_ranks};

@@ -1,0 +1,237 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+//!
+//! The paper's `dGPMd` applies whenever the pattern or the data graph
+//! is a DAG; Tarjan gives the linear-time acyclicity check (§5.1 cites
+//! [Tarjan '72]). The implementation is iterative (explicit stack) so
+//! that multi-million-node graphs do not overflow the call stack.
+
+use crate::graph::{Graph, NodeId};
+use crate::pattern::{Pattern, QNodeId};
+
+/// Adapter trait so Tarjan runs over both [`Graph`] and [`Pattern`].
+pub trait SccView {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Successor indices of node `v`.
+    fn succ(&self, v: usize) -> &[Self::Node]
+    where
+        Self: Sized;
+    /// Node handle type (only its index is used).
+    type Node: Copy;
+    /// Dense index of a node handle.
+    fn idx(node: Self::Node) -> usize;
+}
+
+impl SccView for Graph {
+    type Node = NodeId;
+    fn n(&self) -> usize {
+        self.node_count()
+    }
+    fn succ(&self, v: usize) -> &[NodeId] {
+        self.successors(NodeId(v as u32))
+    }
+    fn idx(node: NodeId) -> usize {
+        node.index()
+    }
+}
+
+/// Adapter over [`Pattern`] for SCC computation.
+pub struct PatternView<'a>(pub &'a Pattern);
+
+impl SccView for PatternView<'_> {
+    type Node = QNodeId;
+    fn n(&self) -> usize {
+        self.0.node_count()
+    }
+    fn succ(&self, v: usize) -> &[QNodeId] {
+        self.0.children(QNodeId(v as u16))
+    }
+    fn idx(node: QNodeId) -> usize {
+        node.index()
+    }
+}
+
+/// Computes strongly connected components; returns `(component_of,
+/// component_count)` where components are numbered in *reverse
+/// topological order* of the condensation (Tarjan's output order:
+/// a component's successors always have smaller component ids).
+pub fn strongly_connected_components<V: SccView>(view: &V) -> (Vec<u32>, usize) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = view.n();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS frame: (node, next successor position).
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        dfs.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = dfs.last_mut() {
+            let succs = view.succ(v);
+            if *pos < succs.len() {
+                let w = V::idx(succs[*pos]);
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // v is the root of an SCC; pop it off the stack.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = comp_count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// True iff the component containing `v` is trivial (size 1, no
+/// self-loop) for every node, i.e. the structure is a DAG.
+fn is_dag<V: SccView>(view: &V) -> bool {
+    let n = view.n();
+    let (comp, count) = strongly_connected_components(view);
+    if count != n {
+        return false;
+    }
+    // Every SCC trivial; still need to reject self-loops.
+    let _ = comp;
+    for v in 0..n {
+        if view.succ(v).iter().any(|&w| V::idx(w) == v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True iff the data graph is acyclic.
+pub fn graph_is_dag(g: &Graph) -> bool {
+    is_dag(g)
+}
+
+/// True iff the pattern is acyclic.
+pub fn pattern_is_dag(q: &Pattern) -> bool {
+    is_dag(&PatternView(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::label::Label;
+    use crate::pattern::PatternBuilder;
+
+    fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(n, Label(0));
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn dag_detected() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(graph_is_dag(&g));
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!graph_is_dag(&g));
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn self_loop_is_not_dag() {
+        let g = graph_from_edges(2, &[(0, 0), (0, 1)]);
+        assert!(!graph_is_dag(&g));
+    }
+
+    #[test]
+    fn two_sccs_plus_bridge() {
+        // SCC {0,1}, SCC {2,3}, bridge 1 -> 2.
+        let g = graph_from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        // Reverse topological numbering: successor SCC gets the smaller id.
+        assert!(comp[2] < comp[0]);
+    }
+
+    #[test]
+    fn pattern_acyclicity() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c);
+        assert!(pattern_is_dag(&b.clone().build()));
+        b.add_edge(c, a);
+        assert!(!pattern_is_dag(&b.build()));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3), (3, 2)]);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4); // {0}, {1}, {2,3}, {4}
+        assert!(!graph_is_dag(&g));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 200k-node chain: a recursive Tarjan would overflow here.
+        let n = 200_000;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(n as usize, &edges);
+        assert!(graph_is_dag(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(0, &[]);
+        assert!(graph_is_dag(&g));
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 0);
+        assert!(comp.is_empty());
+    }
+}

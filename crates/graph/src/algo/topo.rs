@@ -1,0 +1,159 @@
+//! Topological ranks for DAGs.
+//!
+//! §5.1 of the paper: "The rank `r(u)` of a node `u` in a DAG `Q` is
+//! defined as follows: (a) `r(u) = 0` if `u` has no child; (b)
+//! otherwise `r(u) = max(r(u')) + 1` for each child `u'` of `u`."
+//!
+//! `dGPMd` ships Boolean variables in batches ordered by the rank of
+//! their query node; rank `r(u)` variables depend only on ranks `< r`,
+//! so `max_rank + 1` synchronized rounds suffice.
+
+use crate::algo::tarjan::{PatternView, SccView};
+use crate::graph::Graph;
+use crate::pattern::Pattern;
+
+/// Computes ranks by reverse-topological dynamic programming using
+/// Kahn's algorithm on *out*-degrees (sinks first).
+///
+/// Returns `None` if the structure contains a cycle.
+fn topo_ranks<V: SccView>(view: &V) -> Option<Vec<u32>> {
+    let n = view.n();
+    // out_deg[v] = number of children not yet ranked.
+    let mut out_deg = vec![0u32; n];
+    // Reverse adjacency built on the fly (we only have succ()).
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (v, deg) in out_deg.iter_mut().enumerate() {
+        let succs = view.succ(v);
+        *deg = succs.len() as u32;
+        for &w in succs {
+            rev[V::idx(w)].push(v as u32);
+        }
+    }
+    let mut rank = vec![0u32; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&v| out_deg[v] == 0).collect();
+    let mut processed = 0usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        processed += 1;
+        for &p in &rev[v] {
+            let p = p as usize;
+            rank[p] = rank[p].max(rank[v] + 1);
+            out_deg[p] -= 1;
+            if out_deg[p] == 0 {
+                queue.push(p);
+            }
+        }
+    }
+    (processed == n).then_some(rank)
+}
+
+/// Ranks of all pattern nodes; `None` if `Q` is cyclic.
+pub fn pattern_topo_ranks(q: &Pattern) -> Option<Vec<u32>> {
+    topo_ranks(&PatternView(q))
+}
+
+/// Ranks of all data-graph nodes; `None` if `G` is cyclic.
+pub fn graph_topo_ranks(g: &Graph) -> Option<Vec<u32>> {
+    topo_ranks(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, NodeId};
+    use crate::label::Label;
+    use crate::pattern::PatternBuilder;
+
+    #[test]
+    fn path_ranks() {
+        // 0 -> 1 -> 2: r(2)=0, r(1)=1, r(0)=2.
+        let mut b = PatternBuilder::new();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        let n2 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        let ranks = pattern_topo_ranks(&b.build()).unwrap();
+        assert_eq!(ranks, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn paper_example9_ranks() {
+        // Q'' of Example 9: YB1 -> {YF, F}; YF -> SP; F -> SP;
+        // SP -> YB2; YB2 -> FB. Ranks: FB=0, YB2=1, SP=2, YF=F=3, YB1=4.
+        let mut b = PatternBuilder::new();
+        let yb1 = b.add_node(Label(0));
+        let yf = b.add_node(Label(1));
+        let f = b.add_node(Label(2));
+        let sp = b.add_node(Label(3));
+        let yb2 = b.add_node(Label(0));
+        let fb = b.add_node(Label(4));
+        b.add_edge(yb1, yf);
+        b.add_edge(yb1, f);
+        b.add_edge(yf, sp);
+        b.add_edge(f, sp);
+        b.add_edge(sp, yb2);
+        b.add_edge(yb2, fb);
+        let ranks = pattern_topo_ranks(&b.build()).unwrap();
+        assert_eq!(ranks[fb.index()], 0);
+        assert_eq!(ranks[yb2.index()], 1);
+        assert_eq!(ranks[sp.index()], 2);
+        assert_eq!(ranks[yf.index()], 3);
+        assert_eq!(ranks[f.index()], 3);
+        assert_eq!(ranks[yb1.index()], 4);
+    }
+
+    #[test]
+    fn cyclic_pattern_returns_none() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        assert!(pattern_topo_ranks(&b.build()).is_none());
+    }
+
+    #[test]
+    fn diamond_graph_ranks() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(3));
+        b.add_edge(NodeId(2), NodeId(3));
+        let ranks = graph_topo_ranks(&b.build()).unwrap();
+        assert_eq!(ranks, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn rank_dominates_all_children() {
+        // Rank must be max over children + 1, not just any child.
+        // 0 -> 1 -> 2 -> 3 and 0 -> 3.
+        let mut b = GraphBuilder::new();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.add_edge(NodeId(0), NodeId(3));
+        let ranks = graph_topo_ranks(&b.build()).unwrap();
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn isolated_nodes_rank_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(3, Label(0));
+        let ranks = graph_topo_ranks(&b.build()).unwrap();
+        assert_eq!(ranks, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(1, Label(0));
+        b.add_edge(NodeId(0), NodeId(0));
+        assert!(graph_topo_ranks(&b.build()).is_none());
+    }
+}

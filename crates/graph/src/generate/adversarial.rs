@@ -1,0 +1,150 @@
+//! The adversarial families of the impossibility theorem (Fig. 2).
+//!
+//! Theorem 1 is proved on the pattern `Q0` (the 2-cycle A ⇄ B) and the
+//! graph `G0`: a ring `A1 → B1 → A2 → B2 → ... → An → Bn → A1` where
+//! fragment `Gi` holds the single edge `(Ai, Bi)` plus the virtual node
+//! `A(i+1)`. Deciding whether `G0` matches `Q0` requires information to
+//! travel around the whole ring, so no algorithm can answer in time (or
+//! shipment) independent of `n` even though `|Q0|` and every `|Fi|` are
+//! constants.
+//!
+//! * [`q0`] — the 2-cycle pattern;
+//! * [`cycle_graph`] — the intact ring (`Q0(G0) = true`, every node
+//!   matches);
+//! * [`broken_cycle_graph`] — the ring with the closing edge removed
+//!   (`Q0(G) = false`; falsification must propagate around the whole
+//!   ring, which is what the response-time experiment measures);
+//! * [`per_pair_assignment`] — one `(Ai, Bi)` pair per site (constant
+//!   `|Fm|`, `|F| = n`, the Theorem 1(1) setup);
+//! * [`bipartite_assignment`] — all A nodes on site 0, all B nodes on
+//!   site 1 (constant `|F| = 2`, the Theorem 1(2) setup where shipment
+//!   must grow with `n`).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::label::Label;
+use crate::pattern::{Pattern, PatternBuilder};
+
+/// Label of the A nodes.
+pub const LABEL_A: Label = Label(0);
+/// Label of the B nodes.
+pub const LABEL_B: Label = Label(1);
+
+/// The Boolean pattern `Q0`: `A → B` and `B → A`.
+pub fn q0() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let a = b.add_node(LABEL_A);
+    let bb = b.add_node(LABEL_B);
+    b.add_edge(a, bb);
+    b.add_edge(bb, a);
+    b.build()
+}
+
+/// Node id of `Ai` (1-based `i`) in the ring graphs.
+pub fn a_node(i: usize) -> NodeId {
+    NodeId((2 * (i - 1)) as u32)
+}
+
+/// Node id of `Bi` (1-based `i`) in the ring graphs.
+pub fn b_node(i: usize) -> NodeId {
+    NodeId((2 * (i - 1) + 1) as u32)
+}
+
+fn ring(n: usize, close: bool) -> Graph {
+    assert!(n >= 1, "need at least one pair");
+    let mut gb = GraphBuilder::with_capacity(2 * n, 2 * n);
+    for _ in 0..n {
+        gb.add_node(LABEL_A);
+        gb.add_node(LABEL_B);
+    }
+    for i in 1..=n {
+        gb.add_edge(a_node(i), b_node(i));
+        if i < n {
+            gb.add_edge(b_node(i), a_node(i + 1));
+        }
+    }
+    if close {
+        gb.add_edge(b_node(n), a_node(1));
+    }
+    gb.build()
+}
+
+/// The intact ring `G0` with `n` A/B pairs; matches `Q0` everywhere.
+pub fn cycle_graph(n: usize) -> Graph {
+    ring(n, true)
+}
+
+/// The ring with the closing edge `(Bn, A1)` removed; `Q0` has no
+/// match, and the falsification starting at `Bn` must propagate
+/// through all `2n` nodes.
+pub fn broken_cycle_graph(n: usize) -> Graph {
+    ring(n, false)
+}
+
+/// Site assignment placing pair `(Ai, Bi)` on site `i - 1`
+/// (`|F| = n`, `|Fm|` constant — the Theorem 1(1) fragmentation).
+pub fn per_pair_assignment(n: usize) -> Vec<usize> {
+    (0..n).flat_map(|i| [i, i]).collect()
+}
+
+/// Site assignment placing every A node on site 0 and every B node on
+/// site 1 (`|F| = 2` — the Theorem 1(2) fragmentation where every ring
+/// edge crosses sites).
+pub fn bipartite_assignment(n: usize) -> Vec<usize> {
+    (0..n).flat_map(|_| [0, 1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q0_shape() {
+        let q = q0();
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 2);
+        assert!(!crate::algo::pattern_is_dag(&q));
+    }
+
+    #[test]
+    fn cycle_graph_shape() {
+        let g = cycle_graph(4);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        // Ring: every node has out-degree and in-degree 1.
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+        assert!(g.has_edge(b_node(4), a_node(1)));
+    }
+
+    #[test]
+    fn broken_cycle_misses_closing_edge() {
+        let g = broken_cycle_graph(4);
+        assert_eq!(g.edge_count(), 7);
+        assert!(!g.has_edge(b_node(4), a_node(1)));
+        assert_eq!(g.out_degree(b_node(4)), 0);
+    }
+
+    #[test]
+    fn labels_alternate() {
+        let g = cycle_graph(3);
+        for i in 1..=3 {
+            assert_eq!(g.label(a_node(i)), LABEL_A);
+            assert_eq!(g.label(b_node(i)), LABEL_B);
+        }
+    }
+
+    #[test]
+    fn assignments() {
+        assert_eq!(per_pair_assignment(3), vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(bipartite_assignment(3), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn single_pair_ring_is_two_cycle() {
+        let g = cycle_graph(1);
+        assert!(g.has_edge(a_node(1), b_node(1)));
+        assert!(g.has_edge(b_node(1), a_node(1)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Pattern-query generators.
+//!
+//! The paper's experiments use (a) "20 cyclic patterns" of a given size
+//! `|Q| = (|Vq|, |Eq|)` (Exp-1/3) and (b) sets of DAG patterns whose
+//! diameter `d` is swept from 2 to 8 (Exp-2). These generators
+//! reproduce that protocol deterministically from a seed.
+
+use crate::label::Label;
+use crate::pattern::{Pattern, PatternBuilder, QNodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random *cyclic* connected pattern with `nq` nodes and `eq` edges
+/// (`eq >= nq` required so a cycle plus connectivity fits), labels
+/// uniform over `0..num_labels`.
+///
+/// Construction: a directed cycle over the first `k = max(2, nq/2)`
+/// nodes guarantees cyclicity; the remaining nodes are attached by a
+/// random edge to/from the existing component (connectivity); leftover
+/// edge budget becomes uniform random extra edges.
+pub fn random_cyclic(nq: usize, eq: usize, num_labels: usize, seed: u64) -> Pattern {
+    assert!(nq >= 2, "cyclic pattern needs >= 2 nodes");
+    assert!(eq >= nq, "need eq >= nq to be cyclic and connected");
+    assert!(num_labels > 0, "need at least one label");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = PatternBuilder::new();
+    for _ in 0..nq {
+        b.add_node(Label(rng.gen_range(0..num_labels) as u16));
+    }
+    let mut edges = 0usize;
+    let k = (nq / 2).max(2);
+    for i in 0..k {
+        b.add_edge(QNodeId(i as u16), QNodeId(((i + 1) % k) as u16));
+        edges += 1;
+    }
+    for i in k..nq {
+        let other = QNodeId(rng.gen_range(0..i) as u16);
+        let node = QNodeId(i as u16);
+        if rng.gen_bool(0.5) {
+            b.add_edge(other, node);
+        } else {
+            b.add_edge(node, other);
+        }
+        edges += 1;
+    }
+    // Extra edges; avoid self-loops and duplicates by resampling.
+    let mut have: std::collections::HashSet<(u16, u16)> = std::collections::HashSet::new();
+    for i in 0..k {
+        have.insert((i as u16, ((i + 1) % k) as u16));
+    }
+    let mut attempts = 0;
+    while edges < eq && attempts < 50 * eq {
+        attempts += 1;
+        let u = rng.gen_range(0..nq) as u16;
+        let v = rng.gen_range(0..nq) as u16;
+        if u == v || !have.insert((u, v)) {
+            continue;
+        }
+        b.add_edge(QNodeId(u), QNodeId(v));
+        edges += 1;
+    }
+    b.build()
+}
+
+/// A random DAG pattern with `nq` nodes, about `eq` edges, and longest
+/// directed path exactly `depth` (the quantity that bounds `dGPMd`'s
+/// rank rounds; the paper calls it the diameter `d`).
+///
+/// Every node gets a level in `0..=depth` and edges only go from level
+/// `l` to a strictly larger level, so no path exceeds `depth`; a
+/// backbone path through all levels guarantees `depth` is attained.
+pub fn random_dag_with_depth(
+    nq: usize,
+    eq: usize,
+    depth: usize,
+    num_labels: usize,
+    seed: u64,
+) -> Pattern {
+    assert!(nq > depth, "need nq >= depth + 1 nodes");
+    assert!(eq >= nq.saturating_sub(1), "need eq >= nq - 1 for connectivity");
+    assert!(num_labels > 0, "need at least one label");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = PatternBuilder::new();
+    // Nodes 0..=depth form the backbone at levels 0..=depth; the rest
+    // get random levels.
+    let mut level = Vec::with_capacity(nq);
+    for i in 0..nq {
+        b.add_node(Label(rng.gen_range(0..num_labels) as u16));
+        level.push(if i <= depth {
+            i
+        } else {
+            rng.gen_range(0..=depth)
+        });
+    }
+    let mut have = std::collections::HashSet::new();
+    let mut edges = 0usize;
+    // Backbone.
+    for i in 0..depth {
+        b.add_edge(QNodeId(i as u16), QNodeId((i + 1) as u16));
+        have.insert((i as u16, (i + 1) as u16));
+        edges += 1;
+    }
+    // Connect every non-backbone node to the component, respecting
+    // levels.
+    for i in (depth + 1)..nq {
+        let li = level[i];
+        // Pick any earlier node with a different level; the backbone
+        // spans all levels so one always exists.
+        let j = loop {
+            let j = rng.gen_range(0..i);
+            if level[j] != li {
+                break j;
+            }
+        };
+        let (src, dst) = if level[j] < li { (j, i) } else { (i, j) };
+        if have.insert((src as u16, dst as u16)) {
+            b.add_edge(QNodeId(src as u16), QNodeId(dst as u16));
+            edges += 1;
+        }
+    }
+    // Extra forward edges.
+    let mut attempts = 0;
+    while edges < eq && attempts < 50 * eq {
+        attempts += 1;
+        let u = rng.gen_range(0..nq);
+        let v = rng.gen_range(0..nq);
+        if level[u] >= level[v] {
+            continue;
+        }
+        if !have.insert((u as u16, v as u16)) {
+            continue;
+        }
+        b.add_edge(QNodeId(u as u16), QNodeId(v as u16));
+        edges += 1;
+    }
+    b.build()
+}
+
+/// A simple directed path pattern `u0 → u1 → ... → u(len)` with the
+/// given labels (cycling if fewer labels than nodes are supplied).
+pub fn path_pattern(len: usize, labels: &[Label]) -> Pattern {
+    assert!(!labels.is_empty(), "need at least one label");
+    let mut b = PatternBuilder::new();
+    for i in 0..=len {
+        b.add_node(labels[i % labels.len()]);
+    }
+    for i in 0..len {
+        b.add_edge(QNodeId(i as u16), QNodeId((i + 1) as u16));
+    }
+    b.build()
+}
+
+/// Generates `count` seeded variants of a cyclic pattern family, as the
+/// paper averages results over 20 queries of fixed size.
+pub fn cyclic_family(
+    count: usize,
+    nq: usize,
+    eq: usize,
+    num_labels: usize,
+    seed: u64,
+) -> Vec<Pattern> {
+    (0..count)
+        .map(|i| random_cyclic(nq, eq, num_labels, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Generates `count` seeded DAG patterns with fixed size and depth.
+pub fn dag_family(
+    count: usize,
+    nq: usize,
+    eq: usize,
+    depth: usize,
+    num_labels: usize,
+    seed: u64,
+) -> Vec<Pattern> {
+    (0..count)
+        .map(|i| random_dag_with_depth(nq, eq, depth, num_labels, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{pattern_diameter, pattern_is_dag, pattern_longest_path};
+
+    #[test]
+    fn cyclic_pattern_is_cyclic_and_sized() {
+        for seed in 0..20 {
+            let q = random_cyclic(5, 10, 15, seed);
+            assert_eq!(q.node_count(), 5);
+            assert!(q.edge_count() >= 5 && q.edge_count() <= 10);
+            assert!(!pattern_is_dag(&q), "seed {seed} produced a DAG");
+        }
+    }
+
+    #[test]
+    fn cyclic_pattern_deterministic() {
+        assert_eq!(random_cyclic(6, 12, 15, 3), random_cyclic(6, 12, 15, 3));
+    }
+
+    #[test]
+    fn dag_pattern_has_exact_depth() {
+        for d in 2..=8 {
+            let q = random_dag_with_depth(9, 13, d, 15, 100 + d as u64);
+            assert_eq!(q.node_count(), 9);
+            assert!(pattern_is_dag(&q), "depth {d} not a DAG");
+            assert_eq!(
+                pattern_longest_path(&q),
+                Some(d as u32),
+                "depth {d} wrong longest path"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_pattern_deterministic() {
+        assert_eq!(
+            random_dag_with_depth(9, 13, 4, 15, 5),
+            random_dag_with_depth(9, 13, 4, 15, 5)
+        );
+    }
+
+    #[test]
+    fn path_pattern_shape() {
+        let q = path_pattern(3, &[Label(0), Label(1)]);
+        assert_eq!(q.node_count(), 4);
+        assert_eq!(q.edge_count(), 3);
+        assert_eq!(pattern_diameter(&q), 3);
+        assert_eq!(q.label(QNodeId(0)), Label(0));
+        assert_eq!(q.label(QNodeId(1)), Label(1));
+        assert_eq!(q.label(QNodeId(2)), Label(0));
+    }
+
+    #[test]
+    fn families_have_distinct_members() {
+        let fam = cyclic_family(20, 5, 10, 15, 7);
+        assert_eq!(fam.len(), 20);
+        assert!(fam.windows(2).any(|w| w[0] != w[1]));
+        let dfam = dag_family(5, 9, 13, 4, 15, 9);
+        assert_eq!(dfam.len(), 5);
+        for q in &dfam {
+            assert_eq!(pattern_longest_path(q), Some(4));
+        }
+    }
+}

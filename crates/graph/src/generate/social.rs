@@ -1,0 +1,378 @@
+//! The paper's Fig. 1 running example and scalable social graphs.
+//!
+//! [`fig1`] reconstructs the exact 13-node social graph, 4-node pattern
+//! and 3-site fragmentation of Fig. 1, validated against Examples 2,
+//! 4, 5, 6 and 7 of the paper (the expected match relation, crossing
+//! edges, in-node sets and Boolean equations). It is used by the
+//! quickstart example and as a golden test across the whole workspace.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::label::{Label, LabelInterner};
+use crate::pattern::{Pattern, PatternBuilder, QNodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The Fig. 1 workload: graph, pattern, site assignment and name maps.
+pub struct Fig1 {
+    /// The 13-node social graph `G`.
+    pub graph: Graph,
+    /// The 4-node pattern `Q` (YB, F, YF, SP with the recommendation
+    /// cycle).
+    pub pattern: Pattern,
+    /// Site of each graph node (3 sites, matching `F1, F2, F3`).
+    pub assignment: Vec<usize>,
+    /// Human-readable node names (`"yb1"`, `"f3"`, ...), indexed by
+    /// node id.
+    pub node_names: Vec<&'static str>,
+    /// Human-readable query-node names (`"YB"`, ...), indexed by query
+    /// node id.
+    pub query_names: Vec<&'static str>,
+    /// The label alphabet (YB, F, YF, SP).
+    pub labels: LabelInterner,
+}
+
+impl Fig1 {
+    /// Node id of a named node.
+    pub fn node(&self, name: &str) -> NodeId {
+        let idx = self
+            .node_names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown fig1 node {name:?}"));
+        NodeId(idx as u32)
+    }
+
+    /// Query node id of a named pattern node.
+    pub fn qnode(&self, name: &str) -> QNodeId {
+        let idx = self
+            .query_names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown fig1 query node {name:?}"));
+        QNodeId(idx as u16)
+    }
+
+    /// The paper's expected maximum match (Example 2): YB ↦ {yb2, yb3},
+    /// F ↦ {f2, f3, f4}, YF ↦ all yf, SP ↦ all sp.
+    pub fn expected_matches(&self) -> Vec<(QNodeId, NodeId)> {
+        let pairs = [
+            ("YB", "yb2"),
+            ("YB", "yb3"),
+            ("F", "f2"),
+            ("F", "f3"),
+            ("F", "f4"),
+            ("YF", "yf1"),
+            ("YF", "yf2"),
+            ("YF", "yf3"),
+            ("SP", "sp1"),
+            ("SP", "sp2"),
+            ("SP", "sp3"),
+        ];
+        pairs
+            .iter()
+            .map(|&(q, v)| (self.qnode(q), self.node(v)))
+            .collect()
+    }
+}
+
+/// Builds the Fig. 1 workload.
+pub fn fig1() -> Fig1 {
+    let mut labels = LabelInterner::new();
+    let yb_l = labels.intern("YB");
+    let f_l = labels.intern("F");
+    let yf_l = labels.intern("YF");
+    let sp_l = labels.intern("SP");
+
+    // Pattern Q: YB -> F, YB -> YF, plus the recommendation cycle
+    // YF -> F -> SP -> YF (Example 6 names the query edges (YF, F) and
+    // (SP, YF)).
+    let mut qb = PatternBuilder::new();
+    let q_yb = qb.add_node(yb_l);
+    let q_f = qb.add_node(f_l);
+    let q_yf = qb.add_node(yf_l);
+    let q_sp = qb.add_node(sp_l);
+    qb.add_edge(q_yb, q_f);
+    qb.add_edge(q_yb, q_yf);
+    qb.add_edge(q_yf, q_f);
+    qb.add_edge(q_f, q_sp);
+    qb.add_edge(q_sp, q_yf);
+    let pattern = qb.build();
+
+    // Graph nodes per fragment (Examples 4-7):
+    //   F1: yb1, f1, yf1, sp1        (in-nodes yf1, sp1)
+    //   F2: f2, yf2, f3, yb2, sp2    (in-nodes f2, yf2)
+    //   F3: f4, sp3, yf3, yb3        (in-nodes f4, sp3, yf3)
+    let names = [
+        "yb1", "f1", "yf1", "sp1", // F1
+        "f2", "yf2", "f3", "yb2", "sp2", // F2
+        "f4", "sp3", "yf3", "yb3", // F3
+    ];
+    let node_label = |name: &str| -> Label {
+        match &name[..name.len() - 1] {
+            "yb" => yb_l,
+            "f" => f_l,
+            "yf" => yf_l,
+            "sp" => sp_l,
+            other => panic!("bad name prefix {other}"),
+        }
+    };
+    let mut gb = GraphBuilder::new();
+    for name in names {
+        gb.add_node(node_label(name));
+    }
+    let id = |name: &str| NodeId(names.iter().position(|&n| n == name).unwrap() as u32);
+
+    // Edges, annotated with provenance from the paper's examples.
+    let edges: &[(&str, &str)] = &[
+        // F1-local
+        ("yb1", "yf1"), // yb1 has no F successor -> X(YB,yb1) = false
+        ("sp1", "yf1"),
+        // F1 crossing (Example 4): (f1,f4), (yf1,f2), (sp1,yf2), (sp1,f2)
+        ("f1", "f4"), // f1 has no SP successor -> X(F,f1) = false (Example 2)
+        ("yf1", "f2"),
+        ("sp1", "yf2"),
+        ("sp1", "f2"), // label-irrelevant for SP's query children
+        // F2-local: the chain yf2 -> f3 -> sp2 behind Example 6's
+        // reduction X(YF,yf2) = X(YF,yf3)
+        ("yf2", "f3"),
+        ("f3", "sp2"),
+        ("yb2", "f3"),
+        ("yb2", "yf2"),
+        // F2 crossing
+        ("f2", "sp1"),
+        ("sp2", "yf3"),
+        ("yb2", "sp3"), // makes sp3 an in-node annotated to S2 (Example 5)
+        // F3-local
+        ("f4", "sp3"),
+        ("yf3", "f4"),
+        ("yb3", "f4"),
+        ("yb3", "yf3"),
+        // F3 crossing
+        ("sp3", "yf1"),
+    ];
+    for &(u, v) in edges {
+        gb.add_edge(id(u), id(v));
+    }
+    let graph = gb.build();
+    let assignment = vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2];
+
+    Fig1 {
+        graph,
+        pattern,
+        assignment,
+        node_names: names.to_vec(),
+        query_names: vec!["YB", "F", "YF", "SP"],
+        labels,
+    }
+}
+
+/// A scalable social-recommendation graph in the spirit of Fig. 1:
+/// `n` nodes over `num_labels` interest labels, `m` background
+/// recommendation edges (web-like), plus `implanted` guaranteed copies
+/// of `pattern`. Returns the graph (the pattern is supplied by the
+/// caller).
+pub fn social_network(
+    n: usize,
+    m: usize,
+    num_labels: usize,
+    pattern: &Pattern,
+    implanted: usize,
+    seed: u64,
+) -> Graph {
+    assert!(n > 0, "need at least one node");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n + implanted * pattern.node_count(), m);
+    for _ in 0..n {
+        b.add_node(Label(rng.gen_range(0..num_labels) as u16));
+    }
+    // Background edges with mild preferential attachment.
+    let mut pool: Vec<u32> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = if !pool.is_empty() && rng.gen_bool(0.5) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            rng.gen_range(0..n as u32)
+        };
+        b.add_edge(NodeId(u), NodeId(v));
+        pool.push(v);
+    }
+    super::implant_pattern(&mut b, pattern, implanted, &mut rng);
+    b.build()
+}
+
+/// A community-structured social-recommendation graph: like
+/// [`social_network`], but nodes live in `k` communities (node `v` in
+/// community `v % k` among the first `n` background nodes) and each
+/// background edge stays inside its community with probability
+/// `1 − cross_fraction`. Implanted pattern copies are appended after
+/// the background nodes.
+///
+/// Geo-distributed social graphs have exactly this shape (users
+/// cluster by region/data center, §1 of the paper), which is what
+/// makes low-crossing fragmentations possible in practice.
+#[allow(clippy::too_many_arguments)]
+pub fn community_social_network(
+    n: usize,
+    m: usize,
+    k: usize,
+    cross_fraction: f64,
+    num_labels: usize,
+    pattern: &Pattern,
+    implanted: usize,
+    seed: u64,
+) -> Graph {
+    assert!(n >= k && k > 0, "need n >= k >= 1");
+    assert!((0.0..=1.0).contains(&cross_fraction), "fraction in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n + implanted * pattern.node_count(), m);
+    for _ in 0..n {
+        b.add_node(Label(rng.gen_range(0..num_labels) as u16));
+    }
+    let members_of = |c: usize| -> u32 { (n - c).div_ceil(k) as u32 };
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let c = u as usize % k;
+        let v = if rng.gen_bool(cross_fraction) {
+            rng.gen_range(0..n as u32)
+        } else {
+            (rng.gen_range(0..members_of(c)) as usize * k + c) as u32
+        };
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    super::implant_pattern(&mut b, pattern, implanted, &mut rng);
+    b.build()
+}
+
+/// Site assignment for [`community_social_network`]: background node
+/// `v` on site `v % k`; implanted nodes follow their anchor's
+/// community round-robin by id.
+pub fn community_social_assignment(total_nodes: usize, k: usize) -> Vec<usize> {
+    (0..total_nodes).map(|v| v % k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let w = fig1();
+        assert_eq!(w.graph.node_count(), 13);
+        assert_eq!(w.pattern.node_count(), 4);
+        assert_eq!(w.pattern.edge_count(), 5);
+        assert_eq!(w.assignment.len(), 13);
+        assert_eq!(w.labels.len(), 4);
+    }
+
+    #[test]
+    fn fig1_crossing_edges_of_f1_match_example4() {
+        let w = fig1();
+        // Example 4: crossing edges of F1 are (f1,f4), (yf1,f2),
+        // (sp1,yf2), (sp1,f2).
+        let crossing: Vec<(&str, &str)> = w
+            .graph
+            .edges()
+            .filter(|&(u, v)| {
+                w.assignment[u.index()] == 0 && w.assignment[v.index()] != 0
+            })
+            .map(|(u, v)| (w.node_names[u.index()], w.node_names[v.index()]))
+            .collect();
+        let mut expected = vec![
+            ("f1", "f4"),
+            ("yf1", "f2"),
+            ("sp1", "yf2"),
+            ("sp1", "f2"),
+        ];
+        let mut got = crossing;
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fig1_cycle_from_example4_exists() {
+        // f3, sp2, yf3, f4, sp3, yf1, f2, sp1, yf2, back to f3.
+        let w = fig1();
+        let cycle = [
+            "f3", "sp2", "yf3", "f4", "sp3", "yf1", "f2", "sp1", "yf2", "f3",
+        ];
+        for pair in cycle.windows(2) {
+            assert!(
+                w.graph.has_edge(w.node(pair[0]), w.node(pair[1])),
+                "missing cycle edge {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_in_node_sets_match_example6() {
+        let w = fig1();
+        // An in-node of fragment i is a node of i with an incoming
+        // crossing edge.
+        let mut in_nodes: Vec<Vec<&str>> = vec![Vec::new(); 3];
+        for v in w.graph.nodes() {
+            let site = w.assignment[v.index()];
+            let has_incoming_crossing = w
+                .graph
+                .predecessors(v)
+                .iter()
+                .any(|&p| w.assignment[p.index()] != site);
+            if has_incoming_crossing {
+                in_nodes[site].push(w.node_names[v.index()]);
+            }
+        }
+        for l in &mut in_nodes {
+            l.sort();
+        }
+        assert_eq!(in_nodes[0], vec!["sp1", "yf1"]);
+        assert_eq!(in_nodes[1], vec!["f2", "yf2"]);
+        assert_eq!(in_nodes[2], vec!["f4", "sp3", "yf3"]);
+    }
+
+    #[test]
+    fn social_network_grows_with_implants() {
+        let w = fig1();
+        let g = social_network(100, 400, 8, &w.pattern, 5, 17);
+        assert_eq!(g.node_count(), 100 + 5 * 4);
+    }
+
+    #[test]
+    fn community_social_network_controls_crossing() {
+        let w = fig1();
+        let n = 2_000;
+        let k = 4;
+        let g = community_social_network(n, 8_000, k, 0.1, 8, &w.pattern, 3, 5);
+        assert_eq!(g.node_count(), n + 3 * 4);
+        let assign = community_social_assignment(g.node_count(), k);
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| {
+                u.index() < n && v.index() < n && assign[u.index()] != assign[v.index()]
+            })
+            .count();
+        let background = g
+            .edges()
+            .filter(|&(u, v)| u.index() < n && v.index() < n)
+            .count();
+        let ratio = crossing as f64 / background as f64;
+        let expected = 0.1 * (k as f64 - 1.0) / k as f64;
+        assert!((ratio - expected).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig1_lookup_helpers() {
+        let w = fig1();
+        assert_eq!(w.node("yb1"), NodeId(0));
+        assert_eq!(w.qnode("SP"), QNodeId(3));
+        assert_eq!(w.expected_matches().len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fig1 node")]
+    fn unknown_node_panics() {
+        fig1().node("nope");
+    }
+}

@@ -1,0 +1,395 @@
+//! The data graph `G = (V, E, L)`.
+//!
+//! A [`Graph`] is a node-labeled directed graph stored in compressed
+//! sparse row (CSR) form with both forward (out-edge) and reverse
+//! (in-edge) adjacency. Nodes are dense `u32` ids ([`NodeId`]);
+//! parallel edges are deduplicated and self-loops are allowed (graph
+//! simulation is well-defined on them).
+//!
+//! Graphs are constructed through [`GraphBuilder`], which accepts edges
+//! in any order and finalizes into CSR.
+
+use crate::label::Label;
+use std::fmt;
+
+/// A node of a data graph: a dense index in `0..graph.node_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A node-labeled directed data graph in CSR form.
+///
+/// ```
+/// use dgs_graph::{GraphBuilder, Label, NodeId};
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(Label(0));
+/// let c = b.add_node(Label(1));
+/// b.add_edge(a, c);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// assert_eq!(g.successors(a), &[c]);
+/// assert_eq!(g.predecessors(c), &[a]);
+/// assert_eq!(g.label(a), Label(0));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    labels: Vec<Label>,
+    /// CSR offsets for out-edges; length `node_count + 1`.
+    out_offsets: Vec<u32>,
+    /// Concatenated successor lists, sorted within each node.
+    out_targets: Vec<NodeId>,
+    /// CSR offsets for in-edges; length `node_count + 1`.
+    in_offsets: Vec<u32>,
+    /// Concatenated predecessor lists, sorted within each node.
+    in_sources: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (deduplicated) edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// The paper's size measure `|G| = |V| + |E|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The label `L(v)`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All node labels, indexed by `NodeId`.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Successors of `v` (targets of out-edges), sorted ascending.
+    #[inline]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// Predecessors of `v` (sources of in-edges), sorted ascending.
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.successors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.predecessors(v).len()
+    }
+
+    /// True iff edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all node ids `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterates all edges `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The largest label index in use plus one (alphabet size bound).
+    pub fn label_bound(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|l| l.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Accepts nodes and edges in any order; duplicate edges are removed at
+/// [`GraphBuilder::build`] time.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with `label`, returning its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = u32::try_from(self.labels.len()).expect("graph node overflow");
+        self.labels.push(label);
+        NodeId(id)
+    }
+
+    /// Adds `n` nodes all carrying `label`; returns the first id.
+    pub fn add_nodes(&mut self, n: usize, label: Label) -> NodeId {
+        let first = NodeId(self.labels.len() as u32);
+        self.labels.resize(self.labels.len() + n, label);
+        first
+    }
+
+    /// Adds a directed edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics (at `build`) if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a CSR [`Graph`]; deduplicates edges and sorts
+    /// adjacency lists.
+    pub fn build(self) -> Graph {
+        let n = self.labels.len();
+        let mut edges = self.edges;
+        for &(u, v) in &edges {
+            assert!(
+                u.index() < n && v.index() < n,
+                "edge ({u:?}, {v:?}) out of range for {n} nodes"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _) in &edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        // Reverse CSR: counting sort by target.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v) in &edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); edges.len()];
+        for &(u, v) in &edges {
+            let slot = cursor[v.index()] as usize;
+            in_sources[slot] = u;
+            cursor[v.index()] += 1;
+        }
+        // Sources arrive in ascending order because `edges` is sorted by
+        // (u, v), so each predecessor list is already sorted.
+
+        Graph {
+            labels: self.labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(1));
+        let n2 = b.add_node(Label(1));
+        let n3 = b.add_node(Label(2));
+        b.add_edge(n0, n1);
+        b.add_edge(n0, n2);
+        b.add_edge(n1, n3);
+        b.add_edge(n2, n3);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.size(), 8);
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = diamond();
+        assert_eq!(g.successors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.successors(NodeId(3)), &[]);
+        assert_eq!(g.predecessors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.predecessors(NodeId(0)), &[]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+    }
+
+    #[test]
+    fn has_edge() {
+        let g = diamond();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn duplicate_edges_removed() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(0));
+        b.add_edge(a, c);
+        b.add_edge(a, c);
+        b.add_edge(a, c);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(a), &[c]);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(0));
+        b.add_edge(a, a);
+        let g = b.build();
+        assert_eq!(g.successors(a), &[a]);
+        assert_eq!(g.predecessors(a), &[a]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_adjacency() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_nodes(5, Label(3));
+        assert_eq!(first, NodeId(0));
+        assert_eq!(b.node_count(), 5);
+        let g = b.build();
+        assert!(g.nodes().all(|v| g.label(v) == Label(3)));
+    }
+
+    #[test]
+    fn label_bound() {
+        let g = diamond();
+        assert_eq!(g.label_bound(), 3);
+        let empty = GraphBuilder::new().build();
+        assert_eq!(empty.label_bound(), 0);
+        assert_eq!(empty.node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(0));
+        b.add_edge(a, NodeId(10));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn predecessor_lists_sorted() {
+        // Insert edges in scrambled order; reverse adjacency must come
+        // out sorted.
+        let mut b = GraphBuilder::new();
+        for _ in 0..6 {
+            b.add_node(Label(0));
+        }
+        b.add_edge(NodeId(5), NodeId(0));
+        b.add_edge(NodeId(3), NodeId(0));
+        b.add_edge(NodeId(1), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.predecessors(NodeId(0)), &[NodeId(1), NodeId(3), NodeId(5)]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Plain-text graph and pattern serialization.
+//!
+//! A deliberately simple line-oriented format (no external
+//! serialization crates needed):
+//!
+//! ```text
+//! # optional comments
+//! graph <node_count> <edge_count>
+//! n <node_id> <label>
+//! e <src> <dst>
+//! ```
+//!
+//! Patterns use the header `pattern` instead of `graph`. The format is
+//! used by the examples and by the bench harness to snapshot generated
+//! workloads.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::label::Label;
+use crate::pattern::{Pattern, PatternBuilder, QNodeId};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors produced by the text readers.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the input, with a line number.
+    Malformed { line: usize, message: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, message } => {
+                write!(f, "malformed input at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Writes `g` in the text format.
+pub fn write_graph<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "graph {} {}", g.node_count(), g.edge_count()).unwrap();
+    for v in g.nodes() {
+        writeln!(buf, "n {} {}", v.0, g.label(v).0).unwrap();
+    }
+    for (u, v) in g.edges() {
+        writeln!(buf, "e {} {}", u.0, v.0).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Writes `q` in the text format.
+pub fn write_pattern<W: Write>(q: &Pattern, mut w: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "pattern {} {}", q.node_count(), q.edge_count()).unwrap();
+    for u in q.nodes() {
+        writeln!(buf, "n {} {}", u.0, q.label(u).0).unwrap();
+    }
+    for (u, c) in q.edges() {
+        writeln!(buf, "e {} {}", u.0, c.0).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+struct Parsed {
+    header: String,
+    nodes: Vec<(u32, u16)>,
+    edges: Vec<(u32, u32)>,
+    declared_nodes: usize,
+    declared_edges: usize,
+}
+
+fn parse<R: Read>(r: R) -> Result<Parsed, ParseError> {
+    let reader = BufReader::new(r);
+    let mut header: Option<(String, usize, usize)> = None;
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "graph" | "pattern" => {
+                if header.is_some() {
+                    return Err(malformed(lineno, "duplicate header"));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad node count"))?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad edge count"))?;
+                header = Some((tag.to_owned(), n, m));
+            }
+            "n" => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad node id"))?;
+                let label: u16 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad label"))?;
+                nodes.push((id, label));
+            }
+            "e" => {
+                let u: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad edge source"))?;
+                let v: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad edge target"))?;
+                edges.push((u, v));
+            }
+            other => return Err(malformed(lineno, format!("unknown tag {other:?}"))),
+        }
+    }
+    let (header, declared_nodes, declared_edges) =
+        header.ok_or_else(|| malformed(0, "missing header line"))?;
+    if nodes.len() != declared_nodes {
+        return Err(malformed(
+            0,
+            format!("declared {declared_nodes} nodes, found {}", nodes.len()),
+        ));
+    }
+    Ok(Parsed {
+        header,
+        nodes,
+        edges,
+        declared_nodes,
+        declared_edges,
+    })
+}
+
+/// Reads a graph written by [`write_graph`].
+pub fn read_graph<R: Read>(r: R) -> Result<Graph, ParseError> {
+    let p = parse(r)?;
+    if p.header != "graph" {
+        return Err(malformed(1, format!("expected graph header, got {:?}", p.header)));
+    }
+    let mut labels = vec![Label(0); p.declared_nodes];
+    let mut seen = vec![false; p.declared_nodes];
+    for (id, l) in p.nodes {
+        let idx = id as usize;
+        if idx >= p.declared_nodes {
+            return Err(malformed(0, format!("node id {id} out of range")));
+        }
+        labels[idx] = Label(l);
+        seen[idx] = true;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(malformed(0, "not all node ids declared"));
+    }
+    let mut b = GraphBuilder::with_capacity(p.declared_nodes, p.declared_edges);
+    for l in labels {
+        b.add_node(l);
+    }
+    for (u, v) in p.edges {
+        if u as usize >= p.declared_nodes || v as usize >= p.declared_nodes {
+            return Err(malformed(0, format!("edge ({u}, {v}) out of range")));
+        }
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    Ok(b.build())
+}
+
+/// Reads a pattern written by [`write_pattern`].
+pub fn read_pattern<R: Read>(r: R) -> Result<Pattern, ParseError> {
+    let p = parse(r)?;
+    if p.header != "pattern" {
+        return Err(malformed(1, format!("expected pattern header, got {:?}", p.header)));
+    }
+    let mut labels = vec![Label(0); p.declared_nodes];
+    let mut seen = vec![false; p.declared_nodes];
+    for (id, l) in p.nodes {
+        let idx = id as usize;
+        if idx >= p.declared_nodes {
+            return Err(malformed(0, format!("node id {id} out of range")));
+        }
+        labels[idx] = Label(l);
+        seen[idx] = true;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(malformed(0, "not all node ids declared"));
+    }
+    let mut b = PatternBuilder::new();
+    for l in labels {
+        b.add_node(l);
+    }
+    for (u, v) in p.edges {
+        if u as usize >= p.declared_nodes || v as usize >= p.declared_nodes {
+            return Err(malformed(0, format!("edge ({u}, {v}) out of range")));
+        }
+        b.add_edge(QNodeId(u as u16), QNodeId(v as u16));
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::pattern::PatternBuilder;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(3));
+        let c = b.add_node(Label(7));
+        let d = b.add_node(Label(3));
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.add_edge(d, a);
+        b.build()
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        let q = b.build();
+        let mut buf = Vec::new();
+        write_pattern(&q, &mut buf).unwrap();
+        let q2 = read_pattern(&buf[..]).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ngraph 2 1\nn 0 5\nn 1 6\n# mid comment\ne 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.label(NodeId(0)), Label(5));
+        assert_eq!(g.successors(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(read_graph("n 0 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_header_rejected() {
+        assert!(read_graph("pattern 1 0\nn 0 0\n".as_bytes()).is_err());
+        assert!(read_pattern("graph 1 0\nn 0 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let text = "graph 1 1\nn 0 0\ne 0 5\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn undeclared_node_rejected() {
+        let text = "graph 2 0\nn 0 0\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = "graph 1 0\nn 0 0\nz 1 2\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Node labels and label interning.
+//!
+//! Data-graph nodes and pattern nodes carry labels from a finite
+//! alphabet `Σ` (§2.1 of the paper: "L(·) specifies e.g., interests,
+//! social roles, ratings"). Labels are interned to dense `u16` ids so
+//! that label-equality checks — the hottest comparison in simulation —
+//! are a single integer compare, and per-label candidate indexes can be
+//! dense arrays.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned node label.
+///
+/// `Label` is a dense id into a [`LabelInterner`]; two labels are equal
+/// iff their underlying strings are equal (within one interner).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The raw dense index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A string ↔ dense-id interner for node labels.
+///
+/// ```
+/// use dgs_graph::label::LabelInterner;
+/// let mut li = LabelInterner::new();
+/// let beer = li.intern("beer");
+/// let soccer = li.intern("soccer");
+/// assert_ne!(beer, soccer);
+/// assert_eq!(li.intern("beer"), beer);
+/// assert_eq!(li.name(beer), "beer");
+/// assert_eq!(li.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner pre-populated with `n` anonymous labels
+    /// named `"l0" .. "l{n-1}"` — convenient for synthetic alphabets
+    /// (the paper's synthetic generator uses `|Σ| = 15`).
+    pub fn with_anonymous(n: usize) -> Self {
+        let mut li = Self::new();
+        for i in 0..n {
+            li.intern(&format!("l{i}"));
+        }
+        li
+    }
+
+    /// Interns `name`, returning the existing label if already present.
+    ///
+    /// # Panics
+    /// Panics if more than `u16::MAX` distinct labels are interned.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let id = u16::try_from(self.names.len()).expect("label alphabet overflow (> 65535 labels)");
+        let l = Label(id);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Looks up a label by name without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string name of `label`.
+    ///
+    /// # Panics
+    /// Panics if `label` was not produced by this interner.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all labels in dense-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Label(i as u16), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("a");
+        let b = li.intern("b");
+        assert_eq!(li.intern("a"), a);
+        assert_eq!(li.intern("b"), b);
+        assert_eq!(li.len(), 2);
+    }
+
+    #[test]
+    fn anonymous_alphabet() {
+        let li = LabelInterner::with_anonymous(15);
+        assert_eq!(li.len(), 15);
+        assert_eq!(li.get("l0"), Some(Label(0)));
+        assert_eq!(li.get("l14"), Some(Label(14)));
+        assert_eq!(li.get("l15"), None);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut li = LabelInterner::new();
+        let x = li.intern("soccer");
+        assert_eq!(li.name(x), "soccer");
+        assert_eq!(li.get("soccer"), Some(x));
+    }
+
+    #[test]
+    fn iter_in_dense_order() {
+        let mut li = LabelInterner::new();
+        li.intern("x");
+        li.intern("y");
+        let collected: Vec<_> = li.iter().map(|(l, s)| (l.0, s.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn label_index_and_display() {
+        let l = Label(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(format!("{l}"), "7");
+        assert_eq!(format!("{l:?}"), "L7");
+    }
+}

@@ -1,0 +1,33 @@
+//! # dgs-graph
+//!
+//! Node-labeled directed graphs, pattern queries, generators and graph
+//! algorithms — the data substrate for the distributed graph simulation
+//! system of Fan et al. (VLDB 2014).
+//!
+//! The central types are:
+//!
+//! * [`Graph`] — a node-labeled directed data graph `G = (V, E, L)`
+//!   stored in compressed sparse row (CSR) form, with forward and
+//!   reverse adjacency;
+//! * [`Pattern`] — a pattern query `Q = (Vq, Eq, fv)`;
+//! * [`Label`] / [`LabelInterner`] — interned node labels drawn from a
+//!   finite alphabet `Σ`;
+//! * [`generate`] — synthetic workload generators (web-like graphs,
+//!   citation-like DAGs, random trees, social graphs, and the
+//!   adversarial families of the paper's impossibility theorem);
+//! * [`algo`] — Tarjan SCC, topological ranks, BFS and pattern
+//!   diameter, used by the DAG algorithm `dGPMd`.
+
+pub mod algo;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod label;
+pub mod pattern;
+pub mod stats;
+pub mod transform;
+
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use label::{Label, LabelInterner};
+pub use pattern::{Pattern, PatternBuilder, QNodeId};
+pub use stats::GraphStats;

@@ -1,0 +1,277 @@
+//! Pattern queries `Q = (Vq, Eq, fv)`.
+//!
+//! A [`Pattern`] is a small directed graph whose nodes carry labels
+//! (`fv`). Patterns are orders of magnitude smaller than data graphs
+//! (`|Q|` is "typically small", §4.1 of the paper), so they are stored
+//! as plain adjacency vectors rather than CSR; both forward and reverse
+//! adjacency are kept because the simulation algorithms traverse query
+//! edges in both directions.
+
+use crate::label::Label;
+use std::fmt;
+
+/// A node of a pattern query: a dense index in `0..pattern.node_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QNodeId(pub u16);
+
+impl QNodeId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for QNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A pattern query `Q = (Vq, Eq, fv)`.
+///
+/// ```
+/// use dgs_graph::{PatternBuilder, Label};
+/// let mut b = PatternBuilder::new();
+/// let a = b.add_node(Label(0));
+/// let c = b.add_node(Label(1));
+/// b.add_edge(a, c);
+/// b.add_edge(c, a); // patterns may be cyclic
+/// let q = b.build();
+/// assert_eq!(q.node_count(), 2);
+/// assert_eq!(q.edge_count(), 2);
+/// assert_eq!(q.children(a), &[c]);
+/// assert_eq!(q.parents(a), &[c]);
+/// assert_eq!(q.size(), 4); // |Q| = |Vq| + |Eq|
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Pattern {
+    labels: Vec<Label>,
+    children: Vec<Vec<QNodeId>>,
+    parents: Vec<Vec<QNodeId>>,
+    edge_count: usize,
+}
+
+impl Pattern {
+    /// Number of query nodes `|Vq|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of query edges `|Eq|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The paper's size measure `|Q| = |Vq| + |Eq|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The label `fv(u)`.
+    #[inline]
+    pub fn label(&self, u: QNodeId) -> Label {
+        self.labels[u.index()]
+    }
+
+    /// All query-node labels, indexed by `QNodeId`.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Children of `u` (targets of query edges `(u, u')`), sorted.
+    #[inline]
+    pub fn children(&self, u: QNodeId) -> &[QNodeId] {
+        &self.children[u.index()]
+    }
+
+    /// Parents of `u` (sources of query edges `(u', u)`), sorted.
+    #[inline]
+    pub fn parents(&self, u: QNodeId) -> &[QNodeId] {
+        &self.parents[u.index()]
+    }
+
+    /// True iff `u` has no children — such nodes match any node with
+    /// the right label (`v.rvec[u] := true`, procedure `lEval` line 5).
+    #[inline]
+    pub fn is_sink(&self, u: QNodeId) -> bool {
+        self.children[u.index()].is_empty()
+    }
+
+    /// Iterates all query node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = QNodeId> + '_ {
+        (0..self.node_count() as u16).map(QNodeId)
+    }
+
+    /// Iterates all query edges `(u, u')`.
+    pub fn edges(&self) -> impl Iterator<Item = (QNodeId, QNodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.children(u).iter().map(move |&c| (u, c)))
+    }
+
+    /// True iff edge `(u, u')` exists.
+    pub fn has_edge(&self, u: QNodeId, c: QNodeId) -> bool {
+        self.children[u.index()].binary_search(&c).is_ok()
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pattern({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+/// Incremental builder for [`Pattern`].
+#[derive(Clone, Debug, Default)]
+pub struct PatternBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(QNodeId, QNodeId)>,
+}
+
+impl PatternBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a query node with `label`, returning its id.
+    pub fn add_node(&mut self, label: Label) -> QNodeId {
+        let id = u16::try_from(self.labels.len()).expect("pattern node overflow");
+        self.labels.push(label);
+        QNodeId(id)
+    }
+
+    /// Adds a query edge `(u, c)`.
+    pub fn add_edge(&mut self, u: QNodeId, c: QNodeId) {
+        self.edges.push((u, c));
+    }
+
+    /// Number of query nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finalizes into a [`Pattern`]; deduplicates and sorts edges.
+    pub fn build(self) -> Pattern {
+        let n = self.labels.len();
+        let mut edges = self.edges;
+        for &(u, c) in &edges {
+            assert!(
+                u.index() < n && c.index() < n,
+                "query edge ({u:?}, {c:?}) out of range for {n} nodes"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for &(u, c) in &edges {
+            children[u.index()].push(c);
+            parents[c.index()].push(u);
+        }
+        for p in &mut parents {
+            p.sort_unstable();
+        }
+        Pattern {
+            labels: self.labels,
+            children,
+            parents,
+            edge_count: edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 pattern: YB -> F, YB -> YF, and the cycle
+    /// SP -> YF -> F -> SP. Labels: 0=YB, 1=F, 2=YF, 3=SP.
+    pub(crate) fn fig1_pattern() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let yb = b.add_node(Label(0));
+        let f = b.add_node(Label(1));
+        let yf = b.add_node(Label(2));
+        let sp = b.add_node(Label(3));
+        b.add_edge(yb, f);
+        b.add_edge(yb, yf);
+        b.add_edge(f, sp);
+        b.add_edge(sp, yf);
+        b.add_edge(yf, f);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_size() {
+        let q = fig1_pattern();
+        assert_eq!(q.node_count(), 4);
+        assert_eq!(q.edge_count(), 5);
+        assert_eq!(q.size(), 9);
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let q = fig1_pattern();
+        let (yb, f, yf, sp) = (QNodeId(0), QNodeId(1), QNodeId(2), QNodeId(3));
+        assert_eq!(q.children(yb), &[f, yf]);
+        assert_eq!(q.parents(f), &[yb, yf]);
+        assert_eq!(q.parents(yb), &[]);
+        assert!(q.has_edge(sp, yf));
+        assert!(!q.has_edge(yf, sp));
+    }
+
+    #[test]
+    fn sink_detection() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c);
+        let q = b.build();
+        assert!(!q.is_sink(a));
+        assert!(q.is_sink(c));
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(0));
+        b.add_edge(a, c);
+        b.add_edge(a, c);
+        let q = b.build();
+        assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let q = fig1_pattern();
+        assert_eq!(q.edges().count(), 5);
+        for (u, c) in q.edges() {
+            assert!(q.has_edge(u, c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        b.add_edge(a, QNodeId(9));
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,262 @@
+//! Descriptive statistics of data graphs — the numbers a workload
+//! section reports (degree distribution, label histogram, structure
+//! class) and the `dgsq stats` command prints.
+
+use crate::algo::{graph_is_dag, strongly_connected_components};
+use crate::generate::tree::is_rooted_tree;
+use crate::graph::{Graph, NodeId};
+use std::fmt;
+
+/// Summary statistics of a [`Graph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Distinct labels in use.
+    pub labels: usize,
+    /// Per-label node counts, indexed by label id (dense up to the
+    /// label bound).
+    pub label_histogram: Vec<usize>,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Nodes with no out-edges.
+    pub sinks: usize,
+    /// Nodes with no in-edges.
+    pub sources: usize,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+    /// Size of the largest strongly connected component.
+    pub largest_scc: usize,
+    /// Whether the graph is a DAG (every SCC trivial and no
+    /// self-loops).
+    pub is_dag: bool,
+    /// Whether the graph is a rooted tree.
+    pub is_tree: bool,
+}
+
+impl GraphStats {
+    /// Computes all statistics in `O(|V| + |E|)` (one Tarjan pass plus
+    /// degree scans).
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut label_histogram = vec![0usize; g.label_bound()];
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut sinks = 0;
+        let mut sources = 0;
+        for v in g.nodes() {
+            label_histogram[g.label(v).index()] += 1;
+            let (o, i) = (g.out_degree(v), g.in_degree(v));
+            max_out = max_out.max(o);
+            max_in = max_in.max(i);
+            sinks += usize::from(o == 0);
+            sources += usize::from(i == 0);
+        }
+        let (comp_of, scc_count) = strongly_connected_components(g);
+        let mut comp_sizes = vec![0usize; scc_count];
+        for &c in &comp_of {
+            comp_sizes[c as usize] += 1;
+        }
+        GraphStats {
+            nodes: n,
+            edges: g.edge_count(),
+            labels: label_histogram.iter().filter(|&&c| c > 0).count(),
+            label_histogram,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            sinks,
+            sources,
+            scc_count,
+            largest_scc: comp_sizes.iter().copied().max().unwrap_or(0),
+            is_dag: graph_is_dag(g),
+            is_tree: is_rooted_tree(g),
+        }
+    }
+
+    /// Mean out-degree `|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.nodes.max(1) as f64
+    }
+
+    /// The out-degree distribution as `(degree, node count)` pairs,
+    /// ascending, skipping empty buckets.
+    pub fn out_degree_distribution(g: &Graph) -> Vec<(usize, usize)> {
+        let mut buckets = std::collections::BTreeMap::new();
+        for v in g.nodes() {
+            *buckets.entry(g.out_degree(v)).or_insert(0usize) += 1;
+        }
+        buckets.into_iter().collect()
+    }
+
+    /// A skew measure for degree distributions: the fraction of all
+    /// edges carried by the top 1% highest-out-degree nodes (≈1% for
+    /// uniform graphs, far higher for power-law graphs).
+    pub fn top1pct_edge_share(g: &Graph) -> f64 {
+        if g.edge_count() == 0 {
+            return 0.0;
+        }
+        let mut degrees: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (degrees.len() / 100).max(1);
+        degrees[..top].iter().sum::<usize>() as f64 / g.edge_count() as f64
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "|V| = {}  |E| = {}  |G| = {}", self.nodes, self.edges, self.nodes + self.edges)?;
+        writeln!(
+            f,
+            "avg out-degree = {:.2}  max out = {}  max in = {}  sources = {}  sinks = {}",
+            self.avg_degree(),
+            self.max_out_degree,
+            self.max_in_degree,
+            self.sources,
+            self.sinks
+        )?;
+        writeln!(
+            f,
+            "SCCs = {} (largest {})  DAG = {}  tree = {}",
+            self.scc_count, self.largest_scc, self.is_dag, self.is_tree
+        )?;
+        let hist: Vec<String> = self
+            .label_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, c)| format!("{l}:{c}"))
+            .collect();
+        write!(f, "labels ({}): {}", self.labels, hist.join(" "))
+    }
+}
+
+/// Reachability sample: the mean number of nodes reachable from
+/// `samples` seeded-random start nodes (a cheap proxy for how far
+/// simulation falsifications can cascade).
+pub fn mean_reachable(g: &Graph, samples: usize, seed: u64) -> f64 {
+    if g.node_count() == 0 || samples == 0 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..samples {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let start = NodeId((state % g.node_count() as u64) as u32);
+        total += crate::algo::bfs_distances(g, start)
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .count();
+    }
+    total as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{dag, random, tree};
+    use crate::graph::GraphBuilder;
+    use crate::label::Label;
+
+    #[test]
+    fn diamond_stats() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(1));
+        let n2 = b.add_node(Label(1));
+        let n3 = b.add_node(Label(2));
+        b.add_edge(n0, n1);
+        b.add_edge(n0, n2);
+        b.add_edge(n1, n3);
+        b.add_edge(n2, n3);
+        let s = GraphStats::compute(&b.build());
+        assert_eq!((s.nodes, s.edges, s.labels), (4, 4, 3));
+        assert_eq!(s.label_histogram, vec![1, 2, 1]);
+        assert_eq!((s.sources, s.sinks), (1, 1));
+        assert_eq!((s.max_out_degree, s.max_in_degree), (2, 2));
+        assert_eq!((s.scc_count, s.largest_scc), (4, 1));
+        assert!(s.is_dag && !s.is_tree);
+        assert!((s.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_families() {
+        let t = tree::random_tree(200, 4, 1);
+        let st = GraphStats::compute(&t);
+        assert!(st.is_tree && st.is_dag);
+        assert_eq!(st.edges, 199);
+
+        let d = dag::citation_like(300, 800, 5, 1);
+        let sd = GraphStats::compute(&d);
+        assert!(sd.is_dag && !sd.is_tree);
+        assert_eq!(sd.scc_count, sd.nodes);
+
+        let c = random::community(300, 1_500, 4, 0.1, 5, 1);
+        let sc = GraphStats::compute(&c);
+        assert!(!sc.is_dag, "dense random graphs have cycles");
+        assert!(sc.largest_scc > 1);
+    }
+
+    #[test]
+    fn degree_distribution_sums_to_nodes_and_edges() {
+        let g = random::web_like(500, 2_500, 5, 2);
+        let dist = GraphStats::out_degree_distribution(&g);
+        assert_eq!(dist.iter().map(|&(_, c)| c).sum::<usize>(), 500);
+        assert_eq!(
+            dist.iter().map(|&(d, c)| d * c).sum::<usize>(),
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn power_law_skews_harder_than_uniform() {
+        let uniform = random::uniform(2_000, 10_000, 5, 3);
+        let web = random::web_like(2_000, 10_000, 5, 3);
+        let su = GraphStats::top1pct_edge_share(&uniform);
+        let sw = GraphStats::top1pct_edge_share(&web);
+        // web_like's preferential attachment is mildly skewed (~1.7×
+        // the uniform share); the heavy-tail generator is R-MAT, which
+        // asserts a stronger margin in its own tests.
+        assert!(sw > 1.4 * su, "web {sw:.3} should out-skew uniform {su:.3}");
+    }
+
+    #[test]
+    fn reachability_sample_bounds() {
+        let g = random::uniform(200, 800, 4, 4);
+        let r = mean_reachable(&g, 8, 9);
+        assert!((1.0..=200.0).contains(&r));
+        // A path: reachable set from a random node averages about half
+        // the path, never more than n.
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..50).map(|_| b.add_node(Label(0))).collect();
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let path = b.build();
+        let rp = mean_reachable(&path, 16, 1);
+        assert!((1.0..=50.0).contains(&rp));
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let g = random::uniform(50, 150, 3, 5);
+        let s = GraphStats::compute(&g);
+        let text = s.to_string();
+        assert!(text.contains("|V| = 50"));
+        assert!(text.contains("SCCs"));
+        assert!(text.contains("labels (3)"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::compute(&GraphBuilder::new().build());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.scc_count, 0);
+        assert_eq!(GraphStats::top1pct_edge_share(&GraphBuilder::new().build()), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Edge-labeled graphs via the paper's reduction.
+//!
+//! §2.1: "our techniques can be readily adapted for edge labels: for
+//! each labeled edge `e`, we can insert a 'dummy' node to represent
+//! `e`, carrying `e`'s label." This module implements that reduction
+//! for both data graphs and patterns, so edge-labeled matching runs on
+//! the plain node-labeled engines unchanged.
+//!
+//! An edge `(u, v)` with label `ℓ` becomes `u → x_ℓ → v` where `x_ℓ`
+//! is a fresh node labeled `ℓ`; unlabeled edges (label `None`) are
+//! kept as direct edges. Labels for dummy nodes must come from a
+//! *disjoint* part of the alphabet (the caller's responsibility;
+//! [`EdgeLabeledBuilder`] enforces it with an offset).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::label::Label;
+use crate::pattern::{Pattern, PatternBuilder, QNodeId};
+
+/// Mapping from each labeled input edge to its dummy node.
+pub type EdgeDummies = Vec<((NodeId, NodeId), NodeId)>;
+/// Mapping from each labeled query edge to its dummy query node.
+pub type QEdgeDummies = Vec<((QNodeId, QNodeId), QNodeId)>;
+
+/// Builder for an edge-labeled data graph; finalizes into a plain
+/// [`Graph`] via the dummy-node reduction.
+#[derive(Clone, Debug)]
+pub struct EdgeLabeledBuilder {
+    node_labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Option<u16>)>,
+    /// Edge label `l` becomes node label `edge_label_base + l`.
+    edge_label_base: u16,
+}
+
+impl EdgeLabeledBuilder {
+    /// Creates a builder whose edge labels map to node labels starting
+    /// at `edge_label_base` (choose it above every node label in use).
+    pub fn new(edge_label_base: u16) -> Self {
+        EdgeLabeledBuilder {
+            node_labels: Vec::new(),
+            edges: Vec::new(),
+            edge_label_base,
+        }
+    }
+
+    /// Adds a node with a *node* label.
+    ///
+    /// # Panics
+    /// Panics if `label` is at or above the edge-label base (the two
+    /// alphabets must stay disjoint).
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        assert!(
+            label.0 < self.edge_label_base,
+            "node label {label:?} collides with the edge-label range"
+        );
+        let id = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Adds an edge, optionally labeled.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: Option<u16>) {
+        self.edges.push((u, v, label));
+    }
+
+    /// Applies the reduction. Returns the plain graph plus the mapping
+    /// from each labeled input edge to its dummy node.
+    pub fn build(self) -> (Graph, EdgeDummies) {
+        let mut b = GraphBuilder::with_capacity(
+            self.node_labels.len() + self.edges.len(),
+            2 * self.edges.len(),
+        );
+        for l in &self.node_labels {
+            b.add_node(*l);
+        }
+        let mut dummies = Vec::new();
+        for (u, v, label) in self.edges {
+            match label {
+                None => b.add_edge(u, v),
+                Some(l) => {
+                    let dummy = b.add_node(Label(self.edge_label_base + l));
+                    b.add_edge(u, dummy);
+                    b.add_edge(dummy, v);
+                    dummies.push(((u, v), dummy));
+                }
+            }
+        }
+        (b.build(), dummies)
+    }
+}
+
+/// Builder for an edge-labeled pattern; finalizes into a plain
+/// [`Pattern`] with the same reduction (and the same label base, so a
+/// reduced pattern matches a reduced graph).
+#[derive(Clone, Debug)]
+pub struct EdgeLabeledPatternBuilder {
+    node_labels: Vec<Label>,
+    edges: Vec<(QNodeId, QNodeId, Option<u16>)>,
+    edge_label_base: u16,
+}
+
+impl EdgeLabeledPatternBuilder {
+    /// Creates a builder with the given edge-label base.
+    pub fn new(edge_label_base: u16) -> Self {
+        EdgeLabeledPatternBuilder {
+            node_labels: Vec::new(),
+            edges: Vec::new(),
+            edge_label_base,
+        }
+    }
+
+    /// Adds a query node with a node label.
+    pub fn add_node(&mut self, label: Label) -> QNodeId {
+        assert!(
+            label.0 < self.edge_label_base,
+            "node label {label:?} collides with the edge-label range"
+        );
+        let id = QNodeId(self.node_labels.len() as u16);
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Adds a query edge, optionally labeled.
+    pub fn add_edge(&mut self, u: QNodeId, v: QNodeId, label: Option<u16>) {
+        self.edges.push((u, v, label));
+    }
+
+    /// Applies the reduction; returns the plain pattern and the dummy
+    /// query node of each labeled edge.
+    pub fn build(self) -> (Pattern, QEdgeDummies) {
+        let mut b = PatternBuilder::new();
+        for l in &self.node_labels {
+            b.add_node(*l);
+        }
+        let mut dummies = Vec::new();
+        for (u, v, label) in self.edges {
+            match label {
+                None => b.add_edge(u, v),
+                Some(l) => {
+                    let dummy = b.add_node(Label(self.edge_label_base + l));
+                    b.add_edge(u, dummy);
+                    b.add_edge(dummy, v);
+                    dummies.push(((u, v), dummy));
+                }
+            }
+        }
+        (b.build(), dummies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u16 = 100;
+
+    #[test]
+    fn labeled_edge_becomes_dummy_node() {
+        let mut b = EdgeLabeledBuilder::new(BASE);
+        let x = b.add_node(Label(0));
+        let y = b.add_node(Label(1));
+        b.add_edge(x, y, Some(7));
+        let (g, dummies) = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let (_, dummy) = dummies[0];
+        assert_eq!(g.label(dummy), Label(BASE + 7));
+        assert!(g.has_edge(x, dummy));
+        assert!(g.has_edge(dummy, y));
+        assert!(!g.has_edge(x, y));
+    }
+
+    #[test]
+    fn unlabeled_edges_stay_direct() {
+        let mut b = EdgeLabeledBuilder::new(BASE);
+        let x = b.add_node(Label(0));
+        let y = b.add_node(Label(1));
+        b.add_edge(x, y, None);
+        let (g, dummies) = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(x, y));
+        assert!(dummies.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn node_label_in_edge_range_rejected() {
+        let mut b = EdgeLabeledBuilder::new(BASE);
+        b.add_node(Label(BASE));
+    }
+
+    #[test]
+    fn pattern_reduction_shape() {
+        let mut qb = EdgeLabeledPatternBuilder::new(BASE);
+        let qa = qb.add_node(Label(0));
+        let qb_node = qb.add_node(Label(1));
+        qb.add_edge(qa, qb_node, Some(3));
+        qb.add_edge(qb_node, qa, None);
+        let (q, dummies) = qb.build();
+        assert_eq!(q.node_count(), 3);
+        assert_eq!(q.edge_count(), 3);
+        let (_, dummy) = dummies[0];
+        assert_eq!(q.label(dummy), Label(BASE + 3));
+        assert!(q.has_edge(qa, dummy));
+        assert!(q.has_edge(dummy, qb_node));
+        assert!(q.has_edge(qb_node, qa));
+    }
+
+    // The end-to-end test (edge-labeled simulation distinguishing
+    // edge labels) lives in the workspace integration suite
+    // (`tests/extensions.rs`) to avoid a dev-dependency cycle with
+    // dgs-sim.
+}

@@ -1,0 +1,216 @@
+//! The virtual-time cost model.
+//!
+//! The paper ran on Amazon EC2 General Purpose instances; the defaults
+//! here are in that regime: a few nanoseconds per basic graph
+//! operation, sub-millisecond one-way latency inside a region, and
+//! ~100 MB/s effective per-flow bandwidth. The absolute values only
+//! scale the virtual clock — the *shapes* of the PT curves (what the
+//! experiments verify) are governed by the ratios, which are
+//! configurable per experiment.
+
+/// Parameters of the discrete-event simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Nanoseconds of site busy time per charged basic operation.
+    pub ns_per_op: f64,
+    /// Fixed per-message handling overhead at the receiver, in ns.
+    pub ns_per_message: u64,
+    /// One-way network latency in ns.
+    pub latency_ns: u64,
+    /// Network bandwidth in bytes per nanosecond (0.1 = 100 MB/s).
+    pub bytes_per_ns: f64,
+    /// Deterministic per-message latency jitter: each delivery's
+    /// latency is scaled by a pseudo-random factor in
+    /// `[1 − jitter, 1 + jitter]` derived from `jitter_seed` and the
+    /// message's sequence number. Jitter perturbs message *ordering*
+    /// (adversarial-schedule testing: monotone fixpoints must be
+    /// confluent under any schedule) while staying fully reproducible.
+    pub jitter: f64,
+    /// Seed for the jitter hash.
+    pub jitter_seed: u64,
+    /// Per-site speed factors (heterogeneous hardware / stragglers):
+    /// site `i` runs at `site_speed[i]` × the base speed, so a factor
+    /// of `0.25` makes that site 4× slower. Sites beyond the vector's
+    /// length (and the coordinator) run at factor 1. Only the
+    /// virtual-time executor interprets this — wall clock cannot be
+    /// slowed down honestly.
+    pub site_speed: Vec<f64>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ns_per_op: 5.0,
+            ns_per_message: 10_000,     // 10 µs dispatch overhead
+            latency_ns: 500_000,        // 0.5 ms one-way
+            bytes_per_ns: 0.1,          // 100 MB/s
+            jitter: 0.0,
+            jitter_seed: 0,
+            site_speed: Vec::new(),
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with zero network costs — virtual time then measures
+    /// pure computation, useful in tests.
+    pub fn compute_only() -> Self {
+        CostModel {
+            ns_per_op: 1.0,
+            ns_per_message: 0,
+            latency_ns: 0,
+            bytes_per_ns: f64::INFINITY,
+            jitter: 0.0,
+            jitter_seed: 0,
+            site_speed: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with site `site` slowed down by `slowdown`
+    /// (e.g. `4.0` = a 4× straggler).
+    ///
+    /// # Panics
+    /// Panics on a non-positive slowdown.
+    pub fn with_straggler(mut self, site: usize, slowdown: f64) -> Self {
+        assert!(slowdown > 0.0, "slowdown must be positive");
+        if self.site_speed.len() <= site {
+            self.site_speed.resize(site + 1, 1.0);
+        }
+        self.site_speed[site] = 1.0 / slowdown;
+        self
+    }
+
+    /// The speed factor of site `i` (1.0 unless configured).
+    pub fn speed_of(&self, site: usize) -> f64 {
+        self.site_speed.get(site).copied().unwrap_or(1.0)
+    }
+
+    /// Busy time of `ops` charged operations at site `site`
+    /// (`None` = coordinator, which always runs at base speed).
+    pub fn compute_ns_at(&self, site: Option<usize>, ops: u64) -> u64 {
+        let speed = site.map_or(1.0, |i| self.speed_of(i));
+        (ops as f64 * self.ns_per_op / speed).round() as u64
+    }
+
+    /// Returns a copy with latency jitter enabled.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ jitter < 1`.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter fraction in [0,1)");
+        self.jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Transfer time of a `bytes`-sized message, excluding latency.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        if self.bytes_per_ns.is_infinite() {
+            0
+        } else {
+            (bytes as f64 / self.bytes_per_ns).round() as u64
+        }
+    }
+
+    /// Busy time of `ops` charged operations.
+    pub fn compute_ns(&self, ops: u64) -> u64 {
+        (ops as f64 * self.ns_per_op).round() as u64
+    }
+
+    /// Full delivery delay of a message: latency plus transfer.
+    pub fn delivery_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + self.transfer_ns(bytes)
+    }
+
+    /// Delivery delay of message number `seq`, with jitter applied to
+    /// the latency term (deterministic in `(jitter_seed, seq)`).
+    pub fn delivery_ns_jittered(&self, bytes: usize, seq: u64) -> u64 {
+        if self.jitter == 0.0 {
+            return self.delivery_ns(bytes);
+        }
+        // SplitMix64 over (seed ^ seq) → uniform in [-1, 1).
+        let mut z = self.jitter_seed ^ seq.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 + self.jitter * (2.0 * unit - 1.0);
+        let latency = (self.latency_ns as f64 * factor).round() as u64;
+        latency + self.transfer_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ec2_like() {
+        let c = CostModel::default();
+        assert_eq!(c.latency_ns, 500_000);
+        // 1 KB at 100 MB/s = 10 µs.
+        assert_eq!(c.transfer_ns(1_000), 10_000);
+        assert_eq!(c.delivery_ns(1_000), 510_000);
+    }
+
+    #[test]
+    fn compute_only_has_free_network() {
+        let c = CostModel::compute_only();
+        assert_eq!(c.delivery_ns(1 << 20), 0);
+        assert_eq!(c.compute_ns(42), 42);
+    }
+
+    #[test]
+    fn compute_scales_with_ops() {
+        let c = CostModel::default();
+        assert_eq!(c.compute_ns(100), 500);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let c = CostModel::default().with_jitter(0.3, 42);
+        let base = c.latency_ns as f64;
+        for seq in 0..200u64 {
+            let d = c.delivery_ns_jittered(0, seq) as f64;
+            assert!(d >= base * 0.69 && d <= base * 1.31, "seq {seq}: {d}");
+            assert_eq!(
+                c.delivery_ns_jittered(0, seq),
+                c.delivery_ns_jittered(0, seq)
+            );
+        }
+        // Different seeds give different schedules.
+        let c2 = CostModel::default().with_jitter(0.3, 43);
+        assert!((0..50).any(|s| c.delivery_ns_jittered(0, s) != c2.delivery_ns_jittered(0, s)));
+    }
+
+    #[test]
+    fn zero_jitter_matches_plain_delivery() {
+        let c = CostModel::default();
+        for seq in 0..10 {
+            assert_eq!(c.delivery_ns_jittered(500, seq), c.delivery_ns(500));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn jitter_out_of_range_rejected() {
+        let _ = CostModel::default().with_jitter(1.5, 0);
+    }
+
+    #[test]
+    fn straggler_slows_one_site_only() {
+        let c = CostModel::default().with_straggler(2, 4.0);
+        assert_eq!(c.speed_of(0), 1.0);
+        assert_eq!(c.speed_of(2), 0.25);
+        assert_eq!(c.speed_of(99), 1.0);
+        assert_eq!(c.compute_ns_at(Some(0), 100), 500);
+        assert_eq!(c.compute_ns_at(Some(2), 100), 2_000);
+        assert_eq!(c.compute_ns_at(None, 100), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be positive")]
+    fn zero_slowdown_rejected() {
+        let _ = CostModel::default().with_straggler(0, 0.0);
+    }
+}

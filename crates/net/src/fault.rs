@@ -1,0 +1,111 @@
+//! Deterministic fault injection for protocol robustness testing.
+//!
+//! The distributed simulation algorithms are monotone fixpoint
+//! computations whose data messages (variable falsifications, pushed
+//! equations, subscriptions) are **idempotent**: delivering one twice
+//! cannot change the computed relation, only the traffic. That
+//! robustness is a real design property of the paper's protocol — a
+//! falsified `X(u,v)` "never changes back" (§4.1) — and this module
+//! makes it testable: a [`FaultPlan`] tells the virtual-time executor
+//! to re-deliver a deterministic subset of data messages after an
+//! extra delay, emulating the at-least-once behaviour of a retrying
+//! transport.
+//!
+//! Only **data** messages are duplicated. Control and result traffic
+//! implements the coordinator's phase barriers, where exactly-once is
+//! part of the protocol contract (e.g. a duplicated `GatherRequest`
+//! would double-merge match lists under the threaded executor); a
+//! transport layer would deduplicate those by sequence number, which
+//! we model by not duplicating them.
+//!
+//! Message *loss* is deliberately not modeled: the paper's protocol
+//! (like Pregel's) assumes reliable channels, and dropping a
+//! falsification without retry genuinely changes answers — there is
+//! nothing useful to test beyond "unreliable transport breaks
+//! reliable-transport protocols".
+
+/// Deterministic at-least-once fault injection, applied by
+/// [`crate::VirtualExecutor`] when configured via
+/// [`crate::VirtualExecutor::with_faults`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of data messages delivered twice, in `[0, 1]`.
+    pub duplicate_rate: f64,
+    /// Extra delivery delay of the duplicate copy, in ns (the "retry"
+    /// arrives late, typically after the original already took
+    /// effect).
+    pub extra_delay_ns: u64,
+    /// Seed of the per-message duplication decision.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan duplicating `rate` of data messages, with a 2 ms retry
+    /// delay.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    pub fn duplicating(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "duplicate rate in [0, 1]");
+        FaultPlan {
+            duplicate_rate: rate,
+            extra_delay_ns: 2_000_000,
+            seed,
+        }
+    }
+
+    /// Whether message number `seq` gets a duplicate delivery
+    /// (deterministic in `(seed, seq)`).
+    pub fn duplicates(&self, seq: u64) -> bool {
+        if self.duplicate_rate <= 0.0 {
+            return false;
+        }
+        if self.duplicate_rate >= 1.0 {
+            return true;
+        }
+        // SplitMix64 hash → uniform unit float.
+        let mut z = self.seed ^ seq.wrapping_mul(0xD1B54A32D192ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.duplicate_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_extremes() {
+        let none = FaultPlan::duplicating(0.0, 1);
+        let all = FaultPlan::duplicating(1.0, 1);
+        for seq in 0..100 {
+            assert!(!none.duplicates(seq));
+            assert!(all.duplicates(seq));
+        }
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let plan = FaultPlan::duplicating(0.3, 7);
+        let hits = (0..10_000).filter(|&s| plan.duplicates(s)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits} of 10000");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seeded() {
+        let a = FaultPlan::duplicating(0.5, 1);
+        let b = FaultPlan::duplicating(0.5, 2);
+        let decisions: Vec<bool> = (0..64).map(|s| a.duplicates(s)).collect();
+        assert_eq!(decisions, (0..64).map(|s| a.duplicates(s)).collect::<Vec<_>>());
+        assert_ne!(decisions, (0..64).map(|s| b.duplicates(s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rate")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::duplicating(1.5, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! # dgs-net
+//!
+//! A simulated distributed runtime for the graph-simulation algorithms
+//! of Fan et al. (VLDB 2014) — the substitute for the paper's Amazon
+//! EC2 deployment (DESIGN.md §4).
+//!
+//! Algorithms are written once as message-driven actors
+//! ([`SiteLogic`] per site plus one [`CoordinatorLogic`]) and can then
+//! be driven by either executor:
+//!
+//! * [`cluster::ThreadedExecutor`] — one OS thread per site, crossbeam
+//!   channels, Dijkstra-style quiescence detection; proves the
+//!   algorithms really run concurrently and measures wall-clock time;
+//! * [`virtual_time::VirtualExecutor`] — a deterministic discrete-event
+//!   simulation: per-site busy time is `charged ops × cost-per-op` and
+//!   message delivery takes `latency + bytes / bandwidth` under an
+//!   explicit, EC2-like [`CostModel`]. This is what reproduces the
+//!   paper's response-time *shapes* (e.g. PT falling as `|F|` grows)
+//!   on a host with fewer cores than simulated sites.
+//!
+//! Because graph simulation is a monotone fixpoint computation,
+//! chaotic/asynchronous iteration is confluent: both executors (and
+//! any message interleaving) produce identical answers; only the
+//! timing metrics differ.
+//!
+//! Data shipment is accounted exactly: every message carries a
+//! hand-computed [`WireSize`] and is classified as **data** (the
+//! paper's DS metric), **control** (termination/barrier traffic) or
+//! **result** (final match collection, which the paper's DS figures
+//! exclude); see [`metrics::RunMetrics`].
+
+pub mod cluster;
+pub mod cost;
+pub mod fault;
+pub mod message;
+pub mod metrics;
+pub mod site;
+pub mod virtual_time;
+
+pub use cluster::ThreadedExecutor;
+pub use cost::CostModel;
+pub use fault::FaultPlan;
+pub use message::{Endpoint, MsgClass, WireSize};
+pub use metrics::RunMetrics;
+pub use site::{CoordinatorLogic, Outbox, SiteLogic};
+pub use virtual_time::VirtualExecutor;
+
+/// Which executor drives a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Real threads, wall-clock timing.
+    Threaded,
+    /// Deterministic discrete-event simulation, virtual timing.
+    Virtual,
+}
+
+/// Outcome of running a protocol to completion.
+pub struct RunOutcome<C, S> {
+    /// The coordinator, holding whatever final answer the protocol
+    /// assembled.
+    pub coordinator: C,
+    /// The per-site logics (useful for inspecting local state in
+    /// tests).
+    pub sites: Vec<S>,
+    /// Timing and shipment metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs `coordinator` + `sites` under the chosen executor.
+pub fn run<M, C, S>(
+    kind: ExecutorKind,
+    cost: &CostModel,
+    coordinator: C,
+    sites: Vec<S>,
+) -> RunOutcome<C, S>
+where
+    M: WireSize + Clone + Send + 'static,
+    C: CoordinatorLogic<M> + Send,
+    S: SiteLogic<M> + Send,
+{
+    match kind {
+        ExecutorKind::Threaded => ThreadedExecutor::new(cost.clone()).run(coordinator, sites),
+        ExecutorKind::Virtual => VirtualExecutor::new(cost.clone()).run(coordinator, sites),
+    }
+}

@@ -1,0 +1,112 @@
+//! Message addressing, classification and wire-size accounting.
+
+/// A message destination or source: the coordinator `Sc` or one of the
+/// worker sites `S1..Sn` (0-based here).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The coordinator site `Sc`.
+    Coordinator,
+    /// Worker site `Si` (0-based).
+    Site(u32),
+}
+
+impl Endpoint {
+    /// The site index, if this is a worker site.
+    pub fn site_index(self) -> Option<usize> {
+        match self {
+            Endpoint::Coordinator => None,
+            Endpoint::Site(i) => Some(i as usize),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Coordinator => write!(f, "Sc"),
+            Endpoint::Site(i) => write!(f, "S{}", i + 1),
+        }
+    }
+}
+
+/// Shipment accounting class of a message (see
+/// [`crate::metrics::RunMetrics`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgClass {
+    /// Algorithm data: Boolean variables, equations, shipped subgraphs.
+    /// This is the paper's "data shipment" (DS) metric.
+    Data,
+    /// Protocol control: query broadcast, barriers, changed-flags,
+    /// termination votes.
+    Control,
+    /// Final result collection (partial matches sent to `Sc`), which
+    /// the paper's DS figures exclude.
+    Result,
+}
+
+/// Serialized size of a message in bytes.
+///
+/// Sizes are computed by hand per message type (no serialization crate
+/// is pulled in just for accounting); implementations should match what
+/// a compact binary encoding would ship. The executors use this for the
+/// DS metrics and for the bandwidth term of the virtual-time cost
+/// model.
+pub trait WireSize {
+    /// Encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        // 4-byte length prefix plus elements.
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display_is_one_based() {
+        assert_eq!(Endpoint::Coordinator.to_string(), "Sc");
+        assert_eq!(Endpoint::Site(0).to_string(), "S1");
+        assert_eq!(Endpoint::Site(2).site_index(), Some(2));
+        assert_eq!(Endpoint::Coordinator.site_index(), None);
+    }
+
+    #[test]
+    fn wire_sizes_compose() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(7u32.wire_size(), 4);
+        assert_eq!((1u32, 2u64).wire_size(), 12);
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.wire_size(), 4 + 12);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.wire_size(), 4);
+    }
+}

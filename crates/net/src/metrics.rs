@@ -1,0 +1,132 @@
+//! Run metrics: the PT and DS quantities of the paper's figures.
+
+use std::time::Duration;
+
+/// Aggregated metrics of a protocol run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Bytes of **data** messages — the paper's DS metric.
+    pub data_bytes: u64,
+    /// Number of data messages.
+    pub data_messages: u64,
+    /// Bytes of **control** messages (barriers, query broadcast).
+    pub control_bytes: u64,
+    /// Number of control messages.
+    pub control_messages: u64,
+    /// Bytes of **result** messages (final match collection).
+    pub result_bytes: u64,
+    /// Number of result messages.
+    pub result_messages: u64,
+    /// Total charged operations across all endpoints.
+    pub total_ops: u64,
+    /// Charged operations per worker site.
+    pub site_ops: Vec<u64>,
+    /// Charged operations at the coordinator.
+    pub coordinator_ops: u64,
+    /// Virtual response time in ns (0 under the threaded executor).
+    pub virtual_time_ns: u64,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Number of quiescence rounds (phase barriers) the run used.
+    pub quiescence_rounds: u64,
+    /// Data messages delivered twice by fault injection
+    /// ([`crate::fault::FaultPlan`]); the duplicates are *also*
+    /// counted in `data_messages`/`data_bytes`, since retransmission
+    /// is real traffic.
+    pub duplicated_messages: u64,
+    /// Bytes of duplicated data messages.
+    pub duplicated_bytes: u64,
+}
+
+impl RunMetrics {
+    pub(crate) fn new(num_sites: usize) -> Self {
+        RunMetrics {
+            site_ops: vec![0; num_sites],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, class: crate::message::MsgClass, bytes: usize) {
+        match class {
+            crate::message::MsgClass::Data => {
+                self.data_bytes += bytes as u64;
+                self.data_messages += 1;
+            }
+            crate::message::MsgClass::Control => {
+                self.control_bytes += bytes as u64;
+                self.control_messages += 1;
+            }
+            crate::message::MsgClass::Result => {
+                self.result_bytes += bytes as u64;
+                self.result_messages += 1;
+            }
+        }
+    }
+
+    pub(crate) fn record_ops(&mut self, ep: crate::message::Endpoint, ops: u64) {
+        self.total_ops += ops;
+        match ep {
+            crate::message::Endpoint::Coordinator => self.coordinator_ops += ops,
+            crate::message::Endpoint::Site(i) => self.site_ops[i as usize] += ops,
+        }
+    }
+
+    /// Virtual response time in milliseconds — the unit of the paper's
+    /// PT plots (they report seconds; our scaled-down workloads land in
+    /// ms).
+    pub fn virtual_time_ms(&self) -> f64 {
+        self.virtual_time_ns as f64 / 1.0e6
+    }
+
+    /// Data shipment in KB, the unit of the paper's DS plots.
+    pub fn data_kb(&self) -> f64 {
+        self.data_bytes as f64 / 1024.0
+    }
+
+    /// The largest per-site op count (a proxy for the parallel
+    /// computation bottleneck).
+    pub fn max_site_ops(&self) -> u64 {
+        self.site_ops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Endpoint, MsgClass};
+
+    #[test]
+    fn record_send_classifies() {
+        let mut m = RunMetrics::new(2);
+        m.record_send(MsgClass::Data, 100);
+        m.record_send(MsgClass::Data, 50);
+        m.record_send(MsgClass::Control, 8);
+        m.record_send(MsgClass::Result, 300);
+        assert_eq!(m.data_bytes, 150);
+        assert_eq!(m.data_messages, 2);
+        assert_eq!(m.control_bytes, 8);
+        assert_eq!(m.result_bytes, 300);
+        assert!((m.data_kb() - 150.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_ops_attributes_per_endpoint() {
+        let mut m = RunMetrics::new(3);
+        m.record_ops(Endpoint::Site(1), 10);
+        m.record_ops(Endpoint::Site(1), 5);
+        m.record_ops(Endpoint::Coordinator, 7);
+        assert_eq!(m.site_ops, vec![0, 15, 0]);
+        assert_eq!(m.coordinator_ops, 7);
+        assert_eq!(m.total_ops, 22);
+        assert_eq!(m.max_site_ops(), 15);
+    }
+
+    #[test]
+    fn virtual_time_ms_conversion() {
+        let m = RunMetrics {
+            virtual_time_ns: 2_500_000,
+            ..RunMetrics::new(0)
+        };
+        assert!((m.virtual_time_ms() - 2.5).abs() < 1e-12);
+    }
+}

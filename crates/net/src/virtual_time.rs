@@ -1,0 +1,476 @@
+//! Deterministic discrete-event executor.
+//!
+//! Sites and the coordinator are sequential event handlers with a
+//! `ready_at` clock; a handler invoked by a message arriving at `t`
+//! starts at `max(t, ready_at)`, runs for `charged ops × ns_per_op`
+//! (plus a fixed per-message overhead), and its sends are delivered
+//! after `latency + bytes / bandwidth`. When the event queue drains,
+//! the coordinator's `on_quiescent` runs at the instant the last
+//! handler finished — the idealized fixpoint-detection barrier.
+//!
+//! Everything is ordered by `(time, sequence-number)`, so runs are
+//! fully deterministic and independent of host parallelism: this is
+//! what lets a laptop reproduce the response-time *shape* of a
+//! 20-machine cluster (DESIGN.md §4).
+
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
+use crate::message::{Endpoint, MsgClass, WireSize};
+use crate::metrics::RunMetrics;
+use crate::site::{CoordinatorLogic, Outbox, SiteLogic};
+use crate::RunOutcome;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+struct Event<M> {
+    at: u64,
+    seq: u64,
+    from: Endpoint,
+    to: Endpoint,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The deterministic discrete-event executor.
+pub struct VirtualExecutor {
+    cost: CostModel,
+    faults: Option<FaultPlan>,
+}
+
+impl VirtualExecutor {
+    /// Creates an executor with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        VirtualExecutor { cost, faults: None }
+    }
+
+    /// Enables deterministic at-least-once fault injection: the
+    /// configured fraction of **data** messages is delivered twice
+    /// (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Runs the protocol to completion; see [`crate::run`].
+    pub fn run<M, C, S>(&self, mut coordinator: C, mut sites: Vec<S>) -> RunOutcome<C, S>
+    where
+        M: WireSize + Clone,
+        C: CoordinatorLogic<M>,
+        S: SiteLogic<M>,
+    {
+        let n = sites.len();
+        let wall_start = Instant::now();
+        let mut metrics = RunMetrics::new(n);
+        let mut heap: BinaryHeap<Event<M>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut ready = vec![0u64; n];
+        let mut coord_ready = 0u64;
+
+        let ready_of = |ready: &[u64], coord_ready: u64, ep: Endpoint| -> u64 {
+            match ep {
+                Endpoint::Coordinator => coord_ready,
+                Endpoint::Site(i) => ready[i as usize],
+            }
+        };
+
+        // Finishes a handler invocation: advances the endpoint clock
+        // and schedules its sends.
+        let mut finish = |ep: Endpoint,
+                          arrival: u64,
+                          overhead: u64,
+                          out: Outbox<M>,
+                          ready: &mut [u64],
+                          coord_ready: &mut u64,
+                          heap: &mut BinaryHeap<Event<M>>,
+                          metrics: &mut RunMetrics|
+         -> u64 {
+            let start = arrival.max(ready_of(ready, *coord_ready, ep));
+            let busy = self.cost.compute_ns_at(ep.site_index(), out.ops) + overhead;
+            let end = start + busy;
+            match ep {
+                Endpoint::Coordinator => *coord_ready = end,
+                Endpoint::Site(i) => ready[i as usize] = end,
+            }
+            metrics.record_ops(ep, out.ops);
+            for (to, class, msg) in out.sends {
+                let bytes = msg.wire_size();
+                metrics.record_send(class, bytes);
+                seq += 1;
+                // At-least-once injection: a duplicate copy of a data
+                // message arrives after an extra delay, as if a
+                // retrying transport re-sent it.
+                if class == MsgClass::Data {
+                    if let Some(plan) = &self.faults {
+                        if plan.duplicates(seq) {
+                            metrics.record_send(class, bytes);
+                            metrics.duplicated_messages += 1;
+                            metrics.duplicated_bytes += bytes as u64;
+                            seq += 1;
+                            heap.push(Event {
+                                at: end
+                                    + self.cost.delivery_ns_jittered(bytes, seq)
+                                    + plan.extra_delay_ns,
+                                seq,
+                                from: ep,
+                                to,
+                                msg: msg.clone(),
+                            });
+                        }
+                    }
+                }
+                heap.push(Event {
+                    at: end + self.cost.delivery_ns_jittered(bytes, seq),
+                    seq,
+                    from: ep,
+                    to,
+                    msg,
+                });
+            }
+            end
+        };
+
+        // Start-up handlers, all at t = 0.
+        {
+            let mut out = Outbox::new(Endpoint::Coordinator, n);
+            coordinator.on_start(&mut out);
+            finish(
+                Endpoint::Coordinator,
+                0,
+                0,
+                out,
+                &mut ready,
+                &mut coord_ready,
+                &mut heap,
+                &mut metrics,
+            );
+        }
+        for (i, site) in sites.iter_mut().enumerate() {
+            let ep = Endpoint::Site(i as u32);
+            let mut out = Outbox::new(ep, n);
+            site.on_start(&mut out);
+            finish(ep, 0, 0, out, &mut ready, &mut coord_ready, &mut heap, &mut metrics);
+        }
+
+        let response_time;
+        loop {
+            while let Some(ev) = heap.pop() {
+                let mut out = Outbox::new(ev.to, n);
+                match ev.to {
+                    Endpoint::Coordinator => {
+                        coordinator.on_message(ev.from, ev.msg, &mut out);
+                    }
+                    Endpoint::Site(i) => {
+                        sites[i as usize].on_message(ev.from, ev.msg, &mut out);
+                    }
+                }
+                finish(
+                    ev.to,
+                    ev.at,
+                    self.cost.ns_per_message,
+                    out,
+                    &mut ready,
+                    &mut coord_ready,
+                    &mut heap,
+                    &mut metrics,
+                );
+            }
+
+            // Quiescent: all deliveries processed; the barrier fires
+            // once every endpoint has finished its last handler.
+            let now = ready.iter().copied().max().unwrap_or(0).max(coord_ready);
+            metrics.quiescence_rounds += 1;
+            let mut out = Outbox::new(Endpoint::Coordinator, n);
+            let done = coordinator.on_quiescent(&mut out);
+            let end = finish(
+                Endpoint::Coordinator,
+                now,
+                0,
+                out,
+                &mut ready,
+                &mut coord_ready,
+                &mut heap,
+                &mut metrics,
+            );
+            if done {
+                response_time = end;
+                break;
+            }
+            assert!(
+                !heap.is_empty(),
+                "protocol stalled: on_quiescent returned false without sending"
+            );
+        }
+
+        metrics.virtual_time_ns = response_time;
+        metrics.wall_time = wall_start.elapsed();
+        RunOutcome {
+            coordinator,
+            sites,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong: coordinator sends `k` to site 0; site replies `k-1`;
+    /// repeat until 0.
+    struct PingCoord {
+        start: u32,
+        finished: bool,
+    }
+    struct PongSite;
+
+    impl CoordinatorLogic<u32> for PingCoord {
+        fn on_start(&mut self, out: &mut Outbox<u32>) {
+            out.send(Endpoint::Site(0), self.start);
+        }
+        fn on_message(&mut self, _from: Endpoint, msg: u32, out: &mut Outbox<u32>) {
+            out.charge_ops(1);
+            if msg == 0 {
+                self.finished = true;
+            } else {
+                out.send(Endpoint::Site(0), msg);
+            }
+        }
+        fn on_quiescent(&mut self, _out: &mut Outbox<u32>) -> bool {
+            assert!(self.finished, "quiesced before finishing");
+            true
+        }
+    }
+    impl SiteLogic<u32> for PongSite {
+        fn on_start(&mut self, _out: &mut Outbox<u32>) {}
+        fn on_message(&mut self, from: Endpoint, msg: u32, out: &mut Outbox<u32>) {
+            out.charge_ops(10);
+            out.send(from, msg - 1);
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_metrics() {
+        let exec = VirtualExecutor::new(CostModel::default());
+        let outcome = exec.run(
+            PingCoord {
+                start: 5,
+                finished: false,
+            },
+            vec![PongSite],
+        );
+        assert!(outcome.coordinator.finished);
+        // 5 pings + 5 pongs.
+        assert_eq!(outcome.metrics.data_messages, 10);
+        assert_eq!(outcome.metrics.data_bytes, 40);
+        assert_eq!(outcome.metrics.site_ops, vec![50]);
+        assert_eq!(outcome.metrics.coordinator_ops, 5);
+        assert_eq!(outcome.metrics.quiescence_rounds, 1);
+        assert!(outcome.metrics.virtual_time_ns > 10 * CostModel::default().latency_ns);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let exec = VirtualExecutor::new(CostModel::default());
+            let mut m = exec
+                .run(
+                    PingCoord {
+                        start: 8,
+                        finished: false,
+                    },
+                    vec![PongSite],
+                )
+                .metrics;
+            // Wall time is real time and legitimately varies; all the
+            // virtual quantities must be bit-identical.
+            m.wall_time = std::time::Duration::ZERO;
+            m
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A two-phase protocol: phase 1 scatters to all sites; at the
+    /// first quiescence the coordinator starts phase 2; the second
+    /// quiescence terminates.
+    struct TwoPhase {
+        phase: u32,
+    }
+    struct EchoSite {
+        received: u32,
+    }
+    impl CoordinatorLogic<u32> for TwoPhase {
+        fn on_start(&mut self, out: &mut Outbox<u32>) {
+            for i in 0..out.num_sites() {
+                out.send_control(Endpoint::Site(i as u32), 1);
+            }
+        }
+        fn on_message(&mut self, _from: Endpoint, _msg: u32, _out: &mut Outbox<u32>) {}
+        fn on_quiescent(&mut self, out: &mut Outbox<u32>) -> bool {
+            self.phase += 1;
+            if self.phase == 1 {
+                for i in 0..out.num_sites() {
+                    out.send_control(Endpoint::Site(i as u32), 2);
+                }
+                false
+            } else {
+                true
+            }
+        }
+    }
+    impl SiteLogic<u32> for EchoSite {
+        fn on_start(&mut self, _out: &mut Outbox<u32>) {}
+        fn on_message(&mut self, _from: Endpoint, msg: u32, out: &mut Outbox<u32>) {
+            self.received += msg;
+            out.send_result(Endpoint::Coordinator, msg);
+        }
+    }
+
+    #[test]
+    fn multi_phase_quiescence() {
+        let exec = VirtualExecutor::new(CostModel::compute_only());
+        let outcome = exec.run(
+            TwoPhase { phase: 0 },
+            vec![EchoSite { received: 0 }, EchoSite { received: 0 }],
+        );
+        assert_eq!(outcome.metrics.quiescence_rounds, 2);
+        assert_eq!(outcome.metrics.control_messages, 4);
+        assert_eq!(outcome.metrics.result_messages, 4);
+        for s in &outcome.sites {
+            assert_eq!(s.received, 3);
+        }
+    }
+
+    /// Parallelism check: k sites each charging W ops in their start
+    /// handler finish in ~W time, not k*W — the virtual clock models
+    /// one processor per site.
+    struct NullCoord;
+    impl CoordinatorLogic<()> for NullCoord {
+        fn on_start(&mut self, _out: &mut Outbox<()>) {}
+        fn on_message(&mut self, _f: Endpoint, _m: (), _o: &mut Outbox<()>) {}
+        fn on_quiescent(&mut self, _out: &mut Outbox<()>) -> bool {
+            true
+        }
+    }
+    struct BusySite {
+        work: u64,
+    }
+    impl SiteLogic<()> for BusySite {
+        fn on_start(&mut self, out: &mut Outbox<()>) {
+            out.charge_ops(self.work);
+        }
+        fn on_message(&mut self, _f: Endpoint, _m: (), _o: &mut Outbox<()>) {}
+    }
+
+    #[test]
+    fn sites_run_in_parallel_in_virtual_time() {
+        let exec = VirtualExecutor::new(CostModel::compute_only());
+        let one = exec.run(NullCoord, vec![BusySite { work: 1_000 }]);
+        let many = exec.run(
+            NullCoord,
+            (0..8).map(|_| BusySite { work: 1_000 }).collect(),
+        );
+        assert_eq!(one.metrics.virtual_time_ns, many.metrics.virtual_time_ns);
+        assert_eq!(many.metrics.total_ops, 8_000);
+    }
+
+    #[test]
+    fn straggler_dominates_response_time() {
+        // 8 equal sites; slowing one by 10× stretches the virtual
+        // response time by ~10× (the barrier waits for the straggler).
+        let fast = VirtualExecutor::new(CostModel::compute_only());
+        let base = fast
+            .run(NullCoord, (0..8).map(|_| BusySite { work: 1_000 }).collect())
+            .metrics
+            .virtual_time_ns;
+        let slow = VirtualExecutor::new(CostModel::compute_only().with_straggler(3, 10.0));
+        let slowed = slow
+            .run(NullCoord, (0..8).map(|_| BusySite { work: 1_000 }).collect())
+            .metrics
+            .virtual_time_ns;
+        assert_eq!(base, 1_000);
+        assert_eq!(slowed, 10_000);
+    }
+
+    #[test]
+    fn duplication_inflates_traffic_and_redelivers() {
+        // Count deliveries at the site: with duplicate_rate = 1 every
+        // data message arrives twice.
+        struct CountSite {
+            seen: u64,
+        }
+        impl SiteLogic<u32> for CountSite {
+            fn on_start(&mut self, _out: &mut Outbox<u32>) {}
+            fn on_message(&mut self, _f: Endpoint, _m: u32, _o: &mut Outbox<u32>) {
+                self.seen += 1;
+            }
+        }
+        struct SendThree;
+        impl CoordinatorLogic<u32> for SendThree {
+            fn on_start(&mut self, out: &mut Outbox<u32>) {
+                for k in 0..3 {
+                    out.send(Endpoint::Site(0), k);
+                }
+            }
+            fn on_message(&mut self, _f: Endpoint, _m: u32, _o: &mut Outbox<u32>) {}
+            fn on_quiescent(&mut self, _out: &mut Outbox<u32>) -> bool {
+                true
+            }
+        }
+        let exec = VirtualExecutor::new(CostModel::default())
+            .with_faults(crate::fault::FaultPlan::duplicating(1.0, 0));
+        let outcome = exec.run(SendThree, vec![CountSite { seen: 0 }]);
+        assert_eq!(outcome.sites[0].seen, 6);
+        assert_eq!(outcome.metrics.duplicated_messages, 3);
+        assert_eq!(outcome.metrics.data_messages, 6);
+        assert_eq!(outcome.metrics.duplicated_bytes * 2, outcome.metrics.data_bytes);
+    }
+
+    #[test]
+    fn control_and_result_traffic_is_never_duplicated() {
+        let exec = VirtualExecutor::new(CostModel::compute_only())
+            .with_faults(crate::fault::FaultPlan::duplicating(1.0, 0));
+        let outcome = exec.run(
+            TwoPhase { phase: 0 },
+            vec![EchoSite { received: 0 }, EchoSite { received: 0 }],
+        );
+        assert_eq!(outcome.metrics.duplicated_messages, 0);
+        assert_eq!(outcome.metrics.control_messages, 4);
+        assert_eq!(outcome.metrics.result_messages, 4);
+        for s in &outcome.sites {
+            assert_eq!(s.received, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol stalled")]
+    fn stalled_protocol_panics() {
+        struct Stall;
+        impl CoordinatorLogic<()> for Stall {
+            fn on_start(&mut self, _out: &mut Outbox<()>) {}
+            fn on_message(&mut self, _f: Endpoint, _m: (), _o: &mut Outbox<()>) {}
+            fn on_quiescent(&mut self, _out: &mut Outbox<()>) -> bool {
+                false
+            }
+        }
+        let exec = VirtualExecutor::new(CostModel::default());
+        let _ = exec.run::<(), _, BusySite>(Stall, vec![]);
+    }
+}

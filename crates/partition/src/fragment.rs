@@ -1,0 +1,545 @@
+//! Fragments and fragmentations (§2.2 of the paper).
+//!
+//! [`Fragmentation::build`] turns a site assignment (`Vec<SiteId>`,
+//! one site per node) into per-site [`Fragment`]s. Each fragment stores
+//! a *compact local index space*: indices `0..n_local` are the local
+//! nodes `Vi` (in ascending global-id order) and indices
+//! `n_local..n_local + n_virtual` are the virtual nodes `Fi.O`. The
+//! edge set `Ei` (local→local and crossing local→virtual edges) is
+//! stored in CSR form together with its reverse, which is what the
+//! incremental falsification propagation of `lEval` walks.
+
+use dgs_graph::{Graph, Label, NodeId};
+use std::collections::HashMap;
+
+/// A site identifier, `0..fragmentation.num_sites()`.
+pub type SiteId = usize;
+
+/// One fragment `Fi = (Vi ∪ Fi.O, Ei, Li)` materialized at a site.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    site: SiteId,
+    n_local: usize,
+    /// Global ids per local index (locals first, then virtuals); both
+    /// sections are sorted by global id.
+    global_ids: Vec<NodeId>,
+    /// Labels per local index.
+    labels: Vec<Label>,
+    /// CSR of `Ei` over local indices; only local nodes have out-edges.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    /// Reverse CSR of `Ei`, defined for all local indices.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<u32>,
+    /// Local indices of the in-nodes `Fi.I`, sorted.
+    in_nodes: Vec<u32>,
+    /// For each in-node (aligned with `in_nodes`): the sites holding it
+    /// as a virtual node, i.e. the sites to notify when one of its
+    /// Boolean variables is falsified (the annotation `A_d(·)` of the
+    /// local dependency graph, §4.1).
+    in_node_subscribers: Vec<Vec<SiteId>>,
+    /// Owner site of each virtual node (aligned with the virtual
+    /// section of `global_ids`).
+    virtual_owners: Vec<SiteId>,
+    /// Global id → local index.
+    index_of: HashMap<NodeId, u32>,
+}
+
+impl Fragment {
+    /// The site this fragment resides at.
+    #[inline]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// `|Vi|`: number of local nodes.
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.n_local
+    }
+
+    /// `|Fi.O|`: number of virtual nodes.
+    #[inline]
+    pub fn n_virtual(&self) -> usize {
+        self.global_ids.len() - self.n_local
+    }
+
+    /// Total local index space size (`|Vi| + |Fi.O|`).
+    #[inline]
+    pub fn n_total(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Number of edges in `Ei`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// The paper's fragment size `|Fi| = |Vi ∪ Fi.O| + |Ei|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n_total() + self.n_edges()
+    }
+
+    /// True iff local index `idx` refers to a virtual node.
+    #[inline]
+    pub fn is_virtual(&self, idx: u32) -> bool {
+        (idx as usize) >= self.n_local
+    }
+
+    /// Global node id of local index `idx`.
+    #[inline]
+    pub fn global_id(&self, idx: u32) -> NodeId {
+        self.global_ids[idx as usize]
+    }
+
+    /// Label of local index `idx`.
+    #[inline]
+    pub fn label(&self, idx: u32) -> Label {
+        self.labels[idx as usize]
+    }
+
+    /// Local index of a global node, if present in this fragment
+    /// (as local or virtual).
+    #[inline]
+    pub fn index_of(&self, v: NodeId) -> Option<u32> {
+        self.index_of.get(&v).copied()
+    }
+
+    /// Successors of `idx` within `Ei` (empty for virtual nodes).
+    #[inline]
+    pub fn successors(&self, idx: u32) -> &[u32] {
+        let lo = self.out_offsets[idx as usize] as usize;
+        let hi = self.out_offsets[idx as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// Predecessors of `idx` within `Ei` (always local nodes).
+    #[inline]
+    pub fn predecessors(&self, idx: u32) -> &[u32] {
+        let lo = self.in_offsets[idx as usize] as usize;
+        let hi = self.in_offsets[idx as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Local indices of the in-nodes `Fi.I`.
+    #[inline]
+    pub fn in_nodes(&self) -> &[u32] {
+        &self.in_nodes
+    }
+
+    /// Sites that hold in-node `in_nodes()[pos]` as a virtual node.
+    #[inline]
+    pub fn in_node_subscribers(&self, pos: usize) -> &[SiteId] {
+        &self.in_node_subscribers[pos]
+    }
+
+    /// Position of `idx` within `in_nodes()`, if it is an in-node.
+    #[inline]
+    pub fn in_node_pos(&self, idx: u32) -> Option<usize> {
+        self.in_nodes.binary_search(&idx).ok()
+    }
+
+    /// Owner site of the virtual node at local index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is not a virtual index.
+    #[inline]
+    pub fn virtual_owner(&self, idx: u32) -> SiteId {
+        assert!(self.is_virtual(idx), "{idx} is not a virtual index");
+        self.virtual_owners[idx as usize - self.n_local]
+    }
+
+    /// Iterates the local indices of all virtual nodes.
+    pub fn virtual_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        (self.n_local as u32)..(self.n_total() as u32)
+    }
+
+    /// Iterates the local indices of all local nodes.
+    pub fn local_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        0..(self.n_local as u32)
+    }
+}
+
+/// A fragmentation `F = (F1, ..., Fn)` of a graph, plus the global
+/// quantities the paper's bounds are stated in (`|Vf|`, `|Ef|`,
+/// `|Fm|`).
+#[derive(Clone, Debug)]
+pub struct Fragmentation {
+    num_sites: usize,
+    assignment: Vec<SiteId>,
+    fragments: Vec<Fragment>,
+    vf: usize,
+    ef: usize,
+}
+
+impl Fragmentation {
+    /// Builds the fragmentation of `graph` induced by `assignment`
+    /// (site per node). Sites are `0..num_sites`; `num_sites` must be
+    /// at least `max(assignment) + 1` and empty sites are allowed.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != graph.node_count()` or a site id
+    /// is out of range.
+    pub fn build(graph: &Graph, assignment: &[SiteId], num_sites: usize) -> Self {
+        assert_eq!(
+            assignment.len(),
+            graph.node_count(),
+            "assignment must cover every node"
+        );
+        assert!(
+            assignment.iter().all(|&s| s < num_sites),
+            "site id out of range"
+        );
+        let n = graph.node_count();
+
+        // Local nodes per site (ascending global order) and each node's
+        // local index.
+        let mut locals: Vec<Vec<NodeId>> = vec![Vec::new(); num_sites];
+        let mut local_idx = vec![0u32; n];
+        for v in graph.nodes() {
+            let s = assignment[v.index()];
+            local_idx[v.index()] = locals[s].len() as u32;
+            locals[s].push(v);
+        }
+
+        // Virtual node sets, crossing-edge count and in-node
+        // subscriber sets.
+        let mut virtuals: Vec<Vec<NodeId>> = vec![Vec::new(); num_sites];
+        // (target site, target node, source site) triples for in-node
+        // subscriber computation.
+        let mut in_subs: Vec<Vec<(NodeId, SiteId)>> = vec![Vec::new(); num_sites];
+        let mut ef = 0usize;
+        for (u, v) in graph.edges() {
+            let su = assignment[u.index()];
+            let sv = assignment[v.index()];
+            if su != sv {
+                ef += 1;
+                virtuals[su].push(v);
+                in_subs[sv].push((v, su));
+            }
+        }
+        for vs in &mut virtuals {
+            vs.sort_unstable();
+            vs.dedup();
+        }
+
+        // |Vf| = distinct nodes that are a virtual node of some
+        // fragment (equivalently: have an incoming crossing edge).
+        let mut is_vf = vec![false; n];
+        for vs in &virtuals {
+            for &v in vs {
+                is_vf[v.index()] = true;
+            }
+        }
+        let vf = is_vf.iter().filter(|&&b| b).count();
+
+        let mut fragments = Vec::with_capacity(num_sites);
+        for site in 0..num_sites {
+            let n_local = locals[site].len();
+            let mut global_ids: Vec<NodeId> = Vec::with_capacity(n_local + virtuals[site].len());
+            global_ids.extend_from_slice(&locals[site]);
+            global_ids.extend_from_slice(&virtuals[site]);
+            let labels: Vec<Label> = global_ids.iter().map(|&v| graph.label(v)).collect();
+            let mut index_of = HashMap::with_capacity(global_ids.len());
+            for (i, &v) in global_ids.iter().enumerate() {
+                index_of.insert(v, i as u32);
+            }
+            let virtual_owners: Vec<SiteId> = virtuals[site]
+                .iter()
+                .map(|&v| assignment[v.index()])
+                .collect();
+
+            // Ei in CSR over local indices.
+            let n_total = global_ids.len();
+            let mut out_offsets = vec![0u32; n_total + 1];
+            let mut edges_local: Vec<(u32, u32)> = Vec::new();
+            for (i, &v) in locals[site].iter().enumerate() {
+                for &w in graph.successors(v) {
+                    let widx = index_of[&w];
+                    edges_local.push((i as u32, widx));
+                }
+            }
+            for &(u, _) in &edges_local {
+                out_offsets[u as usize + 1] += 1;
+            }
+            for i in 0..n_total {
+                out_offsets[i + 1] += out_offsets[i];
+            }
+            let out_targets: Vec<u32> = edges_local.iter().map(|&(_, w)| w).collect();
+
+            let mut in_offsets = vec![0u32; n_total + 1];
+            for &(_, w) in &edges_local {
+                in_offsets[w as usize + 1] += 1;
+            }
+            for i in 0..n_total {
+                in_offsets[i + 1] += in_offsets[i];
+            }
+            let mut cursor = in_offsets.clone();
+            let mut in_sources = vec![0u32; edges_local.len()];
+            for &(u, w) in &edges_local {
+                in_sources[cursor[w as usize] as usize] = u;
+                cursor[w as usize] += 1;
+            }
+
+            // In-nodes and their subscribers.
+            let mut subs_map: HashMap<NodeId, Vec<SiteId>> = HashMap::new();
+            for &(v, src_site) in &in_subs[site] {
+                let e = subs_map.entry(v).or_default();
+                if !e.contains(&src_site) {
+                    e.push(src_site);
+                }
+            }
+            let mut in_nodes: Vec<u32> = subs_map.keys().map(|&v| local_idx[v.index()]).collect();
+            in_nodes.sort_unstable();
+            let in_node_subscribers: Vec<Vec<SiteId>> = in_nodes
+                .iter()
+                .map(|&idx| {
+                    let gid = locals[site][idx as usize];
+                    let mut subs = subs_map[&gid].clone();
+                    subs.sort_unstable();
+                    subs
+                })
+                .collect();
+
+            fragments.push(Fragment {
+                site,
+                n_local,
+                global_ids,
+                labels,
+                out_offsets,
+                out_targets,
+                in_offsets,
+                in_sources,
+                in_nodes,
+                in_node_subscribers,
+                virtual_owners,
+                index_of,
+            });
+        }
+
+        Fragmentation {
+            num_sites,
+            assignment: assignment.to_vec(),
+            fragments,
+            vf,
+            ef,
+        }
+    }
+
+    /// Number of sites `|F|`.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The fragment at `site`.
+    #[inline]
+    pub fn fragment(&self, site: SiteId) -> &Fragment {
+        &self.fragments[site]
+    }
+
+    /// All fragments, indexed by site.
+    #[inline]
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Owner site of a global node.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> SiteId {
+        self.assignment[v.index()]
+    }
+
+    /// The site assignment (one site per global node).
+    #[inline]
+    pub fn assignment(&self) -> &[SiteId] {
+        &self.assignment
+    }
+
+    /// `|Vf|`: number of distinct virtual nodes across all fragments.
+    #[inline]
+    pub fn vf(&self) -> usize {
+        self.vf
+    }
+
+    /// `|Ef|`: number of crossing edges.
+    #[inline]
+    pub fn ef(&self) -> usize {
+        self.ef
+    }
+
+    /// The largest fragment size `|Fm|` (nodes + edges).
+    pub fn fm_size(&self) -> usize {
+        self.fragments.iter().map(Fragment::size).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+    use dgs_graph::GraphBuilder;
+
+    fn two_site_line() -> (Graph, Fragmentation) {
+        // 0 -> 1 -> 2 -> 3 with sites [0, 0, 1, 1].
+        let mut b = GraphBuilder::new();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let f = Fragmentation::build(&g, &[0, 0, 1, 1], 2);
+        (g, f)
+    }
+
+    #[test]
+    fn local_and_virtual_partitions() {
+        let (_, f) = two_site_line();
+        let f0 = f.fragment(0);
+        assert_eq!(f0.n_local(), 2);
+        assert_eq!(f0.n_virtual(), 1); // node 2 is virtual at site 0
+        assert_eq!(f0.global_id(2), NodeId(2));
+        assert!(f0.is_virtual(2));
+        assert_eq!(f0.virtual_owner(2), 1);
+
+        let f1 = f.fragment(1);
+        assert_eq!(f1.n_local(), 2);
+        assert_eq!(f1.n_virtual(), 0);
+        assert_eq!(f1.in_nodes().len(), 1);
+        assert_eq!(f1.global_id(f1.in_nodes()[0]), NodeId(2));
+        assert_eq!(f1.in_node_subscribers(0), &[0]);
+    }
+
+    #[test]
+    fn vf_ef_counts() {
+        let (_, f) = two_site_line();
+        assert_eq!(f.ef(), 1);
+        assert_eq!(f.vf(), 1);
+        assert_eq!(f.owner(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn fragment_edges_cover_local_and_crossing() {
+        let (_, f) = two_site_line();
+        let f0 = f.fragment(0);
+        // Edges at site 0: (0,1) local and (1,2) crossing.
+        assert_eq!(f0.n_edges(), 2);
+        assert_eq!(f0.successors(0), &[1]);
+        assert_eq!(f0.successors(1), &[2]); // virtual index
+        assert_eq!(f0.successors(2), &[] as &[u32]); // virtual: no out-edges
+        assert_eq!(f0.predecessors(2), &[1]);
+    }
+
+    #[test]
+    fn fig1_fragmentation_matches_paper() {
+        let w = fig1();
+        let f = Fragmentation::build(&w.graph, &w.assignment, 3);
+        // Example 4: F1.O = {f4, f2, yf2}, F1.I = {sp1, yf1}.
+        let f1 = f.fragment(0);
+        let virt_names: Vec<&str> = f1
+            .virtual_indices()
+            .map(|i| w.node_names[f1.global_id(i).index()])
+            .collect();
+        let mut virt_sorted = virt_names.clone();
+        virt_sorted.sort_unstable();
+        assert_eq!(virt_sorted, vec!["f2", "f4", "yf2"]);
+        let in_names: Vec<&str> = f1
+            .in_nodes()
+            .iter()
+            .map(|&i| w.node_names[f1.global_id(i).index()])
+            .collect();
+        let mut in_sorted = in_names;
+        in_sorted.sort_unstable();
+        assert_eq!(in_sorted, vec!["sp1", "yf1"]);
+
+        // Example 5: G3d has (S1,S3) annotated {f4} and (S2,S3)
+        // annotated {sp3, yf3}: i.e. at site 2, in-node f4 has
+        // subscriber S1=0, and sp3/yf3 have subscriber S2=1.
+        let f3 = f.fragment(2);
+        for (pos, &idx) in f3.in_nodes().iter().enumerate() {
+            let name = w.node_names[f3.global_id(idx).index()];
+            let subs = f3.in_node_subscribers(pos);
+            match name {
+                "f4" => assert_eq!(subs, &[0]),
+                "sp3" | "yf3" => assert_eq!(subs, &[1]),
+                other => panic!("unexpected in-node {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_site_allowed() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(2, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let f = Fragmentation::build(&g, &[0, 0], 3);
+        assert_eq!(f.num_sites(), 3);
+        assert_eq!(f.fragment(1).n_total(), 0);
+        assert_eq!(f.fragment(2).n_total(), 0);
+        assert_eq!(f.ef(), 0);
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let (_, f) = two_site_line();
+        let f0 = f.fragment(0);
+        for idx in 0..f0.n_total() as u32 {
+            assert_eq!(f0.index_of(f0.global_id(idx)), Some(idx));
+        }
+        assert_eq!(f0.index_of(NodeId(3)), None);
+    }
+
+    #[test]
+    fn fm_size_is_largest() {
+        let (_, f) = two_site_line();
+        // site 0: 3 nodes (2 local + 1 virtual) + 2 edges = 5
+        // site 1: 2 nodes + 1 edge = 3
+        assert_eq!(f.fm_size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover")]
+    fn wrong_assignment_length_panics() {
+        let (g, _) = two_site_line();
+        let _ = Fragmentation::build(&g, &[0, 0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "site id out of range")]
+    fn out_of_range_site_panics() {
+        let (g, _) = two_site_line();
+        let _ = Fragmentation::build(&g, &[0, 0, 1, 5], 2);
+    }
+
+    #[test]
+    fn crossing_edges_per_fragment_in_example4() {
+        let w = fig1();
+        let f = Fragmentation::build(&w.graph, &w.assignment, 3);
+        // F1's crossing edges: (f1,f4), (yf1,f2), (sp1,yf2), (sp1,f2).
+        let f1 = f.fragment(0);
+        let mut crossing: Vec<(String, String)> = Vec::new();
+        for u in f1.local_indices() {
+            for &t in f1.successors(u) {
+                if f1.is_virtual(t) {
+                    crossing.push((
+                        w.node_names[f1.global_id(u).index()].to_owned(),
+                        w.node_names[f1.global_id(t).index()].to_owned(),
+                    ));
+                }
+            }
+        }
+        crossing.sort();
+        assert_eq!(
+            crossing,
+            vec![
+                ("f1".to_owned(), "f4".to_owned()),
+                ("sp1".to_owned(), "f2".to_owned()),
+                ("sp1".to_owned(), "yf2".to_owned()),
+                ("yf1".to_owned(), "f2".to_owned()),
+            ]
+        );
+    }
+}

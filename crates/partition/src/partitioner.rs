@@ -1,0 +1,400 @@
+//! Site-assignment strategies.
+//!
+//! The paper randomly partitions `G` into `|F|` balanced fragments and
+//! then refines by node swaps "following \[27\]" (Ja-be-Ja) until
+//! `|Vf|/|V|` (or `|Ef|/|E|`) reaches a target ratio. This module
+//! implements:
+//!
+//! * [`hash_partition`] — seeded balanced random assignment;
+//! * [`bfs_partition`] — BFS-clustered chunks (low crossing ratio, the
+//!   starting point when the target ratio is small);
+//! * [`refine_toward_ratio`] — greedy single-node moves that walk
+//!   `|Vf|/|V|` or `|Ef|/|E|` toward a target while keeping fragments
+//!   balanced.
+
+use crate::fragment::SiteId;
+use dgs_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A balanced random assignment: nodes are shuffled and dealt
+/// round-robin, so every site gets `n/k` nodes (±1).
+pub fn hash_partition(n: usize, k: usize, seed: u64) -> Vec<SiteId> {
+    assert!(k > 0, "need at least one site");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut assignment = vec![0; n];
+    for (pos, &v) in order.iter().enumerate() {
+        assignment[v] = pos % k;
+    }
+    assignment
+}
+
+/// A BFS-clustered balanced assignment: nodes are visited in BFS order
+/// over the *undirected* view of the graph (restarting at unvisited
+/// nodes), and the visit order is cut into `k` equal chunks. Fragments
+/// come out mostly connected, minimizing crossing edges.
+pub fn bfs_partition(graph: &Graph, k: usize, seed: u64) -> Vec<SiteId> {
+    assert!(k > 0, "need at least one site");
+    let n = graph.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut restart: Vec<usize> = (0..n).collect();
+    restart.shuffle(&mut rng);
+    for &start in &restart {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(NodeId(start as u32));
+        while let Some(v) = queue.pop_front() {
+            order.push(v.index());
+            for &w in graph.successors(v).iter().chain(graph.predecessors(v)) {
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let chunk = n.div_ceil(k).max(1);
+    let mut assignment = vec![0; n];
+    for (pos, &v) in order.iter().enumerate() {
+        assignment[v] = (pos / chunk).min(k - 1);
+    }
+    assignment
+}
+
+/// Which crossing quantity [`refine_toward_ratio`] steers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineObjective {
+    /// Steer `|Vf| / |V|` (nodes with an incoming crossing edge).
+    VfRatio,
+    /// Steer `|Ef| / |E|` (crossing edges).
+    EfRatio,
+}
+
+/// Incrementally maintained crossing statistics for single-node moves.
+struct CrossState<'a> {
+    graph: &'a Graph,
+    assignment: Vec<SiteId>,
+    /// Per node: number of incoming crossing edges.
+    ext_in: Vec<u32>,
+    vf: usize,
+    ef: usize,
+    sizes: Vec<usize>,
+}
+
+impl<'a> CrossState<'a> {
+    fn new(graph: &'a Graph, assignment: &[SiteId], k: usize) -> Self {
+        let n = graph.node_count();
+        let mut ext_in = vec![0u32; n];
+        let mut ef = 0usize;
+        for (u, v) in graph.edges() {
+            if assignment[u.index()] != assignment[v.index()] {
+                ext_in[v.index()] += 1;
+                ef += 1;
+            }
+        }
+        let vf = ext_in.iter().filter(|&&c| c > 0).count();
+        let mut sizes = vec![0usize; k];
+        for &s in assignment {
+            sizes[s] += 1;
+        }
+        CrossState {
+            graph,
+            assignment: assignment.to_vec(),
+            ext_in,
+            vf,
+            ef,
+            sizes,
+        }
+    }
+
+    /// Moves node `v` to `to`, updating `vf`/`ef` incrementally.
+    fn apply_move(&mut self, v: NodeId, to: SiteId) {
+        let from = self.assignment[v.index()];
+        if from == to {
+            return;
+        }
+        // Out-edges of v: crossing status may flip for each target w.
+        for &w in self.graph.successors(v) {
+            let sw = self.assignment[w.index()];
+            // v -> v self-loop: sw is still `from` here and stays with v.
+            let sw_now = if w == v { to } else { sw };
+            let was = (if w == v { from } else { sw }) != from;
+            let is = sw_now != to;
+            if was != is {
+                if is {
+                    self.ef += 1;
+                    if self.ext_in[w.index()] == 0 {
+                        self.vf += 1;
+                    }
+                    self.ext_in[w.index()] += 1;
+                } else {
+                    self.ef -= 1;
+                    self.ext_in[w.index()] -= 1;
+                    if self.ext_in[w.index()] == 0 {
+                        self.vf -= 1;
+                    }
+                }
+            }
+        }
+        // In-edges of v (excluding self-loop, already handled above).
+        for &u in self.graph.predecessors(v) {
+            if u == v {
+                continue;
+            }
+            let su = self.assignment[u.index()];
+            let was = su != from;
+            let is = su != to;
+            if was != is {
+                if is {
+                    self.ef += 1;
+                    if self.ext_in[v.index()] == 0 {
+                        self.vf += 1;
+                    }
+                    self.ext_in[v.index()] += 1;
+                } else {
+                    self.ef -= 1;
+                    self.ext_in[v.index()] -= 1;
+                    if self.ext_in[v.index()] == 0 {
+                        self.vf -= 1;
+                    }
+                }
+            }
+        }
+        self.sizes[from] -= 1;
+        self.sizes[to] += 1;
+        self.assignment[v.index()] = to;
+    }
+
+    fn ratio(&self, obj: RefineObjective) -> f64 {
+        match obj {
+            RefineObjective::VfRatio => self.vf as f64 / self.graph.node_count().max(1) as f64,
+            RefineObjective::EfRatio => self.ef as f64 / self.graph.edge_count().max(1) as f64,
+        }
+    }
+}
+
+/// Greedy single-node moves steering the crossing ratio toward
+/// `target` (in either direction), keeping every fragment within
+/// `balance_slack` (e.g. `0.2` = at most 20% above the even share).
+/// Stops when within `tolerance` of the target or after `max_steps`
+/// attempted moves. Returns the refined assignment and the achieved
+/// ratio.
+#[allow(clippy::too_many_arguments)] // a tuning knob per paper parameter
+pub fn refine_toward_ratio(
+    graph: &Graph,
+    assignment: &[SiteId],
+    k: usize,
+    objective: RefineObjective,
+    target: f64,
+    tolerance: f64,
+    balance_slack: f64,
+    max_steps: usize,
+    seed: u64,
+) -> (Vec<SiteId>, f64) {
+    let n = graph.node_count();
+    if n == 0 {
+        return (assignment.to_vec(), 0.0);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state = CrossState::new(graph, assignment, k);
+    let cap = ((n as f64 / k as f64) * (1.0 + balance_slack)).ceil() as usize;
+
+    for _ in 0..max_steps {
+        let current = state.ratio(objective);
+        if (current - target).abs() <= tolerance {
+            break;
+        }
+        let need_lower = current > target;
+        let v = NodeId(rng.gen_range(0..n as u32));
+        let from = state.assignment[v.index()];
+        let to = if need_lower {
+            // Move v toward the site holding most of its neighbours.
+            let mut counts = vec![0usize; k];
+            for &w in graph.successors(v).iter().chain(graph.predecessors(v)) {
+                counts[state.assignment[w.index()]] += 1;
+            }
+            let best = (0..k).max_by_key(|&s| counts[s]).unwrap_or(from);
+            if best == from {
+                continue;
+            }
+            best
+        } else {
+            // Scatter v to a random other site to create crossings.
+            let to = rng.gen_range(0..k);
+            if to == from {
+                continue;
+            }
+            to
+        };
+        if state.sizes[to] + 1 > cap {
+            continue;
+        }
+        let before = state.ratio(objective);
+        let (vf0, ef0) = (state.vf, state.ef);
+        state.apply_move(v, to);
+        let after = state.ratio(objective);
+        let improved = if need_lower { after < before } else { after > before };
+        if !improved {
+            // Undo: move back (exact inverse).
+            state.apply_move(v, from);
+            debug_assert_eq!((state.vf, state.ef), (vf0, ef0));
+        }
+    }
+    let achieved = state.ratio(objective);
+    (state.assignment, achieved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragmentation;
+    use dgs_graph::generate::random as gen_random;
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let a = hash_partition(103, 4, 1);
+        let mut sizes = [0usize; 4];
+        for &s in &a {
+            sizes[s] += 1;
+        }
+        assert!(sizes.iter().all(|&c| (25..=26).contains(&c)), "{sizes:?}");
+    }
+
+    #[test]
+    fn hash_partition_deterministic() {
+        assert_eq!(hash_partition(50, 3, 9), hash_partition(50, 3, 9));
+        assert_ne!(hash_partition(50, 3, 9), hash_partition(50, 3, 10));
+    }
+
+    #[test]
+    fn bfs_partition_beats_random_on_crossings() {
+        // On a strongly local structure (a path), BFS chunking is
+        // near-perfect: k contiguous chunks cut only k-1 edges, while
+        // a random partition cuts almost everything.
+        let path = dgs_graph::generate::tree::random_tree_with_chain_bias(2_000, 5, 1.0, 3);
+        let bfs_a = bfs_partition(&path, 8, 1);
+        let ef_bfs = Fragmentation::build(&path, &bfs_a, 8).ef();
+        let rand_a = hash_partition(2_000, 8, 1);
+        let ef_rand = Fragmentation::build(&path, &rand_a, 8).ef();
+        assert!(ef_bfs <= 16, "path cut into {ef_bfs} crossing edges");
+        assert!(ef_bfs * 20 < ef_rand);
+
+        // On a leakier community graph BFS still helps, more modestly
+        // (cross edges pull the BFS frontier across communities).
+        let g = gen_random::community(2_000, 8_000, 8, 0.05, 15, 3);
+        let rand_a = hash_partition(2_000, 8, 1);
+        let bfs_a = bfs_partition(&g, 8, 1);
+        let ef_rand = Fragmentation::build(&g, &rand_a, 8).ef();
+        let ef_bfs = Fragmentation::build(&g, &bfs_a, 8).ef();
+        assert!(
+            ef_bfs < ef_rand,
+            "bfs {ef_bfs} not better than random {ef_rand}"
+        );
+    }
+
+    #[test]
+    fn bfs_partition_covers_all_sites() {
+        let g = gen_random::uniform(100, 300, 5, 2);
+        let a = bfs_partition(&g, 5, 0);
+        for s in 0..5 {
+            assert!(a.contains(&s), "site {s} empty");
+        }
+    }
+
+    #[test]
+    fn refine_lowers_ratio() {
+        let g = gen_random::community(1_000, 4_000, 4, 0.4, 10, 7);
+        let start = hash_partition(1_000, 4, 7);
+        let f0 = Fragmentation::build(&g, &start, 4);
+        let start_ratio = f0.ef() as f64 / g.edge_count() as f64;
+        let (refined, achieved) = refine_toward_ratio(
+            &g,
+            &start,
+            4,
+            RefineObjective::EfRatio,
+            start_ratio / 2.0,
+            0.02,
+            0.5,
+            200_000,
+            1,
+        );
+        let f1 = Fragmentation::build(&g, &refined, 4);
+        let got = f1.ef() as f64 / g.edge_count() as f64;
+        assert!((got - achieved).abs() < 1e-9);
+        assert!(got < start_ratio, "no improvement: {got} vs {start_ratio}");
+    }
+
+    #[test]
+    fn refine_raises_ratio() {
+        let g = gen_random::community(1_000, 4_000, 4, 0.02, 10, 8);
+        let start = gen_random::community_assignment(1_000, 4);
+        let f0 = Fragmentation::build(&g, &start, 4);
+        let start_ratio = f0.vf() as f64 / 1_000.0;
+        let target = (start_ratio + 0.3).min(0.9);
+        let (refined, achieved) = refine_toward_ratio(
+            &g,
+            &start,
+            4,
+            RefineObjective::VfRatio,
+            target,
+            0.02,
+            0.5,
+            200_000,
+            2,
+        );
+        assert!(
+            achieved > start_ratio,
+            "no increase: {achieved} vs {start_ratio}"
+        );
+        let f1 = Fragmentation::build(&g, &refined, 4);
+        assert_eq!(f1.vf(), (achieved * 1_000.0).round() as usize);
+    }
+
+    #[test]
+    fn refine_respects_balance() {
+        let g = gen_random::uniform(400, 1_200, 5, 3);
+        let start = hash_partition(400, 4, 3);
+        let (refined, _) = refine_toward_ratio(
+            &g,
+            &start,
+            4,
+            RefineObjective::VfRatio,
+            0.0,
+            0.001,
+            0.2,
+            100_000,
+            3,
+        );
+        let mut sizes = [0usize; 4];
+        for &s in &refined {
+            sizes[s] += 1;
+        }
+        let cap = ((400.0 / 4.0) * 1.2_f64).ceil() as usize;
+        assert!(sizes.iter().all(|&c| c <= cap), "{sizes:?}");
+    }
+
+    #[test]
+    fn cross_state_incremental_matches_rebuild() {
+        let g = gen_random::uniform(200, 800, 5, 11);
+        let a = hash_partition(200, 3, 11);
+        let mut state = CrossState::new(&g, &a, 3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let v = NodeId(rng.gen_range(0..200));
+            let to = rng.gen_range(0..3);
+            state.apply_move(v, to);
+        }
+        let rebuilt = CrossState::new(&g, &state.assignment, 3);
+        assert_eq!(state.vf, rebuilt.vf);
+        assert_eq!(state.ef, rebuilt.ef);
+        assert_eq!(state.sizes, rebuilt.sizes);
+    }
+}

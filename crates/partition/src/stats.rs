@@ -1,0 +1,110 @@
+//! Summary statistics of a fragmentation — the quantities the paper's
+//! bounds are stated in.
+
+use crate::fragment::Fragmentation;
+use dgs_graph::Graph;
+use std::fmt;
+
+/// The partition-dependent quantities of Table 1 and §3.2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FragmentationStats {
+    /// `|F|`: number of sites.
+    pub num_sites: usize,
+    /// `|Vf|`: distinct virtual nodes.
+    pub vf: usize,
+    /// `|Ef|`: crossing edges.
+    pub ef: usize,
+    /// `|Vf| / |V|` (the paper reports the `Vf` sweep as this ratio).
+    pub vf_ratio: f64,
+    /// `|Ef| / |E|`.
+    pub ef_ratio: f64,
+    /// `|Fm|`: size (nodes + edges) of the largest fragment.
+    pub fm_size: usize,
+    /// `|Vm|`: node count (local + virtual) of the largest fragment.
+    pub fm_nodes: usize,
+    /// `|Em|`: edge count of the largest fragment.
+    pub fm_edges: usize,
+}
+
+impl FragmentationStats {
+    /// Computes the statistics of `frag` over `graph`.
+    pub fn compute(graph: &Graph, frag: &Fragmentation) -> Self {
+        let (fm_nodes, fm_edges) = frag
+            .fragments()
+            .iter()
+            .map(|f| (f.n_total(), f.n_edges()))
+            .max_by_key(|&(n, e)| n + e)
+            .unwrap_or((0, 0));
+        FragmentationStats {
+            num_sites: frag.num_sites(),
+            vf: frag.vf(),
+            ef: frag.ef(),
+            vf_ratio: frag.vf() as f64 / graph.node_count().max(1) as f64,
+            ef_ratio: frag.ef() as f64 / graph.edge_count().max(1) as f64,
+            fm_size: fm_nodes + fm_edges,
+            fm_nodes,
+            fm_edges,
+        }
+    }
+}
+
+impl fmt::Display for FragmentationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|F|={} |Vf|={} ({:.1}%) |Ef|={} ({:.1}%) |Fm|={} (|Vm|={}, |Em|={})",
+            self.num_sites,
+            self.vf,
+            self.vf_ratio * 100.0,
+            self.ef,
+            self.ef_ratio * 100.0,
+            self.fm_size,
+            self.fm_nodes,
+            self.fm_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::hash_partition;
+    use dgs_graph::generate::random::uniform;
+
+    #[test]
+    fn stats_consistent_with_fragmentation() {
+        let g = uniform(300, 1_200, 10, 5);
+        let a = hash_partition(300, 6, 5);
+        let f = Fragmentation::build(&g, &a, 6);
+        let s = FragmentationStats::compute(&g, &f);
+        assert_eq!(s.num_sites, 6);
+        assert_eq!(s.vf, f.vf());
+        assert_eq!(s.ef, f.ef());
+        assert_eq!(s.fm_size, f.fm_size());
+        assert!(s.vf_ratio > 0.0 && s.vf_ratio <= 1.0);
+        assert!(s.ef_ratio > 0.0 && s.ef_ratio <= 1.0);
+        assert_eq!(s.fm_size, s.fm_nodes + s.fm_edges);
+    }
+
+    #[test]
+    fn display_mentions_key_quantities() {
+        let g = uniform(50, 200, 5, 1);
+        let a = hash_partition(50, 2, 1);
+        let f = Fragmentation::build(&g, &a, 2);
+        let s = FragmentationStats::compute(&g, &f);
+        let text = s.to_string();
+        assert!(text.contains("|F|=2"));
+        assert!(text.contains("|Vf|="));
+        assert!(text.contains("|Fm|="));
+    }
+
+    #[test]
+    fn single_site_has_no_crossings() {
+        let g = uniform(40, 160, 5, 2);
+        let f = Fragmentation::build(&g, &vec![0; 40], 1);
+        let s = FragmentationStats::compute(&g, &f);
+        assert_eq!(s.vf, 0);
+        assert_eq!(s.ef, 0);
+        assert_eq!(s.fm_size, g.size());
+    }
+}

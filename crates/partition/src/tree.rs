@@ -1,0 +1,184 @@
+//! Connected-subtree partitioning for `dGPMt` (Corollary 4).
+//!
+//! Corollary 4 requires "each fragment of `F` is connected" when `G`
+//! is a tree; then each fragment has at most one in-node (the root of
+//! its subtree), which is what makes the Boolean equation system
+//! solvable in `O(|Q||F|)` at the coordinator.
+//!
+//! [`tree_partition`] carves a rooted tree (edges parent → child, root
+//! = node 0) into at most `k` connected subtrees of roughly equal size
+//! by post-order accumulation: whenever an accumulated subtree reaches
+//! `n / k` nodes it is split off as a fragment.
+
+use crate::fragment::SiteId;
+use dgs_graph::{Graph, NodeId};
+
+/// Carves a rooted tree into at most `k` connected fragments of about
+/// `n / k` nodes each. Fragment ids are assigned in carve order; the
+/// residue containing the root gets the last id in use.
+///
+/// # Panics
+/// Panics if `graph` is not a rooted tree (node 0 the root, every other
+/// node with in-degree exactly 1) or `k == 0`.
+pub fn tree_partition(graph: &Graph, k: usize) -> Vec<SiteId> {
+    assert!(k > 0, "need at least one fragment");
+    assert!(
+        dgs_graph::generate::tree::is_rooted_tree(graph),
+        "tree_partition requires a rooted tree with root 0"
+    );
+    let n = graph.node_count();
+    let threshold = n.div_ceil(k).max(1);
+
+    const UNASSIGNED: usize = usize::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut next_site = 0usize;
+
+    // Iterative post-order over the tree.
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![NodeId(0)];
+    while let Some(v) = stack.pop() {
+        post.push(v);
+        for &c in graph.successors(v) {
+            stack.push(c);
+        }
+    }
+    // `post` currently holds a pre-order with children reversed;
+    // reverse it for a valid post-order (children before parents).
+    post.reverse();
+
+    // size[v] = number of not-yet-carved nodes in v's subtree.
+    let mut size = vec![0u32; n];
+    for &v in &post {
+        let mut s = 1u32;
+        for &c in graph.successors(v) {
+            s += size[c.index()];
+        }
+        size[v.index()] = s;
+        if (s as usize) >= threshold && next_site + 1 < k {
+            carve(graph, v, &mut assignment, next_site);
+            next_site += 1;
+            size[v.index()] = 0;
+        }
+    }
+    // Residue (containing the root).
+    for a in assignment.iter_mut() {
+        if *a == UNASSIGNED {
+            *a = next_site;
+        }
+    }
+    assignment
+}
+
+/// Assigns all not-yet-carved nodes in the subtree of `root` to `site`.
+fn carve(graph: &Graph, root: NodeId, assignment: &mut [SiteId], site: SiteId) {
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        if assignment[v.index()] != usize::MAX {
+            continue; // already carved into an earlier fragment
+        }
+        assignment[v.index()] = site;
+        for &c in graph.successors(v) {
+            stack.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragmentation;
+    use dgs_graph::generate::tree::{random_tree, random_tree_with_chain_bias};
+
+    /// Every fragment must be connected: exactly one node per fragment
+    /// has its parent outside (or is the global root).
+    fn assert_connected_fragments(g: &Graph, assignment: &[SiteId], k: usize) {
+        let mut roots = vec![0usize; k];
+        for v in g.nodes() {
+            let s = assignment[v.index()];
+            let parent_outside = if v.index() == 0 {
+                true
+            } else {
+                let p = g.predecessors(v)[0];
+                assignment[p.index()] != s
+            };
+            if parent_outside {
+                roots[s] += 1;
+            }
+        }
+        for (s, &r) in roots.iter().enumerate() {
+            assert!(r <= 1, "fragment {s} has {r} entry points (not connected)");
+        }
+    }
+
+    #[test]
+    fn fragments_are_connected_subtrees() {
+        for seed in 0..5 {
+            let g = random_tree(500, 5, seed);
+            let a = tree_partition(&g, 8);
+            assert_connected_fragments(&g, &a, 8);
+        }
+    }
+
+    #[test]
+    fn fragments_roughly_balanced() {
+        let g = random_tree_with_chain_bias(1_000, 5, 0.7, 3);
+        let a = tree_partition(&g, 10);
+        let mut sizes = vec![0usize; 10];
+        for &s in &a {
+            sizes[s] += 1;
+        }
+        let used: Vec<usize> = sizes.into_iter().filter(|&c| c > 0).collect();
+        assert!(used.len() >= 5, "too few fragments: {used:?}");
+        // Carved fragments are between threshold and ~branching*threshold.
+        for &c in &used {
+            assert!(c <= 400, "fragment too large: {used:?}");
+        }
+    }
+
+    #[test]
+    fn at_most_one_in_node_per_fragment() {
+        let g = random_tree(300, 4, 9);
+        let k = 6;
+        let a = tree_partition(&g, k);
+        let f = Fragmentation::build(&g, &a, k);
+        for site in 0..k {
+            assert!(
+                f.fragment(site).in_nodes().len() <= 1,
+                "site {site} has multiple in-nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn path_tree_partition() {
+        let g = random_tree_with_chain_bias(20, 2, 1.0, 0);
+        let a = tree_partition(&g, 4);
+        assert_connected_fragments(&g, &a, 4);
+        // A path cuts into exactly k contiguous runs.
+        let mut transitions = 0;
+        for w in a.windows(2) {
+            if w[0] != w[1] {
+                transitions += 1;
+            }
+        }
+        assert_eq!(transitions, 3);
+    }
+
+    #[test]
+    fn k_one_puts_everything_on_site_zero() {
+        let g = random_tree(50, 3, 1);
+        let a = tree_partition(&g, 1);
+        assert!(a.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rooted tree")]
+    fn non_tree_rejected() {
+        use dgs_graph::{GraphBuilder, Label};
+        let mut b = GraphBuilder::new();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        let _ = tree_partition(&b.build(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the fragmentation machinery.
+
+use dgs_graph::generate::{random, tree};
+use dgs_graph::NodeId;
+use dgs_partition::{
+    bfs_partition, hash_partition, refine_toward_ratio, tree_partition, Fragmentation,
+    RefineObjective,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fi.O / Fi.I duality (§2.2): the union of all virtual-node sets
+    /// equals the union of all in-node sets, and both equal the set of
+    /// crossing-edge targets.
+    #[test]
+    fn virtual_in_node_duality(
+        n in 10usize..120,
+        em in 1usize..5,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let assign = hash_partition(n, k, seed);
+        let frag = Fragmentation::build(&g, &assign, k);
+
+        let mut virtuals: Vec<u32> = frag
+            .fragments()
+            .iter()
+            .flat_map(|f| f.virtual_indices().map(|i| f.global_id(i).0).collect::<Vec<_>>())
+            .collect();
+        virtuals.sort_unstable();
+        virtuals.dedup();
+
+        let mut in_nodes: Vec<u32> = frag
+            .fragments()
+            .iter()
+            .flat_map(|f| f.in_nodes().iter().map(|&i| f.global_id(i).0).collect::<Vec<_>>())
+            .collect();
+        in_nodes.sort_unstable();
+        in_nodes.dedup();
+
+        prop_assert_eq!(&virtuals, &in_nodes);
+        prop_assert_eq!(virtuals.len(), frag.vf());
+    }
+
+    /// Every fragment edge set Ei covers exactly the edges whose
+    /// source is local, and subscribers point at real referencing
+    /// sites.
+    #[test]
+    fn fragment_edges_and_subscribers(
+        n in 10usize..100,
+        em in 1usize..5,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let assign = hash_partition(n, k, seed);
+        let frag = Fragmentation::build(&g, &assign, k);
+        let total_frag_edges: usize = frag.fragments().iter().map(|f| f.n_edges()).sum();
+        prop_assert_eq!(total_frag_edges, g.edge_count());
+
+        for f in frag.fragments() {
+            for (pos, &idx) in f.in_nodes().iter().enumerate() {
+                let gid = f.global_id(idx);
+                for &s in f.in_node_subscribers(pos) {
+                    prop_assert_ne!(s, f.site());
+                    // Subscriber really references gid as a virtual node.
+                    let fs = frag.fragment(s);
+                    let vidx = fs.index_of(gid).expect("subscriber holds the node");
+                    prop_assert!(fs.is_virtual(vidx));
+                }
+            }
+        }
+    }
+
+    /// hash/bfs partitions are balanced within a node of the even
+    /// share (hash) or cover all sites (bfs).
+    #[test]
+    fn partitions_are_balanced(
+        n in 20usize..200,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let a = hash_partition(n, k, seed);
+        let mut sizes = vec![0usize; k];
+        for &s in &a {
+            sizes[s] += 1;
+        }
+        let lo = n / k;
+        let hi = n.div_ceil(k);
+        prop_assert!(sizes.iter().all(|&c| (lo..=hi).contains(&c)), "{:?}", sizes);
+
+        let g = random::uniform(n, 3 * n, 4, seed);
+        let b = bfs_partition(&g, k, seed);
+        for s in 0..k {
+            prop_assert!(b.contains(&s));
+        }
+    }
+
+    /// Tree partitions always yield connected fragments (≤1 in-node).
+    #[test]
+    fn tree_partition_connected(
+        n in 5usize..300,
+        k in 1usize..10,
+        bias in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = tree::random_tree_with_chain_bias(n, 4, bias, seed);
+        let assign = tree_partition(&g, k);
+        let frag = Fragmentation::build(&g, &assign, k);
+        for f in frag.fragments() {
+            prop_assert!(f.in_nodes().len() <= 1);
+        }
+        // Every node assigned to a valid site.
+        prop_assert!(assign.iter().all(|&s| s < k));
+    }
+
+    /// Refinement never corrupts the assignment (still a partition,
+    /// achieved ratio is consistent with a rebuild).
+    #[test]
+    fn refinement_consistency(
+        n in 30usize..150,
+        k in 2usize..5,
+        target in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, 4 * n, 5, seed);
+        let start = hash_partition(n, k, seed);
+        let (refined, achieved) = refine_toward_ratio(
+            &g, &start, k, RefineObjective::VfRatio, target, 0.02, 0.5, 20_000, seed,
+        );
+        prop_assert_eq!(refined.len(), n);
+        prop_assert!(refined.iter().all(|&s| s < k));
+        let frag = Fragmentation::build(&g, &refined, k);
+        let got = frag.vf() as f64 / n as f64;
+        prop_assert!((got - achieved).abs() < 1e-9);
+    }
+
+    /// Owner lookup agrees with fragment membership.
+    #[test]
+    fn owner_agrees_with_membership(
+        n in 10usize..80,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, 2 * n, 3, seed);
+        let assign = hash_partition(n, k, seed);
+        let frag = Fragmentation::build(&g, &assign, k);
+        for v in 0..n as u32 {
+            let owner = frag.owner(NodeId(v));
+            let f = frag.fragment(owner);
+            let idx = f.index_of(NodeId(v)).expect("owner holds the node");
+            prop_assert!(!f.is_virtual(idx));
+        }
+    }
+}

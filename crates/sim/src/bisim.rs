@@ -1,0 +1,247 @@
+//! Forward bisimulation partitioning and the bisimulation quotient.
+//!
+//! Two nodes are (forward-)bisimilar iff they carry the same label and
+//! their successor sets are bisimilar class-for-class in both
+//! directions. Bisimulation is *finer* than the simulation equivalence
+//! of [`crate::preorder`] (bisimilar ⟹ mutually similar), so the
+//! bisimulation quotient is a safe — if less aggressive — input to
+//! query-preserving compression, and it is much cheaper to compute:
+//! `O((|V| + |E|) · iterations)` with hashing, no `|V|²` table.
+//!
+//! This is the equivalence computed distributively by Blom & Orzan
+//! \[6\] in the paper's related-work Table 1; here it doubles as
+//! (a) a fast compression preprocessing and (b) a reference point for
+//! how much more the coarser simulation equivalence merges.
+//!
+//! The algorithm is naive partition refinement by successor-class
+//! signatures (Kanellakis–Smolka style): start from label classes,
+//! repeatedly re-hash every node by `(class, sorted set of successor
+//! classes)` until the class count stabilizes. Each iteration is a
+//! full pass; the number of iterations is bounded by the bisimulation
+//! depth of the graph (≤ `|V|`).
+
+use dgs_graph::{Graph, GraphBuilder, NodeId};
+use std::collections::HashMap;
+
+/// A partition of the nodes of a graph into bisimulation classes.
+#[derive(Clone, Debug)]
+pub struct BisimPartition {
+    /// Dense class id per node.
+    pub class_of: Vec<u32>,
+    /// Number of classes.
+    pub class_count: usize,
+    /// Refinement iterations until fixpoint (the bisimulation depth
+    /// plus one).
+    pub iterations: usize,
+}
+
+/// Computes the coarsest forward bisimulation partition of `g`
+/// respecting node labels.
+pub fn bisimulation_partition(g: &Graph) -> BisimPartition {
+    let n = g.node_count();
+    // Round 0: classes = labels (densified).
+    let mut dense: HashMap<u32, u32> = HashMap::new();
+    let mut class_of: Vec<u32> = (0..n)
+        .map(|v| {
+            let l = u32::from(g.label(NodeId(v as u32)).0);
+            let next = dense.len() as u32;
+            *dense.entry(l).or_insert(next)
+        })
+        .collect();
+    let mut class_count = dense.len();
+    let mut iterations = 1;
+
+    loop {
+        // Signature: (own class, sorted deduped successor classes).
+        let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut next_class_of = vec![0u32; n];
+        for v in 0..n {
+            let mut succ: Vec<u32> = g
+                .successors(NodeId(v as u32))
+                .iter()
+                .map(|&w| class_of[w.index()])
+                .collect();
+            succ.sort_unstable();
+            succ.dedup();
+            let key = (class_of[v], succ);
+            let fresh = sig_ids.len() as u32;
+            next_class_of[v] = *sig_ids.entry(key).or_insert(fresh);
+        }
+        let next_count = sig_ids.len();
+        debug_assert!(next_count >= class_count, "refinement never coarsens");
+        let stable = next_count == class_count;
+        class_of = next_class_of;
+        class_count = next_count;
+        if stable {
+            break;
+        }
+        iterations += 1;
+    }
+
+    BisimPartition {
+        class_of,
+        class_count,
+        iterations,
+    }
+}
+
+impl BisimPartition {
+    /// True iff `a` and `b` are bisimilar.
+    pub fn bisimilar(&self, a: NodeId, b: NodeId) -> bool {
+        self.class_of[a.index()] == self.class_of[b.index()]
+    }
+
+    /// Builds the quotient graph: one node per class (labeled by any
+    /// member — labels are class-invariant), one edge per pair of
+    /// classes with at least one member edge. Returns the quotient and
+    /// the class-of mapping is available on `self`.
+    pub fn quotient(&self, g: &Graph) -> Graph {
+        let mut labels = vec![dgs_graph::Label(0); self.class_count];
+        let mut inhabited = vec![false; self.class_count];
+        for v in g.nodes() {
+            let c = self.class_of[v.index()] as usize;
+            labels[c] = g.label(v);
+            inhabited[c] = true;
+        }
+        debug_assert!(inhabited.iter().all(|&s| s), "every class inhabited");
+        let mut b = GraphBuilder::with_capacity(self.class_count, g.edge_count());
+        for &l in &labels {
+            b.add_node(l);
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(
+                NodeId(self.class_of[u.index()]),
+                NodeId(self.class_of[v.index()]),
+            );
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhk::hhk_simulation;
+    use crate::preorder::SimPreorder;
+    use dgs_graph::generate::{patterns, random};
+    use dgs_graph::{GraphBuilder, Label};
+
+    #[test]
+    fn labels_start_the_partition() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(0));
+        let g = b.build();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count, 2);
+        assert!(p.bisimilar(NodeId(0), NodeId(2)));
+        assert!(!p.bisimilar(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn chain_depth_separates() {
+        // a0 -> a1 -> a2, same label: all three differ (different
+        // remaining depth ⇒ not bisimilar).
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(Label(0));
+        let a1 = b.add_node(Label(0));
+        let a2 = b.add_node(Label(0));
+        b.add_edge(a0, a1);
+        b.add_edge(a1, a2);
+        let g = b.build();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count, 3);
+        assert!(p.iterations >= 2);
+    }
+
+    #[test]
+    fn parallel_twins_merge() {
+        // Two leaves with the same label under one root are bisimilar.
+        let mut b = GraphBuilder::new();
+        let r = b.add_node(Label(0));
+        let x = b.add_node(Label(1));
+        let y = b.add_node(Label(1));
+        b.add_edge(r, x);
+        b.add_edge(r, y);
+        let g = b.build();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count, 2);
+        assert!(p.bisimilar(x, y));
+        let q = p.quotient(&g);
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn bisimilarity_refines_simulation_equivalence() {
+        for seed in 0..6 {
+            let g = random::uniform(50, 150, 3, seed);
+            let bi = bisimulation_partition(&g);
+            let pre = SimPreorder::compute(&g);
+            let (_, sim_classes) = pre.equivalence_classes();
+            assert!(
+                bi.class_count >= sim_classes,
+                "seed {seed}: bisim {} classes < simeq {sim_classes}",
+                bi.class_count
+            );
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    if bi.bisimilar(a, b) {
+                        assert!(
+                            pre.equivalent(a, b),
+                            "seed {seed}: {a:?} ~ {b:?} bisimilar but not sim-equivalent"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_simulation_answers() {
+        // (u, v) ∈ Q(G) ⟺ (u, [v]) ∈ Q(G/≈): bisimilar nodes are
+        // mutually similar, so this follows from the compression
+        // theorem; checked directly here.
+        for seed in 0..8 {
+            let g = random::uniform(60, 200, 3, seed);
+            let p = bisimulation_partition(&g);
+            let gq = p.quotient(&g);
+            let q = patterns::random_cyclic(3, 5, 3, seed + 40);
+            let orig = hhk_simulation(&q, &g).relation;
+            let quot = hhk_simulation(&q, &gq).relation;
+            for u in q.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        orig.contains(u, v),
+                        quot.contains(u, NodeId(p.class_of[v.index()])),
+                        "seed {seed}: ({u:?}, {v:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_cycle_collapses_to_self_loop() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..6).map(|_| b.add_node(Label(2))).collect();
+        for i in 0..6 {
+            b.add_edge(nodes[i], nodes[(i + 1) % 6]);
+        }
+        let g = b.build();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count, 1);
+        let gq = p.quotient(&g);
+        assert_eq!(gq.node_count(), 1);
+        assert!(gq.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count, 0);
+        assert_eq!(p.quotient(&g).node_count(), 0);
+    }
+}

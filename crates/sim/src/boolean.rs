@@ -1,0 +1,31 @@
+//! Boolean pattern queries (§2.1): "a Boolean pattern `Q` returns true
+//! on `G` if `G` matches `Q`, and false otherwise."
+
+use crate::hhk::hhk_simulation;
+use dgs_graph::{Graph, Pattern};
+
+/// True iff `G` matches `Q` (every query node has at least one match
+/// in the maximum simulation relation).
+pub fn boolean_matches(q: &Pattern, g: &Graph) -> bool {
+    hhk_simulation(q, g).matches()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::adversarial;
+    use dgs_graph::generate::social::fig1;
+
+    #[test]
+    fn fig1_boolean_true() {
+        let w = fig1();
+        assert!(boolean_matches(&w.pattern, &w.graph));
+    }
+
+    #[test]
+    fn ring_true_broken_ring_false() {
+        let q = adversarial::q0();
+        assert!(boolean_matches(&q, &adversarial::cycle_graph(10)));
+        assert!(!boolean_matches(&q, &adversarial::broken_cycle_graph(10)));
+    }
+}

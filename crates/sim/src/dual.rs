@@ -1,0 +1,201 @@
+//! Dual simulation: the child *and* parent conditions.
+//!
+//! Graph simulation (§2.1) only constrains successors. *Dual
+//! simulation* [Ma et al., PVLDB'11 — the paper's reference \[24\]]
+//! additionally requires every query *parent* edge to be witnessed:
+//! for `(u, v) ∈ R` and every `(u', u) ∈ Eq` there is `(v', v) ∈ E`
+//! with `(u', v') ∈ R`. It refines graph simulation (every dual match
+//! is a simulation match) and is the inner loop of strong simulation
+//! ([`crate::strong`]).
+
+use crate::match_relation::{MatchRelation, SimResult};
+use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
+
+/// Computes the maximum dual simulation relation with the same
+/// counter-based scheme as [`crate::hhk`], one counter per query edge
+/// *in each direction*.
+pub fn dual_simulation(q: &Pattern, g: &Graph) -> SimResult {
+    let nq = q.node_count();
+    let n = g.node_count();
+    let mut ops: u64 = 0;
+
+    let qedges: Vec<(QNodeId, QNodeId)> = q.edges().collect();
+    let ne = qedges.len();
+    // Forward counters: cnt_f[e * n + v] = |{v' ∈ succ(v) : cand(uc, v')}|.
+    // Backward counters: cnt_b[e * n + v] = |{v' ∈ pred(v) : cand(u, v')}|
+    // for e = (u, uc), maintained for the pair (uc, v).
+    let mut cand = vec![false; nq * n];
+    for u in q.nodes() {
+        let lu = q.label(u);
+        for v in 0..n {
+            ops += 1;
+            cand[u.index() * n + v] = g.label(NodeId(v as u32)) == lu;
+        }
+    }
+
+    let mut cnt_f = vec![0u32; ne * n];
+    let mut cnt_b = vec![0u32; ne * n];
+    for v in 0..n {
+        let vid = NodeId(v as u32);
+        for (e, &(u, uc)) in qedges.iter().enumerate() {
+            ops += 1;
+            cnt_f[e * n + v] = g
+                .successors(vid)
+                .iter()
+                .filter(|&&w| cand[uc.index() * n + w.index()])
+                .count() as u32;
+            cnt_b[e * n + v] = g
+                .predecessors(vid)
+                .iter()
+                .filter(|&&w| cand[u.index() * n + w.index()])
+                .count() as u32;
+        }
+    }
+
+    // Initial worklist: any candidate with an unsupported edge in
+    // either direction.
+    let mut worklist: Vec<(QNodeId, u32)> = Vec::new();
+    for u in q.nodes() {
+        let out_edges: Vec<usize> = qedges
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &(s, _))| (s == u).then_some(e))
+            .collect();
+        let in_edges: Vec<usize> = qedges
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &(_, t))| (t == u).then_some(e))
+            .collect();
+        for v in 0..n {
+            if !cand[u.index() * n + v] {
+                continue;
+            }
+            ops += 1;
+            let dead = out_edges.iter().any(|&e| cnt_f[e * n + v] == 0)
+                || in_edges.iter().any(|&e| cnt_b[e * n + v] == 0);
+            if dead {
+                cand[u.index() * n + v] = false;
+                worklist.push((u, v as u32));
+            }
+        }
+    }
+
+    let mut parent_edges: Vec<Vec<(usize, QNodeId)>> = vec![Vec::new(); nq];
+    let mut child_edges: Vec<Vec<(usize, QNodeId)>> = vec![Vec::new(); nq];
+    for (e, &(u, uc)) in qedges.iter().enumerate() {
+        parent_edges[uc.index()].push((e, u));
+        child_edges[u.index()].push((e, uc));
+    }
+
+    while let Some((uq, vq)) = worklist.pop() {
+        // (uq, vq) died: decrement forward support of predecessors...
+        for &(e, u) in &parent_edges[uq.index()] {
+            for &vp in g.predecessors(NodeId(vq)) {
+                ops += 1;
+                let c = &mut cnt_f[e * n + vp.index()];
+                *c -= 1;
+                if *c == 0 && cand[u.index() * n + vp.index()] {
+                    cand[u.index() * n + vp.index()] = false;
+                    worklist.push((u, vp.0));
+                }
+            }
+        }
+        // ... and backward support of successors.
+        for &(e, uc) in &child_edges[uq.index()] {
+            for &vs in g.successors(NodeId(vq)) {
+                ops += 1;
+                let c = &mut cnt_b[e * n + vs.index()];
+                *c -= 1;
+                if *c == 0 && cand[uc.index() * n + vs.index()] {
+                    cand[uc.index() * n + vs.index()] = false;
+                    worklist.push((uc, vs.0));
+                }
+            }
+        }
+    }
+
+    let lists: Vec<Vec<NodeId>> = (0..nq)
+        .map(|u| {
+            (0..n)
+                .filter_map(|v| cand[u * n + v].then_some(NodeId(v as u32)))
+                .collect()
+        })
+        .collect();
+    SimResult {
+        relation: MatchRelation::from_lists(lists),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhk::hhk_simulation;
+    use dgs_graph::generate::social::fig1;
+    use dgs_graph::generate::{patterns, random};
+    use dgs_graph::{GraphBuilder, Label, PatternBuilder};
+
+    #[test]
+    fn dual_refines_simulation() {
+        for seed in 0..15 {
+            let g = random::uniform(80, 280, 4, seed);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 5);
+            let sim = hhk_simulation(&q, &g).relation;
+            let dual = dual_simulation(&q, &g).relation;
+            for (u, v) in dual.iter() {
+                assert!(sim.contains(u, v), "dual ⊄ sim at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_condition_prunes() {
+        // Q: a -> b. G: a0 -> b0, b1 (no in-edge).
+        let mut qb = PatternBuilder::new();
+        let a = qb.add_node(Label(0));
+        let b = qb.add_node(Label(1));
+        qb.add_edge(a, b);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new();
+        let a0 = gb.add_node(Label(0));
+        let b0 = gb.add_node(Label(1));
+        let b1 = gb.add_node(Label(1));
+        gb.add_edge(a0, b0);
+        let g = gb.build();
+        let sim = hhk_simulation(&q, &g).relation;
+        let dual = dual_simulation(&q, &g).relation;
+        // Plain simulation keeps b1 (sink query node matches by
+        // label); dual simulation prunes it (no incoming a-edge).
+        assert!(sim.contains(b, b1));
+        assert!(!dual.contains(b, b1));
+        assert!(dual.contains(a, a0));
+        assert!(dual.contains(b, b0));
+    }
+
+    #[test]
+    fn fig1_dual_collapses() {
+        // The parent condition is brutal on Fig. 1: a dual F-match
+        // needs an incoming YB edge, which f2 lacks; its death kills
+        // yf1 (only F-successor gone), and the recommendation cycle
+        // unravels entirely. This is the §2.1 point in its strongest
+        // form: refinements of simulation miss the matches graph
+        // simulation was chosen to find.
+        let w = fig1();
+        let dual = dual_simulation(&w.pattern, &w.graph).relation;
+        assert!(dual.is_empty());
+        // ... while plain simulation finds 11 matches.
+        assert_eq!(hhk_simulation(&w.pattern, &w.graph).relation.len(), 11);
+    }
+
+    #[test]
+    fn empty_pattern_edge_cases() {
+        let mut qb = PatternBuilder::new();
+        qb.add_node(Label(0));
+        let q = qb.build();
+        let mut gb = GraphBuilder::new();
+        gb.add_node(Label(0));
+        let g = gb.build();
+        let r = dual_simulation(&q, &g);
+        assert!(r.matches());
+    }
+}

@@ -1,0 +1,198 @@
+//! Efficient counter-based graph simulation.
+//!
+//! The `O((|Vq| + |V|)(|Eq| + |E|))` algorithm of [Henzinger, Henzinger
+//! & Kopke, FOCS'95] as cited by the paper ([11, 18]): every candidate
+//! pair `(u, v)` keeps, for each query edge `(u, u')`, a counter of the
+//! successors of `v` that are still candidates of `u'`. A pair dies
+//! when any counter hits zero; deaths propagate through reverse
+//! adjacency with a worklist, touching each (graph edge × query edge)
+//! combination at most once.
+//!
+//! The same counter scheme, restricted to a fragment with optimistic
+//! virtual-node variables, is the local evaluation procedure `lEval`
+//! of the distributed algorithms (`dgs-core::local_eval`).
+
+use crate::match_relation::{MatchRelation, SimResult};
+use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
+
+/// Computes the maximum simulation relation with the counter-based
+/// worklist algorithm.
+pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
+    let nq = q.node_count();
+    let n = g.node_count();
+    let mut ops: u64 = 0;
+
+    // Query edges, indexed densely; parents_edges[uc] lists the edge
+    // indices (e, u) entering uc.
+    let qedges: Vec<(QNodeId, QNodeId)> = q.edges().collect();
+    let ne = qedges.len();
+    let mut parent_edges: Vec<Vec<(usize, QNodeId)>> = vec![Vec::new(); nq];
+    for (e, &(u, uc)) in qedges.iter().enumerate() {
+        parent_edges[uc.index()].push((e, u));
+    }
+
+    // cand[u * n + v]
+    let mut cand = vec![false; nq * n];
+    for u in q.nodes() {
+        let lu = q.label(u);
+        for v in 0..n {
+            ops += 1;
+            cand[u.index() * n + v] = g.label(NodeId(v as u32)) == lu;
+        }
+    }
+
+    // cnt[e * n + v] = |{v' in succ(v) : cand(uc, v')}| for e = (u, uc).
+    // Initial candidates of uc are exactly the label-matched nodes, so
+    // seed counters from a per-node successor label tally.
+    let mut cnt = vec![0u32; ne * n];
+    let label_bound = q
+        .labels()
+        .iter()
+        .map(|l| l.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(g.label_bound());
+    let mut tally = vec![0u32; label_bound];
+    for v in 0..n {
+        let vid = NodeId(v as u32);
+        let succs = g.successors(vid);
+        for &w in succs {
+            ops += 1;
+            tally[g.label(w).index()] += 1;
+        }
+        for (e, &(_, uc)) in qedges.iter().enumerate() {
+            ops += 1;
+            cnt[e * n + v] = tally[q.label(uc).index()];
+        }
+        for &w in succs {
+            tally[g.label(w).index()] = 0;
+        }
+    }
+
+    // Seed the worklist with pairs that fail immediately.
+    let mut worklist: Vec<(QNodeId, u32)> = Vec::new();
+    for u in q.nodes() {
+        if q.is_sink(u) {
+            continue;
+        }
+        // Edge indices leaving u.
+        let out_edges: Vec<usize> = qedges
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &(src, _))| (src == u).then_some(e))
+            .collect();
+        for v in 0..n {
+            if !cand[u.index() * n + v] {
+                continue;
+            }
+            ops += 1;
+            if out_edges.iter().any(|&e| cnt[e * n + v] == 0) {
+                cand[u.index() * n + v] = false;
+                worklist.push((u, v as u32));
+            }
+        }
+    }
+
+    // Propagate deaths.
+    while let Some((uc, vc)) = worklist.pop() {
+        for &(e, u) in &parent_edges[uc.index()] {
+            for &vp in g.predecessors(NodeId(vc)) {
+                ops += 1;
+                let c = &mut cnt[e * n + vp.index()];
+                debug_assert!(*c > 0, "counter underflow");
+                *c -= 1;
+                if *c == 0 && cand[u.index() * n + vp.index()] {
+                    cand[u.index() * n + vp.index()] = false;
+                    worklist.push((u, vp.0));
+                }
+            }
+        }
+    }
+
+    let lists: Vec<Vec<NodeId>> = (0..nq)
+        .map(|u| {
+            (0..n)
+                .filter_map(|v| cand[u * n + v].then_some(NodeId(v as u32)))
+                .collect()
+        })
+        .collect();
+    SimResult {
+        relation: MatchRelation::from_lists(lists),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_simulation;
+    use dgs_graph::generate::adversarial;
+    use dgs_graph::generate::patterns::random_cyclic;
+    use dgs_graph::generate::random::uniform;
+    use dgs_graph::generate::social::fig1;
+
+    #[test]
+    fn fig1_matches_expected() {
+        let w = fig1();
+        let r = hhk_simulation(&w.pattern, &w.graph);
+        assert!(r.matches());
+        let mut got: Vec<_> = r.relation.iter().collect();
+        let mut expected = w.expected_matches();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_inputs() {
+        for seed in 0..30 {
+            let g = uniform(60, 180, 4, seed);
+            let q = random_cyclic(4, 7, 4, seed * 31 + 1);
+            let a = hhk_simulation(&q, &g);
+            let b = naive_simulation(&q, &g);
+            assert_eq!(a.relation, b.relation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_ring_matches() {
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(50);
+        let r = hhk_simulation(&q, &g);
+        assert!(r.matches());
+        // Every A node matches A, every B node matches B.
+        assert_eq!(r.relation.len(), 100);
+    }
+
+    #[test]
+    fn adversarial_broken_ring_fails_entirely() {
+        let q = adversarial::q0();
+        let g = adversarial::broken_cycle_graph(50);
+        let r = hhk_simulation(&q, &g);
+        assert!(!r.matches());
+        // The single missing edge kills *every* candidate: poor data
+        // locality in action (Example 3 of the paper).
+        assert_eq!(r.relation.len(), 0);
+    }
+
+    #[test]
+    fn ops_scale_roughly_linearly() {
+        let q = random_cyclic(5, 10, 15, 3);
+        let small = hhk_simulation(&q, &uniform(1_000, 5_000, 15, 1)).ops;
+        let large = hhk_simulation(&q, &uniform(4_000, 20_000, 15, 1)).ops;
+        let ratio = large as f64 / small as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "ops not roughly linear: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_never_matches_nonempty_pattern() {
+        let q = random_cyclic(3, 4, 3, 0);
+        let g = dgs_graph::GraphBuilder::new().build();
+        let r = hhk_simulation(&q, &g);
+        assert!(!r.matches());
+        assert_eq!(r.relation.len(), 0);
+    }
+}

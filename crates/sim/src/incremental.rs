@@ -1,0 +1,296 @@
+//! Incremental graph simulation under edge deletions.
+//!
+//! The paper's incremental `lEval` (§4.2) "follow\[s\] the idea of
+//! incremental pattern matching \[13\]" (Fan, Wang & Wu, TODS'13):
+//! when the input shrinks, the maximum simulation relation can only
+//! shrink, and the update cost is `O(|AFF|)` — proportional to the
+//! *affected area*, the set of variables that actually change —
+//! rather than to `|G|`.
+//!
+//! [`IncrementalSim`] maintains the counter state of the HHK
+//! algorithm across a stream of **edge deletions** (the only
+//! single-sided update under downward-monotone semantics: insertions
+//! can revive candidates and require re-evaluation from above). This
+//! is the centralized analogue of what every `dGPM` site does when a
+//! falsification message arrives.
+
+use crate::match_relation::{MatchRelation, SimResult};
+use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
+
+/// Simulation state maintained across edge deletions.
+pub struct IncrementalSim {
+    q: Pattern,
+    nq: usize,
+    n: usize,
+    /// Mutable adjacency (the graph shrinks over time).
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    qedges: Vec<(QNodeId, QNodeId)>,
+    parent_edges: Vec<Vec<(usize, QNodeId)>>,
+    cand: Vec<bool>,
+    cnt: Vec<u32>,
+    /// Operations performed by the last update (|AFF| proxy).
+    pub last_update_ops: u64,
+}
+
+impl IncrementalSim {
+    /// Builds the state by running full simulation once.
+    pub fn new(q: &Pattern, g: &Graph) -> Self {
+        let nq = q.node_count();
+        let n = g.node_count();
+        let qedges: Vec<(QNodeId, QNodeId)> = q.edges().collect();
+        let ne = qedges.len();
+        let mut parent_edges: Vec<Vec<(usize, QNodeId)>> = vec![Vec::new(); nq];
+        for (e, &(u, uc)) in qedges.iter().enumerate() {
+            parent_edges[uc.index()].push((e, u));
+        }
+        let succ: Vec<Vec<NodeId>> = g.nodes().map(|v| g.successors(v).to_vec()).collect();
+        let pred: Vec<Vec<NodeId>> = g.nodes().map(|v| g.predecessors(v).to_vec()).collect();
+
+        let mut cand = vec![false; nq * n];
+        for u in q.nodes() {
+            for v in 0..n {
+                cand[u.index() * n + v] = q.label(u) == g.label(NodeId(v as u32));
+            }
+        }
+        let mut cnt = vec![0u32; ne * n];
+        for v in 0..n {
+            for (e, &(_, uc)) in qedges.iter().enumerate() {
+                cnt[e * n + v] = succ[v]
+                    .iter()
+                    .filter(|&&w| cand[uc.index() * n + w.index()])
+                    .count() as u32;
+            }
+        }
+        let mut this = IncrementalSim {
+            q: q.clone(),
+            nq,
+            n,
+            succ,
+            pred,
+            qedges,
+            parent_edges,
+            cand,
+            cnt,
+            last_update_ops: 0,
+        };
+        // Initial fixpoint.
+        let mut worklist = Vec::new();
+        for u in this.q.nodes() {
+            if this.q.is_sink(u) {
+                continue;
+            }
+            let out_edges: Vec<usize> = this
+                .qedges
+                .iter()
+                .enumerate()
+                .filter_map(|(e, &(s, _))| (s == u).then_some(e))
+                .collect();
+            for v in 0..n {
+                if this.cand[u.index() * n + v]
+                    && out_edges.iter().any(|&e| this.cnt[e * n + v] == 0)
+                {
+                    this.cand[u.index() * n + v] = false;
+                    worklist.push((u, v as u32));
+                }
+            }
+        }
+        this.propagate(worklist);
+        this.last_update_ops = 0;
+        this
+    }
+
+    fn propagate(&mut self, mut worklist: Vec<(QNodeId, u32)>) -> Vec<(QNodeId, NodeId)> {
+        let n = self.n;
+        let mut removed = Vec::new();
+        while let Some((uq, vq)) = worklist.pop() {
+            removed.push((uq, NodeId(vq)));
+            for &(e, u) in &self.parent_edges[uq.index()].clone() {
+                for i in 0..self.pred[vq as usize].len() {
+                    let vp = self.pred[vq as usize][i];
+                    self.last_update_ops += 1;
+                    let c = &mut self.cnt[e * n + vp.index()];
+                    debug_assert!(*c > 0, "counter underflow");
+                    *c -= 1;
+                    if *c == 0 && self.cand[u.index() * n + vp.index()] {
+                        self.cand[u.index() * n + vp.index()] = false;
+                        worklist.push((u, vp.0));
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Deletes edge `(u, v)` and incrementally repairs the relation.
+    /// Returns the pairs that were falsified by this deletion.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist (double deletion is a caller
+    /// bug).
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Vec<(QNodeId, NodeId)> {
+        self.last_update_ops = 0;
+        let pos = self.succ[u.index()]
+            .iter()
+            .position(|&w| w == v)
+            .expect("edge to delete must exist");
+        self.succ[u.index()].swap_remove(pos);
+        let ppos = self.pred[v.index()]
+            .iter()
+            .position(|&w| w == u)
+            .expect("reverse edge must exist");
+        self.pred[v.index()].swap_remove(ppos);
+
+        // The deleted edge supported, for each query edge (uq, uc),
+        // the pair (uq, u) iff (uc, v) is a candidate.
+        let n = self.n;
+        let mut worklist = Vec::new();
+        for (e, &(uq, uc)) in self.qedges.clone().iter().enumerate() {
+            self.last_update_ops += 1;
+            if self.cand[uc.index() * n + v.index()] {
+                let c = &mut self.cnt[e * n + u.index()];
+                debug_assert!(*c > 0);
+                *c -= 1;
+                if *c == 0 && self.cand[uq.index() * n + u.index()] {
+                    self.cand[uq.index() * n + u.index()] = false;
+                    worklist.push((uq, u.0));
+                }
+            }
+        }
+        self.propagate(worklist)
+    }
+
+    /// The current maximum simulation relation.
+    pub fn relation(&self) -> MatchRelation {
+        let lists: Vec<Vec<NodeId>> = (0..self.nq)
+            .map(|u| {
+                (0..self.n)
+                    .filter_map(|v| self.cand[u * self.n + v].then_some(NodeId(v as u32)))
+                    .collect()
+            })
+            .collect();
+        MatchRelation::from_lists(lists)
+    }
+
+    /// The current relation packaged as a [`SimResult`].
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            relation: self.relation(),
+            ops: self.last_update_ops,
+        }
+    }
+
+    /// Is `(u, v)` currently in the relation?
+    pub fn contains(&self, u: QNodeId, v: NodeId) -> bool {
+        self.cand[u.index() * self.n + v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhk::hhk_simulation;
+    use dgs_graph::generate::{adversarial, patterns, random};
+    use dgs_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Rebuilds the graph minus a set of deleted edges.
+    fn graph_without(g: &Graph, deleted: &[(NodeId, NodeId)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            if !deleted.contains(&(u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn initial_state_matches_hhk() {
+        for seed in 0..10 {
+            let g = random::uniform(80, 300, 4, seed);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 3);
+            let inc = IncrementalSim::new(&q, &g);
+            assert_eq!(inc.relation(), hhk_simulation(&q, &g).relation);
+        }
+    }
+
+    #[test]
+    fn deletion_stream_matches_recompute() {
+        for seed in 0..8 {
+            let g = random::uniform(60, 240, 4, seed + 100);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 101);
+            let mut inc = IncrementalSim::new(&q, &g);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+            let mut deleted = Vec::new();
+            for _ in 0..30.min(edges.len()) {
+                let i = rng.gen_range(0..edges.len());
+                let (u, v) = edges.swap_remove(i);
+                inc.delete_edge(u, v);
+                deleted.push((u, v));
+                let expect = hhk_simulation(&q, &graph_without(&g, &deleted)).relation;
+                assert_eq!(inc.relation(), expect, "seed {seed} after {deleted:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_break_cascades_through_aff() {
+        // Deleting the closing edge of the adversarial ring falsifies
+        // everything — AFF is the whole graph, and the update reports
+        // every pair.
+        let n = 20;
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(n);
+        let mut inc = IncrementalSim::new(&q, &g);
+        assert!(inc.relation().is_total());
+        let removed = inc.delete_edge(adversarial::b_node(n), adversarial::a_node(1));
+        assert_eq!(removed.len(), 2 * n);
+        assert!(inc.relation().is_empty());
+    }
+
+    #[test]
+    fn unaffected_deletion_costs_little() {
+        // Deleting an edge that supports nothing relevant touches a
+        // bounded area.
+        let n = 200;
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(n);
+        // Add a detached genuine 2-cycle on the side.
+        let mut b = GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        let iso = b.add_node(dgs_graph::Label(0));
+        let iso2 = b.add_node(dgs_graph::Label(1));
+        b.add_edge(iso, iso2);
+        b.add_edge(iso2, iso);
+        let g = b.build();
+        let mut inc = IncrementalSim::new(&q, &g);
+        assert!(inc.contains(dgs_graph::QNodeId(0), iso));
+        // Breaking the side cycle kills exactly its two pairs.
+        let removed = inc.delete_edge(iso, iso2);
+        // Only the two isolated pairs die; the big ring is untouched.
+        assert_eq!(removed.len(), 2);
+        assert!(inc.last_update_ops < 20, "ops = {}", inc.last_update_ops);
+        assert!(inc.contains(dgs_graph::QNodeId(0), adversarial::a_node(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge to delete must exist")]
+    fn double_deletion_panics() {
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(3);
+        let mut inc = IncrementalSim::new(&q, &g);
+        inc.delete_edge(adversarial::a_node(1), adversarial::b_node(1));
+        inc.delete_edge(adversarial::a_node(1), adversarial::b_node(1));
+    }
+}

@@ -1,0 +1,318 @@
+//! Subgraph isomorphism — the "conventional" matching semantics the
+//! paper contrasts with simulation (§1, §2.1, Example 3).
+//!
+//! An embedding of `Q` in `G` is an **injective** map `m: Vq → V`
+//! with `fv(u) = L(m(u))` and `(m(u), m(u')) ∈ E` for every query edge
+//! (plain, not induced, subgraph isomorphism — the variant cited from
+//! Ullmann \[33\]). Finding one is NP-complete in general; patterns
+//! here are tiny, so a backtracking search with label/degree pruning
+//! and most-constrained-first ordering is exact and fast.
+//!
+//! Two contrasts matter for the paper and are pinned as tests:
+//!
+//! * every embedding is contained in the simulation relation
+//!   (`{(u, m(u))}` witnesses every query edge by a real edge), so
+//!   isomorphism finds *fewer* potential matches — the paper's
+//!   motivation for simulation semantics in social analysis;
+//! * isomorphism **has data locality** (Example 3: only the
+//!   `d_Q`-ball around `v` matters) while simulation does not — on the
+//!   Fig. 2 ring family `Q0` simulation-matches every node but embeds
+//!   nowhere, the structural seed of the impossibility theorem.
+
+use crate::match_relation::MatchRelation;
+use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
+
+/// Search order: query nodes sorted so each (after the first of its
+/// connected component) touches an already-placed neighbour —
+/// candidates then come from adjacency instead of a full scan.
+fn search_order(q: &Pattern) -> Vec<QNodeId> {
+    let nq = q.node_count();
+    let mut order = Vec::with_capacity(nq);
+    let mut placed = vec![false; nq];
+    // Highest-degree first within each component.
+    let degree = |u: QNodeId| q.children(u).len() + q.parents(u).len();
+    while order.len() < nq {
+        let next = q
+            .nodes()
+            .filter(|&u| !placed[u.index()])
+            .max_by_key(|&u| {
+                let attached = q
+                    .children(u)
+                    .iter()
+                    .chain(q.parents(u))
+                    .filter(|&&w| placed[w.index()])
+                    .count();
+                (attached, degree(u))
+            })
+            .expect("unplaced node exists");
+        placed[next.index()] = true;
+        order.push(next);
+    }
+    order
+}
+
+struct Search<'a> {
+    q: &'a Pattern,
+    g: &'a Graph,
+    order: Vec<QNodeId>,
+    mapping: Vec<Option<NodeId>>,
+    used: Vec<bool>,
+    found: Vec<Vec<NodeId>>,
+    limit: usize,
+}
+
+impl Search<'_> {
+    fn consistent(&self, u: QNodeId, v: NodeId) -> bool {
+        if self.q.label(u) != self.g.label(v) || self.used[v.index()] {
+            return false;
+        }
+        if self.g.out_degree(v) < self.q.children(u).len()
+            || self.g.in_degree(v) < self.q.parents(u).len()
+        {
+            return false;
+        }
+        // Edges to already-placed neighbours must exist in G.
+        for &uc in self.q.children(u) {
+            if let Some(vc) = self.mapping[uc.index()] {
+                if !self.g.has_edge(v, vc) {
+                    return false;
+                }
+            }
+        }
+        for &up in self.q.parents(u) {
+            if let Some(vp) = self.mapping[up.index()] {
+                if !self.g.has_edge(vp, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn candidates(&self, u: QNodeId) -> Vec<NodeId> {
+        // Prefer pivoting off a placed neighbour.
+        for &uc in self.q.children(u) {
+            if let Some(vc) = self.mapping[uc.index()] {
+                return self.g.predecessors(vc).to_vec();
+            }
+        }
+        for &up in self.q.parents(u) {
+            if let Some(vp) = self.mapping[up.index()] {
+                return self.g.successors(vp).to_vec();
+            }
+        }
+        self.g.nodes().collect()
+    }
+
+    fn recurse(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            let m: Vec<NodeId> = self.mapping.iter().map(|o| o.unwrap()).collect();
+            self.found.push(m);
+            return self.found.len() >= self.limit;
+        }
+        let u = self.order[depth];
+        for v in self.candidates(u) {
+            if !self.consistent(u, v) {
+                continue;
+            }
+            self.mapping[u.index()] = Some(v);
+            self.used[v.index()] = true;
+            if self.recurse(depth + 1) {
+                return true;
+            }
+            self.mapping[u.index()] = None;
+            self.used[v.index()] = false;
+        }
+        false
+    }
+}
+
+/// Enumerates up to `limit` embeddings of `q` in `g`, each as a vector
+/// indexed by query node.
+pub fn enumerate_embeddings(q: &Pattern, g: &Graph, limit: usize) -> Vec<Vec<NodeId>> {
+    if q.node_count() == 0 || limit == 0 {
+        return Vec::new();
+    }
+    let mut s = Search {
+        q,
+        g,
+        order: search_order(q),
+        mapping: vec![None; q.node_count()],
+        used: vec![false; g.node_count()],
+        found: Vec::new(),
+        limit,
+    };
+    s.recurse(0);
+    s.found
+}
+
+/// Finds one embedding of `q` in `g`, if any.
+pub fn find_embedding(q: &Pattern, g: &Graph) -> Option<Vec<NodeId>> {
+    enumerate_embeddings(q, g, 1).into_iter().next()
+}
+
+/// The union of all embeddings as a relation — the isomorphism
+/// analogue of `Q(G)`, capped at `limit` embeddings for safety.
+pub fn embedding_relation(q: &Pattern, g: &Graph, limit: usize) -> MatchRelation {
+    let embeddings = enumerate_embeddings(q, g, limit);
+    let mut lists = vec![Vec::new(); q.node_count()];
+    for m in &embeddings {
+        for (u, &v) in m.iter().enumerate() {
+            lists[u].push(v);
+        }
+    }
+    MatchRelation::from_lists(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhk::hhk_simulation;
+    use dgs_graph::generate::{adversarial, patterns, random, social};
+    use dgs_graph::{GraphBuilder, Label, PatternBuilder};
+
+    #[test]
+    fn triangle_embeds_in_triangle() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node(Label(0));
+        let b = gb.add_node(Label(1));
+        let c = gb.add_node(Label(2));
+        gb.add_edge(a, b);
+        gb.add_edge(b, c);
+        gb.add_edge(c, a);
+        let g = gb.build();
+        let mut qb = PatternBuilder::new();
+        let qa = qb.add_node(Label(0));
+        let qb_ = qb.add_node(Label(1));
+        let qc = qb.add_node(Label(2));
+        qb.add_edge(qa, qb_);
+        qb.add_edge(qb_, qc);
+        qb.add_edge(qc, qa);
+        let q = qb.build();
+        let m = find_embedding(&q, &g).expect("triangle embeds");
+        assert_eq!(m, vec![a, b, c]);
+        assert_eq!(enumerate_embeddings(&q, &g, 10).len(), 1);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Pattern: two distinct A-children under one root; graph has
+        // only one A child — simulation matches, isomorphism does not.
+        let mut gb = GraphBuilder::new();
+        let r = gb.add_node(Label(0));
+        let x = gb.add_node(Label(1));
+        gb.add_edge(r, x);
+        let g = gb.build();
+        let mut qb = PatternBuilder::new();
+        let qr = qb.add_node(Label(0));
+        let q1 = qb.add_node(Label(1));
+        let q2 = qb.add_node(Label(1));
+        qb.add_edge(qr, q1);
+        qb.add_edge(qr, q2);
+        let q = qb.build();
+        assert!(find_embedding(&q, &g).is_none());
+        assert!(hhk_simulation(&q, &g).matches());
+    }
+
+    #[test]
+    fn embeddings_are_contained_in_simulation() {
+        for seed in 0..10 {
+            let g = random::uniform(60, 260, 2, seed);
+            let q = patterns::random_dag_with_depth(3, 4, 2, 2, seed + 5);
+            let rel = hhk_simulation(&q, &g).relation;
+            for m in enumerate_embeddings(&q, &g, 50) {
+                for (u, &v) in m.iter().enumerate() {
+                    assert!(
+                        rel.contains(QNodeId(u as u16), v),
+                        "seed {seed}: embedding pair (u{u}, {v:?}) outside simulation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_family_separates_iso_from_simulation() {
+        // Example 3 / Fig. 2: Q0 (the A⇄B 2-cycle) simulation-matches
+        // every node of the 2n-ring, but embeds nowhere (the ring has
+        // no 2-cycle).
+        let q0 = adversarial::q0();
+        for n in [2usize, 5, 9] {
+            let g = adversarial::cycle_graph(n);
+            assert!(hhk_simulation(&q0, &g).matches(), "n={n}");
+            assert!(find_embedding(&q0, &g).is_none(), "n={n}");
+        }
+        // ... while a genuine 2-cycle graph admits both.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node(Label(0));
+        let b = gb.add_node(Label(1));
+        gb.add_edge(a, b);
+        gb.add_edge(b, a);
+        let g2 = gb.build();
+        assert!(find_embedding(&q0, &g2).is_some());
+    }
+
+    #[test]
+    fn fig1_shows_iso_misses_what_simulation_finds() {
+        // §1 of the paper: "conventional subgraph isomorphism often
+        // fails to capture meaningful matches". Fig. 1's pattern asks
+        // for a 3-cycle F → SP → YF → F; the graph realizes the
+        // recommendation cycle as a 9-cycle (f3 sp2 yf3 f4 sp3 yf1 f2
+        // sp1 yf2), so isomorphism finds nothing while simulation
+        // matches 11 pairs.
+        let w = social::fig1();
+        assert!(find_embedding(&w.pattern, &w.graph).is_none());
+        let sim = hhk_simulation(&w.pattern, &w.graph);
+        assert!(sim.matches());
+        assert_eq!(sim.relation.len(), 11);
+    }
+
+    #[test]
+    fn embedding_relation_unions_embeddings() {
+        // Two disjoint copies of an edge A -> B: 2 embeddings, and the
+        // relation covers both.
+        let mut gb = GraphBuilder::new();
+        let a1 = gb.add_node(Label(0));
+        let b1 = gb.add_node(Label(1));
+        let a2 = gb.add_node(Label(0));
+        let b2 = gb.add_node(Label(1));
+        gb.add_edge(a1, b1);
+        gb.add_edge(a2, b2);
+        let g = gb.build();
+        let mut qb = PatternBuilder::new();
+        let qa = qb.add_node(Label(0));
+        let qb_ = qb.add_node(Label(1));
+        qb.add_edge(qa, qb_);
+        let q = qb.build();
+        assert_eq!(enumerate_embeddings(&q, &g, 10).len(), 2);
+        let rel = embedding_relation(&q, &g, 10);
+        assert_eq!(rel.matches_of(QNodeId(0)), &[a1, a2]);
+        assert_eq!(rel.matches_of(QNodeId(1)), &[b1, b2]);
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_node(Label(0));
+        for _ in 0..20 {
+            let s = gb.add_node(Label(1));
+            gb.add_edge(hub, s);
+        }
+        let g = gb.build();
+        let mut qb = PatternBuilder::new();
+        let a = qb.add_node(Label(0));
+        let b = qb.add_node(Label(1));
+        qb.add_edge(a, b);
+        let q = qb.build();
+        assert_eq!(enumerate_embeddings(&q, &g, 7).len(), 7);
+        assert_eq!(enumerate_embeddings(&q, &g, 0).len(), 0);
+        assert_eq!(enumerate_embeddings(&q, &g, usize::MAX).len(), 20);
+    }
+
+    #[test]
+    fn empty_pattern_has_no_embeddings() {
+        let g = random::uniform(10, 20, 2, 0);
+        let q = PatternBuilder::new().build();
+        assert!(enumerate_embeddings(&q, &g, 5).is_empty());
+    }
+}

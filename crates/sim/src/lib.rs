@@ -1,0 +1,68 @@
+//! # dgs-sim
+//!
+//! Centralized graph simulation — the reference implementation the
+//! distributed algorithms are verified against, and the engine behind
+//! the `Match` and `disHHK` baselines.
+//!
+//! Graph simulation (§2.1 of the paper, after [Henzinger, Henzinger &
+//! Kopke, FOCS'95]): `G` matches `Q` iff there is a binary relation
+//! `R ⊆ Vq × V` such that (1) every query node has a match and (2) for
+//! every `(u, v) ∈ R`, `fv(u) = L(v)` and every query edge `(u, u')`
+//! is witnessed by some edge `(v, v')` with `(u', v') ∈ R`. If `G`
+//! matches `Q` there is a unique *maximum* such relation `Q(G)`,
+//! computable in `O((|Vq| + |V|)(|Eq| + |E|))` time.
+//!
+//! * [`naive::naive_simulation`] — textbook fixpoint, quadratic, used
+//!   as a cross-check in tests;
+//! * [`hhk::hhk_simulation`] — counter-based worklist algorithm with
+//!   the optimal bound;
+//! * [`MatchRelation`] — the result type (maximum relation under
+//!   condition (2); [`MatchRelation::is_total`] tells whether `G`
+//!   matches `Q`, and [`SimResult::answer`] applies the paper's
+//!   `Q(G) = ∅` convention when it does not).
+
+//!
+//! Two refinements of graph simulation are included for the §2.1
+//! comparison studies: [`dual::dual_simulation`] (child + parent
+//! conditions) and [`strong::strong_simulation`] (dual simulation in
+//! `d_Q`-balls, which *has* data locality and misses matches that
+//! graph simulation finds — e.g. `yb2` in Fig. 1). And
+//! [`incremental::IncrementalSim`] maintains the relation across edge
+//! deletions in `O(|AFF|)` per update — the centralized analogue of
+//! the paper's incremental `lEval` (§4.2, following \[13\]).
+
+//!
+//! Beyond the paper's immediate needs, the crate carries the natural
+//! extensions its §7 future work points at: [`preorder::SimPreorder`]
+//! (the simulation preorder of `G` over itself),
+//! [`bisim::bisimulation_partition`] (the \[6\] equivalence),
+//! [`compress`] (query-preserving compression — answer any pattern on
+//! the quotient graph, exactly), [`bounded::bounded_simulation`] (the
+//! full bounded-path query class of \[11\]) and [`iso`] (subgraph
+//! isomorphism, the §2.1 locality contrast).
+
+pub mod bisim;
+pub mod boolean;
+pub mod bounded;
+pub mod compress;
+pub mod dual;
+pub mod hhk;
+pub mod incremental;
+pub mod iso;
+pub mod match_relation;
+pub mod naive;
+pub mod preorder;
+pub mod strong;
+
+pub use bisim::{bisimulation_partition, BisimPartition};
+pub use boolean::boolean_matches;
+pub use bounded::{bounded_simulation, BoundedPattern, BoundedPatternBuilder, EdgeBound};
+pub use compress::{compress_bisim, compress_simeq, CompressedGraph};
+pub use dual::dual_simulation;
+pub use hhk::hhk_simulation;
+pub use incremental::IncrementalSim;
+pub use iso::{embedding_relation, enumerate_embeddings, find_embedding};
+pub use match_relation::{MatchRelation, SimResult};
+pub use naive::naive_simulation;
+pub use preorder::SimPreorder;
+pub use strong::strong_simulation;

@@ -1,0 +1,187 @@
+//! Naive fixpoint graph simulation.
+//!
+//! The textbook downward iteration: start from the label-compatible
+//! relation and repeatedly delete pairs whose child condition fails,
+//! until nothing changes. Worst case `O(|Vq|·|V|·(|V| + |E|))` per
+//! sweep times `O(|Vq|·|V|)` sweeps — fine for the small graphs in
+//! tests, where it cross-checks the optimized [`crate::hhk`] algorithm
+//! and the distributed engines.
+
+use crate::match_relation::{MatchRelation, SimResult};
+use dgs_graph::{Graph, NodeId, Pattern};
+
+/// Computes the maximum simulation relation by naive iteration.
+pub fn naive_simulation(q: &Pattern, g: &Graph) -> SimResult {
+    let nq = q.node_count();
+    let n = g.node_count();
+    let mut ops: u64 = 0;
+
+    // sim[u][v]: is (u, v) still a candidate?
+    let mut sim: Vec<Vec<bool>> = (0..nq)
+        .map(|u| {
+            (0..n)
+                .map(|v| {
+                    ops += 1;
+                    q.label(dgs_graph::QNodeId(u as u16)) == g.label(NodeId(v as u32))
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in q.nodes() {
+            for v in 0..n {
+                if !sim[u.index()][v] {
+                    continue;
+                }
+                let vid = NodeId(v as u32);
+                let ok = q.children(u).iter().all(|&uc| {
+                    g.successors(vid).iter().any(|&vc| {
+                        ops += 1;
+                        sim[uc.index()][vc.index()]
+                    })
+                });
+                if !ok {
+                    sim[u.index()][v] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let lists: Vec<Vec<NodeId>> = sim
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .enumerate()
+                .filter_map(|(v, keep)| keep.then_some(NodeId(v as u32)))
+                .collect()
+        })
+        .collect();
+    SimResult {
+        relation: MatchRelation::from_lists(lists),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+    use dgs_graph::{GraphBuilder, Label, PatternBuilder, QNodeId};
+
+    #[test]
+    fn single_edge_pattern() {
+        // Q: A -> B. G: a0 -> b0, a1 (no successor).
+        let mut qb = PatternBuilder::new();
+        let qa = qb.add_node(Label(0));
+        let qb_ = qb.add_node(Label(1));
+        qb.add_edge(qa, qb_);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new();
+        let a0 = gb.add_node(Label(0));
+        let b0 = gb.add_node(Label(1));
+        let a1 = gb.add_node(Label(0));
+        gb.add_edge(a0, b0);
+        let g = gb.build();
+
+        let r = naive_simulation(&q, &g);
+        assert!(r.matches());
+        assert!(r.relation.contains(qa, a0));
+        assert!(!r.relation.contains(qa, a1));
+        assert!(r.relation.contains(qb_, b0));
+    }
+
+    #[test]
+    fn fig1_matches_expected() {
+        let w = fig1();
+        let r = naive_simulation(&w.pattern, &w.graph);
+        assert!(r.matches());
+        let mut got: Vec<_> = r.relation.iter().collect();
+        let mut expected = w.expected_matches();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cycle_query_on_dag_is_empty() {
+        let mut qb = PatternBuilder::new();
+        let a = qb.add_node(Label(0));
+        let b = qb.add_node(Label(0));
+        qb.add_edge(a, b);
+        qb.add_edge(b, a);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new();
+        let x = gb.add_node(Label(0));
+        let y = gb.add_node(Label(0));
+        gb.add_edge(x, y);
+        let g = gb.build();
+
+        let r = naive_simulation(&q, &g);
+        assert!(!r.matches());
+        assert!(r.answer().is_empty());
+    }
+
+    #[test]
+    fn cycle_query_on_cycle_matches() {
+        let mut qb = PatternBuilder::new();
+        let a = qb.add_node(Label(0));
+        let b = qb.add_node(Label(1));
+        qb.add_edge(a, b);
+        qb.add_edge(b, a);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new();
+        let x = gb.add_node(Label(0));
+        let y = gb.add_node(Label(1));
+        gb.add_edge(x, y);
+        gb.add_edge(y, x);
+        let g = gb.build();
+
+        let r = naive_simulation(&q, &g);
+        assert!(r.matches());
+        assert_eq!(r.relation.len(), 2);
+    }
+
+    #[test]
+    fn sink_query_node_matches_all_label_nodes() {
+        let mut qb = PatternBuilder::new();
+        qb.add_node(Label(2));
+        let q = qb.build();
+        let mut gb = GraphBuilder::new();
+        gb.add_node(Label(2));
+        gb.add_node(Label(2));
+        gb.add_node(Label(1));
+        let g = gb.build();
+        let r = naive_simulation(&q, &g);
+        assert_eq!(r.relation.matches_of(QNodeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn simulation_is_many_to_many() {
+        // Graph simulation allows one data node to match several query
+        // nodes: Q: a1 -> b, a2 -> b with same labels.
+        let mut qb = PatternBuilder::new();
+        let a1 = qb.add_node(Label(0));
+        let a2 = qb.add_node(Label(0));
+        let b = qb.add_node(Label(1));
+        qb.add_edge(a1, b);
+        qb.add_edge(a2, b);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new();
+        let x = gb.add_node(Label(0));
+        let y = gb.add_node(Label(1));
+        gb.add_edge(x, y);
+        let g = gb.build();
+
+        let r = naive_simulation(&q, &g);
+        assert!(r.relation.contains(a1, x));
+        assert!(r.relation.contains(a2, x));
+    }
+}

@@ -1,0 +1,354 @@
+//! The simulation preorder `≤` of a graph over itself, and the
+//! induced *simulation equivalence* `≡`.
+//!
+//! `a ≤ b` ("`b` simulates `a`") iff `L(a) = L(b)` and for every edge
+//! `(a, a')` there is an edge `(b, b')` with `a' ≤ b'`. The maximum
+//! such relation is a preorder; its kernel `a ≡ b ⟺ a ≤ b ∧ b ≤ a` is
+//! *simulation equivalence*, the coarsest node equivalence that
+//! query-preserving compression for simulation queries can merge
+//! (see [`crate::compress`], after Fan et al., *Query Preserving Graph
+//! Compression*, SIGMOD 2012 — the "graph compression" direction named
+//! in §7 of the VLDB'14 paper).
+//!
+//! Two facts proved here as tests and relied on by [`crate::compress`]:
+//!
+//! 1. **Upward closure**: if `(u, v) ∈ Q(G)` and `v ≤ w` then
+//!    `(u, w) ∈ Q(G)`. (The relation
+//!    `R' = {(u, w) | ∃v: (u,v) ∈ Q(G), v ≤ w}` is itself a
+//!    simulation: for a query edge `(u, u')`, a witness child `v'` of
+//!    `v` with `(u', v') ∈ Q(G)` maps through `v ≤ w` to a child `w'`
+//!    of `w` with `v' ≤ w'`.)
+//! 2. `≤` is compatible with the quotient: classes inherit a preorder
+//!    that is a self-simulation of the quotient graph.
+//!
+//! The algorithm is the counter-based HHK scheme instantiated with the
+//! graph as its own pattern, using an `O(|V|²)` counter table
+//! `cnt[a][b] = |succ(b) ∩ sim-candidates(a)|` — a pair `(a, b)` dies
+//! when `cnt[a'][b] = 0` for some child `a'` of `a`. Time
+//! `O(|V||E|)`, space `O(|V|²)`; intended for the moderate graph sizes
+//! where compression itself is worthwhile per fragment.
+
+use dgs_graph::{Graph, NodeId};
+
+/// The maximum self-simulation relation of a graph, as a dense
+/// boolean matrix (`a ≤ b` at `a * n + b`).
+pub struct SimPreorder {
+    n: usize,
+    le: Vec<bool>,
+    /// Basic operations charged while computing the preorder.
+    pub ops: u64,
+}
+
+impl SimPreorder {
+    /// Computes the maximum self-simulation of `g`.
+    ///
+    /// # Panics
+    /// Panics if `|V|²` does not fit in memory practical terms are the
+    /// caller's responsibility; intended for `|V|` up to a few
+    /// thousand.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut ops: u64 = 0;
+
+        // cand[a * n + b] = current candidacy of a ≤ b.
+        let mut cand = vec![false; n * n];
+        for a in 0..n {
+            let la = g.label(NodeId(a as u32));
+            for b in 0..n {
+                ops += 1;
+                cand[a * n + b] = g.label(NodeId(b as u32)) == la;
+            }
+        }
+
+        // cnt[a * n + b] = |{b' ∈ succ(b) : cand[a][b']}|.
+        // Initially cand[a][b'] is pure label equality, so seed from a
+        // per-node successor-label histogram.
+        let label_bound = g.label_bound();
+        let mut succ_labels = vec![0u32; n * label_bound.max(1)];
+        for b in 0..n {
+            for &b2 in g.successors(NodeId(b as u32)) {
+                ops += 1;
+                succ_labels[b * label_bound + g.label(b2).index()] += 1;
+            }
+        }
+        let mut cnt = vec![0u32; n * n];
+        for a in 0..n {
+            let la = g.label(NodeId(a as u32)).index();
+            for b in 0..n {
+                ops += 1;
+                cnt[a * n + b] = succ_labels[b * label_bound + la];
+            }
+        }
+
+        // Initial worklist: candidate pairs (a, b) where some child a'
+        // of a has no label-matched successor at b.
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        for a in 0..n {
+            'pairs: for b in 0..n {
+                if !cand[a * n + b] {
+                    continue;
+                }
+                for &a2 in g.successors(NodeId(a as u32)) {
+                    ops += 1;
+                    if cnt[a2.index() * n + b] == 0 {
+                        cand[a * n + b] = false;
+                        worklist.push((a as u32, b as u32));
+                        continue 'pairs;
+                    }
+                }
+            }
+        }
+
+        // Falsification cascade: when (a, b) dies, each predecessor b0
+        // of b loses one witness for a; if cnt[a][b0] hits zero, every
+        // candidate (a0, b0) with a0 a predecessor of a dies.
+        while let Some((a, b)) = worklist.pop() {
+            for &b0 in g.predecessors(NodeId(b)) {
+                ops += 1;
+                let c = &mut cnt[a as usize * n + b0.index()];
+                debug_assert!(*c > 0, "self-simulation counter underflow");
+                *c -= 1;
+                if *c == 0 {
+                    for &a0 in g.predecessors(NodeId(a)) {
+                        ops += 1;
+                        let slot = a0.index() * n + b0.index();
+                        if cand[slot] {
+                            cand[slot] = false;
+                            worklist.push((a0.0, b0.0));
+                        }
+                    }
+                }
+            }
+        }
+
+        SimPreorder { n, le: cand, ops }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// True iff `a ≤ b` (`b` simulates `a`).
+    #[inline]
+    pub fn le(&self, a: NodeId, b: NodeId) -> bool {
+        self.le[a.index() * self.n + b.index()]
+    }
+
+    /// True iff `a ≡ b` (mutual simulation).
+    #[inline]
+    pub fn equivalent(&self, a: NodeId, b: NodeId) -> bool {
+        self.le(a, b) && self.le(b, a)
+    }
+
+    /// Number of pairs in the preorder (including the diagonal).
+    pub fn pair_count(&self) -> usize {
+        self.le.iter().filter(|&&x| x).count()
+    }
+
+    /// Partitions the nodes into simulation-equivalence classes.
+    /// Returns `(class_of, class_count)`; class ids are dense and
+    /// ordered by their smallest member.
+    pub fn equivalence_classes(&self) -> (Vec<u32>, usize) {
+        let n = self.n;
+        let mut class_of = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for a in 0..n {
+            if class_of[a] != u32::MAX {
+                continue;
+            }
+            class_of[a] = next;
+            for (b, cls) in class_of.iter_mut().enumerate().skip(a + 1) {
+                if *cls == u32::MAX && self.equivalent(NodeId(a as u32), NodeId(b as u32)) {
+                    *cls = next;
+                }
+            }
+            next += 1;
+        }
+        (class_of, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhk::hhk_simulation;
+    use dgs_graph::generate::random;
+    use dgs_graph::{GraphBuilder, Label, Pattern, PatternBuilder};
+
+    /// Brute-force greatest fixpoint for cross-checking.
+    fn naive_preorder(g: &Graph) -> Vec<bool> {
+        let n = g.node_count();
+        let mut le = vec![false; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                le[a * n + b] = g.label(NodeId(a as u32)) == g.label(NodeId(b as u32));
+            }
+        }
+        loop {
+            let mut changed = false;
+            for a in 0..n {
+                for b in 0..n {
+                    if !le[a * n + b] {
+                        continue;
+                    }
+                    let ok = g.successors(NodeId(a as u32)).iter().all(|&a2| {
+                        g.successors(NodeId(b as u32))
+                            .iter()
+                            .any(|&b2| le[a2.index() * n + b2.index()])
+                    });
+                    if !ok {
+                        le[a * n + b] = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return le;
+            }
+        }
+    }
+
+    fn graph_as_pattern(g: &Graph) -> Pattern {
+        let mut b = PatternBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(
+                dgs_graph::QNodeId(u.0 as u16),
+                dgs_graph::QNodeId(v.0 as u16),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn preorder_is_reflexive_and_transitive() {
+        let g = random::uniform(60, 180, 4, 7);
+        let p = SimPreorder::compute(&g);
+        for a in g.nodes() {
+            assert!(p.le(a, a), "reflexivity at {a:?}");
+        }
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if !p.le(a, b) {
+                    continue;
+                }
+                for c in g.nodes() {
+                    if p.le(b, c) {
+                        assert!(p.le(a, c), "transitivity {a:?} ≤ {b:?} ≤ {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_fixpoint() {
+        for seed in 0..8 {
+            let g = random::uniform(40, 120, 3, seed);
+            let p = SimPreorder::compute(&g);
+            let naive = naive_preorder(&g);
+            assert_eq!(p.le, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_hhk_with_graph_as_pattern() {
+        // a ≤ b iff (a, b) is in the maximum simulation of pattern G
+        // in graph G.
+        let g = random::uniform(50, 150, 4, 11);
+        let p = SimPreorder::compute(&g);
+        let q = graph_as_pattern(&g);
+        let rel = hhk_simulation(&q, &g).relation;
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(
+                    p.le(a, b),
+                    rel.contains(dgs_graph::QNodeId(a.0 as u16), b),
+                    "({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_orders_by_remaining_length() {
+        // Path a0 -> a1 -> a2 (same label): a node simulates another
+        // iff it can extend every onward walk, so a2 ≤ a1 ≤ a0 and not
+        // conversely.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(Label(0));
+        let a1 = b.add_node(Label(0));
+        let a2 = b.add_node(Label(0));
+        b.add_edge(a0, a1);
+        b.add_edge(a1, a2);
+        let g = b.build();
+        let p = SimPreorder::compute(&g);
+        assert!(p.le(a2, a1) && p.le(a1, a0) && p.le(a2, a0));
+        assert!(!p.le(a0, a1) && !p.le(a1, a2));
+        let (_, classes) = p.equivalence_classes();
+        assert_eq!(classes, 3);
+    }
+
+    #[test]
+    fn cycle_nodes_all_equivalent() {
+        // A uniform-label cycle: every node simulates every other.
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..5).map(|_| b.add_node(Label(1))).collect();
+        for i in 0..5 {
+            b.add_edge(nodes[i], nodes[(i + 1) % 5]);
+        }
+        let g = b.build();
+        let p = SimPreorder::compute(&g);
+        let (class_of, classes) = p.equivalence_classes();
+        assert_eq!(classes, 1, "{class_of:?}");
+        assert_eq!(p.pair_count(), 25);
+    }
+
+    #[test]
+    fn upward_closure_of_matches() {
+        // Fact 1 of the module docs: match sets of any pattern are
+        // upward-closed under ≤.
+        use dgs_graph::generate::patterns;
+        for seed in 0..6 {
+            let g = random::uniform(50, 150, 3, seed);
+            let p = SimPreorder::compute(&g);
+            let q = patterns::random_cyclic(3, 5, 3, seed + 100);
+            let rel = hhk_simulation(&q, &g).relation;
+            for u in q.nodes() {
+                for &v in rel.matches_of(u) {
+                    for w in g.nodes() {
+                        if p.le(v, w) {
+                            assert!(
+                                rel.contains(u, w),
+                                "seed {seed}: ({u:?}, {v:?}) ∈ Q(G), {v:?} ≤ {w:?}, but ({u:?}, {w:?}) ∉ Q(G)"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_separate_classes() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(Label(0));
+        let y = b.add_node(Label(1));
+        let g = b.build();
+        let p = SimPreorder::compute(&g);
+        assert!(!p.le(x, y) && !p.le(y, x));
+        assert_eq!(p.equivalence_classes().1, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let p = SimPreorder::compute(&g);
+        assert_eq!(p.node_count(), 0);
+        assert_eq!(p.pair_count(), 0);
+        assert_eq!(p.equivalence_classes().1, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Trees: `dGPMt`'s two-round protocol on a distributed document tree
+//! (Corollary 4 — parallel scalability in data shipment).
+//!
+//! Shipment stays `O(|Q||F|)` as the tree grows 16×, while `dGPM`'s
+//! general-purpose protocol (also correct on trees) is compared for
+//! contrast.
+//!
+//! ```text
+//! cargo run --release --example distributed_tree
+//! ```
+
+use dgs::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let q = dgs::graph::generate::patterns::path_pattern(3, &[Label(0), Label(1), Label(2)]);
+    let runner = DistributedSim::default();
+    let k = 8;
+
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>14}",
+        "|V|", "dGPMt PT(ms)", "dGPMt DS(KB)", "dGPM PT(ms)", "dGPM DS(KB)"
+    );
+    for n in [10_000usize, 40_000, 160_000] {
+        let g = dgs::graph::generate::tree::random_tree_with_chain_bias(n, 6, 0.4, 5);
+        let assign = tree_partition(&g, k);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        for f in frag.fragments() {
+            assert!(f.in_nodes().len() <= 1, "connected subtree invariant");
+        }
+        let rt = runner.run(&Algorithm::Dgpmt, &g, &frag, &q);
+        let rg = runner.run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
+        assert_eq!(rt.relation, rg.relation, "engines disagree at n={n}");
+        println!(
+            "{:>9} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            n,
+            rt.metrics.virtual_time_ms(),
+            rt.metrics.data_kb(),
+            rg.metrics.virtual_time_ms(),
+            rg.metrics.data_kb()
+        );
+    }
+    println!("\ndGPMt's DS column is flat in |G| — Corollary 4's O(|Q||F|) bound.");
+}

@@ -1,0 +1,71 @@
+//! The impossibility theorem, experimentally (Theorem 1, Fig. 2).
+//!
+//! `Q0` is the 2-cycle `A ⇄ B`; `G0` is a ring of `n` `(Ai, Bi)` pairs
+//! with one pair per site. Both `|Q0|` and every fragment are
+//! constant-size, yet:
+//!
+//! * breaking one ring edge forces the falsification to travel through
+//!   all `n` sites — response time grows linearly in `n`, so no
+//!   algorithm is parallel scalable in response time (Thm 1(1));
+//! * with just 2 fragments (all A's vs all B's), deciding the broken
+//!   ring forces `Ω(n)` data across the cut, so none is parallel
+//!   scalable in data shipment (Thm 1(2)).
+//!
+//! ```text
+//! cargo run --release --example impossibility
+//! ```
+
+use dgs::graph::generate::adversarial;
+use dgs::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let q = adversarial::q0();
+    let algo = Algorithm::dgpm_incremental_only();
+    let runner = DistributedSim::default();
+
+    println!("Theorem 1(1): one (Ai,Bi) pair per site — constant |Fm|, |Q|");
+    println!(
+        "{:>6} {:>16} {:>16} {:>12} {:>10}",
+        "n", "broken PT(ms)", "intact PT(ms)", "broken msgs", "matches"
+    );
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let assign = adversarial::per_pair_assignment(n);
+        let broken = adversarial::broken_cycle_graph(n);
+        let frag_b = Arc::new(Fragmentation::build(&broken, &assign, n));
+        let rb = runner.run(&algo, &broken, &frag_b, &q);
+        assert!(!rb.is_match);
+
+        let intact = adversarial::cycle_graph(n);
+        let frag_i = Arc::new(Fragmentation::build(&intact, &assign, n));
+        let ri = runner.run(&algo, &intact, &frag_i, &q);
+        assert!(ri.is_match);
+
+        println!(
+            "{:>6} {:>16.3} {:>16.3} {:>12} {:>10}",
+            n,
+            rb.metrics.virtual_time_ms(),
+            ri.metrics.virtual_time_ms(),
+            rb.metrics.data_messages,
+            ri.is_match
+        );
+    }
+    println!("broken-ring PT grows with n: information must traverse the whole ring.\n");
+
+    println!("Theorem 1(2): two fragments (A side / B side) — constant |F|, |Q|");
+    println!("{:>6} {:>14} {:>14}", "n", "DS (KB)", "data msgs");
+    for n in [64usize, 128, 256, 512, 1024] {
+        let assign = adversarial::bipartite_assignment(n);
+        let broken = adversarial::broken_cycle_graph(n);
+        let frag = Arc::new(Fragmentation::build(&broken, &assign, 2));
+        let r = runner.run(&algo, &broken, &frag, &q);
+        assert!(!r.is_match);
+        println!(
+            "{:>6} {:>14.3} {:>14}",
+            n,
+            r.metrics.data_kb(),
+            r.metrics.data_messages
+        );
+    }
+    println!("DS grows with n despite |F| = 2: parallel scalability in shipment is impossible.");
+}

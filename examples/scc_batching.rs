@@ -1,0 +1,59 @@
+//! `dGPMs` vs `dGPM`: what SCC-stratified batching buys (and costs).
+//!
+//! `dGPMd` (§5.1) batches falsifications by topological rank to cut
+//! the *number* of messages — Example 10 counts 6 instead of 12. The
+//! repository's `dGPMs` extends that scheduling to cyclic patterns via
+//! the SCC condensation. This example measures the trade on a
+//! community graph with a cyclic query:
+//!
+//! * **messages**: `dGPMs` sends at most one data message per site
+//!   pair per round — typically several-fold fewer than the eager
+//!   asynchronous `dGPM`;
+//! * **bytes**: identical up to batch headers (each falsified
+//!   variable still ships at most once per subscriber, `O(|Ef||Vq|)`);
+//! * **response time**: asynchronous `dGPM` usually wins — it
+//!   pipelines falsification chains, while each `dGPMs` stratum round
+//!   pays a coordinator barrier round trip. Batching pays off when
+//!   per-message cost dominates (flow control, small-message-hostile
+//!   transports), which the second table simulates.
+//!
+//! ```text
+//! cargo run --release --example scc_batching
+//! ```
+
+use dgs::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 42u64;
+    let g = dgs::graph::generate::random::community(30_000, 150_000, 8, 0.1, 15, seed);
+    let q = dgs::graph::generate::patterns::random_cyclic(5, 10, 15, seed);
+    let k = 8;
+    let assign = hash_partition(g.node_count(), k, seed);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let oracle = hhk_simulation(&q, &g).relation;
+
+    // An EC2-like network and one where each message costs 1 ms of
+    // handling (the per-message-dominated regime).
+    let ec2 = CostModel::default();
+    let permsg = CostModel {
+        ns_per_message: 1_000_000,
+        ..CostModel::default()
+    };
+
+    for (label, cost) in [("EC2-like network", &ec2), ("1 ms per message", &permsg)] {
+        println!("{label}:");
+        for algo in [Algorithm::dgpm_incremental_only(), Algorithm::Dgpms] {
+            let r = DistributedSim::virtual_time(cost.clone()).run(&algo, &g, &frag, &q);
+            assert_eq!(r.relation, oracle);
+            println!(
+                "  {:>12}: {:>5} data messages  {:>8.1} KB  PT {:>7.2} ms",
+                r.algorithm,
+                r.metrics.data_messages,
+                r.metrics.data_kb(),
+                r.metrics.virtual_time_ms()
+            );
+        }
+    }
+    println!("\nanswers identical across engines and cost models (asserted)");
+}

@@ -1,0 +1,255 @@
+//! `dgsq` — command-line front end for distributed graph simulation.
+//!
+//! ```text
+//! dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE
+//! dgsq query    --graph FILE --pattern FILE [--algorithm NAME] [--sites K]
+//!               [--partition hash|bfs|ldg|tree] [--executor virtual|threaded]
+//!               [--seed S] [--boolean] [--matches]
+//! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]
+//! dgsq stats    --graph FILE
+//! ```
+//!
+//! Graphs and patterns use the line-oriented text format of
+//! `dgs_graph::io` (`graph|pattern N M`, `n <id> <label>`,
+//! `e <src> <dst>`).
+
+use dgs::core::{Algorithm, DistributedSim};
+use dgs::graph::{io, Graph, Pattern};
+use dgs::net::ExecutorKind;
+use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+use std::sync::Arc;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dgsq: {msg}");
+    exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE\n  \
+         dgsq query --graph FILE --pattern FILE [--algorithm dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
+         [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n  \
+         dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]\n  \
+         dgsq stats --graph FILE"
+    );
+    exit(2);
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| fail(&format!("expected a --flag, got '{}'", args[i])));
+        // Boolean flags take no value.
+        if matches!(key, "boolean" | "matches") {
+            flags.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail(&format!("--{key} requires a value")));
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Option<&'a str> {
+    flags.get(key).map(String::as_str)
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+fn load_graph(path: &str) -> Graph {
+    let f = File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    io::read_graph(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn load_pattern(path: &str) -> Pattern {
+    let f = File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    io::read_pattern(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) {
+    use dgs::graph::generate::{dag, random, tree};
+    let family = get(flags, "family").unwrap_or_else(|| fail("--family required"));
+    let n: usize = num(flags, "nodes", 10_000);
+    let m: usize = num(flags, "edges", 5 * n);
+    let labels: usize = num(flags, "labels", 15);
+    let seed: u64 = num(flags, "seed", 1);
+    let out = get(flags, "out").unwrap_or_else(|| fail("--out required"));
+    let g = match family {
+        "web" => random::web_like(n, m, labels, seed),
+        "citation" => dag::citation_like(n, m, labels, seed),
+        "tree" => tree::random_tree(n, labels, seed),
+        "community" => random::community(n, m, 8, 0.05, labels, seed),
+        "rmat" => {
+            let scale = (n.max(2) as f64).log2().ceil() as u32;
+            dgs::graph::generate::rmat::rmat(
+                scale,
+                m,
+                labels,
+                dgs::graph::generate::rmat::RmatParams::graph500(),
+                seed,
+            )
+        }
+        other => fail(&format!("unknown family '{other}'")),
+    };
+    let f = File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+    io::write_graph(&g, std::io::BufWriter::new(f))
+        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!(
+        "wrote {family} graph: {} nodes, {} edges -> {out}",
+        g.node_count(),
+        g.edge_count()
+    );
+}
+
+fn cmd_query(flags: &HashMap<String, String>) {
+    let g = load_graph(get(flags, "graph").unwrap_or_else(|| fail("--graph required")));
+    let q = load_pattern(get(flags, "pattern").unwrap_or_else(|| fail("--pattern required")));
+    let k: usize = num(flags, "sites", 4);
+    let seed: u64 = num(flags, "seed", 1);
+    let algo = match get(flags, "algorithm").unwrap_or("dgpm") {
+        "dgpm" => Algorithm::dgpm(),
+        "dgpm-nopt" => Algorithm::dgpm_nopt(),
+        "dgpms" => Algorithm::Dgpms,
+        "dgpmd" => Algorithm::Dgpmd,
+        "dgpmt" => Algorithm::Dgpmt,
+        "match" => Algorithm::MatchCentral,
+        "dishhk" => Algorithm::DisHhk,
+        "dmes" => Algorithm::DMes,
+        other => fail(&format!("unknown algorithm '{other}'")),
+    };
+    let assignment = match get(flags, "partition").unwrap_or("hash") {
+        "hash" => hash_partition(g.node_count(), k, seed),
+        "bfs" => bfs_partition(&g, k, seed),
+        "ldg" => dgs::partition::ldg_partition(&g, k, 0.1, seed),
+        "tree" => tree_partition(&g, k),
+        other => fail(&format!("unknown partitioner '{other}'")),
+    };
+    let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
+    let runner = match get(flags, "executor").unwrap_or("virtual") {
+        "virtual" => DistributedSim::default(),
+        "threaded" => DistributedSim {
+            executor: ExecutorKind::Threaded,
+            ..DistributedSim::default()
+        },
+        other => fail(&format!("unknown executor '{other}'")),
+    };
+
+    println!(
+        "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  query |Vq|={} |Eq|={}",
+        g.node_count(),
+        g.edge_count(),
+        frag.vf(),
+        frag.ef(),
+        q.node_count(),
+        q.edge_count()
+    );
+
+    if flags.contains_key("boolean") {
+        let (matched, metrics) = runner.run_boolean(&algo, &g, &frag, &q);
+        println!(
+            "{}: match = {matched}   PT = {:.3} ms  DS = {:.3} KB",
+            algo.name(),
+            metrics.virtual_time_ms(),
+            metrics.data_kb()
+        );
+        return;
+    }
+
+    let report = runner.run(&algo, &g, &frag, &q);
+    println!(
+        "{}: match = {}  |Q(G)| = {} pairs   PT = {:.3} ms  DS = {:.3} KB  ({} data msgs, {} ops)",
+        report.algorithm,
+        report.is_match,
+        report.answer.len(),
+        report.metrics.virtual_time_ms(),
+        report.metrics.data_kb(),
+        report.metrics.data_messages,
+        report.metrics.total_ops
+    );
+    if flags.contains_key("matches") {
+        for u in q.nodes() {
+            let matches = report.answer.matches_of(u);
+            let shown: Vec<String> = matches.iter().take(20).map(|v| v.to_string()).collect();
+            let ellipsis = if matches.len() > 20 { ", ..." } else { "" };
+            println!("  u{u}: {} matches [{}{}]", matches.len(), shown.join(", "), ellipsis);
+        }
+    }
+}
+
+fn cmd_compress(flags: &HashMap<String, String>) {
+    use dgs::sim::{compress_bisim, compress_simeq};
+    let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
+    let g = load_graph(path);
+    let method = get(flags, "method").unwrap_or("bisim");
+    let c = match method {
+        "simeq" => {
+            if g.node_count() > 20_000 {
+                fail("simeq compression holds an O(|V|^2) table; use --method bisim for graphs this large");
+            }
+            compress_simeq(&g)
+        }
+        "bisim" => compress_bisim(&g),
+        other => fail(&format!("unknown method '{other}'")),
+    };
+    println!(
+        "{method}: |G| = {} -> |Gc| = {} ({:.1}% of original; {} classes)",
+        g.size(),
+        c.graph.size(),
+        100.0 * c.ratio(g.size()),
+        c.class_count()
+    );
+    if let Some(out) = get(flags, "out") {
+        let f = File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+        io::write_graph(&c.graph, std::io::BufWriter::new(f))
+            .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+        println!("wrote quotient graph -> {out}");
+    }
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    use dgs::graph::GraphStats;
+    let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
+    let g = load_graph(path);
+    println!("graph {path}");
+    println!("{}", GraphStats::compute(&g));
+    println!(
+        "top-1% hubs carry {:.1}% of edges",
+        100.0 * GraphStats::top1pct_edge_share(&g)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "query" => cmd_query(&flags),
+        "compress" => cmd_compress(&flags),
+        "stats" => cmd_stats(&flags),
+        "--help" | "-h" | "help" => usage(),
+        other => fail(&format!("unknown command '{other}'")),
+    }
+}

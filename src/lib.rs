@@ -1,0 +1,67 @@
+//! # dgs — Distributed Graph Simulation
+//!
+//! A full implementation of **Fan, Wang, Wu & Deng, "Distributed Graph
+//! Simulation: Impossibility and Possibility", PVLDB 7(12), 2014**:
+//! graph pattern matching by graph simulation over fragmented,
+//! distributed graphs, with the paper's partition-bounded algorithm
+//! `dGPM`, the DAG algorithm `dGPMd`, the tree algorithm `dGPMt`, and
+//! the `Match`/`disHHK`/`dMes` baselines — all runnable on a real
+//! threaded cluster or a deterministic virtual-time cluster simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dgs::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // The paper's Fig. 1 social network, distributed over 3 sites.
+//! let w = dgs::graph::generate::social::fig1();
+//! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//!
+//! // Run the partition-bounded dGPM algorithm.
+//! let report = DistributedSim::default().run(
+//!     &Algorithm::dgpm(), &w.graph, &frag, &w.pattern,
+//! );
+//! assert!(report.is_match);
+//!
+//! // The answer equals the centralized oracle.
+//! let oracle = hhk_simulation(&w.pattern, &w.graph);
+//! assert_eq!(report.relation, oracle.relation);
+//!
+//! // ... and ships data bounded by O(|Ef||Vq|), not O(|G|).
+//! println!("PT = {:.2} ms, DS = {:.2} KB",
+//!     report.metrics.virtual_time_ms(), report.metrics.data_kb());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | facade module | crate | contents |
+//! |---------------|-------|----------|
+//! | [`graph`] | `dgs-graph` | graphs, patterns, generators, graph algorithms |
+//! | [`partition`] | `dgs-partition` | fragments, partitioners, crossing-edge refinement |
+//! | [`sim`] | `dgs-sim` | centralized simulation (naive + HHK oracle) |
+//! | [`net`] | `dgs-net` | threaded & virtual-time cluster executors, PT/DS metrics |
+//! | [`core`] | `dgs-core` | `dGPM`, `dGPMd`, `dGPMs`, `dGPMt`, baselines, Boolean equations |
+
+pub use dgs_core as core;
+pub use dgs_graph as graph;
+pub use dgs_net as net;
+pub use dgs_partition as partition;
+pub use dgs_sim as sim;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use dgs_core::{Algorithm, DistributedSim, RunReport, Var};
+    pub use dgs_graph::{Graph, GraphBuilder, Label, NodeId, Pattern, PatternBuilder, QNodeId};
+    pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, RunMetrics};
+    pub use dgs_partition::{
+        bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation, FragmentationStats,
+    };
+    pub use dgs_sim::{
+        boolean_matches, bounded_simulation, compress_bisim, compress_simeq, dual_simulation,
+        find_embedding, hhk_simulation, naive_simulation, strong_simulation, BoundedPattern,
+        CompressedGraph, MatchRelation, SimPreorder,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,160 @@
+//! Empirical checks of the paper's performance bounds (Theorems 2, 3
+//! and Corollary 4): the data-shipment guarantees are inequalities we
+//! can verify exactly, message by message.
+
+use dgs::graph::generate::{dag, patterns, random, tree};
+use dgs::prelude::*;
+use std::sync::Arc;
+
+/// A `Falsified` message costs 5 bytes of framing plus 6 bytes per
+/// shipped variable (see `dgs_core::dgpm::DgpmMsg`).
+fn shipped_vars(metrics: &RunMetrics) -> u64 {
+    (metrics.data_bytes - 5 * metrics.data_messages) / 6
+}
+
+/// Theorem 2: dGPM (without push) ships at most one falsification per
+/// (crossing edge, query node) pair — `O(|Ef||Vq|)`.
+#[test]
+fn dgpm_shipment_bounded_by_ef_times_vq() {
+    for seed in 0..8 {
+        let g = random::uniform(300, 1_200, 4, seed);
+        let q = patterns::random_cyclic(4, 8, 4, seed + 3);
+        let k = 5;
+        let assign = hash_partition(g.node_count(), k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let report = DistributedSim::default().run(
+            &Algorithm::dgpm_incremental_only(),
+            &g,
+            &frag,
+            &q,
+        );
+        let bound = (frag.ef() * q.node_count()) as u64;
+        assert!(
+            shipped_vars(&report.metrics) <= bound,
+            "seed {seed}: shipped {} > |Ef||Vq| = {bound}",
+            shipped_vars(&report.metrics)
+        );
+    }
+}
+
+/// Theorem 3: dGPMd sends at most one batch per ordered site pair per
+/// rank round, and its shipment stays within the dGPM bound.
+#[test]
+fn dgpmd_message_and_shipment_bounds() {
+    for seed in 0..6 {
+        let g = dag::citation_like(400, 1_100, 5, seed);
+        let d = 4;
+        let q = patterns::random_dag_with_depth(7, 11, d, 5, seed + 31);
+        let k = 5;
+        let assign = hash_partition(g.node_count(), k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let report = DistributedSim::default().run(&Algorithm::Dgpmd, &g, &frag, &q);
+        let max_batches = ((d + 1) * k * (k - 1)) as u64;
+        assert!(
+            report.metrics.data_messages <= max_batches,
+            "seed {seed}: {} messages > {max_batches}",
+            report.metrics.data_messages
+        );
+    }
+}
+
+/// Corollary 4: dGPMt's shipment is O(|Q||F|) — growing the tree by
+/// 16× with fixed |F| leaves DS essentially unchanged, and the
+/// absolute volume stays tiny.
+#[test]
+fn dgpmt_shipment_independent_of_graph_size() {
+    let q = patterns::path_pattern(3, &[Label(0), Label(1), Label(2)]);
+    let k = 6;
+    let ds_of = |n: usize| {
+        let g = tree::random_tree_with_chain_bias(n, 4, 0.4, 5);
+        let assign = tree_partition(&g, k);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let report = DistributedSim::default().run(&Algorithm::Dgpmt, &g, &frag, &q);
+        report.metrics.data_bytes
+    };
+    let small = ds_of(500);
+    let large = ds_of(8_000);
+    assert!(
+        large <= small.max(1) * 4,
+        "tree DS grew with |G|: {small} -> {large}"
+    );
+    // Absolute sanity: a handful of equations and assignments, KBs at
+    // most.
+    assert!(large < 16 * 1024);
+}
+
+/// The dGPM response-time bound is partition bounded, not a function
+/// of |G|: on community graphs with *fixed* crossing structure,
+/// growing |G| grows PT at most linearly through |Fm| (never through
+/// global coordination rounds).
+#[test]
+fn dgpm_rounds_do_not_grow_with_graph_size() {
+    let q = patterns::random_cyclic(4, 8, 6, 11);
+    let rounds_of = |n: usize| {
+        let g = random::community(n, 4 * n, 4, 0.05, 6, 11);
+        let assign = random::community_assignment(n, 4);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+        let report = DistributedSim::default().run(
+            &Algorithm::dgpm_incremental_only(),
+            &g,
+            &frag,
+            &q,
+        );
+        report.metrics.quiescence_rounds
+    };
+    // Quiescence rounds (fixpoint + gather) are workload-shape, not
+    // size, dependent.
+    assert_eq!(rounds_of(500), rounds_of(4_000));
+}
+
+/// dMes ships at least an order of magnitude more data than dGPM on
+/// workloads with real falsification traffic — the Fig. 6(b) gap.
+#[test]
+fn dmes_ships_more_than_dgpm() {
+    let mut gaps = Vec::new();
+    for seed in 0..5 {
+        let g = random::uniform(400, 1_600, 4, seed + 60);
+        let q = patterns::random_cyclic(4, 8, 4, seed + 61);
+        let assign = hash_partition(g.node_count(), 6, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 6));
+        let runner = DistributedSim::default();
+        let dgpm = runner.run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
+        let dmes = runner.run(&Algorithm::DMes, &g, &frag, &q);
+        assert_eq!(dgpm.relation, dmes.relation);
+        gaps.push(
+            dmes.metrics.data_bytes as f64 / dgpm.metrics.data_bytes.max(1) as f64,
+        );
+    }
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(
+        mean_gap > 10.0,
+        "dMes should ship far more than dGPM, got mean ratio {mean_gap:.1} ({gaps:?})"
+    );
+}
+
+/// Match ships the entire graph; dGPM ships orders of magnitude less
+/// — in the paper's regime, i.e. a partition with |Ef| ≪ |E| (the
+/// paper refines random partitions down to |Vf| = 25%; here the
+/// community structure plays that role).
+#[test]
+fn match_ships_the_graph_dgpm_does_not() {
+    let k = 8;
+    let g = random::community(5_000, 20_000, k, 0.02, 5, 77);
+    let q = patterns::random_cyclic(5, 10, 5, 78);
+    let assign = random::community_assignment(g.node_count(), k);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let runner = DistributedSim::default();
+    let m = runner.run(&Algorithm::MatchCentral, &g, &frag, &q);
+    let d = runner.run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
+    assert_eq!(m.relation, d.relation);
+    // Match's DS ≈ serialized |G| (6 bytes/node + 8 bytes/edge).
+    assert!(m.metrics.data_bytes as usize >= 6 * g.node_count() + 8 * g.edge_count());
+    assert!(
+        d.metrics.data_bytes * 10 < m.metrics.data_bytes,
+        "dGPM {} vs Match {}",
+        d.metrics.data_bytes,
+        m.metrics.data_bytes
+    );
+    // And dGPM respects its Theorem 2 bound on this workload too.
+    assert!(shipped_vars(&d.metrics) <= (frag.ef() * q.node_count()) as u64);
+}

@@ -1,0 +1,78 @@
+//! Executor confluence: graph simulation is a monotone fixpoint, so
+//! the threaded cluster (real concurrency, nondeterministic
+//! interleavings) and the virtual-time simulator (deterministic) must
+//! produce identical answers — and the virtual executor must be
+//! bit-reproducible.
+
+use dgs::graph::generate::{patterns, random};
+use dgs::prelude::*;
+use std::sync::Arc;
+
+fn workload(seed: u64) -> (Graph, Pattern, Arc<Fragmentation>) {
+    let g = random::uniform(250, 900, 5, seed);
+    let q = patterns::random_cyclic(4, 8, 5, seed + 13);
+    let assign = hash_partition(g.node_count(), 6, seed);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, 6));
+    (g, q, frag)
+}
+
+#[test]
+fn threaded_and_virtual_agree_on_answers() {
+    for seed in 0..8 {
+        let (g, q, frag) = workload(seed);
+        for algo in [
+            Algorithm::dgpm(),
+            Algorithm::dgpm_nopt(),
+            Algorithm::Dgpms,
+            Algorithm::DMes,
+            Algorithm::DisHhk,
+            Algorithm::MatchCentral,
+        ] {
+            let virt = DistributedSim::default().run(&algo, &g, &frag, &q);
+            let thr = DistributedSim::threaded().run(&algo, &g, &frag, &q);
+            assert_eq!(
+                virt.relation, thr.relation,
+                "seed {seed}, {}",
+                virt.algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn virtual_executor_is_deterministic_end_to_end() {
+    let (g, q, frag) = workload(3);
+    let run = || {
+        let r = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
+        (
+            r.relation.clone(),
+            r.metrics.virtual_time_ns,
+            r.metrics.data_bytes,
+            r.metrics.data_messages,
+            r.metrics.total_ops,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn threaded_runs_tolerate_repeated_execution() {
+    // Message interleavings differ between runs; the answer may not.
+    let (g, q, frag) = workload(5);
+    let first = DistributedSim::threaded().run(&Algorithm::dgpm(), &g, &frag, &q);
+    for _ in 0..3 {
+        let again = DistributedSim::threaded().run(&Algorithm::dgpm(), &g, &frag, &q);
+        assert_eq!(first.relation, again.relation);
+    }
+}
+
+#[test]
+fn wall_clock_is_recorded_by_both_executors() {
+    let (g, q, frag) = workload(1);
+    let virt = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
+    let thr = DistributedSim::threaded().run(&Algorithm::dgpm(), &g, &frag, &q);
+    assert!(virt.metrics.wall_time.as_nanos() > 0);
+    assert!(thr.metrics.wall_time.as_nanos() > 0);
+    assert!(virt.metrics.virtual_time_ns > 0);
+    assert_eq!(thr.metrics.virtual_time_ns, 0); // wall-clock mode
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over random graphs, patterns and
+//! fragmentations.
+
+use dgs::graph::generate::{patterns, random};
+use dgs::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a small random workload described by seeds and sizes
+/// (generation itself goes through the deterministic generators so
+/// shrinking stays meaningful).
+fn workload_strategy() -> impl Strategy<Value = (Graph, Pattern, Vec<usize>, usize)> {
+    (
+        10usize..80,   // nodes
+        1usize..5,     // edge multiplier
+        2usize..5,     // labels
+        3usize..6,     // query nodes
+        1usize..5,     // sites
+        any::<u64>(),  // seed
+    )
+        .prop_map(|(n, em, labels, nq, k, seed)| {
+            let g = random::uniform(n, n * em, labels, seed);
+            let q = patterns::random_cyclic(nq, nq + 3, labels, seed ^ 0x9e37);
+            let assign = hash_partition(n, k, seed);
+            (g, q, assign, k)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The distributed engines equal the centralized oracle on
+    /// arbitrary workloads.
+    #[test]
+    fn dgpm_equals_oracle((g, q, assign, k) in workload_strategy()) {
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let oracle = hhk_simulation(&q, &g);
+        let runner = DistributedSim::default();
+        for algo in [Algorithm::dgpm(), Algorithm::dgpm_nopt(), Algorithm::DMes] {
+            let report = runner.run(&algo, &g, &frag, &q);
+            prop_assert_eq!(&report.relation, &oracle.relation);
+        }
+    }
+
+    /// HHK equals the naive fixpoint.
+    #[test]
+    fn hhk_equals_naive((g, q, _assign, _k) in workload_strategy()) {
+        prop_assert_eq!(
+            hhk_simulation(&q, &g).relation,
+            naive_simulation(&q, &g).relation
+        );
+    }
+
+    /// Soundness: every pair of the computed relation satisfies the
+    /// simulation child condition; labels always agree.
+    #[test]
+    fn relation_is_sound((g, q, _assign, _k) in workload_strategy()) {
+        let rel = hhk_simulation(&q, &g).relation;
+        for (u, v) in rel.iter() {
+            prop_assert_eq!(q.label(u), g.label(v));
+        }
+        let ok = rel.respects_child_condition(&q, |v| g.successors(v).to_vec());
+        prop_assert!(ok);
+    }
+
+    /// Maximality: adding any label-compatible pair not in the
+    /// relation breaks the simulation conditions (the relation is the
+    /// *maximum* simulation). Verified by checking the candidate pair
+    /// itself fails the child condition under R ∪ {pair}.
+    #[test]
+    fn relation_is_maximal((g, q, _assign, _k) in workload_strategy()) {
+        let rel = hhk_simulation(&q, &g).relation;
+        for u in q.nodes() {
+            for v in g.nodes() {
+                if q.label(u) != g.label(v) || rel.contains(u, v) {
+                    continue;
+                }
+                // Under the (false) assumption that (u,v) holds in
+                // addition to rel, some query edge of u must still be
+                // unwitnessed — otherwise rel wasn't maximal. Witness
+                // check uses rel ∪ {(u,v)}.
+                let holds = |uu: QNodeId, vv: NodeId| {
+                    rel.contains(uu, vv) || (uu == u && vv == v)
+                };
+                let all_witnessed = q.children(u).iter().all(|&uc| {
+                    g.successors(v).iter().any(|&vc| holds(uc, vc))
+                });
+                prop_assert!(
+                    !all_witnessed,
+                    "pair (u{}, v{}) could be added — relation not maximal",
+                    u.0, v.0
+                );
+            }
+        }
+    }
+
+    /// The Boolean answer is consistent with totality of the relation,
+    /// and the ∅ convention is applied.
+    #[test]
+    fn boolean_answer_consistency((g, q, assign, k) in workload_strategy()) {
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let report = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
+        prop_assert_eq!(report.is_match, report.relation.is_total());
+        if !report.is_match {
+            prop_assert!(report.answer.is_empty());
+        } else {
+            prop_assert_eq!(&report.answer, &report.relation);
+        }
+    }
+
+    /// Fragmentation invariants hold for arbitrary assignments:
+    /// the local node sets partition V; Fi.O / Fi.I are consistent
+    /// with the crossing edges; |Vf| counts distinct virtual nodes.
+    #[test]
+    fn fragmentation_invariants((g, _q, assign, k) in workload_strategy()) {
+        let frag = Fragmentation::build(&g, &assign, k);
+        // Partition.
+        let mut seen = vec![false; g.node_count()];
+        for f in frag.fragments() {
+            for idx in f.local_indices() {
+                let v = f.global_id(idx);
+                prop_assert!(!seen[v.index()], "node in two fragments");
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "node in no fragment");
+        // Crossing-edge consistency.
+        let mut ef = 0usize;
+        for (u, v) in g.edges() {
+            if assign[u.index()] != assign[v.index()] {
+                ef += 1;
+                let fu = frag.fragment(assign[u.index()]);
+                let idx = fu.index_of(v).expect("virtual node present at source");
+                prop_assert!(fu.is_virtual(idx));
+                let fv = frag.fragment(assign[v.index()]);
+                let vidx = fv.index_of(v).unwrap();
+                prop_assert!(fv.in_node_pos(vidx).is_some(), "target is an in-node");
+            }
+        }
+        prop_assert_eq!(frag.ef(), ef);
+        // |Vf| = distinct crossing-edge targets.
+        let mut vf: Vec<u32> = g
+            .edges()
+            .filter(|&(u, v)| assign[u.index()] != assign[v.index()])
+            .map(|(_, v)| v.0)
+            .collect();
+        vf.sort_unstable();
+        vf.dedup();
+        prop_assert_eq!(frag.vf(), vf.len());
+    }
+
+    /// The SCC-stratified engine equals the oracle on arbitrary
+    /// (cyclic) workloads.
+    #[test]
+    fn dgpms_equals_oracle((g, q, assign, k) in workload_strategy()) {
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let oracle = hhk_simulation(&q, &g);
+        let report = DistributedSim::default().run(&Algorithm::Dgpms, &g, &frag, &q);
+        prop_assert_eq!(&report.relation, &oracle.relation);
+    }
+
+    /// Bounded simulation with every bound at 1 hop coincides with
+    /// plain simulation.
+    #[test]
+    fn bounded_hop1_is_plain_simulation((g, q, _assign, _k) in workload_strategy()) {
+        let bq = dgs::sim::BoundedPattern::from_plain(&q);
+        prop_assert_eq!(
+            dgs::sim::bounded_simulation(&bq, &g).relation,
+            hhk_simulation(&q, &g).relation
+        );
+    }
+
+    /// Every subgraph-isomorphism embedding lies inside the maximum
+    /// simulation relation (iso finds strictly fewer potential
+    /// matches — §1's motivation for simulation semantics).
+    #[test]
+    fn embeddings_within_simulation((g, q, _assign, _k) in workload_strategy()) {
+        let rel = hhk_simulation(&q, &g).relation;
+        for m in dgs::sim::enumerate_embeddings(&q, &g, 10) {
+            for (u, &v) in m.iter().enumerate() {
+                prop_assert!(rel.contains(QNodeId(u as u16), v));
+            }
+        }
+    }
+}
