@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgs_bench::Workloads;
 use dgs_core::dgpm::DgpmConfig;
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_net::CostModel;
 use dgs_partition::Fragmentation;
 use std::sync::Arc;
@@ -15,16 +15,20 @@ fn bench_ablation(c: &mut Criterion) {
         queries: 1,
         seed: 42,
     };
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let k = 8;
     let (g, assign) = w.web_graph(k, 0.35);
     let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let engine = SimEngine::builder(&g, frag)
+        .cost(CostModel::default())
+        .build();
     let q = &w.cyclic_queries(5, 10)[0];
 
     let mut group = c.benchmark_group("ablation_incremental");
     group.sample_size(10);
     for algo in [Algorithm::dgpm_incremental_only(), Algorithm::dgpm_nopt()] {
-        group.bench_function(algo.name(), |b| b.iter(|| runner.run(&algo, &g, &frag, q)));
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| engine.query_with(&algo, q).unwrap())
+        });
     }
     group.finish();
 
@@ -37,7 +41,7 @@ fn bench_ablation(c: &mut Criterion) {
             push_size_cap: 4096,
         });
         group.bench_with_input(BenchmarkId::new("theta", label), &theta, |b, _| {
-            b.iter(|| runner.run(&algo, &g, &frag, q))
+            b.iter(|| engine.query_with(&algo, q).unwrap())
         });
     }
     group.finish();

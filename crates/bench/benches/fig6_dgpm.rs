@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgs_bench::Workloads;
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_net::CostModel;
 use dgs_partition::Fragmentation;
 use std::sync::Arc;
@@ -15,24 +15,26 @@ fn bench_exp1(c: &mut Criterion) {
         queries: 1,
         seed: 42,
     };
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = &w.cyclic_queries(5, 10)[0];
     let mut group = c.benchmark_group("fig6a_pt_vs_F");
     group.sample_size(10);
     for k in [4usize, 8, 16] {
         let (g, assign) = w.web_graph(k, 0.25);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        // Session built once per fragmentation: iterations measure the
+        // query, not the structural-facts pass.
+        let engine = SimEngine::builder(&g, frag)
+            .cost(CostModel::default())
+            .build();
         for algo in [
             Algorithm::dgpm(),
             Algorithm::DisHhk,
             Algorithm::DMes,
             Algorithm::MatchCentral,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), k),
-                &k,
-                |b, _| b.iter(|| runner.run(&algo, &g, &frag, q)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, _| {
+                b.iter(|| engine.query_with(&algo, q).unwrap())
+            });
         }
     }
     group.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgs_bench::Workloads;
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_net::CostModel;
 use dgs_partition::Fragmentation;
 use std::sync::Arc;
@@ -14,20 +14,22 @@ fn bench_exp2(c: &mut Criterion) {
         queries: 1,
         seed: 42,
     };
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let k = 8;
     let (g, assign) = w.citation_graph(k, 0.25);
     let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    // Session built once: iterations measure the query, not the
+    // structural-facts pass.
+    let engine = SimEngine::builder(&g, frag)
+        .cost(CostModel::default())
+        .build();
     let mut group = c.benchmark_group("fig6g_pt_vs_d");
     group.sample_size(10);
     for d in [2usize, 4, 8] {
         let q = &w.dag_queries(9, 13, d)[0];
         for algo in [Algorithm::Dgpmd, Algorithm::DisHhk, Algorithm::DMes] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), d),
-                &d,
-                |b, _| b.iter(|| runner.run(&algo, &g, &frag, q)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), d), &d, |b, _| {
+                b.iter(|| engine.query_with(&algo, q).unwrap())
+            });
         }
     }
     group.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dgs_bench::Workloads;
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_net::CostModel;
 use dgs_partition::Fragmentation;
 use std::sync::Arc;
@@ -14,7 +14,6 @@ fn bench_exp3(c: &mut Criterion) {
         queries: 1,
         seed: 42,
     };
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = &w.cyclic_queries(5, 10)[0];
     let k = 8;
     let mut group = c.benchmark_group("fig6o_pt_vs_G");
@@ -22,12 +21,15 @@ fn bench_exp3(c: &mut Criterion) {
     for base in [200_000usize, 400_000, 800_000] {
         let (g, assign) = w.synthetic_graph(base, k, 0.20);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag)
+            .cost(CostModel::default())
+            .build();
         group.throughput(Throughput::Elements(g.size() as u64));
         for algo in [Algorithm::dgpm(), Algorithm::DisHhk, Algorithm::DMes] {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), g.node_count()),
                 &base,
-                |b, _| b.iter(|| runner.run(&algo, &g, &frag, q)),
+                |b, _| b.iter(|| engine.query_with(&algo, q).unwrap()),
             );
         }
     }

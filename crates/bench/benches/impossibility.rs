@@ -3,14 +3,13 @@
 //! `|Q|` are constant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_graph::generate::adversarial;
 use dgs_net::CostModel;
 use dgs_partition::Fragmentation;
 use std::sync::Arc;
 
 fn bench_impossibility(c: &mut Criterion) {
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = adversarial::q0();
     let algo = Algorithm::dgpm_incremental_only();
     let mut group = c.benchmark_group("impossibility_ring");
@@ -19,13 +18,19 @@ fn bench_impossibility(c: &mut Criterion) {
         let g = adversarial::broken_cycle_graph(n);
         let assign = adversarial::per_pair_assignment(n);
         let frag = Arc::new(Fragmentation::build(&g, &assign, n));
+        let engine = SimEngine::builder(&g, frag)
+            .cost(CostModel::default())
+            .build();
         group.bench_with_input(BenchmarkId::new("broken", n), &n, |b, _| {
-            b.iter(|| runner.run(&algo, &g, &frag, &q))
+            b.iter(|| engine.query_with(&algo, &q).unwrap())
         });
         let g2 = adversarial::cycle_graph(n);
         let frag2 = Arc::new(Fragmentation::build(&g2, &assign, n));
+        let engine2 = SimEngine::builder(&g2, frag2)
+            .cost(CostModel::default())
+            .build();
         group.bench_with_input(BenchmarkId::new("intact", n), &n, |b, _| {
-            b.iter(|| runner.run(&algo, &g2, &frag2, &q))
+            b.iter(|| engine2.query_with(&algo, &q).unwrap())
         });
     }
     group.finish();

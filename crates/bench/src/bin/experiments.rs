@@ -95,8 +95,14 @@ fn emit(args: &Args, sweep: &Sweep) {
 fn emit_with(sweep: &Sweep, out: &std::path::Path, plots: bool) {
     print_sweep(sweep);
     if plots {
-        print!("{}", dgs_bench::render_plot(sweep, dgs_bench::plot::Metric::Pt));
-        print!("{}", dgs_bench::render_plot(sweep, dgs_bench::plot::Metric::Ds));
+        print!(
+            "{}",
+            dgs_bench::render_plot(sweep, dgs_bench::plot::Metric::Pt)
+        );
+        print!(
+            "{}",
+            dgs_bench::render_plot(sweep, dgs_bench::plot::Metric::Ds)
+        );
     }
     println!();
     if let Err(e) = write_csv(sweep, out) {
@@ -105,17 +111,32 @@ fn emit_with(sweep: &Sweep, out: &std::path::Path, plots: bool) {
 }
 
 fn run_table1(w: &Workloads) {
-    use dgs_core::{Algorithm, DistributedSim};
+    use dgs_core::{Algorithm, SimEngine};
     use dgs_graph::generate::tree as gen_tree;
-    use dgs_net::CostModel;
-    use dgs_partition::{tree_partition, Fragmentation};
+    use dgs_graph::{Graph, Pattern};
+    use dgs_partition::{tree_partition, Fragmentation, SiteId};
 
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let mut measured = Vec::new();
+    // One session per workload graph: every algorithm and query below
+    // shares that session's fragmentation and planner facts.
+    let session = |g: &Graph, assign: &[SiteId]| {
+        let frag = Arc::new(Fragmentation::build(g, assign, 8));
+        SimEngine::builder(g, frag).build()
+    };
+    let mean_point = |engine: &SimEngine, algo: &Algorithm, queries: &[Pattern]| {
+        let (mut pt, mut ds) = (0.0, 0.0);
+        for r in engine.query_batch_with(algo, queries).reports {
+            let r = r.expect("table-1 workload is valid");
+            pt += r.metrics.virtual_time_ms();
+            ds += r.metrics.data_kb();
+        }
+        let n = queries.len() as f64;
+        (pt / n, ds / n)
+    };
 
     // dGPM + baselines on the web workload.
     let (g, assign) = w.web_graph(8, 0.25);
-    let frag = Arc::new(Fragmentation::build(&g, &assign, 8));
+    let web = session(&g, &assign);
     let queries = w.cyclic_queries(5, 10);
     for algo in [
         Algorithm::dgpm(),
@@ -123,43 +144,23 @@ fn run_table1(w: &Workloads) {
         Algorithm::DMes,
         Algorithm::MatchCentral,
     ] {
-        let (mut pt, mut ds) = (0.0, 0.0);
-        for q in &queries {
-            let r = runner.run(&algo, &g, &frag, q);
-            pt += r.metrics.virtual_time_ms();
-            ds += r.metrics.data_kb();
-        }
-        let n = queries.len() as f64;
-        measured.push((algo.name().to_owned(), pt / n, ds / n));
+        let (pt, ds) = mean_point(&web, &algo, &queries);
+        measured.push((algo.name().to_owned(), pt, ds));
     }
 
     // dGPMd on the citation workload.
     let (g, assign) = w.citation_graph(8, 0.25);
-    let frag = Arc::new(Fragmentation::build(&g, &assign, 8));
     let queries = w.dag_queries(9, 13, 4);
-    let (mut pt, mut ds) = (0.0, 0.0);
-    for q in &queries {
-        let r = runner.run(&Algorithm::Dgpmd, &g, &frag, q);
-        pt += r.metrics.virtual_time_ms();
-        ds += r.metrics.data_kb();
-    }
-    let n = queries.len() as f64;
-    measured.push(("dGPMd".to_owned(), pt / n, ds / n));
+    let (pt, ds) = mean_point(&session(&g, &assign), &Algorithm::Dgpmd, &queries);
+    measured.push(("dGPMd".to_owned(), pt, ds));
 
     // dGPMt on a tree workload.
     let tn = ((20_000.0 * w.scale) as usize).max(64);
     let g = gen_tree::random_tree_with_chain_bias(tn, 15, 0.3, w.seed + 3);
     let assign = tree_partition(&g, 8);
-    let frag = Arc::new(Fragmentation::build(&g, &assign, 8));
     let queries = w.dag_queries(5, 7, 3);
-    let (mut pt, mut ds) = (0.0, 0.0);
-    for q in &queries {
-        let r = runner.run(&Algorithm::Dgpmt, &g, &frag, q);
-        pt += r.metrics.virtual_time_ms();
-        ds += r.metrics.data_kb();
-    }
-    let n = queries.len() as f64;
-    measured.push(("dGPMt".to_owned(), pt / n, ds / n));
+    let (pt, ds) = mean_point(&session(&g, &assign), &Algorithm::Dgpmt, &queries);
+    measured.push(("dGPMt".to_owned(), pt, ds));
 
     print!("{}", dgs_bench::report::render_table1(&measured));
     println!();

@@ -101,13 +101,17 @@ pub fn run(w: &Workloads) -> Vec<CompressionRow> {
     use dgs_graph::generate::{dag, random, tree};
     let queries15 = w.cyclic_queries(4, 7);
     let dag_queries: Vec<Pattern> = (0..w.queries)
-        .map(|i| dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 8, w.seed + i as u64))
+        .map(|i| {
+            dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 8, w.seed + i as u64)
+        })
         .collect();
     let sparse_queries: Vec<Pattern> = (0..w.queries)
         .map(|i| dgs_graph::generate::patterns::random_cyclic(4, 7, 4, w.seed + i as u64))
         .collect();
     let sparse_dag_queries: Vec<Pattern> = (0..w.queries)
-        .map(|i| dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 4, w.seed + i as u64))
+        .map(|i| {
+            dgs_graph::generate::patterns::random_dag_with_depth(4, 6, 3, 4, w.seed + i as u64)
+        })
         .collect();
     vec![
         measure_family(

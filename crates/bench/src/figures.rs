@@ -6,7 +6,7 @@
 //! DESIGN.md §5.
 
 use crate::workloads::Workloads;
-use dgs_core::{Algorithm, DistributedSim};
+use dgs_core::{Algorithm, SimEngine};
 use dgs_graph::generate::adversarial;
 use dgs_graph::generate::tree as gen_tree;
 use dgs_graph::{Graph, Pattern};
@@ -51,7 +51,9 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 /// Runs `algos` over all `queries` on one fragmented graph; returns
-/// `(mean PT ms, mean DS KB)` per algorithm.
+/// `(mean PT ms, mean DS KB)` per algorithm. One `SimEngine` session
+/// serves every algorithm and query of the point — the fragmentation
+/// and the planner's structural facts are built once.
 fn run_point(
     algos: &[Algorithm],
     graph: &Graph,
@@ -61,14 +63,15 @@ fn run_point(
     cost: &CostModel,
 ) -> Vec<(f64, f64)> {
     let frag = Arc::new(Fragmentation::build(graph, assign, k));
-    let runner = DistributedSim::virtual_time(cost.clone());
+    let engine = SimEngine::builder(graph, frag).cost(cost.clone()).build();
     algos
         .iter()
         .map(|algo| {
+            let batch = engine.query_batch_with(algo, queries);
             let mut pts = Vec::with_capacity(queries.len());
             let mut dss = Vec::with_capacity(queries.len());
-            for q in queries {
-                let r = runner.run(algo, graph, &frag, q);
+            for r in &batch.reports {
+                let r = r.as_ref().expect("bench query applies to its workload");
                 pts.push(r.metrics.virtual_time_ms());
                 dss.push(r.metrics.data_kb());
             }
@@ -308,7 +311,15 @@ pub fn exp_syn_vary_g(w: &Workloads) -> Sweep {
     let algos = exp3_algos();
     let queries = w.cyclic_queries(5, 10);
     let k = 20;
-    let bases = [200_000usize, 300_000, 400_000, 500_000, 600_000, 700_000, 800_000];
+    let bases = [
+        200_000usize,
+        300_000,
+        400_000,
+        500_000,
+        600_000,
+        700_000,
+        800_000,
+    ];
     let points = bases
         .iter()
         .map(|&n| {
@@ -335,10 +346,16 @@ pub fn exp_syn_vary_g(w: &Workloads) -> Sweep {
 /// `|Q|` stay constant. The intact ring is the possibility contrast
 /// (constant PT, zero DS).
 pub fn exp_impossibility_rt(_w: &Workloads) -> Sweep {
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = adversarial::q0();
     let ns = [4usize, 8, 16, 32, 64, 128];
     let algo = Algorithm::dgpm_incremental_only();
+    let run_one = |g: &Graph, assign: &[SiteId], k: usize| {
+        let frag = Arc::new(Fragmentation::build(g, assign, k));
+        SimEngine::builder(g, frag)
+            .build()
+            .query_with(&algo, &q)
+            .expect("ring workload is valid")
+    };
     let mut broken = SweepSeries {
         name: "dGPM (broken ring)".into(),
         pt_ms: vec![],
@@ -351,16 +368,12 @@ pub fn exp_impossibility_rt(_w: &Workloads) -> Sweep {
     };
     for &n in &ns {
         let assign = adversarial::per_pair_assignment(n);
-        let g = adversarial::broken_cycle_graph(n);
-        let frag = Arc::new(Fragmentation::build(&g, &assign, n));
-        let r = runner.run(&algo, &g, &frag, &q);
+        let r = run_one(&adversarial::broken_cycle_graph(n), &assign, n);
         assert!(!r.is_match);
         broken.pt_ms.push(r.metrics.virtual_time_ms());
         broken.ds_kb.push(r.metrics.data_kb());
 
-        let g2 = adversarial::cycle_graph(n);
-        let frag2 = Arc::new(Fragmentation::build(&g2, &assign, n));
-        let r2 = runner.run(&algo, &g2, &frag2, &q);
+        let r2 = run_one(&adversarial::cycle_graph(n), &assign, n);
         assert!(r2.is_match);
         intact.pt_ms.push(r2.metrics.virtual_time_ms());
         intact.ds_kb.push(r2.metrics.data_kb());
@@ -379,7 +392,6 @@ pub fn exp_impossibility_rt(_w: &Workloads) -> Sweep {
 /// data shipment on the broken ring must grow with `n` even though
 /// `|F|` and `|Q|` are constants.
 pub fn exp_impossibility_ds(_w: &Workloads) -> Sweep {
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = adversarial::q0();
     let ns = [64usize, 128, 256, 512, 1024];
     let algo = Algorithm::dgpm_incremental_only();
@@ -392,7 +404,10 @@ pub fn exp_impossibility_ds(_w: &Workloads) -> Sweep {
         let assign = adversarial::bipartite_assignment(n);
         let g = adversarial::broken_cycle_graph(n);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
-        let r = runner.run(&algo, &g, &frag, &q);
+        let r = SimEngine::builder(&g, frag)
+            .build()
+            .query_with(&algo, &q)
+            .expect("ring workload is valid");
         assert!(!r.is_match);
         broken.pt_ms.push(r.metrics.virtual_time_ms());
         broken.ds_kb.push(r.metrics.data_kb());
@@ -410,7 +425,6 @@ pub fn exp_impossibility_ds(_w: &Workloads) -> Sweep {
 /// Corollary 4 companion: `dGPMt` vs `dGPM` on distributed trees —
 /// DS stays `O(|Q||F|)` while PT drops with `|F|`.
 pub fn exp_tree(w: &Workloads) -> Sweep {
-    let runner = DistributedSim::virtual_time(w.cost_model());
     let n = ((20_000.0 * w.scale) as usize).max(64);
     let g = gen_tree::random_tree_with_chain_bias(n, 15, 0.3, w.seed + 3);
     let queries: Vec<Pattern> = w.dag_queries(5, 7, 3);
@@ -427,11 +441,12 @@ pub fn exp_tree(w: &Workloads) -> Sweep {
     for &k in &ks {
         let assign = tree_partition(&g, k);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).cost(w.cost_model()).build();
         for (i, algo) in algos.iter().enumerate() {
             let mut pts = vec![];
             let mut dss = vec![];
-            for q in &queries {
-                let r = runner.run(algo, &g, &frag, q);
+            for r in engine.query_batch_with(algo, &queries).reports {
+                let r = r.expect("tree workload is valid");
                 pts.push(r.metrics.virtual_time_ms());
                 dss.push(r.metrics.data_kb());
             }
@@ -464,7 +479,9 @@ pub fn exp_ablation_push(w: &Workloads) -> Sweep {
         ("0.0".into(), Some(0.0)),
     ];
     let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-    let runner = DistributedSim::virtual_time(w.cost_model());
+    // One session serves every θ setting — exactly the load-once /
+    // query-many shape the engine is for.
+    let engine = SimEngine::builder(&g, frag).cost(w.cost_model()).build();
     let mut s = SweepSeries {
         name: "dGPM(θ)".into(),
         pt_ms: vec![],
@@ -479,8 +496,8 @@ pub fn exp_ablation_push(w: &Workloads) -> Sweep {
         let algo = Algorithm::Dgpm(cfg);
         let mut pts = vec![];
         let mut dss = vec![];
-        for q in &queries {
-            let r = runner.run(&algo, &g, &frag, q);
+        for r in engine.query_batch_with(&algo, &queries).reports {
+            let r = r.expect("web workload is valid");
             pts.push(r.metrics.virtual_time_ms());
             dss.push(r.metrics.data_kb());
         }
@@ -503,15 +520,17 @@ pub fn exp_ablation_push(w: &Workloads) -> Sweep {
 /// operation ships more data in exchange for better waiting time".
 pub fn exp_ablation_push_ring(_w: &Workloads) -> Sweep {
     use dgs_core::dgpm::DgpmConfig;
-    let runner = DistributedSim::virtual_time(CostModel::default());
     let q = adversarial::q0();
     let ns = [8usize, 16, 32, 64];
     let algos: Vec<(String, Algorithm)> = vec![
-        ("dGPM (push θ=0)".into(), Algorithm::Dgpm(DgpmConfig {
-            incremental: true,
-            push_threshold: Some(0.0),
-            push_size_cap: 4096,
-        })),
+        (
+            "dGPM (push θ=0)".into(),
+            Algorithm::Dgpm(DgpmConfig {
+                incremental: true,
+                push_threshold: Some(0.0),
+                push_size_cap: 4096,
+            }),
+        ),
         ("dGPM (no push)".into(), Algorithm::dgpm_incremental_only()),
     ];
     let mut series: Vec<SweepSeries> = algos
@@ -526,8 +545,9 @@ pub fn exp_ablation_push_ring(_w: &Workloads) -> Sweep {
         let g = adversarial::broken_cycle_graph(n);
         let assign = adversarial::per_pair_assignment(n);
         let frag = Arc::new(Fragmentation::build(&g, &assign, n));
+        let engine = SimEngine::builder(&g, frag).build();
         for (i, (_, algo)) in algos.iter().enumerate() {
-            let r = runner.run(algo, &g, &frag, &q);
+            let r = engine.query_with(algo, &q).expect("ring workload is valid");
             series[i].pt_ms.push(r.metrics.virtual_time_ms());
             series[i].ds_kb.push(r.metrics.data_kb());
         }
@@ -622,7 +642,11 @@ pub fn exp_ablation_scc(w: &Workloads) -> Sweep {
 /// that *depends* on the straggler waits), while the round-based
 /// `dGPMs` pays the slowdown at every barrier.
 pub fn exp_ablation_straggler(w: &Workloads) -> Sweep {
-    let algos = [Algorithm::dgpm(), Algorithm::dgpm_incremental_only(), Algorithm::Dgpms];
+    let algos = [
+        Algorithm::dgpm(),
+        Algorithm::dgpm_incremental_only(),
+        Algorithm::Dgpms,
+    ];
     let k = 8;
     let (g, assign) = w.web_graph(k, 0.35);
     let queries = w.cyclic_queries(5, 10);

@@ -61,14 +61,7 @@ pub fn render_plot(sweep: &Sweep, metric: Metric) -> String {
     let span = (log_hi - log_lo).max(1.0);
 
     // Column layout: each x value gets a fixed-width column.
-    let col_w = sweep
-        .xs
-        .iter()
-        .map(|x| x.len())
-        .max()
-        .unwrap_or(1)
-        .max(3)
-        + 2;
+    let col_w = sweep.xs.iter().map(|x| x.len()).max().unwrap_or(1).max(3) + 2;
     let mut grid = vec![vec![' '; npoints * col_w]; HEIGHT];
     for (si, (_, vals)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
@@ -106,7 +99,14 @@ pub fn render_plot(sweep: &Sweep, metric: Metric) -> String {
     write!(out, "{} {}", " ".repeat(8), sweep.x_label).unwrap();
     writeln!(out).unwrap();
     for (si, (name, _)) in series.iter().enumerate() {
-        writeln!(out, "{}   {} {}", " ".repeat(8), GLYPHS[si % GLYPHS.len()], name).unwrap();
+        writeln!(
+            out,
+            "{}   {} {}",
+            " ".repeat(8),
+            GLYPHS[si % GLYPHS.len()],
+            name
+        )
+        .unwrap();
     }
     out
 }

@@ -119,28 +119,113 @@ pub fn write_csv(sweep: &Sweep, dir: &Path) -> io::Result<()> {
 /// measured sanity row per implemented algorithm.
 pub fn render_table1(measured: &[(String, f64, f64)]) -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 1: distributed graph pattern matching — performance bounds ==").unwrap();
-    writeln!(out, "{:<22} {:<14} {:<6} {:<46} DS", "Query", "Data graph", "Type", "PT").unwrap();
+    writeln!(
+        out,
+        "== Table 1: distributed graph pattern matching — performance bounds =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:<14} {:<6} {:<46} DS",
+        "Query", "Data graph", "Type", "PT"
+    )
+    .unwrap();
     let rows = [
-        ("XPath [10]", "XML trees", "P", "O(|Q||Fm| + |Q||F|)", "O(|Q||F|)"),
-        ("regular path [5]", "XML trees", "P", "O(|Q||Vf||Fm| + |Fm||F|)", "O(|Ef|^2)"),
-        ("regular path [30]", "general graphs", "P", "O(|Q||Vf||Fm| + |Vf|^2|F|)", "O(|Ef|^2)"),
-        ("regular path [29]", "general graphs", "M", "-", "O(|Q|^2|G|^2)"),
-        ("regular path [12]", "general graphs", "P", "O((|Fm| + |Vf|^2)|Q|^2)", "O(|Q|^2|Vf|^2)"),
-        ("bisimulation [6]", "general graphs", "M", "O((|V|^2+|V||E|)/|F|) total", "O(|V|^2)"),
-        ("simulation [25]", "general graphs", "M", "O((|Vq|+|V|)(|Eq|+|E|))", "O(|G|+4|Vf|+|F||Q|)"),
-        ("simulation (dGPM)", "general graphs", "P&M", "O((|Vq|+|Vm|)(|Eq|+|Em|)|Vq||Vf|)", "O(|Ef||Vq|)"),
-        ("simulation (dGPMd)", "DAGs", "P&M", "O(d(|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|)", "O(|Ef||Vq|)"),
-        ("simulation (dGPMt)", "trees", "P", "O(|Q||Fm| + |Q||F|)", "O(|Q||F|)"),
+        (
+            "XPath [10]",
+            "XML trees",
+            "P",
+            "O(|Q||Fm| + |Q||F|)",
+            "O(|Q||F|)",
+        ),
+        (
+            "regular path [5]",
+            "XML trees",
+            "P",
+            "O(|Q||Vf||Fm| + |Fm||F|)",
+            "O(|Ef|^2)",
+        ),
+        (
+            "regular path [30]",
+            "general graphs",
+            "P",
+            "O(|Q||Vf||Fm| + |Vf|^2|F|)",
+            "O(|Ef|^2)",
+        ),
+        (
+            "regular path [29]",
+            "general graphs",
+            "M",
+            "-",
+            "O(|Q|^2|G|^2)",
+        ),
+        (
+            "regular path [12]",
+            "general graphs",
+            "P",
+            "O((|Fm| + |Vf|^2)|Q|^2)",
+            "O(|Q|^2|Vf|^2)",
+        ),
+        (
+            "bisimulation [6]",
+            "general graphs",
+            "M",
+            "O((|V|^2+|V||E|)/|F|) total",
+            "O(|V|^2)",
+        ),
+        (
+            "simulation [25]",
+            "general graphs",
+            "M",
+            "O((|Vq|+|V|)(|Eq|+|E|))",
+            "O(|G|+4|Vf|+|F||Q|)",
+        ),
+        (
+            "simulation (dGPM)",
+            "general graphs",
+            "P&M",
+            "O((|Vq|+|Vm|)(|Eq|+|Em|)|Vq||Vf|)",
+            "O(|Ef||Vq|)",
+        ),
+        (
+            "simulation (dGPMd)",
+            "DAGs",
+            "P&M",
+            "O(d(|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|)",
+            "O(|Ef||Vq|)",
+        ),
+        (
+            "simulation (dGPMt)",
+            "trees",
+            "P",
+            "O(|Q||Fm| + |Q||F|)",
+            "O(|Q||F|)",
+        ),
     ];
     for (q, g, t, pt, ds) in rows {
         writeln!(out, "{q:<22} {g:<14} {t:<6} {pt:<46} {ds}").unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "Measured on the reference workloads (this implementation):").unwrap();
-    writeln!(out, "{:<22} {:>14} {:>14}", "Algorithm", "PT (ms)", "DS (KB)").unwrap();
+    writeln!(
+        out,
+        "Measured on the reference workloads (this implementation):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>14} {:>14}",
+        "Algorithm", "PT (ms)", "DS (KB)"
+    )
+    .unwrap();
     for (name, pt, ds) in measured {
-        writeln!(out, "{:<22} {:>14} {:>14}", name, fmt_value(*pt), fmt_value(*ds)).unwrap();
+        writeln!(
+            out,
+            "{:<22} {:>14} {:>14}",
+            name,
+            fmt_value(*pt),
+            fmt_value(*ds)
+        )
+        .unwrap();
     }
     out
 }

@@ -100,12 +100,7 @@ impl Workloads {
 
     /// Exp-3's synthetic graphs: `nodes` with `|E| = 4|V|` (paper's
     /// ratio), `|Σ| = 15`.
-    pub fn synthetic_graph(
-        &self,
-        nodes: usize,
-        k: usize,
-        vf_target: f64,
-    ) -> (Graph, Vec<SiteId>) {
+    pub fn synthetic_graph(&self, nodes: usize, k: usize, vf_target: f64) -> (Graph, Vec<SiteId>) {
         let n = ((nodes as f64 * self.scale) as usize).max(16);
         let m = 4 * n;
         let c = cross_fraction_for_vf(vf_target, n, m, k);
@@ -186,10 +181,7 @@ mod tests {
         }
         let dqs = w.dag_queries(9, 13, 4);
         for q in &dqs {
-            assert_eq!(
-                dgs_graph::algo::pattern_longest_path(q),
-                Some(4)
-            );
+            assert_eq!(dgs_graph::algo::pattern_longest_path(q), Some(4));
         }
     }
 

@@ -1,102 +1,46 @@
-//! High-level entry point: run any algorithm on any executor and get
-//! the answer plus PT/DS metrics.
+//! Legacy one-shot entry point, kept as a thin shim over
+//! [`SimEngine`](crate::SimEngine).
+//!
+//! `DistributedSim` rebuilds the engine's structural facts on **every
+//! call** and converts typed [`DgsError`](crate::DgsError)s back into
+//! panics — exactly the behavior the session API was introduced to
+//! replace. Prefer:
 //!
 //! ```
-//! use dgs_core::{Algorithm, DistributedSim};
+//! use dgs_core::SimEngine;
 //! use dgs_graph::generate::social::fig1;
 //! use dgs_partition::Fragmentation;
 //! use std::sync::Arc;
 //!
 //! let w = fig1();
 //! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
-//! let report = DistributedSim::default().run(
-//!     &Algorithm::dgpm(),
-//!     &w.graph,
-//!     &frag,
-//!     &w.pattern,
-//! );
+//! let engine = SimEngine::builder(&w.graph, frag).build();
+//! let report = engine.query(&w.pattern).unwrap();
 //! assert!(report.is_match);
-//! assert_eq!(report.answer.len(), 11);
 //! ```
 
-use crate::dgpm::{self, DgpmConfig};
-use crate::{baselines, dgpmd, dgpms, dgpmt};
-use dgs_graph::algo::{graph_is_dag, pattern_is_dag};
+// The deprecated type's own impls and tests reference it, which is
+// the point of this module.
+#![allow(deprecated)]
+
+use crate::engine::{Algorithm, RunReport, SimEngine};
 use dgs_graph::{Graph, Pattern};
 use dgs_net::{CostModel, ExecutorKind, RunMetrics};
 use dgs_partition::Fragmentation;
-use dgs_sim::MatchRelation;
 use std::sync::Arc;
 
-/// Which engine to run.
-#[derive(Clone, Debug)]
-pub enum Algorithm {
-    /// `dGPM` with the given configuration (§4).
-    Dgpm(DgpmConfig),
-    /// `dGPMd` for DAG patterns or DAG graphs (§5.1).
-    Dgpmd,
-    /// `dGPMs`: SCC-stratified batched shipping for arbitrary
-    /// (cyclic) patterns — this repository's extension of `dGPMd`.
-    Dgpms,
-    /// `dGPMt` for trees with connected fragments (§5.2).
-    Dgpmt,
-    /// `Match`: ship everything to one site (§3.1).
-    MatchCentral,
-    /// `disHHK` \[25\].
-    DisHhk,
-    /// `dMes`: vertex-centric supersteps (§6 / \[14\]).
-    DMes,
-}
-
-impl Algorithm {
-    /// The paper's `dGPM` (incremental + push, θ = 0.2).
-    pub fn dgpm() -> Self {
-        Algorithm::Dgpm(DgpmConfig::optimized())
-    }
-
-    /// The paper's `dGPMNOpt`.
-    pub fn dgpm_nopt() -> Self {
-        Algorithm::Dgpm(DgpmConfig::no_opt())
-    }
-
-    /// `dGPM` with incremental evaluation but no push (ablation).
-    pub fn dgpm_incremental_only() -> Self {
-        Algorithm::Dgpm(DgpmConfig::incremental_only())
-    }
-
-    /// Short display name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algorithm::Dgpm(cfg) if !cfg.incremental => "dGPMNOpt",
-            Algorithm::Dgpm(cfg) if cfg.push_threshold.is_none() => "dGPM-nopush",
-            Algorithm::Dgpm(_) => "dGPM",
-            Algorithm::Dgpmd => "dGPMd",
-            Algorithm::Dgpms => "dGPMs",
-            Algorithm::Dgpmt => "dGPMt",
-            Algorithm::MatchCentral => "Match",
-            Algorithm::DisHhk => "disHHK",
-            Algorithm::DMes => "dMes",
-        }
-    }
-}
-
-/// Result of a distributed run.
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// The maximum relation under the child condition.
-    pub relation: MatchRelation,
-    /// `Q(G)` with the paper's convention (`∅` when some query node
-    /// has no match).
-    pub answer: MatchRelation,
-    /// The Boolean query answer.
-    pub is_match: bool,
-    /// PT/DS metrics of the run.
-    pub metrics: RunMetrics,
-    /// The algorithm's display name.
-    pub algorithm: &'static str,
-}
-
-/// Runner configuration: executor choice and cost model.
+/// One-shot runner configuration: executor choice and cost model.
+///
+/// Deprecated in favor of [`SimEngine`], which computes the planner's
+/// structural facts once per loaded graph instead of once per query
+/// and returns `Result` instead of panicking. Every call through this
+/// shim pays an extra `O(|V| + |E|)` structural-facts pass on top of
+/// the distributed run — loops over large graphs should hold a
+/// `SimEngine` instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a SimEngine once (SimEngine::builder(graph, frag).build()) and query it"
+)]
 #[derive(Clone, Debug)]
 pub struct DistributedSim {
     /// Which executor drives the protocol.
@@ -131,13 +75,20 @@ impl DistributedSim {
         }
     }
 
+    /// Builds the throwaway session this one-shot call runs in.
+    fn engine(&self, graph: &Graph, frag: &Arc<Fragmentation>) -> SimEngine {
+        SimEngine::builder(graph, Arc::clone(frag))
+            .executor(self.executor)
+            .cost(self.cost.clone())
+            .build()
+    }
+
     /// Runs a **Boolean** pattern query (§2.1): returns only whether
     /// `G` matches `Q`, plus metrics.
     ///
-    /// For the `dGPM` family this uses the dedicated Boolean gather
-    /// path (`O(|F|)` bytes of result traffic, §4.1's "Sc simply
-    /// checks whether each node of Q has a match in any local site");
-    /// other algorithms run normally and reduce their relation.
+    /// # Panics
+    /// Panics where [`SimEngine::query_boolean_with`] would return an
+    /// error.
     pub fn run_boolean(
         &self,
         algorithm: &Algorithm,
@@ -145,28 +96,21 @@ impl DistributedSim {
         frag: &Arc<Fragmentation>,
         q: &Pattern,
     ) -> (bool, RunMetrics) {
-        if let Algorithm::Dgpm(cfg) = algorithm {
-            let q = Arc::new(q.clone());
-            let (coord, sites) =
-                dgpm::build_with_mode(frag, &q, cfg.clone(), dgpm::QueryMode::Boolean);
-            let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-            return (o.coordinator.boolean.expect("boolean run"), o.metrics);
-        }
-        let report = self.run(algorithm, graph, frag, q);
+        let report = self
+            .engine(graph, frag)
+            .query_boolean_with(algorithm, q)
+            .unwrap_or_else(|e| panic!("{e}"));
         (report.is_match, report.metrics)
     }
 
     /// Runs `algorithm` on the fragmented graph and returns the
     /// answer with metrics.
     ///
-    /// `graph` is used for answer finalization and for the acyclicity
-    /// checks of `dGPMd`; the distributed engines themselves only see
-    /// the fragments.
-    ///
     /// # Panics
     /// Panics if `Dgpmd` is requested with a cyclic pattern *and* a
     /// cyclic graph (Theorem 3 does not apply), or `Dgpmt` with a
-    /// non-tree graph.
+    /// non-tree graph — where [`SimEngine::query_with`] would return
+    /// [`DgsError::Unsupported`](crate::DgsError::Unsupported).
     pub fn run(
         &self,
         algorithm: &Algorithm,
@@ -174,85 +118,9 @@ impl DistributedSim {
         frag: &Arc<Fragmentation>,
         q: &Pattern,
     ) -> RunReport {
-        let q = Arc::new(q.clone());
-        let (relation, mut metrics) = match algorithm {
-            Algorithm::Dgpm(cfg) => {
-                let (coord, sites) = dgpm::build(frag, &q, cfg.clone());
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-            Algorithm::Dgpmd => {
-                if !pattern_is_dag(&q) {
-                    // §5.1: on a DAG graph, a cyclic pattern can never
-                    // match — no distributed work needed.
-                    assert!(
-                        graph_is_dag(graph),
-                        "dGPMd requires a DAG pattern or a DAG graph"
-                    );
-                    let empty = MatchRelation::empty(q.node_count());
-                    let report = RunReport {
-                        relation: empty.clone(),
-                        answer: empty,
-                        is_match: false,
-                        metrics: RunMetrics::default(),
-                        algorithm: algorithm.name(),
-                    };
-                    return report;
-                }
-                let (coord, sites) = dgpmd::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-            Algorithm::Dgpms => {
-                let (coord, sites) = dgpms::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.clone().unwrap(), o.metrics)
-            }
-            Algorithm::Dgpmt => {
-                assert!(
-                    dgs_graph::generate::tree::is_rooted_tree(graph),
-                    "dGPMt requires a rooted tree graph"
-                );
-                let (coord, sites) = dgpmt::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-            Algorithm::MatchCentral => {
-                let (coord, sites) = baselines::match_central::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-            Algorithm::DisHhk => {
-                let (coord, sites) = baselines::dishhk::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-            Algorithm::DMes => {
-                let (coord, sites) = baselines::dmes::build(frag, &q);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
-                (o.coordinator.answer.unwrap(), o.metrics)
-            }
-        };
-
-        // Account the query broadcast (Sc posts Q to each site):
-        // control traffic of |F| messages of ~|Q| size each.
-        let q_bytes = 8 + 3 * q.node_count() + 4 * q.edge_count();
-        metrics.control_messages += frag.num_sites() as u64;
-        metrics.control_bytes += (frag.num_sites() * q_bytes) as u64;
-
-        let is_match = relation.is_total();
-        let answer = if is_match {
-            relation.clone()
-        } else {
-            MatchRelation::empty(q.node_count())
-        };
-        RunReport {
-            relation,
-            answer,
-            is_match,
-            metrics,
-            algorithm: algorithm.name(),
-        }
+        self.engine(graph, frag)
+            .query_with(algorithm, q)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -292,8 +160,11 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
         let report = DistributedSim::default().run(&Algorithm::Dgpmd, &g, &frag, &q);
         assert!(!report.is_match);
-        assert!(report.answer.is_empty());
+        assert!(report.answer().is_empty());
         assert_eq!(report.metrics.data_bytes, 0);
+        // Uniform accounting: the short-circuit now charges the same
+        // query broadcast as every other path.
+        assert_eq!(report.metrics.control_messages, 3);
     }
 
     #[test]
@@ -339,7 +210,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
         let report = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
         assert!(!report.is_match);
-        assert!(report.answer.is_empty());
+        assert!(report.answer().is_empty());
     }
 
     #[test]
@@ -358,6 +229,7 @@ mod tests {
 
     #[test]
     fn names() {
+        assert_eq!(Algorithm::Auto.name(), "Auto");
         assert_eq!(Algorithm::dgpm().name(), "dGPM");
         assert_eq!(Algorithm::dgpm_nopt().name(), "dGPMNOpt");
         assert_eq!(Algorithm::dgpm_incremental_only().name(), "dGPM-nopush");

@@ -68,8 +68,9 @@ impl SiteLogic<DishhkMsg> for DishhkSite {
             }
             v
         };
-        let is_cand =
-            |label: Label| -> bool { label.index() < query_labels.len() && query_labels[label.index()] };
+        let is_cand = |label: Label| -> bool {
+            label.index() < query_labels.len() && query_labels[label.index()]
+        };
 
         let mut sg = WireSubgraph::default();
         let mut ops = 0u64;
@@ -168,10 +169,7 @@ impl CoordinatorLogic<DishhkMsg> for DishhkCoordinator {
 }
 
 /// Builds the full actor set for a `disHHK` run.
-pub fn build(
-    frag: &Arc<Fragmentation>,
-    q: &Arc<Pattern>,
-) -> (DishhkCoordinator, Vec<DishhkSite>) {
+pub fn build(frag: &Arc<Fragmentation>, q: &Arc<Pattern>) -> (DishhkCoordinator, Vec<DishhkSite>) {
     let sites = (0..frag.num_sites())
         .map(|s| DishhkSite::new(s, Arc::clone(frag), Arc::clone(q)))
         .collect();
@@ -192,12 +190,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);
     }
@@ -212,19 +205,9 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
 
         let (coord, sites) = build(&frag, &q);
-        let dishhk = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let dishhk = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let (mcoord, msites) = crate::baselines::match_central::build(&frag, &q);
-        let full = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            mcoord,
-            msites,
-        );
+        let full = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), mcoord, msites);
         assert!(dishhk.metrics.data_bytes < full.metrics.data_bytes);
         assert!(dishhk.metrics.data_bytes > full.metrics.data_bytes / 100);
         // Answers agree with each other and the oracle.
@@ -241,12 +224,7 @@ mod tests {
             let assign = hash_partition(200, 3, seed);
             let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
             let (coord, sites) = build(&frag, &q);
-            let outcome = dgs_net::run(
-                ExecutorKind::Virtual,
-                &CostModel::default(),
-                coord,
-                sites,
-            );
+            let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
             let oracle = hhk_simulation(&q, &g).relation;
             assert_eq!(outcome.coordinator.answer.unwrap(), oracle, "seed {seed}");
         }

@@ -94,7 +94,10 @@ impl DmesSite {
 
     fn vote_if_done(&mut self, out: &mut Outbox<DmesMsg>) {
         if self.received_replies == self.expected_replies {
-            out.send_control(Endpoint::Coordinator, DmesMsg::Voted(self.changed_this_step));
+            out.send_control(
+                Endpoint::Coordinator,
+                DmesMsg::Voted(self.changed_this_step),
+            );
         }
     }
 }
@@ -103,11 +106,8 @@ impl SiteLogic<DmesMsg> for DmesSite {
     fn on_start(&mut self, out: &mut Outbox<DmesMsg>) {
         // Superstep 0's local evaluation; requests wait for the
         // coordinator's StartSuperstep.
-        let (mut eval, _falsified) = LocalEval::new(
-            Arc::clone(&self.frag),
-            self.site,
-            Arc::clone(&self.q),
-        );
+        let (mut eval, _falsified) =
+            LocalEval::new(Arc::clone(&self.frag), self.site, Arc::clone(&self.q));
         out.charge_ops(eval.take_ops());
         self.eval = Some(eval);
     }
@@ -303,12 +303,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);
         // In Fig. 1 no variable is ever falsified, so the very first
@@ -327,12 +322,7 @@ mod tests {
         let assign = adversarial::per_pair_assignment(n);
         let frag = Arc::new(Fragmentation::build(&g, &assign, n));
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         assert!(!outcome.coordinator.answer.as_ref().unwrap().is_total());
         assert!(
             outcome.coordinator.supersteps as usize >= n / 2,
@@ -351,12 +341,7 @@ mod tests {
             let assign = hash_partition(150, 4, seed);
             let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
             let (coord, sites) = build(&frag, &q);
-            let outcome = dgs_net::run(
-                ExecutorKind::Virtual,
-                &CostModel::default(),
-                coord,
-                sites,
-            );
+            let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
             let oracle = hhk_simulation(&q, &g).relation;
             assert_eq!(outcome.coordinator.answer.unwrap(), oracle, "seed {seed}");
         }

@@ -118,10 +118,7 @@ impl CoordinatorLogic<MatchMsg> for MatchCoordinator {
 }
 
 /// Builds the full actor set for a `Match` run.
-pub fn build(
-    frag: &Arc<Fragmentation>,
-    q: &Arc<Pattern>,
-) -> (MatchCoordinator, Vec<MatchSite>) {
+pub fn build(frag: &Arc<Fragmentation>, q: &Arc<Pattern>) -> (MatchCoordinator, Vec<MatchSite>) {
     let sites = (0..frag.num_sites())
         .map(|s| MatchSite::new(s, Arc::clone(frag)))
         .collect();
@@ -140,12 +137,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);
         // Data shipped ≈ serialized |G|: 13 nodes * 6 + 18 edges * 8 +
@@ -160,12 +152,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Threaded,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Threaded, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);
     }

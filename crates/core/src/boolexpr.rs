@@ -170,9 +170,7 @@ impl WireSize for BExpr {
         match self {
             BExpr::Const(_) => 1,
             BExpr::Var(_) => 7,
-            BExpr::And(cs) | BExpr::Or(cs) => {
-                3 + cs.iter().map(WireSize::wire_size).sum::<usize>()
-            }
+            BExpr::And(cs) | BExpr::Or(cs) => 3 + cs.iter().map(WireSize::wire_size).sum::<usize>(),
         }
     }
 }
@@ -365,8 +363,7 @@ impl EquationSystem {
     /// defined variable plus the number of evaluation operations
     /// performed.
     pub fn solve_gfp(&self, free: impl Fn(Var) -> Option<bool>) -> (HashMap<Var, bool>, u64) {
-        let mut values: HashMap<Var, bool> =
-            self.equations.keys().map(|&v| (v, true)).collect();
+        let mut values: HashMap<Var, bool> = self.equations.keys().map(|&v| (v, true)).collect();
         let mut ops: u64 = 0;
         loop {
             let mut changed = false;
@@ -525,8 +522,9 @@ mod tests {
                 };
                 let mut terms = Vec::new();
                 for _ in 0..rng.gen_range(1..3) {
-                    let leaves: Vec<BExpr> =
-                        (0..rng.gen_range(1..3)).map(|_| mk_leaf(&mut rng)).collect();
+                    let leaves: Vec<BExpr> = (0..rng.gen_range(1..3))
+                        .map(|_| mk_leaf(&mut rng))
+                        .collect();
                     terms.push(BExpr::or(leaves));
                 }
                 sys.insert(var, BExpr::and(terms));
@@ -558,10 +556,7 @@ mod tests {
             }
             let best = best.expect("monotone systems always have a fixpoint");
             for &var in &vars {
-                assert_eq!(
-                    got[&var], best[var.node as usize],
-                    "seed {seed}, var {var}"
-                );
+                assert_eq!(got[&var], best[var.node as usize], "seed {seed}, var {var}");
             }
         }
     }
@@ -622,7 +617,10 @@ mod tests {
     #[test]
     fn postfix_decode_errors() {
         assert_eq!(BExpr::decode_postfix(&[]), Err(DecodeError::WrongArity(0)));
-        assert_eq!(BExpr::decode_postfix(&[TAG_VAR, 1]), Err(DecodeError::Truncated));
+        assert_eq!(
+            BExpr::decode_postfix(&[TAG_VAR, 1]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(BExpr::decode_postfix(&[42]), Err(DecodeError::BadTag(42)));
         // AND of arity 2 with only one operand.
         assert_eq!(

@@ -303,11 +303,8 @@ impl DgpmSite {
 
 impl SiteLogic<DgpmMsg> for DgpmSite {
     fn on_start(&mut self, out: &mut Outbox<DgpmMsg>) {
-        let (eval, falsified) = LocalEval::new(
-            Arc::clone(&self.frag),
-            self.site,
-            Arc::clone(&self.q),
-        );
+        let (eval, falsified) =
+            LocalEval::new(Arc::clone(&self.frag), self.site, Arc::clone(&self.q));
         self.eval = Some(eval);
         self.route_falsifications(falsified, out);
         self.maybe_push(out);
@@ -574,12 +571,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q, DgpmConfig::incremental_only());
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         assert_eq!(outcome.metrics.data_messages, 0);
         assert_eq!(outcome.metrics.data_bytes, 0);
         // Results and control still flow.
@@ -605,12 +597,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&g, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q, DgpmConfig::incremental_only());
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         assert!(outcome.metrics.data_messages > 0);
         let oracle = hhk_simulation(&q, &g).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);

@@ -127,11 +127,8 @@ impl DgpmdSite {
 
 impl SiteLogic<DgpmdMsg> for DgpmdSite {
     fn on_start(&mut self, out: &mut Outbox<DgpmdMsg>) {
-        let (mut eval, falsified) = LocalEval::new(
-            Arc::clone(&self.frag),
-            self.site,
-            Arc::clone(&self.q),
-        );
+        let (mut eval, falsified) =
+            LocalEval::new(Arc::clone(&self.frag), self.site, Arc::clone(&self.q));
         out.charge_ops(eval.take_ops());
         self.eval = Some(eval);
         self.buffer(falsified);
@@ -270,12 +267,7 @@ mod tests {
         let assign = hash_partition(g.node_count(), k, seed);
         let frag = Arc::new(Fragmentation::build(g, &assign, k));
         let (coord, sites) = build(&frag, q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         (
             outcome.coordinator.answer.unwrap(),
             outcome.metrics,

@@ -201,11 +201,8 @@ impl DgpmsSite {
 
 impl SiteLogic<DgpmsMsg> for DgpmsSite {
     fn on_start(&mut self, out: &mut Outbox<DgpmsMsg>) {
-        let (mut eval, falsified) = LocalEval::new(
-            Arc::clone(&self.frag),
-            self.site,
-            Arc::clone(&self.q),
-        );
+        let (mut eval, falsified) =
+            LocalEval::new(Arc::clone(&self.frag), self.site, Arc::clone(&self.q));
         out.charge_ops(eval.take_ops());
         self.eval = Some(eval);
         // Initial falsifications are shipped by the first round; no
@@ -382,12 +379,7 @@ mod tests {
         let assign = hash_partition(g.node_count(), k, seed);
         let frag = Arc::new(Fragmentation::build(g, &assign, k));
         let (coord, sites) = build(&frag, q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let answer = outcome.coordinator.answer.clone().unwrap();
         (answer, outcome.metrics, outcome.coordinator)
     }
@@ -434,12 +426,7 @@ mod tests {
         let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
         let q = Arc::new(w.pattern.clone());
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(&w.pattern, &w.graph).relation;
         assert_eq!(outcome.coordinator.answer.unwrap(), oracle);
     }
@@ -499,12 +486,7 @@ mod tests {
         let assign = hash_partition(400, k, 9);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let m = outcome.metrics;
         let shipped_vars = (m.data_bytes - 5 * m.data_messages) / 6;
         let bound = (frag.ef() * q.node_count()) as u64;

@@ -23,9 +23,9 @@
 //! shipped vector references each child-fragment root at most once per
 //! query node.
 
+use crate::boolexpr::EquationSystem;
 use crate::local_eval::LocalEval;
 use crate::push::{Expander, PushedEq};
-use crate::boolexpr::EquationSystem;
 use crate::vars::{AnswerBuilder, MatchLists, Var};
 use dgs_graph::Pattern;
 use dgs_net::{CoordinatorLogic, Endpoint, Outbox, SiteLogic, WireSize};
@@ -51,9 +51,7 @@ pub enum DgpmtMsg {
 impl WireSize for DgpmtMsg {
     fn wire_size(&self) -> usize {
         1 + match self {
-            DgpmtMsg::RootEquations(eqs) => {
-                4 + eqs.iter().map(WireSize::wire_size).sum::<usize>()
-            }
+            DgpmtMsg::RootEquations(eqs) => 4 + eqs.iter().map(WireSize::wire_size).sum::<usize>(),
             DgpmtMsg::SolvedFalse(vars) => vars.wire_size(),
             DgpmtMsg::GatherRequest => 0,
             DgpmtMsg::LocalMatches(m) => m.wire_size(),
@@ -83,11 +81,8 @@ impl DgpmtSite {
 
 impl SiteLogic<DgpmtMsg> for DgpmtSite {
     fn on_start(&mut self, out: &mut Outbox<DgpmtMsg>) {
-        let (mut eval, _falsified) = LocalEval::new(
-            Arc::clone(&self.frag),
-            self.site,
-            Arc::clone(&self.q),
-        );
+        let (mut eval, _falsified) =
+            LocalEval::new(Arc::clone(&self.frag), self.site, Arc::clone(&self.q));
         let f = self.frag.fragment(self.site);
         debug_assert!(
             f.in_nodes().len() <= 1,
@@ -100,9 +95,7 @@ impl SiteLogic<DgpmtMsg> for DgpmtSite {
             let mut ex = Expander::new(&eval, budget);
             let mut eqs = Vec::with_capacity(self.q.node_count());
             for u in 0..self.q.node_count() as u16 {
-                let expr = ex
-                    .extract(u, root)
-                    .expect("tree expansion within budget");
+                let expr = ex.extract(u, root).expect("tree expansion within budget");
                 eqs.push(PushedEq {
                     var: Var {
                         q: u,
@@ -228,6 +221,17 @@ impl CoordinatorLogic<DgpmtMsg> for DgpmtCoordinator {
                         per_site.entry(s).or_default().push(var);
                     }
                 }
+                if per_site.is_empty() {
+                    // Nothing falsified (e.g. a single fragment, or an
+                    // all-true system): skip straight to the gather
+                    // round — returning false with an empty outbox
+                    // would stall the executor.
+                    for i in 0..out.num_sites() {
+                        out.send_control(Endpoint::Site(i as u32), DgpmtMsg::GatherRequest);
+                    }
+                    self.phase = Phase::Gathering;
+                    return false;
+                }
                 for (s, mut vars) in per_site {
                     vars.sort_unstable();
                     out.send(Endpoint::Site(s as u32), DgpmtMsg::SolvedFalse(vars));
@@ -286,12 +290,7 @@ mod tests {
             assert!(f.in_nodes().len() <= 1);
         }
         let (coord, sites) = build(&frag, q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         let oracle = hhk_simulation(q, &g).relation;
         assert_eq!(outcome.coordinator.answer.as_ref().unwrap(), &oracle);
         (outcome.coordinator.answer.unwrap(), outcome.metrics)
@@ -300,10 +299,7 @@ mod tests {
     #[test]
     fn path_queries_on_trees_match_oracle() {
         for seed in 0..8 {
-            let q = Arc::new(patterns::path_pattern(
-                3,
-                &[Label(0), Label(1), Label(2)],
-            ));
+            let q = Arc::new(patterns::path_pattern(3, &[Label(0), Label(1), Label(2)]));
             let _ = run_tree(300, 6, &q, seed);
         }
     }
@@ -324,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    fn shipment_is_o_q_f_not_o_g(){
+    fn shipment_is_o_q_f_not_o_g() {
         // Corollary 4: DS is O(|Q||F|). Growing |G| 8× with fixed |F|
         // must not grow data shipment proportionally.
         let q = Arc::new(patterns::path_pattern(2, &[Label(0), Label(1)]));
@@ -345,12 +341,7 @@ mod tests {
         let assign = tree_partition(&g, 6);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 6));
         let (coord, sites) = build(&frag, &q);
-        let outcome = dgs_net::run(
-            ExecutorKind::Virtual,
-            &CostModel::default(),
-            coord,
-            sites,
-        );
+        let outcome = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
         // Data messages: ≤ one RootEquations per non-root fragment +
         // ≤ one SolvedFalse per fragment.
         assert!(outcome.metrics.data_messages <= 2 * 6);

@@ -1,0 +1,736 @@
+//! `SimEngine`: the session-oriented query API.
+//!
+//! The old [`crate::api::DistributedSim`] rebuilt every structural
+//! check per call and panicked on inapplicable engines. A `SimEngine`
+//! is instead **built once** over a loaded graph + fragmentation —
+//! paying for the planner's structural facts (DAG-ness, rooted-tree
+//! check, fragment connectivity, SCC condensation) a single time —
+//! and then serves many queries:
+//!
+//! ```
+//! use dgs_core::{Algorithm, SimEngine};
+//! use dgs_graph::generate::social::fig1;
+//! use dgs_partition::Fragmentation;
+//! use std::sync::Arc;
+//!
+//! let w = fig1();
+//! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! let engine = SimEngine::builder(&w.graph, frag).build();
+//!
+//! // The planner picks an applicable engine and explains itself.
+//! let report = engine.query(&w.pattern).unwrap();
+//! assert!(report.is_match);
+//! assert_eq!(report.answer().len(), 11);
+//! println!("plan: {}", report.plan);
+//! ```
+//!
+//! Queries return `Result<_, DgsError>` — the query path never
+//! panics. Batches ([`SimEngine::query_batch`]) amortize the query
+//! broadcast: one posting of the whole batch to each site instead of
+//! one per query.
+
+use crate::dgpm::{self, DgpmConfig, QueryMode};
+use crate::error::DgsError;
+use crate::plan::{EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner};
+use crate::{baselines, dgpmd, dgpms, dgpmt};
+use dgs_graph::{Graph, Pattern};
+use dgs_net::{CostModel, ExecutorKind, RunMetrics};
+use dgs_partition::Fragmentation;
+use dgs_sim::MatchRelation;
+use std::sync::Arc;
+
+/// Which engine to run.
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// Let the planner pick from the cached structural facts.
+    Auto,
+    /// `dGPM` with the given configuration (§4).
+    Dgpm(DgpmConfig),
+    /// `dGPMd` for DAG patterns or DAG graphs (§5.1).
+    Dgpmd,
+    /// `dGPMs`: SCC-stratified batched shipping for arbitrary
+    /// (cyclic) patterns — this repository's extension of `dGPMd`.
+    Dgpms,
+    /// `dGPMt` for trees with connected fragments (§5.2).
+    Dgpmt,
+    /// `Match`: ship everything to one site (§3.1).
+    MatchCentral,
+    /// `disHHK` \[25\].
+    DisHhk,
+    /// `dMes`: vertex-centric supersteps (§6 / \[14\]).
+    DMes,
+}
+
+impl Algorithm {
+    /// The paper's `dGPM` (incremental + push, θ = 0.2).
+    pub fn dgpm() -> Self {
+        Algorithm::Dgpm(DgpmConfig::optimized())
+    }
+
+    /// The paper's `dGPMNOpt`.
+    pub fn dgpm_nopt() -> Self {
+        Algorithm::Dgpm(DgpmConfig::no_opt())
+    }
+
+    /// `dGPM` with incremental evaluation but no push (ablation).
+    pub fn dgpm_incremental_only() -> Self {
+        Algorithm::Dgpm(DgpmConfig::incremental_only())
+    }
+
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "Auto",
+            Algorithm::Dgpm(cfg) => dgpm_display_name(cfg),
+            Algorithm::Dgpmd => EngineChoice::Dgpmd.name(),
+            Algorithm::Dgpms => EngineChoice::Dgpms.name(),
+            Algorithm::Dgpmt => EngineChoice::Dgpmt.name(),
+            Algorithm::MatchCentral => "Match",
+            Algorithm::DisHhk => "disHHK",
+            Algorithm::DMes => "dMes",
+        }
+    }
+}
+
+/// The one display-name table for `dGPM` configuration variants,
+/// shared by [`Algorithm::name`] and the resolved-engine names.
+fn dgpm_display_name(cfg: &DgpmConfig) -> &'static str {
+    if !cfg.incremental {
+        "dGPMNOpt"
+    } else if cfg.push_threshold.is_none() {
+        "dGPM-nopush"
+    } else {
+        "dGPM"
+    }
+}
+
+/// Result of one data-selecting query.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The maximum relation under the child condition.
+    pub relation: MatchRelation,
+    /// The Boolean query answer (`relation.is_total()`).
+    pub is_match: bool,
+    /// PT/DS metrics of the run.
+    pub metrics: RunMetrics,
+    /// Display name of the engine that ran.
+    pub algorithm: &'static str,
+    /// How the engine was chosen.
+    pub plan: PlanExplanation,
+    /// `∅`-of-`|Vq|` storage for [`answer`](Self::answer) when the
+    /// query does not match; `None` when `answer` can alias
+    /// `relation`.
+    empty: Option<MatchRelation>,
+}
+
+impl RunReport {
+    pub(crate) fn assemble(
+        relation: MatchRelation,
+        metrics: RunMetrics,
+        algorithm: &'static str,
+        plan: PlanExplanation,
+    ) -> Self {
+        let is_match = relation.is_total();
+        let empty = if is_match || relation.is_empty() {
+            None
+        } else {
+            Some(MatchRelation::empty(relation.query_nodes()))
+        };
+        RunReport {
+            relation,
+            is_match,
+            metrics,
+            algorithm,
+            plan,
+            empty,
+        }
+    }
+
+    /// `Q(G)` with the paper's convention: the full relation on a
+    /// match, `∅` when some query node has no match. A borrow — the
+    /// relation is never cloned.
+    pub fn answer(&self) -> &MatchRelation {
+        self.empty.as_ref().unwrap_or(&self.relation)
+    }
+}
+
+/// Result of one Boolean query (§2.1).
+#[derive(Clone, Debug)]
+pub struct BooleanReport {
+    /// Whether `G` matches `Q`.
+    pub is_match: bool,
+    /// PT/DS metrics of the run.
+    pub metrics: RunMetrics,
+    /// Display name of the engine that ran.
+    pub algorithm: &'static str,
+    /// How the engine was chosen.
+    pub plan: PlanExplanation,
+}
+
+/// Result of a [`SimEngine::query_batch`] run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query outcomes, in input order. Each successful report
+    /// carries its own engine-run metrics (without the broadcast,
+    /// which the batch amortizes).
+    pub reports: Vec<Result<RunReport, DgsError>>,
+    /// Aggregate metrics: the sum of all per-query runs plus **one**
+    /// batched query broadcast (`|F|` control messages carrying every
+    /// pattern), instead of one broadcast per query.
+    pub total: RunMetrics,
+}
+
+impl BatchReport {
+    /// Number of queries that were answered.
+    pub fn succeeded(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_ok()).count()
+    }
+}
+
+/// Builder for [`SimEngine`]; see [`SimEngine::builder`].
+pub struct SimEngineBuilder<'g> {
+    graph: &'g Graph,
+    frag: Arc<Fragmentation>,
+    executor: ExecutorKind,
+    cost: CostModel,
+    planner: Planner,
+}
+
+impl SimEngineBuilder<'_> {
+    /// Which executor drives the protocols (default: deterministic
+    /// virtual time).
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The virtual-time cost model (default: EC2-like).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the planner (e.g. to change the cyclic fallback).
+    pub fn planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Computes the structural facts and finalizes the engine. This is
+    /// the once-per-session cost: `O(|V| + |E|)` for DAG-ness, the
+    /// rooted-tree check, fragment connectivity and the SCC
+    /// condensation.
+    pub fn build(self) -> SimEngine {
+        let facts = GraphFacts::compute(self.graph, &self.frag);
+        SimEngine {
+            frag: self.frag,
+            executor: self.executor,
+            cost: self.cost,
+            planner: self.planner,
+            facts,
+        }
+    }
+}
+
+/// An engine the planner resolved a query to (explicit choices
+/// included, so the run path is uniform).
+enum Resolved {
+    Dgpm(DgpmConfig),
+    Dgpmd,
+    Dgpms,
+    Dgpmt,
+    MatchCentral,
+    DisHhk,
+    DMes,
+    /// Answer `∅` with no distributed work (§5.1's cyclic-pattern
+    /// short-circuit).
+    TriviallyEmpty,
+}
+
+impl Resolved {
+    fn name(&self) -> &'static str {
+        match self {
+            Resolved::Dgpm(cfg) => dgpm_display_name(cfg),
+            Resolved::Dgpmd => EngineChoice::Dgpmd.name(),
+            Resolved::Dgpms => EngineChoice::Dgpms.name(),
+            Resolved::Dgpmt => EngineChoice::Dgpmt.name(),
+            Resolved::MatchCentral => Algorithm::MatchCentral.name(),
+            Resolved::DisHhk => Algorithm::DisHhk.name(),
+            Resolved::DMes => Algorithm::DMes.name(),
+            Resolved::TriviallyEmpty => EngineChoice::TriviallyEmpty.name(),
+        }
+    }
+}
+
+/// A session over one fragmented graph: build once, query many times.
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    frag: Arc<Fragmentation>,
+    executor: ExecutorKind,
+    cost: CostModel,
+    planner: Planner,
+    facts: GraphFacts,
+}
+
+impl SimEngine {
+    /// Starts building an engine over `graph` fragmented as `frag`.
+    /// The graph is only read during [`SimEngineBuilder::build`] (for
+    /// the structural facts); the engine itself holds the
+    /// fragmentation.
+    pub fn builder(graph: &Graph, frag: Arc<Fragmentation>) -> SimEngineBuilder<'_> {
+        SimEngineBuilder {
+            graph,
+            frag,
+            executor: ExecutorKind::Virtual,
+            cost: CostModel::default(),
+            planner: Planner::default(),
+        }
+    }
+
+    /// The cached structural facts the planner uses.
+    pub fn facts(&self) -> &GraphFacts {
+        &self.facts
+    }
+
+    /// The fragmentation this engine serves.
+    pub fn fragmentation(&self) -> &Arc<Fragmentation> {
+        &self.frag
+    }
+
+    /// Plans `q` without running it: which engine would serve it, and
+    /// why.
+    pub fn plan(&self, q: &Pattern) -> Result<PlanExplanation, DgsError> {
+        let qf = PatternFacts::compute(q);
+        self.planner.plan(&self.facts, &qf).map(|(_, plan)| plan)
+    }
+
+    /// Runs `q` with the planner-chosen engine.
+    pub fn query(&self, q: &Pattern) -> Result<RunReport, DgsError> {
+        self.query_with(&Algorithm::Auto, q)
+    }
+
+    /// Runs `q` with an explicit engine (checked, not asserted).
+    pub fn query_with(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
+        let (resolved, plan) = self.resolve(algorithm, q)?;
+        let qa = Arc::new(q.clone());
+        let (relation, mut metrics) = self.run_resolved(&resolved, &qa)?;
+        Self::charge_broadcast(&mut metrics, &self.frag, std::iter::once(q));
+        Ok(RunReport::assemble(
+            relation,
+            metrics,
+            resolved.name(),
+            plan,
+        ))
+    }
+
+    /// Runs a Boolean query (§2.1) with the planner-chosen engine.
+    ///
+    /// For the `dGPM` family this uses the dedicated Boolean gather
+    /// path (`O(|F|)` bytes of result traffic, §4.1); other engines
+    /// run normally and reduce their relation.
+    pub fn query_boolean(&self, q: &Pattern) -> Result<BooleanReport, DgsError> {
+        self.query_boolean_with(&Algorithm::Auto, q)
+    }
+
+    /// Boolean query with an explicit engine.
+    pub fn query_boolean_with(
+        &self,
+        algorithm: &Algorithm,
+        q: &Pattern,
+    ) -> Result<BooleanReport, DgsError> {
+        let (resolved, plan) = self.resolve(algorithm, q)?;
+        let qa = Arc::new(q.clone());
+        let (is_match, mut metrics) = match &resolved {
+            Resolved::TriviallyEmpty => (false, RunMetrics::default()),
+            Resolved::Dgpm(cfg) => {
+                let (coord, sites) =
+                    dgpm::build_with_mode(&self.frag, &qa, cfg.clone(), QueryMode::Boolean);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                let b = o
+                    .coordinator
+                    .boolean
+                    .ok_or_else(|| DgsError::ExecutorFailed {
+                        algorithm: resolved.name(),
+                        reason: "coordinator finished without a Boolean verdict".into(),
+                    })?;
+                (b, o.metrics)
+            }
+            other => {
+                let (relation, metrics) = self.run_resolved(other, &qa)?;
+                (relation.is_total(), metrics)
+            }
+        };
+        // Same uniform accounting as `query` — the Boolean path used
+        // to skip the query broadcast.
+        Self::charge_broadcast(&mut metrics, &self.frag, std::iter::once(q));
+        Ok(BooleanReport {
+            is_match,
+            metrics,
+            algorithm: resolved.name(),
+            plan,
+        })
+    }
+
+    /// Runs many queries against the session, amortizing the query
+    /// broadcast: the whole batch is posted to each site once (`|F|`
+    /// control messages total), instead of `|F|` per query. Per-query
+    /// reports keep their own engine-run metrics; `total` adds the
+    /// batched broadcast.
+    pub fn query_batch(&self, patterns: &[Pattern]) -> BatchReport {
+        self.query_batch_with(&Algorithm::Auto, patterns)
+    }
+
+    /// Batched run with an explicit engine.
+    pub fn query_batch_with(&self, algorithm: &Algorithm, patterns: &[Pattern]) -> BatchReport {
+        let mut total = RunMetrics::default();
+        let mut reports = Vec::with_capacity(patterns.len());
+        for q in patterns {
+            let report = self.resolve(algorithm, q).and_then(|(resolved, plan)| {
+                let qa = Arc::new(q.clone());
+                let (relation, metrics) = self.run_resolved(&resolved, &qa)?;
+                Ok(RunReport::assemble(
+                    relation,
+                    metrics,
+                    resolved.name(),
+                    plan,
+                ))
+            });
+            if let Ok(r) = &report {
+                total.merge(&r.metrics);
+            }
+            reports.push(report);
+        }
+        // Only the patterns that actually ran are posted to the sites.
+        let posted: Vec<&Pattern> = patterns
+            .iter()
+            .zip(&reports)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(q, _)| q)
+            .collect();
+        if !posted.is_empty() {
+            Self::charge_broadcast(&mut total, &self.frag, posted.iter().copied());
+        }
+        BatchReport { reports, total }
+    }
+
+    /// Resolves `algorithm` for `q`: the planner decides for
+    /// [`Algorithm::Auto`]; explicit requests are checked against the
+    /// cached facts (the old API `assert!`ed these).
+    fn resolve(
+        &self,
+        algorithm: &Algorithm,
+        q: &Pattern,
+    ) -> Result<(Resolved, PlanExplanation), DgsError> {
+        let qf = PatternFacts::compute(q);
+        match algorithm {
+            Algorithm::Auto => {
+                let (choice, plan) = self.planner.plan(&self.facts, &qf)?;
+                let resolved = match choice {
+                    EngineChoice::Dgpmt => Resolved::Dgpmt,
+                    EngineChoice::Dgpmd => Resolved::Dgpmd,
+                    EngineChoice::Dgpms => Resolved::Dgpms,
+                    EngineChoice::Dgpm => Resolved::Dgpm(DgpmConfig::optimized()),
+                    EngineChoice::TriviallyEmpty => Resolved::TriviallyEmpty,
+                };
+                Ok((resolved, plan))
+            }
+            Algorithm::Dgpm(cfg) => {
+                self.planner.validate_pattern(&qf)?;
+                let r = Resolved::Dgpm(cfg.clone());
+                let plan = PlanExplanation::forced(r.name());
+                Ok((r, plan))
+            }
+            Algorithm::Dgpmd => {
+                if !qf.is_dag && self.facts.is_dag {
+                    // §5.1: a cyclic pattern on a DAG graph can never
+                    // match — no distributed work needed.
+                    let mut plan = PlanExplanation::forced("trivial-∅");
+                    plan.reasons.push(
+                        "dGPMd requested with a cyclic pattern on an acyclic graph: Q(G) = ∅"
+                            .into(),
+                    );
+                    return Ok((Resolved::TriviallyEmpty, plan));
+                }
+                self.planner
+                    .check_explicit(EngineChoice::Dgpmd, &self.facts, &qf)?;
+                Ok((Resolved::Dgpmd, PlanExplanation::forced("dGPMd")))
+            }
+            Algorithm::Dgpms => {
+                self.planner
+                    .check_explicit(EngineChoice::Dgpms, &self.facts, &qf)?;
+                Ok((Resolved::Dgpms, PlanExplanation::forced("dGPMs")))
+            }
+            Algorithm::Dgpmt => {
+                self.planner
+                    .check_explicit(EngineChoice::Dgpmt, &self.facts, &qf)?;
+                if !qf.is_dag {
+                    // Tree graphs are acyclic, so a cyclic pattern is
+                    // trivially unmatched (and the tree protocol only
+                    // schedules DAG patterns).
+                    let mut plan = PlanExplanation::forced("trivial-∅");
+                    plan.reasons
+                        .push("dGPMt requested with a cyclic pattern on a tree: Q(G) = ∅".into());
+                    return Ok((Resolved::TriviallyEmpty, plan));
+                }
+                Ok((Resolved::Dgpmt, PlanExplanation::forced("dGPMt")))
+            }
+            Algorithm::MatchCentral => {
+                self.planner.validate_pattern(&qf)?;
+                Ok((Resolved::MatchCentral, PlanExplanation::forced("Match")))
+            }
+            Algorithm::DisHhk => {
+                self.planner.validate_pattern(&qf)?;
+                Ok((Resolved::DisHhk, PlanExplanation::forced("disHHK")))
+            }
+            Algorithm::DMes => {
+                self.planner.validate_pattern(&qf)?;
+                Ok((Resolved::DMes, PlanExplanation::forced("dMes")))
+            }
+        }
+    }
+
+    /// Runs a resolved engine and returns `(relation, metrics)`.
+    fn run_resolved(
+        &self,
+        resolved: &Resolved,
+        q: &Arc<Pattern>,
+    ) -> Result<(MatchRelation, RunMetrics), DgsError> {
+        // One shape per engine: build the actors, run them, take the
+        // coordinator's answer.
+        macro_rules! drive {
+            ($build:expr) => {{
+                let (coord, sites) = $build;
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                let answer = o
+                    .coordinator
+                    .answer
+                    .ok_or_else(|| DgsError::ExecutorFailed {
+                        algorithm: resolved.name(),
+                        reason: "coordinator finished without an answer".into(),
+                    })?;
+                Ok((answer, o.metrics))
+            }};
+        }
+        match resolved {
+            Resolved::TriviallyEmpty => {
+                Ok((MatchRelation::empty(q.node_count()), RunMetrics::default()))
+            }
+            Resolved::Dgpm(cfg) => drive!(dgpm::build(&self.frag, q, cfg.clone())),
+            Resolved::Dgpmd => drive!(dgpmd::build(&self.frag, q)),
+            Resolved::Dgpms => drive!(dgpms::build(&self.frag, q)),
+            Resolved::Dgpmt => drive!(dgpmt::build(&self.frag, q)),
+            Resolved::MatchCentral => drive!(baselines::match_central::build(&self.frag, q)),
+            Resolved::DisHhk => drive!(baselines::dishhk::build(&self.frag, q)),
+            Resolved::DMes => drive!(baselines::dmes::build(&self.frag, q)),
+        }
+    }
+
+    /// Accounts the query broadcast (Sc posts the patterns to each
+    /// site): `|F|` control messages of `Σ ~|Qi|` bytes each. Applied
+    /// uniformly to **every** query path — data-selecting, Boolean,
+    /// and trivially-empty runs alike (the old API skipped it on the
+    /// latter two).
+    fn charge_broadcast<'a>(
+        metrics: &mut RunMetrics,
+        frag: &Fragmentation,
+        patterns: impl IntoIterator<Item = &'a Pattern>,
+    ) {
+        let q_bytes: usize = patterns
+            .into_iter()
+            .map(|q| 8 + 3 * q.node_count() + 4 * q.edge_count())
+            .sum();
+        metrics.control_messages += frag.num_sites() as u64;
+        metrics.control_bytes += (frag.num_sites() * q_bytes) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+    use dgs_graph::generate::{dag, patterns, random, tree};
+    use dgs_partition::{hash_partition, tree_partition};
+    use dgs_sim::hhk_simulation;
+
+    fn engine_for(g: &Graph, k: usize, seed: u64) -> SimEngine {
+        let assign = hash_partition(g.node_count(), k, seed);
+        let frag = Arc::new(Fragmentation::build(g, &assign, k));
+        SimEngine::builder(g, frag).build()
+    }
+
+    #[test]
+    fn auto_picks_dgpmt_on_trees_and_agrees_with_oracle() {
+        let g = tree::random_tree(200, 4, 4);
+        let assign = tree_partition(&g, 4);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+        let engine = SimEngine::builder(&g, frag).build();
+        let q = patterns::path_pattern(2, &[dgs_graph::Label(0), dgs_graph::Label(1)]);
+        let report = engine.query(&q).unwrap();
+        assert_eq!(report.algorithm, "dGPMt");
+        assert!(report.plan.auto);
+        assert_eq!(report.relation, hhk_simulation(&q, &g).relation);
+    }
+
+    #[test]
+    fn auto_picks_dgpmd_on_dags_and_agrees_with_oracle() {
+        let g = dag::citation_like(300, 700, 5, 7);
+        let engine = engine_for(&g, 3, 7);
+        let q = patterns::random_dag_with_depth(4, 6, 2, 5, 7);
+        let report = engine.query(&q).unwrap();
+        assert_eq!(report.algorithm, "dGPMd");
+        assert_eq!(report.relation, hhk_simulation(&q, &g).relation);
+    }
+
+    #[test]
+    fn auto_handles_cyclic_workloads_and_agrees_with_oracle() {
+        let g = random::uniform(120, 500, 4, 8);
+        let engine = engine_for(&g, 3, 8);
+        let q = patterns::random_cyclic(3, 6, 4, 8);
+        let report = engine.query(&q).unwrap();
+        assert_eq!(report.algorithm, "dGPMs");
+        assert_eq!(report.relation, hhk_simulation(&q, &g).relation);
+    }
+
+    #[test]
+    fn auto_short_circuits_cyclic_pattern_on_dag() {
+        let g = dag::citation_like(100, 250, 4, 1);
+        let engine = engine_for(&g, 3, 1);
+        let q = patterns::random_cyclic(3, 5, 4, 1);
+        let report = engine.query(&q).unwrap();
+        assert_eq!(report.algorithm, "trivial-∅");
+        assert!(!report.is_match);
+        assert!(report.answer().is_empty());
+        assert_eq!(report.metrics.data_bytes, 0);
+        // The uniform broadcast accounting still posts Q to the sites.
+        assert_eq!(report.metrics.control_messages, 3);
+    }
+
+    #[test]
+    fn explicit_engines_error_instead_of_panicking() {
+        let g = random::uniform(50, 200, 4, 2);
+        let engine = engine_for(&g, 2, 2);
+        let q = patterns::random_cyclic(3, 5, 4, 2);
+        assert!(matches!(
+            engine.query_with(&Algorithm::Dgpmd, &q),
+            Err(DgsError::Unsupported {
+                algorithm: "dGPMd",
+                ..
+            })
+        ));
+        assert!(matches!(
+            engine.query_with(&Algorithm::Dgpmt, &q),
+            Err(DgsError::Unsupported {
+                algorithm: "dGPMt",
+                ..
+            })
+        ));
+        // The engine session stays usable after a bad query.
+        assert!(engine.query(&q).is_ok());
+    }
+
+    #[test]
+    fn answer_borrows_instead_of_cloning() {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let engine = SimEngine::builder(&w.graph, frag).build();
+        let report = engine.query(&w.pattern).unwrap();
+        assert!(report.is_match);
+        // On a match the answer aliases the relation.
+        assert!(std::ptr::eq(report.answer(), &report.relation));
+        assert_eq!(report.answer().len(), 11);
+    }
+
+    #[test]
+    fn boolean_charges_broadcast_uniformly() {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let engine = SimEngine::builder(&w.graph, frag).build();
+        let q = &w.pattern;
+        let b = engine
+            .query_boolean_with(&Algorithm::dgpm_incremental_only(), q)
+            .unwrap();
+        assert!(b.is_match);
+        // The Boolean path used to skip the |F|-message broadcast the
+        // data-selecting path charges; both paths now include it.
+        let broadcast_bytes = (3 * (8 + 3 * q.node_count() + 4 * q.edge_count())) as u64;
+        assert!(b.metrics.control_messages >= 3);
+        assert!(b.metrics.control_bytes >= broadcast_bytes);
+        let full = engine
+            .query_with(&Algorithm::dgpm_incremental_only(), q)
+            .unwrap();
+        assert!(full.metrics.control_messages >= 3);
+        assert!(full.metrics.control_bytes >= broadcast_bytes);
+    }
+
+    #[test]
+    fn batch_amortizes_the_broadcast() {
+        let g = random::uniform(150, 600, 4, 9);
+        let engine = engine_for(&g, 5, 9);
+        let patterns: Vec<Pattern> = (0..10)
+            .map(|i| patterns::random_cyclic(3, 6, 4, 100 + i))
+            .collect();
+        let batch = engine.query_batch(&patterns);
+        assert_eq!(batch.reports.len(), 10);
+        assert_eq!(batch.succeeded(), 10);
+        for r in &batch.reports {
+            let r = r.as_ref().unwrap();
+            // Per-query metrics are present and broadcast-free.
+            assert!(r.metrics.total_ops > 0);
+        }
+        // One broadcast for the whole batch...
+        let singles: u64 = patterns
+            .iter()
+            .map(|q| engine.query(q).unwrap().metrics.control_messages)
+            .sum();
+        // ... so total control messages are |F| * (B - 1) lower than
+        // B separate queries.
+        assert_eq!(
+            batch.total.control_messages,
+            singles - 5 * (patterns.len() as u64 - 1)
+        );
+        // Same answers either way.
+        for (r, q) in batch.reports.iter().zip(&patterns) {
+            assert_eq!(
+                r.as_ref().unwrap().relation,
+                engine.query(q).unwrap().relation
+            );
+        }
+    }
+
+    #[test]
+    fn batch_isolates_failures() {
+        let g = random::uniform(60, 240, 4, 10);
+        let engine = engine_for(&g, 2, 10);
+        let good = patterns::random_cyclic(3, 5, 4, 10);
+        let bad = dgs_graph::PatternBuilder::new().build();
+        let batch = engine.query_batch_with(&Algorithm::Auto, &[good.clone(), bad, good]);
+        assert_eq!(batch.succeeded(), 2);
+        assert!(matches!(
+            batch.reports[1],
+            Err(DgsError::InvalidPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn threaded_executor_through_the_builder() {
+        let w = fig1();
+        let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+        let engine = SimEngine::builder(&w.graph, frag)
+            .executor(ExecutorKind::Threaded)
+            .build();
+        let report = engine.query(&w.pattern).unwrap();
+        assert!(report.is_match);
+    }
+
+    #[test]
+    fn plan_is_a_dry_run() {
+        let g = tree::random_tree(80, 3, 11);
+        let assign = tree_partition(&g, 3);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let engine = SimEngine::builder(&g, frag).build();
+        let q = patterns::path_pattern(2, &[dgs_graph::Label(0), dgs_graph::Label(1)]);
+        let plan = engine.plan(&q).unwrap();
+        assert_eq!(plan.algorithm, "dGPMt");
+        assert!(plan.to_string().contains("auto"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Typed errors for the query path.
+//!
+//! Every condition that the old `DistributedSim` API turned into an
+//! `assert!`/`panic!`/`unwrap` is a [`DgsError`] here, so a serving
+//! layer can keep a session alive across bad queries and report the
+//! precondition that failed instead of dying.
+
+use std::fmt;
+
+/// Why a query could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DgsError {
+    /// The pattern itself is malformed (e.g. has no nodes).
+    InvalidPattern {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The requested engine's structural precondition does not hold
+    /// for this graph/pattern pair (Theorem 3 / Corollary 4 scope).
+    Unsupported {
+        /// Display name of the requested engine.
+        algorithm: &'static str,
+        /// The precondition that failed.
+        reason: String,
+    },
+    /// The distributed run finished without assembling an answer —
+    /// a protocol bug or a faulted executor, never the caller's fault.
+    ExecutorFailed {
+        /// Display name of the engine that ran.
+        algorithm: &'static str,
+        /// What was missing.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgsError::InvalidPattern { reason } => {
+                write!(f, "invalid pattern: {reason}")
+            }
+            DgsError::Unsupported { algorithm, reason } => {
+                write!(f, "{algorithm} is not applicable: {reason}")
+            }
+            DgsError::ExecutorFailed { algorithm, reason } => {
+                write!(f, "{algorithm} run failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DgsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = DgsError::Unsupported {
+            algorithm: "dGPMt",
+            reason: "the data graph is not a rooted tree".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dGPMt is not applicable: the data graph is not a rooted tree"
+        );
+        let e = DgsError::InvalidPattern {
+            reason: "pattern has no nodes".into(),
+        };
+        assert!(e.to_string().contains("no nodes"));
+    }
+}

@@ -19,9 +19,37 @@
 //! | [`baselines::dishhk`] (`disHHK`) | \[25\] | ship candidate subgraphs to one site |
 //! | [`baselines::dmes`] (`dMes`) | §6 / \[14\] | vertex-centric supersteps (Pregel-style) |
 //!
-//! The one entry point most users want is [`api::DistributedSim`],
-//! which pairs any engine with either `dgs-net` executor and returns
-//! the answer plus PT/DS metrics.
+//! ## The session API
+//!
+//! The entry point is [`SimEngine`]: built **once** over a loaded
+//! graph + fragmentation, it caches the structural facts the
+//! [`plan::Planner`] needs (DAG-ness, rooted-tree check, fragment
+//! connectivity, the SCC condensation) and then serves many queries.
+//! [`Algorithm::Auto`] lets the planner pick the engine with the best
+//! applicable bound, with the decision recorded in
+//! [`RunReport::plan`]:
+//!
+//! ```
+//! use dgs_core::SimEngine;
+//! use dgs_graph::generate::social::fig1;
+//! use dgs_partition::Fragmentation;
+//! use std::sync::Arc;
+//!
+//! let w = fig1();
+//! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! let engine = SimEngine::builder(&w.graph, frag).build();
+//!
+//! let report = engine.query(&w.pattern).unwrap();
+//! assert!(report.is_match);
+//! assert_eq!(report.answer().len(), 11);
+//! ```
+//!
+//! Queries return [`Result<RunReport, DgsError>`](DgsError) — the
+//! query path never panics — and [`SimEngine::query_batch`] amortizes
+//! the per-query broadcast across a whole batch.
+//!
+//! The legacy one-shot runner lives on as [`api::DistributedSim`], a
+//! deprecated shim over the engine.
 //!
 //! The building blocks are public too: [`local_eval::LocalEval`] is the
 //! paper's `lEval` (optimistic counter-based local fixpoint with
@@ -37,9 +65,16 @@ pub mod dgpm;
 pub mod dgpmd;
 pub mod dgpms;
 pub mod dgpmt;
+pub mod engine;
+pub mod error;
 pub mod local_eval;
+pub mod plan;
 pub mod push;
 pub mod vars;
 
-pub use api::{Algorithm, DistributedSim, RunReport};
+#[allow(deprecated)]
+pub use api::DistributedSim;
+pub use engine::{Algorithm, BatchReport, BooleanReport, RunReport, SimEngine, SimEngineBuilder};
+pub use error::DgsError;
+pub use plan::{CyclicFallback, EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner};
 pub use vars::Var;

@@ -283,7 +283,9 @@ impl LocalEval {
         let f = self.fragment();
         f.virtual_indices()
             .map(|idx| {
-                (0..self.nq).filter(|&u| self.cand[idx as usize * self.nq + u]).count()
+                (0..self.nq)
+                    .filter(|&u| self.cand[idx as usize * self.nq + u])
+                    .count()
             })
             .sum()
     }
@@ -294,7 +296,9 @@ impl LocalEval {
         f.in_nodes()
             .iter()
             .map(|&idx| {
-                (0..self.nq).filter(|&u| self.cand[idx as usize * self.nq + u]).count()
+                (0..self.nq)
+                    .filter(|&u| self.cand[idx as usize * self.nq + u])
+                    .count()
             })
             .sum()
     }

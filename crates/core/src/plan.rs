@@ -1,0 +1,402 @@
+//! The auto-planner: cached structural facts plus the decision rule
+//! that picks the cheapest applicable engine for each query.
+//!
+//! The paper's specialized algorithms trade generality for better
+//! bounds — `dGPMt` (§5.2) needs a tree graph cut into connected
+//! fragments, `dGPMd` (§5.1) needs a DAG pattern or a DAG graph —
+//! and a session engine should make that choice, not the caller.
+//! [`GraphFacts`] is computed **once** per [`crate::SimEngine`] (the
+//! graph-side checks are linear but touch the whole graph);
+//! [`PatternFacts`] is computed per query (linear in `|Q|`, which the
+//! paper assumes small). [`Planner::plan`] combines the two into an
+//! [`EngineChoice`] with a human-readable [`PlanExplanation`].
+
+use crate::error::DgsError;
+use dgs_graph::algo::{strongly_connected_components, PatternView};
+use dgs_graph::generate::tree::is_rooted_tree;
+use dgs_graph::{Graph, Pattern};
+use dgs_partition::Fragmentation;
+
+/// Structural facts about the loaded graph + fragmentation, computed
+/// once at engine build time and reused by every query.
+#[derive(Clone, Debug)]
+pub struct GraphFacts {
+    /// `|V|`.
+    pub node_count: usize,
+    /// `|E|`.
+    pub edge_count: usize,
+    /// Whether the data graph is acyclic (enables the `dGPMd`
+    /// cyclic-pattern short-circuit, §5.1).
+    pub is_dag: bool,
+    /// Whether the data graph is a rooted tree (Corollary 4 scope).
+    pub is_rooted_tree: bool,
+    /// Whether every fragment has at most one in-node — for tree
+    /// graphs this is the "connected subtree fragments" precondition
+    /// of `dGPMt` (§5.2).
+    pub fragments_connected: bool,
+    /// SCC condensation of the graph: component id per node, in
+    /// reverse topological order of the condensation.
+    pub scc_of: Vec<u32>,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+    /// `|F|`.
+    pub num_sites: usize,
+}
+
+impl GraphFacts {
+    /// Computes all facts in `O(|V| + |E|)` — one Tarjan pass, with
+    /// DAG-ness derived from the condensation (all SCCs trivial, no
+    /// self-loop) instead of a second pass.
+    pub fn compute(graph: &Graph, frag: &Fragmentation) -> Self {
+        let (scc_of, scc_count) = strongly_connected_components(graph);
+        let is_dag = scc_count == graph.node_count()
+            && graph.nodes().all(|v| !graph.successors(v).contains(&v));
+        GraphFacts {
+            node_count: graph.node_count(),
+            edge_count: graph.edge_count(),
+            is_dag,
+            is_rooted_tree: is_rooted_tree(graph),
+            fragments_connected: frag.fragments().iter().all(|f| f.in_nodes().len() <= 1),
+            scc_of,
+            scc_count,
+            num_sites: frag.num_sites(),
+        }
+    }
+}
+
+/// Structural facts about one query pattern.
+#[derive(Clone, Debug)]
+pub struct PatternFacts {
+    /// `|Vq|`.
+    pub node_count: usize,
+    /// `|Eq|`.
+    pub edge_count: usize,
+    /// Whether the pattern is acyclic (enables `dGPMd`'s rank
+    /// scheduling directly on `Q`).
+    pub is_dag: bool,
+    /// Number of SCCs of the pattern — the number of strata `dGPMs`
+    /// will schedule.
+    pub scc_count: usize,
+}
+
+impl PatternFacts {
+    /// Computes the per-query facts in `O(|Vq| + |Eq|)` — one Tarjan
+    /// pass, DAG-ness derived from it as in [`GraphFacts::compute`].
+    pub fn compute(q: &Pattern) -> Self {
+        let (_, scc_count) = strongly_connected_components(&PatternView(q));
+        let is_dag = scc_count == q.node_count() && q.nodes().all(|u| !q.children(u).contains(&u));
+        PatternFacts {
+            node_count: q.node_count(),
+            edge_count: q.edge_count(),
+            is_dag,
+            scc_count,
+        }
+    }
+}
+
+/// The engine the planner resolved a query to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Two-round tree algorithm (§5.2).
+    Dgpmt,
+    /// Rank-batched DAG algorithm (§5.1).
+    Dgpmd,
+    /// SCC-stratified batching for cyclic patterns.
+    Dgpms,
+    /// Fully asynchronous partition-bounded `dGPM` (§4).
+    Dgpm,
+    /// A cyclic pattern on an acyclic graph can never match: answer
+    /// `∅` without any distributed work (§5.1's observation).
+    TriviallyEmpty,
+}
+
+impl EngineChoice {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Dgpmt => "dGPMt",
+            EngineChoice::Dgpmd => "dGPMd",
+            EngineChoice::Dgpms => "dGPMs",
+            EngineChoice::Dgpm => "dGPM",
+            EngineChoice::TriviallyEmpty => "trivial-∅",
+        }
+    }
+}
+
+/// Which general-purpose engine the planner falls back to when the
+/// workload is cyclic on both sides.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CyclicFallback {
+    /// SCC-stratified batched shipping (fewer, larger messages —
+    /// better when per-message overhead dominates).
+    #[default]
+    Dgpms,
+    /// Fully asynchronous `dGPM` (better when bandwidth dominates and
+    /// messages are cheap).
+    Dgpm,
+}
+
+/// The planner: a pure decision rule over cached facts.
+#[derive(Clone, Debug, Default)]
+pub struct Planner {
+    /// Engine used when neither `dGPMt` nor `dGPMd` applies.
+    pub cyclic_fallback: CyclicFallback,
+}
+
+/// How a query was planned, recorded in every report.
+#[derive(Clone, Debug)]
+pub struct PlanExplanation {
+    /// Display name of the engine that (would) run.
+    pub algorithm: &'static str,
+    /// `true` when the planner chose; `false` when the caller forced
+    /// an engine.
+    pub auto: bool,
+    /// The facts that drove the decision, in decision order.
+    pub reasons: Vec<String>,
+}
+
+impl PlanExplanation {
+    /// An explanation for an explicitly requested engine.
+    pub fn forced(algorithm: &'static str) -> Self {
+        PlanExplanation {
+            algorithm,
+            auto: false,
+            reasons: vec!["engine requested explicitly by the caller".into()],
+        }
+    }
+}
+
+impl std::fmt::Display for PlanExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}): {}",
+            self.algorithm,
+            if self.auto { "auto" } else { "forced" },
+            self.reasons.join("; ")
+        )
+    }
+}
+
+impl Planner {
+    /// Resolves a query against the cached facts.
+    ///
+    /// Decision order (most specialized bound first):
+    /// 1. cyclic `Q` on an acyclic `G` → trivially empty, no
+    ///    distributed work;
+    /// 2. tree `G` with connected fragments → `dGPMt` (DS `O(|Q||F|)`,
+    ///    parallel scalable in shipment, Corollary 4);
+    /// 3. DAG `Q` → `dGPMd` (rank-batched, `d + 1` shipping rounds,
+    ///    Theorem 3);
+    /// 4. otherwise → the configured cyclic fallback.
+    pub fn plan(
+        &self,
+        g: &GraphFacts,
+        q: &PatternFacts,
+    ) -> Result<(EngineChoice, PlanExplanation), DgsError> {
+        self.validate_pattern(q)?;
+        let mut reasons = Vec::new();
+        let choice = if !q.is_dag && g.is_dag {
+            reasons.push(format!(
+                "pattern is cyclic ({} SCCs over {} nodes) but the graph is acyclic — \
+                 a cycle of Q can only be simulated by a cycle of G, so Q(G) = ∅",
+                q.scc_count, q.node_count
+            ));
+            EngineChoice::TriviallyEmpty
+        } else if g.is_rooted_tree && g.fragments_connected {
+            reasons.push("graph is a rooted tree".into());
+            reasons.push(format!(
+                "all {} fragments are connected subtrees (≤ 1 in-node each)",
+                g.num_sites
+            ));
+            EngineChoice::Dgpmt
+        } else if q.is_dag {
+            if g.is_rooted_tree {
+                reasons.push(
+                    "graph is a rooted tree but some fragment is disconnected, \
+                     so dGPMt's two-round bound does not apply"
+                        .into(),
+                );
+            }
+            reasons.push("pattern is a DAG — rank scheduling applies (Theorem 3)".into());
+            EngineChoice::Dgpmd
+        } else {
+            reasons.push(format!(
+                "pattern and graph are both cyclic (pattern: {} SCCs, graph: {} SCCs) — \
+                 only the partition-bounded engines apply (Theorem 2)",
+                q.scc_count, g.scc_count
+            ));
+            match self.cyclic_fallback {
+                CyclicFallback::Dgpms => EngineChoice::Dgpms,
+                CyclicFallback::Dgpm => EngineChoice::Dgpm,
+            }
+        };
+        let plan = PlanExplanation {
+            algorithm: choice.name(),
+            auto: true,
+            reasons,
+        };
+        Ok((choice, plan))
+    }
+
+    /// The pattern checks every engine shares, independent of any
+    /// structural precondition.
+    pub fn validate_pattern(&self, q: &PatternFacts) -> Result<(), DgsError> {
+        if q.node_count == 0 {
+            return Err(DgsError::InvalidPattern {
+                reason: "pattern has no nodes".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks an explicitly requested engine against the facts,
+    /// returning the precondition violation if any.
+    pub fn check_explicit(
+        &self,
+        choice: EngineChoice,
+        g: &GraphFacts,
+        q: &PatternFacts,
+    ) -> Result<(), DgsError> {
+        self.validate_pattern(q)?;
+        match choice {
+            EngineChoice::Dgpmt => {
+                if !g.is_rooted_tree {
+                    return Err(DgsError::Unsupported {
+                        algorithm: "dGPMt",
+                        reason: "dGPMt requires a rooted tree graph".into(),
+                    });
+                }
+                if !g.fragments_connected {
+                    return Err(DgsError::Unsupported {
+                        algorithm: "dGPMt",
+                        reason: "dGPMt requires connected fragments \
+                                 (some fragment has more than one in-node)"
+                            .into(),
+                    });
+                }
+                Ok(())
+            }
+            EngineChoice::Dgpmd => {
+                if !q.is_dag && !g.is_dag {
+                    return Err(DgsError::Unsupported {
+                        algorithm: "dGPMd",
+                        reason: "dGPMd requires a DAG pattern or a DAG graph".into(),
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::{dag, patterns, random, tree};
+    use dgs_partition::{hash_partition, tree_partition};
+
+    fn facts_for(g: &Graph, k: usize, seed: u64) -> GraphFacts {
+        let assign = hash_partition(g.node_count(), k, seed);
+        let frag = Fragmentation::build(g, &assign, k);
+        GraphFacts::compute(g, &frag)
+    }
+
+    #[test]
+    fn tree_with_connected_fragments_plans_dgpmt() {
+        let g = tree::random_tree(120, 4, 1);
+        let assign = tree_partition(&g, 4);
+        let frag = Fragmentation::build(&g, &assign, 4);
+        let gf = GraphFacts::compute(&g, &frag);
+        assert!(gf.is_dag && gf.is_rooted_tree && gf.fragments_connected);
+        let qf = PatternFacts::compute(&patterns::path_pattern(
+            3,
+            &[
+                dgs_graph::Label(0),
+                dgs_graph::Label(1),
+                dgs_graph::Label(2),
+            ],
+        ));
+        let (choice, plan) = Planner::default().plan(&gf, &qf).unwrap();
+        assert_eq!(choice, EngineChoice::Dgpmt);
+        assert!(plan.auto);
+        assert_eq!(plan.algorithm, "dGPMt");
+        assert!(plan.to_string().contains("rooted tree"));
+    }
+
+    #[test]
+    fn tree_with_hash_fragments_falls_back_to_dgpmd() {
+        let g = tree::random_tree(200, 4, 2);
+        let gf = facts_for(&g, 4, 2);
+        assert!(gf.is_rooted_tree);
+        // A hash partition of a 200-node tree virtually never yields
+        // connected fragments.
+        assert!(!gf.fragments_connected);
+        let qf = PatternFacts::compute(&patterns::random_dag_with_depth(3, 4, 2, 4, 2));
+        let (choice, _) = Planner::default().plan(&gf, &qf).unwrap();
+        assert_eq!(choice, EngineChoice::Dgpmd);
+    }
+
+    #[test]
+    fn dag_graph_cyclic_pattern_is_trivially_empty() {
+        let g = dag::citation_like(100, 250, 4, 3);
+        let gf = facts_for(&g, 3, 3);
+        assert!(gf.is_dag && !gf.is_rooted_tree);
+        let qf = PatternFacts::compute(&patterns::random_cyclic(3, 5, 4, 3));
+        assert!(!qf.is_dag);
+        let (choice, plan) = Planner::default().plan(&gf, &qf).unwrap();
+        assert_eq!(choice, EngineChoice::TriviallyEmpty);
+        assert!(plan.reasons[0].contains("cyclic"));
+    }
+
+    #[test]
+    fn doubly_cyclic_uses_fallback() {
+        let g = random::uniform(80, 300, 4, 4);
+        let gf = facts_for(&g, 3, 4);
+        assert!(!gf.is_dag);
+        let qf = PatternFacts::compute(&patterns::random_cyclic(3, 5, 4, 4));
+        let (choice, _) = Planner::default().plan(&gf, &qf).unwrap();
+        assert_eq!(choice, EngineChoice::Dgpms);
+        let dgpm_planner = Planner {
+            cyclic_fallback: CyclicFallback::Dgpm,
+        };
+        let (choice, _) = dgpm_planner.plan(&gf, &qf).unwrap();
+        assert_eq!(choice, EngineChoice::Dgpm);
+    }
+
+    #[test]
+    fn empty_pattern_is_invalid() {
+        let g = random::uniform(10, 20, 2, 5);
+        let gf = facts_for(&g, 2, 5);
+        let qf = PatternFacts::compute(&dgs_graph::PatternBuilder::new().build());
+        assert!(matches!(
+            Planner::default().plan(&gf, &qf),
+            Err(DgsError::InvalidPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_checks_mirror_the_old_asserts() {
+        let g = random::uniform(50, 200, 4, 6);
+        let gf = facts_for(&g, 2, 6);
+        let qf = PatternFacts::compute(&patterns::random_cyclic(3, 5, 4, 6));
+        let p = Planner::default();
+        assert!(matches!(
+            p.check_explicit(EngineChoice::Dgpmd, &gf, &qf),
+            Err(DgsError::Unsupported {
+                algorithm: "dGPMd",
+                ..
+            })
+        ));
+        assert!(matches!(
+            p.check_explicit(EngineChoice::Dgpmt, &gf, &qf),
+            Err(DgsError::Unsupported {
+                algorithm: "dGPMt",
+                ..
+            })
+        ));
+        assert!(p.check_explicit(EngineChoice::Dgpms, &gf, &qf).is_ok());
+        assert!(p.check_explicit(EngineChoice::Dgpm, &gf, &qf).is_ok());
+    }
+}

@@ -102,11 +102,7 @@ impl<'a> Expander<'a> {
                 false,
             ));
         }
-        if self
-            .ev
-            .pattern()
-            .is_sink(dgs_graph::QNodeId(u))
-        {
+        if self.ev.pattern().is_sink(dgs_graph::QNodeId(u)) {
             return Some((BExpr::TRUE, false));
         }
         if let Some(e) = self.memo.get(&(u, idx)) {

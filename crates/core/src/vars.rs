@@ -17,7 +17,10 @@ pub struct Var {
 impl Var {
     /// Builds a variable from typed ids.
     pub fn new(q: QNodeId, node: NodeId) -> Self {
-        Var { q: q.0, node: node.0 }
+        Var {
+            q: q.0,
+            node: node.0,
+        }
     }
 
     /// The query node as a typed id.

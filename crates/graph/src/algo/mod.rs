@@ -15,5 +15,7 @@ pub mod topo;
 
 pub use bfs::{bfs_distances, bfs_distances_pattern};
 pub use diameter::{pattern_diameter, pattern_longest_path};
-pub use tarjan::{graph_is_dag, pattern_is_dag, strongly_connected_components, PatternView, SccView};
+pub use tarjan::{
+    graph_is_dag, pattern_is_dag, strongly_connected_components, PatternView, SccView,
+};
 pub use topo::{graph_topo_ranks, pattern_topo_ranks};

@@ -68,8 +68,7 @@ pub fn layered(n: usize, m: usize, layers: usize, num_labels: usize, seed: u64) 
         return b.build();
     }
     let layer_of = |v: u32| (v as usize) % layers;
-    let nodes_in_layer =
-        |k: usize| -> u32 { (n - k).div_ceil(layers) as u32 };
+    let nodes_in_layer = |k: usize| -> u32 { (n - k).div_ceil(layers) as u32 };
     let pick_in_layer = |k: usize, rng: &mut SmallRng| -> u32 {
         let count = nodes_in_layer(k);
         (rng.gen_range(0..count) as usize * layers + k) as u32

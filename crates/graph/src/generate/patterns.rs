@@ -77,7 +77,10 @@ pub fn random_dag_with_depth(
     seed: u64,
 ) -> Pattern {
     assert!(nq > depth, "need nq >= depth + 1 nodes");
-    assert!(eq >= nq.saturating_sub(1), "need eq >= nq - 1 for connectivity");
+    assert!(
+        eq >= nq.saturating_sub(1),
+        "need eq >= nq - 1 for connectivity"
+    );
     assert!(num_labels > 0, "need at least one label");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = PatternBuilder::new();

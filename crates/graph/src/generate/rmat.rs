@@ -160,11 +160,7 @@ mod tests {
         // Low and high halves of the id space should carry comparable
         // out-degree mass.
         let n = g.node_count();
-        let low: usize = g
-            .nodes()
-            .take(n / 2)
-            .map(|v| g.out_degree(v))
-            .sum();
+        let low: usize = g.nodes().take(n / 2).map(|v| g.out_degree(v)).sum();
         let high: usize = g.edge_count() - low;
         let ratio = low as f64 / high.max(1) as f64;
         assert!((0.8..1.25).contains(&ratio), "low/high = {ratio:.3}");
@@ -187,7 +183,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn degenerate_params_rejected() {
-        let _ = rmat(5, 10, 2, RmatParams { a: 0.5, b: 0.5, c: 0.2 }, 0);
+        let _ = rmat(
+            5,
+            10,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.2,
+            },
+            0,
+        );
     }
 
     #[test]
@@ -199,7 +205,9 @@ mod tests {
         // Only a structural sanity check lives here (dgs-sim depends
         // on dgs-graph, not vice versa); the cross-stack agreement is
         // covered by the workspace integration tests.
-        assert!(g.edges().all(|(u, v)| u.index() < g.node_count() && v.index() < g.node_count()));
+        assert!(g
+            .edges()
+            .all(|(u, v)| u.index() < g.node_count() && v.index() < g.node_count()));
         assert_eq!(q.node_count(), 4);
     }
 }

@@ -273,17 +273,10 @@ mod tests {
         let crossing: Vec<(&str, &str)> = w
             .graph
             .edges()
-            .filter(|&(u, v)| {
-                w.assignment[u.index()] == 0 && w.assignment[v.index()] != 0
-            })
+            .filter(|&(u, v)| w.assignment[u.index()] == 0 && w.assignment[v.index()] != 0)
             .map(|(u, v)| (w.node_names[u.index()], w.node_names[v.index()]))
             .collect();
-        let mut expected = vec![
-            ("f1", "f4"),
-            ("yf1", "f2"),
-            ("sp1", "yf2"),
-            ("sp1", "f2"),
-        ];
+        let mut expected = vec![("f1", "f4"), ("yf1", "f2"), ("sp1", "yf2"), ("sp1", "f2")];
         let mut got = crossing;
         expected.sort();
         got.sort();

@@ -141,11 +141,7 @@ impl Graph {
 
     /// The largest label index in use plus one (alphabet size bound).
     pub fn label_bound(&self) -> usize {
-        self.labels
-            .iter()
-            .map(|l| l.index() + 1)
-            .max()
-            .unwrap_or(0)
+        self.labels.iter().map(|l| l.index() + 1).max().unwrap_or(0)
     }
 }
 
@@ -390,6 +386,9 @@ mod tests {
         b.add_edge(NodeId(3), NodeId(0));
         b.add_edge(NodeId(1), NodeId(0));
         let g = b.build();
-        assert_eq!(g.predecessors(NodeId(0)), &[NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(
+            g.predecessors(NodeId(0)),
+            &[NodeId(1), NodeId(3), NodeId(5)]
+        );
     }
 }

@@ -164,7 +164,10 @@ fn parse<R: Read>(r: R) -> Result<Parsed, ParseError> {
 pub fn read_graph<R: Read>(r: R) -> Result<Graph, ParseError> {
     let p = parse(r)?;
     if p.header != "graph" {
-        return Err(malformed(1, format!("expected graph header, got {:?}", p.header)));
+        return Err(malformed(
+            1,
+            format!("expected graph header, got {:?}", p.header),
+        ));
     }
     let mut labels = vec![Label(0); p.declared_nodes];
     let mut seen = vec![false; p.declared_nodes];
@@ -196,7 +199,10 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph, ParseError> {
 pub fn read_pattern<R: Read>(r: R) -> Result<Pattern, ParseError> {
     let p = parse(r)?;
     if p.header != "pattern" {
-        return Err(malformed(1, format!("expected pattern header, got {:?}", p.header)));
+        return Err(malformed(
+            1,
+            format!("expected pattern header, got {:?}", p.header),
+        ));
     }
     let mut labels = vec![Label(0); p.declared_nodes];
     let mut seen = vec![false; p.declared_nodes];

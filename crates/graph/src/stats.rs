@@ -108,7 +108,13 @@ impl GraphStats {
 
 impl fmt::Display for GraphStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "|V| = {}  |E| = {}  |G| = {}", self.nodes, self.edges, self.nodes + self.edges)?;
+        writeln!(
+            f,
+            "|V| = {}  |E| = {}  |G| = {}",
+            self.nodes,
+            self.edges,
+            self.nodes + self.edges
+        )?;
         writeln!(
             f,
             "avg out-degree = {:.2}  max out = {}  max in = {}  sources = {}  sinks = {}",
@@ -257,6 +263,9 @@ mod tests {
         let s = GraphStats::compute(&GraphBuilder::new().build());
         assert_eq!(s.nodes, 0);
         assert_eq!(s.scc_count, 0);
-        assert_eq!(GraphStats::top1pct_edge_share(&GraphBuilder::new().build()), 0.0);
+        assert_eq!(
+            GraphStats::top1pct_edge_share(&GraphBuilder::new().build()),
+            0.0
+        );
     }
 }

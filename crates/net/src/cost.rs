@@ -41,9 +41,9 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             ns_per_op: 5.0,
-            ns_per_message: 10_000,     // 10 µs dispatch overhead
-            latency_ns: 500_000,        // 0.5 ms one-way
-            bytes_per_ns: 0.1,          // 100 MB/s
+            ns_per_message: 10_000, // 10 µs dispatch overhead
+            latency_ns: 500_000,    // 0.5 ms one-way
+            bytes_per_ns: 0.1,      // 100 MB/s
             jitter: 0.0,
             jitter_seed: 0,
             site_speed: Vec::new(),

@@ -99,8 +99,14 @@ mod tests {
         let a = FaultPlan::duplicating(0.5, 1);
         let b = FaultPlan::duplicating(0.5, 2);
         let decisions: Vec<bool> = (0..64).map(|s| a.duplicates(s)).collect();
-        assert_eq!(decisions, (0..64).map(|s| a.duplicates(s)).collect::<Vec<_>>());
-        assert_ne!(decisions, (0..64).map(|s| b.duplicates(s)).collect::<Vec<_>>());
+        assert_eq!(
+            decisions,
+            (0..64).map(|s| a.duplicates(s)).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            decisions,
+            (0..64).map(|s| b.duplicates(s)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -88,6 +88,47 @@ impl RunMetrics {
     pub fn max_site_ops(&self) -> u64 {
         self.site_ops.iter().copied().max().unwrap_or(0)
     }
+
+    /// Field-wise accumulation of another run's metrics (used to
+    /// aggregate multi-query batches). Lives here so a new field
+    /// cannot be forgotten by an out-of-crate copy of this list.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        let RunMetrics {
+            data_bytes,
+            data_messages,
+            control_bytes,
+            control_messages,
+            result_bytes,
+            result_messages,
+            total_ops,
+            site_ops,
+            coordinator_ops,
+            virtual_time_ns,
+            wall_time,
+            quiescence_rounds,
+            duplicated_messages,
+            duplicated_bytes,
+        } = other;
+        self.data_bytes += data_bytes;
+        self.data_messages += data_messages;
+        self.control_bytes += control_bytes;
+        self.control_messages += control_messages;
+        self.result_bytes += result_bytes;
+        self.result_messages += result_messages;
+        self.total_ops += total_ops;
+        self.coordinator_ops += coordinator_ops;
+        self.virtual_time_ns += virtual_time_ns;
+        self.wall_time += *wall_time;
+        self.quiescence_rounds += quiescence_rounds;
+        self.duplicated_messages += duplicated_messages;
+        self.duplicated_bytes += duplicated_bytes;
+        if self.site_ops.len() < site_ops.len() {
+            self.site_ops.resize(site_ops.len(), 0);
+        }
+        for (t, s) in self.site_ops.iter_mut().zip(site_ops) {
+            *t += s;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -166,7 +166,16 @@ impl VirtualExecutor {
             let ep = Endpoint::Site(i as u32);
             let mut out = Outbox::new(ep, n);
             site.on_start(&mut out);
-            finish(ep, 0, 0, out, &mut ready, &mut coord_ready, &mut heap, &mut metrics);
+            finish(
+                ep,
+                0,
+                0,
+                out,
+                &mut ready,
+                &mut coord_ready,
+                &mut heap,
+                &mut metrics,
+            );
         }
 
         let response_time;
@@ -397,12 +406,18 @@ mod tests {
         // response time by ~10× (the barrier waits for the straggler).
         let fast = VirtualExecutor::new(CostModel::compute_only());
         let base = fast
-            .run(NullCoord, (0..8).map(|_| BusySite { work: 1_000 }).collect())
+            .run(
+                NullCoord,
+                (0..8).map(|_| BusySite { work: 1_000 }).collect(),
+            )
             .metrics
             .virtual_time_ns;
         let slow = VirtualExecutor::new(CostModel::compute_only().with_straggler(3, 10.0));
         let slowed = slow
-            .run(NullCoord, (0..8).map(|_| BusySite { work: 1_000 }).collect())
+            .run(
+                NullCoord,
+                (0..8).map(|_| BusySite { work: 1_000 }).collect(),
+            )
             .metrics
             .virtual_time_ns;
         assert_eq!(base, 1_000);
@@ -440,7 +455,10 @@ mod tests {
         assert_eq!(outcome.sites[0].seen, 6);
         assert_eq!(outcome.metrics.duplicated_messages, 3);
         assert_eq!(outcome.metrics.data_messages, 6);
-        assert_eq!(outcome.metrics.duplicated_bytes * 2, outcome.metrics.data_bytes);
+        assert_eq!(
+            outcome.metrics.duplicated_bytes * 2,
+            outcome.metrics.data_bytes
+        );
     }
 
     #[test]

@@ -241,7 +241,11 @@ pub fn refine_toward_ratio(
         let (vf0, ef0) = (state.vf, state.ef);
         state.apply_move(v, to);
         let after = state.ratio(objective);
-        let improved = if need_lower { after < before } else { after > before };
+        let improved = if need_lower {
+            after < before
+        } else {
+            after > before
+        };
         if !improved {
             // Undo: move back (exact inverse).
             state.apply_move(v, from);

@@ -35,7 +35,9 @@ pub fn ldg_partition(graph: &Graph, k: usize, slack: f64, seed: u64) -> Vec<Site
     assert!(k > 0, "need at least one site");
     assert!(slack >= 0.0, "slack must be non-negative");
     let n = graph.node_count();
-    let capacity = ((n as f64 / k as f64).ceil() * (1.0 + slack)).ceil().max(1.0);
+    let capacity = ((n as f64 / k as f64).ceil() * (1.0 + slack))
+        .ceil()
+        .max(1.0);
 
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -49,11 +51,7 @@ pub fn ldg_partition(graph: &Graph, k: usize, slack: f64, seed: u64) -> Vec<Site
     for &v in &order {
         let v = NodeId(v);
         neighbour_counts.fill(0);
-        for &w in graph
-            .successors(v)
-            .iter()
-            .chain(graph.predecessors(v))
-        {
+        for &w in graph.successors(v).iter().chain(graph.predecessors(v)) {
             let s = assignment[w.index()];
             if s != UNPLACED {
                 neighbour_counts[s] += 1;
@@ -69,9 +67,7 @@ pub fn ldg_partition(graph: &Graph, k: usize, slack: f64, seed: u64) -> Vec<Site
                 continue;
             }
             let score = f64::from(neighbour_counts[s]) * (1.0 - loads[s] as f64 / capacity);
-            if score > best_score
-                || (score == best_score && loads[s] < loads[best])
-            {
+            if score > best_score || (score == best_score && loads[s] < loads[best]) {
                 best = s;
                 best_score = score;
             }

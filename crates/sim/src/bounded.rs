@@ -386,8 +386,6 @@ mod tests {
         let q = patterns::random_cyclic(4, 7, 3, 3);
         let bq = BoundedPattern::from_plain(&q);
         assert_eq!(bq.bounded_edges().count(), q.edge_count());
-        assert!(bq
-            .bounded_edges()
-            .all(|(_, _, b)| b == EdgeBound::Hop(1)));
+        assert!(bq.bounded_edges().all(|(_, _, b)| b == EdgeBound::Hop(1)));
     }
 }

@@ -198,7 +198,13 @@ mod tests {
         qb.add_edge(a, b);
         let q = qb.build();
         // Graph: 0 -> 1.
-        let succ = |v: NodeId| if v == NodeId(0) { vec![NodeId(1)] } else { vec![] };
+        let succ = |v: NodeId| {
+            if v == NodeId(0) {
+                vec![NodeId(1)]
+            } else {
+                vec![]
+            }
+        };
         let good = MatchRelation::from_lists(vec![vec![NodeId(0)], vec![NodeId(1)]]);
         assert!(good.respects_child_condition(&q, succ));
         let bad = MatchRelation::from_lists(vec![vec![NodeId(1)], vec![NodeId(1)]]);

@@ -82,10 +82,7 @@ pub fn strong_simulation(q: &Pattern, g: &Graph) -> SimResult {
 
     // Candidate centers: any node whose label occurs in Q.
     for v in g.nodes() {
-        let center_qnodes: Vec<QNodeId> = q
-            .nodes()
-            .filter(|&u| q.label(u) == g.label(v))
-            .collect();
+        let center_qnodes: Vec<QNodeId> = q.nodes().filter(|&u| q.label(u) == g.label(v)).collect();
         if center_qnodes.is_empty() {
             continue;
         }

@@ -34,15 +34,19 @@ fn main() {
         FragmentationStats::compute(&graph, &frag)
     );
 
-    let runner = DistributedSim::default();
+    // One session serves the whole sweep — structural facts (incl. the
+    // DAG check dGPMd needs) are computed once, here.
+    let engine = SimEngine::builder(&graph, frag).build();
     println!(
         "\nDAG patterns of growing diameter d (|Q| = (9,13)):\n{:<4} {:>14} {:>14} {:>12} {:>12}",
         "d", "dGPMd PT(ms)", "dGPM PT(ms)", "dGPMd msgs", "dGPM msgs"
     );
     for d in [2usize, 4, 6, 8] {
         let q = dgs::graph::generate::patterns::random_dag_with_depth(9, 13, d, 15, 99 + d as u64);
-        let rd = runner.run(&Algorithm::Dgpmd, &graph, &frag, &q);
-        let rg = runner.run(&Algorithm::dgpm_incremental_only(), &graph, &frag, &q);
+        let rd = engine.query_with(&Algorithm::Dgpmd, &q).unwrap();
+        let rg = engine
+            .query_with(&Algorithm::dgpm_incremental_only(), &q)
+            .unwrap();
         assert_eq!(rd.relation, rg.relation, "engines disagree at d={d}");
         println!(
             "{:<4} {:>14.3} {:>14.3} {:>12} {:>12}",
@@ -54,10 +58,12 @@ fn main() {
         );
     }
 
-    // §5.1: cyclic pattern + DAG graph = immediate empty answer.
+    // §5.1: cyclic pattern + DAG graph = immediate empty answer. The
+    // auto-planner spots this itself — and explains it.
     let cyclic = dgs::graph::generate::patterns::random_cyclic(5, 10, 15, 1);
-    let r = runner.run(&Algorithm::Dgpmd, &graph, &frag, &cyclic);
+    let r = engine.query(&cyclic).unwrap();
     assert!(!r.is_match);
     assert_eq!(r.metrics.data_bytes, 0);
-    println!("\ncyclic pattern on the DAG: empty answer with zero shipment (Theorem 3 shortcut)");
+    println!("\ncyclic pattern on the DAG — plan: {}", r.plan);
+    println!("empty answer with zero shipment (Theorem 3 shortcut)");
 }

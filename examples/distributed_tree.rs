@@ -14,7 +14,6 @@ use std::sync::Arc;
 
 fn main() {
     let q = dgs::graph::generate::patterns::path_pattern(3, &[Label(0), Label(1), Label(2)]);
-    let runner = DistributedSim::default();
     let k = 8;
 
     println!(
@@ -25,11 +24,15 @@ fn main() {
         let g = dgs::graph::generate::tree::random_tree_with_chain_bias(n, 6, 0.4, 5);
         let assign = tree_partition(&g, k);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        for f in frag.fragments() {
-            assert!(f.in_nodes().len() <= 1, "connected subtree invariant");
-        }
-        let rt = runner.run(&Algorithm::Dgpmt, &g, &frag, &q);
-        let rg = runner.run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
+        let engine = SimEngine::builder(&g, frag).build();
+        // The session's cached facts prove the dGPMt preconditions.
+        assert!(engine.facts().is_rooted_tree && engine.facts().fragments_connected);
+        // Auto resolves to the tree algorithm here.
+        let rt = engine.query(&q).unwrap();
+        assert_eq!(rt.algorithm, "dGPMt");
+        let rg = engine
+            .query_with(&Algorithm::dgpm_incremental_only(), &q)
+            .unwrap();
         assert_eq!(rt.relation, rg.relation, "engines disagree at n={n}");
         println!(
             "{:>9} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",

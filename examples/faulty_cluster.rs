@@ -30,11 +30,13 @@ fn main() {
 
     // --- 1. Straggler ---------------------------------------------
     println!("one site slowed 8x (|F| = {k}):");
+    let healthy_engine = SimEngine::builder(&g, Arc::clone(&frag)).build();
+    let degraded_engine = SimEngine::builder(&g, Arc::clone(&frag))
+        .cost(CostModel::default().with_straggler(0, 8.0))
+        .build();
     for algo in [Algorithm::dgpm(), Algorithm::Dgpms] {
-        let healthy = DistributedSim::virtual_time(CostModel::default())
-            .run(&algo, &g, &frag, &q);
-        let degraded = DistributedSim::virtual_time(CostModel::default().with_straggler(0, 8.0))
-            .run(&algo, &g, &frag, &q);
+        let healthy = healthy_engine.query_with(&algo, &q).unwrap();
+        let degraded = degraded_engine.query_with(&algo, &q).unwrap();
         assert_eq!(healthy.relation, oracle);
         assert_eq!(degraded.relation, oracle);
         println!(

@@ -22,7 +22,13 @@ use std::sync::Arc;
 fn main() {
     let q = adversarial::q0();
     let algo = Algorithm::dgpm_incremental_only();
-    let runner = DistributedSim::default();
+    let query = |g: &Graph, assign: &[usize], k: usize| {
+        let frag = Arc::new(Fragmentation::build(g, assign, k));
+        SimEngine::builder(g, frag)
+            .build()
+            .query_with(&algo, &q)
+            .expect("ring workload is valid")
+    };
 
     println!("Theorem 1(1): one (Ai,Bi) pair per site — constant |Fm|, |Q|");
     println!(
@@ -31,14 +37,10 @@ fn main() {
     );
     for n in [4usize, 8, 16, 32, 64, 128] {
         let assign = adversarial::per_pair_assignment(n);
-        let broken = adversarial::broken_cycle_graph(n);
-        let frag_b = Arc::new(Fragmentation::build(&broken, &assign, n));
-        let rb = runner.run(&algo, &broken, &frag_b, &q);
+        let rb = query(&adversarial::broken_cycle_graph(n), &assign, n);
         assert!(!rb.is_match);
 
-        let intact = adversarial::cycle_graph(n);
-        let frag_i = Arc::new(Fragmentation::build(&intact, &assign, n));
-        let ri = runner.run(&algo, &intact, &frag_i, &q);
+        let ri = query(&adversarial::cycle_graph(n), &assign, n);
         assert!(ri.is_match);
 
         println!(
@@ -56,9 +58,7 @@ fn main() {
     println!("{:>6} {:>14} {:>14}", "n", "DS (KB)", "data msgs");
     for n in [64usize, 128, 256, 512, 1024] {
         let assign = adversarial::bipartite_assignment(n);
-        let broken = adversarial::broken_cycle_graph(n);
-        let frag = Arc::new(Fragmentation::build(&broken, &assign, 2));
-        let r = runner.run(&algo, &broken, &frag, &q);
+        let r = query(&adversarial::broken_cycle_graph(n), &assign, 2);
         assert!(!r.is_match);
         println!(
             "{:>6} {:>14.3} {:>14}",

@@ -1,8 +1,9 @@
-//! Quickstart: the paper's Fig. 1 running example.
+//! Quickstart: the paper's Fig. 1 running example on the session API.
 //!
-//! Builds the 13-node social graph distributed over 3 sites, runs the
-//! partition-bounded `dGPM` algorithm, and prints the match relation —
-//! reproducing Examples 1–7 of the paper.
+//! Builds the 13-node social graph distributed over 3 sites, loads it
+//! into a `SimEngine` session, and lets `Algorithm::Auto` plan the
+//! query — printing the planner's explanation alongside the match
+//! relation (Examples 1–7 of the paper).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -25,25 +26,44 @@ fn main() {
     let stats = FragmentationStats::compute(&w.graph, &frag);
     println!("fragmentation: {stats}");
 
-    // Run dGPM on the deterministic virtual-time cluster.
-    let report = DistributedSim::default().run(&Algorithm::dgpm(), &w.graph, &frag, &w.pattern);
-
+    // Build the session once: the planner's structural facts (DAG-ness,
+    // tree check, fragment connectivity, SCC condensation) are computed
+    // here, then every query reuses them.
+    let engine = SimEngine::builder(&w.graph, frag).build();
+    let facts = engine.facts();
     println!(
-        "\nG matches Q: {} (PT {:.3} ms, DS {:.3} KB, {} data messages)",
+        "session facts: dag = {}, rooted tree = {}, connected fragments = {}, {} SCCs",
+        facts.is_dag, facts.is_rooted_tree, facts.fragments_connected, facts.scc_count
+    );
+
+    // Query with the auto-planner and show why it chose its engine.
+    let report = engine.query(&w.pattern).expect("fig1 query is valid");
+    println!("\nplan: {}", report.plan);
+    println!(
+        "G matches Q: {} (engine {}, PT {:.3} ms, DS {:.3} KB, {} data messages)",
         report.is_match,
+        report.algorithm,
         report.metrics.virtual_time_ms(),
         report.metrics.data_kb(),
         report.metrics.data_messages
     );
     println!("\nmaximum match relation Q(G):");
-    for u in report.answer.iter().map(|(u, _)| u).collect::<std::collections::BTreeSet<_>>() {
-        let matches: Vec<&str> = report
-            .answer
+    let answer = report.answer();
+    for u in answer
+        .iter()
+        .map(|(u, _)| u)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let matches: Vec<&str> = answer
             .matches_of(u)
             .iter()
             .map(|v| w.node_names[v.index()])
             .collect();
-        println!("  {:>3} -> {}", w.query_names[u.index()], matches.join(", "));
+        println!(
+            "  {:>3} -> {}",
+            w.query_names[u.index()],
+            matches.join(", ")
+        );
     }
 
     // Cross-check against the centralized oracle.

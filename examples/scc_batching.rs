@@ -43,8 +43,11 @@ fn main() {
 
     for (label, cost) in [("EC2-like network", &ec2), ("1 ms per message", &permsg)] {
         println!("{label}:");
+        let engine = SimEngine::builder(&g, Arc::clone(&frag))
+            .cost(cost.clone())
+            .build();
         for algo in [Algorithm::dgpm_incremental_only(), Algorithm::Dgpms] {
-            let r = DistributedSim::virtual_time(cost.clone()).run(&algo, &g, &frag, &q);
+            let r = engine.query_with(&algo, &q).unwrap();
             assert_eq!(r.relation, oracle);
             println!(
                 "  {:>12}: {:>5} data messages  {:>8.1} KB  PT {:>7.2} ms",

@@ -26,7 +26,14 @@ fn main() {
     let n = 50_000;
     let k = 8;
     let graph = dgs::graph::generate::social::community_social_network(
-        n, 4 * n, k, 0.05, 8, &pattern, 40, 2024,
+        n,
+        4 * n,
+        k,
+        0.05,
+        8,
+        &pattern,
+        40,
+        2024,
     );
     println!(
         "social graph: {} nodes, {} edges; pattern |Q| = ({}, {})",
@@ -42,15 +49,16 @@ fn main() {
     // stated in (their experiments refine random partitions to
     // |Vf| = 25% with the swap heuristic of [27], which
     // `dgs_partition::refine_toward_ratio` also implements).
-    let assign =
-        dgs::graph::generate::social::community_social_assignment(graph.node_count(), k);
+    let assign = dgs::graph::generate::social::community_social_assignment(graph.node_count(), k);
     let frag = Arc::new(Fragmentation::build(&graph, &assign, k));
     println!(
         "fragmentation: {}",
         FragmentationStats::compute(&graph, &frag)
     );
 
-    let runner = DistributedSim::default();
+    // Load the graph into a session once; every algorithm below reuses
+    // the fragmentation and the planner's facts.
+    let engine = SimEngine::builder(&graph, frag).build();
     println!(
         "\n{:<10} {:>12} {:>12} {:>10} {:>14}",
         "algorithm", "PT (ms)", "DS (KB)", "matches", "data msgs"
@@ -62,13 +70,13 @@ fn main() {
         Algorithm::DMes,
         Algorithm::MatchCentral,
     ] {
-        let report = runner.run(&algo, &graph, &frag, &pattern);
+        let report = engine.query_with(&algo, &pattern).unwrap();
         println!(
             "{:<10} {:>12.3} {:>12.3} {:>10} {:>14}",
             report.algorithm,
             report.metrics.virtual_time_ms(),
             report.metrics.data_kb(),
-            report.answer.len(),
+            report.answer().len(),
             report.metrics.data_messages
         );
         match &dgpm_answer {

@@ -1,0 +1,233 @@
+//! A self-contained, API-compatible subset of `criterion` for offline
+//! builds: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`. Each
+//! benchmark is timed with a fixed warm-up plus `sample_size` timed
+//! samples and the median is printed — no statistics, plots, or
+//! baseline storage.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation (recorded, reported as a suffix).
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId { id: s.into() }
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median sample duration, filled in by `iter`.
+    result: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a warm-up call, then `samples` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+        times.sort_unstable();
+        self.result = times[times.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: Duration::ZERO,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        let per = b.result.as_secs_f64();
+        let rate = match &self.throughput {
+            Some(Throughput::Elements(n)) if per > 0.0 => {
+                format!("  ({:.3} Melem/s)", *n as f64 / per / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if per > 0.0 => {
+                format!("  ({:.3} MiB/s)", *n as f64 / per / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} median {:>12.3?}{}",
+            self.name, id, b.result, rate
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run_one(id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.id;
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(String::new(), f);
+        self
+    }
+
+    /// Configuration hooks accepted for compatibility (no-ops here).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs trailing configuration from `criterion_main!` (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,305 @@
+//! A self-contained, API-compatible subset of `crossbeam` for offline
+//! builds: unbounded MPMC channels, a two-arm `select!` over `recv`
+//! clauses, and `thread::scope` on top of `std::thread::scope`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Re-export so `crossbeam::channel::select!` resolves like the
+    /// real crate's.
+    pub use crate::select;
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; cloneable and shareable across threads.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The channel is disconnected (no receivers remain).
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel is empty and disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking receive failure.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake any blocked receivers so they
+                // can observe disconnection.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+}
+
+/// A two-arm `select!` over `recv(rx) -> pat => body` clauses.
+///
+/// Unlike a naive loop-based expansion, the arm bodies execute
+/// *outside* any internal loop, so `break`/`continue` inside a body
+/// bind to the caller's enclosing loop exactly as with crossbeam.
+/// Readiness is polled with a short sleep between rounds — adequate
+/// for the coordinator/quiescence traffic this shim serves.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx1:expr) -> $p1:pat => $b1:block
+        recv($rx2:expr) -> $p2:pat => $b2:block
+    ) => {{
+        let mut __which = 0u8;
+        let mut __r1: Option<Result<_, $crate::channel::RecvError>> = None;
+        let mut __r2: Option<Result<_, $crate::channel::RecvError>> = None;
+        while __which == 0 {
+            match $rx1.try_recv() {
+                Ok(v) => {
+                    __r1 = Some(Ok(v));
+                    __which = 1;
+                }
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    __r1 = Some(Err($crate::channel::RecvError));
+                    __which = 1;
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if __which == 0 {
+                match $rx2.try_recv() {
+                    Ok(v) => {
+                        __r2 = Some(Ok(v));
+                        __which = 2;
+                    }
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        __r2 = Some(Err($crate::channel::RecvError));
+                        __which = 2;
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            }
+            if __which == 0 {
+                ::std::thread::sleep(::std::time::Duration::from_micros(20));
+            }
+        }
+        if __which == 1 {
+            let $p1 = __r1.take().expect("arm 1 ready");
+            $b1
+        } else {
+            let $p2 = __r2.take().expect("arm 2 ready");
+            $b2
+        }
+    }};
+}
+
+pub mod thread {
+    /// The argument passed to scoped-thread closures (crossbeam passes
+    /// the scope itself; none of our callers use it, so this is a
+    /// placeholder with the same calling convention).
+    pub struct ScopeArg;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&ScopeArg))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// returning. Panics from scoped threads propagate (std semantics),
+    /// so the `Result` is always `Ok` when this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn disconnect_wakes_receiver() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let (tx, rx) = unbounded();
+        let senders: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100u64 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in senders {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn select_prefers_ready_arm_and_binds_outer_loop() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx1.send(7).unwrap();
+        let mut hits = 0;
+        loop {
+            crate::select! {
+                recv(rx1) -> msg => {
+                    if let Ok(7) = msg {
+                        hits += 1;
+                        break; // must bind to this outer loop
+                    }
+                }
+                recv(rx2) -> _ => {}
+            }
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn scoped_threads_borrow() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    sum.fetch_add(x, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::SeqCst), 6);
+    }
+}

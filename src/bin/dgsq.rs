@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE
-//! dgsq query    --graph FILE --pattern FILE [--algorithm NAME] [--sites K]
+//! dgsq query    --graph FILE --pattern FILE [--algorithm auto|NAME] [--sites K]
 //!               [--partition hash|bfs|ldg|tree] [--executor virtual|threaded]
 //!               [--seed S] [--boolean] [--matches]
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]
@@ -13,7 +13,7 @@
 //! `dgs_graph::io` (`graph|pattern N M`, `n <id> <label>`,
 //! `e <src> <dst>`).
 
-use dgs::core::{Algorithm, DistributedSim};
+use dgs::core::{Algorithm, SimEngine};
 use dgs::graph::{io, Graph, Pattern};
 use dgs::net::ExecutorKind;
 use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
@@ -32,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE\n  \
-         dgsq query --graph FILE --pattern FILE [--algorithm dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
+         dgsq query --graph FILE --pattern FILE [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
          [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]\n  \
          dgsq stats --graph FILE"
@@ -126,7 +126,8 @@ fn cmd_query(flags: &HashMap<String, String>) {
     let q = load_pattern(get(flags, "pattern").unwrap_or_else(|| fail("--pattern required")));
     let k: usize = num(flags, "sites", 4);
     let seed: u64 = num(flags, "seed", 1);
-    let algo = match get(flags, "algorithm").unwrap_or("dgpm") {
+    let algo = match get(flags, "algorithm").unwrap_or("auto") {
+        "auto" => Algorithm::Auto,
         "dgpm" => Algorithm::dgpm(),
         "dgpm-nopt" => Algorithm::dgpm_nopt(),
         "dgpms" => Algorithm::Dgpms,
@@ -145,14 +146,15 @@ fn cmd_query(flags: &HashMap<String, String>) {
         other => fail(&format!("unknown partitioner '{other}'")),
     };
     let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
-    let runner = match get(flags, "executor").unwrap_or("virtual") {
-        "virtual" => DistributedSim::default(),
-        "threaded" => DistributedSim {
-            executor: ExecutorKind::Threaded,
-            ..DistributedSim::default()
-        },
+    let executor = match get(flags, "executor").unwrap_or("virtual") {
+        "virtual" => ExecutorKind::Virtual,
+        "threaded" => ExecutorKind::Threaded,
         other => fail(&format!("unknown executor '{other}'")),
     };
+    // Load the fragmented graph into a session once; queries reuse the
+    // cached structural facts.
+    let engine = SimEngine::builder(&g, frag).executor(executor).build();
+    let frag = engine.fragmentation();
 
     println!(
         "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  query |Vq|={} |Eq|={}",
@@ -165,22 +167,29 @@ fn cmd_query(flags: &HashMap<String, String>) {
     );
 
     if flags.contains_key("boolean") {
-        let (matched, metrics) = runner.run_boolean(&algo, &g, &frag, &q);
+        let report = engine
+            .query_boolean_with(&algo, &q)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!("plan: {}", report.plan);
         println!(
-            "{}: match = {matched}   PT = {:.3} ms  DS = {:.3} KB",
-            algo.name(),
-            metrics.virtual_time_ms(),
-            metrics.data_kb()
+            "{}: match = {}   PT = {:.3} ms  DS = {:.3} KB",
+            report.algorithm,
+            report.is_match,
+            report.metrics.virtual_time_ms(),
+            report.metrics.data_kb()
         );
         return;
     }
 
-    let report = runner.run(&algo, &g, &frag, &q);
+    let report = engine
+        .query_with(&algo, &q)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    println!("plan: {}", report.plan);
     println!(
         "{}: match = {}  |Q(G)| = {} pairs   PT = {:.3} ms  DS = {:.3} KB  ({} data msgs, {} ops)",
         report.algorithm,
         report.is_match,
-        report.answer.len(),
+        report.answer().len(),
         report.metrics.virtual_time_ms(),
         report.metrics.data_kb(),
         report.metrics.data_messages,
@@ -188,10 +197,15 @@ fn cmd_query(flags: &HashMap<String, String>) {
     );
     if flags.contains_key("matches") {
         for u in q.nodes() {
-            let matches = report.answer.matches_of(u);
+            let matches = report.answer().matches_of(u);
             let shown: Vec<String> = matches.iter().take(20).map(|v| v.to_string()).collect();
             let ellipsis = if matches.len() > 20 { ", ..." } else { "" };
-            println!("  u{u}: {} matches [{}{}]", matches.len(), shown.join(", "), ellipsis);
+            println!(
+                "  u{u}: {} matches [{}{}]",
+                matches.len(),
+                shown.join(", "),
+                ellipsis
+            );
         }
     }
 }

@@ -10,6 +10,10 @@
 //!
 //! ## Quickstart
 //!
+//! Load the graph once into a [`SimEngine`] session, then serve
+//! queries; [`Algorithm::Auto`] lets the planner pick the engine with
+//! the best applicable bound:
+//!
 //! ```
 //! use dgs::prelude::*;
 //! use std::sync::Arc;
@@ -18,11 +22,16 @@
 //! let w = dgs::graph::generate::social::fig1();
 //! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
 //!
-//! // Run the partition-bounded dGPM algorithm.
-//! let report = DistributedSim::default().run(
-//!     &Algorithm::dgpm(), &w.graph, &frag, &w.pattern,
-//! );
+//! // Build the session once: structural facts (DAG-ness, tree check,
+//! // fragment connectivity, SCC condensation) are computed here, not
+//! // per query.
+//! let engine = SimEngine::builder(&w.graph, frag).build();
+//!
+//! // Query. The planner picks dGPM-family engines by precondition
+//! // and records why in `report.plan`.
+//! let report = engine.query(&w.pattern).unwrap();
 //! assert!(report.is_match);
+//! println!("plan: {}", report.plan);
 //!
 //! // The answer equals the centralized oracle.
 //! let oracle = hhk_simulation(&w.pattern, &w.graph);
@@ -33,6 +42,36 @@
 //!     report.metrics.virtual_time_ms(), report.metrics.data_kb());
 //! ```
 //!
+//! Batches amortize the per-query broadcast:
+//!
+//! ```
+//! # use dgs::prelude::*;
+//! # use std::sync::Arc;
+//! # let w = dgs::graph::generate::social::fig1();
+//! # let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! # let engine = SimEngine::builder(&w.graph, frag).build();
+//! let batch = engine.query_batch(&[w.pattern.clone(), w.pattern.clone()]);
+//! assert_eq!(batch.succeeded(), 2);
+//! ```
+//!
+//! ### Legacy one-shot API
+//!
+//! The pre-session entry point still works as a deprecated shim (it
+//! rebuilds the engine per call and panics where the engine returns
+//! typed [`DgsError`]s):
+//!
+//! ```
+//! # #![allow(deprecated)]
+//! # use dgs::prelude::*;
+//! # use std::sync::Arc;
+//! # let w = dgs::graph::generate::social::fig1();
+//! # let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! let report = DistributedSim::default().run(
+//!     &Algorithm::dgpm(), &w.graph, &frag, &w.pattern,
+//! );
+//! assert!(report.is_match);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | facade module | crate | contents |
@@ -41,7 +80,7 @@
 //! | [`partition`] | `dgs-partition` | fragments, partitioners, crossing-edge refinement |
 //! | [`sim`] | `dgs-sim` | centralized simulation (naive + HHK oracle) |
 //! | [`net`] | `dgs-net` | threaded & virtual-time cluster executors, PT/DS metrics |
-//! | [`core`] | `dgs-core` | `dGPM`, `dGPMd`, `dGPMs`, `dGPMt`, baselines, Boolean equations |
+//! | [`core`] | `dgs-core` | `SimEngine`, `dGPM`, `dGPMd`, `dGPMs`, `dGPMt`, baselines |
 
 pub use dgs_core as core;
 pub use dgs_graph as graph;
@@ -51,11 +90,17 @@ pub use dgs_sim as sim;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use dgs_core::{Algorithm, DistributedSim, RunReport, Var};
+    #[allow(deprecated)]
+    pub use dgs_core::DistributedSim;
+    pub use dgs_core::{
+        Algorithm, BatchReport, BooleanReport, DgsError, GraphFacts, PatternFacts, PlanExplanation,
+        Planner, RunReport, SimEngine, Var,
+    };
     pub use dgs_graph::{Graph, GraphBuilder, Label, NodeId, Pattern, PatternBuilder, QNodeId};
     pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, RunMetrics};
     pub use dgs_partition::{
-        bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation, FragmentationStats,
+        bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation,
+        FragmentationStats,
     };
     pub use dgs_sim::{
         boolean_matches, bounded_simulation, compress_bisim, compress_simeq, dual_simulation,

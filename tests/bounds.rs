@@ -2,6 +2,10 @@
 //! and Corollary 4): the data-shipment guarantees are inequalities we
 //! can verify exactly, message by message.
 
+// These tests deliberately exercise the deprecated one-shot shim
+// alongside the session API.
+#![allow(deprecated)]
+
 use dgs::graph::generate::{dag, patterns, random, tree};
 use dgs::prelude::*;
 use std::sync::Arc;
@@ -22,12 +26,8 @@ fn dgpm_shipment_bounded_by_ef_times_vq() {
         let k = 5;
         let assign = hash_partition(g.node_count(), k, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        let report = DistributedSim::default().run(
-            &Algorithm::dgpm_incremental_only(),
-            &g,
-            &frag,
-            &q,
-        );
+        let report =
+            DistributedSim::default().run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
         let bound = (frag.ef() * q.node_count()) as u64;
         assert!(
             shipped_vars(&report.metrics) <= bound,
@@ -94,12 +94,8 @@ fn dgpm_rounds_do_not_grow_with_graph_size() {
         let g = random::community(n, 4 * n, 4, 0.05, 6, 11);
         let assign = random::community_assignment(n, 4);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
-        let report = DistributedSim::default().run(
-            &Algorithm::dgpm_incremental_only(),
-            &g,
-            &frag,
-            &q,
-        );
+        let report =
+            DistributedSim::default().run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
         report.metrics.quiescence_rounds
     };
     // Quiescence rounds (fixpoint + gather) are workload-shape, not
@@ -121,9 +117,7 @@ fn dmes_ships_more_than_dgpm() {
         let dgpm = runner.run(&Algorithm::dgpm_incremental_only(), &g, &frag, &q);
         let dmes = runner.run(&Algorithm::DMes, &g, &frag, &q);
         assert_eq!(dgpm.relation, dmes.relation);
-        gaps.push(
-            dmes.metrics.data_bytes as f64 / dgpm.metrics.data_bytes.max(1) as f64,
-        );
+        gaps.push(dmes.metrics.data_bytes as f64 / dgpm.metrics.data_bytes.max(1) as f64);
     }
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
     assert!(

@@ -2,6 +2,10 @@
 //! graphs answer every pattern exactly, compose with the distributed
 //! engines, and respect the simulation preorder's structure.
 
+// These tests deliberately exercise the deprecated one-shot shim
+// alongside the session API.
+#![allow(deprecated)]
+
 use dgs::graph::generate::{dag, patterns, random, tree};
 use dgs::prelude::*;
 use dgs::sim::{compress_bisim, compress_simeq, SimPreorder};
@@ -9,18 +13,13 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn small_workload() -> impl Strategy<Value = (Graph, Pattern)> {
-    (
-        10usize..70,
-        1usize..5,
-        2usize..5,
-        3usize..6,
-        any::<u64>(),
-    )
-        .prop_map(|(n, em, labels, nq, seed)| {
+    (10usize..70, 1usize..5, 2usize..5, 3usize..6, any::<u64>()).prop_map(
+        |(n, em, labels, nq, seed)| {
             let g = random::uniform(n, n * em, labels, seed);
             let q = patterns::random_cyclic(nq, nq + 3, labels, seed ^ 0xA5A5);
             (g, q)
-        })
+        },
+    )
 }
 
 proptest! {

@@ -2,14 +2,15 @@
 //! exactly the centralized maximum simulation relation, on any graph,
 //! pattern and fragmentation.
 
-use dgs::prelude::*;
 use dgs::graph::generate::{dag, patterns, random, tree};
+use dgs::prelude::*;
 use std::sync::Arc;
 
 fn check_general_algorithms(g: &Graph, q: &Pattern, assign: &[usize], k: usize, tag: &str) {
     let frag = Arc::new(Fragmentation::build(g, assign, k));
     let oracle = hhk_simulation(q, g);
-    let runner = DistributedSim::default();
+    // One session serves every engine under test.
+    let engine = SimEngine::builder(g, frag).build();
     for algo in [
         Algorithm::dgpm(),
         Algorithm::dgpm_nopt(),
@@ -19,13 +20,21 @@ fn check_general_algorithms(g: &Graph, q: &Pattern, assign: &[usize], k: usize, 
         Algorithm::DisHhk,
         Algorithm::DMes,
     ] {
-        let report = runner.run(&algo, g, &frag, q);
+        let report = engine.query_with(&algo, q).unwrap();
         assert_eq!(
             report.relation, oracle.relation,
             "{tag}: {} disagrees with the oracle",
             report.algorithm
         );
         assert_eq!(report.is_match, oracle.matches(), "{tag}: boolean answer");
+    }
+    // The auto-planner must also land on an oracle-exact engine here
+    // (these workloads are never trivially empty *and* cyclic-on-DAG).
+    let auto = engine.query(q).unwrap();
+    if auto.algorithm != "trivial-∅" {
+        assert_eq!(auto.relation, oracle.relation, "{tag}: Auto disagrees");
+    } else {
+        assert!(!oracle.matches(), "{tag}: Auto short-circuit must be right");
     }
 }
 
@@ -78,51 +87,58 @@ fn community_workloads_with_low_crossing() {
 
 #[test]
 fn dag_graph_workloads_with_dgpmd() {
-    let runner = DistributedSim::default();
     for seed in 0..10 {
         let g = dag::citation_like(250, 700, 5, seed);
         let q = patterns::random_dag_with_depth(6, 9, 3, 5, seed + 11);
         let k = 4;
         let assign = hash_partition(g.node_count(), k, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).build();
         let oracle = hhk_simulation(&q, &g);
-        let report = runner.run(&Algorithm::Dgpmd, &g, &frag, &q);
+        let report = engine.query_with(&Algorithm::Dgpmd, &q).unwrap();
         assert_eq!(report.relation, oracle.relation, "dGPMd seed {seed}");
+        // Auto must pick dGPMd on this workload.
+        assert_eq!(engine.plan(&q).unwrap().algorithm, "dGPMd");
         // dGPM must agree on the same workload.
-        let report2 = runner.run(&Algorithm::dgpm(), &g, &frag, &q);
+        let report2 = engine.query_with(&Algorithm::dgpm(), &q).unwrap();
         assert_eq!(report2.relation, oracle.relation, "dGPM seed {seed}");
     }
 }
 
 #[test]
 fn dag_pattern_on_cyclic_graph_with_dgpmd() {
-    let runner = DistributedSim::default();
     for seed in 0..8 {
         let g = random::uniform(220, 800, 5, seed + 500);
         let q = patterns::random_dag_with_depth(5, 8, 4, 5, seed);
         let assign = hash_partition(g.node_count(), 5, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 5));
+        let engine = SimEngine::builder(&g, frag).build();
         let oracle = hhk_simulation(&q, &g);
-        let report = runner.run(&Algorithm::Dgpmd, &g, &frag, &q);
+        let report = engine.query_with(&Algorithm::Dgpmd, &q).unwrap();
         assert_eq!(report.relation, oracle.relation, "seed {seed}");
     }
 }
 
 #[test]
 fn tree_workloads_with_dgpmt() {
-    let runner = DistributedSim::default();
     for seed in 0..8 {
         let g = tree::random_tree_with_chain_bias(350, 4, 0.5, seed);
         let q = patterns::random_dag_with_depth(5, 7, 3, 4, seed + 77);
         let k = 6;
         let assign = tree_partition(&g, k);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).build();
         let oracle = hhk_simulation(&q, &g);
-        let report = runner.run(&Algorithm::Dgpmt, &g, &frag, &q);
+        let report = engine.query_with(&Algorithm::Dgpmt, &q).unwrap();
         assert_eq!(report.relation, oracle.relation, "dGPMt seed {seed}");
+        // Auto must pick dGPMt on this workload.
+        assert_eq!(engine.plan(&q).unwrap().algorithm, "dGPMt");
         // dGPM on the same tree fragmentation must also agree.
-        let report2 = runner.run(&Algorithm::dgpm(), &g, &frag, &q);
-        assert_eq!(report2.relation, oracle.relation, "dGPM-on-tree seed {seed}");
+        let report2 = engine.query_with(&Algorithm::dgpm(), &q).unwrap();
+        assert_eq!(
+            report2.relation, oracle.relation,
+            "dGPM-on-tree seed {seed}"
+        );
     }
 }
 

@@ -4,6 +4,10 @@
 //! produce identical answers — and the virtual executor must be
 //! bit-reproducible.
 
+// These tests deliberately exercise the deprecated one-shot shim
+// alongside the session API.
+#![allow(deprecated)]
+
 use dgs::graph::generate::{patterns, random};
 use dgs::prelude::*;
 use std::sync::Arc;

@@ -3,6 +3,10 @@
 //! jitter (confluence under adversarial schedules), and the dual /
 //! strong simulation comparisons (§2.1).
 
+// These tests deliberately exercise the deprecated one-shot shim
+// alongside the session API.
+#![allow(deprecated)]
+
 use dgs::graph::generate::{patterns, random, social};
 use dgs::graph::transform::{EdgeLabeledBuilder, EdgeLabeledPatternBuilder};
 use dgs::prelude::*;
@@ -148,10 +152,7 @@ fn push_is_robust_to_schedules() {
                 push_size_cap: 4096,
             });
             let report = runner.run(&algo, &g, &frag, &q);
-            assert_eq!(
-                report.relation, oracle,
-                "seed {seed} jitter {jitter_seed}"
-            );
+            assert_eq!(report.relation, oracle, "seed {seed} jitter {jitter_seed}");
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Property tests for the auto-planner: `Algorithm::Auto` must always
+//! (a) resolve to an engine whose precondition holds, and (b) agree
+//! with the centralized `hhk_simulation` oracle — on trees, DAGs, and
+//! cyclic graphs alike.
+
+use dgs::graph::generate::{dag, patterns, random, tree};
+use dgs::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn engine_over(g: &Graph, assign: &[usize], k: usize) -> SimEngine {
+    let frag = Arc::new(Fragmentation::build(g, assign, k));
+    SimEngine::builder(g, frag).build()
+}
+
+/// The planner's chosen engine must be applicable to the facts it was
+/// chosen from.
+fn assert_applicable(engine: &SimEngine, report: &RunReport, q_is_dag: bool) {
+    let f = engine.facts();
+    match report.algorithm {
+        "dGPMt" => {
+            assert!(
+                f.is_rooted_tree && f.fragments_connected,
+                "dGPMt picked off-scope"
+            );
+        }
+        "dGPMd" => assert!(q_is_dag || f.is_dag, "dGPMd picked off-scope"),
+        "dGPMs" | "dGPM" => {}
+        "trivial-∅" => assert!(!q_is_dag && f.is_dag, "short-circuit picked off-scope"),
+        other => panic!("planner resolved to unexpected engine {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trees with connected fragments: Auto resolves to dGPMt and the
+    /// relation equals the oracle.
+    #[test]
+    fn auto_on_trees(
+        n in 20usize..200,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = tree::random_tree(n, 4, seed);
+        let assign = tree_partition(&g, k);
+        let engine = engine_over(&g, &assign, k);
+        let q = patterns::random_dag_with_depth(3, 4, 2, 4, seed ^ 0x51);
+        let report = engine.query(&q).expect("auto never fails on a valid pattern");
+        prop_assert_eq!(report.algorithm, "dGPMt");
+        assert_applicable(&engine, &report, true);
+        prop_assert_eq!(&report.relation, &hhk_simulation(&q, &g).relation);
+    }
+
+    /// DAG graphs with DAG patterns: Auto resolves to dGPMd and the
+    /// relation equals the oracle.
+    #[test]
+    fn auto_on_dags(
+        n in 40usize..300,
+        em in 2usize..4,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = dag::citation_like(n, em * n, 5, seed);
+        let assign = hash_partition(n, k, seed);
+        let engine = engine_over(&g, &assign, k);
+        let q = patterns::random_dag_with_depth(4, 6, 2, 5, seed ^ 0x52);
+        let report = engine.query(&q).expect("auto never fails on a valid pattern");
+        prop_assert_eq!(report.algorithm, "dGPMd");
+        assert_applicable(&engine, &report, true);
+        prop_assert_eq!(&report.relation, &hhk_simulation(&q, &g).relation);
+    }
+
+    /// Cyclic graphs with cyclic patterns: Auto falls back to dGPMs
+    /// and the relation equals the oracle.
+    #[test]
+    fn auto_on_cyclic(
+        n in 30usize..150,
+        em in 2usize..5,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, em * n, 4, seed);
+        let assign = hash_partition(n, k, seed);
+        let engine = engine_over(&g, &assign, k);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x53);
+        let report = engine.query(&q).expect("auto never fails on a valid pattern");
+        assert_applicable(&engine, &report, dgs::graph::algo::pattern_is_dag(&q));
+        // If G happened to come out acyclic the planner short-circuits
+        // (answer-level agreement); otherwise relations must match.
+        if report.algorithm == "trivial-∅" {
+            prop_assert!(!hhk_simulation(&q, &g).relation.is_total());
+            prop_assert!(report.answer().is_empty());
+        } else {
+            prop_assert_eq!(report.algorithm, "dGPMs");
+            prop_assert_eq!(&report.relation, &hhk_simulation(&q, &g).relation);
+        }
+    }
+
+    /// Whatever the workload, Auto (a) never panics, (b) never errors
+    /// on a non-empty pattern, and (c) agrees with the oracle at the
+    /// answer level.
+    #[test]
+    fn auto_total_on_arbitrary_workloads(
+        n in 20usize..120,
+        em in 1usize..5,
+        k in 1usize..5,
+        nq in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, em * n, 3, seed);
+        let assign = hash_partition(n, k, seed);
+        let engine = engine_over(&g, &assign, k);
+        let q = patterns::random_cyclic(nq, nq + 2, 3, seed ^ 0x54);
+        let report = engine.query(&q).expect("auto never fails on a valid pattern");
+        let oracle = hhk_simulation(&q, &g);
+        prop_assert_eq!(report.is_match, oracle.relation.is_total());
+        if report.is_match {
+            prop_assert_eq!(report.answer(), &oracle.relation);
+        } else {
+            prop_assert!(report.answer().is_empty());
+        }
+    }
+
+    /// Boolean queries agree between the Virtual and Threaded
+    /// executors (and with the data-selecting answer).
+    #[test]
+    fn query_boolean_executor_agreement(
+        n in 20usize..100,
+        em in 1usize..4,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, em * n, 3, seed);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let q = patterns::random_cyclic(3, 5, 3, seed ^ 0x55);
+        let virt = SimEngine::builder(&g, Arc::clone(&frag)).build();
+        let thr = SimEngine::builder(&g, frag)
+            .executor(ExecutorKind::Threaded)
+            .build();
+        let bv = virt.query_boolean(&q).unwrap();
+        let bt = thr.query_boolean(&q).unwrap();
+        prop_assert_eq!(bv.is_match, bt.is_match);
+        prop_assert_eq!(bv.is_match, virt.query(&q).unwrap().is_match);
+        prop_assert_eq!(bv.is_match, hhk_simulation(&q, &g).relation.is_total());
+    }
+}
+
+/// The 10-pattern batch acceptance scenario: one engine build, ten
+/// queries, per-query metrics, one amortized broadcast.
+#[test]
+fn ten_pattern_batch_against_one_engine() {
+    let n = 400;
+    let k = 4;
+    let g = random::uniform(n, 4 * n, 5, 77);
+    let assign = hash_partition(n, k, 77);
+    // Exactly one fragmentation build for the whole batch.
+    let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+    let engine = SimEngine::builder(&g, Arc::clone(&frag)).build();
+    assert!(Arc::ptr_eq(engine.fragmentation(), &frag));
+
+    let qs: Vec<Pattern> = (0..10)
+        .map(|i| patterns::random_cyclic(3, 6, 5, 1000 + i))
+        .collect();
+    let batch = engine.query_batch(&qs);
+    assert_eq!(batch.reports.len(), 10);
+    assert_eq!(batch.succeeded(), 10);
+    for (r, q) in batch.reports.iter().zip(&qs) {
+        let r = r.as_ref().unwrap();
+        // Per-query metrics are reported...
+        assert!(r.metrics.total_ops > 0);
+        // ... and per-query answers match the oracle.
+        assert_eq!(r.relation, hhk_simulation(q, &g).relation);
+    }
+    // The batch broadcast is amortized: |F| control messages for the
+    // posting of all 10 patterns, not 10 * |F|.
+    let per_query_control: u64 = batch
+        .reports
+        .iter()
+        .map(|r| r.as_ref().unwrap().metrics.control_messages)
+        .sum();
+    assert_eq!(batch.total.control_messages, per_query_control + k as u64);
+}

@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) over random graphs, patterns and
 //! fragmentations.
 
+// These tests deliberately exercise the deprecated one-shot shim
+// alongside the session API.
+#![allow(deprecated)]
+
 use dgs::graph::generate::{patterns, random};
 use dgs::prelude::*;
 use proptest::prelude::*;
@@ -11,12 +15,12 @@ use std::sync::Arc;
 /// shrinking stays meaningful).
 fn workload_strategy() -> impl Strategy<Value = (Graph, Pattern, Vec<usize>, usize)> {
     (
-        10usize..80,   // nodes
-        1usize..5,     // edge multiplier
-        2usize..5,     // labels
-        3usize..6,     // query nodes
-        1usize..5,     // sites
-        any::<u64>(),  // seed
+        10usize..80,  // nodes
+        1usize..5,    // edge multiplier
+        2usize..5,    // labels
+        3usize..6,    // query nodes
+        1usize..5,    // sites
+        any::<u64>(), // seed
     )
         .prop_map(|(n, em, labels, nq, k, seed)| {
             let g = random::uniform(n, n * em, labels, seed);
@@ -102,9 +106,9 @@ proptest! {
         let report = DistributedSim::default().run(&Algorithm::dgpm(), &g, &frag, &q);
         prop_assert_eq!(report.is_match, report.relation.is_total());
         if !report.is_match {
-            prop_assert!(report.answer.is_empty());
+            prop_assert!(report.answer().is_empty());
         } else {
-            prop_assert_eq!(&report.answer, &report.relation);
+            prop_assert_eq!(report.answer(), &report.relation);
         }
     }
 
