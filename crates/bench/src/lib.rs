@@ -21,10 +21,12 @@ pub mod compress_exp;
 pub mod figures;
 pub mod plot;
 pub mod report;
+pub mod serving;
 pub mod workloads;
 
 pub use compress_exp::CompressionRow;
 pub use figures::{Sweep, SweepSeries};
 pub use plot::render_plot;
 pub use report::{print_sweep, write_csv};
+pub use serving::{run_serving, ServingConfig, ServingReport};
 pub use workloads::Workloads;

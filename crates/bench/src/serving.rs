@@ -1,0 +1,166 @@
+//! The serving workload: a mixed query stream against **one shared
+//! `SimEngine`**, exercising the three serving features together —
+//! the parallel batch pool, the pattern-result cache, and the
+//! compression-backed plan leg.
+//!
+//! This is the experiment behind the ROADMAP's "serves heavy traffic"
+//! goal: the same batch of mixed patterns is pushed through the
+//! engine (a) sequentially (one worker), (b) on the full worker pool,
+//! and (c) again after the cache is warm. On a multi-core runner the
+//! pool runs the batch ≥ 2× faster wall-clock, and the warm re-run
+//! ships **zero** protocol messages (every query is a cache hit).
+
+use dgs_core::{Algorithm, CompressionMethod, SimEngine};
+use dgs_graph::generate::{patterns, random};
+use dgs_graph::Pattern;
+use dgs_partition::{hash_partition, Fragmentation};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the serving experiment.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Data-graph nodes (edges are 4×).
+    pub nodes: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Patterns in the batch.
+    pub batch: usize,
+    /// Distinct labels.
+    pub labels: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            nodes: 400,
+            sites: 4,
+            batch: 50,
+            labels: 4,
+            seed: 11,
+        }
+    }
+}
+
+/// Measured outcomes of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// Patterns in the batch.
+    pub batch: usize,
+    /// Worker-pool size of the parallel run.
+    pub workers: usize,
+    /// Wall time of the forced single-worker batch, ms.
+    pub sequential_ms: f64,
+    /// Wall time of the pooled batch, ms.
+    pub parallel_ms: f64,
+    /// `sequential_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Wall time of re-submitting the same stream against the warm
+    /// cache, ms.
+    pub cached_ms: f64,
+    /// Cache hits recorded by the warm re-run (should equal `batch`).
+    pub cache_hits: u64,
+    /// Protocol messages shipped by the warm re-run (must be 0).
+    pub cached_messages: u64,
+    /// Compression ratio of the session's `Gc` leg.
+    pub compression_ratio: f64,
+}
+
+/// A mixed pattern stream: cyclic, DAG and path shapes interleaved,
+/// the kind of traffic a shared session sees from many clients.
+pub fn mixed_patterns(count: usize, labels: usize, seed: u64) -> Vec<Pattern> {
+    (0..count)
+        .map(|i| {
+            let s = seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
+            match i % 3 {
+                0 => patterns::random_cyclic(3 + i % 3, 6 + i % 3, labels, s),
+                1 => patterns::random_dag_with_depth(4, 6, 2, labels, s),
+                _ => patterns::random_cyclic(4, 8, labels, s),
+            }
+        })
+        .collect()
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the serving workload; panics if any parallel answer deviates
+/// from the sequential one or a cache hit ships a message (the
+/// experiment doubles as an end-to-end agreement check).
+pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
+    let g = random::uniform(cfg.nodes, 4 * cfg.nodes, cfg.labels, cfg.seed);
+    let assign = hash_partition(g.node_count(), cfg.sites, cfg.seed);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, cfg.sites));
+    let queries = mixed_patterns(cfg.batch, cfg.labels, cfg.seed);
+
+    // Sequential baseline: one worker, cache off.
+    let sequential = SimEngine::builder(&g, Arc::clone(&frag))
+        .batch_workers(1)
+        .cache(false)
+        .build();
+    let (seq_batch, sequential_ms) = time_ms(|| sequential.query_batch(&queries));
+
+    // Parallel: full pool, cache off for a pure-parallelism number.
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(cfg.batch);
+    let parallel = SimEngine::builder(&g, Arc::clone(&frag))
+        .cache(false)
+        .build();
+    let (par_batch, parallel_ms) = time_ms(|| parallel.query_batch(&queries));
+    for (a, b) in seq_batch.reports.iter().zip(&par_batch.reports) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.relation, b.relation, "parallel batch answer deviates");
+    }
+
+    // Serving engine: cache + compression leg, warm it, re-submit.
+    let serving = SimEngine::builder(&g, frag)
+        .compress(CompressionMethod::SimEq)
+        .compression_threshold(1.0)
+        .build();
+    let ratio = serving.compression_note().map(|n| n.ratio).unwrap_or(1.0);
+    serving.query_batch(&queries); // cold pass warms the cache
+    let (warm, cached_ms) = time_ms(|| serving.query_batch_with(&Algorithm::Auto, &queries));
+    let cached_messages = warm.total.data_messages + warm.total.control_messages;
+    assert_eq!(
+        warm.total.cache_hits, cfg.batch as u64,
+        "warm re-run must be served entirely from cache"
+    );
+    assert_eq!(cached_messages, 0, "cache hits must ship nothing");
+
+    ServingReport {
+        batch: cfg.batch,
+        workers,
+        sequential_ms,
+        parallel_ms,
+        speedup: sequential_ms / parallel_ms.max(1e-9),
+        cached_ms,
+        cache_hits: warm.total.cache_hits,
+        cached_messages,
+        compression_ratio: ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_workload_is_consistent() {
+        let cfg = ServingConfig {
+            nodes: 120,
+            batch: 9,
+            ..ServingConfig::default()
+        };
+        let r = run_serving(&cfg);
+        assert_eq!(r.cache_hits, 9);
+        assert_eq!(r.cached_messages, 0);
+        assert!(r.compression_ratio > 0.0 && r.compression_ratio <= 1.0);
+    }
+}

@@ -28,15 +28,43 @@
 //! panics. Batches ([`SimEngine::query_batch`]) amortize the query
 //! broadcast: one posting of the whole batch to each site instead of
 //! one per query.
+//!
+//! ## Serving mode
+//!
+//! `SimEngine` is `Send + Sync`: one engine can be shared across
+//! threads (or cloned — clones share the same cache) and serve
+//! concurrent traffic. Three serving features stack on the session:
+//!
+//! * **Parallel batches** — [`SimEngine::query_batch`] fans the batch
+//!   out over a scoped worker pool (`min(cores, batch_len)` workers by
+//!   default, [`SimEngineBuilder::batch_workers`] to override) and
+//!   merges per-query metrics in input order, so batch reports are
+//!   identical regardless of scheduling.
+//! * **Pattern-result cache** — [`Algorithm::Auto`] answers are cached
+//!   under a canonical pattern form (label-preserving renumbering, so
+//!   isomorphic re-submissions hit). A hit records
+//!   `metrics.cache_hits = 1` and **zero** messages. See
+//!   [`SimEngineBuilder::cache`] / [`SimEngineBuilder::cache_capacity`].
+//! * **Compression-backed plans** — [`SimEngineBuilder::compress`]
+//!   builds the query-preserving quotient `Gc` (Fan et al., SIGMOD'12)
+//!   at session build time; when its ratio clears
+//!   [`SimEngineBuilder::compression_threshold`], `Auto` queries run on
+//!   `Gc` and the relation is decompressed back to `G`'s node ids,
+//!   with the leg recorded in [`PlanExplanation::compressed`].
 
+use crate::cache::{self, CacheStats, CachedResult, CanonicalPattern, PatternCache};
 use crate::dgpm::{self, DgpmConfig, QueryMode};
 use crate::error::DgsError;
-use crate::plan::{EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner};
+use crate::plan::{
+    CompressedNote, EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner,
+};
 use crate::{baselines, dgpmd, dgpms, dgpmt};
 use dgs_graph::{Graph, Pattern};
 use dgs_net::{CostModel, ExecutorKind, RunMetrics};
 use dgs_partition::Fragmentation;
-use dgs_sim::MatchRelation;
+use dgs_sim::{compress_bisim, compress_simeq, CompressedGraph, MatchRelation};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which engine to run.
@@ -187,6 +215,33 @@ impl BatchReport {
     }
 }
 
+/// Which node equivalence backs the compressed leg of a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompressionMethod {
+    /// Simulation equivalence — maximal merging, exact for every
+    /// simulation pattern, but `O(|V||E|)` time and `O(|V|²)` space to
+    /// build (see `dgs_sim::preorder`). The right choice for graphs up
+    /// to a few tens of thousands of nodes.
+    SimEq,
+    /// Bisimulation — near-linear build, merges a subset of what
+    /// simulation equivalence merges; the practical preprocessing for
+    /// big graphs.
+    Bisim,
+}
+
+impl CompressionMethod {
+    /// Short display name (`simeq` / `bisim`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionMethod::SimEq => "simeq",
+            CompressionMethod::Bisim => "bisim",
+        }
+    }
+}
+
+/// Default capacity of the pattern-result cache.
+const DEFAULT_CACHE_CAPACITY: usize = 128;
+
 /// Builder for [`SimEngine`]; see [`SimEngine::builder`].
 pub struct SimEngineBuilder<'g> {
     graph: &'g Graph,
@@ -194,6 +249,10 @@ pub struct SimEngineBuilder<'g> {
     executor: ExecutorKind,
     cost: CostModel,
     planner: Planner,
+    cache_capacity: usize,
+    batch_workers: usize,
+    compression: Option<CompressionMethod>,
+    compression_threshold: f64,
 }
 
 impl SimEngineBuilder<'_> {
@@ -216,18 +275,125 @@ impl SimEngineBuilder<'_> {
         self
     }
 
+    /// Kill-switch for the pattern-result cache (default: **on** with
+    /// capacity 128). With the cache off, every query runs the
+    /// distributed protocol, which is what metric-sensitive
+    /// experiments want.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        if enabled {
+            if self.cache_capacity == 0 {
+                self.cache_capacity = DEFAULT_CACHE_CAPACITY;
+            }
+        } else {
+            self.cache_capacity = 0;
+        }
+        self
+    }
+
+    /// Capacity of the pattern-result cache in entries (LRU;
+    /// `0` disables the cache entirely).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Worker threads used by [`SimEngine::query_batch`]
+    /// (`0` = auto: one per available core, capped at the batch
+    /// length). `1` forces the sequential path; results are identical
+    /// either way, batches are merely wall-clock faster with more
+    /// workers.
+    pub fn batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = workers;
+        self
+    }
+
+    /// Builds the query-preserving compressed graph `Gc` at session
+    /// build time (default: off). [`Algorithm::Auto`] queries then run
+    /// on `Gc` whenever its compression ratio clears
+    /// [`Self::compression_threshold`], and the relation is
+    /// decompressed back to `G`'s node ids — exact for every
+    /// simulation pattern (see `dgs_sim::compress`).
+    pub fn compress(mut self, method: CompressionMethod) -> Self {
+        self.compression = Some(method);
+        self
+    }
+
+    /// Maximum `|Gc| / |G|` ratio at which the planner answers on the
+    /// compressed graph (default `0.5`); above it the leg is kept for
+    /// inspection but queries run on `G`. Set to `1.0` to always use
+    /// `Gc` when compression is enabled.
+    pub fn compression_threshold(mut self, threshold: f64) -> Self {
+        self.compression_threshold = threshold;
+        self
+    }
+
     /// Computes the structural facts and finalizes the engine. This is
     /// the once-per-session cost: `O(|V| + |E|)` for DAG-ness, the
     /// rooted-tree check, fragment connectivity and the SCC
-    /// condensation.
+    /// condensation — plus, when [`Self::compress`] is on, the quotient
+    /// graph `Gc` and its fragmentation.
     pub fn build(self) -> SimEngine {
         let facts = GraphFacts::compute(self.graph, &self.frag);
+        let compressed = self.compression.map(|method| {
+            let c = match method {
+                CompressionMethod::SimEq => compress_simeq(self.graph),
+                CompressionMethod::Bisim => compress_bisim(self.graph),
+            };
+            let ratio = c.ratio(self.graph.size());
+            // Each class lives at the site owning its first member, so
+            // the quotient keeps the original placement's locality and
+            // the same number of sites.
+            let assign: Vec<usize> = c.members.iter().map(|m| self.frag.owner(m[0])).collect();
+            let cfrag = Arc::new(Fragmentation::build(
+                &c.graph,
+                &assign,
+                self.frag.num_sites(),
+            ));
+            let cfacts = GraphFacts::compute(&c.graph, &cfrag);
+            Arc::new(CompressedLeg {
+                active: ratio <= self.compression_threshold,
+                graph: c,
+                frag: cfrag,
+                facts: cfacts,
+                ratio,
+                threshold: self.compression_threshold,
+                method,
+            })
+        });
         SimEngine {
             frag: self.frag,
             executor: self.executor,
             cost: self.cost,
             planner: self.planner,
             facts,
+            cache: (self.cache_capacity > 0)
+                .then(|| Arc::new(Mutex::new(PatternCache::new(self.cache_capacity)))),
+            batch_workers: self.batch_workers,
+            compressed,
+        }
+    }
+}
+
+/// The compressed leg of a session: `Gc`, its fragmentation and the
+/// structural facts the planner needs to pick an engine on it.
+#[derive(Debug)]
+struct CompressedLeg {
+    graph: CompressedGraph,
+    frag: Arc<Fragmentation>,
+    facts: GraphFacts,
+    ratio: f64,
+    threshold: f64,
+    method: CompressionMethod,
+    /// `ratio <= threshold`: whether `Auto` queries answer on `Gc`.
+    active: bool,
+}
+
+impl CompressedLeg {
+    fn note(&self) -> CompressedNote {
+        CompressedNote {
+            ratio: self.ratio,
+            classes: self.graph.class_count(),
+            method: self.method.name(),
         }
     }
 }
@@ -262,7 +428,9 @@ impl Resolved {
     }
 }
 
-/// A session over one fragmented graph: build once, query many times.
+/// A session over one fragmented graph: build once, query many times,
+/// from many threads — `SimEngine` is `Send + Sync`, and clones share
+/// the same pattern-result cache.
 #[derive(Clone, Debug)]
 pub struct SimEngine {
     frag: Arc<Fragmentation>,
@@ -270,7 +438,18 @@ pub struct SimEngine {
     cost: CostModel,
     planner: Planner,
     facts: GraphFacts,
+    cache: Option<Arc<Mutex<PatternCache>>>,
+    /// `0` = auto (one worker per available core).
+    batch_workers: usize,
+    compressed: Option<Arc<CompressedLeg>>,
 }
+
+/// Compile-time proof that the session engine can be shared across
+/// serving threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimEngine>();
+};
 
 impl SimEngine {
     /// Starts building an engine over `graph` fragmented as `frag`.
@@ -284,6 +463,10 @@ impl SimEngine {
             executor: ExecutorKind::Virtual,
             cost: CostModel::default(),
             planner: Planner::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            batch_workers: 0,
+            compression: None,
+            compression_threshold: 0.5,
         }
     }
 
@@ -295,6 +478,23 @@ impl SimEngine {
     /// The fragmentation this engine serves.
     pub fn fragmentation(&self) -> &Arc<Fragmentation> {
         &self.frag
+    }
+
+    /// Counters of the pattern-result cache; `None` when the cache is
+    /// disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().stats())
+    }
+
+    /// The compressed leg built at session time, if any.
+    pub fn compression_note(&self) -> Option<CompressedNote> {
+        self.compressed.as_ref().map(|leg| leg.note())
+    }
+
+    /// Whether [`Algorithm::Auto`] queries currently answer on `Gc`
+    /// (a leg was built and its ratio cleared the threshold).
+    pub fn compression_active(&self) -> bool {
+        self.compressed.as_ref().is_some_and(|leg| leg.active)
     }
 
     /// Plans `q` without running it: which engine would serve it, and
@@ -310,17 +510,23 @@ impl SimEngine {
     }
 
     /// Runs `q` with an explicit engine (checked, not asserted).
+    ///
+    /// [`Algorithm::Auto`] queries consult the pattern-result cache
+    /// first: a hit is served without any protocol run
+    /// (`metrics.cache_hits = 1`, zero messages). Explicit engine
+    /// requests always run — callers asking for a specific engine are
+    /// measuring it.
     pub fn query_with(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
-        let (resolved, plan) = self.resolve(algorithm, q)?;
-        let qa = Arc::new(q.clone());
-        let (relation, mut metrics) = self.run_resolved(&resolved, &qa)?;
-        Self::charge_broadcast(&mut metrics, &self.frag, std::iter::once(q));
-        Ok(RunReport::assemble(
-            relation,
-            metrics,
-            resolved.name(),
-            plan,
-        ))
+        let (canon, hit) = self.cache_lookup(algorithm, q);
+        if let (Some(canon), Some(cached)) = (&canon, hit) {
+            return Ok(Self::report_from_cache(q, canon, &cached));
+        }
+        let mut report = self.run_one(algorithm, q)?;
+        Self::charge_broadcast(&mut report.metrics, &self.frag, std::iter::once(q));
+        if let Some(canon) = canon {
+            self.cache_store(canon, &report);
+        }
+        Ok(report)
     }
 
     /// Runs a Boolean query (§2.1) with the planner-chosen engine.
@@ -333,11 +539,40 @@ impl SimEngine {
     }
 
     /// Boolean query with an explicit engine.
+    ///
+    /// [`Algorithm::Auto`] consults the pattern-result cache. The
+    /// plain Boolean gather path doesn't materialize a relation, so it
+    /// reads the cache without storing; the compressed-leg path runs
+    /// data-selecting on `Gc` anyway, so its relation **is** stored —
+    /// follow-up queries of either kind become hits.
     pub fn query_boolean_with(
         &self,
         algorithm: &Algorithm,
         q: &Pattern,
     ) -> Result<BooleanReport, DgsError> {
+        let (canon, hit) = self.cache_lookup(algorithm, q);
+        if let (Some(canon), Some(cached)) = (&canon, hit) {
+            let report = Self::report_from_cache(q, canon, &cached);
+            return Ok(BooleanReport {
+                is_match: report.is_match,
+                metrics: report.metrics,
+                algorithm: report.algorithm,
+                plan: report.plan,
+            });
+        }
+        if self.uses_compressed(algorithm) {
+            let mut report = self.run_one(algorithm, q)?;
+            Self::charge_broadcast(&mut report.metrics, &self.frag, std::iter::once(q));
+            if let Some(canon) = canon {
+                self.cache_store(canon, &report);
+            }
+            return Ok(BooleanReport {
+                is_match: report.is_match,
+                metrics: report.metrics,
+                algorithm: report.algorithm,
+                plan: report.plan,
+            });
+        }
         let (resolved, plan) = self.resolve(algorithm, q)?;
         let qa = Arc::new(q.clone());
         let (is_match, mut metrics) = match &resolved {
@@ -356,7 +591,7 @@ impl SimEngine {
                 (b, o.metrics)
             }
             other => {
-                let (relation, metrics) = self.run_resolved(other, &qa)?;
+                let (relation, metrics) = self.run_resolved(&self.frag, other, &qa)?;
                 (relation.is_total(), metrics)
             }
         };
@@ -376,41 +611,119 @@ impl SimEngine {
     /// control messages total), instead of `|F|` per query. Per-query
     /// reports keep their own engine-run metrics; `total` adds the
     /// batched broadcast.
+    ///
+    /// The batch executes across a scoped worker pool
+    /// (`min(available cores, batch length)` workers unless
+    /// [`SimEngineBuilder::batch_workers`] overrides it). Results are
+    /// **scheduling-independent**: the cache is probed sequentially up
+    /// front against the batch-start state, each virtual-time run is
+    /// deterministic in itself, and metrics are merged in input order
+    /// — so a 1-worker and an N-worker run of the same batch report
+    /// the same answers, plans and shipment metrics.
     pub fn query_batch(&self, patterns: &[Pattern]) -> BatchReport {
         self.query_batch_with(&Algorithm::Auto, patterns)
     }
 
-    /// Batched run with an explicit engine.
+    /// Batched run with an explicit engine; see [`Self::query_batch`].
     pub fn query_batch_with(&self, algorithm: &Algorithm, patterns: &[Pattern]) -> BatchReport {
-        let mut total = RunMetrics::default();
-        let mut reports = Vec::with_capacity(patterns.len());
-        for q in patterns {
-            let report = self.resolve(algorithm, q).and_then(|(resolved, plan)| {
-                let qa = Arc::new(q.clone());
-                let (relation, metrics) = self.run_resolved(&resolved, &qa)?;
-                Ok(RunReport::assemble(
-                    relation,
-                    metrics,
-                    resolved.name(),
-                    plan,
-                ))
-            });
-            if let Ok(r) = &report {
-                total.merge(&r.metrics);
+        let n = patterns.len();
+        let mut slots: Vec<Option<Result<RunReport, DgsError>>> = (0..n).map(|_| None).collect();
+
+        // Phase 1 — sequential cache probe against the batch-start
+        // cache state (deterministic regardless of worker count).
+        // Duplicate patterns within one batch all miss together and
+        // all run: hits are defined by the state when the batch
+        // arrived, not by intra-batch scheduling.
+        let mut canons: Vec<Option<CanonicalPattern>> = Vec::with_capacity(n);
+        for (i, q) in patterns.iter().enumerate() {
+            let (canon, hit) = self.cache_lookup(algorithm, q);
+            if let (Some(canon), Some(cached)) = (&canon, hit) {
+                slots[i] = Some(Ok(Self::report_from_cache(q, canon, &cached)));
             }
-            reports.push(report);
+            canons.push(canon);
         }
-        // Only the patterns that actually ran are posted to the sites.
-        let posted: Vec<&Pattern> = patterns
+
+        // Phase 2 — run the misses on the worker pool.
+        let worklist: Vec<usize> = slots
             .iter()
-            .zip(&reports)
-            .filter(|(_, r)| r.is_ok())
-            .map(|(q, _)| q)
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let workers = self.effective_workers(worklist.len());
+        if workers <= 1 {
+            for &i in &worklist {
+                slots[i] = Some(self.run_one(algorithm, &patterns[i]));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let worklist_ref = &worklist;
+            let next_ref = &next;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| loop {
+                        let slot = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if slot >= worklist_ref.len() {
+                            break;
+                        }
+                        let i = worklist_ref[slot];
+                        let report = self.run_one(algorithm, &patterns[i]);
+                        if tx.send((i, report)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                while let Ok((i, report)) = rx.recv() {
+                    slots[i] = Some(report);
+                }
+            })
+            .expect("batch worker pool");
+        }
+
+        // Phase 3 — populate the cache in input order (identical to
+        // what a single worker would have inserted).
+        for &i in &worklist {
+            if let (Some(Some(Ok(report))), Some(canon)) = (slots.get(i), canons[i].take()) {
+                self.cache_store(canon, report);
+            }
+        }
+
+        // Phase 4 — order-stable aggregation: per-query metrics merge
+        // in input order, then one broadcast posting exactly the
+        // patterns that ran a protocol (cache hits ship nothing).
+        let reports: Vec<Result<RunReport, DgsError>> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        let mut total = RunMetrics::default();
+        for r in reports.iter().flatten() {
+            total.merge(&r.metrics);
+        }
+        let posted: Vec<&Pattern> = worklist
+            .iter()
+            .filter(|&&i| reports[i].is_ok())
+            .map(|&i| &patterns[i])
             .collect();
         if !posted.is_empty() {
-            Self::charge_broadcast(&mut total, &self.frag, posted.iter().copied());
+            Self::charge_broadcast(&mut total, &self.frag, posted);
         }
         BatchReport { reports, total }
+    }
+
+    /// Resolves the batch worker count: the builder override, or one
+    /// worker per available core, never more than there is work.
+    fn effective_workers(&self, work: usize) -> usize {
+        let configured = if self.batch_workers > 0 {
+            self.batch_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        };
+        configured.min(work).max(1)
     }
 
     /// Resolves `algorithm` for `q`: the planner decides for
@@ -425,14 +738,7 @@ impl SimEngine {
         match algorithm {
             Algorithm::Auto => {
                 let (choice, plan) = self.planner.plan(&self.facts, &qf)?;
-                let resolved = match choice {
-                    EngineChoice::Dgpmt => Resolved::Dgpmt,
-                    EngineChoice::Dgpmd => Resolved::Dgpmd,
-                    EngineChoice::Dgpms => Resolved::Dgpms,
-                    EngineChoice::Dgpm => Resolved::Dgpm(DgpmConfig::optimized()),
-                    EngineChoice::TriviallyEmpty => Resolved::TriviallyEmpty,
-                };
-                Ok((resolved, plan))
+                Ok((Self::resolved_from_choice(choice), plan))
             }
             Algorithm::Dgpm(cfg) => {
                 self.planner.validate_pattern(&qf)?;
@@ -489,9 +795,145 @@ impl SimEngine {
         }
     }
 
-    /// Runs a resolved engine and returns `(relation, metrics)`.
+    /// The uniform mapping from a planner choice to a runnable engine.
+    fn resolved_from_choice(choice: EngineChoice) -> Resolved {
+        match choice {
+            EngineChoice::Dgpmt => Resolved::Dgpmt,
+            EngineChoice::Dgpmd => Resolved::Dgpmd,
+            EngineChoice::Dgpms => Resolved::Dgpms,
+            EngineChoice::Dgpm => Resolved::Dgpm(DgpmConfig::optimized()),
+            EngineChoice::TriviallyEmpty => Resolved::TriviallyEmpty,
+        }
+    }
+
+    /// Whether this query will be answered on the compressed leg.
+    fn uses_compressed(&self, algorithm: &Algorithm) -> bool {
+        matches!(algorithm, Algorithm::Auto)
+            && self.compressed.as_ref().is_some_and(|leg| leg.active)
+    }
+
+    /// Resolves and runs one query without the broadcast charge (the
+    /// caller accounts it: per-query for [`Self::query_with`], once
+    /// per batch for [`Self::query_batch_with`]). `Auto` queries route
+    /// to the compressed leg when it is active.
+    fn run_one(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
+        if self.uses_compressed(algorithm) {
+            let leg = self.compressed.as_ref().expect("uses_compressed checked");
+            let qf = PatternFacts::compute(q);
+            let (choice, mut plan) = self.planner.plan(&leg.facts, &qf)?;
+            plan.compressed = Some(leg.note());
+            plan.reasons.push(format!(
+                "answering on Gc ({} classes via {}): ratio {:.2} clears threshold {:.2}; \
+                 relation decompressed to G node ids",
+                leg.graph.class_count(),
+                leg.method.name(),
+                leg.ratio,
+                leg.threshold
+            ));
+            let resolved = Self::resolved_from_choice(choice);
+            let qa = Arc::new(q.clone());
+            let (class_relation, metrics) = self.run_resolved(&leg.frag, &resolved, &qa)?;
+            let relation = leg.graph.expand(&class_relation);
+            return Ok(RunReport::assemble(
+                relation,
+                metrics,
+                resolved.name(),
+                plan,
+            ));
+        }
+        let (resolved, mut plan) = self.resolve(algorithm, q)?;
+        if matches!(algorithm, Algorithm::Auto) {
+            if let Some(leg) = self.compressed.as_deref().filter(|leg| !leg.active) {
+                plan.reasons.push(format!(
+                    "compressed leg built ({} classes via {}) but ratio {:.2} exceeds \
+                     threshold {:.2} — answering on G",
+                    leg.graph.class_count(),
+                    leg.method.name(),
+                    leg.ratio,
+                    leg.threshold
+                ));
+            }
+        }
+        let qa = Arc::new(q.clone());
+        let (relation, metrics) = self.run_resolved(&self.frag, &resolved, &qa)?;
+        Ok(RunReport::assemble(
+            relation,
+            metrics,
+            resolved.name(),
+            plan,
+        ))
+    }
+
+    /// Canonicalizes `q` and probes the cache. Returns `(None, None)`
+    /// when caching does not apply (explicit engine, or cache off).
+    fn cache_lookup(
+        &self,
+        algorithm: &Algorithm,
+        q: &Pattern,
+    ) -> (Option<CanonicalPattern>, Option<Arc<CachedResult>>) {
+        if !matches!(algorithm, Algorithm::Auto) {
+            return (None, None);
+        }
+        let Some(cache) = &self.cache else {
+            return (None, None);
+        };
+        let canon = cache::canonicalize(q);
+        let hit = cache.lock().get(&canon.key);
+        (Some(canon), hit)
+    }
+
+    /// Re-expresses a cached canonical answer in the submitted
+    /// pattern's numbering. The hit ships nothing: fresh metrics with
+    /// `cache_hits = 1` and zero messages.
+    fn report_from_cache(
+        q: &Pattern,
+        canon: &CanonicalPattern,
+        cached: &CachedResult,
+    ) -> RunReport {
+        let rows: Vec<Vec<dgs_graph::NodeId>> = q
+            .nodes()
+            .map(|u| cached.rows[canon.pos_of[u.index()] as usize].clone())
+            .collect();
+        let mut plan = cached.plan.clone();
+        plan.reasons
+            .push("served from the pattern-result cache (no protocol run)".into());
+        RunReport::assemble(
+            MatchRelation::from_lists(rows),
+            RunMetrics {
+                cache_hits: 1,
+                ..RunMetrics::default()
+            },
+            cached.algorithm,
+            plan,
+        )
+    }
+
+    /// Stores a freshly computed answer under its canonical key, rows
+    /// permuted into canonical node order.
+    fn cache_store(&self, canon: CanonicalPattern, report: &RunReport) {
+        let Some(cache) = &self.cache else {
+            return;
+        };
+        let rows: Vec<Vec<dgs_graph::NodeId>> = canon
+            .node_at()
+            .iter()
+            .map(|&u| report.relation.matches_of(dgs_graph::QNodeId(u)).to_vec())
+            .collect();
+        cache.lock().insert(
+            canon.key,
+            Arc::new(CachedResult {
+                rows,
+                algorithm: report.algorithm,
+                plan: report.plan.clone(),
+            }),
+        );
+    }
+
+    /// Runs a resolved engine on `frag` and returns
+    /// `(relation, metrics)`.
     fn run_resolved(
         &self,
+        frag: &Arc<Fragmentation>,
         resolved: &Resolved,
         q: &Arc<Pattern>,
     ) -> Result<(MatchRelation, RunMetrics), DgsError> {
@@ -515,13 +957,13 @@ impl SimEngine {
             Resolved::TriviallyEmpty => {
                 Ok((MatchRelation::empty(q.node_count()), RunMetrics::default()))
             }
-            Resolved::Dgpm(cfg) => drive!(dgpm::build(&self.frag, q, cfg.clone())),
-            Resolved::Dgpmd => drive!(dgpmd::build(&self.frag, q)),
-            Resolved::Dgpms => drive!(dgpms::build(&self.frag, q)),
-            Resolved::Dgpmt => drive!(dgpmt::build(&self.frag, q)),
-            Resolved::MatchCentral => drive!(baselines::match_central::build(&self.frag, q)),
-            Resolved::DisHhk => drive!(baselines::dishhk::build(&self.frag, q)),
-            Resolved::DMes => drive!(baselines::dmes::build(&self.frag, q)),
+            Resolved::Dgpm(cfg) => drive!(dgpm::build(frag, q, cfg.clone())),
+            Resolved::Dgpmd => drive!(dgpmd::build(frag, q)),
+            Resolved::Dgpms => drive!(dgpms::build(frag, q)),
+            Resolved::Dgpmt => drive!(dgpmt::build(frag, q)),
+            Resolved::MatchCentral => drive!(baselines::match_central::build(frag, q)),
+            Resolved::DisHhk => drive!(baselines::dishhk::build(frag, q)),
+            Resolved::DMes => drive!(baselines::dmes::build(frag, q)),
         }
     }
 
@@ -665,7 +1107,11 @@ mod tests {
     #[test]
     fn batch_amortizes_the_broadcast() {
         let g = random::uniform(150, 600, 4, 9);
-        let engine = engine_for(&g, 5, 9);
+        // Cache off: this test measures the protocol broadcast, and
+        // re-queries each pattern individually after the batch.
+        let assign = hash_partition(g.node_count(), 5, 9);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 5));
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
         let patterns: Vec<Pattern> = (0..10)
             .map(|i| patterns::random_cyclic(3, 6, 4, 100 + i))
             .collect();
@@ -720,6 +1166,190 @@ mod tests {
             .build();
         let report = engine.query(&w.pattern).unwrap();
         assert!(report.is_match);
+    }
+
+    #[test]
+    fn repeat_query_hits_the_cache_with_zero_messages() {
+        let g = random::uniform(100, 400, 4, 21);
+        let engine = engine_for(&g, 3, 21);
+        let q = patterns::random_cyclic(3, 6, 4, 21);
+        let cold = engine.query(&q).unwrap();
+        assert_eq!(cold.metrics.cache_hits, 0);
+        assert!(cold.metrics.control_messages > 0);
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1);
+        assert_eq!(warm.metrics.data_messages, 0);
+        assert_eq!(warm.metrics.control_messages, 0);
+        assert_eq!(warm.metrics.result_messages, 0);
+        assert_eq!(warm.metrics.data_bytes, 0);
+        assert_eq!(warm.relation, cold.relation);
+        assert_eq!(warm.algorithm, cold.algorithm);
+        assert!(warm.plan.to_string().contains("cache"));
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn explicit_engines_bypass_the_cache() {
+        let g = random::uniform(80, 320, 4, 22);
+        let engine = engine_for(&g, 3, 22);
+        let q = patterns::random_cyclic(3, 6, 4, 22);
+        for _ in 0..2 {
+            let r = engine.query_with(&Algorithm::Dgpms, &q).unwrap();
+            assert_eq!(r.metrics.cache_hits, 0);
+            assert!(r.metrics.control_messages > 0);
+        }
+        assert_eq!(engine.cache_stats().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn boolean_queries_read_the_cache() {
+        let g = random::uniform(90, 360, 4, 23);
+        let engine = engine_for(&g, 3, 23);
+        let q = patterns::random_cyclic(3, 6, 4, 23);
+        let full = engine.query(&q).unwrap();
+        let b = engine.query_boolean(&q).unwrap();
+        assert_eq!(b.is_match, full.is_match);
+        assert_eq!(b.metrics.cache_hits, 1);
+        assert_eq!(b.metrics.control_messages, 0);
+    }
+
+    #[test]
+    fn compressed_boolean_run_warms_the_cache() {
+        let g = random::uniform(90, 360, 4, 29);
+        let assign = hash_partition(g.node_count(), 3, 29);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let engine = SimEngine::builder(&g, frag)
+            .compress(CompressionMethod::SimEq)
+            .compression_threshold(1.0)
+            .build();
+        let q = patterns::random_cyclic(3, 6, 4, 29);
+        // The compressed leg answers Boolean queries via the
+        // data-selecting run, so the relation is cached...
+        let b = engine.query_boolean(&q).unwrap();
+        assert_eq!(b.metrics.cache_hits, 0);
+        // ...and the follow-up data-selecting query is a hit.
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1);
+        assert_eq!(warm.is_match, b.is_match);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let g = random::uniform(70, 280, 4, 24);
+        let engine = engine_for(&g, 3, 24);
+        let q = patterns::random_cyclic(3, 6, 4, 24);
+        engine.query(&q).unwrap();
+        let clone = engine.clone();
+        let warm = clone.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1);
+    }
+
+    #[test]
+    fn compressed_leg_answers_exactly_and_is_explained() {
+        let g = random::uniform(120, 480, 3, 25);
+        let assign = hash_partition(g.node_count(), 3, 25);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let engine = SimEngine::builder(&g, Arc::clone(&frag))
+            .compress(CompressionMethod::SimEq)
+            .compression_threshold(1.0)
+            .cache(false)
+            .build();
+        assert!(engine.compression_active());
+        let plain = SimEngine::builder(&g, frag).cache(false).build();
+        for seed in 0..4 {
+            let q = patterns::random_cyclic(3, 6, 3, 250 + seed);
+            let on_gc = engine.query(&q).unwrap();
+            let on_g = plain.query(&q).unwrap();
+            assert_eq!(on_gc.relation, on_g.relation, "seed {seed}");
+            let note = on_gc
+                .plan
+                .compressed
+                .as_ref()
+                .expect("compressed leg noted");
+            assert!(note.ratio <= 1.0);
+            assert!(on_gc.plan.to_string().contains("Gc"));
+        }
+    }
+
+    #[test]
+    fn compression_threshold_gates_the_leg() {
+        // A graph with almost no simulation-equivalent redundancy:
+        // the ratio stays near 1, far above a strict threshold.
+        let g = random::uniform(100, 400, 4, 26);
+        let assign = hash_partition(g.node_count(), 3, 26);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let engine = SimEngine::builder(&g, frag)
+            .compress(CompressionMethod::SimEq)
+            .compression_threshold(0.01)
+            .cache(false)
+            .build();
+        assert!(!engine.compression_active());
+        assert!(engine.compression_note().is_some());
+        let q = patterns::random_cyclic(3, 6, 4, 26);
+        let r = engine.query(&q).unwrap();
+        assert!(r.plan.compressed.is_none());
+        assert!(r.plan.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn parallel_batch_matches_single_worker() {
+        let g = random::uniform(120, 480, 4, 27);
+        let assign = hash_partition(g.node_count(), 4, 27);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+        let seq = SimEngine::builder(&g, Arc::clone(&frag))
+            .batch_workers(1)
+            .build();
+        let par = SimEngine::builder(&g, frag).batch_workers(4).build();
+        let mut qs: Vec<Pattern> = (0..8)
+            .map(|i| patterns::random_cyclic(3, 6, 4, 270 + i))
+            .collect();
+        qs.push(dgs_graph::PatternBuilder::new().build()); // an Err entry
+        let a = seq.query_batch(&qs);
+        let b = par.query_batch(&qs);
+        assert_eq!(a.succeeded(), b.succeeded());
+        for (x, y) in a.reports.iter().zip(&b.reports) {
+            match (x, y) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.relation, y.relation);
+                    assert_eq!(x.algorithm, y.algorithm);
+                    assert_eq!(x.plan.to_string(), y.plan.to_string());
+                    assert_eq!(x.metrics.data_messages, y.metrics.data_messages);
+                    assert_eq!(x.metrics.control_messages, y.metrics.control_messages);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("parallel and sequential batches disagree on success"),
+            }
+        }
+        assert_eq!(a.total.data_messages, b.total.data_messages);
+        assert_eq!(a.total.control_messages, b.total.control_messages);
+        assert_eq!(a.total.cache_hits, b.total.cache_hits);
+    }
+
+    #[test]
+    fn batch_serves_prewarmed_patterns_from_cache() {
+        let g = random::uniform(100, 400, 4, 28);
+        let engine = engine_for(&g, 3, 28);
+        let q0 = patterns::random_cyclic(3, 6, 4, 280);
+        let q1 = patterns::random_cyclic(3, 6, 4, 281);
+        engine.query(&q0).unwrap(); // warm q0
+        let batch = engine.query_batch(&[q0.clone(), q1.clone()]);
+        assert_eq!(batch.succeeded(), 2);
+        assert_eq!(batch.reports[0].as_ref().unwrap().metrics.cache_hits, 1);
+        assert_eq!(batch.reports[1].as_ref().unwrap().metrics.cache_hits, 0);
+        assert_eq!(batch.total.cache_hits, 1);
+        // The hit contributes nothing; the total is q1's own run plus
+        // one broadcast posting only the pattern that ran (|F| = 3
+        // control messages carrying q1's bytes).
+        let run = &batch.reports[1].as_ref().unwrap().metrics;
+        let broadcast_bytes = (3 * (8 + 3 * q1.node_count() + 4 * q1.edge_count())) as u64;
+        assert_eq!(batch.total.control_messages, run.control_messages + 3);
+        assert_eq!(
+            batch.total.control_bytes,
+            run.control_bytes + broadcast_bytes
+        );
+        assert_eq!(batch.total.data_messages, run.data_messages);
     }
 
     #[test]

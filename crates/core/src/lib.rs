@@ -61,6 +61,7 @@
 pub mod api;
 pub mod baselines;
 pub mod boolexpr;
+mod cache;
 pub mod dgpm;
 pub mod dgpmd;
 pub mod dgpms;
@@ -74,7 +75,14 @@ pub mod vars;
 
 #[allow(deprecated)]
 pub use api::DistributedSim;
-pub use engine::{Algorithm, BatchReport, BooleanReport, RunReport, SimEngine, SimEngineBuilder};
+pub use cache::CacheStats;
+pub use engine::{
+    Algorithm, BatchReport, BooleanReport, CompressionMethod, RunReport, SimEngine,
+    SimEngineBuilder,
+};
 pub use error::DgsError;
-pub use plan::{CyclicFallback, EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner};
+pub use plan::{
+    CompressedNote, CyclicFallback, EngineChoice, GraphFacts, PatternFacts, PlanExplanation,
+    Planner,
+};
 pub use vars::Var;

@@ -143,6 +143,21 @@ pub struct Planner {
     pub cyclic_fallback: CyclicFallback,
 }
 
+/// The compressed leg of a plan: the query was answered on the
+/// simulation-equivalence quotient `Gc` instead of `G`, and the
+/// relation decompressed back to `G`'s node ids (Fan et al.,
+/// *Query Preserving Graph Compression*, SIGMOD'12 — the companion
+/// technique §7 of the VLDB'14 paper points at).
+#[derive(Clone, Debug)]
+pub struct CompressedNote {
+    /// `|Gc| / |G|` in the paper's size measure (`|V| + |E|`).
+    pub ratio: f64,
+    /// Number of equivalence classes (nodes of `Gc`).
+    pub classes: usize,
+    /// Display name of the equivalence used (`simeq` / `bisim`).
+    pub method: &'static str,
+}
+
 /// How a query was planned, recorded in every report.
 #[derive(Clone, Debug)]
 pub struct PlanExplanation {
@@ -153,6 +168,9 @@ pub struct PlanExplanation {
     pub auto: bool,
     /// The facts that drove the decision, in decision order.
     pub reasons: Vec<String>,
+    /// Present when the engine ran on the compressed graph `Gc`
+    /// rather than `G` itself.
+    pub compressed: Option<CompressedNote>,
 }
 
 impl PlanExplanation {
@@ -162,6 +180,7 @@ impl PlanExplanation {
             algorithm,
             auto: false,
             reasons: vec!["engine requested explicitly by the caller".into()],
+            compressed: None,
         }
     }
 }
@@ -170,11 +189,18 @@ impl std::fmt::Display for PlanExplanation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ({}): {}",
+            "{} ({}",
             self.algorithm,
             if self.auto { "auto" } else { "forced" },
-            self.reasons.join("; ")
-        )
+        )?;
+        if let Some(c) = &self.compressed {
+            write!(
+                f,
+                ", on Gc via {}: {} classes, ratio {:.2}",
+                c.method, c.classes, c.ratio
+            )?;
+        }
+        write!(f, "): {}", self.reasons.join("; "))
     }
 }
 
@@ -235,6 +261,7 @@ impl Planner {
             algorithm: choice.name(),
             auto: true,
             reasons,
+            compressed: None,
         };
         Ok((choice, plan))
     }

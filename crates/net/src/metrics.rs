@@ -36,6 +36,11 @@ pub struct RunMetrics {
     pub duplicated_messages: u64,
     /// Bytes of duplicated data messages.
     pub duplicated_bytes: u64,
+    /// Queries answered from a session-level result cache instead of a
+    /// protocol run. A cache hit ships **nothing**: all message and
+    /// byte counters stay zero for the hit, and only this counter
+    /// records that the query was served.
+    pub cache_hits: u64,
 }
 
 impl RunMetrics {
@@ -108,6 +113,7 @@ impl RunMetrics {
             quiescence_rounds,
             duplicated_messages,
             duplicated_bytes,
+            cache_hits,
         } = other;
         self.data_bytes += data_bytes;
         self.data_messages += data_messages;
@@ -122,6 +128,7 @@ impl RunMetrics {
         self.quiescence_rounds += quiescence_rounds;
         self.duplicated_messages += duplicated_messages;
         self.duplicated_bytes += duplicated_bytes;
+        self.cache_hits += cache_hits;
         if self.site_ops.len() < site_ops.len() {
             self.site_ops.resize(site_ops.len(), 0);
         }

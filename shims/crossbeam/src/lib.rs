@@ -76,7 +76,11 @@ pub mod channel {
         fn drop(&mut self) {
             if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last sender gone: wake any blocked receivers so they
-                // can observe disconnection.
+                // can observe disconnection. The notify must happen
+                // under the queue lock — otherwise it can fire in the
+                // window between a receiver's senders-check and its
+                // wait(), and that receiver sleeps forever.
+                let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
                 self.inner.ready.notify_all();
             }
         }

@@ -2,18 +2,30 @@
 //!
 //! ```text
 //! dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE
-//! dgsq query    --graph FILE --pattern FILE [--algorithm auto|NAME] [--sites K]
+//! dgsq query    --graph FILE --pattern FILE[,FILE...] [--algorithm auto|NAME] [--sites K]
 //!               [--partition hash|bfs|ldg|tree] [--executor virtual|threaded]
 //!               [--seed S] [--boolean] [--matches]
+//!               [--cache N] [--compress simeq|bisim] [--compress-threshold X]
+//!               [--parallel W] [--repeat R]
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]
 //! dgsq stats    --graph FILE
 //! ```
+//!
+//! Serving knobs of `query`: `--cache N` sizes the pattern-result
+//! cache (0 disables; repeats of the same — or an isomorphic —
+//! pattern are then served without a protocol run), `--compress`
+//! builds the query-preserving quotient `Gc` and answers on it when
+//! its ratio clears `--compress-threshold` (default 0.5),
+//! `--parallel W` sets the batch worker pool (0 = one per core), and
+//! `--repeat R` re-submits the whole stream `R` times to exercise the
+//! cache. Passing several comma-separated pattern files runs them as
+//! one batch.
 //!
 //! Graphs and patterns use the line-oriented text format of
 //! `dgs_graph::io` (`graph|pattern N M`, `n <id> <label>`,
 //! `e <src> <dst>`).
 
-use dgs::core::{Algorithm, SimEngine};
+use dgs::core::{Algorithm, CompressionMethod, SimEngine};
 use dgs::graph::{io, Graph, Pattern};
 use dgs::net::ExecutorKind;
 use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
@@ -32,8 +44,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE\n  \
-         dgsq query --graph FILE --pattern FILE [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
-         [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n  \
+         dgsq query --graph FILE --pattern FILE[,FILE...] [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
+         [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n             \
+         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--parallel W] [--repeat R]\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]\n  \
          dgsq stats --graph FILE"
     );
@@ -123,7 +136,8 @@ fn cmd_generate(flags: &HashMap<String, String>) {
 
 fn cmd_query(flags: &HashMap<String, String>) {
     let g = load_graph(get(flags, "graph").unwrap_or_else(|| fail("--graph required")));
-    let q = load_pattern(get(flags, "pattern").unwrap_or_else(|| fail("--pattern required")));
+    let pattern_arg = get(flags, "pattern").unwrap_or_else(|| fail("--pattern required"));
+    let qs: Vec<Pattern> = pattern_arg.split(',').map(load_pattern).collect();
     let k: usize = num(flags, "sites", 4);
     let seed: u64 = num(flags, "seed", 1);
     let algo = match get(flags, "algorithm").unwrap_or("auto") {
@@ -152,23 +166,65 @@ fn cmd_query(flags: &HashMap<String, String>) {
         other => fail(&format!("unknown executor '{other}'")),
     };
     // Load the fragmented graph into a session once; queries reuse the
-    // cached structural facts.
-    let engine = SimEngine::builder(&g, frag).executor(executor).build();
+    // cached structural facts (and, with --compress, the quotient Gc).
+    let mut builder = SimEngine::builder(&g, frag).executor(executor);
+    if flags.contains_key("cache") {
+        builder = builder.cache_capacity(num(flags, "cache", 128));
+    }
+    if let Some(method) = get(flags, "compress") {
+        builder = builder.compress(match method {
+            "simeq" => {
+                if g.node_count() > 20_000 {
+                    fail("simeq compression holds an O(|V|^2) table; use --compress bisim for graphs this large");
+                }
+                CompressionMethod::SimEq
+            }
+            "bisim" => CompressionMethod::Bisim,
+            other => fail(&format!("unknown compression method '{other}'")),
+        });
+    }
+    if flags.contains_key("compress-threshold") {
+        builder = builder.compression_threshold(num(flags, "compress-threshold", 0.5));
+    }
+    if flags.contains_key("parallel") {
+        builder = builder.batch_workers(num(flags, "parallel", 0));
+    }
+    let engine = builder.build();
     let frag = engine.fragmentation();
 
     println!(
-        "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  query |Vq|={} |Eq|={}",
+        "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  queries: {}",
         g.node_count(),
         g.edge_count(),
         frag.vf(),
         frag.ef(),
-        q.node_count(),
-        q.edge_count()
+        qs.iter()
+            .map(|q| format!("({},{})", q.node_count(), q.edge_count()))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
+    if let Some(note) = engine.compression_note() {
+        println!(
+            "compression: Gc has {} classes via {} (ratio {:.3}, {})",
+            note.classes,
+            note.method,
+            note.ratio,
+            if engine.compression_active() {
+                "active — Auto answers on Gc"
+            } else {
+                "above threshold — answering on G"
+            }
+        );
+    }
 
+    let repeat: usize = num(flags, "repeat", 1);
     if flags.contains_key("boolean") {
+        let q = match qs.as_slice() {
+            [q] => q,
+            _ => fail("--boolean takes a single pattern"),
+        };
         let report = engine
-            .query_boolean_with(&algo, &q)
+            .query_boolean_with(&algo, q)
             .unwrap_or_else(|e| fail(&e.to_string()));
         println!("plan: {}", report.plan);
         println!(
@@ -181,32 +237,72 @@ fn cmd_query(flags: &HashMap<String, String>) {
         return;
     }
 
-    let report = engine
-        .query_with(&algo, &q)
-        .unwrap_or_else(|e| fail(&e.to_string()));
-    println!("plan: {}", report.plan);
-    println!(
-        "{}: match = {}  |Q(G)| = {} pairs   PT = {:.3} ms  DS = {:.3} KB  ({} data msgs, {} ops)",
-        report.algorithm,
-        report.is_match,
-        report.answer().len(),
-        report.metrics.virtual_time_ms(),
-        report.metrics.data_kb(),
-        report.metrics.data_messages,
-        report.metrics.total_ops
-    );
-    if flags.contains_key("matches") {
-        for u in q.nodes() {
-            let matches = report.answer().matches_of(u);
-            let shown: Vec<String> = matches.iter().take(20).map(|v| v.to_string()).collect();
-            let ellipsis = if matches.len() > 20 { ", ..." } else { "" };
-            println!(
-                "  u{u}: {} matches [{}{}]",
-                matches.len(),
-                shown.join(", "),
-                ellipsis
-            );
+    if qs.len() == 1 && repeat == 1 {
+        let q = &qs[0];
+        let report = engine
+            .query_with(&algo, q)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!("plan: {}", report.plan);
+        println!(
+            "{}: match = {}  |Q(G)| = {} pairs   PT = {:.3} ms  DS = {:.3} KB  ({} data msgs, {} ops)",
+            report.algorithm,
+            report.is_match,
+            report.answer().len(),
+            report.metrics.virtual_time_ms(),
+            report.metrics.data_kb(),
+            report.metrics.data_messages,
+            report.metrics.total_ops
+        );
+        if flags.contains_key("matches") {
+            for u in q.nodes() {
+                let matches = report.answer().matches_of(u);
+                let shown: Vec<String> = matches.iter().take(20).map(|v| v.to_string()).collect();
+                let ellipsis = if matches.len() > 20 { ", ..." } else { "" };
+                println!(
+                    "  u{u}: {} matches [{}{}]",
+                    matches.len(),
+                    shown.join(", "),
+                    ellipsis
+                );
+            }
         }
+        return;
+    }
+
+    // Stream mode: the batch (possibly re-submitted --repeat times)
+    // runs through the worker pool and the pattern-result cache.
+    for pass in 0..repeat {
+        let batch = engine.query_batch_with(&algo, &qs);
+        if pass == 0 {
+            for (i, r) in batch.reports.iter().enumerate() {
+                match r {
+                    Ok(r) => println!(
+                        "  [{i}] {}: match = {}  |Q(G)| = {} pairs  ({} data msgs)",
+                        r.algorithm,
+                        r.is_match,
+                        r.answer().len(),
+                        r.metrics.data_messages
+                    ),
+                    Err(e) => println!("  [{i}] error: {e}"),
+                }
+            }
+        }
+        println!(
+            "pass {}: {}/{} answered  PT = {:.3} ms  DS = {:.3} KB  ({} control msgs, {} cache hits)",
+            pass + 1,
+            batch.succeeded(),
+            qs.len(),
+            batch.total.virtual_time_ms(),
+            batch.total.data_kb(),
+            batch.total.control_messages,
+            batch.total.cache_hits
+        );
+    }
+    if let Some(stats) = engine.cache_stats() {
+        println!(
+            "cache: {} entries / capacity {}  {} hits, {} misses, {} evictions",
+            stats.entries, stats.capacity, stats.hits, stats.misses, stats.evictions
+        );
     }
 }
 

@@ -93,8 +93,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use dgs_core::DistributedSim;
     pub use dgs_core::{
-        Algorithm, BatchReport, BooleanReport, DgsError, GraphFacts, PatternFacts, PlanExplanation,
-        Planner, RunReport, SimEngine, Var,
+        Algorithm, BatchReport, BooleanReport, CacheStats, CompressedNote, CompressionMethod,
+        DgsError, GraphFacts, PatternFacts, PlanExplanation, Planner, RunReport, SimEngine, Var,
     };
     pub use dgs_graph::{Graph, GraphBuilder, Label, NodeId, Pattern, PatternBuilder, QNodeId};
     pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, RunMetrics};
