@@ -1,0 +1,50 @@
+//! The update-throughput demonstration (`cargo bench -p dgs-bench
+//! --bench update`): one `SimEngine` session absorbing edge-update
+//! batches on the social-graph workload, three stream shapes —
+//!
+//! * **delete-heavy** — maintained incrementally (`O(|AFF|)` counter
+//!   repair per site + dGPM-style falsification shipping); must be
+//!   ≥ 5× faster than the cold-rebuild baseline at the default scale;
+//! * **insert-heavy** — conservative invalidation + re-plan;
+//! * **mixed** — both behaviours interleaved.
+//!
+//! Not a Criterion harness: the quantity of interest is one honest
+//! wall-clock comparison per stream against the cold rebuild, printed
+//! as a table. Pass `-- --test` for the CI smoke configuration (small
+//! workload, timing bar not asserted — correctness always is).
+
+use dgs_bench::update::{run_update, UpdateConfig};
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cfg = if test_mode {
+        UpdateConfig::smoke()
+    } else {
+        UpdateConfig::default()
+    };
+    println!(
+        "update workload: |V| = {}, |E| = {}, {} sites, {} batches × {} ops{}",
+        cfg.nodes,
+        4 * cfg.nodes,
+        cfg.sites,
+        cfg.batches,
+        cfg.ops_per_batch,
+        if test_mode { "  (--test smoke)" } else { "" }
+    );
+    let reports = run_update(&cfg);
+    println!(
+        "  {:<14} {:>10} {:>14} {:>14} {:>10} {:>10}",
+        "stream", "ops", "incremental", "cold rebuild", "speedup", "ops/sec"
+    );
+    for r in &reports {
+        println!(
+            "  {:<14} {:>10} {:>11.2} ms {:>11.2} ms {:>9.2}x {:>10.0}",
+            r.label, r.ops, r.incremental_ms, r.rebuild_ms, r.speedup, r.ops_per_sec
+        );
+    }
+    let dh = &reports[0];
+    println!(
+        "  delete-heavy post-batch queries: {} served from the maintained entry",
+        dh.post_batch_hits
+    );
+}

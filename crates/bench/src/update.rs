@@ -1,0 +1,270 @@
+//! The update-throughput workload: a `SimEngine` session absorbing
+//! edge-update batches on the social-graph workload, measured as
+//! ops/sec for delete-heavy, insert-heavy and mixed streams against a
+//! **cold-rebuild baseline** (tear the session down, rebuild the
+//! fragmentation and the engine, re-answer the query from scratch —
+//! what a serving layer without the delta subsystem would have to do
+//! per batch).
+//!
+//! Deletion-only batches are the paper's incremental `lEval` setting
+//! (§4.2): the maintained relation only shrinks, each site repairs its
+//! counters in `O(|AFF|)`, and the post-batch query is a cache hit —
+//! so delete-heavy maintenance must beat the cold rebuild by a wide
+//! margin (the bench asserts ≥ 5× at the default scale).
+
+use dgs_core::{GraphDelta, SimEngine};
+use dgs_graph::generate::social;
+use dgs_graph::{Graph, GraphBuilder, NodeId, Pattern};
+use dgs_partition::{hash_partition, Fragmentation};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the update experiment.
+#[derive(Clone, Debug)]
+pub struct UpdateConfig {
+    /// Data-graph nodes (edges are 4×).
+    pub nodes: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Update batches per stream.
+    pub batches: usize,
+    /// Edge ops per batch.
+    pub ops_per_batch: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Whether the ≥ 5× delete-heavy acceptance bar is asserted
+    /// (disabled by `--test`, whose workload is too small for timing
+    /// claims).
+    pub assert_speedup: bool,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            nodes: 4_000,
+            sites: 4,
+            batches: 8,
+            ops_per_batch: 50,
+            seed: 13,
+            assert_speedup: true,
+        }
+    }
+}
+
+impl UpdateConfig {
+    /// The CI smoke configuration (`--test`): small enough to finish
+    /// in seconds, still exercising every code path.
+    pub fn smoke() -> Self {
+        UpdateConfig {
+            nodes: 600,
+            batches: 3,
+            ops_per_batch: 20,
+            assert_speedup: false,
+            ..UpdateConfig::default()
+        }
+    }
+}
+
+/// One stream's measurement.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Stream label (`delete-heavy` / `insert-heavy` / `mixed`).
+    pub label: &'static str,
+    /// Total edge ops absorbed.
+    pub ops: usize,
+    /// Wall time of `apply_delta` + post-batch query, per stream, ms.
+    pub incremental_ms: f64,
+    /// Ops/sec through the delta subsystem.
+    pub ops_per_sec: f64,
+    /// Wall time of the cold-rebuild baseline over the same stream,
+    /// ms.
+    pub rebuild_ms: f64,
+    /// `rebuild_ms / incremental_ms`.
+    pub speedup: f64,
+    /// Cache hits across the post-batch queries (delete-heavy streams
+    /// serve every one from the maintained entry).
+    pub post_batch_hits: u64,
+}
+
+/// A batch stream over a mutable edge pool.
+struct OpPool {
+    edges: Vec<(NodeId, NodeId)>,
+    absent: Vec<(NodeId, NodeId)>,
+    s: u64,
+}
+
+impl OpPool {
+    fn new(g: &Graph, seed: u64) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let present: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+        let n = g.node_count() as u64;
+        let mut absent = Vec::new();
+        let mut s = seed;
+        while absent.len() < edges.len() / 2 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = NodeId(((s >> 20) % n) as u32);
+            let v = NodeId(((s >> 40) % n) as u32);
+            if !present.contains(&(u, v)) && u != v {
+                absent.push((u, v));
+            }
+        }
+        absent.sort_unstable();
+        absent.dedup();
+        OpPool { edges, absent, s }
+    }
+
+    fn next_batch(&mut self, nops: usize, delete_fraction: f64) -> GraphDelta {
+        let mut delta = GraphDelta::default();
+        for _ in 0..nops {
+            self.s = self
+                .s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let roll = (self.s >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < delete_fraction && !self.edges.is_empty() {
+                let at = (self.s >> 33) as usize % self.edges.len();
+                delta.delete_edges.push(self.edges.swap_remove(at));
+            } else if let Some(e) = self.absent.pop() {
+                delta.insert_edges.push(e);
+            }
+        }
+        // Inserted edges join the deletable pool only for *later*
+        // batches — a batch is a set, so an edge may not appear on
+        // both of its sides.
+        self.edges.extend_from_slice(&delta.insert_edges);
+        delta
+    }
+}
+
+fn apply_to_graph(g: &Graph, delta: &GraphDelta) -> Graph {
+    let del: std::collections::HashSet<(NodeId, NodeId)> =
+        delta.delete_edges.iter().copied().collect();
+    let mut b = GraphBuilder::with_capacity(g.node_count(), g.edge_count());
+    for v in g.nodes() {
+        b.add_node(g.label(v));
+    }
+    for (u, v) in g.edges() {
+        if !del.contains(&(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    for &(u, v) in &delta.insert_edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Runs one stream: the delta-subsystem path vs the cold-rebuild
+/// baseline, both answering the query after every batch, with the
+/// answers cross-checked.
+fn run_stream(
+    label: &'static str,
+    cfg: &UpdateConfig,
+    g: &Graph,
+    assign: &[usize],
+    q: &Pattern,
+    delete_fraction: f64,
+) -> StreamReport {
+    // Pre-generate the batches so both sides absorb the identical
+    // stream.
+    let mut pool = OpPool::new(g, cfg.seed ^ 0xBA7C4);
+    let batches: Vec<GraphDelta> = (0..cfg.batches)
+        .map(|_| pool.next_batch(cfg.ops_per_batch, delete_fraction))
+        .collect();
+    let ops: usize = batches.iter().map(GraphDelta::op_count).sum();
+
+    // Incremental side: one session, warmed once, absorbing deltas.
+    let frag = Arc::new(Fragmentation::build(g, assign, cfg.sites));
+    let mut engine = SimEngine::builder(g, frag).build();
+    engine.query(q).expect("warm-up query");
+    let mut post_batch_hits = 0;
+    let mut incremental_answers = Vec::new();
+    let t0 = Instant::now();
+    for delta in &batches {
+        engine.apply_delta(delta).expect("delta applies");
+        let r = engine.query(q).expect("post-batch query");
+        post_batch_hits += r.metrics.cache_hits;
+        incremental_answers.push(r.relation);
+    }
+    let incremental_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Cold-rebuild baseline: rebuild fragmentation + session and
+    // re-answer from scratch after every batch.
+    let mut current = g.clone();
+    let mut rebuild_answers = Vec::new();
+    let t0 = Instant::now();
+    for delta in &batches {
+        current = apply_to_graph(&current, delta);
+        let frag = Arc::new(Fragmentation::build(&current, assign, cfg.sites));
+        let cold = SimEngine::builder(&current, frag).cache(false).build();
+        rebuild_answers.push(cold.query(q).expect("rebuild query").relation);
+    }
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    for (batch, (a, b)) in incremental_answers.iter().zip(&rebuild_answers).enumerate() {
+        assert_eq!(a, b, "{label}: answers diverge at batch {batch}");
+    }
+
+    StreamReport {
+        label,
+        ops,
+        incremental_ms,
+        ops_per_sec: ops as f64 / (incremental_ms / 1e3).max(1e-9),
+        rebuild_ms,
+        speedup: rebuild_ms / incremental_ms.max(1e-9),
+        post_batch_hits,
+    }
+}
+
+/// Runs the three streams of the update experiment. Panics if any
+/// maintained answer deviates from the cold rebuild, if a delete-only
+/// stream fails to serve every post-batch query from the maintained
+/// cache, or (at the default scale) if delete-heavy maintenance is
+/// not ≥ 5× faster than the cold rebuild.
+pub fn run_update(cfg: &UpdateConfig) -> Vec<StreamReport> {
+    let w = social::fig1();
+    let q = w.pattern.clone();
+    let g = social::social_network(cfg.nodes, 4 * cfg.nodes, 8, &q, 25, cfg.seed);
+    let assign = hash_partition(g.node_count(), cfg.sites, cfg.seed);
+
+    let reports = vec![
+        run_stream("delete-heavy", cfg, &g, &assign, &q, 1.0),
+        run_stream("insert-heavy", cfg, &g, &assign, &q, 0.1),
+        run_stream("mixed", cfg, &g, &assign, &q, 0.5),
+    ];
+
+    let delete_heavy = &reports[0];
+    assert_eq!(
+        delete_heavy.post_batch_hits, cfg.batches as u64,
+        "every post-batch query of a delete-only stream must be served \
+         from the maintained entry"
+    );
+    if cfg.assert_speedup {
+        assert!(
+            delete_heavy.speedup >= 5.0,
+            "delete-heavy maintenance must be ≥ 5× faster than cold rebuild, got {:.2}×",
+            delete_heavy.speedup
+        );
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_streams_are_exact() {
+        let cfg = UpdateConfig {
+            nodes: 300,
+            batches: 2,
+            ops_per_batch: 10,
+            ..UpdateConfig::smoke()
+        };
+        let reports = run_update(&cfg);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].post_batch_hits, cfg.batches as u64);
+    }
+}

@@ -18,7 +18,7 @@
 //! identity numbering: still sound, merely fewer isomorphic hits.
 
 use crate::plan::PlanExplanation;
-use dgs_graph::{NodeId, Pattern, QNodeId};
+use dgs_graph::{Label, NodeId, Pattern, PatternBuilder, QNodeId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -205,6 +205,28 @@ pub(crate) fn canonicalize(q: &Pattern) -> CanonicalPattern {
     CanonicalPattern { key, pos_of }
 }
 
+/// Reconstructs the pattern a canonical encoding describes, in its
+/// canonical numbering. The encoding is complete (node count, labels
+/// and edges under the canonical renumbering), so the graph-update
+/// subsystem can rebuild the exact pattern a cache entry answers —
+/// this is what lets `SimEngine::apply_delta` maintain entries whose
+/// original `Pattern` values are long gone.
+pub(crate) fn decode_pattern(key: &[u32]) -> Pattern {
+    let n = key[0] as usize;
+    let m = key[1] as usize;
+    debug_assert_eq!(key.len(), 2 + n + 2 * m, "malformed canonical encoding");
+    let mut b = PatternBuilder::new();
+    for &label in &key[2..2 + n] {
+        b.add_node(Label(label as u16));
+    }
+    for e in 0..m {
+        let a = key[2 + n + 2 * e] as u16;
+        let c = key[2 + n + 2 * e + 1] as u16;
+        b.add_edge(QNodeId(a), QNodeId(c));
+    }
+    b.build()
+}
+
 /// A cached answer, stored in canonical node order so any isomorphic
 /// submission can be served from it.
 #[derive(Debug)]
@@ -232,6 +254,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by the LRU policy.
     pub evictions: u64,
+    /// The engine's current graph generation. Entries are keyed under
+    /// the generation they were computed at; every `apply_delta` or
+    /// `cache_invalidate_all` moves the engine to a fresh generation,
+    /// so a growing value is invalidation churn made observable.
+    pub generation: u64,
 }
 
 #[derive(Debug)]
@@ -334,7 +361,37 @@ impl PatternCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            generation: 0,
         }
+    }
+
+    /// Snapshots the entries whose key starts with `prefix` (the
+    /// engine's generation words) — the still-valid entries the
+    /// update subsystem promotes to incremental maintenance.
+    pub fn entries_with_prefix(&self, prefix: &[u32]) -> Vec<(Vec<u32>, Arc<CachedResult>)> {
+        let mut out: Vec<(Vec<u32>, Arc<CachedResult>)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.value)))
+            .collect();
+        // Deterministic order regardless of hash-map iteration.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drops every entry whose key starts with `prefix` (one handle's
+    /// generation), counting them as evictions. Entries stored by
+    /// other handles under other generations survive.
+    pub fn remove_with_prefix(&mut self, prefix: &[u32]) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| !k.starts_with(prefix));
+        let removed = before - self.map.len();
+        self.evictions += removed as u64;
+        let map = &self.map;
+        self.queue
+            .retain(|(t, k)| map.get(k).is_some_and(|e| e.tick == *t));
+        removed
     }
 }
 
@@ -505,11 +562,46 @@ mod tests {
     }
 
     #[test]
+    fn remove_with_prefix_spares_other_generations() {
+        let mut c = PatternCache::new(8);
+        // Generation prefix [0, 0] vs [1, 0].
+        c.insert(vec![0, 0, 7], dummy("a"));
+        c.insert(vec![0, 0, 8], dummy("b"));
+        c.insert(vec![1, 0, 7], dummy("c"));
+        assert_eq!(c.remove_with_prefix(&[0, 0]), 2);
+        assert!(c.get(&[0, 0, 7]).is_none());
+        assert!(c.get(&[0, 0, 8]).is_none());
+        assert_eq!(c.get(&[1, 0, 7]).unwrap().algorithm, "c");
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
     fn zero_capacity_never_stores() {
         let mut c = PatternCache::new(0);
         c.insert(vec![1], dummy("a"));
         assert!(c.get(&[1]).is_none());
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn decode_pattern_roundtrips_the_canonical_form() {
+        let (q1, q2) = fig1_two_numberings();
+        for q in [q1, q2] {
+            let c = canonicalize(&q);
+            let decoded = decode_pattern(&c.key);
+            // The decoded pattern is the canonical renumbering of q:
+            // canonicalizing it again yields the identical key.
+            assert_eq!(canonicalize(&decoded).key, c.key);
+            // And node u of q sits at canonical position pos_of[u].
+            for u in q.nodes() {
+                assert_eq!(
+                    decoded.label(QNodeId(c.pos_of[u.index()])),
+                    q.label(u),
+                    "label of node {u:?}"
+                );
+            }
+            assert_eq!(decoded.edge_count(), q.edge_count());
+        }
     }
 
     #[test]

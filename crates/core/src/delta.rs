@@ -1,0 +1,673 @@
+//! The graph-update subsystem: batched edge deltas with distributed
+//! incremental maintenance.
+//!
+//! A serving session must absorb a stream of edge updates without
+//! rebuilding the session, the fragmentation, or the pattern-result
+//! cache from scratch. The asymmetry is fundamental under the
+//! downward-monotone semantics of graph simulation:
+//!
+//! * **Deletions only shrink** the maximum relation (Fan, Wang & Wu,
+//!   TODS'13 — the basis of the paper's incremental `lEval`, §4.2), so
+//!   a cached answer can be **maintained** in `O(|AFF|)`: every site
+//!   replays the HHK counter update on its own fragment and ships the
+//!   in-node falsifications to its subscriber sites, exactly like dGPM
+//!   data messages. No full re-evaluation happens.
+//! * **Insertions can revive** candidates from above, so affected
+//!   cached entries are conservatively invalidated and the next query
+//!   re-plans against the updated structural facts.
+//!
+//! [`GraphDelta`] is the batch; `SimEngine::apply_delta` routes it.
+//! This module owns the maintenance protocol: [`UpdateMsg`] is its
+//! wire format (deletion ops and falsifications are **data** messages,
+//! so fault injection covers them — both are idempotent),
+//! [`DeltaSiteState`] is the per-site counter state reconstructed from
+//! a cached relation, and [`build_maintenance`] assembles the actor
+//! set for one maintenance run.
+
+use crate::vars::Var;
+use dgs_graph::{NodeId, Pattern};
+use dgs_net::{CoordinatorLogic, Endpoint, Outbox, SiteDeltaMetrics, SiteLogic, WireSize};
+use dgs_partition::{Fragmentation, SiteId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A batch of edge updates against the loaded graph.
+///
+/// Inserted edges must not exist yet and deleted edges must exist;
+/// ops that are already satisfied (an insert of a present edge, a
+/// delete of an absent one) are skipped and reported, which makes
+/// re-applying a delta a no-op. An edge may not appear in both lists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Edges to insert.
+    pub insert_edges: Vec<(NodeId, NodeId)>,
+    /// Edges to delete.
+    pub delete_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// A deletion-only batch — the incrementally maintainable kind.
+    pub fn deletions(ops: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        GraphDelta {
+            insert_edges: Vec::new(),
+            delete_edges: ops.into_iter().collect(),
+        }
+    }
+
+    /// An insertion-only batch.
+    pub fn insertions(ops: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        GraphDelta {
+            insert_edges: ops.into_iter().collect(),
+            delete_edges: Vec::new(),
+        }
+    }
+
+    /// True iff the batch carries no ops at all.
+    pub fn is_empty(&self) -> bool {
+        self.insert_edges.is_empty() && self.delete_edges.is_empty()
+    }
+
+    /// Number of ops in the batch.
+    pub fn op_count(&self) -> usize {
+        self.insert_edges.len() + self.delete_edges.len()
+    }
+}
+
+/// What one `SimEngine::apply_delta` call did.
+#[derive(Clone, Debug)]
+pub struct DeltaReport {
+    /// Edges actually inserted.
+    pub inserted: usize,
+    /// Edges actually deleted.
+    pub deleted: usize,
+    /// Ops skipped because they were already satisfied.
+    pub ignored: usize,
+    /// Inserted edges that cross fragments.
+    pub crossing_inserted: usize,
+    /// Deleted edges that crossed fragments.
+    pub crossing_deleted: usize,
+    /// Virtual nodes created (or revived) at source sites.
+    pub virtuals_created: usize,
+    /// Virtual nodes retired at source sites.
+    pub virtuals_retired: usize,
+    /// Cached entries kept current by distributed incremental
+    /// maintenance (deletion-only batches).
+    pub maintained_entries: usize,
+    /// Cached entries conservatively invalidated (batches with
+    /// insertions).
+    pub invalidated_entries: usize,
+    /// Match pairs revoked across all maintained entries.
+    pub revoked_pairs: u64,
+    /// The engine's graph generation after this batch (fresh cache
+    /// entries are keyed under it).
+    pub generation: u64,
+    /// Aggregate traffic/ops of the maintenance runs (deletion ops and
+    /// falsifications are data messages; gathers are control/result).
+    pub metrics: dgs_net::RunMetrics,
+    /// Per-site maintenance accounting, aggregated over all maintained
+    /// entries.
+    pub per_site: Vec<SiteDeltaMetrics>,
+}
+
+/// Messages of the distributed maintenance protocol.
+///
+/// `Ops` and `Falsified` are **data** messages: they ride the same
+/// accounting (and fault-injection) path as dGPM's falsification
+/// traffic, and both are idempotent — a re-delivered deletion finds
+/// the edge already gone and a re-delivered falsification finds the
+/// variable already false, so at-least-once delivery cannot change
+/// the maintained relation.
+#[derive(Clone, Debug)]
+pub enum UpdateMsg {
+    /// Edge deletions routed to the site owning the source node
+    /// (data; coordinator → site).
+    Ops(Vec<(u32, u32)>),
+    /// Falsified in-node variables (data; site → subscriber site) —
+    /// exactly dGPM's `lMsg`.
+    Falsified(Vec<Var>),
+    /// Result collection request (control; coordinator → sites).
+    GatherRequest,
+    /// Local match pairs revoked by this site (result; site →
+    /// coordinator).
+    Revoked(Vec<Var>),
+}
+
+impl WireSize for UpdateMsg {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            UpdateMsg::Ops(ops) => 4 + 8 * ops.len(),
+            UpdateMsg::Falsified(vars) | UpdateMsg::Revoked(vars) => vars.wire_size(),
+            UpdateMsg::GatherRequest => 0,
+        }
+    }
+}
+
+/// Persistent per-site counter state for one maintained pattern: the
+/// HHK scheme restricted to the fragment (the state `lEval` would hold
+/// at its fixpoint), plus the fragment's adjacency, which the state
+/// owns and mutates so that deletions stay idempotent and `O(|AFF|)`
+/// across batches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaSiteState {
+    n: usize,
+    nq: usize,
+    /// Fragment-local adjacency (shrinks as deletions are applied).
+    succ: Vec<Vec<u32>>,
+    pred: Vec<Vec<u32>>,
+    /// Candidacy of `X(u, idx)`: `cand[idx * nq + u]`.
+    cand: Vec<bool>,
+    /// Support counters: `cnt[e * n + idx]`.
+    cnt: Vec<u32>,
+}
+
+impl DeltaSiteState {
+    /// Reconstructs the fixpoint state of `site` from a *converged*
+    /// relation: candidacy is relation membership (for local and
+    /// virtual nodes alike — falsifications were fully propagated when
+    /// the relation was computed), and the counters are recounted from
+    /// the fragment adjacency. `rows[u]` must be the sorted matches of
+    /// canonical query node `u` over global node ids.
+    pub fn from_relation(
+        frag: &Fragmentation,
+        site: SiteId,
+        q: &Pattern,
+        rows: &[Vec<NodeId>],
+    ) -> Self {
+        let f = frag.fragment(site);
+        let n = f.n_total();
+        let nq = q.node_count();
+        let succ: Vec<Vec<u32>> = (0..n as u32).map(|i| f.successors(i).to_vec()).collect();
+        let pred: Vec<Vec<u32>> = (0..n as u32).map(|i| f.predecessors(i).to_vec()).collect();
+        let mut cand = vec![false; n * nq];
+        for idx in 0..n {
+            let gid = f.global_id(idx as u32);
+            for (u, row) in rows.iter().enumerate() {
+                cand[idx * nq + u] = row.binary_search(&gid).is_ok();
+            }
+        }
+        let qedges: Vec<(u16, u16)> = q.edges().map(|(a, b)| (a.0, b.0)).collect();
+        let mut cnt = vec![0u32; qedges.len() * n];
+        for (idx, ss) in succ.iter().enumerate() {
+            for &s in ss {
+                for (e, &(_, uc)) in qedges.iter().enumerate() {
+                    if cand[s as usize * nq + uc as usize] {
+                        cnt[e * n + idx] += 1;
+                    }
+                }
+            }
+        }
+        DeltaSiteState {
+            n,
+            nq,
+            succ,
+            pred,
+            cand,
+            cnt,
+        }
+    }
+
+    /// Is `X(u, idx)` still a candidate? (`idx` is a fragment-local
+    /// index.)
+    pub fn is_candidate(&self, u: u16, idx: u32) -> bool {
+        self.cand[idx as usize * self.nq + u as usize]
+    }
+}
+
+/// Site logic of one maintenance run: owns the persistent state for
+/// the duration and hands it back through [`Self::into_state`].
+pub struct DeltaSiteLogic {
+    site: SiteId,
+    frag: Arc<Fragmentation>,
+    qedges: Vec<(u16, u16)>,
+    /// Per query node: `(edge index, parent)` pairs.
+    parent_edges: Vec<Vec<(usize, u16)>>,
+    st: DeltaSiteState,
+    /// Local pairs falsified during this run (shipped at gather).
+    revoked: Vec<Var>,
+    stats: SiteDeltaMetrics,
+    ops: u64,
+}
+
+impl DeltaSiteLogic {
+    fn new(site: SiteId, frag: Arc<Fragmentation>, q: &Pattern, st: DeltaSiteState) -> Self {
+        let qedges: Vec<(u16, u16)> = q.edges().map(|(a, b)| (a.0, b.0)).collect();
+        let mut parent_edges: Vec<Vec<(usize, u16)>> = vec![Vec::new(); q.node_count()];
+        for (e, &(u, uc)) in qedges.iter().enumerate() {
+            parent_edges[uc as usize].push((e, u));
+        }
+        DeltaSiteLogic {
+            stats: SiteDeltaMetrics {
+                site,
+                ..SiteDeltaMetrics::default()
+            },
+            site,
+            frag,
+            qedges,
+            parent_edges,
+            st,
+            revoked: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// The persistent counter state, to be carried into the next
+    /// batch.
+    pub fn into_state(self) -> DeltaSiteState {
+        self.st
+    }
+
+    /// This run's per-site accounting.
+    pub fn stats(&self) -> &SiteDeltaMetrics {
+        &self.stats
+    }
+
+    /// Applies one (possibly re-delivered) edge deletion. Returns the
+    /// in-node variables it falsified.
+    fn apply_deletion(&mut self, u: u32, v: u32) -> Vec<Var> {
+        let f = self.frag.fragment(self.site);
+        let (Some(ui), Some(vi)) = (f.index_of(NodeId(u)), f.index_of(NodeId(v))) else {
+            return Vec::new();
+        };
+        let (ui, vi) = (ui as usize, vi as usize);
+        // Idempotence: a duplicate delivery finds the edge already
+        // removed from this state's own adjacency and is a no-op.
+        let Ok(pos) = self.st.succ[ui].binary_search(&(vi as u32)) else {
+            return Vec::new();
+        };
+        self.st.succ[ui].remove(pos);
+        let ppos = self.st.pred[vi]
+            .binary_search(&(ui as u32))
+            .expect("reverse edge tracked");
+        self.st.pred[vi].remove(ppos);
+        self.stats.ops_applied += 1;
+
+        // The deleted edge supported, per query edge (uq, uc), the
+        // pair (uq, u) iff (uc, v) is still a candidate. Snapshot v's
+        // candidacy row first: on a self-loop (u = v) an early
+        // iteration can falsify a pair of v itself, and the counters
+        // hold the *pre-deletion* support — the cascade for the
+        // falsified pair is `propagate`'s job.
+        let (n, nq) = (self.st.n, self.st.nq);
+        let vcand: Vec<bool> = (0..nq).map(|uc| self.st.cand[vi * nq + uc]).collect();
+        let mut worklist = Vec::new();
+        for (e, &(uq, uc)) in self.qedges.iter().enumerate() {
+            self.ops += 1;
+            if vcand[uc as usize] {
+                let c = &mut self.st.cnt[e * n + ui];
+                debug_assert!(*c > 0, "support counter underflow");
+                *c -= 1;
+                if *c == 0 && self.st.cand[ui * nq + uq as usize] {
+                    self.st.cand[ui * nq + uq as usize] = false;
+                    worklist.push((uq, ui as u32));
+                }
+            }
+        }
+        self.propagate(worklist)
+    }
+
+    /// The downward worklist (the incremental `lEval` of §4.2 over
+    /// this fragment): records revoked local pairs and returns the
+    /// falsified in-node variables — what `lMsg` must ship.
+    ///
+    /// This is the fragment-local sibling of
+    /// `dgs_sim::IncrementalSim::propagate` (global graph, transposed
+    /// `cand` layout, no shipping) — a counter-scheme change there
+    /// almost certainly applies here too.
+    fn propagate(&mut self, mut worklist: Vec<(u16, u32)>) -> Vec<Var> {
+        let f = self.frag.fragment(self.site);
+        let st = &mut self.st;
+        let (n, nq) = (st.n, st.nq);
+        let n_local = f.n_local();
+        let mut falsified_in_nodes = Vec::new();
+        while let Some((uq, idx)) = worklist.pop() {
+            if (idx as usize) < n_local {
+                let var = Var {
+                    q: uq,
+                    node: f.global_id(idx).0,
+                };
+                self.revoked.push(var);
+                self.stats.pairs_revoked += 1;
+                if f.in_node_pos(idx).is_some() {
+                    falsified_in_nodes.push(var);
+                }
+            }
+            for &(e, up) in &self.parent_edges[uq as usize] {
+                for i in 0..st.pred[idx as usize].len() {
+                    let vp = st.pred[idx as usize][i] as usize;
+                    self.ops += 1;
+                    let c = &mut st.cnt[e * n + vp];
+                    debug_assert!(*c > 0, "support counter underflow");
+                    *c -= 1;
+                    if *c == 0 && st.cand[vp * nq + up as usize] {
+                        st.cand[vp * nq + up as usize] = false;
+                        worklist.push((up, vp as u32));
+                    }
+                }
+            }
+        }
+        falsified_in_nodes
+    }
+
+    /// Ships in-node falsifications to their subscriber sites (read
+    /// from the *current* fragmentation, so dropped subscriptions ship
+    /// nothing), batched per destination.
+    fn route_falsifications(&mut self, vars: Vec<Var>, out: &mut Outbox<UpdateMsg>) {
+        if vars.is_empty() {
+            return;
+        }
+        let f = self.frag.fragment(self.site);
+        let mut per_site: BTreeMap<SiteId, Vec<Var>> = BTreeMap::new();
+        for var in vars {
+            let idx = f.index_of(var.node_id()).expect("in-node var is local");
+            let pos = f.in_node_pos(idx).expect("falsified var is an in-node");
+            for &s in f.in_node_subscribers(pos) {
+                per_site.entry(s).or_default().push(var);
+            }
+        }
+        for (s, vars) in per_site {
+            self.stats.falsifications_shipped += vars.len() as u64;
+            out.send(Endpoint::Site(s as u32), UpdateMsg::Falsified(vars));
+        }
+    }
+
+    fn charge(&mut self, out: &mut Outbox<UpdateMsg>) {
+        out.charge_ops(std::mem::take(&mut self.ops));
+    }
+}
+
+impl SiteLogic<UpdateMsg> for DeltaSiteLogic {
+    fn on_start(&mut self, _out: &mut Outbox<UpdateMsg>) {
+        // Sites idle until the coordinator routes them ops.
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: UpdateMsg, out: &mut Outbox<UpdateMsg>) {
+        match msg {
+            UpdateMsg::Ops(pairs) => {
+                let mut falsified = Vec::new();
+                for (u, v) in pairs {
+                    falsified.extend(self.apply_deletion(u, v));
+                }
+                self.route_falsifications(falsified, out);
+            }
+            UpdateMsg::Falsified(vars) => {
+                let f = Arc::clone(&self.frag);
+                let f = f.fragment(self.site);
+                let nq = self.st.nq;
+                let mut worklist = Vec::new();
+                for var in vars {
+                    self.ops += 1;
+                    let Some(idx) = f.index_of(var.node_id()) else {
+                        continue;
+                    };
+                    debug_assert!(f.is_virtual(idx), "falsification targets a virtual node");
+                    let slot = idx as usize * nq + var.q as usize;
+                    // Idempotence: an already-false variable is a no-op.
+                    if self.st.cand[slot] {
+                        self.st.cand[slot] = false;
+                        worklist.push((var.q, idx));
+                    }
+                }
+                let falsified = self.propagate(worklist);
+                self.route_falsifications(falsified, out);
+            }
+            UpdateMsg::GatherRequest => {
+                debug_assert_eq!(from, Endpoint::Coordinator);
+                out.send_result(
+                    Endpoint::Coordinator,
+                    UpdateMsg::Revoked(std::mem::take(&mut self.revoked)),
+                );
+            }
+            UpdateMsg::Revoked(_) => unreachable!("sites never receive results"),
+        }
+        self.charge(out);
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Updating,
+    Gathering,
+    Done,
+}
+
+/// Coordinator of one maintenance run: routes the deletion batch,
+/// idles through the falsification fixpoint, then collects the
+/// revoked pairs.
+pub struct DeltaCoordinator {
+    ops_by_site: Vec<Vec<(u32, u32)>>,
+    phase: Phase,
+    /// Match pairs revoked across all sites (query nodes in the
+    /// maintained pattern's numbering, data nodes global).
+    pub revoked: Vec<Var>,
+}
+
+impl CoordinatorLogic<UpdateMsg> for DeltaCoordinator {
+    fn on_start(&mut self, out: &mut Outbox<UpdateMsg>) {
+        for (s, ops) in self.ops_by_site.iter_mut().enumerate() {
+            if !ops.is_empty() {
+                out.send(
+                    Endpoint::Site(s as u32),
+                    UpdateMsg::Ops(std::mem::take(ops)),
+                );
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: Endpoint, msg: UpdateMsg, out: &mut Outbox<UpdateMsg>) {
+        match msg {
+            UpdateMsg::Revoked(vars) => {
+                out.charge_ops(vars.len() as u64 + 1);
+                self.revoked.extend(vars);
+            }
+            _ => unreachable!("coordinator only receives results"),
+        }
+    }
+
+    fn on_quiescent(&mut self, out: &mut Outbox<UpdateMsg>) -> bool {
+        match self.phase {
+            Phase::Updating => {
+                for i in 0..out.num_sites() {
+                    out.send_control(Endpoint::Site(i as u32), UpdateMsg::GatherRequest);
+                }
+                self.phase = Phase::Gathering;
+                if out.num_sites() == 0 {
+                    self.phase = Phase::Done;
+                    return true;
+                }
+                false
+            }
+            Phase::Gathering => {
+                self.phase = Phase::Done;
+                true
+            }
+            Phase::Done => true,
+        }
+    }
+}
+
+/// Builds the actor set for one distributed maintenance run over
+/// `deletions`: one [`DeltaSiteLogic`] per site wrapping its
+/// persistent [`DeltaSiteState`], plus the routing coordinator. Each
+/// deletion is routed to the site owning its source node.
+///
+/// # Panics
+/// Panics if `states.len() != frag.num_sites()`.
+pub fn build_maintenance(
+    frag: &Arc<Fragmentation>,
+    q: &Pattern,
+    states: Vec<DeltaSiteState>,
+    deletions: &[(NodeId, NodeId)],
+) -> (DeltaCoordinator, Vec<DeltaSiteLogic>) {
+    assert_eq!(
+        states.len(),
+        frag.num_sites(),
+        "one state per site required"
+    );
+    let mut ops_by_site: Vec<Vec<(u32, u32)>> = vec![Vec::new(); frag.num_sites()];
+    for &(u, v) in deletions {
+        ops_by_site[frag.owner(u)].push((u.0, v.0));
+    }
+    let sites = states
+        .into_iter()
+        .enumerate()
+        .map(|(s, st)| DeltaSiteLogic::new(s, Arc::clone(frag), q, st))
+        .collect();
+    (
+        DeltaCoordinator {
+            ops_by_site,
+            phase: Phase::Updating,
+            revoked: Vec::new(),
+        },
+        sites,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::{patterns, random};
+    use dgs_graph::GraphBuilder;
+    use dgs_net::{CostModel, ExecutorKind};
+    use dgs_partition::hash_partition;
+    use dgs_sim::hhk_simulation;
+
+    fn rows_of(q: &Pattern, g: &dgs_graph::Graph) -> Vec<Vec<NodeId>> {
+        let rel = hhk_simulation(q, g).relation;
+        q.nodes().map(|u| rel.matches_of(u).to_vec()).collect()
+    }
+
+    fn graph_without(g: &dgs_graph::Graph, deleted: &[(NodeId, NodeId)]) -> dgs_graph::Graph {
+        let mut b = GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            if !deleted.contains(&(u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn maintenance_run_matches_recomputation() {
+        for seed in 0..6 {
+            let n = 80;
+            let g = random::uniform(n, 320, 4, seed);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 3);
+            let assign = hash_partition(n, 3, seed);
+            let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+            let rows = rows_of(&q, &g);
+
+            let deletions: Vec<(NodeId, NodeId)> = g.edges().take(12).collect();
+            let states: Vec<DeltaSiteState> = (0..3)
+                .map(|s| DeltaSiteState::from_relation(&frag, s, &q, &rows))
+                .collect();
+
+            // The fragmentation absorbs the delta first (as the engine
+            // does), then the maintenance protocol runs.
+            let mut frag2 = (*frag).clone();
+            frag2.apply_delta(
+                &deletions
+                    .iter()
+                    .map(|&(u, v)| dgs_partition::EdgeOp::Delete(u, v))
+                    .collect::<Vec<_>>(),
+            );
+            let frag2 = Arc::new(frag2);
+            let (coord, sites) = build_maintenance(&frag2, &q, states, &deletions);
+            let o = dgs_net::run(ExecutorKind::Virtual, &CostModel::default(), coord, sites);
+
+            // Revoking the reported pairs from the old relation yields
+            // the oracle relation on the mutated graph.
+            let g2 = graph_without(&g, &deletions);
+            let oracle = hhk_simulation(&q, &g2).relation;
+            let mut rows2 = rows.clone();
+            for var in &o.coordinator.revoked {
+                let row = &mut rows2[var.q as usize];
+                let pos = row
+                    .binary_search(&var.node_id())
+                    .expect("revoked pair was in the relation");
+                row.remove(pos);
+            }
+            let maintained = dgs_sim::MatchRelation::from_lists(rows2);
+            assert_eq!(maintained, oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn redelivered_deletions_and_falsifications_are_idempotent() {
+        use dgs_net::{FaultPlan, VirtualExecutor};
+        for seed in 0..4 {
+            let n = 70;
+            let g = random::uniform(n, 280, 4, seed + 50);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 53);
+            let assign = hash_partition(n, 4, seed);
+            let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+            let rows = rows_of(&q, &g);
+            let deletions: Vec<(NodeId, NodeId)> = g.edges().take(10).collect();
+
+            let mut frag2 = (*frag).clone();
+            frag2.apply_delta(
+                &deletions
+                    .iter()
+                    .map(|&(u, v)| dgs_partition::EdgeOp::Delete(u, v))
+                    .collect::<Vec<_>>(),
+            );
+            let frag2 = Arc::new(frag2);
+
+            let run = |faults: Option<FaultPlan>| {
+                let states: Vec<DeltaSiteState> = (0..4)
+                    .map(|s| DeltaSiteState::from_relation(&frag, s, &q, &rows))
+                    .collect();
+                let (coord, sites) = build_maintenance(&frag2, &q, states, &deletions);
+                let mut exec = VirtualExecutor::new(CostModel::default());
+                if let Some(f) = faults {
+                    exec = exec.with_faults(f);
+                }
+                let o = exec.run(coord, sites);
+                let mut revoked = o.coordinator.revoked.clone();
+                revoked.sort_unstable();
+                let states: Vec<DeltaSiteState> = o
+                    .sites
+                    .into_iter()
+                    .map(DeltaSiteLogic::into_state)
+                    .collect();
+                (revoked, states, o.metrics)
+            };
+
+            let (clean_revoked, clean_states, _) = run(None);
+            let (faulty_revoked, faulty_states, m) =
+                run(Some(FaultPlan::duplicating(1.0, seed ^ 0xA5)));
+            // Every data message (ops batches and falsifications) was
+            // re-delivered...
+            if m.data_messages > 0 {
+                assert_eq!(m.duplicated_messages * 2, m.data_messages, "seed {seed}");
+            }
+            // ...and neither the revoked set nor any site's counter
+            // state changed: deletions and falsifications are
+            // idempotent.
+            assert_eq!(faulty_revoked, clean_revoked, "seed {seed}");
+            assert_eq!(faulty_states, clean_states, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(UpdateMsg::GatherRequest.wire_size(), 1);
+        assert_eq!(UpdateMsg::Ops(vec![(1, 2), (3, 4)]).wire_size(), 1 + 4 + 16);
+        let v = vec![Var { q: 0, node: 7 }];
+        assert_eq!(UpdateMsg::Falsified(v.clone()).wire_size(), 1 + 4 + 6);
+        assert_eq!(UpdateMsg::Revoked(v).wire_size(), 1 + 4 + 6);
+    }
+
+    #[test]
+    fn delta_helpers() {
+        let d = GraphDelta::deletions([(NodeId(0), NodeId(1))]);
+        assert!(d.insert_edges.is_empty());
+        assert_eq!(d.op_count(), 1);
+        assert!(!d.is_empty());
+        let i = GraphDelta::insertions([(NodeId(1), NodeId(0))]);
+        assert!(i.delete_edges.is_empty());
+        assert!(GraphDelta::default().is_empty());
+    }
+}

@@ -51,20 +51,35 @@
 //!   [`SimEngineBuilder::compression_threshold`], `Auto` queries run on
 //!   `Gc` and the relation is decompressed back to `G`'s node ids,
 //!   with the leg recorded in [`PlanExplanation::compressed`].
+//!
+//! ## Dynamic graphs
+//!
+//! Sessions are **mutable**: [`SimEngine::apply_delta`] absorbs a
+//! [`GraphDelta`] batch in place. The fragmentation is maintained
+//! incrementally (virtual nodes and in-node subscriptions included),
+//! deletion-only batches keep cached answers current through the
+//! distributed incremental update of [`crate::delta`] (the plan then
+//! carries [`PlanExplanation::incremental`]), and batches with
+//! insertions conservatively invalidate. Generation-tagged cache keys
+//! make stale hits impossible; the structural facts and the compressed
+//! leg refresh lazily.
 
 use crate::cache::{self, CacheStats, CachedResult, CanonicalPattern, PatternCache};
+use crate::delta::{self, DeltaReport, DeltaSiteState, GraphDelta};
 use crate::dgpm::{self, DgpmConfig, QueryMode};
 use crate::error::DgsError;
 use crate::plan::{
-    CompressedNote, EngineChoice, GraphFacts, PatternFacts, PlanExplanation, Planner,
+    CompressedNote, EngineChoice, GraphFacts, IncrementalNote, PatternFacts, PlanExplanation,
+    Planner,
 };
 use crate::{baselines, dgpmd, dgpms, dgpmt};
-use dgs_graph::{Graph, Pattern};
-use dgs_net::{CostModel, ExecutorKind, RunMetrics};
-use dgs_partition::Fragmentation;
+use dgs_graph::{Graph, GraphBuilder, NodeId, Pattern};
+use dgs_net::{CostModel, ExecutorKind, RunMetrics, SiteDeltaMetrics};
+use dgs_partition::{EdgeOp, Fragmentation};
 use dgs_sim::{compress_bisim, compress_simeq, CompressedGraph, MatchRelation};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which engine to run.
@@ -331,47 +346,71 @@ impl SimEngineBuilder<'_> {
     /// the once-per-session cost: `O(|V| + |E|)` for DAG-ness, the
     /// rooted-tree check, fragment connectivity and the SCC
     /// condensation — plus, when [`Self::compress`] is on, the quotient
-    /// graph `Gc` and its fragmentation.
+    /// graph `Gc` and its fragmentation. The engine keeps its own copy
+    /// of the graph so the session can absorb
+    /// [`SimEngine::apply_delta`] batches later.
     pub fn build(self) -> SimEngine {
         let facts = GraphFacts::compute(self.graph, &self.frag);
-        let compressed = self.compression.map(|method| {
-            let c = match method {
-                CompressionMethod::SimEq => compress_simeq(self.graph),
-                CompressionMethod::Bisim => compress_bisim(self.graph),
-            };
-            let ratio = c.ratio(self.graph.size());
-            // Each class lives at the site owning its first member, so
-            // the quotient keeps the original placement's locality and
-            // the same number of sites.
-            let assign: Vec<usize> = c.members.iter().map(|m| self.frag.owner(m[0])).collect();
-            let cfrag = Arc::new(Fragmentation::build(
-                &c.graph,
-                &assign,
-                self.frag.num_sites(),
-            ));
-            let cfacts = GraphFacts::compute(&c.graph, &cfrag);
-            Arc::new(CompressedLeg {
-                active: ratio <= self.compression_threshold,
-                graph: c,
-                frag: cfrag,
-                facts: cfacts,
-                ratio,
-                threshold: self.compression_threshold,
-                method,
-            })
-        });
+        let leg = self
+            .compression
+            .map(|method| build_leg(self.graph, &self.frag, method, self.compression_threshold));
         SimEngine {
+            graph: Mutex::new(GraphState {
+                graph: Arc::new(self.graph.clone()),
+                pending: Vec::new(),
+            }),
             frag: self.frag,
             executor: self.executor,
             cost: self.cost,
             planner: self.planner,
-            facts,
+            facts: Mutex::new(FactsState {
+                facts: Arc::new(facts),
+                dirty: false,
+            }),
             cache: (self.cache_capacity > 0)
                 .then(|| Arc::new(Mutex::new(PatternCache::new(self.cache_capacity)))),
             batch_workers: self.batch_workers,
-            compressed,
+            compressed: Mutex::new(CompressedState {
+                method: self.compression,
+                threshold: self.compression_threshold,
+                leg,
+                dirty: false,
+            }),
+            maintained: Mutex::new(HashMap::new()),
+            generation: 0,
+            gen_alloc: Arc::new(AtomicU64::new(1)),
         }
     }
+}
+
+/// Builds the compressed leg for the current graph (session build
+/// time, and lazily again after a delta marks the leg dirty).
+fn build_leg(
+    graph: &Graph,
+    frag: &Arc<Fragmentation>,
+    method: CompressionMethod,
+    threshold: f64,
+) -> Arc<CompressedLeg> {
+    let c = match method {
+        CompressionMethod::SimEq => compress_simeq(graph),
+        CompressionMethod::Bisim => compress_bisim(graph),
+    };
+    let ratio = c.ratio(graph.size());
+    // Each class lives at the site owning its first member, so the
+    // quotient keeps the original placement's locality and the same
+    // number of sites.
+    let assign: Vec<usize> = c.members.iter().map(|m| frag.owner(m[0])).collect();
+    let cfrag = Arc::new(Fragmentation::build(&c.graph, &assign, frag.num_sites()));
+    let cfacts = GraphFacts::compute(&c.graph, &cfrag);
+    Arc::new(CompressedLeg {
+        active: ratio <= threshold,
+        graph: c,
+        frag: cfrag,
+        facts: cfacts,
+        ratio,
+        threshold,
+        method,
+    })
 }
 
 /// The compressed leg of a session: `Gc`, its fragmentation and the
@@ -396,6 +435,76 @@ impl CompressedLeg {
             method: self.method.name(),
         }
     }
+}
+
+/// The session's compression configuration plus its (lazily rebuilt)
+/// leg. A graph delta marks the leg **dirty**; the next query that
+/// wants it rebuilds the quotient from the current graph.
+#[derive(Clone, Debug)]
+struct CompressedState {
+    method: Option<CompressionMethod>,
+    threshold: f64,
+    leg: Option<Arc<CompressedLeg>>,
+    dirty: bool,
+}
+
+/// Persistent maintenance state of one cached entry: the per-site HHK
+/// counter states plus the cumulative incremental-leg accounting.
+#[derive(Debug)]
+struct MaintainedStates {
+    sites: Vec<DeltaSiteState>,
+    deletions_absorbed: u64,
+    maintenance_runs: u64,
+}
+
+/// The session's graph mirror. Deltas append **pending** ops instead
+/// of rebuilding the CSR eagerly — a delete-heavy stream whose
+/// queries are all served from maintained cache entries never needs
+/// the materialized graph at all, so the `O(|G|)` rebuild is deferred
+/// until something (facts recompute, compression rebuild, a caller)
+/// actually asks for it.
+#[derive(Clone, Debug)]
+struct GraphState {
+    graph: Arc<Graph>,
+    pending: Vec<EdgeOp>,
+}
+
+impl GraphState {
+    fn materialize(&mut self) -> Arc<Graph> {
+        if !self.pending.is_empty() {
+            let g = &self.graph;
+            let mut edges: HashSet<(NodeId, NodeId)> = g.edges().collect();
+            for op in self.pending.drain(..) {
+                match op {
+                    EdgeOp::Insert(u, v) => {
+                        edges.insert((u, v));
+                    }
+                    EdgeOp::Delete(u, v) => {
+                        edges.remove(&(u, v));
+                    }
+                }
+            }
+            let mut b = GraphBuilder::with_capacity(g.node_count(), edges.len());
+            for v in g.nodes() {
+                b.add_node(g.label(v));
+            }
+            let mut sorted: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+            sorted.sort_unstable();
+            for (u, v) in sorted {
+                b.add_edge(u, v);
+            }
+            self.graph = Arc::new(b.build());
+        }
+        Arc::clone(&self.graph)
+    }
+}
+
+/// The planner's structural facts, recomputed lazily after a delta
+/// (cache-served queries never consult them).
+#[derive(Clone, Debug)]
+struct FactsState {
+    facts: Arc<GraphFacts>,
+    dirty: bool,
 }
 
 /// An engine the planner resolved a query to (explicit choices
@@ -431,17 +540,60 @@ impl Resolved {
 /// A session over one fragmented graph: build once, query many times,
 /// from many threads — `SimEngine` is `Send + Sync`, and clones share
 /// the same pattern-result cache.
-#[derive(Clone, Debug)]
+///
+/// Sessions are **mutable**: [`SimEngine::apply_delta`] absorbs a
+/// batch of edge updates in place. Deletions drive distributed
+/// incremental maintenance of the cached answers; insertions
+/// conservatively invalidate them and the next query re-plans. Every
+/// delta moves the session to a fresh graph **generation**; cache
+/// entries are keyed under the generation they were computed at, so a
+/// stale hit is impossible even though clones share the cache.
+#[derive(Debug)]
 pub struct SimEngine {
+    /// The engine's own (lazily materialized) copy of the loaded
+    /// graph, kept current by [`SimEngine::apply_delta`].
+    graph: Mutex<GraphState>,
     frag: Arc<Fragmentation>,
     executor: ExecutorKind,
     cost: CostModel,
     planner: Planner,
-    facts: GraphFacts,
+    facts: Mutex<FactsState>,
     cache: Option<Arc<Mutex<PatternCache>>>,
     /// `0` = auto (one worker per available core).
     batch_workers: usize,
-    compressed: Option<Arc<CompressedLeg>>,
+    compressed: Mutex<CompressedState>,
+    /// Per-handle maintenance states of the delta-maintained cache
+    /// entries, keyed by canonical pattern encoding (without the
+    /// generation prefix — the map itself is always current).
+    maintained: Mutex<HashMap<Vec<u32>, MaintainedStates>>,
+    /// This handle's graph generation: the prefix its cache keys carry.
+    generation: u64,
+    /// Allocator of globally fresh generations, shared by clones so
+    /// two diverging handles can never collide on a generation.
+    gen_alloc: Arc<AtomicU64>,
+}
+
+impl Clone for SimEngine {
+    /// Clones share the pattern-result cache and the generation
+    /// allocator; each clone gets an independent snapshot of the graph
+    /// state, and maintenance states are **not** carried over (the
+    /// clone rebuilds them from cached rows at its next delta).
+    fn clone(&self) -> Self {
+        SimEngine {
+            graph: Mutex::new(self.graph.lock().clone()),
+            frag: Arc::clone(&self.frag),
+            executor: self.executor,
+            cost: self.cost.clone(),
+            planner: self.planner.clone(),
+            facts: Mutex::new(self.facts.lock().clone()),
+            cache: self.cache.clone(),
+            batch_workers: self.batch_workers,
+            compressed: Mutex::new(self.compressed.lock().clone()),
+            maintained: Mutex::new(HashMap::new()),
+            generation: self.generation,
+            gen_alloc: Arc::clone(&self.gen_alloc),
+        }
+    }
 }
 
 /// Compile-time proof that the session engine can be shared across
@@ -470,9 +622,16 @@ impl SimEngine {
         }
     }
 
-    /// The cached structural facts the planner uses.
-    pub fn facts(&self) -> &GraphFacts {
-        &self.facts
+    /// The cached structural facts the planner uses, recomputed
+    /// lazily after an [`Self::apply_delta`] batch (queries served
+    /// from maintained cache entries never pay for them).
+    pub fn facts(&self) -> Arc<GraphFacts> {
+        let mut state = self.facts.lock();
+        if state.dirty {
+            state.facts = Arc::new(GraphFacts::compute(&self.graph(), &self.frag));
+            state.dirty = false;
+        }
+        Arc::clone(&state.facts)
     }
 
     /// The fragmentation this engine serves.
@@ -480,28 +639,78 @@ impl SimEngine {
         &self.frag
     }
 
-    /// Counters of the pattern-result cache; `None` when the cache is
-    /// disabled.
-    pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(|c| c.lock().stats())
+    /// The engine's current graph (the loaded graph plus every applied
+    /// delta), materializing any pending delta ops first.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.graph.lock().materialize()
     }
 
-    /// The compressed leg built at session time, if any.
+    /// This handle's graph generation: bumped by every
+    /// [`Self::apply_delta`] and [`Self::cache_invalidate_all`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Counters of the pattern-result cache; `None` when the cache is
+    /// disabled. `generation` reports this handle's current graph
+    /// generation so operators can observe invalidation churn.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| {
+            let mut stats = c.lock().stats();
+            stats.generation = self.generation;
+            stats
+        })
+    }
+
+    /// Drops every pattern-result cache entry **of this handle** (its
+    /// current generation) and moves it to a fresh generation, so
+    /// nothing computed before this call can be served from the cache
+    /// again. Entries stored by diverged clones under their own
+    /// generations are untouched — each handle can only ever see its
+    /// own generation's entries.
+    pub fn cache_invalidate_all(&mut self) {
+        if let Some(cache) = &self.cache {
+            let prefix = self.gen_key(&[]);
+            cache.lock().remove_with_prefix(&prefix);
+        }
+        self.maintained.lock().clear();
+        self.generation = self.gen_alloc.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The session's compressed leg, rebuilding it first when a delta
+    /// marked it dirty. `None` when compression is off.
+    fn compressed_leg(&self) -> Option<Arc<CompressedLeg>> {
+        let mut state = self.compressed.lock();
+        let method = state.method?;
+        if state.dirty || state.leg.is_none() {
+            state.leg = Some(build_leg(
+                &self.graph(),
+                &self.frag,
+                method,
+                state.threshold,
+            ));
+            state.dirty = false;
+        }
+        state.leg.clone()
+    }
+
+    /// The compressed leg built for the session, if any (lazily
+    /// rebuilt after graph deltas).
     pub fn compression_note(&self) -> Option<CompressedNote> {
-        self.compressed.as_ref().map(|leg| leg.note())
+        self.compressed_leg().map(|leg| leg.note())
     }
 
     /// Whether [`Algorithm::Auto`] queries currently answer on `Gc`
     /// (a leg was built and its ratio cleared the threshold).
     pub fn compression_active(&self) -> bool {
-        self.compressed.as_ref().is_some_and(|leg| leg.active)
+        self.compressed_leg().is_some_and(|leg| leg.active)
     }
 
     /// Plans `q` without running it: which engine would serve it, and
     /// why.
     pub fn plan(&self, q: &Pattern) -> Result<PlanExplanation, DgsError> {
         let qf = PatternFacts::compute(q);
-        self.planner.plan(&self.facts, &qf).map(|(_, plan)| plan)
+        self.planner.plan(&self.facts(), &qf).map(|(_, plan)| plan)
     }
 
     /// Runs `q` with the planner-chosen engine.
@@ -726,6 +935,221 @@ impl SimEngine {
         configured.min(work).max(1)
     }
 
+    /// Absorbs a batch of edge updates into the session **in place**:
+    /// no re-partitioning, no session rebuild, no wholesale cache
+    /// flush.
+    ///
+    /// * The fragmentation is maintained incrementally
+    ///   ([`Fragmentation::apply_delta`]): each op routes to the
+    ///   fragment owning its source node, virtual nodes are
+    ///   created/retired and in-node subscriptions added/dropped as
+    ///   crossing edges appear and disappear.
+    /// * **Deletion-only batches** keep the cached answers *valid*:
+    ///   every current-generation cache entry is promoted to
+    ///   distributed incremental maintenance — each site replays the
+    ///   HHK counter update on its fragment ([`delta::DeltaSiteState`])
+    ///   and ships in-node falsifications to its subscribers exactly
+    ///   like dGPM data messages — and re-stored under the fresh
+    ///   generation with [`PlanExplanation::incremental`] recording the
+    ///   leg. A follow-up query is a cache hit: zero full
+    ///   re-evaluations.
+    /// * **Batches with insertions** conservatively invalidate the
+    ///   cached answers (insertions can revive candidates from above);
+    ///   the next query re-plans against the recomputed
+    ///   [`GraphFacts`].
+    ///
+    /// The compressed leg, if configured, is marked dirty and lazily
+    /// rebuilt by the next query that wants it.
+    ///
+    /// Ops already satisfied (inserting a present edge, deleting an
+    /// absent one) are skipped and counted in
+    /// [`DeltaReport::ignored`], which makes re-applying a delta a
+    /// no-op. An edge listed for both insertion and deletion, or one
+    /// referencing a node outside the graph, is
+    /// [`DgsError::InvalidDelta`].
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaReport, DgsError> {
+        // Validate and normalize the batch. Presence checks go through
+        // the fragmentation (`O(log deg)` per op), so a delta never
+        // forces the graph mirror to materialize.
+        let n = self.frag.assignment().len() as u32;
+        for &(u, v) in delta.insert_edges.iter().chain(&delta.delete_edges) {
+            if u.0 >= n || v.0 >= n {
+                return Err(DgsError::InvalidDelta {
+                    reason: format!("edge ({u}, {v}) references a node outside the {n}-node graph"),
+                });
+            }
+        }
+        let mut inserts = delta.insert_edges.clone();
+        inserts.sort_unstable();
+        inserts.dedup();
+        let mut deletes = delta.delete_edges.clone();
+        deletes.sort_unstable();
+        deletes.dedup();
+        if let Some(&(u, v)) = inserts.iter().find(|e| deletes.binary_search(e).is_ok()) {
+            return Err(DgsError::InvalidDelta {
+                reason: format!("edge ({u}, {v}) is listed for both insertion and deletion"),
+            });
+        }
+        let listed = inserts.len() + deletes.len();
+        inserts.retain(|&(u, v)| !self.frag.has_edge(u, v));
+        deletes.retain(|&(u, v)| self.frag.has_edge(u, v));
+
+        let mut report = DeltaReport {
+            inserted: inserts.len(),
+            deleted: deletes.len(),
+            ignored: listed - inserts.len() - deletes.len(),
+            crossing_inserted: 0,
+            crossing_deleted: 0,
+            virtuals_created: 0,
+            virtuals_retired: 0,
+            maintained_entries: 0,
+            invalidated_entries: 0,
+            revoked_pairs: 0,
+            generation: self.generation,
+            metrics: RunMetrics::default(),
+            per_site: (0..self.frag.num_sites())
+                .map(|site| SiteDeltaMetrics {
+                    site,
+                    ..SiteDeltaMetrics::default()
+                })
+                .collect(),
+        };
+        if inserts.is_empty() && deletes.is_empty() {
+            // Everything was already satisfied: the graph is unchanged,
+            // so the generation — and every cached answer — stays
+            // valid.
+            return Ok(report);
+        }
+        let delete_only = inserts.is_empty();
+        let old_prefix = self.gen_key(&[]);
+
+        // Promote current-generation cache entries to maintenance
+        // (deletion-only batches), building missing per-site counter
+        // states from the *pre-delta* fragments and the cached rows.
+        let mut promoted: Vec<(Vec<u32>, Pattern, Arc<CachedResult>)> = Vec::new();
+        if delete_only {
+            if let Some(cache) = &self.cache {
+                let entries = cache.lock().entries_with_prefix(&old_prefix);
+                let mut maintained = self.maintained.lock();
+                let live: HashSet<&[u32]> = entries.iter().map(|(k, _)| &k[2..]).collect();
+                // States whose entry the LRU evicted have no rows left
+                // to maintain.
+                maintained.retain(|k, _| live.contains(k.as_slice()));
+                for (key, entry) in entries {
+                    let canon_key = key[2..].to_vec();
+                    let pattern = cache::decode_pattern(&canon_key);
+                    if !maintained.contains_key(&canon_key) {
+                        let sites = (0..self.frag.num_sites())
+                            .map(|s| {
+                                DeltaSiteState::from_relation(&self.frag, s, &pattern, &entry.rows)
+                            })
+                            .collect();
+                        maintained.insert(
+                            canon_key.clone(),
+                            MaintainedStates {
+                                sites,
+                                deletions_absorbed: 0,
+                                maintenance_runs: 0,
+                            },
+                        );
+                    }
+                    promoted.push((canon_key, pattern, entry));
+                }
+            }
+        }
+
+        // Mutate the fragmentation, the graph mirror and the facts;
+        // move to a fresh generation and dirty the compressed leg.
+        let ops: Vec<EdgeOp> = inserts
+            .iter()
+            .map(|&(u, v)| EdgeOp::Insert(u, v))
+            .chain(deletes.iter().map(|&(u, v)| EdgeOp::Delete(u, v)))
+            .collect();
+        let frag_stats = Arc::make_mut(&mut self.frag).apply_delta(&ops);
+        report.crossing_inserted = frag_stats.crossing_inserts;
+        report.crossing_deleted = frag_stats.crossing_deletes;
+        report.virtuals_created = frag_stats.virtuals_created;
+        report.virtuals_retired = frag_stats.virtuals_retired;
+        // The graph mirror and the structural facts refresh lazily:
+        // a delete-heavy stream served from maintained entries never
+        // pays their `O(|G|)` cost.
+        self.graph.lock().pending.extend_from_slice(&ops);
+        self.facts.lock().dirty = true;
+        self.generation = self.gen_alloc.fetch_add(1, Ordering::SeqCst);
+        report.generation = self.generation;
+        self.compressed.lock().dirty = true;
+
+        if delete_only {
+            // Distributed incremental maintenance per cached entry: the
+            // relation only shrinks, so revoking the falsified pairs
+            // from the stored rows keeps every entry exact.
+            let mut maintained = self.maintained.lock();
+            for (canon_key, pattern, entry) in promoted {
+                let states = maintained.remove(&canon_key).expect("promoted above");
+                let (coord, sites) =
+                    delta::build_maintenance(&self.frag, &pattern, states.sites, &deletes);
+                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                let mut rows = entry.rows.clone();
+                for var in &o.coordinator.revoked {
+                    let row = &mut rows[var.q as usize];
+                    if let Ok(pos) = row.binary_search(&var.node_id()) {
+                        row.remove(pos);
+                    }
+                }
+                report.revoked_pairs += o.coordinator.revoked.len() as u64;
+                report.metrics.merge(&o.metrics);
+                let mut sites_back = Vec::with_capacity(o.sites.len());
+                for site in o.sites {
+                    report.per_site[site.stats().site].merge(site.stats());
+                    sites_back.push(site.into_state());
+                }
+                let absorbed = states.deletions_absorbed + deletes.len() as u64;
+                let runs = states.maintenance_runs + 1;
+                let mut plan = entry.plan.clone();
+                if plan.incremental.is_none() {
+                    plan.reasons.push(
+                        "maintained under edge deletions by the distributed incremental \
+                         update (no full re-evaluation)"
+                            .into(),
+                    );
+                }
+                plan.incremental = Some(IncrementalNote {
+                    deletions_absorbed: absorbed,
+                    maintenance_runs: runs,
+                });
+                if let Some(cache) = &self.cache {
+                    cache.lock().insert(
+                        self.gen_key(&canon_key),
+                        Arc::new(CachedResult {
+                            rows,
+                            algorithm: entry.algorithm,
+                            plan,
+                        }),
+                    );
+                }
+                maintained.insert(
+                    canon_key,
+                    MaintainedStates {
+                        sites: sites_back,
+                        deletions_absorbed: absorbed,
+                        maintenance_runs: runs,
+                    },
+                );
+                report.maintained_entries += 1;
+            }
+        } else {
+            // Insertions can revive candidates from above: invalidate
+            // conservatively. The generation bump already made every
+            // old entry unreachable; dropping the maintenance states
+            // finishes the job.
+            if let Some(cache) = &self.cache {
+                report.invalidated_entries = cache.lock().entries_with_prefix(&old_prefix).len();
+            }
+            self.maintained.lock().clear();
+        }
+        Ok(report)
+    }
+
     /// Resolves `algorithm` for `q`: the planner decides for
     /// [`Algorithm::Auto`]; explicit requests are checked against the
     /// cached facts (the old API `assert!`ed these).
@@ -735,9 +1159,10 @@ impl SimEngine {
         q: &Pattern,
     ) -> Result<(Resolved, PlanExplanation), DgsError> {
         let qf = PatternFacts::compute(q);
+        let facts = self.facts();
         match algorithm {
             Algorithm::Auto => {
-                let (choice, plan) = self.planner.plan(&self.facts, &qf)?;
+                let (choice, plan) = self.planner.plan(&facts, &qf)?;
                 Ok((Self::resolved_from_choice(choice), plan))
             }
             Algorithm::Dgpm(cfg) => {
@@ -747,7 +1172,7 @@ impl SimEngine {
                 Ok((r, plan))
             }
             Algorithm::Dgpmd => {
-                if !qf.is_dag && self.facts.is_dag {
+                if !qf.is_dag && facts.is_dag {
                     // §5.1: a cyclic pattern on a DAG graph can never
                     // match — no distributed work needed.
                     let mut plan = PlanExplanation::forced("trivial-∅");
@@ -758,17 +1183,17 @@ impl SimEngine {
                     return Ok((Resolved::TriviallyEmpty, plan));
                 }
                 self.planner
-                    .check_explicit(EngineChoice::Dgpmd, &self.facts, &qf)?;
+                    .check_explicit(EngineChoice::Dgpmd, &facts, &qf)?;
                 Ok((Resolved::Dgpmd, PlanExplanation::forced("dGPMd")))
             }
             Algorithm::Dgpms => {
                 self.planner
-                    .check_explicit(EngineChoice::Dgpms, &self.facts, &qf)?;
+                    .check_explicit(EngineChoice::Dgpms, &facts, &qf)?;
                 Ok((Resolved::Dgpms, PlanExplanation::forced("dGPMs")))
             }
             Algorithm::Dgpmt => {
                 self.planner
-                    .check_explicit(EngineChoice::Dgpmt, &self.facts, &qf)?;
+                    .check_explicit(EngineChoice::Dgpmt, &facts, &qf)?;
                 if !qf.is_dag {
                     // Tree graphs are acyclic, so a cyclic pattern is
                     // trivially unmatched (and the tree protocol only
@@ -808,8 +1233,7 @@ impl SimEngine {
 
     /// Whether this query will be answered on the compressed leg.
     fn uses_compressed(&self, algorithm: &Algorithm) -> bool {
-        matches!(algorithm, Algorithm::Auto)
-            && self.compressed.as_ref().is_some_and(|leg| leg.active)
+        matches!(algorithm, Algorithm::Auto) && self.compressed_leg().is_some_and(|leg| leg.active)
     }
 
     /// Resolves and runs one query without the broadcast charge (the
@@ -817,8 +1241,12 @@ impl SimEngine {
     /// per batch for [`Self::query_batch_with`]). `Auto` queries route
     /// to the compressed leg when it is active.
     fn run_one(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
-        if self.uses_compressed(algorithm) {
-            let leg = self.compressed.as_ref().expect("uses_compressed checked");
+        let leg = if matches!(algorithm, Algorithm::Auto) {
+            self.compressed_leg()
+        } else {
+            None
+        };
+        if let Some(leg) = leg.as_ref().filter(|leg| leg.active) {
             let qf = PatternFacts::compute(q);
             let (choice, mut plan) = self.planner.plan(&leg.facts, &qf)?;
             plan.compressed = Some(leg.note());
@@ -842,17 +1270,15 @@ impl SimEngine {
             ));
         }
         let (resolved, mut plan) = self.resolve(algorithm, q)?;
-        if matches!(algorithm, Algorithm::Auto) {
-            if let Some(leg) = self.compressed.as_deref().filter(|leg| !leg.active) {
-                plan.reasons.push(format!(
-                    "compressed leg built ({} classes via {}) but ratio {:.2} exceeds \
-                     threshold {:.2} — answering on G",
-                    leg.graph.class_count(),
-                    leg.method.name(),
-                    leg.ratio,
-                    leg.threshold
-                ));
-            }
+        if let Some(leg) = leg.filter(|leg| !leg.active) {
+            plan.reasons.push(format!(
+                "compressed leg built ({} classes via {}) but ratio {:.2} exceeds \
+                 threshold {:.2} — answering on G",
+                leg.graph.class_count(),
+                leg.method.name(),
+                leg.ratio,
+                leg.threshold
+            ));
         }
         let qa = Arc::new(q.clone());
         let (relation, metrics) = self.run_resolved(&self.frag, &resolved, &qa)?;
@@ -862,6 +1288,18 @@ impl SimEngine {
             resolved.name(),
             plan,
         ))
+    }
+
+    /// Prefixes a canonical pattern encoding with this handle's graph
+    /// generation. Entries computed before a delta live under an older
+    /// generation and can never be served again by this handle — the
+    /// stale-hit guarantee clones rely on while sharing one cache.
+    fn gen_key(&self, canon_key: &[u32]) -> Vec<u32> {
+        let mut key = Vec::with_capacity(2 + canon_key.len());
+        key.push(self.generation as u32);
+        key.push((self.generation >> 32) as u32);
+        key.extend_from_slice(canon_key);
+        key
     }
 
     /// Canonicalizes `q` and probes the cache. Returns `(None, None)`
@@ -878,7 +1316,7 @@ impl SimEngine {
             return (None, None);
         };
         let canon = cache::canonicalize(q);
-        let hit = cache.lock().get(&canon.key);
+        let hit = cache.lock().get(&self.gen_key(&canon.key));
         (Some(canon), hit)
     }
 
@@ -920,7 +1358,7 @@ impl SimEngine {
             .map(|&u| report.relation.matches_of(dgs_graph::QNodeId(u)).to_vec())
             .collect();
         cache.lock().insert(
-            canon.key,
+            self.gen_key(&canon.key),
             Arc::new(CachedResult {
                 rows,
                 algorithm: report.algorithm,
@@ -1350,6 +1788,185 @@ mod tests {
             run.control_bytes + broadcast_bytes
         );
         assert_eq!(batch.total.data_messages, run.data_messages);
+    }
+
+    #[test]
+    fn delete_delta_maintains_cache_with_zero_reevaluations() {
+        let g = random::uniform(120, 480, 4, 31);
+        let assign = hash_partition(g.node_count(), 3, 31);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let mut engine = SimEngine::builder(&g, frag).build();
+        let q = patterns::random_cyclic(3, 6, 4, 31);
+        let cold = engine.query(&q).unwrap();
+        assert_eq!(cold.metrics.cache_hits, 0);
+
+        let deletions: Vec<(dgs_graph::NodeId, dgs_graph::NodeId)> = g.edges().take(15).collect();
+        let report = engine
+            .apply_delta(&GraphDelta::deletions(deletions.iter().copied()))
+            .unwrap();
+        assert_eq!(report.deleted, 15);
+        assert_eq!(report.maintained_entries, 1);
+        assert_eq!(report.invalidated_entries, 0);
+        assert!(report.generation > 0);
+
+        // The follow-up query is served from the maintained entry:
+        // zero protocol work, with the incremental leg in the plan.
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1);
+        assert_eq!(warm.metrics.data_messages, 0);
+        assert_eq!(warm.metrics.control_messages, 0);
+        let note = warm.plan.incremental.expect("incremental leg recorded");
+        assert_eq!(note.deletions_absorbed, 15);
+        assert_eq!(note.maintenance_runs, 1);
+        assert!(warm.plan.to_string().contains("incremental"));
+
+        // And the maintained answer is exact.
+        let mut b = dgs_graph::GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            if !deletions.contains(&(u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+        let g2 = b.build();
+        assert_eq!(warm.relation, hhk_simulation(&q, &g2).relation);
+        assert_eq!(engine.graph().edge_count(), g2.edge_count());
+    }
+
+    #[test]
+    fn insert_delta_invalidates_and_replans() {
+        // A DAG graph: the cyclic pattern short-circuits to ∅ ...
+        let g = dag::citation_like(80, 200, 4, 32);
+        let assign = hash_partition(g.node_count(), 3, 32);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let mut engine = SimEngine::builder(&g, frag).build();
+        let q = patterns::random_cyclic(3, 5, 4, 32);
+        let cold = engine.query(&q).unwrap();
+        assert_eq!(cold.algorithm, "trivial-∅");
+
+        // ... until insertions close a cycle; the facts are recomputed
+        // and the planner stops short-circuiting.
+        let mut back_edges = Vec::new();
+        for v in g.nodes() {
+            for &w in g.successors(v) {
+                if !g.has_edge(w, v) && w != v {
+                    back_edges.push((w, v));
+                }
+            }
+        }
+        back_edges.truncate(5);
+        let report = engine
+            .apply_delta(&GraphDelta::insertions(back_edges))
+            .unwrap();
+        assert_eq!(report.inserted, 5);
+        assert_eq!(report.maintained_entries, 0);
+        assert_eq!(report.invalidated_entries, 1);
+        assert!(!engine.facts().is_dag);
+
+        let fresh = engine.query(&q).unwrap();
+        assert_eq!(fresh.metrics.cache_hits, 0, "stale hit after insertion");
+        assert_eq!(fresh.algorithm, "dGPMs");
+        assert_eq!(fresh.relation, hhk_simulation(&q, &engine.graph()).relation);
+    }
+
+    #[test]
+    fn delta_validation_and_noop_semantics() {
+        let g = random::uniform(40, 160, 4, 33);
+        let assign = hash_partition(g.node_count(), 2, 33);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let mut engine = SimEngine::builder(&g, frag).build();
+
+        // Out-of-range endpoint.
+        let bad = GraphDelta::deletions([(dgs_graph::NodeId(0), dgs_graph::NodeId(999))]);
+        assert!(matches!(
+            engine.apply_delta(&bad),
+            Err(DgsError::InvalidDelta { .. })
+        ));
+        // Same edge on both sides.
+        let (u, v) = g.edges().next().unwrap();
+        let both = GraphDelta {
+            insert_edges: vec![(u, v)],
+            delete_edges: vec![(u, v)],
+        };
+        assert!(matches!(
+            engine.apply_delta(&both),
+            Err(DgsError::InvalidDelta { .. })
+        ));
+
+        // Already-satisfied ops are skipped; re-applying a delta is a
+        // no-op that keeps the generation (and the cache) valid.
+        let gen0 = engine.generation();
+        let delta = GraphDelta::deletions([(u, v)]);
+        let first = engine.apply_delta(&delta).unwrap();
+        assert_eq!(first.deleted, 1);
+        assert_ne!(engine.generation(), gen0);
+        let gen1 = engine.generation();
+        let second = engine.apply_delta(&delta).unwrap();
+        assert_eq!(second.deleted, 0);
+        assert_eq!(second.ignored, 1);
+        assert_eq!(engine.generation(), gen1);
+    }
+
+    #[test]
+    fn cache_invalidate_all_moves_to_a_fresh_generation() {
+        let g = random::uniform(80, 320, 4, 34);
+        let mut engine = engine_for(&g, 3, 34);
+        let q = patterns::random_cyclic(3, 6, 4, 34);
+        engine.query(&q).unwrap();
+        assert_eq!(engine.query(&q).unwrap().metrics.cache_hits, 1);
+        let gen_before = engine.cache_stats().unwrap().generation;
+        engine.cache_invalidate_all();
+        let stats = engine.cache_stats().unwrap();
+        assert!(stats.generation > gen_before);
+        assert_eq!(stats.entries, 0);
+        // Nothing cached survives: the re-query runs the protocol.
+        assert_eq!(engine.query(&q).unwrap().metrics.cache_hits, 0);
+    }
+
+    #[test]
+    fn clones_never_see_another_handles_generations() {
+        let g = random::uniform(90, 360, 4, 35);
+        let assign = hash_partition(g.node_count(), 3, 35);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let mut engine = SimEngine::builder(&g, frag).build();
+        let clone = engine.clone();
+        let q = patterns::random_cyclic(3, 6, 4, 35);
+        engine.query(&q).unwrap();
+        // Clone shares the cache and the generation, so it hits...
+        assert_eq!(clone.query(&q).unwrap().metrics.cache_hits, 1);
+        // ...until the original diverges by applying a delta.
+        let dels: Vec<_> = g.edges().take(8).collect();
+        engine.apply_delta(&GraphDelta::deletions(dels)).unwrap();
+        // The clone still answers on *its* (unmutated) graph...
+        let clone_hit = clone.query(&q).unwrap();
+        assert_eq!(clone_hit.metrics.cache_hits, 1);
+        assert_eq!(clone_hit.relation, hhk_simulation(&q, &g).relation);
+        // ...and the mutated handle serves the maintained answer.
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1);
+        assert_eq!(warm.relation, hhk_simulation(&q, &engine.graph()).relation);
+    }
+
+    #[test]
+    fn compressed_leg_is_rebuilt_lazily_after_delta() {
+        let g = random::uniform(100, 400, 3, 36);
+        let assign = hash_partition(g.node_count(), 3, 36);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+        let mut engine = SimEngine::builder(&g, frag)
+            .compress(CompressionMethod::SimEq)
+            .compression_threshold(1.0)
+            .cache(false)
+            .build();
+        assert!(engine.compression_active());
+        let dels: Vec<_> = g.edges().take(20).collect();
+        engine.apply_delta(&GraphDelta::deletions(dels)).unwrap();
+        // The rebuilt leg answers exactly on the mutated graph.
+        let q = patterns::random_cyclic(3, 6, 3, 36);
+        let r = engine.query(&q).unwrap();
+        assert!(r.plan.compressed.is_some());
+        assert_eq!(r.relation, hhk_simulation(&q, &engine.graph()).relation);
     }
 
     #[test]

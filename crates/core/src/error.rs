@@ -31,6 +31,12 @@ pub enum DgsError {
         /// What was missing.
         reason: String,
     },
+    /// A graph delta is malformed: an endpoint outside the loaded
+    /// graph, or the same edge listed for both insertion and deletion.
+    InvalidDelta {
+        /// What is wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DgsError {
@@ -44,6 +50,9 @@ impl fmt::Display for DgsError {
             }
             DgsError::ExecutorFailed { algorithm, reason } => {
                 write!(f, "{algorithm} run failed: {reason}")
+            }
+            DgsError::InvalidDelta { reason } => {
+                write!(f, "invalid graph delta: {reason}")
             }
         }
     }

@@ -48,6 +48,12 @@
 //! query path never panics — and [`SimEngine::query_batch`] amortizes
 //! the per-query broadcast across a whole batch.
 //!
+//! Sessions are mutable: [`SimEngine::apply_delta`] absorbs batched
+//! edge updates ([`delta::GraphDelta`]) with the fragmentation
+//! maintained in place, cached answers kept current under deletions by
+//! the distributed incremental update of [`delta`], and conservative
+//! invalidation under insertions.
+//!
 //! The legacy one-shot runner lives on as [`api::DistributedSim`], a
 //! deprecated shim over the engine.
 //!
@@ -62,6 +68,7 @@ pub mod api;
 pub mod baselines;
 pub mod boolexpr;
 mod cache;
+pub mod delta;
 pub mod dgpm;
 pub mod dgpmd;
 pub mod dgpms;
@@ -76,13 +83,14 @@ pub mod vars;
 #[allow(deprecated)]
 pub use api::DistributedSim;
 pub use cache::CacheStats;
+pub use delta::{DeltaReport, GraphDelta, UpdateMsg};
 pub use engine::{
     Algorithm, BatchReport, BooleanReport, CompressionMethod, RunReport, SimEngine,
     SimEngineBuilder,
 };
 pub use error::DgsError;
 pub use plan::{
-    CompressedNote, CyclicFallback, EngineChoice, GraphFacts, PatternFacts, PlanExplanation,
-    Planner,
+    CompressedNote, CyclicFallback, EngineChoice, GraphFacts, IncrementalNote, PatternFacts,
+    PlanExplanation, Planner,
 };
 pub use vars::Var;

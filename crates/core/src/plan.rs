@@ -158,6 +158,19 @@ pub struct CompressedNote {
     pub method: &'static str,
 }
 
+/// The incremental leg of a plan: the answer was **maintained** under
+/// edge deletions by the distributed counter update (the paper's
+/// incremental `lEval`, §4.2, run site-by-site with falsifications
+/// exchanged like dGPM data messages) instead of being re-evaluated
+/// from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncrementalNote {
+    /// Edge deletions absorbed since the entry was computed.
+    pub deletions_absorbed: u64,
+    /// Distributed maintenance runs that kept the entry current.
+    pub maintenance_runs: u64,
+}
+
 /// How a query was planned, recorded in every report.
 #[derive(Clone, Debug)]
 pub struct PlanExplanation {
@@ -171,6 +184,9 @@ pub struct PlanExplanation {
     /// Present when the engine ran on the compressed graph `Gc`
     /// rather than `G` itself.
     pub compressed: Option<CompressedNote>,
+    /// Present when the answer was maintained incrementally under
+    /// edge deletions rather than re-evaluated.
+    pub incremental: Option<IncrementalNote>,
 }
 
 impl PlanExplanation {
@@ -181,6 +197,7 @@ impl PlanExplanation {
             auto: false,
             reasons: vec!["engine requested explicitly by the caller".into()],
             compressed: None,
+            incremental: None,
         }
     }
 }
@@ -198,6 +215,13 @@ impl std::fmt::Display for PlanExplanation {
                 f,
                 ", on Gc via {}: {} classes, ratio {:.2}",
                 c.method, c.classes, c.ratio
+            )?;
+        }
+        if let Some(i) = &self.incremental {
+            write!(
+                f,
+                ", incremental: {} deletions over {} maintenance runs",
+                i.deletions_absorbed, i.maintenance_runs
             )?;
         }
         write!(f, "): {}", self.reasons.join("; "))
@@ -262,6 +286,7 @@ impl Planner {
             auto: true,
             reasons,
             compressed: None,
+            incremental: None,
         };
         Ok((choice, plan))
     }

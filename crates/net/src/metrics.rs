@@ -43,6 +43,35 @@ pub struct RunMetrics {
     pub cache_hits: u64,
 }
 
+/// Per-site accounting of one graph-update (delta) application: how
+/// much of the batch each site absorbed and what it had to ship to
+/// keep the maintained relation consistent. Aggregated by
+/// `SimEngine::apply_delta` across the maintained entries of a
+/// session; complements the run-level [`RunMetrics`] the same way
+/// `site_ops` complements `total_ops`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteDeltaMetrics {
+    /// The site.
+    pub site: usize,
+    /// Edge ops this site applied (it owns the source node).
+    pub ops_applied: u64,
+    /// Falsified in-node variables shipped to subscriber sites.
+    pub falsifications_shipped: u64,
+    /// Local match pairs revoked by incremental maintenance.
+    pub pairs_revoked: u64,
+}
+
+impl SiteDeltaMetrics {
+    /// Field-wise accumulation (same-site entries from several
+    /// maintenance runs).
+    pub fn merge(&mut self, other: &SiteDeltaMetrics) {
+        debug_assert_eq!(self.site, other.site, "merging different sites");
+        self.ops_applied += other.ops_applied;
+        self.falsifications_shipped += other.falsifications_shipped;
+        self.pairs_revoked += other.pairs_revoked;
+    }
+}
+
 impl RunMetrics {
     pub(crate) fn new(num_sites: usize) -> Self {
         RunMetrics {

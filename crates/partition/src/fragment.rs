@@ -6,8 +6,22 @@
 //! nodes `Vi` (in ascending global-id order) and indices
 //! `n_local..n_local + n_virtual` are the virtual nodes `Fi.O`. The
 //! edge set `Ei` (local→local and crossing local→virtual edges) is
-//! stored in CSR form together with its reverse, which is what the
-//! incremental falsification propagation of `lEval` walks.
+//! stored as sorted adjacency lists together with its reverse, which
+//! is what the incremental falsification propagation of `lEval` walks.
+//!
+//! ## Dynamic updates
+//!
+//! A fragmentation is **mutable**: [`Fragmentation::apply_delta`]
+//! absorbs a batch of edge insertions/deletions without
+//! re-partitioning. Each op is routed to the fragment owning the
+//! source node; when a cross-fragment edge appears the source site
+//! gains (or revives) a virtual node and the target site records the
+//! in-node subscription, and when the last crossing edge between a
+//! site pair and node disappears the subscription is dropped and the
+//! virtual node **retires**. Retired virtual slots keep their local
+//! index (so per-site state built against the old index space stays
+//! valid) but have no edges and no subscribers — they are inert until
+//! a later insertion revives them.
 
 use dgs_graph::{Graph, Label, NodeId};
 use std::collections::HashMap;
@@ -15,22 +29,57 @@ use std::collections::HashMap;
 /// A site identifier, `0..fragmentation.num_sites()`.
 pub type SiteId = usize;
 
+/// One edge-level update op, routed by [`Fragmentation::apply_delta`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Insert edge `(u, v)`; must not already exist.
+    Insert(NodeId, NodeId),
+    /// Delete edge `(u, v)`; must exist.
+    Delete(NodeId, NodeId),
+}
+
+/// What one [`Fragmentation::apply_delta`] batch did to the
+/// fragmentation structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FragDeltaStats {
+    /// Edges inserted within one fragment.
+    pub local_inserts: usize,
+    /// Edges deleted within one fragment.
+    pub local_deletes: usize,
+    /// Crossing edges inserted.
+    pub crossing_inserts: usize,
+    /// Crossing edges deleted.
+    pub crossing_deletes: usize,
+    /// Virtual nodes created or revived at source sites.
+    pub virtuals_created: usize,
+    /// Virtual nodes retired (last crossing edge from their site
+    /// disappeared).
+    pub virtuals_retired: usize,
+    /// In-node subscriptions added at target sites.
+    pub subscriptions_added: usize,
+    /// In-node subscriptions removed at target sites.
+    pub subscriptions_removed: usize,
+}
+
 /// One fragment `Fi = (Vi ∪ Fi.O, Ei, Li)` materialized at a site.
 #[derive(Clone, Debug)]
 pub struct Fragment {
     site: SiteId,
     n_local: usize,
-    /// Global ids per local index (locals first, then virtuals); both
-    /// sections are sorted by global id.
+    /// Global ids per local index (locals first, then virtuals); the
+    /// local section is sorted by global id, the virtual section is
+    /// append-ordered (sorted at build time, later slots appended by
+    /// deltas).
     global_ids: Vec<NodeId>,
     /// Labels per local index.
     labels: Vec<Label>,
-    /// CSR of `Ei` over local indices; only local nodes have out-edges.
-    out_offsets: Vec<u32>,
-    out_targets: Vec<u32>,
-    /// Reverse CSR of `Ei`, defined for all local indices.
-    in_offsets: Vec<u32>,
-    in_sources: Vec<u32>,
+    /// `Ei` as sorted adjacency over local indices; only local nodes
+    /// have out-edges.
+    out_adj: Vec<Vec<u32>>,
+    /// Reverse adjacency of `Ei`, defined for all local indices.
+    in_adj: Vec<Vec<u32>>,
+    /// Number of edges in `Ei`.
+    n_edges: usize,
     /// Local indices of the in-nodes `Fi.I`, sorted.
     in_nodes: Vec<u32>,
     /// For each in-node (aligned with `in_nodes`): the sites holding it
@@ -58,13 +107,15 @@ impl Fragment {
         self.n_local
     }
 
-    /// `|Fi.O|`: number of virtual nodes.
+    /// Number of virtual slots (live **and** retired; a fragmentation
+    /// that never saw a delta has no retired slots). See
+    /// [`Self::live_virtuals`] for `|Fi.O|` after updates.
     #[inline]
     pub fn n_virtual(&self) -> usize {
         self.global_ids.len() - self.n_local
     }
 
-    /// Total local index space size (`|Vi| + |Fi.O|`).
+    /// Total local index space size (`|Vi| + virtual slots`).
     #[inline]
     pub fn n_total(&self) -> usize {
         self.global_ids.len()
@@ -73,7 +124,7 @@ impl Fragment {
     /// Number of edges in `Ei`.
     #[inline]
     pub fn n_edges(&self) -> usize {
-        self.out_targets.len()
+        self.n_edges
     }
 
     /// The paper's fragment size `|Fi| = |Vi ∪ Fi.O| + |Ei|`.
@@ -82,10 +133,26 @@ impl Fragment {
         self.n_total() + self.n_edges()
     }
 
-    /// True iff local index `idx` refers to a virtual node.
+    /// True iff local index `idx` refers to a virtual node (live or
+    /// retired).
     #[inline]
     pub fn is_virtual(&self, idx: u32) -> bool {
         (idx as usize) >= self.n_local
+    }
+
+    /// True iff `idx` is a virtual slot that currently has a crossing
+    /// edge from this fragment (i.e. is genuinely in `Fi.O`).
+    #[inline]
+    pub fn is_live_virtual(&self, idx: u32) -> bool {
+        self.is_virtual(idx) && !self.in_adj[idx as usize].is_empty()
+    }
+
+    /// `|Fi.O|` under dynamic updates: virtual slots that still carry
+    /// at least one crossing edge.
+    pub fn live_virtuals(&self) -> usize {
+        self.virtual_indices()
+            .filter(|&i| self.is_live_virtual(i))
+            .count()
     }
 
     /// Global node id of local index `idx`.
@@ -107,20 +174,18 @@ impl Fragment {
         self.index_of.get(&v).copied()
     }
 
-    /// Successors of `idx` within `Ei` (empty for virtual nodes).
+    /// Successors of `idx` within `Ei` (empty for virtual nodes),
+    /// sorted by local index.
     #[inline]
     pub fn successors(&self, idx: u32) -> &[u32] {
-        let lo = self.out_offsets[idx as usize] as usize;
-        let hi = self.out_offsets[idx as usize + 1] as usize;
-        &self.out_targets[lo..hi]
+        &self.out_adj[idx as usize]
     }
 
-    /// Predecessors of `idx` within `Ei` (always local nodes).
+    /// Predecessors of `idx` within `Ei` (always local nodes), sorted
+    /// by local index.
     #[inline]
     pub fn predecessors(&self, idx: u32) -> &[u32] {
-        let lo = self.in_offsets[idx as usize] as usize;
-        let hi = self.in_offsets[idx as usize + 1] as usize;
-        &self.in_sources[lo..hi]
+        &self.in_adj[idx as usize]
     }
 
     /// Local indices of the in-nodes `Fi.I`.
@@ -151,7 +216,8 @@ impl Fragment {
         self.virtual_owners[idx as usize - self.n_local]
     }
 
-    /// Iterates the local indices of all virtual nodes.
+    /// Iterates the local indices of all virtual slots (live and
+    /// retired).
     pub fn virtual_indices(&self) -> impl Iterator<Item = u32> + '_ {
         (self.n_local as u32)..(self.n_total() as u32)
     }
@@ -159,6 +225,97 @@ impl Fragment {
     /// Iterates the local indices of all local nodes.
     pub fn local_indices(&self) -> impl Iterator<Item = u32> + '_ {
         0..(self.n_local as u32)
+    }
+
+    /// Inserts `(ui, vi)` into the sorted adjacency.
+    ///
+    /// # Panics
+    /// Panics if the edge is already present.
+    fn insert_pair(&mut self, ui: u32, vi: u32) {
+        let out = &mut self.out_adj[ui as usize];
+        let pos = out
+            .binary_search(&vi)
+            .expect_err("edge to insert already present in fragment");
+        out.insert(pos, vi);
+        let inn = &mut self.in_adj[vi as usize];
+        let pos = inn
+            .binary_search(&ui)
+            .expect_err("reverse edge already present");
+        inn.insert(pos, ui);
+        self.n_edges += 1;
+    }
+
+    /// Removes `(ui, vi)` from the sorted adjacency.
+    ///
+    /// # Panics
+    /// Panics if the edge is absent.
+    fn remove_pair(&mut self, ui: u32, vi: u32) {
+        let out = &mut self.out_adj[ui as usize];
+        let pos = out
+            .binary_search(&vi)
+            .expect("edge to delete missing from fragment");
+        out.remove(pos);
+        let inn = &mut self.in_adj[vi as usize];
+        let pos = inn.binary_search(&ui).expect("reverse edge missing");
+        inn.remove(pos);
+        self.n_edges -= 1;
+    }
+
+    /// Looks up or appends the virtual slot for `v`; returns its index.
+    fn ensure_virtual(&mut self, v: NodeId, label: Label, owner: SiteId) -> u32 {
+        if let Some(&idx) = self.index_of.get(&v) {
+            debug_assert!(self.is_virtual(idx), "crossing target must be foreign");
+            return idx;
+        }
+        let idx = self.global_ids.len() as u32;
+        self.global_ids.push(v);
+        self.labels.push(label);
+        self.virtual_owners.push(owner);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.index_of.insert(v, idx);
+        idx
+    }
+
+    /// Registers `subscriber` for in-node `idx` (creating the in-node
+    /// entry if needed). Returns `true` if the subscription was new.
+    fn add_subscriber(&mut self, idx: u32, subscriber: SiteId) -> bool {
+        match self.in_nodes.binary_search(&idx) {
+            Ok(pos) => {
+                let subs = &mut self.in_node_subscribers[pos];
+                match subs.binary_search(&subscriber) {
+                    Ok(_) => false,
+                    Err(at) => {
+                        subs.insert(at, subscriber);
+                        true
+                    }
+                }
+            }
+            Err(pos) => {
+                self.in_nodes.insert(pos, idx);
+                self.in_node_subscribers.insert(pos, vec![subscriber]);
+                true
+            }
+        }
+    }
+
+    /// Drops `subscriber` from in-node `idx`, removing the in-node
+    /// entry when its last subscriber goes. Returns `true` if the
+    /// subscription existed.
+    fn remove_subscriber(&mut self, idx: u32, subscriber: SiteId) -> bool {
+        let Ok(pos) = self.in_nodes.binary_search(&idx) else {
+            return false;
+        };
+        let subs = &mut self.in_node_subscribers[pos];
+        let Ok(at) = subs.binary_search(&subscriber) else {
+            return false;
+        };
+        subs.remove(at);
+        if subs.is_empty() {
+            self.in_nodes.remove(pos);
+            self.in_node_subscribers.remove(pos);
+        }
+        true
     }
 }
 
@@ -170,6 +327,9 @@ pub struct Fragmentation {
     num_sites: usize,
     assignment: Vec<SiteId>,
     fragments: Vec<Fragment>,
+    /// Incoming-crossing-edge count per global node (`> 0` ⇔ the node
+    /// is a virtual node of some fragment).
+    crossing_in: Vec<u32>,
     vf: usize,
     ef: usize,
 }
@@ -207,15 +367,17 @@ impl Fragmentation {
         // Virtual node sets, crossing-edge count and in-node
         // subscriber sets.
         let mut virtuals: Vec<Vec<NodeId>> = vec![Vec::new(); num_sites];
-        // (target site, target node, source site) triples for in-node
-        // subscriber computation.
+        // (target node, source site) pairs for in-node subscriber
+        // computation.
         let mut in_subs: Vec<Vec<(NodeId, SiteId)>> = vec![Vec::new(); num_sites];
+        let mut crossing_in = vec![0u32; n];
         let mut ef = 0usize;
         for (u, v) in graph.edges() {
             let su = assignment[u.index()];
             let sv = assignment[v.index()];
             if su != sv {
                 ef += 1;
+                crossing_in[v.index()] += 1;
                 virtuals[su].push(v);
                 in_subs[sv].push((v, su));
             }
@@ -227,13 +389,7 @@ impl Fragmentation {
 
         // |Vf| = distinct nodes that are a virtual node of some
         // fragment (equivalently: have an incoming crossing edge).
-        let mut is_vf = vec![false; n];
-        for vs in &virtuals {
-            for &v in vs {
-                is_vf[v.index()] = true;
-            }
-        }
-        let vf = is_vf.iter().filter(|&&b| b).count();
+        let vf = crossing_in.iter().filter(|&&c| c > 0).count();
 
         let mut fragments = Vec::with_capacity(num_sites);
         for site in 0..num_sites {
@@ -251,36 +407,21 @@ impl Fragmentation {
                 .map(|&v| assignment[v.index()])
                 .collect();
 
-            // Ei in CSR over local indices.
+            // Ei as sorted adjacency over local indices.
             let n_total = global_ids.len();
-            let mut out_offsets = vec![0u32; n_total + 1];
-            let mut edges_local: Vec<(u32, u32)> = Vec::new();
+            let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); n_total];
+            let mut in_adj: Vec<Vec<u32>> = vec![Vec::new(); n_total];
+            let mut n_edges = 0usize;
             for (i, &v) in locals[site].iter().enumerate() {
                 for &w in graph.successors(v) {
                     let widx = index_of[&w];
-                    edges_local.push((i as u32, widx));
+                    out_adj[i].push(widx);
+                    in_adj[widx as usize].push(i as u32);
+                    n_edges += 1;
                 }
             }
-            for &(u, _) in &edges_local {
-                out_offsets[u as usize + 1] += 1;
-            }
-            for i in 0..n_total {
-                out_offsets[i + 1] += out_offsets[i];
-            }
-            let out_targets: Vec<u32> = edges_local.iter().map(|&(_, w)| w).collect();
-
-            let mut in_offsets = vec![0u32; n_total + 1];
-            for &(_, w) in &edges_local {
-                in_offsets[w as usize + 1] += 1;
-            }
-            for i in 0..n_total {
-                in_offsets[i + 1] += in_offsets[i];
-            }
-            let mut cursor = in_offsets.clone();
-            let mut in_sources = vec![0u32; edges_local.len()];
-            for &(u, w) in &edges_local {
-                in_sources[cursor[w as usize] as usize] = u;
-                cursor[w as usize] += 1;
+            for l in out_adj.iter_mut().chain(in_adj.iter_mut()) {
+                l.sort_unstable();
             }
 
             // In-nodes and their subscribers.
@@ -308,10 +449,9 @@ impl Fragmentation {
                 n_local,
                 global_ids,
                 labels,
-                out_offsets,
-                out_targets,
-                in_offsets,
-                in_sources,
+                out_adj,
+                in_adj,
+                n_edges,
                 in_nodes,
                 in_node_subscribers,
                 virtual_owners,
@@ -323,9 +463,112 @@ impl Fragmentation {
             num_sites,
             assignment: assignment.to_vec(),
             fragments,
+            crossing_in,
             vf,
             ef,
         }
+    }
+
+    /// Absorbs a batch of edge ops **without re-partitioning**: each op
+    /// routes to the fragment owning its source node; crossing-edge
+    /// changes create/revive or retire virtual nodes at the source site
+    /// and add/drop in-node subscriptions at the target site, and the
+    /// global `|Vf|`/`|Ef|` counters are maintained incrementally.
+    ///
+    /// The node set (and therefore the site assignment and every local
+    /// index) is unchanged; retired virtual slots keep their index and
+    /// are revived in place if a crossing edge reappears.
+    ///
+    /// # Panics
+    /// Panics if an op references a node outside the assignment,
+    /// inserts an edge that already exists, or deletes one that does
+    /// not — callers (e.g. `SimEngine::apply_delta`) filter no-ops
+    /// first.
+    pub fn apply_delta(&mut self, ops: &[EdgeOp]) -> FragDeltaStats {
+        let mut stats = FragDeltaStats::default();
+        for &op in ops {
+            match op {
+                EdgeOp::Insert(u, v) => self.insert_edge(u, v, &mut stats),
+                EdgeOp::Delete(u, v) => self.delete_edge(u, v, &mut stats),
+            }
+        }
+        stats
+    }
+
+    fn endpoints(&self, u: NodeId, v: NodeId) -> (SiteId, SiteId) {
+        assert!(
+            u.index() < self.assignment.len() && v.index() < self.assignment.len(),
+            "edge ({u:?}, {v:?}) outside the fragmented node set"
+        );
+        (self.assignment[u.index()], self.assignment[v.index()])
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId, stats: &mut FragDeltaStats) {
+        let (su, sv) = self.endpoints(u, v);
+        if su == sv {
+            let f = &mut self.fragments[su];
+            let ui = f.index_of[&u];
+            let vi = f.index_of[&v];
+            f.insert_pair(ui, vi);
+            stats.local_inserts += 1;
+            return;
+        }
+        let label = {
+            let fv = &self.fragments[sv];
+            fv.labels[fv.index_of[&v] as usize]
+        };
+        let f = &mut self.fragments[su];
+        let vi = f.ensure_virtual(v, label, sv);
+        let revived = f.in_adj[vi as usize].is_empty();
+        let ui = f.index_of[&u];
+        f.insert_pair(ui, vi);
+        if revived {
+            stats.virtuals_created += 1;
+            // First crossing edge from su into v: su subscribes to v's
+            // falsifications at the owner site.
+            let fv = &mut self.fragments[sv];
+            let v_local = fv.index_of[&v];
+            if fv.add_subscriber(v_local, su) {
+                stats.subscriptions_added += 1;
+            }
+        }
+        self.ef += 1;
+        self.crossing_in[v.index()] += 1;
+        if self.crossing_in[v.index()] == 1 {
+            self.vf += 1;
+        }
+        stats.crossing_inserts += 1;
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId, stats: &mut FragDeltaStats) {
+        let (su, sv) = self.endpoints(u, v);
+        if su == sv {
+            let f = &mut self.fragments[su];
+            let ui = f.index_of[&u];
+            let vi = f.index_of[&v];
+            f.remove_pair(ui, vi);
+            stats.local_deletes += 1;
+            return;
+        }
+        let f = &mut self.fragments[su];
+        let ui = f.index_of[&u];
+        let vi = f.index_of[&v];
+        f.remove_pair(ui, vi);
+        let retired = f.in_adj[vi as usize].is_empty();
+        if retired {
+            stats.virtuals_retired += 1;
+            let fv = &mut self.fragments[sv];
+            let v_local = fv.index_of[&v];
+            if fv.remove_subscriber(v_local, su) {
+                stats.subscriptions_removed += 1;
+            }
+        }
+        self.ef -= 1;
+        self.crossing_in[v.index()] -= 1;
+        if self.crossing_in[v.index()] == 0 {
+            self.vf -= 1;
+        }
+        stats.crossing_deletes += 1;
     }
 
     /// Number of sites `|F|`.
@@ -350,6 +593,17 @@ impl Fragmentation {
     #[inline]
     pub fn owner(&self, v: NodeId) -> SiteId {
         self.assignment[v.index()]
+    }
+
+    /// True iff edge `(u, v)` exists in the fragmented graph (it lives
+    /// in the fragment owning `u`). `O(log deg)` — what lets a dynamic
+    /// session validate delta ops without materializing the graph.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let f = &self.fragments[self.owner(u)];
+        let (Some(ui), Some(vi)) = (f.index_of(u), f.index_of(v)) else {
+            return false;
+        };
+        f.successors(ui).binary_search(&vi).is_ok()
     }
 
     /// The site assignment (one site per global node).
@@ -402,6 +656,7 @@ mod tests {
         assert_eq!(f0.n_virtual(), 1); // node 2 is virtual at site 0
         assert_eq!(f0.global_id(2), NodeId(2));
         assert!(f0.is_virtual(2));
+        assert!(f0.is_live_virtual(2));
         assert_eq!(f0.virtual_owner(2), 1);
 
         let f1 = f.fragment(1);
@@ -541,5 +796,129 @@ mod tests {
                 ("yf1".to_owned(), "f2".to_owned()),
             ]
         );
+    }
+
+    #[test]
+    fn delta_deletes_crossing_edge_and_retires_virtual() {
+        let (_, mut f) = two_site_line();
+        let stats = f.apply_delta(&[EdgeOp::Delete(NodeId(1), NodeId(2))]);
+        assert_eq!(stats.crossing_deletes, 1);
+        assert_eq!(stats.virtuals_retired, 1);
+        assert_eq!(stats.subscriptions_removed, 1);
+        assert_eq!(f.ef(), 0);
+        assert_eq!(f.vf(), 0);
+        let f0 = f.fragment(0);
+        // The slot survives, inert.
+        assert_eq!(f0.n_virtual(), 1);
+        assert_eq!(f0.live_virtuals(), 0);
+        assert!(!f0.is_live_virtual(2));
+        assert_eq!(f0.predecessors(2), &[] as &[u32]);
+        // The subscription at site 1 is gone.
+        assert!(f.fragment(1).in_nodes().is_empty());
+    }
+
+    #[test]
+    fn delta_reinsert_revives_virtual_in_place() {
+        let (_, mut f) = two_site_line();
+        f.apply_delta(&[EdgeOp::Delete(NodeId(1), NodeId(2))]);
+        let stats = f.apply_delta(&[EdgeOp::Insert(NodeId(0), NodeId(2))]);
+        assert_eq!(stats.crossing_inserts, 1);
+        assert_eq!(stats.virtuals_created, 1);
+        assert_eq!(stats.subscriptions_added, 1);
+        let f0 = f.fragment(0);
+        // Same slot, revived — no index shift.
+        assert_eq!(f0.n_virtual(), 1);
+        assert_eq!(f0.index_of(NodeId(2)), Some(2));
+        assert!(f0.is_live_virtual(2));
+        assert_eq!(f0.predecessors(2), &[0]);
+        assert_eq!(f.ef(), 1);
+        assert_eq!(f.vf(), 1);
+        let f1 = f.fragment(1);
+        assert_eq!(f1.in_nodes().len(), 1);
+        assert_eq!(f1.in_node_subscribers(0), &[0]);
+    }
+
+    #[test]
+    fn delta_creates_new_virtual_node() {
+        let (_, mut f) = two_site_line();
+        // A crossing edge to a node site 0 has never seen: 0 -> 3.
+        let stats = f.apply_delta(&[EdgeOp::Insert(NodeId(0), NodeId(3))]);
+        assert_eq!(stats.virtuals_created, 1);
+        let f0 = f.fragment(0);
+        assert_eq!(f0.n_virtual(), 2);
+        let idx = f0.index_of(NodeId(3)).unwrap();
+        assert!(f0.is_live_virtual(idx));
+        assert_eq!(f0.virtual_owner(idx), 1);
+        assert_eq!(f0.label(idx), Label(0));
+        assert_eq!(f.ef(), 2);
+        assert_eq!(f.vf(), 2);
+        // Site 1 now has two in-nodes (2 and 3), both subscribed by 0.
+        let f1 = f.fragment(1);
+        assert_eq!(f1.in_nodes().len(), 2);
+        for pos in 0..2 {
+            assert_eq!(f1.in_node_subscribers(pos), &[0]);
+        }
+    }
+
+    #[test]
+    fn delta_local_ops_do_not_touch_crossing_state() {
+        let (_, mut f) = two_site_line();
+        let stats = f.apply_delta(&[
+            EdgeOp::Delete(NodeId(0), NodeId(1)),
+            EdgeOp::Insert(NodeId(1), NodeId(0)),
+        ]);
+        assert_eq!(stats.local_deletes, 1);
+        assert_eq!(stats.local_inserts, 1);
+        assert_eq!(stats.crossing_inserts + stats.crossing_deletes, 0);
+        assert_eq!(f.ef(), 1);
+        let f0 = f.fragment(0);
+        assert_eq!(f0.successors(0), &[] as &[u32]);
+        assert_eq!(f0.successors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn subscription_persists_while_other_crossing_edge_remains() {
+        let (_, mut f) = two_site_line();
+        // Second crossing edge into node 2 from site 0.
+        f.apply_delta(&[EdgeOp::Insert(NodeId(0), NodeId(2))]);
+        // Deleting one of the two keeps the subscription and the
+        // virtual node alive.
+        let stats = f.apply_delta(&[EdgeOp::Delete(NodeId(1), NodeId(2))]);
+        assert_eq!(stats.virtuals_retired, 0);
+        assert_eq!(stats.subscriptions_removed, 0);
+        assert!(f.fragment(0).is_live_virtual(2));
+        assert_eq!(f.fragment(1).in_nodes().len(), 1);
+        assert_eq!(f.ef(), 1);
+        assert_eq!(f.vf(), 1);
+    }
+
+    #[test]
+    fn has_edge_tracks_deltas() {
+        let (_, mut f) = two_site_line();
+        assert!(f.has_edge(NodeId(1), NodeId(2))); // crossing
+        assert!(f.has_edge(NodeId(0), NodeId(1))); // local
+        assert!(!f.has_edge(NodeId(2), NodeId(1)));
+        assert!(!f.has_edge(NodeId(0), NodeId(3)));
+        f.apply_delta(&[
+            EdgeOp::Delete(NodeId(1), NodeId(2)),
+            EdgeOp::Insert(NodeId(0), NodeId(3)),
+        ]);
+        assert!(!f.has_edge(NodeId(1), NodeId(2)));
+        assert!(f.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge to delete missing")]
+    fn deleting_absent_edge_panics() {
+        let (_, mut f) = two_site_line();
+        f.apply_delta(&[EdgeOp::Delete(NodeId(0), NodeId(1))]);
+        f.apply_delta(&[EdgeOp::Delete(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn inserting_duplicate_edge_panics() {
+        let (_, mut f) = two_site_line();
+        f.apply_delta(&[EdgeOp::Insert(NodeId(0), NodeId(1))]);
     }
 }

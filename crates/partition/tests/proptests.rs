@@ -155,4 +155,111 @@ proptest! {
             prop_assert!(!f.is_virtual(idx));
         }
     }
+
+    /// Incremental maintenance equals a rebuild: applying a random op
+    /// stream through `apply_delta` yields the same fragmentation
+    /// (edges, in-nodes, subscribers, live virtual nodes, |Vf|/|Ef|)
+    /// as `Fragmentation::build` on the mutated graph — modulo retired
+    /// virtual slots, which are inert by construction.
+    #[test]
+    fn apply_delta_equals_rebuild(
+        n in 8usize..60,
+        em in 1usize..5,
+        k in 2usize..5,
+        nops in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        use dgs_graph::GraphBuilder;
+        use dgs_partition::EdgeOp;
+
+        let g = random::uniform(n, n * em, 4, seed);
+        let assign = hash_partition(n, k, seed);
+        let mut frag = Fragmentation::build(&g, &assign, k);
+
+        // Deterministic op stream: alternate deletions of existing
+        // edges and insertions of absent ones.
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let mut present: std::collections::HashSet<(NodeId, NodeId)> =
+            edges.iter().copied().collect();
+        let mut ops = Vec::new();
+        let mut s = seed;
+        for i in 0..nops {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if i % 2 == 0 && !edges.is_empty() {
+                let at = (s >> 33) as usize % edges.len();
+                let (u, v) = edges.swap_remove(at);
+                present.remove(&(u, v));
+                ops.push(EdgeOp::Delete(u, v));
+            } else {
+                let u = NodeId(((s >> 20) % n as u64) as u32);
+                let v = NodeId(((s >> 40) % n as u64) as u32);
+                if present.insert((u, v)) {
+                    edges.push((u, v));
+                    ops.push(EdgeOp::Insert(u, v));
+                }
+            }
+        }
+        frag.apply_delta(&ops);
+
+        // Rebuild the mutated graph from the surviving edge set.
+        let mut b = GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        let mut sorted: Vec<_> = present.iter().copied().collect();
+        sorted.sort_unstable();
+        for (u, v) in sorted {
+            b.add_edge(u, v);
+        }
+        let g2 = b.build();
+        let rebuilt = Fragmentation::build(&g2, &assign, k);
+
+        prop_assert_eq!(frag.ef(), rebuilt.ef());
+        prop_assert_eq!(frag.vf(), rebuilt.vf());
+        for site in 0..k {
+            let fd = frag.fragment(site);
+            let fr = rebuilt.fragment(site);
+            prop_assert_eq!(fd.n_local(), fr.n_local());
+            prop_assert_eq!(fd.n_edges(), fr.n_edges());
+            prop_assert_eq!(fd.live_virtuals(), fr.n_virtual());
+
+            // Edge sets over global ids.
+            let edge_set = |f: &dgs_partition::Fragment| {
+                let mut es: Vec<(u32, u32)> = Vec::new();
+                for u in f.local_indices() {
+                    for &t in f.successors(u) {
+                        es.push((f.global_id(u).0, f.global_id(t).0));
+                    }
+                }
+                es.sort_unstable();
+                es
+            };
+            prop_assert_eq!(edge_set(fd), edge_set(fr));
+
+            // Live virtual nodes with their owners.
+            let virtuals = |f: &dgs_partition::Fragment| {
+                let mut vs: Vec<(u32, usize)> = f
+                    .virtual_indices()
+                    .filter(|&i| f.is_live_virtual(i))
+                    .map(|i| (f.global_id(i).0, f.virtual_owner(i)))
+                    .collect();
+                vs.sort_unstable();
+                vs
+            };
+            prop_assert_eq!(virtuals(fd), virtuals(fr));
+
+            // In-nodes with subscriber sets.
+            let in_nodes = |f: &dgs_partition::Fragment| {
+                let mut ins: Vec<(u32, Vec<usize>)> = f
+                    .in_nodes()
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &i)| (f.global_id(i).0, f.in_node_subscribers(pos).to_vec()))
+                    .collect();
+                ins.sort_unstable();
+                ins
+            };
+            prop_assert_eq!(in_nodes(fd), in_nodes(fr));
+        }
+    }
 }

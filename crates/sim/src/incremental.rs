@@ -29,8 +29,18 @@ pub struct IncrementalSim {
     parent_edges: Vec<Vec<(usize, QNodeId)>>,
     cand: Vec<bool>,
     cnt: Vec<u32>,
-    /// Operations performed by the last update (|AFF| proxy).
+    /// Operations performed by the **last** update — counter touches
+    /// during the falsification cascade, a proxy for the paper's
+    /// `|AFF|` (the affected area of §4.2). Reset to zero at the start
+    /// of every [`Self::delete_edge`] call, so it always describes one
+    /// update in isolation; sum across updates lives in
+    /// [`Self::total_update_ops`]. The initial full fixpoint run by
+    /// [`Self::new`] is *not* counted in either — it is construction
+    /// cost, not maintenance cost.
     pub last_update_ops: u64,
+    /// Cumulative [`Self::last_update_ops`] over every update applied
+    /// since construction (excludes the initial fixpoint).
+    pub total_update_ops: u64,
 }
 
 impl IncrementalSim {
@@ -73,6 +83,7 @@ impl IncrementalSim {
             cand,
             cnt,
             last_update_ops: 0,
+            total_update_ops: 0,
         };
         // Initial fixpoint.
         let mut worklist = Vec::new();
@@ -96,7 +107,10 @@ impl IncrementalSim {
             }
         }
         this.propagate(worklist);
+        // The initial fixpoint is construction, not maintenance: both
+        // counters start the update stream at zero.
         this.last_update_ops = 0;
+        this.total_update_ops = 0;
         this
     }
 
@@ -105,7 +119,7 @@ impl IncrementalSim {
         let mut removed = Vec::new();
         while let Some((uq, vq)) = worklist.pop() {
             removed.push((uq, NodeId(vq)));
-            for &(e, u) in &self.parent_edges[uq.index()].clone() {
+            for &(e, u) in &self.parent_edges[uq.index()] {
                 for i in 0..self.pred[vq as usize].len() {
                     let vp = self.pred[vq as usize][i];
                     self.last_update_ops += 1;
@@ -125,6 +139,10 @@ impl IncrementalSim {
     /// Deletes edge `(u, v)` and incrementally repairs the relation.
     /// Returns the pairs that were falsified by this deletion.
     ///
+    /// [`Self::last_update_ops`] is reset at entry and afterwards holds
+    /// this update's cost alone (the `O(|AFF|)` proxy);
+    /// [`Self::total_update_ops`] keeps the running sum.
+    ///
     /// # Panics
     /// Panics if the edge does not exist (double deletion is a caller
     /// bug).
@@ -142,12 +160,20 @@ impl IncrementalSim {
         self.pred[v.index()].swap_remove(ppos);
 
         // The deleted edge supported, for each query edge (uq, uc),
-        // the pair (uq, u) iff (uc, v) is a candidate.
+        // the pair (uq, u) iff (uc, v) is a candidate. Snapshot v's
+        // candidacy row first: on a self-loop (u = v) an early
+        // iteration can falsify a pair of v itself, and the support
+        // the counters actually hold is the *pre-deletion* one — the
+        // cascade for the falsified pair is handled by `propagate`,
+        // which walks the already-shrunk predecessor list.
         let n = self.n;
+        let vcand: Vec<bool> = (0..self.nq)
+            .map(|uc| self.cand[uc * n + v.index()])
+            .collect();
         let mut worklist = Vec::new();
-        for (e, &(uq, uc)) in self.qedges.clone().iter().enumerate() {
+        for (e, &(uq, uc)) in self.qedges.iter().enumerate() {
             self.last_update_ops += 1;
-            if self.cand[uc.index() * n + v.index()] {
+            if vcand[uc.index()] {
                 let c = &mut self.cnt[e * n + u.index()];
                 debug_assert!(*c > 0);
                 *c -= 1;
@@ -157,7 +183,25 @@ impl IncrementalSim {
                 }
             }
         }
-        self.propagate(worklist)
+        let removed = self.propagate(worklist);
+        self.total_update_ops += self.last_update_ops;
+        removed
+    }
+
+    /// Deletes a batch of edges, returning all falsified pairs.
+    /// [`Self::last_update_ops`] afterwards covers the whole batch.
+    ///
+    /// # Panics
+    /// Panics if any edge does not exist.
+    pub fn delete_edges(&mut self, ops: &[(NodeId, NodeId)]) -> Vec<(QNodeId, NodeId)> {
+        let mut removed = Vec::new();
+        let mut batch_ops = 0;
+        for &(u, v) in ops {
+            removed.extend(self.delete_edge(u, v));
+            batch_ops += self.last_update_ops;
+        }
+        self.last_update_ops = batch_ops;
+        removed
     }
 
     /// The current maximum simulation relation.
@@ -172,7 +216,9 @@ impl IncrementalSim {
         MatchRelation::from_lists(lists)
     }
 
-    /// The current relation packaged as a [`SimResult`].
+    /// The current relation packaged as a [`SimResult`]; `ops` is the
+    /// **last** update's cost ([`Self::last_update_ops`]), not the
+    /// cumulative total.
     pub fn result(&self) -> SimResult {
         SimResult {
             relation: self.relation(),
@@ -282,6 +328,84 @@ mod tests {
         assert_eq!(removed.len(), 2);
         assert!(inc.last_update_ops < 20, "ops = {}", inc.last_update_ops);
         assert!(inc.contains(dgs_graph::QNodeId(0), adversarial::a_node(5)));
+    }
+
+    #[test]
+    fn self_loop_deletion_removes_all_support() {
+        // Regression: deleting a self-loop (v, v) can falsify a pair
+        // of v itself mid-update; the support decrement for the other
+        // query edges must still happen (the counters hold the
+        // pre-deletion candidacy). With a stale read, v survives as a
+        // candidate with phantom support.
+        // Pattern: a 2-cycle plus extra edges, all one label, so every
+        // query edge targets the same node row.
+        use dgs_graph::{Label, PatternBuilder};
+        let mut pb = PatternBuilder::new();
+        let a = pb.add_node(Label(0));
+        let b = pb.add_node(Label(0));
+        let c = pb.add_node(Label(0));
+        pb.add_edge(a, b);
+        pb.add_edge(b, a);
+        pb.add_edge(b, c);
+        pb.add_edge(c, a);
+        pb.add_edge(c, b);
+        let q = pb.build();
+        // Graph: a self-loop node plus a feeder.
+        let mut gb = GraphBuilder::new();
+        let s = gb.add_node(Label(0));
+        let t = gb.add_node(Label(0));
+        gb.add_edge(s, s);
+        gb.add_edge(t, s);
+        let g = gb.build();
+        let mut inc = IncrementalSim::new(&q, &g);
+        assert_eq!(inc.relation(), hhk_simulation(&q, &g).relation);
+        inc.delete_edge(s, s);
+        let expect = hhk_simulation(&q, &graph_without(&g, &[(s, s)])).relation;
+        assert_eq!(inc.relation(), expect);
+        assert!(inc.relation().is_empty());
+    }
+
+    #[test]
+    fn per_update_ops_reset_and_cumulative_total() {
+        let g = random::uniform(60, 240, 4, 900);
+        let q = patterns::random_cyclic(4, 7, 4, 901);
+        let mut inc = IncrementalSim::new(&q, &g);
+        // Construction charges neither counter.
+        assert_eq!(inc.last_update_ops, 0);
+        assert_eq!(inc.total_update_ops, 0);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let mut sum = 0;
+        for &(u, v) in edges.iter().take(10) {
+            inc.delete_edge(u, v);
+            // last_update_ops describes exactly this update...
+            assert!(inc.last_update_ops > 0);
+            sum += inc.last_update_ops;
+            // ...and the cumulative total keeps the running sum.
+            assert_eq!(inc.total_update_ops, sum);
+        }
+    }
+
+    #[test]
+    fn batch_deletion_matches_streamed() {
+        let g = random::uniform(50, 200, 4, 910);
+        let q = patterns::random_cyclic(4, 6, 4, 911);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().take(8).collect();
+
+        let mut streamed = IncrementalSim::new(&q, &g);
+        let mut removed_s = Vec::new();
+        for &(u, v) in &edges {
+            removed_s.extend(streamed.delete_edge(u, v));
+        }
+
+        let mut batched = IncrementalSim::new(&q, &g);
+        let mut removed_b = batched.delete_edges(&edges);
+        assert_eq!(batched.relation(), streamed.relation());
+        assert_eq!(batched.total_update_ops, streamed.total_update_ops);
+        // The batch's last_update_ops covers the whole batch.
+        assert_eq!(batched.last_update_ops, batched.total_update_ops);
+        removed_s.sort();
+        removed_b.sort();
+        assert_eq!(removed_b, removed_s);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!               [--partition hash|bfs|ldg|tree] [--executor virtual|threaded]
 //!               [--seed S] [--boolean] [--matches]
 //!               [--cache N] [--compress simeq|bisim] [--compress-threshold X]
-//!               [--parallel W] [--repeat R]
+//!               [--parallel W] [--repeat R] [--updates OPS.txt]
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]
 //! dgsq stats    --graph FILE
 //! ```
@@ -21,12 +21,21 @@
 //! cache. Passing several comma-separated pattern files runs them as
 //! one batch.
 //!
+//! `--updates OPS.txt` replays a dynamic-graph workload after the
+//! initial pass: the file holds `- u v` (delete edge) and `+ u v`
+//! (insert edge) lines, `#` comments, and blank lines as **batch
+//! separators**. Each batch is absorbed via `SimEngine::apply_delta` —
+//! deletion-only batches keep the cached answers current through
+//! distributed incremental maintenance, insertions invalidate and
+//! re-plan — and the pattern stream is re-run after every batch so the
+//! cache-hit and maintenance accounting is visible.
+//!
 //! Graphs and patterns use the line-oriented text format of
 //! `dgs_graph::io` (`graph|pattern N M`, `n <id> <label>`,
 //! `e <src> <dst>`).
 
-use dgs::core::{Algorithm, CompressionMethod, SimEngine};
-use dgs::graph::{io, Graph, Pattern};
+use dgs::core::{Algorithm, CompressionMethod, GraphDelta, SimEngine};
+use dgs::graph::{io, Graph, NodeId, Pattern};
 use dgs::net::ExecutorKind;
 use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
 use std::collections::HashMap;
@@ -46,7 +55,7 @@ fn usage() -> ! {
          dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE\n  \
          dgsq query --graph FILE --pattern FILE[,FILE...] [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
          [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n             \
-         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--parallel W] [--repeat R]\n  \
+         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--parallel W] [--repeat R] [--updates OPS.txt]\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]\n  \
          dgsq stats --graph FILE"
     );
@@ -97,6 +106,134 @@ fn load_graph(path: &str) -> Graph {
 fn load_pattern(path: &str) -> Pattern {
     let f = File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
     io::read_pattern(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+/// Parses an update-ops file: `+ u v` / `- u v` lines, `#` comments,
+/// blank lines as batch separators.
+fn load_updates(path: &str) -> Vec<GraphDelta> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    let mut batches = Vec::new();
+    let mut current = GraphDelta::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (op, u, v) = (parts.next(), parts.next(), parts.next());
+        let bad = || {
+            fail(&format!(
+                "{path}:{}: expected '+ u v' or '- u v'",
+                lineno + 1
+            ))
+        };
+        let (Some(op), Some(u), Some(v)) = (op, u, v) else {
+            bad()
+        };
+        if parts.next().is_some() {
+            // A line with extra tokens describes something this replay
+            // cannot faithfully run — reject instead of guessing.
+            bad()
+        }
+        let u = NodeId(u.parse().unwrap_or_else(|_| bad()));
+        let v = NodeId(v.parse().unwrap_or_else(|_| bad()));
+        match op {
+            "+" => current.insert_edges.push((u, v)),
+            "-" => current.delete_edges.push((u, v)),
+            _ => bad(),
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// Replays update batches against the session, re-running the query
+/// stream after each batch so the maintenance/invalidation behaviour
+/// is visible.
+fn replay_updates(engine: &mut SimEngine, algo: &Algorithm, qs: &[Pattern], path: &str) {
+    let batches = load_updates(path);
+    if batches.is_empty() {
+        fail(&format!("{path}: no update ops found"));
+    }
+    for (i, delta) in batches.iter().enumerate() {
+        let report = engine
+            .apply_delta(delta)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "delta[{i}]: +{} -{} edges ({} ignored)  crossing +{}/-{}  virtuals +{}/-{}  gen {}",
+            report.inserted,
+            report.deleted,
+            report.ignored,
+            report.crossing_inserted,
+            report.crossing_deleted,
+            report.virtuals_created,
+            report.virtuals_retired,
+            report.generation
+        );
+        if report.maintained_entries > 0 {
+            println!(
+                "  maintained {} cached entr{} incrementally: {} pairs revoked, \
+                 {} data msgs ({} B) of falsification traffic",
+                report.maintained_entries,
+                if report.maintained_entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.revoked_pairs,
+                report.metrics.data_messages,
+                report.metrics.data_bytes
+            );
+        }
+        if report.invalidated_entries > 0 {
+            println!(
+                "  insertions invalidated {} cached entr{} (next queries re-plan)",
+                report.invalidated_entries,
+                if report.invalidated_entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        }
+        let batch = engine.query_batch_with(algo, qs);
+        println!(
+            "  re-query: {}/{} answered  PT = {:.3} ms  DS = {:.3} KB  ({} cache hits)",
+            batch.succeeded(),
+            qs.len(),
+            batch.total.virtual_time_ms(),
+            batch.total.data_kb(),
+            batch.total.cache_hits
+        );
+        for (qi, r) in batch.reports.iter().enumerate() {
+            if let Ok(r) = r {
+                if let Some(note) = &r.plan.incremental {
+                    println!(
+                        "    [{qi}] served from the delta-maintained entry \
+                         ({} deletions over {} runs, |Q(G)| = {} pairs)",
+                        note.deletions_absorbed,
+                        note.maintenance_runs,
+                        r.answer().len()
+                    );
+                }
+            }
+        }
+    }
+    if let Some(stats) = engine.cache_stats() {
+        println!(
+            "cache after updates: {} entries, generation {}  ({} hits, {} misses, {} evictions)",
+            stats.entries, stats.generation, stats.hits, stats.misses, stats.evictions
+        );
+    }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) {
@@ -189,8 +326,8 @@ fn cmd_query(flags: &HashMap<String, String>) {
     if flags.contains_key("parallel") {
         builder = builder.batch_workers(num(flags, "parallel", 0));
     }
-    let engine = builder.build();
-    let frag = engine.fragmentation();
+    let mut engine = builder.build();
+    let frag = Arc::clone(engine.fragmentation());
 
     println!(
         "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  queries: {}",
@@ -218,6 +355,9 @@ fn cmd_query(flags: &HashMap<String, String>) {
     }
 
     let repeat: usize = num(flags, "repeat", 1);
+    if flags.contains_key("boolean") && flags.contains_key("updates") {
+        fail("--updates needs data-selecting queries (drop --boolean)");
+    }
     if flags.contains_key("boolean") {
         let q = match qs.as_slice() {
             [q] => q,
@@ -266,6 +406,9 @@ fn cmd_query(flags: &HashMap<String, String>) {
                 );
             }
         }
+        if let Some(path) = get(flags, "updates") {
+            replay_updates(&mut engine, &algo, &qs, path);
+        }
         return;
     }
 
@@ -303,6 +446,9 @@ fn cmd_query(flags: &HashMap<String, String>) {
             "cache: {} entries / capacity {}  {} hits, {} misses, {} evictions",
             stats.entries, stats.capacity, stats.hits, stats.misses, stats.evictions
         );
+    }
+    if let Some(path) = get(flags, "updates") {
+        replay_updates(&mut engine, &algo, &qs, path);
     }
 }
 

@@ -94,7 +94,8 @@ pub mod prelude {
     pub use dgs_core::DistributedSim;
     pub use dgs_core::{
         Algorithm, BatchReport, BooleanReport, CacheStats, CompressedNote, CompressionMethod,
-        DgsError, GraphFacts, PatternFacts, PlanExplanation, Planner, RunReport, SimEngine, Var,
+        DeltaReport, DgsError, GraphDelta, GraphFacts, IncrementalNote, PatternFacts,
+        PlanExplanation, Planner, RunReport, SimEngine, UpdateMsg, Var,
     };
     pub use dgs_graph::{Graph, GraphBuilder, Label, NodeId, Pattern, PatternBuilder, QNodeId};
     pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, RunMetrics};

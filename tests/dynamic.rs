@@ -1,0 +1,343 @@
+//! Dynamic-graph integration tests: `SimEngine::apply_delta` followed
+//! by queries must agree with building a fresh engine on the mutated
+//! graph, across tree/DAG/cyclic workloads and engines — and a
+//! delete-only stream must be answered with zero full re-evaluations
+//! (the plan records the incremental leg).
+
+use dgs::graph::generate::{dag, patterns, random, tree};
+use dgs::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Applies a delta to a graph the slow way (the scratch baseline).
+fn mutated(g: &Graph, delta: &GraphDelta) -> Graph {
+    let mut b = GraphBuilder::new();
+    for v in g.nodes() {
+        b.add_node(g.label(v));
+    }
+    for (u, v) in g.edges() {
+        if !delta.delete_edges.contains(&(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    for &(u, v) in &delta.insert_edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Deterministic op stream: deletions of existing edges (crossing and
+/// local alike) interleaved with insertions of absent edges. A batch
+/// is a *set* of ops, so the two lists are kept disjoint: only
+/// original edges are deleted, and nothing deleted is re-inserted.
+fn op_stream(g: &Graph, nops: usize, deletions_only: bool, seed: u64) -> GraphDelta {
+    let n = g.node_count() as u64;
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut touched: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut delta = GraphDelta::default();
+    let mut s = seed;
+    for i in 0..nops {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (deletions_only || i % 2 == 0) && !edges.is_empty() {
+            let at = (s >> 33) as usize % edges.len();
+            delta.delete_edges.push(edges.swap_remove(at));
+        } else if !deletions_only {
+            let u = NodeId(((s >> 20) % n) as u32);
+            let v = NodeId(((s >> 40) % n) as u32);
+            // `touched` holds every original edge plus every insert,
+            // so an insert can collide with neither list.
+            if touched.insert((u, v)) {
+                delta.insert_edges.push((u, v));
+            }
+        }
+    }
+    delta
+}
+
+/// Asserts that the delta-applied engine answers `q` exactly like a
+/// fresh engine over the mutated graph, for every given algorithm.
+fn assert_delta_equals_scratch(
+    engine: &SimEngine,
+    g2: &Graph,
+    assign: &[usize],
+    k: usize,
+    q: &Pattern,
+    algorithms: &[Algorithm],
+) {
+    let frag2 = Arc::new(Fragmentation::build(g2, assign, k));
+    let scratch = SimEngine::builder(g2, frag2).cache(false).build();
+    for algo in algorithms {
+        let a = engine.query_with(algo, q);
+        let b = scratch.query_with(algo, q);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.relation, b.relation, "{} answers differ", algo.name());
+                assert_eq!(a.algorithm, b.algorithm, "resolved engines differ");
+                assert_eq!(a.relation, hhk_simulation(q, g2).relation);
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!(
+                "delta/scratch disagree on applicability of {}: {a:?} vs {b:?}",
+                algo.name()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Cyclic workloads (dGPM / dGPMs territory), mixed insert+delete
+    /// streams with cross-fragment ops.
+    #[test]
+    fn delta_equals_scratch_cyclic(
+        n in 20usize..70,
+        em in 2usize..5,
+        k in 2usize..5,
+        nops in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x51);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = op_stream(&g, nops, false, seed ^ 0xD17A);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &q,
+            &[Algorithm::Auto, Algorithm::Dgpms, Algorithm::dgpm()],
+        );
+    }
+
+    /// Tree workloads: deletions break the rooted tree, so the planner
+    /// must re-plan away from dGPMt on the delta-applied session too.
+    #[test]
+    fn delta_equals_scratch_tree(
+        n in 20usize..90,
+        k in 2usize..5,
+        nops in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let g = tree::random_tree(n, 4, seed);
+        let q = patterns::random_dag_with_depth(3, 4, 2, 4, seed ^ 0x7E3);
+        let assign = tree_partition(&g, k);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = op_stream(&g, nops, true, seed ^ 0x17EE);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        // dGPMt's precondition fails identically on both sides (the
+        // mutated graph is a forest), which the helper checks via the
+        // Err/Err arm.
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &q,
+            &[Algorithm::Auto, Algorithm::Dgpmt, Algorithm::Dgpmd],
+        );
+    }
+
+    /// DAG workloads: insertions may close cycles, flipping the
+    /// planner's short-circuit; facts must be recomputed.
+    #[test]
+    fn delta_equals_scratch_dag(
+        n in 20usize..80,
+        k in 2usize..5,
+        nops in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let g = dag::citation_like(n, 3 * n, 4, seed);
+        let qd = patterns::random_dag_with_depth(3, 5, 2, 4, seed ^ 0xA1);
+        let qc = patterns::random_cyclic(3, 5, 4, seed ^ 0xA2);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = op_stream(&g, nops, false, seed ^ 0xDA6);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &qd,
+            &[Algorithm::Auto, Algorithm::Dgpmd],
+        );
+        // The cyclic pattern exercises the trivial-∅ flip.
+        assert_delta_equals_scratch(&engine, &g2, &assign, k, &qc, &[Algorithm::Auto]);
+    }
+
+    /// With the cache on, a delete-only stream keeps serving from the
+    /// maintained entries — exactly, and without any protocol run.
+    #[test]
+    fn maintained_entries_stay_exact_across_batches(
+        n in 30usize..70,
+        em in 2usize..5,
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x99);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let mut engine = SimEngine::builder(&g, frag).build();
+        engine.query(&q).unwrap();
+
+        let mut current = g.clone();
+        let mut absorbed = 0u64;
+        for batch in 0..3u64 {
+            let delta = op_stream(&current, 6, true, seed ^ (0xB00 + batch));
+            if delta.delete_edges.is_empty() {
+                break;
+            }
+            absorbed += delta.delete_edges.len() as u64;
+            let report = engine.apply_delta(&delta).unwrap();
+            prop_assert_eq!(report.maintained_entries, 1);
+            current = mutated(&current, &delta);
+
+            let warm = engine.query(&q).unwrap();
+            // Served from the maintained entry: a cache hit, zero
+            // messages, the incremental leg in the plan.
+            prop_assert_eq!(warm.metrics.cache_hits, 1);
+            prop_assert_eq!(warm.metrics.data_messages, 0);
+            prop_assert_eq!(warm.metrics.control_messages, 0);
+            let note = warm.plan.incremental.expect("incremental leg");
+            prop_assert_eq!(note.deletions_absorbed, absorbed);
+            prop_assert_eq!(note.maintenance_runs, batch + 1);
+            prop_assert_eq!(&warm.relation, &hhk_simulation(&q, &current).relation);
+        }
+    }
+}
+
+#[test]
+fn cross_fragment_delta_round_trip() {
+    // Delete every crossing edge out of site 0, query, then re-insert
+    // them: virtual nodes retire and revive in place, and answers stay
+    // oracle-exact at each step.
+    let n = 120;
+    let g = random::community(n, 600, 5, 0.1, 4, 42);
+    let q = patterns::random_cyclic(3, 6, 4, 43);
+    let assign = hash_partition(n, 3, 42);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+    let mut crossing: Vec<(NodeId, NodeId)> = Vec::new();
+    {
+        let f0 = frag.fragment(0);
+        for u in f0.local_indices() {
+            for &t in f0.successors(u) {
+                if f0.is_virtual(t) {
+                    crossing.push((f0.global_id(u), f0.global_id(t)));
+                }
+            }
+        }
+    }
+    assert!(!crossing.is_empty(), "community graph must cross sites");
+
+    let mut engine = SimEngine::builder(&g, frag).build();
+    let ef_before = engine.fragmentation().ef();
+    let report = engine
+        .apply_delta(&GraphDelta::deletions(crossing.iter().copied()))
+        .unwrap();
+    assert_eq!(report.crossing_deleted, crossing.len());
+    assert!(report.virtuals_retired > 0);
+    assert_eq!(engine.fragmentation().ef(), ef_before - crossing.len());
+    assert_eq!(engine.fragmentation().fragment(0).live_virtuals(), 0);
+    let without = engine.query(&q).unwrap();
+    assert_eq!(
+        without.relation,
+        hhk_simulation(&q, &engine.graph()).relation
+    );
+
+    let report = engine
+        .apply_delta(&GraphDelta::insertions(crossing.iter().copied()))
+        .unwrap();
+    assert_eq!(report.crossing_inserted, crossing.len());
+    assert!(report.virtuals_created > 0);
+    assert_eq!(engine.fragmentation().ef(), ef_before);
+    let back = engine.query(&q).unwrap();
+    assert_eq!(back.relation, hhk_simulation(&q, &g).relation);
+
+    // The round trip restored the fragmentation exactly (modulo inert
+    // retired slots): compare against a rebuild.
+    let rebuilt = Fragmentation::build(&g, &assign, 3);
+    assert_eq!(engine.fragmentation().vf(), rebuilt.vf());
+    for site in 0..3 {
+        let fd = engine.fragmentation().fragment(site);
+        let fr = rebuilt.fragment(site);
+        assert_eq!(fd.n_edges(), fr.n_edges());
+        assert_eq!(fd.live_virtuals(), fr.n_virtual());
+        let mut ins_d: Vec<u32> = fd.in_nodes().iter().map(|&i| fd.global_id(i).0).collect();
+        let mut ins_r: Vec<u32> = fr.in_nodes().iter().map(|&i| fr.global_id(i).0).collect();
+        ins_d.sort_unstable();
+        ins_r.sort_unstable();
+        assert_eq!(ins_d, ins_r);
+    }
+}
+
+#[test]
+fn batch_queries_serve_maintained_entries() {
+    // query_batch over a mix of maintained and fresh patterns after a
+    // delete-only delta: the maintained one hits with the incremental
+    // leg, the fresh one runs cold — and both are exact.
+    let g = random::uniform(100, 400, 4, 77);
+    let assign = hash_partition(100, 3, 77);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+    let mut engine = SimEngine::builder(&g, frag).build();
+    let warmed = patterns::random_cyclic(3, 6, 4, 770);
+    let fresh = patterns::random_cyclic(3, 6, 4, 771);
+    engine.query(&warmed).unwrap();
+
+    let dels: Vec<_> = g.edges().take(10).collect();
+    engine.apply_delta(&GraphDelta::deletions(dels)).unwrap();
+
+    let batch = engine.query_batch(&[warmed.clone(), fresh.clone()]);
+    assert_eq!(batch.succeeded(), 2);
+    let served = batch.reports[0].as_ref().unwrap();
+    assert_eq!(served.metrics.cache_hits, 1);
+    assert!(served.plan.incremental.is_some());
+    let cold = batch.reports[1].as_ref().unwrap();
+    assert_eq!(cold.metrics.cache_hits, 0);
+    for (r, q) in batch.reports.iter().zip([&warmed, &fresh]) {
+        assert_eq!(
+            r.as_ref().unwrap().relation,
+            hhk_simulation(q, &engine.graph()).relation
+        );
+    }
+}
+
+#[test]
+fn isomorphic_resubmission_hits_maintained_entry() {
+    // The maintained entry lives under the canonical key, so an
+    // isomorphic renumbering of the original pattern also serves from
+    // it after deletions.
+    let g = random::uniform(90, 360, 4, 88);
+    let assign = hash_partition(90, 3, 88);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
+    let mut engine = SimEngine::builder(&g, frag).build();
+
+    let mut b = PatternBuilder::new();
+    let a = b.add_node(Label(0));
+    let c = b.add_node(Label(1));
+    let d = b.add_node(Label(2));
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    b.add_edge(d, a);
+    let q = b.build();
+    // Same pattern, nodes inserted in reverse order.
+    let mut b = PatternBuilder::new();
+    let d = b.add_node(Label(2));
+    let c = b.add_node(Label(1));
+    let a = b.add_node(Label(0));
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    b.add_edge(d, a);
+    let q_iso = b.build();
+
+    engine.query(&q).unwrap();
+    let dels: Vec<_> = g.edges().take(12).collect();
+    engine.apply_delta(&GraphDelta::deletions(dels)).unwrap();
+    let warm = engine.query(&q_iso).unwrap();
+    assert_eq!(warm.metrics.cache_hits, 1);
+    assert!(warm.plan.incremental.is_some());
+    assert_eq!(
+        warm.relation,
+        hhk_simulation(&q_iso, &engine.graph()).relation
+    );
+}
