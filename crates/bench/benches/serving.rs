@@ -33,6 +33,23 @@ fn main() {
         "  cached re-run:          {:>9.2} ms   {}/{} hits, {} protocol messages",
         r.cached_ms, r.cache_hits, r.batch, r.cached_messages
     );
+    let ms = |ns: u64| ns as f64 / 1.0e6;
+    println!(
+        "  per-query latency (cold):   p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms",
+        ms(r.latency.p50()),
+        ms(r.latency.p95()),
+        ms(r.latency.p99())
+    );
+    println!(
+        "  per-query latency (cached): p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms",
+        ms(r.cached_latency.p50()),
+        ms(r.cached_latency.p95()),
+        ms(r.cached_latency.p99())
+    );
+    assert!(
+        r.cached_latency.p50() <= r.latency.p50(),
+        "a cache hit must not be slower than a protocol run at the median"
+    );
     assert_eq!(r.cached_messages, 0, "cache hits must ship nothing");
     // The ≥ 2× acceptance bar applies to multi-core runners; a 1-core
     // container can't parallelize and is exempt.

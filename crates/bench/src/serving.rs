@@ -13,6 +13,7 @@
 use dgs_core::{Algorithm, CompressionMethod, SimEngine};
 use dgs_graph::generate::{patterns, random};
 use dgs_graph::Pattern;
+use dgs_net::LatencyHistogram;
 use dgs_partition::{hash_partition, Fragmentation};
 use std::sync::Arc;
 use std::time::Instant;
@@ -66,6 +67,12 @@ pub struct ServingReport {
     pub cached_messages: u64,
     /// Compression ratio of the session's `Gc` leg.
     pub compression_ratio: f64,
+    /// Per-query latency of the cold stream (each query timed
+    /// individually against the serving engine; this pass warms the
+    /// cache). Nanoseconds, log-bucketed.
+    pub latency: LatencyHistogram,
+    /// Per-query latency of the same stream against the warm cache.
+    pub cached_latency: LatencyHistogram,
 }
 
 /// A mixed pattern stream: cyclic, DAG and path shapes interleaved,
@@ -125,7 +132,14 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         .compression_threshold(1.0)
         .build();
     let ratio = serving.compression_note().map(|n| n.ratio).unwrap_or(1.0);
-    serving.query_batch(&queries); // cold pass warms the cache
+    // Cold pass, one query at a time: per-query service latency into
+    // the shared histogram (this is also what warms the cache).
+    let mut latency = LatencyHistogram::new();
+    for q in &queries {
+        let t0 = Instant::now();
+        serving.query(q).expect("serving query");
+        latency.record_duration(t0.elapsed());
+    }
     let (warm, cached_ms) = time_ms(|| serving.query_batch_with(&Algorithm::Auto, &queries));
     let cached_messages = warm.total.data_messages + warm.total.control_messages;
     assert_eq!(
@@ -133,6 +147,12 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         "warm re-run must be served entirely from cache"
     );
     assert_eq!(cached_messages, 0, "cache hits must ship nothing");
+    let mut cached_latency = LatencyHistogram::new();
+    for q in &queries {
+        let t0 = Instant::now();
+        serving.query(q).expect("warm query");
+        cached_latency.record_duration(t0.elapsed());
+    }
 
     ServingReport {
         batch: cfg.batch,
@@ -144,6 +164,8 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         cache_hits: warm.total.cache_hits,
         cached_messages,
         compression_ratio: ratio,
+        latency,
+        cached_latency,
     }
 }
 
@@ -162,5 +184,10 @@ mod tests {
         assert_eq!(r.cache_hits, 9);
         assert_eq!(r.cached_messages, 0);
         assert!(r.compression_ratio > 0.0 && r.compression_ratio <= 1.0);
+        assert_eq!(r.latency.count(), 9);
+        assert_eq!(r.cached_latency.count(), 9);
+        // A cache hit never runs a protocol, so the warm median can't
+        // exceed the cold one.
+        assert!(r.cached_latency.p50() <= r.latency.p50());
     }
 }

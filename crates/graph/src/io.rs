@@ -1,6 +1,7 @@
-//! Plain-text graph and pattern serialization.
+//! Graph and pattern serialization: a line-oriented text format and a
+//! compact binary format.
 //!
-//! A deliberately simple line-oriented format (no external
+//! The **text** format is deliberately simple (no external
 //! serialization crates needed):
 //!
 //! ```text
@@ -13,6 +14,24 @@
 //! Patterns use the header `pattern` instead of `graph`. The format is
 //! used by the examples and by the bench harness to snapshot generated
 //! workloads.
+//!
+//! The **binary** format ([`write_graph_binary`] /
+//! [`read_graph_binary`] and the pattern twins) is what the serving
+//! daemon cold-loads large graphs from — an RMAT graph parses an order
+//! of magnitude faster than from text. Layout (all integers LEB128
+//! varints unless noted):
+//!
+//! ```text
+//! magic "DGSB" | version u8 = 1 | kind u8 ('G' graph, 'Q' pattern)
+//! node_count | edge_count
+//! label × node_count
+//! per node v in id order: out_degree(v), then its sorted successors
+//!     as a first absolute id followed by gaps to the previous id
+//! ```
+//!
+//! [`read_graph_auto`] / [`read_pattern_auto`] sniff the magic and
+//! accept either format. Corrupt or truncated binary input yields a
+//! typed [`ParseError`], never a panic.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::label::Label;
@@ -20,13 +39,23 @@ use crate::pattern::{Pattern, PatternBuilder, QNodeId};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
-/// Errors produced by the text readers.
+/// Magic prefix of the binary graph/pattern format.
+pub const BINARY_MAGIC: [u8; 4] = *b"DGSB";
+/// Current version byte of the binary format.
+pub const BINARY_VERSION: u8 = 1;
+const KIND_GRAPH: u8 = b'G';
+const KIND_PATTERN: u8 = b'Q';
+
+/// Errors produced by the text and binary readers.
 #[derive(Debug)]
 pub enum ParseError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Structural problem with the input, with a line number.
+    /// Structural problem with text input, with a line number.
     Malformed { line: usize, message: String },
+    /// Structural problem with binary input (bad magic, unsupported
+    /// version, truncation, out-of-range ids, overflowing counts).
+    Corrupt { message: String },
 }
 
 impl std::fmt::Display for ParseError {
@@ -35,6 +64,9 @@ impl std::fmt::Display for ParseError {
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
             ParseError::Malformed { line, message } => {
                 write!(f, "malformed input at line {line}: {message}")
+            }
+            ParseError::Corrupt { message } => {
+                write!(f, "corrupt binary input: {message}")
             }
         }
     }
@@ -230,6 +262,278 @@ pub fn read_pattern<R: Read>(r: R) -> Result<Pattern, ParseError> {
     Ok(b.build())
 }
 
+fn corrupt(message: impl Into<String>) -> ParseError {
+    ParseError::Corrupt {
+        message: message.into(),
+    }
+}
+
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_byte<R: Read>(r: &mut R, what: &str) -> Result<u8, ParseError> {
+    let mut b = [0u8; 1];
+    match r.read_exact(&mut b) {
+        Ok(()) => Ok(b[0]),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(corrupt(format!("truncated while reading {what}")))
+        }
+        Err(e) => Err(ParseError::Io(e)),
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R, what: &str) -> Result<u64, ParseError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = read_byte(r, what)?;
+        if shift == 63 && byte > 1 {
+            return Err(corrupt(format!("varint overflow in {what}")));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt(format!("varint too long in {what}")));
+        }
+    }
+}
+
+/// Serializes node labels plus the grouped-by-source, gap-encoded
+/// successor lists shared by the graph and pattern binary writers.
+fn encode_binary(
+    kind: u8,
+    node_count: usize,
+    edge_count: usize,
+    labels: impl Iterator<Item = u16>,
+    successors: impl Fn(usize) -> Vec<u32>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + node_count * 2 + edge_count * 2);
+    buf.extend_from_slice(&BINARY_MAGIC);
+    buf.push(BINARY_VERSION);
+    buf.push(kind);
+    write_varint(&mut buf, node_count as u64);
+    write_varint(&mut buf, edge_count as u64);
+    for l in labels {
+        write_varint(&mut buf, u64::from(l));
+    }
+    for v in 0..node_count {
+        let mut succ = successors(v);
+        succ.sort_unstable();
+        write_varint(&mut buf, succ.len() as u64);
+        let mut prev = 0u32;
+        for (i, &t) in succ.iter().enumerate() {
+            if i == 0 {
+                write_varint(&mut buf, u64::from(t));
+            } else {
+                write_varint(&mut buf, u64::from(t - prev));
+            }
+            prev = t;
+        }
+    }
+    buf
+}
+
+/// Parsed header + payload of one binary object.
+struct BinaryParsed {
+    kind: u8,
+    labels: Vec<u16>,
+    /// Per-source successor lists (sorted; gaps already undone).
+    succ: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+/// Reads a binary object after validating magic, version and kind.
+/// `max_label` bounds label values (`u16` for both graphs and
+/// patterns today, but patterns additionally bound node ids).
+fn decode_binary<R: Read>(r: &mut R, want_kind: u8) -> Result<BinaryParsed, ParseError> {
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = read_byte(r, "magic")?;
+    }
+    if magic != BINARY_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {magic:?} (expected {BINARY_MAGIC:?})"
+        )));
+    }
+    let version = read_byte(r, "version")?;
+    if version != BINARY_VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (this reader understands {BINARY_VERSION})"
+        )));
+    }
+    let kind = read_byte(r, "kind")?;
+    if kind != want_kind {
+        let name = |k| match k {
+            KIND_GRAPH => "graph",
+            KIND_PATTERN => "pattern",
+            _ => "unknown object",
+        };
+        return Err(corrupt(format!(
+            "expected a {}, found a {}",
+            name(want_kind),
+            name(kind)
+        )));
+    }
+    let node_count = read_varint(r, "node count")?;
+    let declared_edges = read_varint(r, "edge count")?;
+    // Bound the counts before allocating: a corrupt header must not
+    // drive an enormous allocation.
+    if node_count > u64::from(u32::MAX) {
+        return Err(corrupt(format!("node count {node_count} exceeds u32 ids")));
+    }
+    let n = node_count as usize;
+    if declared_edges > node_count.saturating_mul(node_count) {
+        return Err(corrupt(format!(
+            "edge count {declared_edges} impossible for {n} nodes"
+        )));
+    }
+    let mut labels = Vec::with_capacity(n.min(1 << 20));
+    for v in 0..n {
+        let l = read_varint(r, "label")?;
+        let l = u16::try_from(l).map_err(|_| corrupt(format!("label {l} of node {v} > u16")))?;
+        labels.push(l);
+    }
+    let mut succ = Vec::with_capacity(n.min(1 << 20));
+    let mut edge_count = 0usize;
+    for v in 0..n {
+        let deg = read_varint(r, "out-degree")? as usize;
+        if deg > n {
+            return Err(corrupt(format!("node {v} declares out-degree {deg} > {n}")));
+        }
+        let mut targets = Vec::with_capacity(deg);
+        let mut prev = 0u64;
+        for i in 0..deg {
+            let raw = read_varint(r, "edge target")?;
+            let t = if i == 0 {
+                raw
+            } else {
+                prev.checked_add(raw)
+                    .ok_or_else(|| corrupt("edge-target gap overflows"))?
+            };
+            if t >= node_count {
+                return Err(corrupt(format!("edge ({v}, {t}) out of range")));
+            }
+            prev = t;
+            targets.push(t as u32);
+        }
+        edge_count += deg;
+        succ.push(targets);
+    }
+    if edge_count != declared_edges as usize {
+        return Err(corrupt(format!(
+            "declared {declared_edges} edges, found {edge_count}"
+        )));
+    }
+    Ok(BinaryParsed {
+        kind,
+        labels,
+        succ,
+        edge_count,
+    })
+}
+
+/// Writes `g` in the binary format.
+pub fn write_graph_binary<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    let buf = encode_binary(
+        KIND_GRAPH,
+        g.node_count(),
+        g.edge_count(),
+        g.labels().iter().map(|l| l.0),
+        |v| g.successors(NodeId(v as u32)).iter().map(|t| t.0).collect(),
+    );
+    w.write_all(&buf)
+}
+
+/// Writes `q` in the binary format.
+pub fn write_pattern_binary<W: Write>(q: &Pattern, mut w: W) -> io::Result<()> {
+    let buf = encode_binary(
+        KIND_PATTERN,
+        q.node_count(),
+        q.edge_count(),
+        q.labels().iter().map(|l| l.0),
+        |u| {
+            q.children(QNodeId(u as u16))
+                .iter()
+                .map(|c| u32::from(c.0))
+                .collect()
+        },
+    );
+    w.write_all(&buf)
+}
+
+/// Reads a graph written by [`write_graph_binary`].
+pub fn read_graph_binary<R: Read>(mut r: R) -> Result<Graph, ParseError> {
+    let p = decode_binary(&mut r, KIND_GRAPH)?;
+    debug_assert_eq!(p.kind, KIND_GRAPH);
+    let mut b = GraphBuilder::with_capacity(p.labels.len(), p.edge_count);
+    for l in &p.labels {
+        b.add_node(Label(*l));
+    }
+    for (v, targets) in p.succ.iter().enumerate() {
+        for &t in targets {
+            b.add_edge(NodeId(v as u32), NodeId(t));
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reads a pattern written by [`write_pattern_binary`].
+pub fn read_pattern_binary<R: Read>(mut r: R) -> Result<Pattern, ParseError> {
+    let p = decode_binary(&mut r, KIND_PATTERN)?;
+    debug_assert_eq!(p.kind, KIND_PATTERN);
+    if p.labels.len() > usize::from(u16::MAX) {
+        return Err(corrupt(format!(
+            "pattern with {} nodes exceeds u16 ids",
+            p.labels.len()
+        )));
+    }
+    let mut b = PatternBuilder::new();
+    for l in &p.labels {
+        b.add_node(Label(*l));
+    }
+    for (u, targets) in p.succ.iter().enumerate() {
+        for &t in targets {
+            b.add_edge(QNodeId(u as u16), QNodeId(t as u16));
+        }
+    }
+    Ok(b.build())
+}
+
+/// True when `prefix` starts a binary graph/pattern file.
+pub fn looks_binary(prefix: &[u8]) -> bool {
+    prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC
+}
+
+/// Reads a graph in either format, sniffing the binary magic.
+pub fn read_graph_auto<R: BufRead>(mut r: R) -> Result<Graph, ParseError> {
+    if looks_binary(r.fill_buf()?) {
+        read_graph_binary(r)
+    } else {
+        read_graph(r)
+    }
+}
+
+/// Reads a pattern in either format, sniffing the binary magic.
+pub fn read_pattern_auto<R: BufRead>(mut r: R) -> Result<Pattern, ParseError> {
+    if looks_binary(r.fill_buf()?) {
+        read_pattern_binary(r)
+    } else {
+        read_pattern(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +611,130 @@ mod tests {
         let text = "graph 1 0\nn 0 0\nz 1 2\n";
         let err = read_graph(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("unknown tag"));
+    }
+
+    #[test]
+    fn binary_graph_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        assert!(looks_binary(&buf));
+        let g2 = read_graph_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_pattern_roundtrip() {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(9));
+        let d = b.add_node(Label(4));
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        b.add_edge(a, d);
+        let q = b.build();
+        let mut buf = Vec::new();
+        write_pattern_binary(&q, &mut buf).unwrap();
+        let q2 = read_pattern_binary(&buf[..]).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn auto_reader_accepts_both_formats() {
+        let g = sample_graph();
+        let mut bin = Vec::new();
+        write_graph_binary(&g, &mut bin).unwrap();
+        let mut text = Vec::new();
+        write_graph(&g, &mut text).unwrap();
+        assert_eq!(read_graph_auto(&bin[..]).unwrap(), g);
+        assert_eq!(read_graph_auto(&text[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_truncation_is_typed_error_at_every_length() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        for len in 0..buf.len() {
+            let err = read_graph_binary(&buf[..len]).unwrap_err();
+            assert!(
+                matches!(err, ParseError::Corrupt { .. }),
+                "prefix of {len} bytes: expected Corrupt, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_bad_magic_version_kind_rejected() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_graph_binary(&bad[..])
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(read_graph_binary(&bad[..])
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+
+        // A pattern reader refuses a graph payload and vice versa.
+        assert!(matches!(
+            read_pattern_binary(&buf[..]).unwrap_err(),
+            ParseError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn binary_corrupt_counts_rejected_without_huge_alloc() {
+        // Header declaring u64::MAX nodes must fail fast.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BINARY_MAGIC);
+        buf.push(BINARY_VERSION);
+        buf.push(b'G');
+        buf.extend_from_slice(&[0xff; 9]);
+        buf.push(0x01); // node_count = huge varint
+        buf.push(0x00); // edge_count = 0
+        assert!(matches!(
+            read_graph_binary(&buf[..]).unwrap_err(),
+            ParseError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn binary_out_of_range_edge_rejected() {
+        // graph with 1 node, 1 edge pointing at node 7.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BINARY_MAGIC);
+        buf.push(BINARY_VERSION);
+        buf.push(b'G');
+        buf.push(1); // nodes
+        buf.push(1); // edges
+        buf.push(0); // label of node 0
+        buf.push(1); // out-degree
+        buf.push(7); // target 7: out of range
+        let err = read_graph_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_on_generated_graphs() {
+        let g = crate::generate::random::uniform(500, 2_000, 8, 7);
+        let (mut text, mut bin) = (Vec::new(), Vec::new());
+        write_graph(&g, &mut text).unwrap();
+        write_graph_binary(&g, &mut bin).unwrap();
+        assert!(
+            bin.len() * 2 < text.len(),
+            "binary {} B should be well under half of text {} B",
+            bin.len(),
+            text.len()
+        );
+        assert_eq!(read_graph_binary(&bin[..]).unwrap(), g);
     }
 }

@@ -41,7 +41,7 @@ pub use cluster::ThreadedExecutor;
 pub use cost::CostModel;
 pub use fault::FaultPlan;
 pub use message::{Endpoint, MsgClass, WireSize};
-pub use metrics::{RunMetrics, SiteDeltaMetrics};
+pub use metrics::{LatencyHistogram, RunMetrics, SiteDeltaMetrics};
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
 pub use virtual_time::VirtualExecutor;
 

@@ -1,4 +1,6 @@
-//! Run metrics: the PT and DS quantities of the paper's figures.
+//! Run metrics: the PT and DS quantities of the paper's figures, plus
+//! the [`LatencyHistogram`] shared by the serving layer's traffic
+//! generator and benches.
 
 use std::time::Duration;
 
@@ -167,6 +169,177 @@ impl RunMetrics {
     }
 }
 
+/// Linear sub-buckets per power of two. 32 sub-buckets bound the
+/// relative quantile error by `1/32 ≈ 3%`.
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// One group of sub-buckets per possible bit length of a `u64` value
+/// (bit length 0 is the dedicated zero bucket).
+const BUCKETS: usize = (65 << SUB_BUCKET_BITS) as usize;
+
+/// A log-bucketed latency histogram: `O(1)` recording, constant
+/// memory, mergeable across threads, with quantile accessors whose
+/// relative error is bounded by the sub-bucket resolution (≈ 3%).
+///
+/// Values are dimensionless `u64`s; the serving layer records
+/// nanoseconds ([`LatencyHistogram::record_duration`]). Per-client
+/// histograms are merged with [`LatencyHistogram::merge`] — merging is
+/// exact (bucket counts add), so a fleet of closed-loop clients can
+/// each record locally and the driver reports fleet-wide p50/p95/p99
+/// without a shared lock on the hot path.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`: the bit length selects the octave, the
+    /// next [`SUB_BUCKET_BITS`] bits select the linear sub-bucket.
+    fn bucket_of(v: u64) -> usize {
+        let bits = 64 - v.leading_zeros(); // 0 for v == 0
+        if bits <= SUB_BUCKET_BITS {
+            // Small values are exact: one bucket per value.
+            return v as usize;
+        }
+        let shift = bits - 1 - SUB_BUCKET_BITS;
+        let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((bits as usize) << SUB_BUCKET_BITS) | sub
+    }
+
+    /// A representative value for bucket `i` (the largest value the
+    /// bucket holds), inverse of [`Self::bucket_of`].
+    fn bucket_high(i: usize) -> u64 {
+        let bits = (i >> SUB_BUCKET_BITS) as u32;
+        if bits == 0 {
+            return (i & (SUB_BUCKETS - 1)) as u64;
+        }
+        let sub = (i & (SUB_BUCKETS - 1)) as u64;
+        let shift = bits - 1 - SUB_BUCKET_BITS;
+        // Top bit set, sub-bucket bits filled in, low bits saturated.
+        (1u64 << (bits - 1)) | (sub << shift) | ((1u64 << shift) - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a wall-clock duration in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every observation of `other` into `self` (exact).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (t, s) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *t += s;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: an upper bound of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation, clamped
+    /// to the observed maximum. `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +378,87 @@ mod tests {
             ..RunMetrics::new(0)
         };
         assert!((m.virtual_time_ms() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..=31u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(0.5), 15); // ceil(0.5*32) = 16th smallest = 15
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded() {
+        // Uniform 1..=100_000: every quantile estimate must be within
+        // the sub-bucket resolution (1/32) of the true value.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, truth) in &[(0.50, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let est = h.quantile(q);
+            let err = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                err <= 1.0 / 32.0 + 1e-9,
+                "q={q}: estimate {est} vs true {truth} (relative error {err:.4})"
+            );
+            // A quantile estimate is the bucket's upper bound, so it
+            // never understates below one resolution step.
+            assert!(est as f64 >= truth as f64 * (1.0 - 1.0 / 32.0));
+        }
+        assert_eq!(h.max(), 100_000);
+        assert!((h.mean() - 50_000.5).abs() / 50_000.5 < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = (i * 2_654_435_761) % 1_000_000 + 1;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_clamp_to_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.p50(), 1_000_003);
+        assert_eq!(h.p99(), 1_000_003);
+        h.record_duration(Duration::from_nanos(17));
+        assert_eq!(h.min(), 17);
+        assert_eq!(h.count(), 2);
     }
 }

@@ -1,0 +1,153 @@
+//! `dgsd` — the dgs serving daemon.
+//!
+//! ```text
+//! dgsd --listen ADDR --graph FILE [--sites K] [--partition hash|bfs|ldg|tree]
+//!      [--seed S] [--cache N] [--compress simeq|bisim] [--compress-threshold X]
+//!      [--max-conns N]
+//! ```
+//!
+//! `ADDR` is `tcp:host:port`, bare `host:port`, or `unix:/path.sock`.
+//! The graph file may be text or binary (`dgsq convert`); binary is
+//! the format to cold-load big RMAT graphs from. The session is built
+//! once at startup exactly like `SimEngine::builder` in-process —
+//! structural facts, optional compression leg, pattern-result cache —
+//! and then served to every connection. Stop it with
+//! `dgsq shutdown --remote ADDR` (or SIGKILL; a stale Unix socket
+//! file is reclaimed on the next start).
+
+use dgs_core::{CompressionMethod, SimEngine};
+use dgs_graph::io as gio;
+use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
+use dgs_serve::{ServeAddr, Server, ServerConfig};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+use std::sync::Arc;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dgsd: {msg}");
+    exit(2);
+}
+
+const ALLOWED: &[&str] = &[
+    "listen",
+    "graph",
+    "sites",
+    "partition",
+    "seed",
+    "cache",
+    "compress",
+    "compress-threshold",
+    "max-conns",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dgsd --listen tcp:HOST:PORT|unix:/PATH.sock --graph FILE\n       \
+         [--sites K] [--partition hash|bfs|ldg|tree] [--seed S]\n       \
+         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| fail(&format!("expected a --flag, got '{}'", args[i])));
+        if !ALLOWED.contains(&key) {
+            fail(&format!(
+                "unknown flag --{key} (allowed: {})",
+                ALLOWED
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail(&format!("--{key} requires a value")));
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        usage();
+    }
+    let flags = parse_flags(&args);
+    let listen = flags
+        .get("listen")
+        .unwrap_or_else(|| fail("--listen required"));
+    let addr = ServeAddr::parse(listen)
+        .unwrap_or_else(|| fail(&format!("unparseable --listen address '{listen}'")));
+    let graph_path = flags
+        .get("graph")
+        .unwrap_or_else(|| fail("--graph required"));
+
+    let f =
+        File::open(graph_path).unwrap_or_else(|e| fail(&format!("cannot open {graph_path}: {e}")));
+    let g = gio::read_graph_auto(BufReader::new(f))
+        .unwrap_or_else(|e| fail(&format!("{graph_path}: {e}")));
+
+    let k: usize = num(&flags, "sites", 4);
+    let seed: u64 = num(&flags, "seed", 1);
+    if k == 0 {
+        fail("--sites must be >= 1");
+    }
+    let assignment = match flags.get("partition").map(String::as_str).unwrap_or("hash") {
+        "hash" => hash_partition(g.node_count(), k, seed),
+        "bfs" => bfs_partition(&g, k, seed),
+        "ldg" => ldg_partition(&g, k, 0.1, seed),
+        "tree" => tree_partition(&g, k),
+        other => fail(&format!("unknown partitioner '{other}'")),
+    };
+    let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
+    let mut builder = SimEngine::builder(&g, frag).cache_capacity(num(&flags, "cache", 128));
+    if let Some(method) = flags.get("compress") {
+        builder = builder.compress(match method.as_str() {
+            "simeq" => {
+                if g.node_count() > 20_000 {
+                    fail("simeq compression holds an O(|V|^2) table; use --compress bisim for graphs this large");
+                }
+                CompressionMethod::SimEq
+            }
+            "bisim" => CompressionMethod::Bisim,
+            other => fail(&format!("unknown compression method '{other}'")),
+        });
+        builder = builder.compression_threshold(num(&flags, "compress-threshold", 0.5));
+    }
+    let engine = builder.build();
+
+    let cfg = ServerConfig {
+        max_connections: num(&flags, "max-conns", 64),
+    };
+    let server = Server::bind(&addr, engine, cfg)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    println!(
+        "dgsd: serving {graph_path} (|V| = {}, |E| = {}, {k} sites) on {}",
+        g.node_count(),
+        g.edge_count(),
+        server.local_addr()
+    );
+    if let Err(e) = server.run() {
+        fail(&format!("server failed: {e}"));
+    }
+    println!("dgsd: shut down cleanly");
+}

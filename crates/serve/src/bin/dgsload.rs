@@ -1,0 +1,171 @@
+//! `dgsload` — open- and closed-loop traffic generator for `dgsd`.
+//!
+//! ```text
+//! dgsload --addr ADDR [--clients N] [--requests R] [--mode closed|open]
+//!         [--rate RPS] [--batch B] [--deltas EVERY] [--pattern FILE[,FILE...]]
+//!         [--seed S]
+//! ```
+//!
+//! Closed loop (default): each client keeps one request outstanding —
+//! the classic saturation benchmark. Open loop: requests launch on a
+//! fixed fleet-wide schedule of `--rate` per second, so server
+//! slowdowns surface as queueing delay in the tail percentiles
+//! instead of being absorbed by the clients.
+//!
+//! The report prints completed/errored counts, throughput, and
+//! p50/p95/p99/max latency from the merged per-client
+//! `LatencyHistogram`s. Exit status is nonzero when any request
+//! errored, which is what the CI smoke job asserts on.
+
+use dgs_graph::io as gio;
+use dgs_serve::{run_load, LoadConfig, LoadMode, ServeAddr};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dgsload: {msg}");
+    exit(2);
+}
+
+const ALLOWED: &[&str] = &[
+    "addr", "clients", "requests", "mode", "rate", "batch", "deltas", "pattern", "seed",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dgsload --addr tcp:HOST:PORT|unix:/PATH.sock [--clients N] [--requests R]\n          \
+         [--mode closed|open] [--rate RPS] [--batch B] [--deltas EVERY]\n          \
+         [--pattern FILE[,FILE...]] [--seed S]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| fail(&format!("expected a --flag, got '{}'", args[i])));
+        if !ALLOWED.contains(&key) {
+            fail(&format!(
+                "unknown flag --{key} (allowed: {})",
+                ALLOWED
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail(&format!("--{key} requires a value")));
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        usage();
+    }
+    let flags = parse_flags(&args);
+    let addr_s = flags.get("addr").unwrap_or_else(|| fail("--addr required"));
+    let addr =
+        ServeAddr::parse(addr_s).unwrap_or_else(|| fail(&format!("unparseable --addr '{addr_s}'")));
+    let mode = match flags.get("mode").map(String::as_str).unwrap_or("closed") {
+        "closed" => LoadMode::Closed,
+        "open" => {
+            let rate: f64 = num(&flags, "rate", 100.0);
+            if rate <= 0.0 {
+                fail("--rate must be positive in open mode");
+            }
+            LoadMode::Open { rate }
+        }
+        other => fail(&format!("unknown mode '{other}'")),
+    };
+    let patterns = match flags.get("pattern") {
+        None => Vec::new(),
+        Some(arg) => arg
+            .split(',')
+            .map(|path| {
+                let f =
+                    File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+                gio::read_pattern_auto(BufReader::new(f))
+                    .unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+            })
+            .collect(),
+    };
+
+    let cfg = LoadConfig {
+        addr,
+        clients: num(&flags, "clients", 8),
+        requests_per_client: num(&flags, "requests", 50),
+        mode,
+        delta_every: num(&flags, "deltas", 0),
+        batch_size: num(&flags, "batch", 1),
+        seed: num(&flags, "seed", 1),
+        patterns,
+    };
+    if cfg.clients == 0 || cfg.requests_per_client == 0 {
+        fail("--clients and --requests must be >= 1");
+    }
+    println!(
+        "dgsload: {} clients x {} requests, {} mode{} -> {}",
+        cfg.clients,
+        cfg.requests_per_client,
+        match cfg.mode {
+            LoadMode::Closed => "closed-loop".to_owned(),
+            LoadMode::Open { rate } => format!("open-loop ({rate:.0} req/s)"),
+        },
+        if cfg.delta_every > 0 {
+            format!(", delta every {} requests", cfg.delta_every)
+        } else {
+            String::new()
+        },
+        addr_s
+    );
+
+    let report = run_load(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let h = &report.histogram;
+    println!(
+        "  completed {} / errored {}  in {:.2} s  ({:.1} req/s)",
+        report.completed,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.throughput()
+    );
+    println!(
+        "  latency: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms  (mean {:.3} ms)",
+        ms(h.p50()),
+        ms(h.p95()),
+        ms(h.p99()),
+        ms(h.max()),
+        h.mean() / 1.0e6
+    );
+    println!("  cache hits: {}", report.cache_hits);
+    if report.failed_connects > 0 {
+        println!("  failed connects: {}", report.failed_connects);
+    }
+    if report.errors > 0 {
+        eprintln!("dgsload: {} requests errored", report.errors);
+        exit(1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The typed remote client: one blocking connection speaking the
+//! frame protocol, with a method per request.
+//!
+//! ```no_run
+//! use dgs_serve::{DgsClient, ServeAddr};
+//!
+//! let addr = ServeAddr::parse("127.0.0.1:7311").unwrap();
+//! let mut client = DgsClient::connect(&addr).unwrap();
+//! let info = client.graph_info().unwrap();
+//! println!("serving |V| = {}, |E| = {}", info.nodes, info.edges);
+//! ```
+
+use crate::error::{ErrorCode, ServeError};
+use crate::proto::{
+    frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireAlgorithm,
+    WireCacheStats, WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
+};
+use crate::transport::{Conn, ServeAddr};
+use crate::wire::{read_frame, write_frame};
+use dgs_core::GraphDelta;
+use dgs_graph::{Graph, Pattern};
+
+/// A connected client session.
+pub struct DgsClient {
+    conn: Conn,
+    version: u8,
+}
+
+impl DgsClient {
+    /// Dials `addr` and performs the version handshake. A server at
+    /// capacity answers the handshake with a typed `Busy` rejection
+    /// ([`ServeError::is_busy`]).
+    pub fn connect(addr: &ServeAddr) -> Result<DgsClient, ServeError> {
+        let mut conn = Conn::connect(addr)?;
+        let mut hello = Vec::with_capacity(5);
+        hello.extend_from_slice(&WIRE_MAGIC);
+        hello.push(WIRE_VERSION);
+        write_frame(&mut conn, frame::HELLO, &hello)?;
+        let Some((ty, payload)) = read_frame(&mut conn)? else {
+            return Err(ServeError::corrupt("server closed during handshake"));
+        };
+        match ty {
+            frame::WELCOME => {
+                if payload.len() != 5 || payload[..4] != WIRE_MAGIC {
+                    return Err(ServeError::corrupt("malformed WELCOME"));
+                }
+                let version = payload[4];
+                if version < 1 || version > WIRE_VERSION {
+                    return Err(ServeError::UnsupportedVersion {
+                        ours: WIRE_VERSION,
+                        theirs: version,
+                    });
+                }
+                Ok(DgsClient { conn, version })
+            }
+            frame::ERROR => match Response::decode(ty, &payload)? {
+                Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+                _ => unreachable!("ERROR frames decode to Response::Error"),
+            },
+            other => Err(ServeError::corrupt(format!(
+                "expected WELCOME, got frame {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Parses and dials an address spelling (`host:port`,
+    /// `tcp:host:port` or `unix:/path`).
+    pub fn connect_str(addr: &str) -> Result<DgsClient, ServeError> {
+        let addr = ServeAddr::parse(addr)
+            .ok_or_else(|| ServeError::corrupt(format!("unparseable address '{addr}'")))?;
+        DgsClient::connect(&addr)
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// One request/response exchange; server `ERROR` frames become
+    /// [`ServeError::Remote`].
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let (ty, payload) = req.encode();
+        write_frame(&mut self.conn, ty, &payload)?;
+        let Some((ty, payload)) = read_frame(&mut self.conn)? else {
+            return Err(ServeError::corrupt("server closed mid-request"));
+        };
+        match Response::decode(ty, &payload)? {
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected<T>(what: &str) -> Result<T, ServeError> {
+        Err(ServeError::corrupt(format!(
+            "server answered with the wrong frame for {what}"
+        )))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Self::unexpected("PING"),
+        }
+    }
+
+    /// The loaded graph and fragmentation summary.
+    pub fn graph_info(&mut self) -> Result<GraphInfo, ServeError> {
+        match self.call(&Request::GraphInfo)? {
+            Response::GraphInfo(info) => Ok(info),
+            _ => Self::unexpected("GRAPH_INFO"),
+        }
+    }
+
+    /// A data-selecting query; the answer carries the full relation.
+    pub fn query(&mut self, q: &Pattern, algorithm: WireAlgorithm) -> Result<Answer, ServeError> {
+        match self.call(&Request::Query {
+            pattern: q.clone(),
+            algorithm,
+            boolean: false,
+        })? {
+            Response::Answer(a) => Ok(a),
+            _ => Self::unexpected("QUERY"),
+        }
+    }
+
+    /// A Boolean query (`rows` comes back empty; read `is_match`).
+    pub fn query_boolean(
+        &mut self,
+        q: &Pattern,
+        algorithm: WireAlgorithm,
+    ) -> Result<Answer, ServeError> {
+        match self.call(&Request::Query {
+            pattern: q.clone(),
+            algorithm,
+            boolean: true,
+        })? {
+            Response::Answer(a) => Ok(a),
+            _ => Self::unexpected("QUERY (boolean)"),
+        }
+    }
+
+    /// A batched query; per-item outcomes in input order plus batch
+    /// totals.
+    #[allow(clippy::type_complexity)]
+    pub fn query_batch(
+        &mut self,
+        patterns: &[Pattern],
+        algorithm: WireAlgorithm,
+    ) -> Result<(Vec<Result<Answer, (ErrorCode, String)>>, WireMetrics), ServeError> {
+        match self.call(&Request::QueryBatch {
+            patterns: patterns.to_vec(),
+            algorithm,
+        })? {
+            Response::BatchAnswer { items, total } => Ok((items, total)),
+            _ => Self::unexpected("QUERY_BATCH"),
+        }
+    }
+
+    /// Absorbs a batch of edge updates into the served session.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaSummary, ServeError> {
+        match self.call(&Request::ApplyDelta {
+            insert_edges: delta
+                .insert_edges
+                .iter()
+                .map(|&(u, v)| (u.0, v.0))
+                .collect(),
+            delete_edges: delta
+                .delete_edges
+                .iter()
+                .map(|&(u, v)| (u.0, v.0))
+                .collect(),
+        })? {
+            Response::DeltaApplied(d) => Ok(d),
+            _ => Self::unexpected("APPLY_DELTA"),
+        }
+    }
+
+    /// Counters of the server-side pattern-result cache (`None` when
+    /// disabled).
+    pub fn cache_stats(&mut self) -> Result<Option<WireCacheStats>, ServeError> {
+        match self.call(&Request::CacheStats)? {
+            Response::CacheStats(s) => Ok(s),
+            _ => Self::unexpected("CACHE_STATS"),
+        }
+    }
+
+    /// The served session's compressed-leg summary (`None` when built
+    /// without compression).
+    pub fn compression_info(&mut self) -> Result<Option<WireCompression>, ServeError> {
+        match self.call(&Request::CompressionInfo)? {
+            Response::CompressionInfo(c) => Ok(c),
+            _ => Self::unexpected("COMPRESSION_INFO"),
+        }
+    }
+
+    /// Replaces the served session with a freshly built one (admin).
+    pub fn load_graph(
+        &mut self,
+        graph: &Graph,
+        options: &SessionOptions,
+    ) -> Result<(u64, u64, u16), ServeError> {
+        match self.call(&Request::LoadGraph {
+            graph: graph.clone(),
+            options: options.clone(),
+        })? {
+            Response::Loaded {
+                nodes,
+                edges,
+                sites,
+            } => Ok((nodes, edges, sites)),
+            _ => Self::unexpected("LOAD_GRAPH"),
+        }
+    }
+
+    /// Stops the daemon (admin). The connection is spent afterwards.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Self::unexpected("SHUTDOWN"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # dgs-serve
+//!
+//! The network serving layer of dgs: everything the in-process
+//! [`SimEngine`](dgs_core::SimEngine) session offers —
+//! `query`/`query_batch` with plans and metrics, `apply_delta`,
+//! cache and compression stats, session replacement — carried over a
+//! hand-rolled, versioned, length-prefixed binary wire protocol on
+//! plain `std` TCP or Unix-domain sockets. No async runtime, no
+//! serialization crates: frames are `[u32 LE length][u8 type]
+//! [payload]` and payloads are varints, fixed little-endian integers
+//! and length-prefixed strings (see `docs/PROTOCOL.md`).
+//!
+//! The pieces, bottom-up:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`wire`] | framing + primitive codecs; bounds-checked [`wire::Reader`] |
+//! | [`proto`] | [`Request`]/[`Response`] frames, [`Answer`], version handshake |
+//! | [`transport`] | [`ServeAddr`] (`tcp:`/`unix:` spellings), stream + listener |
+//! | [`server`] | [`Server`]: thread-per-connection daemon core with admission control |
+//! | [`client`] | [`DgsClient`]: the typed blocking client |
+//! | [`load`] | [`run_load`]: open-/closed-loop traffic generation |
+//!
+//! Two binaries ship with the crate: **`dgsd`**, the daemon, and
+//! **`dgsload`**, the traffic generator (throughput + p50/p95/p99
+//! from [`dgs_net::LatencyHistogram`]). `dgsq --remote <addr>`
+//! drives any daemon from the existing CLI.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use dgs_serve::{DgsClient, Server, ServerConfig, ServeAddr, WireAlgorithm};
+//! use dgs_core::SimEngine;
+//! use dgs_graph::generate::social::fig1;
+//! use dgs_partition::Fragmentation;
+//! use std::sync::Arc;
+//!
+//! // Build a session and serve it on an ephemeral port.
+//! let w = fig1();
+//! let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+//! let engine = SimEngine::builder(&w.graph, frag).build();
+//! let server = Server::bind(
+//!     &ServeAddr::parse("127.0.0.1:0").unwrap(),
+//!     engine,
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let handle = server.spawn();
+//!
+//! // Remote answers equal in-process answers.
+//! let mut client = DgsClient::connect(handle.addr()).unwrap();
+//! let answer = client.query(&w.pattern, WireAlgorithm::Auto).unwrap();
+//! assert!(answer.is_match);
+//! assert_eq!(answer.relation().len(), 11);
+//!
+//! drop(client);
+//! handle.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::DgsClient;
+pub use error::{ErrorCode, ServeError};
+pub use load::{mixed_pattern_pool, run_load, LoadConfig, LoadMode, LoadReport};
+pub use proto::{
+    Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireAlgorithm,
+    WireCacheStats, WireCompression, WireMetrics, WirePartitioner, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use transport::{Conn, Listener, ServeAddr};

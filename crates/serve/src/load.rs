@@ -1,0 +1,279 @@
+//! The traffic-generator library behind `dgsload` (and the CI smoke
+//! job): open- and closed-loop request streams against a running
+//! daemon, with per-client latency recorded into the shared
+//! [`LatencyHistogram`] and merged into one fleet-wide report.
+//!
+//! * **Closed loop** — each of `clients` threads keeps exactly one
+//!   request outstanding: send, await, repeat. Throughput is whatever
+//!   the server sustains; latency is the server's service time plus
+//!   one round trip.
+//! * **Open loop** — requests are launched on a fixed schedule
+//!   (`rate` per second across the fleet) regardless of completions,
+//!   the way real user traffic arrives; when the server falls behind,
+//!   queueing delay shows up in the tail percentiles rather than
+//!   being hidden by the clients slowing down.
+
+use crate::client::DgsClient;
+use crate::error::ServeError;
+use crate::proto::WireAlgorithm;
+use crate::transport::ServeAddr;
+use dgs_core::GraphDelta;
+use dgs_graph::{generate::patterns, NodeId, Pattern};
+use dgs_net::LatencyHistogram;
+use std::time::{Duration, Instant};
+
+/// How the generator paces requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMode {
+    /// One outstanding request per client.
+    Closed,
+    /// Fleet-wide fixed arrival rate, requests per second.
+    Open {
+        /// Aggregate target arrival rate (req/s) across all clients.
+        rate: f64,
+    },
+}
+
+/// Traffic-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// The daemon to hammer.
+    pub addr: ServeAddr,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Pacing discipline.
+    pub mode: LoadMode,
+    /// Every `n`-th request is an `APPLY_DELTA` instead of a query
+    /// (`0` = queries only). Deltas alternate inserting and deleting
+    /// a pseudo-random edge, so the graph stays near its base shape.
+    pub delta_every: usize,
+    /// Patterns per `QUERY_BATCH` request (`1` = plain `QUERY`).
+    pub batch_size: usize,
+    /// Seed for pattern selection and delta endpoints.
+    pub seed: u64,
+    /// The query pool, cycled per request. When empty, [`run_load`]
+    /// generates a mixed pool from the daemon's graph info.
+    pub patterns: Vec<Pattern>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: ServeAddr::Tcp("127.0.0.1:7311".into()),
+            clients: 8,
+            requests_per_client: 50,
+            mode: LoadMode::Closed,
+            delta_every: 0,
+            batch_size: 1,
+            seed: 1,
+            patterns: Vec::new(),
+        }
+    }
+}
+
+/// Fleet-wide outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (transport errors and server-signalled
+    /// errors alike). A correct serving setup reports **zero**.
+    pub errors: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+    /// Per-request latency across the whole fleet (nanoseconds).
+    pub histogram: LatencyHistogram,
+    /// Sum of `cache_hits` over all answers.
+    pub cache_hits: u64,
+    /// Clients that could not even connect (counted in `errors` too).
+    pub failed_connects: u64,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+/// splitmix64: cheap deterministic per-client randomness (no shared
+/// RNG on the hot path).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A mixed pattern pool sized for cache overlap: cyclic, DAG and
+/// path shapes over `labels` labels, drawn from `pool` seeds.
+pub fn mixed_pattern_pool(pool: usize, labels: usize, seed: u64) -> Vec<Pattern> {
+    (0..pool)
+        .map(|i| {
+            let s = seed.wrapping_add((i / 3) as u64);
+            match i % 3 {
+                0 => patterns::random_cyclic(3, 6, labels, 900 + s),
+                1 => patterns::random_dag_with_depth(4, 6, 2, labels, 900 + s),
+                _ => patterns::random_cyclic(4, 8, labels, 950 + s),
+            }
+        })
+        .collect()
+}
+
+/// Runs the configured load and merges the per-client reports.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
+    let probe_info = {
+        let mut probe = DgsClient::connect(&cfg.addr)?;
+        probe.graph_info()?
+    };
+    let nodes = probe_info.nodes.max(1);
+    let patterns = if cfg.patterns.is_empty() {
+        // Derive a mixed pool from the served graph's label universe.
+        let labels = (probe_info.label_bound.max(1) as usize).min(64);
+        mixed_pattern_pool(12, labels, cfg.seed)
+    } else {
+        cfg.patterns.clone()
+    };
+
+    let start = Instant::now();
+    let mut reports: Vec<ClientOutcome> = Vec::with_capacity(cfg.clients);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.clients);
+        for c in 0..cfg.clients {
+            let patterns = &patterns;
+            handles.push(s.spawn(move || run_client(cfg, c, patterns, nodes, start)));
+        }
+        for h in handles {
+            reports.push(h.join().expect("load client thread panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut out = LoadReport {
+        completed: 0,
+        errors: 0,
+        elapsed,
+        histogram: LatencyHistogram::new(),
+        cache_hits: 0,
+        failed_connects: 0,
+    };
+    for r in reports {
+        out.completed += r.completed;
+        out.errors += r.errors;
+        out.cache_hits += r.cache_hits;
+        out.failed_connects += u64::from(r.failed_connect);
+        out.histogram.merge(&r.histogram);
+    }
+    Ok(out)
+}
+
+struct ClientOutcome {
+    completed: u64,
+    errors: u64,
+    cache_hits: u64,
+    histogram: LatencyHistogram,
+    failed_connect: bool,
+}
+
+fn run_client(
+    cfg: &LoadConfig,
+    client_idx: usize,
+    patterns: &[Pattern],
+    nodes: u64,
+    fleet_start: Instant,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        completed: 0,
+        errors: 0,
+        cache_hits: 0,
+        histogram: LatencyHistogram::new(),
+        failed_connect: false,
+    };
+    let mut client = match DgsClient::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            // A client that cannot connect fails its whole quota.
+            out.failed_connect = true;
+            out.errors = cfg.requests_per_client as u64;
+            return out;
+        }
+    };
+    let mut rng = cfg
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(client_idx as u64 + 1);
+    let batch = cfg.batch_size.max(1);
+
+    for i in 0..cfg.requests_per_client {
+        let scheduled = if let LoadMode::Open { rate } = cfg.mode {
+            // Fleet-wide schedule: this client owns arrival slots
+            // client_idx, client_idx + clients, ... at 1/rate spacing.
+            let slot = (i * cfg.clients + client_idx) as f64;
+            let due = fleet_start + Duration::from_secs_f64(slot / rate.max(1e-9));
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            Some(due)
+        } else {
+            None
+        };
+        let is_delta = cfg.delta_every > 0 && i % cfg.delta_every == cfg.delta_every - 1;
+        // Open-loop latency is measured from the *scheduled* arrival,
+        // not the actual send: when the server falls behind and sends
+        // go out late, the wait-behind-schedule is queueing delay and
+        // must land in the tail percentiles (avoiding coordinated
+        // omission). Closed loop measures from the send.
+        let sent = scheduled.unwrap_or_else(Instant::now);
+        let outcome: Result<u64, ServeError> = if is_delta {
+            // Alternate inserting and deleting one pseudo-random edge;
+            // already-satisfied ops are "ignored", never errors.
+            let u = NodeId((splitmix64(&mut rng) % nodes) as u32);
+            let v = NodeId((splitmix64(&mut rng) % nodes) as u32);
+            let delta = if splitmix64(&mut rng).is_multiple_of(2) {
+                GraphDelta::insertions([(u, v)])
+            } else {
+                GraphDelta::deletions([(u, v)])
+            };
+            client.apply_delta(&delta).map(|_| 0)
+        } else if batch > 1 {
+            let qs: Vec<Pattern> = (0..batch)
+                .map(|_| patterns[(splitmix64(&mut rng) as usize) % patterns.len()].clone())
+                .collect();
+            client
+                .query_batch(&qs, WireAlgorithm::Auto)
+                .and_then(|(items, total)| {
+                    // A per-item engine error inside an otherwise-
+                    // delivered batch counts as an errored request.
+                    for item in items {
+                        if let Err((code, message)) = item {
+                            return Err(ServeError::Remote { code, message });
+                        }
+                    }
+                    Ok(total.cache_hits)
+                })
+        } else {
+            let q = &patterns[(splitmix64(&mut rng) as usize) % patterns.len()];
+            client
+                .query(q, WireAlgorithm::Auto)
+                .map(|a| a.metrics.cache_hits)
+        };
+        match outcome {
+            Err(_) => out.errors += 1,
+            Ok(hits) => {
+                out.histogram.record_duration(sent.elapsed());
+                out.cache_hits += hits;
+                out.completed += 1;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,988 @@
+//! The message layer: typed requests and responses over
+//! [`crate::wire`] frames.
+//!
+//! The protocol carries the whole `SimEngine` session surface:
+//! `QUERY`/`QUERY_BATCH` (answers ship the match relation, the plan
+//! explanation and the run metrics), `APPLY_DELTA`, `CACHE_STATS`,
+//! `COMPRESSION_INFO`, `GRAPH_INFO`, `LOAD_GRAPH` (session
+//! replacement) and the `SHUTDOWN` admin frame. Graphs and patterns
+//! reuse the binary encoding of `dgs_graph::io` verbatim, so a file
+//! written by `dgsq convert` is byte-for-byte what `LOAD_GRAPH`
+//! ships.
+//!
+//! Every decoder is total: corrupt payloads yield
+//! [`ServeError::Corrupt`], never a panic — see the roundtrip and
+//! corruption proptests in `tests/serve.rs`.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::wire::{put_bytes, put_f64, put_str, put_u16, put_u8, put_varint, Reader};
+use dgs_core::{Algorithm, CompressionMethod};
+use dgs_graph::{io as gio, Graph, NodeId, Pattern};
+use dgs_net::RunMetrics;
+use dgs_sim::MatchRelation;
+
+/// Magic the handshake frames carry ("DGSW": dgs wire).
+pub const WIRE_MAGIC: [u8; 4] = *b"DGSW";
+/// The highest protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame type bytes. Requests are `0x1x`, responses `0x2x`, the error
+/// response is `0x3f`; handshake frames are `0x0x`.
+pub mod frame {
+    pub const HELLO: u8 = 0x01;
+    pub const WELCOME: u8 = 0x02;
+
+    pub const PING: u8 = 0x10;
+    pub const GRAPH_INFO: u8 = 0x11;
+    pub const QUERY: u8 = 0x12;
+    pub const QUERY_BATCH: u8 = 0x13;
+    pub const APPLY_DELTA: u8 = 0x14;
+    pub const CACHE_STATS: u8 = 0x15;
+    pub const COMPRESSION_INFO: u8 = 0x16;
+    pub const LOAD_GRAPH: u8 = 0x17;
+    pub const SHUTDOWN: u8 = 0x18;
+
+    pub const PONG: u8 = 0x20;
+    pub const GRAPH_INFO_R: u8 = 0x21;
+    pub const ANSWER: u8 = 0x22;
+    pub const BATCH_ANSWER: u8 = 0x23;
+    pub const DELTA_APPLIED: u8 = 0x24;
+    pub const CACHE_STATS_R: u8 = 0x25;
+    pub const COMPRESSION_INFO_R: u8 = 0x26;
+    pub const LOADED: u8 = 0x27;
+    pub const SHUTTING_DOWN: u8 = 0x28;
+
+    pub const ERROR: u8 = 0x3f;
+}
+
+/// The engine selector as it travels on the wire (the names the CLI
+/// exposes; `DgpmConfig` details stay server-side defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireAlgorithm {
+    Auto = 0,
+    Dgpm = 1,
+    DgpmNopt = 2,
+    Dgpms = 3,
+    Dgpmd = 4,
+    Dgpmt = 5,
+    MatchCentral = 6,
+    DisHhk = 7,
+    DMes = 8,
+}
+
+impl WireAlgorithm {
+    /// Parses the CLI spelling (`auto`, `dgpm`, `dgpm-nopt`, ...).
+    pub fn parse(s: &str) -> Option<WireAlgorithm> {
+        Some(match s {
+            "auto" => WireAlgorithm::Auto,
+            "dgpm" => WireAlgorithm::Dgpm,
+            "dgpm-nopt" => WireAlgorithm::DgpmNopt,
+            "dgpms" => WireAlgorithm::Dgpms,
+            "dgpmd" => WireAlgorithm::Dgpmd,
+            "dgpmt" => WireAlgorithm::Dgpmt,
+            "match" => WireAlgorithm::MatchCentral,
+            "dishhk" => WireAlgorithm::DisHhk,
+            "dmes" => WireAlgorithm::DMes,
+            _ => return None,
+        })
+    }
+
+    fn from_u8(v: u8) -> Result<WireAlgorithm, ServeError> {
+        Ok(match v {
+            0 => WireAlgorithm::Auto,
+            1 => WireAlgorithm::Dgpm,
+            2 => WireAlgorithm::DgpmNopt,
+            3 => WireAlgorithm::Dgpms,
+            4 => WireAlgorithm::Dgpmd,
+            5 => WireAlgorithm::Dgpmt,
+            6 => WireAlgorithm::MatchCentral,
+            7 => WireAlgorithm::DisHhk,
+            8 => WireAlgorithm::DMes,
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "unknown algorithm byte {other}"
+                )));
+            }
+        })
+    }
+
+    /// The engine the server runs for this selector.
+    pub fn to_algorithm(self) -> Algorithm {
+        match self {
+            WireAlgorithm::Auto => Algorithm::Auto,
+            WireAlgorithm::Dgpm => Algorithm::dgpm(),
+            WireAlgorithm::DgpmNopt => Algorithm::dgpm_nopt(),
+            WireAlgorithm::Dgpms => Algorithm::Dgpms,
+            WireAlgorithm::Dgpmd => Algorithm::Dgpmd,
+            WireAlgorithm::Dgpmt => Algorithm::Dgpmt,
+            WireAlgorithm::MatchCentral => Algorithm::MatchCentral,
+            WireAlgorithm::DisHhk => Algorithm::DisHhk,
+            WireAlgorithm::DMes => Algorithm::DMes,
+        }
+    }
+}
+
+/// Partitioner selector for `LOAD_GRAPH`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WirePartitioner {
+    Hash = 0,
+    Bfs = 1,
+    Ldg = 2,
+    Tree = 3,
+}
+
+impl WirePartitioner {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<WirePartitioner> {
+        Some(match s {
+            "hash" => WirePartitioner::Hash,
+            "bfs" => WirePartitioner::Bfs,
+            "ldg" => WirePartitioner::Ldg,
+            "tree" => WirePartitioner::Tree,
+            _ => return None,
+        })
+    }
+
+    fn from_u8(v: u8) -> Result<WirePartitioner, ServeError> {
+        Ok(match v {
+            0 => WirePartitioner::Hash,
+            1 => WirePartitioner::Bfs,
+            2 => WirePartitioner::Ldg,
+            3 => WirePartitioner::Tree,
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "unknown partitioner byte {other}"
+                )));
+            }
+        })
+    }
+}
+
+/// Session knobs shipped with `LOAD_GRAPH` (mirrors the
+/// `SimEngineBuilder` surface the daemon exposes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionOptions {
+    /// Number of sites to fragment over.
+    pub sites: u16,
+    /// Which partitioner assigns nodes to sites.
+    pub partitioner: WirePartitioner,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Pattern-result cache capacity (`0` disables).
+    pub cache_capacity: u32,
+    /// Compression method for the session's `Gc` leg, if any.
+    pub compression: Option<CompressionMethod>,
+    /// Ratio threshold below which `Auto` answers on `Gc`.
+    pub compression_threshold: f64,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            sites: 4,
+            partitioner: WirePartitioner::Hash,
+            seed: 1,
+            cache_capacity: 128,
+            compression: None,
+            compression_threshold: 0.5,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Ask about the loaded graph and fragmentation.
+    GraphInfo,
+    /// One query against the session.
+    Query {
+        /// The pattern.
+        pattern: Pattern,
+        /// Which engine (checked server-side, as in-process).
+        algorithm: WireAlgorithm,
+        /// Boolean query: only `is_match` comes back, no relation.
+        boolean: bool,
+    },
+    /// A batch of queries, amortizing the query broadcast.
+    QueryBatch {
+        /// The patterns, answered in input order.
+        patterns: Vec<Pattern>,
+        /// Which engine.
+        algorithm: WireAlgorithm,
+    },
+    /// Absorb a batch of edge updates into the session.
+    ApplyDelta {
+        /// Edges to insert.
+        insert_edges: Vec<(u32, u32)>,
+        /// Edges to delete.
+        delete_edges: Vec<(u32, u32)>,
+    },
+    /// Counters of the pattern-result cache.
+    CacheStats,
+    /// The session's compressed-leg summary.
+    CompressionInfo,
+    /// Replace the served session with a freshly built one (admin).
+    LoadGraph {
+        /// The new data graph.
+        graph: Graph,
+        /// Session build options.
+        options: SessionOptions,
+    },
+    /// Stop the daemon (admin).
+    Shutdown,
+}
+
+/// Metric counters shipped back with every answer — the wire subset
+/// of [`RunMetrics`] (per-site breakdowns stay server-side).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    pub data_bytes: u64,
+    pub data_messages: u64,
+    pub control_bytes: u64,
+    pub control_messages: u64,
+    pub result_bytes: u64,
+    pub result_messages: u64,
+    pub total_ops: u64,
+    pub virtual_time_ns: u64,
+    pub quiescence_rounds: u64,
+    pub cache_hits: u64,
+}
+
+impl WireMetrics {
+    /// The wire subset of a run's metrics.
+    pub fn of_run(m: &RunMetrics) -> WireMetrics {
+        WireMetrics {
+            data_bytes: m.data_bytes,
+            data_messages: m.data_messages,
+            control_bytes: m.control_bytes,
+            control_messages: m.control_messages,
+            result_bytes: m.result_bytes,
+            result_messages: m.result_messages,
+            total_ops: m.total_ops,
+            virtual_time_ns: m.virtual_time_ns,
+            quiescence_rounds: m.quiescence_rounds,
+            cache_hits: m.cache_hits,
+        }
+    }
+
+    /// Virtual response time in ms (the paper's PT unit).
+    pub fn virtual_time_ms(&self) -> f64 {
+        self.virtual_time_ns as f64 / 1.0e6
+    }
+
+    /// Data shipment in KB (the paper's DS unit).
+    pub fn data_kb(&self) -> f64 {
+        self.data_bytes as f64 / 1024.0
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in [
+            self.data_bytes,
+            self.data_messages,
+            self.control_bytes,
+            self.control_messages,
+            self.result_bytes,
+            self.result_messages,
+            self.total_ops,
+            self.virtual_time_ns,
+            self.quiescence_rounds,
+            self.cache_hits,
+        ] {
+            put_varint(buf, v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireMetrics, ServeError> {
+        let mut vals = [0u64; 10];
+        for v in &mut vals {
+            *v = r.varint("metric")?;
+        }
+        let [data_bytes, data_messages, control_bytes, control_messages, result_bytes, result_messages, total_ops, virtual_time_ns, quiescence_rounds, cache_hits] =
+            vals;
+        Ok(WireMetrics {
+            data_bytes,
+            data_messages,
+            control_bytes,
+            control_messages,
+            result_bytes,
+            result_messages,
+            total_ops,
+            virtual_time_ns,
+            quiescence_rounds,
+            cache_hits,
+        })
+    }
+}
+
+/// One query's answer as it travels on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// Sorted matches per query node (empty for Boolean queries).
+    pub rows: Vec<Vec<u32>>,
+    /// Whether `G` matches `Q`.
+    pub is_match: bool,
+    /// Display name of the engine that ran.
+    pub algorithm: String,
+    /// The rendered plan explanation.
+    pub plan: String,
+    /// Run metrics.
+    pub metrics: WireMetrics,
+}
+
+impl Answer {
+    /// Rebuilds the match relation (`Q(G)`'s maximum relation).
+    pub fn relation(&self) -> MatchRelation {
+        MatchRelation::from_lists(
+            self.rows
+                .iter()
+                .map(|row| row.iter().map(|&v| NodeId(v)).collect())
+                .collect(),
+        )
+    }
+
+    /// The paper's data-selecting answer size: 0 when some query node
+    /// has no match, the relation size otherwise.
+    pub fn answer_pairs(&self) -> usize {
+        if self.is_match {
+            self.rows.iter().map(Vec::len).sum()
+        } else {
+            0
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.rows.len() as u64);
+        for row in &self.rows {
+            put_varint(buf, row.len() as u64);
+            let mut prev = 0u32;
+            for (i, &v) in row.iter().enumerate() {
+                if i == 0 {
+                    put_varint(buf, u64::from(v));
+                } else {
+                    put_varint(buf, u64::from(v.wrapping_sub(prev)));
+                }
+                prev = v;
+            }
+        }
+        put_u8(buf, u8::from(self.is_match));
+        put_str(buf, &self.algorithm);
+        put_str(buf, &self.plan);
+        self.metrics.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Answer, ServeError> {
+        let nq = r.count("query-node count")?;
+        let mut rows = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            let len = r.count("row length")?;
+            let mut row = Vec::with_capacity(len);
+            let mut prev = 0u64;
+            for i in 0..len {
+                let raw = r.varint("match id")?;
+                let v = if i == 0 {
+                    raw
+                } else {
+                    prev.checked_add(raw)
+                        .ok_or_else(|| ServeError::corrupt("match-id gap overflows"))?
+                };
+                if v > u64::from(u32::MAX) {
+                    return Err(ServeError::corrupt("match id exceeds u32"));
+                }
+                prev = v;
+                row.push(v as u32);
+            }
+            rows.push(row);
+        }
+        let is_match = r.u8("is_match")? != 0;
+        let algorithm = r.str_("algorithm")?;
+        let plan = r.str_("plan")?;
+        let metrics = WireMetrics::decode(r)?;
+        Ok(Answer {
+            rows,
+            is_match,
+            algorithm,
+            plan,
+            metrics,
+        })
+    }
+}
+
+/// The loaded graph/fragmentation summary (`GRAPH_INFO`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphInfo {
+    pub nodes: u64,
+    pub edges: u64,
+    pub sites: u16,
+    /// Total fragment nodes `|Vf|` (virtual nodes included).
+    pub vf: u64,
+    /// Total fragment edges `|Ef|`.
+    pub ef: u64,
+    /// Exclusive upper bound on label values.
+    pub label_bound: u64,
+    /// The session's current graph generation.
+    pub generation: u64,
+}
+
+/// The delta-application summary (`DELTA_APPLIED`), mirroring
+/// `dgs_core::DeltaReport`'s counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    pub inserted: u64,
+    pub deleted: u64,
+    pub ignored: u64,
+    pub crossing_inserted: u64,
+    pub crossing_deleted: u64,
+    pub virtuals_created: u64,
+    pub virtuals_retired: u64,
+    pub maintained_entries: u64,
+    pub invalidated_entries: u64,
+    pub revoked_pairs: u64,
+    pub generation: u64,
+}
+
+/// Pattern-result cache counters (`CACHE_STATS`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireCacheStats {
+    pub entries: u64,
+    pub capacity: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub generation: u64,
+}
+
+/// Compressed-leg summary (`COMPRESSION_INFO`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCompression {
+    pub classes: u64,
+    pub ratio: f64,
+    pub method: String,
+    pub active: bool,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Pong,
+    GraphInfo(GraphInfo),
+    Answer(Answer),
+    /// Per-query outcomes in input order plus the batch totals.
+    BatchAnswer {
+        items: Vec<Result<Answer, (ErrorCode, String)>>,
+        total: WireMetrics,
+    },
+    DeltaApplied(DeltaSummary),
+    /// `None` when the session's cache is disabled.
+    CacheStats(Option<WireCacheStats>),
+    /// `None` when the session was built without compression.
+    CompressionInfo(Option<WireCompression>),
+    Loaded {
+        nodes: u64,
+        edges: u64,
+        sites: u16,
+    },
+    ShuttingDown,
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+fn encode_pattern(buf: &mut Vec<u8>, q: &Pattern) {
+    let mut b = Vec::new();
+    gio::write_pattern_binary(q, &mut b).expect("infallible Vec write");
+    put_bytes(buf, &b);
+}
+
+fn decode_pattern(r: &mut Reader<'_>) -> Result<Pattern, ServeError> {
+    let b = r.bytes("pattern")?;
+    gio::read_pattern_binary(b).map_err(|e| ServeError::corrupt(format!("bad pattern: {e}")))
+}
+
+fn encode_edges(buf: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    put_varint(buf, edges.len() as u64);
+    for &(u, v) in edges {
+        put_varint(buf, u64::from(u));
+        put_varint(buf, u64::from(v));
+    }
+}
+
+fn decode_edges(r: &mut Reader<'_>, what: &str) -> Result<Vec<(u32, u32)>, ServeError> {
+    let n = r.count(what)?;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = r.varint(what)?;
+        let v = r.varint(what)?;
+        if u > u64::from(u32::MAX) || v > u64::from(u32::MAX) {
+            return Err(ServeError::corrupt(format!("{what} endpoint exceeds u32")));
+        }
+        edges.push((u as u32, v as u32));
+    }
+    Ok(edges)
+}
+
+impl Request {
+    /// Serializes to `(frame type, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        let ty = match self {
+            Request::Ping => frame::PING,
+            Request::GraphInfo => frame::GRAPH_INFO,
+            Request::Query {
+                pattern,
+                algorithm,
+                boolean,
+            } => {
+                put_u8(&mut buf, *algorithm as u8);
+                put_u8(&mut buf, u8::from(*boolean));
+                encode_pattern(&mut buf, pattern);
+                frame::QUERY
+            }
+            Request::QueryBatch {
+                patterns,
+                algorithm,
+            } => {
+                put_u8(&mut buf, *algorithm as u8);
+                put_varint(&mut buf, patterns.len() as u64);
+                for q in patterns {
+                    encode_pattern(&mut buf, q);
+                }
+                frame::QUERY_BATCH
+            }
+            Request::ApplyDelta {
+                insert_edges,
+                delete_edges,
+            } => {
+                encode_edges(&mut buf, insert_edges);
+                encode_edges(&mut buf, delete_edges);
+                frame::APPLY_DELTA
+            }
+            Request::CacheStats => frame::CACHE_STATS,
+            Request::CompressionInfo => frame::COMPRESSION_INFO,
+            Request::LoadGraph { graph, options } => {
+                put_u16(&mut buf, options.sites);
+                put_u8(&mut buf, options.partitioner as u8);
+                put_varint(&mut buf, options.seed);
+                put_varint(&mut buf, u64::from(options.cache_capacity));
+                put_u8(
+                    &mut buf,
+                    match options.compression {
+                        None => 0,
+                        Some(CompressionMethod::SimEq) => 1,
+                        Some(CompressionMethod::Bisim) => 2,
+                    },
+                );
+                put_f64(&mut buf, options.compression_threshold);
+                let mut g = Vec::new();
+                gio::write_graph_binary(graph, &mut g).expect("infallible Vec write");
+                put_bytes(&mut buf, &g);
+                frame::LOAD_GRAPH
+            }
+            Request::Shutdown => frame::SHUTDOWN,
+        };
+        (ty, buf)
+    }
+
+    /// Decodes a request frame.
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Request, ServeError> {
+        let mut r = Reader::new(payload);
+        let req = match ty {
+            frame::PING => Request::Ping,
+            frame::GRAPH_INFO => Request::GraphInfo,
+            frame::QUERY => {
+                let algorithm = WireAlgorithm::from_u8(r.u8("algorithm")?)?;
+                let boolean = r.u8("boolean flag")? != 0;
+                let pattern = decode_pattern(&mut r)?;
+                Request::Query {
+                    pattern,
+                    algorithm,
+                    boolean,
+                }
+            }
+            frame::QUERY_BATCH => {
+                let algorithm = WireAlgorithm::from_u8(r.u8("algorithm")?)?;
+                let n = r.count("batch size")?;
+                let mut patterns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    patterns.push(decode_pattern(&mut r)?);
+                }
+                Request::QueryBatch {
+                    patterns,
+                    algorithm,
+                }
+            }
+            frame::APPLY_DELTA => {
+                let insert_edges = decode_edges(&mut r, "insert edges")?;
+                let delete_edges = decode_edges(&mut r, "delete edges")?;
+                Request::ApplyDelta {
+                    insert_edges,
+                    delete_edges,
+                }
+            }
+            frame::CACHE_STATS => Request::CacheStats,
+            frame::COMPRESSION_INFO => Request::CompressionInfo,
+            frame::LOAD_GRAPH => {
+                let sites = r.u16("sites")?;
+                let partitioner = WirePartitioner::from_u8(r.u8("partitioner")?)?;
+                let seed = r.varint("seed")?;
+                let cache_capacity = r.varint("cache capacity")?;
+                if cache_capacity > u64::from(u32::MAX) {
+                    return Err(ServeError::corrupt("cache capacity exceeds u32"));
+                }
+                let compression = match r.u8("compression")? {
+                    0 => None,
+                    1 => Some(CompressionMethod::SimEq),
+                    2 => Some(CompressionMethod::Bisim),
+                    other => {
+                        return Err(ServeError::corrupt(format!(
+                            "unknown compression byte {other}"
+                        )));
+                    }
+                };
+                let compression_threshold = r.f64("compression threshold")?;
+                if !compression_threshold.is_finite() {
+                    return Err(ServeError::corrupt("compression threshold is not finite"));
+                }
+                let g = r.bytes("graph")?;
+                let graph = gio::read_graph_binary(g)
+                    .map_err(|e| ServeError::corrupt(format!("bad graph: {e}")))?;
+                Request::LoadGraph {
+                    graph,
+                    options: SessionOptions {
+                        sites,
+                        partitioner,
+                        seed,
+                        cache_capacity: cache_capacity as u32,
+                        compression,
+                        compression_threshold,
+                    },
+                }
+            }
+            frame::SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "unknown request frame type {other:#04x}"
+                )));
+            }
+        };
+        r.finish("request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes to `(frame type, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        let ty = match self {
+            Response::Pong => frame::PONG,
+            Response::GraphInfo(info) => {
+                for v in [info.nodes, info.edges] {
+                    put_varint(&mut buf, v);
+                }
+                put_u16(&mut buf, info.sites);
+                for v in [info.vf, info.ef, info.label_bound, info.generation] {
+                    put_varint(&mut buf, v);
+                }
+                frame::GRAPH_INFO_R
+            }
+            Response::Answer(a) => {
+                a.encode(&mut buf);
+                frame::ANSWER
+            }
+            Response::BatchAnswer { items, total } => {
+                put_varint(&mut buf, items.len() as u64);
+                for item in items {
+                    match item {
+                        Ok(a) => {
+                            put_u8(&mut buf, 1);
+                            a.encode(&mut buf);
+                        }
+                        Err((code, message)) => {
+                            put_u8(&mut buf, 0);
+                            put_u16(&mut buf, code.to_u16());
+                            put_str(&mut buf, message);
+                        }
+                    }
+                }
+                total.encode(&mut buf);
+                frame::BATCH_ANSWER
+            }
+            Response::DeltaApplied(d) => {
+                for v in [
+                    d.inserted,
+                    d.deleted,
+                    d.ignored,
+                    d.crossing_inserted,
+                    d.crossing_deleted,
+                    d.virtuals_created,
+                    d.virtuals_retired,
+                    d.maintained_entries,
+                    d.invalidated_entries,
+                    d.revoked_pairs,
+                    d.generation,
+                ] {
+                    put_varint(&mut buf, v);
+                }
+                frame::DELTA_APPLIED
+            }
+            Response::CacheStats(stats) => {
+                match stats {
+                    None => put_u8(&mut buf, 0),
+                    Some(s) => {
+                        put_u8(&mut buf, 1);
+                        for v in [
+                            s.entries,
+                            s.capacity,
+                            s.hits,
+                            s.misses,
+                            s.evictions,
+                            s.generation,
+                        ] {
+                            put_varint(&mut buf, v);
+                        }
+                    }
+                }
+                frame::CACHE_STATS_R
+            }
+            Response::CompressionInfo(info) => {
+                match info {
+                    None => put_u8(&mut buf, 0),
+                    Some(c) => {
+                        put_u8(&mut buf, 1);
+                        put_varint(&mut buf, c.classes);
+                        put_f64(&mut buf, c.ratio);
+                        put_str(&mut buf, &c.method);
+                        put_u8(&mut buf, u8::from(c.active));
+                    }
+                }
+                frame::COMPRESSION_INFO_R
+            }
+            Response::Loaded {
+                nodes,
+                edges,
+                sites,
+            } => {
+                put_varint(&mut buf, *nodes);
+                put_varint(&mut buf, *edges);
+                put_u16(&mut buf, *sites);
+                frame::LOADED
+            }
+            Response::ShuttingDown => frame::SHUTTING_DOWN,
+            Response::Error { code, message } => {
+                put_u16(&mut buf, code.to_u16());
+                put_str(&mut buf, message);
+                frame::ERROR
+            }
+        };
+        (ty, buf)
+    }
+
+    /// Decodes a response frame.
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Response, ServeError> {
+        let mut r = Reader::new(payload);
+        let resp = match ty {
+            frame::PONG => Response::Pong,
+            frame::GRAPH_INFO_R => {
+                let nodes = r.varint("nodes")?;
+                let edges = r.varint("edges")?;
+                let sites = r.u16("sites")?;
+                let vf = r.varint("vf")?;
+                let ef = r.varint("ef")?;
+                let label_bound = r.varint("label bound")?;
+                let generation = r.varint("generation")?;
+                Response::GraphInfo(GraphInfo {
+                    nodes,
+                    edges,
+                    sites,
+                    vf,
+                    ef,
+                    label_bound,
+                    generation,
+                })
+            }
+            frame::ANSWER => Response::Answer(Answer::decode(&mut r)?),
+            frame::BATCH_ANSWER => {
+                let n = r.count("batch size")?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match r.u8("item tag")? {
+                        1 => items.push(Ok(Answer::decode(&mut r)?)),
+                        0 => {
+                            let code = ErrorCode::from_u16(r.u16("error code")?);
+                            let message = r.str_("error message")?;
+                            items.push(Err((code, message)));
+                        }
+                        other => {
+                            return Err(ServeError::corrupt(format!(
+                                "unknown batch item tag {other}"
+                            )));
+                        }
+                    }
+                }
+                let total = WireMetrics::decode(&mut r)?;
+                Response::BatchAnswer { items, total }
+            }
+            frame::DELTA_APPLIED => {
+                let mut vals = [0u64; 11];
+                for v in &mut vals {
+                    *v = r.varint("delta counter")?;
+                }
+                let [inserted, deleted, ignored, crossing_inserted, crossing_deleted, virtuals_created, virtuals_retired, maintained_entries, invalidated_entries, revoked_pairs, generation] =
+                    vals;
+                Response::DeltaApplied(DeltaSummary {
+                    inserted,
+                    deleted,
+                    ignored,
+                    crossing_inserted,
+                    crossing_deleted,
+                    virtuals_created,
+                    virtuals_retired,
+                    maintained_entries,
+                    invalidated_entries,
+                    revoked_pairs,
+                    generation,
+                })
+            }
+            frame::CACHE_STATS_R => match r.u8("cache flag")? {
+                0 => Response::CacheStats(None),
+                1 => {
+                    let mut vals = [0u64; 6];
+                    for v in &mut vals {
+                        *v = r.varint("cache counter")?;
+                    }
+                    let [entries, capacity, hits, misses, evictions, generation] = vals;
+                    Response::CacheStats(Some(WireCacheStats {
+                        entries,
+                        capacity,
+                        hits,
+                        misses,
+                        evictions,
+                        generation,
+                    }))
+                }
+                other => {
+                    return Err(ServeError::corrupt(format!("unknown cache flag {other}")));
+                }
+            },
+            frame::COMPRESSION_INFO_R => match r.u8("compression flag")? {
+                0 => Response::CompressionInfo(None),
+                1 => {
+                    let classes = r.varint("classes")?;
+                    let ratio = r.f64("ratio")?;
+                    let method = r.str_("method")?;
+                    let active = r.u8("active")? != 0;
+                    Response::CompressionInfo(Some(WireCompression {
+                        classes,
+                        ratio,
+                        method,
+                        active,
+                    }))
+                }
+                other => {
+                    return Err(ServeError::corrupt(format!(
+                        "unknown compression flag {other}"
+                    )));
+                }
+            },
+            frame::LOADED => {
+                let nodes = r.varint("nodes")?;
+                let edges = r.varint("edges")?;
+                let sites = r.u16("sites")?;
+                Response::Loaded {
+                    nodes,
+                    edges,
+                    sites,
+                }
+            }
+            frame::SHUTTING_DOWN => Response::ShuttingDown,
+            frame::ERROR => {
+                let code = ErrorCode::from_u16(r.u16("error code")?);
+                let message = r.str_("error message")?;
+                Response::Error { code, message }
+            }
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "unknown response frame type {other:#04x}"
+                )));
+            }
+        };
+        r.finish("response")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::{Label, PatternBuilder};
+
+    fn sample_pattern() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let a = b.add_node(Label(1));
+        let c = b.add_node(Label(2));
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        b.build()
+    }
+
+    #[test]
+    fn request_roundtrip_query() {
+        let req = Request::Query {
+            pattern: sample_pattern(),
+            algorithm: WireAlgorithm::Auto,
+            boolean: false,
+        };
+        let (ty, payload) = req.encode();
+        assert_eq!(Request::decode(ty, &payload).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip_answer() {
+        let resp = Response::Answer(Answer {
+            rows: vec![vec![0, 3, 17], vec![], vec![2]],
+            is_match: false,
+            algorithm: "dGPM".into(),
+            plan: "dGPM (auto)".into(),
+            metrics: WireMetrics {
+                data_bytes: 123,
+                virtual_time_ns: 456,
+                ..WireMetrics::default()
+            },
+        });
+        let (ty, payload) = resp.encode();
+        assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn answer_relation_reconstruction() {
+        let a = Answer {
+            rows: vec![vec![5, 9], vec![1]],
+            is_match: true,
+            algorithm: "x".into(),
+            plan: "p".into(),
+            metrics: WireMetrics::default(),
+        };
+        let rel = a.relation();
+        assert_eq!(
+            rel.matches_of(dgs_graph::QNodeId(0)),
+            &[NodeId(5), NodeId(9)]
+        );
+        assert_eq!(a.answer_pairs(), 3);
+    }
+
+    #[test]
+    fn unknown_frame_types_are_corrupt_not_panic() {
+        assert!(Request::decode(0xee, &[]).is_err());
+        assert!(Response::decode(0xee, &[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (ty, mut payload) = Request::Ping.encode();
+        payload.push(7);
+        assert!(Request::decode(ty, &payload).is_err());
+    }
+}

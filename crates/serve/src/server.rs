@@ -1,0 +1,517 @@
+//! The serving daemon core: a thread-per-connection server wrapping
+//! one shared [`SimEngine`] session.
+//!
+//! * **Sharing** — the engine sits behind an `RwLock`: queries and
+//!   stats take the read lock and run concurrently (the engine is
+//!   `Send + Sync`); `APPLY_DELTA` and `LOAD_GRAPH` take the write
+//!   lock, so a delta is a barrier exactly like it is in-process.
+//! * **Admission control** — at most
+//!   [`ServerConfig::max_connections`] connections are served at
+//!   once. A connection over the limit still gets a well-formed
+//!   answer: the server completes the handshake read and replies with
+//!   an `ERROR (Busy)` frame before closing, so clients see typed
+//!   backpressure ([`crate::ServeError::is_busy`]) instead of a
+//!   hang-up, and can retry elsewhere/later.
+//! * **Shutdown** — the `SHUTDOWN` frame (or
+//!   [`ServerHandle::shutdown`]) stops the acceptor, force-closes the
+//!   remaining sockets and joins every connection thread before
+//!   [`Server::run`] returns.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::proto::{
+    frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireCacheStats,
+    WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
+};
+use crate::transport::{Conn, Listener, ServeAddr};
+use crate::wire::{read_frame, write_frame};
+use dgs_core::{DgsError, GraphDelta, RunReport, SimEngine};
+use dgs_graph::{Graph, NodeId, QNodeId};
+use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections served concurrently; further clients get a typed
+    /// `Busy` rejection (admission-control backpressure).
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+        }
+    }
+}
+
+/// State shared between the acceptor and the connection threads.
+struct Shared {
+    engine: Arc<RwLock<SimEngine>>,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    next_conn: AtomicU64,
+    /// Socket clones of the live connections, force-closed on
+    /// shutdown so blocked readers unblock.
+    conns: Mutex<HashMap<u64, Conn>>,
+    addr: ServeAddr,
+    max_connections: usize,
+}
+
+impl Shared {
+    /// Wakes the acceptor (blocked in `accept`) with a throwaway
+    /// connection so it observes the shutdown flag.
+    fn wake_acceptor(&self) {
+        let _ = Conn::connect(&self.addr);
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks;
+/// [`Server::spawn`] runs it on a background thread and returns a
+/// [`ServerHandle`].
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` and wraps `engine` for serving.
+    pub fn bind(addr: &ServeAddr, engine: SimEngine, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = Listener::bind(addr)?;
+        let resolved = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine: Arc::new(RwLock::new(engine)),
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                next_conn: AtomicU64::new(0),
+                conns: Mutex::new(HashMap::new()),
+                addr: resolved,
+                max_connections: cfg.max_connections,
+            }),
+        })
+    }
+
+    /// The bound address (ephemeral port resolved).
+    pub fn local_addr(&self) -> ServeAddr {
+        self.shared.addr.clone()
+    }
+
+    /// The served session, shared with every connection (tests use
+    /// this as the in-process oracle handle).
+    pub fn engine(&self) -> Arc<RwLock<SimEngine>> {
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// Serves until a `SHUTDOWN` frame arrives (or
+    /// [`ServerHandle::shutdown`] is called on a spawned server).
+    /// Returns after every connection thread has exited.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match self.listener.accept() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient accept failures (fd exhaustion under
+                    // churn, aborted connections) must not take the
+                    // whole daemon down with every in-flight session:
+                    // back off briefly and keep accepting.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("dgs-serve: accept failed ({e}); retrying");
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue;
+                }
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+            let shared = Arc::clone(&shared);
+            if active > shared.max_connections {
+                // Admission control: answer the handshake with a typed
+                // Busy rejection on a short-lived thread (never block
+                // the acceptor on a slow client).
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || reject_busy(conn));
+            } else {
+                std::thread::spawn(move || {
+                    let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                    if let Ok(clone) = conn.try_clone() {
+                        shared.conns.lock().insert(id, clone);
+                    }
+                    let _ = serve_connection(conn, &shared);
+                    shared.conns.lock().remove(&id);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // Unblock readers, then wait for the connection threads.
+        for (_, conn) in shared.conns.lock().iter() {
+            let _ = conn.shutdown();
+        }
+        while shared.active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let ServeAddr::Unix(path) = &shared.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shared,
+            thread,
+        }
+    }
+}
+
+/// A running, spawned server.
+pub struct ServerHandle {
+    addr: ServeAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// What clients should dial.
+    pub fn addr(&self) -> &ServeAddr {
+        &self.addr
+    }
+
+    /// The shared session (the tests' oracle handle).
+    pub fn engine(&self) -> Arc<RwLock<SimEngine>> {
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// Connections rejected by admission control so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.shared.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server and joins it.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_acceptor();
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Reads the handshake and answers `Busy` (over-capacity path).
+fn reject_busy(mut conn: Conn) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    if let Ok(Some((frame::HELLO, _))) = read_frame(&mut conn) {
+        let (ty, payload) = Response::Error {
+            code: ErrorCode::Busy,
+            message: "server at connection capacity, retry later".into(),
+        }
+        .encode();
+        let _ = write_frame(&mut conn, ty, &payload);
+    }
+}
+
+/// Performs the handshake, then serves request frames until the peer
+/// closes or the server shuts down.
+fn serve_connection(mut conn: Conn, shared: &Shared) -> Result<(), ServeError> {
+    // Handshake: HELLO(magic, client max version) -> WELCOME(magic,
+    // negotiated version). A bad magic means the peer is not speaking
+    // this protocol at all — answer with a typed error and hang up.
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let Some((ty, payload)) = read_frame(&mut conn)? else {
+        return Ok(());
+    };
+    if ty != frame::HELLO || payload.len() != 5 || payload[..4] != WIRE_MAGIC {
+        send(
+            &mut conn,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: "expected HELLO(magic, version)".into(),
+            },
+        )?;
+        return Ok(());
+    }
+    let theirs = payload[4];
+    if theirs < 1 {
+        send(
+            &mut conn,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: format!(
+                    "peer offered protocol v{theirs}; this server speaks v1..=v{WIRE_VERSION}"
+                ),
+            },
+        )?;
+        return Ok(());
+    }
+    let version = theirs.min(WIRE_VERSION);
+    let mut welcome = Vec::with_capacity(5);
+    welcome.extend_from_slice(&WIRE_MAGIC);
+    welcome.push(version);
+    write_frame(&mut conn, frame::WELCOME, &welcome)?;
+    conn.set_read_timeout(None)?;
+
+    loop {
+        let Some((ty, payload)) = read_frame(&mut conn)? else {
+            return Ok(());
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send(
+                &mut conn,
+                Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                },
+            )?;
+            return Ok(());
+        }
+        let req = match Request::decode(ty, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Frames are length-delimited, so the stream is still
+                // in sync: report and keep serving.
+                send(
+                    &mut conn,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        let wants_shutdown = matches!(req, Request::Shutdown);
+        let resp = execute(&req, shared);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        send(&mut conn, resp)?;
+        if wants_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.wake_acceptor();
+            return Ok(());
+        }
+    }
+}
+
+fn send(conn: &mut Conn, resp: Response) -> Result<(), ServeError> {
+    let (ty, payload) = resp.encode();
+    write_frame(conn, ty, &payload)?;
+    Ok(())
+}
+
+fn dgs_error(e: &DgsError) -> Response {
+    Response::Error {
+        code: ErrorCode::of_dgs(e),
+        message: e.to_string(),
+    }
+}
+
+/// Converts a run report into its wire answer (full relation rows).
+fn answer_of_report(report: &RunReport) -> Answer {
+    let rows = (0..report.relation.query_nodes())
+        .map(|u| {
+            report
+                .relation
+                .matches_of(QNodeId(u as u16))
+                .iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect();
+    Answer {
+        rows,
+        is_match: report.is_match,
+        algorithm: report.algorithm.to_owned(),
+        plan: report.plan.to_string(),
+        metrics: WireMetrics::of_run(&report.metrics),
+    }
+}
+
+/// Runs one request against the shared session.
+fn execute(req: &Request, shared: &Shared) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::GraphInfo => {
+            let engine = shared.engine.read();
+            let g = engine.graph();
+            let frag = engine.fragmentation();
+            Response::GraphInfo(GraphInfo {
+                nodes: g.node_count() as u64,
+                edges: g.edge_count() as u64,
+                sites: frag.num_sites() as u16,
+                vf: frag.vf() as u64,
+                ef: frag.ef() as u64,
+                label_bound: g.label_bound() as u64,
+                generation: engine.generation(),
+            })
+        }
+        Request::Query {
+            pattern,
+            algorithm,
+            boolean,
+        } => {
+            let engine = shared.engine.read();
+            let algo = algorithm.to_algorithm();
+            if *boolean {
+                match engine.query_boolean_with(&algo, pattern) {
+                    Ok(report) => Response::Answer(Answer {
+                        rows: Vec::new(),
+                        is_match: report.is_match,
+                        algorithm: report.algorithm.to_owned(),
+                        plan: report.plan.to_string(),
+                        metrics: WireMetrics::of_run(&report.metrics),
+                    }),
+                    Err(e) => dgs_error(&e),
+                }
+            } else {
+                match engine.query_with(&algo, pattern) {
+                    Ok(report) => Response::Answer(answer_of_report(&report)),
+                    Err(e) => dgs_error(&e),
+                }
+            }
+        }
+        Request::QueryBatch {
+            patterns,
+            algorithm,
+        } => {
+            let engine = shared.engine.read();
+            let batch = engine.query_batch_with(&algorithm.to_algorithm(), patterns);
+            let items = batch
+                .reports
+                .iter()
+                .map(|r| match r {
+                    Ok(report) => Ok(answer_of_report(report)),
+                    Err(e) => Err((ErrorCode::of_dgs(e), e.to_string())),
+                })
+                .collect();
+            Response::BatchAnswer {
+                items,
+                total: WireMetrics::of_run(&batch.total),
+            }
+        }
+        Request::ApplyDelta {
+            insert_edges,
+            delete_edges,
+        } => {
+            let delta = GraphDelta {
+                insert_edges: insert_edges
+                    .iter()
+                    .map(|&(u, v)| (NodeId(u), NodeId(v)))
+                    .collect(),
+                delete_edges: delete_edges
+                    .iter()
+                    .map(|&(u, v)| (NodeId(u), NodeId(v)))
+                    .collect(),
+            };
+            let mut engine = shared.engine.write();
+            match engine.apply_delta(&delta) {
+                Ok(report) => Response::DeltaApplied(DeltaSummary {
+                    inserted: report.inserted as u64,
+                    deleted: report.deleted as u64,
+                    ignored: report.ignored as u64,
+                    crossing_inserted: report.crossing_inserted as u64,
+                    crossing_deleted: report.crossing_deleted as u64,
+                    virtuals_created: report.virtuals_created as u64,
+                    virtuals_retired: report.virtuals_retired as u64,
+                    maintained_entries: report.maintained_entries as u64,
+                    invalidated_entries: report.invalidated_entries as u64,
+                    revoked_pairs: report.revoked_pairs,
+                    generation: report.generation,
+                }),
+                Err(e) => dgs_error(&e),
+            }
+        }
+        Request::CacheStats => {
+            let engine = shared.engine.read();
+            Response::CacheStats(engine.cache_stats().map(|s| WireCacheStats {
+                entries: s.entries as u64,
+                capacity: s.capacity as u64,
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                generation: s.generation,
+            }))
+        }
+        Request::CompressionInfo => {
+            let engine = shared.engine.read();
+            let active = engine.compression_active();
+            Response::CompressionInfo(engine.compression_note().map(|n| WireCompression {
+                classes: n.classes as u64,
+                ratio: n.ratio,
+                method: n.method.to_owned(),
+                active,
+            }))
+        }
+        Request::LoadGraph { graph, options } => match build_session(graph, options) {
+            Ok(engine) => {
+                let (nodes, edges) = (graph.node_count() as u64, graph.edge_count() as u64);
+                *shared.engine.write() = engine;
+                Response::Loaded {
+                    nodes,
+                    edges,
+                    sites: options.sites,
+                }
+            }
+            Err(message) => Response::Error {
+                code: ErrorCode::Malformed,
+                message,
+            },
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Builds a fresh session per `LOAD_GRAPH` options (outside the
+/// engine lock — only the swap blocks traffic).
+pub(crate) fn build_session(graph: &Graph, options: &SessionOptions) -> Result<SimEngine, String> {
+    use crate::proto::WirePartitioner;
+    let k = usize::from(options.sites);
+    if k == 0 {
+        return Err("sites must be >= 1".into());
+    }
+    if graph.node_count() == 0 {
+        return Err("graph has no nodes".into());
+    }
+    let assignment = match options.partitioner {
+        WirePartitioner::Hash => hash_partition(graph.node_count(), k, options.seed),
+        WirePartitioner::Bfs => bfs_partition(graph, k, options.seed),
+        WirePartitioner::Ldg => ldg_partition(graph, k, 0.1, options.seed),
+        WirePartitioner::Tree => tree_partition(graph, k),
+    };
+    let frag = Arc::new(Fragmentation::build(graph, &assignment, k));
+    let mut builder =
+        SimEngine::builder(graph, frag).cache_capacity(options.cache_capacity as usize);
+    if let Some(method) = options.compression {
+        builder = builder
+            .compress(method)
+            .compression_threshold(options.compression_threshold);
+    }
+    Ok(builder.build())
+}

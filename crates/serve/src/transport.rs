@@ -1,0 +1,195 @@
+//! The transport layer: one address type and one stream type over
+//! both TCP and Unix-domain sockets (std only, no async runtime —
+//! the server is thread-per-connection).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens / a client dials.
+///
+/// Spellings accepted by [`ServeAddr::parse`]:
+/// `unix:/path/to.sock`, `tcp:host:port`, or a bare `host:port`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// A TCP endpoint (`host:port`; port `0` binds an ephemeral port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ServeAddr {
+    /// Parses an address spelling; `None` when it is neither a
+    /// `unix:` path nor something with a port.
+    pub fn parse(s: &str) -> Option<ServeAddr> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return None;
+            }
+            return Some(ServeAddr::Unix(PathBuf::from(path)));
+        }
+        let hostport = s.strip_prefix("tcp:").unwrap_or(s);
+        // Minimal sanity: must contain a colon separating a port.
+        let (_, port) = hostport.rsplit_once(':')?;
+        port.parse::<u16>().ok()?;
+        Some(ServeAddr::Tcp(hostport.to_owned()))
+    }
+}
+
+impl fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeAddr::Tcp(hp) => write!(f, "tcp:{hp}"),
+            ServeAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A connected stream of either flavor.
+#[derive(Debug)]
+pub enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials `addr`.
+    pub fn connect(addr: &ServeAddr) -> io::Result<Conn> {
+        match addr {
+            ServeAddr::Tcp(hp) => Ok(Conn::Tcp(TcpStream::connect(hp.as_str())?)),
+            ServeAddr::Unix(p) => Ok(Conn::Unix(UnixStream::connect(p)?)),
+        }
+    }
+
+    /// A second handle to the same socket (used by the server to
+    /// force-close connections on shutdown).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shuts both directions down, unblocking any reader.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+
+    /// Bounds how long a blocking read may wait (`None` = forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener of either flavor.
+#[derive(Debug)]
+pub enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr`. A stale Unix socket file left by a crashed
+    /// daemon is removed first (binding would otherwise fail with
+    /// `AddrInUse` forever).
+    pub fn bind(addr: &ServeAddr) -> io::Result<Listener> {
+        match addr {
+            ServeAddr::Tcp(hp) => Ok(Listener::Tcp(TcpListener::bind(hp.as_str())?)),
+            ServeAddr::Unix(p) => {
+                if p.exists() && UnixStream::connect(p).is_err() {
+                    let _ = std::fs::remove_file(p);
+                }
+                Ok(Listener::Unix(UnixListener::bind(p)?))
+            }
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => Ok(Conn::Tcp(l.accept()?.0)),
+            Listener::Unix(l) => Ok(Conn::Unix(l.accept()?.0)),
+        }
+    }
+
+    /// The bound address with any ephemeral port resolved — what a
+    /// client should dial.
+    pub fn local_addr(&self) -> io::Result<ServeAddr> {
+        match self {
+            Listener::Tcp(l) => Ok(ServeAddr::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix socket"))?;
+                Ok(ServeAddr::Unix(path.to_path_buf()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parsing() {
+        assert_eq!(
+            ServeAddr::parse("unix:/tmp/dgs.sock"),
+            Some(ServeAddr::Unix(PathBuf::from("/tmp/dgs.sock")))
+        );
+        assert_eq!(
+            ServeAddr::parse("tcp:127.0.0.1:7311"),
+            Some(ServeAddr::Tcp("127.0.0.1:7311".into()))
+        );
+        assert_eq!(
+            ServeAddr::parse("127.0.0.1:0"),
+            Some(ServeAddr::Tcp("127.0.0.1:0".into()))
+        );
+        assert_eq!(ServeAddr::parse("no-port"), None);
+        assert_eq!(ServeAddr::parse("host:notaport"), None);
+        assert_eq!(ServeAddr::parse("unix:"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in ["unix:/tmp/x.sock", "tcp:127.0.0.1:80"] {
+            let a = ServeAddr::parse(s).unwrap();
+            assert_eq!(ServeAddr::parse(&a.to_string()), Some(a));
+        }
+    }
+}

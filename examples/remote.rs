@@ -1,0 +1,106 @@
+//! Serving over the network, in one process: spin up the `dgsd`
+//! server core on an ephemeral port, drive it with the typed client,
+//! and watch remote answers match the in-process session — queries,
+//! a batch, a delta, and the cache counters.
+//!
+//! ```text
+//! cargo run --example remote
+//! ```
+
+use dgs::core::{GraphDelta, SimEngine};
+use dgs::graph::generate::{patterns, random};
+use dgs::prelude::*;
+use dgs::serve::{ServerConfig, WireAlgorithm};
+use std::sync::Arc;
+
+fn main() {
+    // A web-like graph served over 4 sites.
+    let g = random::web_like(400, 1_600, 5, 42);
+    let assign = hash_partition(g.node_count(), 4, 42);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, 4));
+    let engine = SimEngine::builder(&g, frag).build();
+
+    // Bind an ephemeral TCP port and serve in the background.
+    let server = Server::bind(
+        &ServeAddr::parse("127.0.0.1:0").unwrap(),
+        engine,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    println!(
+        "serving |V| = {} |E| = {} on {}",
+        g.node_count(),
+        g.edge_count(),
+        handle.addr()
+    );
+
+    // Dial it like any remote client would.
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+    let info = client.graph_info().expect("info");
+    println!(
+        "remote session: |V| = {}, |E| = {}, |F| = {}, generation {}",
+        info.nodes, info.edges, info.sites, info.generation
+    );
+
+    // One query: the plan and metrics travel with the answer.
+    let q = patterns::random_cyclic(3, 6, 5, 7);
+    let a = client.query(&q, WireAlgorithm::Auto).expect("query");
+    println!(
+        "{}: match = {}, |relation| = {} pairs, PT = {:.3} ms, DS = {:.3} KB",
+        a.algorithm,
+        a.is_match,
+        a.relation().len(),
+        a.metrics.virtual_time_ms(),
+        a.metrics.data_kb()
+    );
+    println!("plan: {}", a.plan);
+
+    // A batch; the repeat of `q` is served from the daemon's cache.
+    let batch: Vec<Pattern> = vec![
+        q.clone(),
+        patterns::random_dag_with_depth(4, 6, 2, 5, 9),
+        q.clone(),
+    ];
+    let (items, total) = client
+        .query_batch(&batch, WireAlgorithm::Auto)
+        .expect("batch");
+    println!(
+        "batch: {}/{} answered, {} cache hits, PT = {:.3} ms",
+        items.iter().filter(|r| r.is_ok()).count(),
+        batch.len(),
+        total.cache_hits,
+        total.virtual_time_ms()
+    );
+
+    // A deletion-only delta: the daemon maintains its cached answers
+    // incrementally (PR 3's machinery, now over the wire).
+    let victim = g.edges().next().expect("graph has edges");
+    let d = client
+        .apply_delta(&GraphDelta::deletions([victim]))
+        .expect("delta");
+    println!(
+        "delta: -{} edges, {} cached entries maintained incrementally, generation {}",
+        d.deleted, d.maintained_entries, d.generation
+    );
+
+    // The same query again — answered at the new generation.
+    let a2 = client.query(&q, WireAlgorithm::Auto).expect("re-query");
+    println!(
+        "re-query after delta: match = {}, |relation| = {} pairs ({} cache hit)",
+        a2.is_match,
+        a2.relation().len(),
+        a2.metrics.cache_hits
+    );
+
+    if let Some(stats) = client.cache_stats().expect("stats") {
+        println!(
+            "daemon cache: {} entries, {} hits / {} misses, generation {}",
+            stats.entries, stats.hits, stats.misses, stats.generation
+        );
+    }
+
+    drop(client);
+    handle.shutdown().expect("shutdown");
+    println!("daemon shut down cleanly");
+}

@@ -1,43 +1,54 @@
 //! `dgsq` — command-line front end for distributed graph simulation.
 //!
 //! ```text
-//! dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE
+//! dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S]
+//!               (--out FILE | --remote ADDR [--sites K] [--partition P])
 //! dgsq query    --graph FILE --pattern FILE[,FILE...] [--algorithm auto|NAME] [--sites K]
 //!               [--partition hash|bfs|ldg|tree] [--executor virtual|threaded]
 //!               [--seed S] [--boolean] [--matches]
 //!               [--cache N] [--compress simeq|bisim] [--compress-threshold X]
 //!               [--parallel W] [--repeat R] [--updates OPS.txt]
-//! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]
-//! dgsq stats    --graph FILE
+//! dgsq query    --remote ADDR --pattern FILE[,FILE...] [--algorithm NAME] [--boolean]
+//!               [--matches] [--repeat R] [--updates OPS.txt]
+//! dgsq convert  --in FILE --out FILE --format text|binary
+//! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]   (or --remote ADDR)
+//! dgsq stats    --graph FILE                                       (or --remote ADDR)
+//! dgsq shutdown --remote ADDR
 //! ```
 //!
-//! Serving knobs of `query`: `--cache N` sizes the pattern-result
-//! cache (0 disables; repeats of the same — or an isomorphic —
-//! pattern are then served without a protocol run), `--compress`
-//! builds the query-preserving quotient `Gc` and answers on it when
-//! its ratio clears `--compress-threshold` (default 0.5),
-//! `--parallel W` sets the batch worker pool (0 = one per core), and
-//! `--repeat R` re-submits the whole stream `R` times to exercise the
-//! cache. Passing several comma-separated pattern files runs them as
-//! one batch.
+//! Unknown or misspelled `--flags` are rejected against a
+//! per-subcommand allowlist (exit status 2, offending flag named) —
+//! they used to be collected and silently ignored.
+//!
+//! **Remote mode**: `--remote ADDR` (`tcp:host:port`, bare
+//! `host:port`, or `unix:/path.sock`) points any subcommand at a
+//! running `dgsd` daemon instead of doing the work in-process:
+//! `query` sends patterns (and `--updates` batches) to the daemon's
+//! shared session, `generate` loads the generated graph into the
+//! daemon as a fresh session, `compress` reports the daemon session's
+//! compressed leg, `stats` prints the served graph/fragmentation
+//! summary, and `shutdown` stops the daemon.
+//!
+//! Graphs and patterns load in either the line-oriented text format
+//! of `dgs_graph::io` or its binary twin (magic `DGSB`); `dgsq
+//! convert` translates between the two. Binary is the format `dgsd`
+//! cold-loads big graphs from.
 //!
 //! `--updates OPS.txt` replays a dynamic-graph workload after the
 //! initial pass: the file holds `- u v` (delete edge) and `+ u v`
 //! (insert edge) lines, `#` comments, and blank lines as **batch
-//! separators**. Each batch is absorbed via `SimEngine::apply_delta` —
-//! deletion-only batches keep the cached answers current through
-//! distributed incremental maintenance, insertions invalidate and
-//! re-plan — and the pattern stream is re-run after every batch so the
-//! cache-hit and maintenance accounting is visible.
-//!
-//! Graphs and patterns use the line-oriented text format of
-//! `dgs_graph::io` (`graph|pattern N M`, `n <id> <label>`,
-//! `e <src> <dst>`).
+//! separators**. Each batch is absorbed via `SimEngine::apply_delta`
+//! (locally or over the wire) — deletion-only batches keep the cached
+//! answers current through distributed incremental maintenance,
+//! insertions invalidate and re-plan — and the pattern stream is
+//! re-run after every batch so the cache-hit and maintenance
+//! accounting is visible.
 
 use dgs::core::{Algorithm, CompressionMethod, GraphDelta, SimEngine};
 use dgs::graph::{io, Graph, NodeId, Pattern};
 use dgs::net::ExecutorKind;
 use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
+use dgs::serve::{DgsClient, ServeAddr, SessionOptions, WireAlgorithm, WirePartitioner};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -52,14 +63,62 @@ fn fail(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S] --out FILE\n  \
+         dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S]\n           \
+         (--out FILE | --remote ADDR [--sites K] [--partition P])\n  \
          dgsq query --graph FILE --pattern FILE[,FILE...] [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
          [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n             \
          [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--parallel W] [--repeat R] [--updates OPS.txt]\n  \
-         dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]\n  \
-         dgsq stats --graph FILE"
+         dgsq query --remote ADDR --pattern FILE[,FILE...] [--algorithm NAME] [--boolean] [--matches] [--repeat R] [--updates OPS.txt]\n  \
+         dgsq convert --in FILE --out FILE --format text|binary\n  \
+         dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]  |  dgsq compress --remote ADDR\n  \
+         dgsq stats --graph FILE  |  dgsq stats --remote ADDR\n  \
+         dgsq shutdown --remote ADDR"
     );
     exit(2);
+}
+
+/// The flags each subcommand accepts. Anything else is a hard error —
+/// a misspelled flag must never be silently ignored.
+fn allowed_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "generate" => &[
+            "family",
+            "nodes",
+            "edges",
+            "labels",
+            "seed",
+            "out",
+            "remote",
+            "sites",
+            "partition",
+            "cache",
+            "compress",
+            "compress-threshold",
+        ],
+        "query" => &[
+            "graph",
+            "pattern",
+            "algorithm",
+            "sites",
+            "partition",
+            "executor",
+            "seed",
+            "boolean",
+            "matches",
+            "cache",
+            "compress",
+            "compress-threshold",
+            "parallel",
+            "repeat",
+            "updates",
+            "remote",
+        ],
+        "convert" => &["in", "out", "format"],
+        "compress" => &["graph", "method", "out", "remote"],
+        "stats" => &["graph", "remote"],
+        "shutdown" => &["remote"],
+        _ => &[],
+    }
 }
 
 /// Parses `--key value` pairs after the subcommand.
@@ -85,6 +144,45 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
+/// Rejects flags outside the subcommand's allowlist, naming the
+/// offender (and the nearest valid spelling when one is close).
+fn validate_flags(cmd: &str, flags: &HashMap<String, String>) {
+    let allowed = allowed_flags(cmd);
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            let hint = allowed
+                .iter()
+                .filter(|a| edit_distance(key, a) <= 2)
+                .min_by_key(|a| edit_distance(key, a))
+                .map(|a| format!(" (did you mean --{a}?)"))
+                .unwrap_or_default();
+            fail(&format!(
+                "unknown flag --{key} for '{cmd}'{hint}; allowed: {}",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+}
+
+/// Plain Levenshtein distance, small inputs only (flag names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
 fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Option<&'a str> {
     flags.get(key).map(String::as_str)
 }
@@ -100,12 +198,37 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn load_graph(path: &str) -> Graph {
     let f = File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
-    io::read_graph(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+    io::read_graph_auto(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
 }
 
 fn load_pattern(path: &str) -> Pattern {
     let f = File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
-    io::read_pattern(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+    io::read_pattern_auto(BufReader::new(f)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn connect(flags: &HashMap<String, String>) -> DgsClient {
+    let addr = get(flags, "remote").expect("caller checked --remote");
+    let addr =
+        ServeAddr::parse(addr).unwrap_or_else(|| fail(&format!("unparseable --remote '{addr}'")));
+    DgsClient::connect(&addr).unwrap_or_else(|e| fail(&format!("cannot reach {addr}: {e}")))
+}
+
+/// Rejects session-building flags that have no effect against a
+/// daemon (its session was configured at `dgsd` startup).
+fn reject_local_only(flags: &HashMap<String, String>, local_only: &[&str]) {
+    for key in local_only {
+        if flags.contains_key(*key) {
+            fail(&format!(
+                "--{key} has no effect with --remote: the daemon's session was \
+                 configured when dgsd started"
+            ));
+        }
+    }
+}
+
+fn wire_algorithm(flags: &HashMap<String, String>) -> WireAlgorithm {
+    let name = get(flags, "algorithm").unwrap_or("auto");
+    WireAlgorithm::parse(name).unwrap_or_else(|| fail(&format!("unknown algorithm '{name}'")))
 }
 
 /// Parses an update-ops file: `+ u v` / `- u v` lines, `#` comments,
@@ -236,6 +359,60 @@ fn replay_updates(engine: &mut SimEngine, algo: &Algorithm, qs: &[Pattern], path
     }
 }
 
+/// The remote twin of [`replay_updates`]: ships each batch as an
+/// `APPLY_DELTA` frame and re-runs the query stream over the wire.
+fn replay_updates_remote(client: &mut DgsClient, algo: WireAlgorithm, qs: &[Pattern], path: &str) {
+    let batches = load_updates(path);
+    if batches.is_empty() {
+        fail(&format!("{path}: no update ops found"));
+    }
+    for (i, delta) in batches.iter().enumerate() {
+        let report = client
+            .apply_delta(delta)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "delta[{i}]: +{} -{} edges ({} ignored)  crossing +{}/-{}  virtuals +{}/-{}  gen {}",
+            report.inserted,
+            report.deleted,
+            report.ignored,
+            report.crossing_inserted,
+            report.crossing_deleted,
+            report.virtuals_created,
+            report.virtuals_retired,
+            report.generation
+        );
+        if report.maintained_entries > 0 {
+            println!(
+                "  maintained {} cached entries incrementally ({} pairs revoked)",
+                report.maintained_entries, report.revoked_pairs
+            );
+        }
+        if report.invalidated_entries > 0 {
+            println!(
+                "  insertions invalidated {} cached entries (next queries re-plan)",
+                report.invalidated_entries
+            );
+        }
+        let (items, total) = client
+            .query_batch(qs, algo)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        let ok = items.iter().filter(|r| r.is_ok()).count();
+        println!(
+            "  re-query: {ok}/{} answered  PT = {:.3} ms  DS = {:.3} KB  ({} cache hits)",
+            qs.len(),
+            total.virtual_time_ms(),
+            total.data_kb(),
+            total.cache_hits
+        );
+    }
+    if let Ok(Some(stats)) = client.cache_stats() {
+        println!(
+            "cache after updates: {} entries, generation {}  ({} hits, {} misses, {} evictions)",
+            stats.entries, stats.generation, stats.hits, stats.misses, stats.evictions
+        );
+    }
+}
+
 fn cmd_generate(flags: &HashMap<String, String>) {
     use dgs::graph::generate::{dag, random, tree};
     let family = get(flags, "family").unwrap_or_else(|| fail("--family required"));
@@ -243,7 +420,26 @@ fn cmd_generate(flags: &HashMap<String, String>) {
     let m: usize = num(flags, "edges", 5 * n);
     let labels: usize = num(flags, "labels", 15);
     let seed: u64 = num(flags, "seed", 1);
-    let out = get(flags, "out").unwrap_or_else(|| fail("--out required"));
+    let out = get(flags, "out");
+    let remote = get(flags, "remote");
+    if out.is_none() && remote.is_none() {
+        fail("--out FILE or --remote ADDR required");
+    }
+    if remote.is_none() {
+        for key in [
+            "sites",
+            "partition",
+            "cache",
+            "compress",
+            "compress-threshold",
+        ] {
+            if flags.contains_key(key) {
+                fail(&format!(
+                    "--{key} only applies with --remote (it configures the daemon's new session)"
+                ));
+            }
+        }
+    }
     let g = match family {
         "web" => random::web_like(n, m, labels, seed),
         "citation" => dag::citation_like(n, m, labels, seed),
@@ -261,20 +457,183 @@ fn cmd_generate(flags: &HashMap<String, String>) {
         }
         other => fail(&format!("unknown family '{other}'")),
     };
-    let f = File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
-    io::write_graph(&g, std::io::BufWriter::new(f))
-        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
-    println!(
-        "wrote {family} graph: {} nodes, {} edges -> {out}",
-        g.node_count(),
-        g.edge_count()
+    if let Some(out) = out {
+        let f = File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+        let w = std::io::BufWriter::new(f);
+        let res = if out.ends_with(".bin") {
+            io::write_graph_binary(&g, w)
+        } else {
+            io::write_graph(&g, w)
+        };
+        res.unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+        println!(
+            "wrote {family} graph: {} nodes, {} edges -> {out}",
+            g.node_count(),
+            g.edge_count()
+        );
+    }
+    if remote.is_some() {
+        let mut client = connect(flags);
+        let partitioner = get(flags, "partition").unwrap_or("hash");
+        let compression = match get(flags, "compress") {
+            None => None,
+            Some("simeq") => Some(CompressionMethod::SimEq),
+            Some("bisim") => Some(CompressionMethod::Bisim),
+            Some(other) => fail(&format!("unknown compression method '{other}'")),
+        };
+        let options = SessionOptions {
+            sites: num(flags, "sites", 4),
+            partitioner: WirePartitioner::parse(partitioner)
+                .unwrap_or_else(|| fail(&format!("unknown partitioner '{partitioner}'"))),
+            seed,
+            cache_capacity: num(flags, "cache", 128),
+            compression,
+            compression_threshold: num(flags, "compress-threshold", 0.5),
+        };
+        let (nodes, edges, sites) = client
+            .load_graph(&g, &options)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "loaded {family} graph into daemon: {nodes} nodes, {edges} edges over {sites} sites"
+        );
+    }
+}
+
+/// `query --remote`: the whole stream — single queries, batches,
+/// `--repeat` passes and `--updates` replays — served by the daemon.
+fn cmd_query_remote(flags: &HashMap<String, String>, qs: &[Pattern]) {
+    reject_local_only(
+        flags,
+        &[
+            "graph",
+            "sites",
+            "partition",
+            "executor",
+            "seed",
+            "cache",
+            "compress",
+            "compress-threshold",
+            "parallel",
+        ],
     );
+    let algo = wire_algorithm(flags);
+    let mut client = connect(flags);
+    let info = client.graph_info().unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "remote graph |V|={} |E|={}  fragmentation |F|={} |Vf|={} |Ef|={}  queries: {}",
+        info.nodes,
+        info.edges,
+        info.sites,
+        info.vf,
+        info.ef,
+        qs.iter()
+            .map(|q| format!("({},{})", q.node_count(), q.edge_count()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let repeat: usize = num(flags, "repeat", 1);
+    if flags.contains_key("boolean") && flags.contains_key("updates") {
+        fail("--updates needs data-selecting queries (drop --boolean)");
+    }
+    if flags.contains_key("boolean") {
+        let q = match qs {
+            [q] => q,
+            _ => fail("--boolean takes a single pattern"),
+        };
+        let a = client
+            .query_boolean(q, algo)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!("plan: {}", a.plan);
+        println!(
+            "{}: match = {}   PT = {:.3} ms  DS = {:.3} KB",
+            a.algorithm,
+            a.is_match,
+            a.metrics.virtual_time_ms(),
+            a.metrics.data_kb()
+        );
+        return;
+    }
+    if qs.len() == 1 && repeat == 1 {
+        let a = client
+            .query(&qs[0], algo)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!("plan: {}", a.plan);
+        println!(
+            "{}: match = {}  |Q(G)| = {} pairs   PT = {:.3} ms  DS = {:.3} KB  ({} data msgs)",
+            a.algorithm,
+            a.is_match,
+            a.answer_pairs(),
+            a.metrics.virtual_time_ms(),
+            a.metrics.data_kb(),
+            a.metrics.data_messages
+        );
+        if flags.contains_key("matches") {
+            let rel = a.relation();
+            for u in qs[0].nodes() {
+                let matches = if a.is_match { rel.matches_of(u) } else { &[] };
+                let shown: Vec<String> = matches.iter().take(20).map(|v| v.to_string()).collect();
+                let ellipsis = if matches.len() > 20 { ", ..." } else { "" };
+                println!(
+                    "  u{u}: {} matches [{}{}]",
+                    matches.len(),
+                    shown.join(", "),
+                    ellipsis
+                );
+            }
+        }
+        if let Some(path) = get(flags, "updates") {
+            replay_updates_remote(&mut client, algo, qs, path);
+        }
+        return;
+    }
+    for pass in 0..repeat {
+        let (items, total) = client
+            .query_batch(qs, algo)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        if pass == 0 {
+            for (i, r) in items.iter().enumerate() {
+                match r {
+                    Ok(a) => println!(
+                        "  [{i}] {}: match = {}  |Q(G)| = {} pairs  ({} data msgs)",
+                        a.algorithm,
+                        a.is_match,
+                        a.answer_pairs(),
+                        a.metrics.data_messages
+                    ),
+                    Err((_, e)) => println!("  [{i}] error: {e}"),
+                }
+            }
+        }
+        let ok = items.iter().filter(|r| r.is_ok()).count();
+        println!(
+            "pass {}: {ok}/{} answered  PT = {:.3} ms  DS = {:.3} KB  ({} control msgs, {} cache hits)",
+            pass + 1,
+            qs.len(),
+            total.virtual_time_ms(),
+            total.data_kb(),
+            total.control_messages,
+            total.cache_hits
+        );
+    }
+    if let Ok(Some(stats)) = client.cache_stats() {
+        println!(
+            "cache: {} entries / capacity {}  {} hits, {} misses, {} evictions",
+            stats.entries, stats.capacity, stats.hits, stats.misses, stats.evictions
+        );
+    }
+    if let Some(path) = get(flags, "updates") {
+        replay_updates_remote(&mut client, algo, qs, path);
+    }
 }
 
 fn cmd_query(flags: &HashMap<String, String>) {
-    let g = load_graph(get(flags, "graph").unwrap_or_else(|| fail("--graph required")));
     let pattern_arg = get(flags, "pattern").unwrap_or_else(|| fail("--pattern required"));
     let qs: Vec<Pattern> = pattern_arg.split(',').map(load_pattern).collect();
+    if flags.contains_key("remote") {
+        cmd_query_remote(flags, &qs);
+        return;
+    }
+    let g = load_graph(get(flags, "graph").unwrap_or_else(|| fail("--graph required")));
     let k: usize = num(flags, "sites", 4);
     let seed: u64 = num(flags, "seed", 1);
     let algo = match get(flags, "algorithm").unwrap_or("auto") {
@@ -452,8 +811,76 @@ fn cmd_query(flags: &HashMap<String, String>) {
     }
 }
 
+/// `dgsq convert`: translate a graph or pattern file between the text
+/// and binary formats (the object kind is sniffed from the input).
+fn cmd_convert(flags: &HashMap<String, String>) {
+    let input = get(flags, "in").unwrap_or_else(|| fail("--in required"));
+    let output = get(flags, "out").unwrap_or_else(|| fail("--out required"));
+    let format = get(flags, "format").unwrap_or_else(|| fail("--format text|binary required"));
+    if format != "text" && format != "binary" {
+        fail(&format!("unknown format '{format}' (text|binary)"));
+    }
+    let bytes = std::fs::read(input).unwrap_or_else(|e| fail(&format!("cannot open {input}: {e}")));
+    // Sniff the object kind: binary files carry it in the header, text
+    // files in the first non-comment line.
+    let is_pattern = if io::looks_binary(&bytes) {
+        bytes.get(5) == Some(&b'Q')
+    } else {
+        String::from_utf8_lossy(&bytes)
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .is_some_and(|l| l.starts_with("pattern"))
+    };
+    let f = File::create(output).unwrap_or_else(|e| fail(&format!("cannot create {output}: {e}")));
+    let w = std::io::BufWriter::new(f);
+    let (kind, nodes, edges) = if is_pattern {
+        let q =
+            io::read_pattern_auto(&bytes[..]).unwrap_or_else(|e| fail(&format!("{input}: {e}")));
+        let res = if format == "binary" {
+            io::write_pattern_binary(&q, w)
+        } else {
+            io::write_pattern(&q, w)
+        };
+        res.unwrap_or_else(|e| fail(&format!("write {output}: {e}")));
+        ("pattern", q.node_count(), q.edge_count())
+    } else {
+        let g = io::read_graph_auto(&bytes[..]).unwrap_or_else(|e| fail(&format!("{input}: {e}")));
+        let res = if format == "binary" {
+            io::write_graph_binary(&g, w)
+        } else {
+            io::write_graph(&g, w)
+        };
+        res.unwrap_or_else(|e| fail(&format!("write {output}: {e}")));
+        ("graph", g.node_count(), g.edge_count())
+    };
+    println!("converted {kind} ({nodes} nodes, {edges} edges): {input} -> {output} [{format}]");
+}
+
 fn cmd_compress(flags: &HashMap<String, String>) {
     use dgs::sim::{compress_bisim, compress_simeq};
+    if flags.contains_key("remote") {
+        reject_local_only(flags, &["graph", "method", "out"]);
+        let mut client = connect(flags);
+        match client
+            .compression_info()
+            .unwrap_or_else(|e| fail(&e.to_string()))
+        {
+            None => println!("daemon session was built without compression"),
+            Some(c) => println!(
+                "daemon session: Gc has {} classes via {} (ratio {:.3}, {})",
+                c.classes,
+                c.method,
+                c.ratio,
+                if c.active {
+                    "active — Auto answers on Gc"
+                } else {
+                    "above threshold — answering on G"
+                }
+            ),
+        }
+        return;
+    }
     let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
     let g = load_graph(path);
     let method = get(flags, "method").unwrap_or("bisim");
@@ -484,6 +911,28 @@ fn cmd_compress(flags: &HashMap<String, String>) {
 
 fn cmd_stats(flags: &HashMap<String, String>) {
     use dgs::graph::GraphStats;
+    if flags.contains_key("remote") {
+        reject_local_only(flags, &["graph"]);
+        let mut client = connect(flags);
+        let info = client.graph_info().unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "remote session: |V| = {}, |E| = {}, {} labels, generation {}",
+            info.nodes, info.edges, info.label_bound, info.generation
+        );
+        println!(
+            "fragmentation: |F| = {}, |Vf| = {}, |Ef| = {}",
+            info.sites, info.vf, info.ef
+        );
+        match client.cache_stats() {
+            Ok(Some(s)) => println!(
+                "cache: {} entries / capacity {}  {} hits, {} misses, {} evictions",
+                s.entries, s.capacity, s.hits, s.misses, s.evictions
+            ),
+            Ok(None) => println!("cache: disabled"),
+            Err(e) => fail(&e.to_string()),
+        }
+        return;
+    }
     let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
     let g = load_graph(path);
     println!("graph {path}");
@@ -494,18 +943,41 @@ fn cmd_stats(flags: &HashMap<String, String>) {
     );
 }
 
+fn cmd_shutdown(flags: &HashMap<String, String>) {
+    if !flags.contains_key("remote") {
+        fail("--remote ADDR required");
+    }
+    let client = connect(flags);
+    client.shutdown().unwrap_or_else(|e| fail(&e.to_string()));
+    println!("daemon acknowledged shutdown");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        usage();
+    }
+    // Reject an unknown command before flag validation — otherwise a
+    // typo'd command reports a misleading "unknown flag ... allowed:"
+    // message with an empty allowlist.
+    if !matches!(
+        cmd.as_str(),
+        "generate" | "query" | "convert" | "compress" | "stats" | "shutdown"
+    ) {
+        fail(&format!("unknown command '{cmd}'"));
+    }
     let flags = parse_flags(rest);
+    validate_flags(cmd, &flags);
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "query" => cmd_query(&flags),
+        "convert" => cmd_convert(&flags),
         "compress" => cmd_compress(&flags),
         "stats" => cmd_stats(&flags),
-        "--help" | "-h" | "help" => usage(),
-        other => fail(&format!("unknown command '{other}'")),
+        "shutdown" => cmd_shutdown(&flags),
+        _ => unreachable!("command validated above"),
     }
 }

@@ -81,11 +81,13 @@
 //! | [`sim`] | `dgs-sim` | centralized simulation (naive + HHK oracle) |
 //! | [`net`] | `dgs-net` | threaded & virtual-time cluster executors, PT/DS metrics |
 //! | [`core`] | `dgs-core` | `SimEngine`, `dGPM`, `dGPMd`, `dGPMs`, `dGPMt`, baselines |
+//! | [`serve`] | `dgs-serve` | wire protocol, `dgsd` daemon core, remote client, load generation |
 
 pub use dgs_core as core;
 pub use dgs_graph as graph;
 pub use dgs_net as net;
 pub use dgs_partition as partition;
+pub use dgs_serve as serve;
 pub use dgs_sim as sim;
 
 /// The names most programs need.
@@ -98,10 +100,13 @@ pub mod prelude {
         PlanExplanation, Planner, RunReport, SimEngine, UpdateMsg, Var,
     };
     pub use dgs_graph::{Graph, GraphBuilder, Label, NodeId, Pattern, PatternBuilder, QNodeId};
-    pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, RunMetrics};
+    pub use dgs_net::{CostModel, ExecutorKind, FaultPlan, LatencyHistogram, RunMetrics};
     pub use dgs_partition::{
         bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation,
         FragmentationStats,
+    };
+    pub use dgs_serve::{
+        DgsClient, ServeAddr, ServeError, Server, ServerConfig, SessionOptions, WireAlgorithm,
     };
     pub use dgs_sim::{
         boolean_matches, bounded_simulation, compress_bisim, compress_simeq, dual_simulation,

@@ -1,0 +1,567 @@
+//! Serving-layer tests: wire-codec totality (roundtrip + corruption,
+//! never a panic), the end-to-end daemon with ≥ 8 concurrent clients
+//! mixing queries and deltas against an in-process `SimEngine`
+//! oracle, admission-control backpressure, version negotiation and
+//! session replacement.
+
+use dgs::core::{GraphDelta, SimEngine};
+use dgs::graph::generate::{patterns, random};
+use dgs::prelude::*;
+use dgs::serve::proto::frame;
+use dgs::serve::wire::{read_frame, write_frame};
+use dgs::serve::{
+    Answer, Conn, DgsClient, ErrorCode, Request, Response, ServeError, Server, ServerConfig,
+    SessionOptions, WireAlgorithm, WireMetrics, WirePartitioner, WIRE_MAGIC,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---- helpers ----------------------------------------------------------
+
+fn mixed_pattern(i: usize, labels: usize) -> Pattern {
+    let seed = (i % 10) as u64;
+    match i % 3 {
+        0 => patterns::random_cyclic(3, 6, labels, 700 + seed),
+        1 => patterns::random_dag_with_depth(4, 6, 2, labels, 700 + seed),
+        _ => patterns::random_cyclic(4, 8, labels, 750 + seed),
+    }
+}
+
+fn build_engine(g: &Graph, k: usize, seed: u64) -> SimEngine {
+    let assign = hash_partition(g.node_count(), k, seed);
+    let frag = Arc::new(Fragmentation::build(g, &assign, k));
+    SimEngine::builder(g, frag).build()
+}
+
+fn spawn_server(g: &Graph, k: usize, seed: u64, cfg: ServerConfig) -> dgs::serve::ServerHandle {
+    let engine = build_engine(g, k, seed);
+    Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), engine, cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+/// The wire rows an in-process report would ship — what "byte
+/// identical" means after framing is stripped.
+fn rows_of(relation: &MatchRelation) -> Vec<Vec<u32>> {
+    (0..relation.query_nodes())
+        .map(|u| {
+            relation
+                .matches_of(QNodeId(u as u16))
+                .iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect()
+}
+
+// ---- codec: one roundtrip per frame type ------------------------------
+
+fn sample_answer(seed: u64) -> Answer {
+    let mut rows = Vec::new();
+    for u in 0..(seed % 4) {
+        rows.push(
+            (0..(seed % 7))
+                .map(|i| (i * (u + 2) + seed % 13) as u32)
+                .collect(),
+        );
+    }
+    Answer {
+        rows,
+        is_match: seed.is_multiple_of(2),
+        algorithm: format!("algo{}", seed % 3),
+        plan: format!("plan {seed}"),
+        metrics: WireMetrics {
+            data_bytes: seed,
+            data_messages: seed / 2,
+            virtual_time_ns: seed.wrapping_mul(3),
+            cache_hits: seed % 2,
+            ..WireMetrics::default()
+        },
+    }
+}
+
+fn all_requests() -> Vec<Request> {
+    let g = random::uniform(12, 30, 3, 5);
+    vec![
+        Request::Ping,
+        Request::GraphInfo,
+        Request::Query {
+            pattern: mixed_pattern(0, 3),
+            algorithm: WireAlgorithm::Auto,
+            boolean: false,
+        },
+        Request::Query {
+            pattern: mixed_pattern(1, 3),
+            algorithm: WireAlgorithm::Dgpm,
+            boolean: true,
+        },
+        Request::QueryBatch {
+            patterns: (0..4).map(|i| mixed_pattern(i, 3)).collect(),
+            algorithm: WireAlgorithm::Dgpms,
+        },
+        Request::ApplyDelta {
+            insert_edges: vec![(0, 1), (5, 2)],
+            delete_edges: vec![(3, 3)],
+        },
+        Request::CacheStats,
+        Request::CompressionInfo,
+        Request::LoadGraph {
+            graph: g,
+            options: SessionOptions {
+                sites: 3,
+                partitioner: WirePartitioner::Bfs,
+                seed: 9,
+                cache_capacity: 7,
+                compression: Some(dgs::core::CompressionMethod::Bisim),
+                compression_threshold: 0.75,
+            },
+        },
+        Request::Shutdown,
+    ]
+}
+
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Pong,
+        Response::GraphInfo(dgs::serve::GraphInfo {
+            nodes: 100,
+            edges: 400,
+            sites: 4,
+            vf: 123,
+            ef: 456,
+            label_bound: 8,
+            generation: 3,
+        }),
+        Response::Answer(sample_answer(11)),
+        Response::BatchAnswer {
+            items: vec![
+                Ok(sample_answer(4)),
+                Err((ErrorCode::Unsupported, "not a tree".into())),
+                Ok(sample_answer(9)),
+            ],
+            total: WireMetrics {
+                total_ops: 77,
+                ..WireMetrics::default()
+            },
+        },
+        Response::DeltaApplied(dgs::serve::DeltaSummary {
+            inserted: 1,
+            deleted: 2,
+            ignored: 3,
+            crossing_inserted: 4,
+            crossing_deleted: 5,
+            virtuals_created: 6,
+            virtuals_retired: 7,
+            maintained_entries: 8,
+            invalidated_entries: 9,
+            revoked_pairs: 10,
+            generation: 11,
+        }),
+        Response::CacheStats(None),
+        Response::CacheStats(Some(dgs::serve::WireCacheStats {
+            entries: 1,
+            capacity: 2,
+            hits: 3,
+            misses: 4,
+            evictions: 5,
+            generation: 6,
+        })),
+        Response::CompressionInfo(None),
+        Response::CompressionInfo(Some(dgs::serve::WireCompression {
+            classes: 42,
+            ratio: 0.5,
+            method: "bisim".into(),
+            active: true,
+        })),
+        Response::Loaded {
+            nodes: 10,
+            edges: 20,
+            sites: 2,
+        },
+        Response::ShuttingDown,
+        Response::Error {
+            code: ErrorCode::Busy,
+            message: "at capacity".into(),
+        },
+    ]
+}
+
+#[test]
+fn every_request_frame_roundtrips() {
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        assert_eq!(
+            Request::decode(ty, &payload).unwrap(),
+            req,
+            "frame {ty:#04x}"
+        );
+    }
+}
+
+#[test]
+fn every_response_frame_roundtrips() {
+    for resp in all_responses() {
+        let (ty, payload) = resp.encode();
+        assert_eq!(
+            Response::decode(ty, &payload).unwrap(),
+            resp,
+            "frame {ty:#04x}"
+        );
+    }
+}
+
+#[test]
+fn every_truncated_frame_is_a_typed_error() {
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        for len in 0..payload.len() {
+            match Request::decode(ty, &payload[..len]) {
+                Ok(_) => panic!("frame {ty:#04x} decoded from a strict prefix of {len} bytes"),
+                Err(ServeError::Corrupt { .. }) => {}
+                Err(e) => panic!("frame {ty:#04x} prefix {len}: unexpected error kind {e:?}"),
+            }
+        }
+    }
+    for resp in all_responses() {
+        let (ty, payload) = resp.encode();
+        for len in 0..payload.len() {
+            assert!(
+                Response::decode(ty, &payload[..len]).is_err(),
+                "response frame {ty:#04x} decoded from a strict prefix of {len} bytes"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Randomly corrupted payloads must decode to a typed error or a
+    /// (different) valid value — never panic, never hang.
+    #[test]
+    fn corrupted_frames_never_panic(seed in any::<u64>(), flips in 1usize..8) {
+        let reqs = all_requests();
+        let req = &reqs[(seed as usize) % reqs.len()];
+        let (ty, mut payload) = req.encode();
+        if payload.is_empty() {
+            return;
+        }
+        let mut s = seed;
+        for _ in 0..flips {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (s >> 33) as usize % payload.len();
+            payload[idx] ^= (s % 255) as u8 + 1;
+        }
+        let _ = Request::decode(ty, &payload); // outcome irrelevant; must return
+        let resps = all_responses();
+        let resp = &resps[(seed as usize) % resps.len()];
+        let (ty, mut payload) = resp.encode();
+        if payload.is_empty() {
+            return;
+        }
+        for _ in 0..flips {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (s >> 33) as usize % payload.len();
+            payload[idx] ^= (s % 255) as u8 + 1;
+        }
+        let _ = Response::decode(ty, &payload);
+    }
+
+    /// Random answers roundtrip exactly (the relation rows are what
+    /// the oracle comparison depends on).
+    #[test]
+    fn random_answers_roundtrip(seed in any::<u64>()) {
+        let resp = Response::Answer(sample_answer(seed));
+        let (ty, payload) = resp.encode();
+        prop_assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+    }
+}
+
+// ---- end-to-end: concurrent clients vs the in-process oracle ----------
+
+/// The acceptance test: a daemon on an ephemeral port, 8 concurrent
+/// clients mixing queries and deltas, every remote answer byte-equal
+/// to what an identically configured in-process `SimEngine` produces.
+#[test]
+fn eight_concurrent_clients_mixing_queries_and_deltas_match_oracle() {
+    const CLIENTS: usize = 8;
+    const LABELS: usize = 4;
+    let g = random::uniform(150, 600, LABELS, 31);
+    let handle = spawn_server(&g, 4, 31, ServerConfig::default());
+    let addr = handle.addr().clone();
+
+    // The oracle: an identically configured in-process session.
+    let mut oracle = build_engine(&g, 4, 31);
+    let pool: Vec<Pattern> = (0..10).map(|i| mixed_pattern(i, LABELS)).collect();
+    let expected: Vec<MatchRelation> = pool
+        .iter()
+        .map(|q| oracle.query(q).expect("oracle query").relation.clone())
+        .collect();
+
+    // Phase A — static graph, 8 clients hammering concurrently; every
+    // answer must be byte-identical (same wire rows) to the oracle's.
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let (addr, pool, expected) = (&addr, &pool, &expected);
+            s.spawn(move || {
+                let mut client = DgsClient::connect(addr).expect("connect");
+                for i in 0..24 {
+                    let qi = (t * 24 + i) % pool.len();
+                    let a = client
+                        .query(&pool[qi], WireAlgorithm::Auto)
+                        .unwrap_or_else(|e| panic!("client {t} query {i}: {e}"));
+                    assert_eq!(a.rows, rows_of(&expected[qi]), "client {t} query {i}");
+                    assert_eq!(a.is_match, expected[qi].is_total());
+                }
+            });
+        }
+    });
+
+    // Phase B — deltas and queries concurrently: clients 0..3 each
+    // delete a disjoint slice of edges (plus an insert/delete pair
+    // that cancels out), the rest keep querying. Mid-flight answers
+    // land at *some* generation, so only integrity is asserted here.
+    let all_edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let slices: Vec<Vec<(NodeId, NodeId)>> = (0..4)
+        .map(|c| {
+            all_edges
+                .iter()
+                .copied()
+                .skip(c)
+                .step_by(29)
+                .take(5)
+                .collect()
+        })
+        .collect();
+    // A non-edge of `g`: every delta client inserts then deletes it,
+    // so whatever the interleaving, the last op on it fleet-wide is a
+    // delete and the final graph stays "g minus the deleted slices".
+    let probe = (0..g.node_count() as u32)
+        .flat_map(|u| (0..g.node_count() as u32).map(move |v| (NodeId(u), NodeId(v))))
+        .find(|&(u, v)| !g.has_edge(u, v))
+        .expect("a 150-node graph with 600 edges has non-edges");
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let (addr, pool, slices) = (&addr, &pool, &slices);
+            s.spawn(move || {
+                let mut client = DgsClient::connect(addr).expect("connect");
+                if t < 4 {
+                    for &(u, v) in &slices[t] {
+                        client
+                            .apply_delta(&GraphDelta::deletions([(u, v)]))
+                            .unwrap_or_else(|e| panic!("delta client {t}: {e}"));
+                    }
+                    client
+                        .apply_delta(&GraphDelta::insertions([probe]))
+                        .and_then(|_| client.apply_delta(&GraphDelta::deletions([probe])))
+                        .unwrap_or_else(|e| panic!("delta client {t} probe: {e}"));
+                } else {
+                    for i in 0..12 {
+                        let a = client
+                            .query(&pool[(t + i) % pool.len()], WireAlgorithm::Auto)
+                            .unwrap_or_else(|e| panic!("query client {t}: {e}"));
+                        // Integrity: is_match must agree with the rows.
+                        let total = !a.rows.is_empty() && a.rows.iter().all(|r| !r.is_empty());
+                        assert_eq!(a.is_match, total, "client {t} answer {i} inconsistent");
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase C — convergence: the oracle absorbs the same deletions
+    // (one batch; batching differs from the clients' interleaving but
+    // the final graph is identical — the probe edge always ends
+    // deleted), then every pool pattern must again answer
+    // byte-identically.
+    let deleted: Vec<(NodeId, NodeId)> = slices.iter().flatten().copied().collect();
+    oracle
+        .apply_delta(&GraphDelta::deletions(deleted.iter().copied()))
+        .expect("oracle delta");
+    let mut client = DgsClient::connect(&addr).expect("connect");
+    let info = client.graph_info().expect("info");
+    assert_eq!(info.edges, oracle.graph().edge_count() as u64);
+    for (qi, q) in pool.iter().enumerate() {
+        let want = oracle.query(q).expect("oracle re-query").relation.clone();
+        let a = client.query(q, WireAlgorithm::Auto).expect("re-query");
+        assert_eq!(a.rows, rows_of(&want), "post-delta pattern {qi}");
+        // Byte-identical on the wire, not merely equal in memory.
+        let via_wire = Response::Answer(a.clone()).encode();
+        let oracle_answer = Answer {
+            rows: rows_of(&want),
+            is_match: a.is_match,
+            algorithm: a.algorithm.clone(),
+            plan: a.plan.clone(),
+            metrics: a.metrics.clone(),
+        };
+        assert_eq!(via_wire, Response::Answer(oracle_answer).encode());
+    }
+    // Batches agree too.
+    let (items, _) = client
+        .query_batch(&pool, WireAlgorithm::Auto)
+        .expect("batch");
+    for (qi, item) in items.iter().enumerate() {
+        let a = item.as_ref().expect("batch item");
+        let want = oracle.query(&pool[qi]).expect("oracle").relation.clone();
+        assert_eq!(a.rows, rows_of(&want), "batch item {qi}");
+    }
+
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- admission control, negotiation, admin ----------------------------
+
+#[test]
+fn admission_control_rejects_with_typed_busy_then_recovers() {
+    let g = random::uniform(40, 120, 3, 7);
+    let handle = spawn_server(&g, 2, 7, ServerConfig { max_connections: 2 });
+    let addr = handle.addr().clone();
+
+    let c1 = DgsClient::connect(&addr).expect("first");
+    let c2 = DgsClient::connect(&addr).expect("second");
+    let err = match DgsClient::connect(&addr) {
+        Ok(_) => panic!("third connection must be rejected"),
+        Err(e) => e,
+    };
+    assert!(err.is_busy(), "expected Busy, got {err}");
+    assert!(handle.rejected_connections() >= 1);
+
+    // Freeing a slot lets new clients in (the server needs a moment
+    // to notice the hang-up).
+    drop(c1);
+    let mut ok = None;
+    for _ in 0..100 {
+        match DgsClient::connect(&addr) {
+            Ok(c) => {
+                ok = Some(c);
+                break;
+            }
+            Err(e) if e.is_busy() => std::thread::sleep(std::time::Duration::from_millis(10)),
+            Err(e) => panic!("unexpected error while recovering: {e}"),
+        }
+    }
+    let mut c = ok.expect("slot never freed");
+    c.ping().expect("recovered client works");
+    drop((c, c2));
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn handshake_negotiates_down_and_rejects_garbage() {
+    let g = random::uniform(30, 80, 3, 5);
+    let handle = spawn_server(&g, 2, 5, ServerConfig::default());
+    let addr = handle.addr().clone();
+
+    // A future client offering v9 gets our v1 back.
+    let mut conn = Conn::connect(&addr).unwrap();
+    let mut hello = WIRE_MAGIC.to_vec();
+    hello.push(9);
+    write_frame(&mut conn, frame::HELLO, &hello).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(ty, frame::WELCOME);
+    assert_eq!(payload, [b'D', b'G', b'S', b'W', 1]);
+
+    // A malformed request frame gets a typed error and the connection
+    // survives (frames are length-delimited, the stream stays in
+    // sync).
+    write_frame(&mut conn, 0xee, b"garbage").unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    match Response::decode(ty, &payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+    let (ty, payload) = Request::Ping.encode();
+    write_frame(&mut conn, ty, &payload).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(Response::decode(ty, &payload).unwrap(), Response::Pong);
+
+    // Bad magic in the handshake is refused outright.
+    let mut conn2 = Conn::connect(&addr).unwrap();
+    write_frame(&mut conn2, frame::HELLO, b"NOPE\x01").unwrap();
+    let (ty, payload) = read_frame(&mut conn2).unwrap().unwrap();
+    match Response::decode(ty, &payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+
+    drop((conn, conn2));
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn load_graph_swaps_the_served_session() {
+    let g1 = random::uniform(50, 150, 3, 11);
+    let handle = spawn_server(&g1, 2, 11, ServerConfig::default());
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+    assert_eq!(client.graph_info().unwrap().nodes, 50);
+
+    let g2 = random::uniform(80, 240, 4, 13);
+    let options = SessionOptions {
+        sites: 3,
+        seed: 13,
+        ..SessionOptions::default()
+    };
+    let (nodes, edges, sites) = client.load_graph(&g2, &options).expect("load");
+    assert_eq!((nodes, edges, sites), (80, g2.edge_count() as u64, 3));
+    let info = client.graph_info().unwrap();
+    assert_eq!(info.nodes, 80);
+    assert_eq!(info.sites, 3);
+
+    // Answers now come from the new graph: compare with a fresh
+    // oracle built exactly like the server built its session.
+    let assign = hash_partition(g2.node_count(), 3, 13);
+    let frag = Arc::new(Fragmentation::build(&g2, &assign, 3));
+    let oracle = SimEngine::builder(&g2, frag).build();
+    for i in 0..6 {
+        let q = mixed_pattern(i, 4);
+        let want = oracle.query(&q).expect("oracle").relation.clone();
+        let a = client.query(&q, WireAlgorithm::Auto).expect("query");
+        assert_eq!(a.rows, rows_of(&want), "pattern {i} after session swap");
+    }
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn unix_socket_serving_works_end_to_end() {
+    let g = random::uniform(60, 180, 3, 17);
+    let path = std::env::temp_dir().join(format!("dgs-serve-test-{}.sock", std::process::id()));
+    let addr = ServeAddr::Unix(path.clone());
+    let engine = build_engine(&g, 2, 17);
+    let handle = Server::bind(&addr, engine, ServerConfig::default())
+        .expect("bind unix socket")
+        .spawn();
+    let oracle = build_engine(&g, 2, 17);
+
+    let mut client = DgsClient::connect(handle.addr()).expect("connect over unix");
+    client.ping().expect("ping");
+    let q = mixed_pattern(3, 3);
+    let a = client.query(&q, WireAlgorithm::Auto).expect("query");
+    assert_eq!(a.rows, rows_of(&oracle.query(&q).unwrap().relation));
+    drop(client);
+    handle.shutdown().expect("shutdown");
+    assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn remote_dgs_errors_arrive_typed() {
+    let g = dgs::graph::generate::tree::random_tree(40, 3, 3);
+    // Trees: an explicit dGPMt request with a *cyclic* graph pattern
+    // is fine, but disHHK on an empty pattern is invalid — use an
+    // empty pattern to provoke InvalidPattern.
+    let handle = spawn_server(&g, 2, 3, ServerConfig::default());
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+    let empty = dgs::graph::PatternBuilder::new().build();
+    let err = client
+        .query(&empty, WireAlgorithm::Auto)
+        .expect_err("empty pattern must be rejected");
+    match err {
+        ServeError::Remote { code, .. } => assert_eq!(code, ErrorCode::InvalidPattern),
+        other => panic!("expected Remote(InvalidPattern), got {other}"),
+    }
+    // The connection survives the error.
+    client.ping().expect("connection still usable");
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
