@@ -8,10 +8,89 @@
 //! * **cached** — the same stream re-submitted against the warm
 //!   pattern-result cache: every query hits, zero protocol messages.
 //!
+//! Plus one **in-process vs cross-process** leg: the same query
+//! stream under the virtual executor and under the socket executor
+//! (real worker OS processes, spawned `dgsq worker` copies found next
+//! to the bench binary in the target directory — the leg is skipped
+//! with a note when `dgsq` has not been built). The point is an
+//! honest number for what crossing a kernel socket costs per query,
+//! with byte-identical answers asserted.
+//!
 //! Not a Criterion harness: the quantity of interest is one honest
 //! wall-clock comparison per configuration, printed as a table.
 
-use dgs_bench::serving::{run_serving, ServingConfig};
+use dgs_bench::serving::{mixed_patterns, run_serving, ServingConfig};
+use dgs_core::SimEngine;
+use dgs_net::SocketConfig;
+use dgs_partition::{hash_partition, Fragmentation};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `dgsq` lives two levels up from the bench executable
+/// (`target/<profile>/deps/serving-*` → `target/<profile>/dgsq`).
+fn find_dgsq() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let profile_dir = exe.parent()?.parent()?;
+    let candidate = profile_dir.join("dgsq");
+    candidate.is_file().then_some(candidate)
+}
+
+fn socket_leg(cfg: &ServingConfig) {
+    let Some(dgsq) = find_dgsq() else {
+        println!(
+            "  cross-process leg: skipped (dgsq not built; run \
+             `cargo build --bin dgsq` with the same profile first)"
+        );
+        return;
+    };
+    let g = dgs_graph::generate::random::uniform(cfg.nodes, 4 * cfg.nodes, cfg.labels, cfg.seed);
+    let assign = hash_partition(g.node_count(), cfg.sites, cfg.seed);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, cfg.sites));
+    let queries = mixed_patterns(cfg.batch.min(20), cfg.labels, cfg.seed ^ 0x50C); // a shorter stream: each query is a full cross-process protocol run
+
+    let inproc = SimEngine::builder(&g, Arc::clone(&frag))
+        .cache(false)
+        .build();
+    let socket = match SimEngine::builder(&g, frag)
+        .cache(false)
+        .build_socket(SocketConfig::spawn_local(dgsq, vec!["worker".into()], 2))
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            // A stale dgsq (older build without `worker`) must not sink
+            // the whole bench run.
+            println!("  cross-process leg: skipped (cluster bootstrap failed: {e})");
+            return;
+        }
+    };
+
+    let run = |engine: &SimEngine| {
+        let start = Instant::now();
+        let reports: Vec<_> = queries
+            .iter()
+            .map(|q| engine.query(q).expect("bench query"))
+            .collect();
+        (reports, start.elapsed().as_secs_f64() * 1e3)
+    };
+    let (a, inproc_ms) = run(&inproc);
+    let (b, socket_ms) = run(&socket);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.relation, y.relation, "socket answer deviates");
+    }
+    println!(
+        "  cross-process leg ({} queries, {} worker processes):",
+        queries.len(),
+        socket
+            .socket_cluster()
+            .expect("socket session")
+            .num_workers()
+    );
+    println!(
+        "    in-process (virtual):  {inproc_ms:>9.2} ms   socket: {socket_ms:>9.2} ms   \
+         ({:.2} ms/query socket overhead)",
+        (socket_ms - inproc_ms).max(0.0) / queries.len() as f64
+    );
+}
 
 fn main() {
     let cfg = ServingConfig::default();
@@ -51,6 +130,7 @@ fn main() {
         "a cache hit must not be slower than a protocol run at the median"
     );
     assert_eq!(r.cached_messages, 0, "cache hits must ship nothing");
+    socket_leg(&cfg);
     // The ≥ 2× acceptance bar applies to multi-core runners; a 1-core
     // container can't parallelize and is exempt.
     if r.workers >= 8 {

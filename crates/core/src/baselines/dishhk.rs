@@ -51,6 +51,18 @@ impl DishhkSite {
     }
 }
 
+impl dgs_net::RemoteSpec for DishhkSite {
+    /// The disHHK baseline ships state that is not worth a wire
+    /// format; it stays in-process, and the socket executor reports a
+    /// typed `Unsupported` error instead of running it.
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Err(
+            "the disHHK baseline is not socket-remotable; use the virtual or threaded executor"
+                .to_owned(),
+        )
+    }
+}
+
 impl SiteLogic<DishhkMsg> for DishhkSite {
     fn on_start(&mut self, out: &mut Outbox<DishhkMsg>) {
         let f = self.frag.fragment(self.site);

@@ -102,6 +102,18 @@ impl DmesSite {
     }
 }
 
+impl dgs_net::RemoteSpec for DmesSite {
+    /// The dMes baseline ships state that is not worth a wire
+    /// format; it stays in-process, and the socket executor reports a
+    /// typed `Unsupported` error instead of running it.
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Err(
+            "the dMes baseline is not socket-remotable; use the virtual or threaded executor"
+                .to_owned(),
+        )
+    }
+}
+
 impl SiteLogic<DmesMsg> for DmesSite {
     fn on_start(&mut self, out: &mut Outbox<DmesMsg>) {
         // Superstep 0's local evaluation; requests wait for the

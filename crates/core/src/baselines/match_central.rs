@@ -39,6 +39,18 @@ impl MatchSite {
     }
 }
 
+impl dgs_net::RemoteSpec for MatchSite {
+    /// The Match baseline ships state that is not worth a wire
+    /// format; it stays in-process, and the socket executor reports a
+    /// typed `Unsupported` error instead of running it.
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Err(
+            "the Match baseline is not socket-remotable; use the virtual or threaded executor"
+                .to_owned(),
+        )
+    }
+}
+
 impl SiteLogic<MatchMsg> for MatchSite {
     fn on_start(&mut self, out: &mut Outbox<MatchMsg>) {
         let f = self.frag.fragment(self.site);

@@ -37,7 +37,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Messages of the `dGPM` protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DgpmMsg {
     /// Falsified Boolean variables of in-nodes (data; site → site).
     Falsified(Vec<Var>),
@@ -372,6 +372,15 @@ impl SiteLogic<DgpmMsg> for DgpmSite {
             }
         }
         self.charge_eval_ops(out);
+    }
+}
+
+impl dgs_net::RemoteSpec for DgpmSite {
+    /// Engine tag + configuration + query mode + the pattern; the
+    /// worker rebuilds this site against its bootstrapped
+    /// fragmentation (`dgs_core::remote`).
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Ok(crate::remote::spec_dgpm(&self.q, &self.cfg, self.mode))
     }
 }
 

@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Messages of the `dGPMd` protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DgpmdMsg {
     /// Batched falsified in-node variables for one rank round (data).
     RankBatch {
@@ -122,6 +122,14 @@ impl DgpmdSite {
         for (s, vars) in per_site {
             out.send(Endpoint::Site(s as u32), DgpmdMsg::RankBatch { rank, vars });
         }
+    }
+}
+
+impl dgs_net::RemoteSpec for DgpmdSite {
+    /// Engine tag + the pattern; the worker rebuilds this site against
+    /// its bootstrapped fragmentation (`dgs_core::remote`).
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Ok(crate::remote::spec_dgpmd(&self.q))
     }
 }
 

@@ -93,7 +93,7 @@ pub fn scc_ranks(q: &Pattern) -> (Vec<u32>, u32) {
 }
 
 /// Messages of the `dGPMs` protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DgpmsMsg {
     /// Batched falsified in-node variables for one stratum round
     /// (data).
@@ -196,6 +196,14 @@ impl DgpmsSite {
         for (s, vars) in per_site {
             out.send(Endpoint::Site(s as u32), DgpmsMsg::Batch(vars));
         }
+    }
+}
+
+impl dgs_net::RemoteSpec for DgpmsSite {
+    /// Engine tag + the pattern; the worker rebuilds this site against
+    /// its bootstrapped fragmentation (`dgs_core::remote`).
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Ok(crate::remote::spec_dgpms(&self.q))
     }
 }
 

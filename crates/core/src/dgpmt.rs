@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Messages of the `dGPMt` protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DgpmtMsg {
     /// The root vector equations of one fragment (data; site → Sc).
     RootEquations(Vec<PushedEq>),
@@ -76,6 +76,14 @@ impl DgpmtSite {
             q,
             eval: None,
         }
+    }
+}
+
+impl dgs_net::RemoteSpec for DgpmtSite {
+    /// Engine tag + the pattern; the worker rebuilds this site against
+    /// its bootstrapped fragmentation (`dgs_core::remote`).
+    fn remote_spec(&self) -> Result<Vec<u8>, String> {
+        Ok(crate::remote::spec_dgpmt(&self.q))
     }
 }
 

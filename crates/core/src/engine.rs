@@ -74,7 +74,10 @@ use crate::plan::{
 };
 use crate::{baselines, dgpmd, dgpms, dgpmt};
 use dgs_graph::{Graph, GraphBuilder, NodeId, Pattern};
-use dgs_net::{CostModel, ExecutorKind, RunMetrics, SiteDeltaMetrics};
+use dgs_net::{
+    CoordinatorLogic, CostModel, ExecutorKind, RemoteSpec, RunMetrics, RunOutcome,
+    SiteDeltaMetrics, SiteLogic, SocketCluster, SocketConfig, SocketMsg,
+};
 use dgs_partition::{EdgeOp, Fragmentation};
 use dgs_sim::{compress_bisim, compress_simeq, CompressedGraph, MatchRelation};
 use parking_lot::Mutex;
@@ -350,6 +353,36 @@ impl SimEngineBuilder<'_> {
     /// of the graph so the session can absorb
     /// [`SimEngine::apply_delta`] batches later.
     pub fn build(self) -> SimEngine {
+        self.build_with_cluster(None)
+    }
+
+    /// Builds the engine **and** bootstraps a socket cluster for it:
+    /// worker processes are spawned (or attached to), handshaken, and
+    /// loaded with the session's graph + fragmentation, and the
+    /// executor is set to [`ExecutorKind::Socket`] — `Auto` and
+    /// explicit dGPM-family queries then run across real OS processes,
+    /// with the per-site message/visit metrics flowing back over the
+    /// wire into the same [`RunReport`] shape as the in-process
+    /// executors.
+    ///
+    /// In-process fallbacks (documented, not silent): the compressed
+    /// leg's quotient graph `Gc` is never shipped to the workers, so
+    /// compressed-leg runs use the virtual executor, as do the
+    /// distributed maintenance runs of [`SimEngine::apply_delta`]
+    /// (their per-site counter states must come back into the
+    /// session) — and every delta re-ships the session bootstrap so
+    /// later socket runs execute against the mutated graph. The
+    /// `Match`/`disHHK`/`dMes` baselines are not socket-remotable and
+    /// report a typed [`DgsError::Unsupported`].
+    pub fn build_socket(mut self, cfg: SocketConfig) -> Result<SimEngine, DgsError> {
+        self.executor = ExecutorKind::Socket;
+        let bootstrap = crate::remote::encode_bootstrap(self.graph, &self.frag);
+        let cluster = SocketCluster::start(cfg, &bootstrap, self.frag.num_sites())
+            .map_err(|e| DgsError::from_exec("socket-cluster", e))?;
+        Ok(self.build_with_cluster(Some(Arc::new(cluster))))
+    }
+
+    fn build_with_cluster(self, cluster: Option<Arc<SocketCluster>>) -> SimEngine {
         let facts = GraphFacts::compute(self.graph, &self.frag);
         let leg = self
             .compression
@@ -379,6 +412,7 @@ impl SimEngineBuilder<'_> {
             maintained: Mutex::new(HashMap::new()),
             generation: 0,
             gen_alloc: Arc::new(AtomicU64::new(1)),
+            cluster,
         }
     }
 }
@@ -571,6 +605,10 @@ pub struct SimEngine {
     /// Allocator of globally fresh generations, shared by clones so
     /// two diverging handles can never collide on a generation.
     gen_alloc: Arc<AtomicU64>,
+    /// The socket cluster backing [`ExecutorKind::Socket`] sessions
+    /// ([`SimEngineBuilder::build_socket`]); clones share it (runs are
+    /// serialized on the cluster).
+    cluster: Option<Arc<SocketCluster>>,
 }
 
 impl Clone for SimEngine {
@@ -592,6 +630,7 @@ impl Clone for SimEngine {
             maintained: Mutex::new(HashMap::new()),
             generation: self.generation,
             gen_alloc: Arc::clone(&self.gen_alloc),
+            cluster: self.cluster.clone(),
         }
     }
 }
@@ -789,7 +828,7 @@ impl SimEngine {
             Resolved::Dgpm(cfg) => {
                 let (coord, sites) =
                     dgpm::build_with_mode(&self.frag, &qa, cfg.clone(), QueryMode::Boolean);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                let o = self.drive(&self.frag, resolved.name(), coord, sites)?;
                 let b = o
                     .coordinator
                     .boolean
@@ -1088,7 +1127,14 @@ impl SimEngine {
                 let states = maintained.remove(&canon_key).expect("promoted above");
                 let (coord, sites) =
                     delta::build_maintenance(&self.frag, &pattern, states.sites, &deletes);
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                // Maintenance stays in-process even on socket sessions:
+                // the per-site counter states must come back into the
+                // session, and remote state does not.
+                let kind = match self.executor {
+                    ExecutorKind::Socket => ExecutorKind::Virtual,
+                    k => k,
+                };
+                let o = dgs_net::run(kind, &self.cost, coord, sites);
                 let mut rows = entry.rows.clone();
                 for var in &o.coordinator.revoked {
                     let row = &mut rows[var.q as usize];
@@ -1146,6 +1192,17 @@ impl SimEngine {
                 report.invalidated_entries = cache.lock().entries_with_prefix(&old_prefix).len();
             }
             self.maintained.lock().clear();
+        }
+
+        // A socket session's workers were bootstrapped with the
+        // pre-delta graph: re-ship the session so later runs execute
+        // against the mutated graph (this materializes the graph
+        // mirror — delta batches on socket sessions pay the reship).
+        if let Some(cluster) = &self.cluster {
+            let blob = crate::remote::encode_bootstrap(&self.graph(), &self.frag);
+            cluster
+                .rebootstrap(&blob)
+                .map_err(|e| DgsError::from_exec("socket-cluster", e))?;
         }
         Ok(report)
     }
@@ -1367,6 +1424,40 @@ impl SimEngine {
         );
     }
 
+    /// The socket cluster backing this session, when built with
+    /// [`SimEngineBuilder::build_socket`].
+    pub fn socket_cluster(&self) -> Option<&Arc<SocketCluster>> {
+        self.cluster.as_ref()
+    }
+
+    /// Runs one protocol under the session's executor, with typed
+    /// errors. Socket sessions dispatch to the bootstrapped cluster —
+    /// but only for the session fragmentation: the compressed leg's
+    /// `Gc` was never shipped to the workers, so its runs stay
+    /// in-process (virtual executor).
+    fn drive<M, C, S>(
+        &self,
+        frag: &Arc<Fragmentation>,
+        algorithm: &'static str,
+        coordinator: C,
+        sites: Vec<S>,
+    ) -> Result<RunOutcome<C, S>, DgsError>
+    where
+        M: SocketMsg,
+        C: CoordinatorLogic<M> + Send,
+        S: SiteLogic<M> + RemoteSpec + Send,
+    {
+        let (kind, cluster) = match (self.executor, &self.cluster) {
+            (ExecutorKind::Socket, Some(cl)) if Arc::ptr_eq(frag, &self.frag) => {
+                (ExecutorKind::Socket, Some(&**cl))
+            }
+            (ExecutorKind::Socket, _) => (ExecutorKind::Virtual, None),
+            (kind, _) => (kind, None),
+        };
+        dgs_net::try_run(kind, &self.cost, cluster, coordinator, sites)
+            .map_err(|e| DgsError::from_exec(algorithm, e))
+    }
+
     /// Runs a resolved engine on `frag` and returns
     /// `(relation, metrics)`.
     fn run_resolved(
@@ -1380,7 +1471,7 @@ impl SimEngine {
         macro_rules! drive {
             ($build:expr) => {{
                 let (coord, sites) = $build;
-                let o = dgs_net::run(self.executor, &self.cost, coord, sites);
+                let o = self.drive(frag, resolved.name(), coord, sites)?;
                 let answer = o
                     .coordinator
                     .answer

@@ -37,6 +37,40 @@ pub enum DgsError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A specific site failed mid-run: its handler panicked (threaded
+    /// executor) or its worker process died / reported a failure
+    /// (socket executor). The session stays alive; re-running the
+    /// query against a healthy cluster is safe.
+    SiteFailed {
+        /// The failed site (0-based).
+        site: u32,
+        /// What happened.
+        reason: String,
+    },
+}
+
+impl DgsError {
+    /// Maps an executor-level failure into the query-path error type,
+    /// attributing it to the engine that was running.
+    pub(crate) fn from_exec(algorithm: &'static str, e: dgs_net::ExecError) -> DgsError {
+        match e {
+            dgs_net::ExecError::SiteFailed { site, reason } => {
+                DgsError::SiteFailed { site, reason }
+            }
+            dgs_net::ExecError::Unsupported { detail } => DgsError::Unsupported {
+                algorithm,
+                reason: detail,
+            },
+            dgs_net::ExecError::Timeout { millis, detail } => DgsError::ExecutorFailed {
+                algorithm,
+                reason: format!("timed out after {millis} ms: {detail}"),
+            },
+            dgs_net::ExecError::Transport { detail } => DgsError::ExecutorFailed {
+                algorithm,
+                reason: format!("transport failed: {detail}"),
+            },
+        }
+    }
 }
 
 impl fmt::Display for DgsError {
@@ -53,6 +87,9 @@ impl fmt::Display for DgsError {
             }
             DgsError::InvalidDelta { reason } => {
                 write!(f, "invalid graph delta: {reason}")
+            }
+            DgsError::SiteFailed { site, reason } => {
+                write!(f, "site S{} failed: {reason}", site + 1)
             }
         }
     }

@@ -78,6 +78,7 @@ pub mod error;
 pub mod local_eval;
 pub mod plan;
 pub mod push;
+pub mod remote;
 pub mod vars;
 
 #[allow(deprecated)]

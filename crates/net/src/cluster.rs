@@ -8,14 +8,21 @@
 //! zero wakes the main loop, which runs the coordinator's
 //! `on_quiescent` barrier — the same protocol semantics as the virtual
 //! executor, with real parallelism and wall-clock timing.
+//!
+//! A panicking site handler used to poison the whole run ambiguously
+//! (the panic propagated out of the thread scope). It is now caught at
+//! the site thread, aborts the run, and surfaces as a typed
+//! [`ExecError::SiteFailed`] from [`ThreadedExecutor::try_run`] naming
+//! the site — the serving layer keeps its session alive across it.
 
 use crate::cost::CostModel;
 use crate::message::{Endpoint, WireSize};
 use crate::metrics::RunMetrics;
 use crate::site::{CoordinatorLogic, Outbox, SiteLogic};
-use crate::RunOutcome;
+use crate::{ExecError, RunOutcome};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
@@ -36,6 +43,9 @@ struct Shared<M> {
     quiesce_tx: Sender<()>,
     inflight: AtomicI64,
     metrics: Mutex<RunMetrics>,
+    /// First site failure (panicking handler); set once, aborts the
+    /// run with a typed error.
+    failed: Mutex<Option<(u32, String)>>,
 }
 
 impl<M: WireSize> Shared<M> {
@@ -47,20 +57,44 @@ impl<M: WireSize> Shared<M> {
             let mut m = self.metrics.lock();
             m.record_ops(from, out.ops);
             for (_, class, msg) in &out.sends {
-                m.record_send(*class, msg.wire_size());
+                m.record_send_from(from, *class, msg.wire_size());
             }
         }
         for (to, _, msg) in out.sends {
             self.inflight.fetch_add(1, Ordering::SeqCst);
             let pkt = Packet::Msg { from, msg };
-            match to {
-                Endpoint::Coordinator => self.coord_tx.send(pkt).expect("coordinator hung up"),
-                Endpoint::Site(i) => self.site_txs[i as usize].send(pkt).expect("site hung up"),
+            // A send can only fail when the destination already exited
+            // (a failed run being torn down): drop the message and put
+            // the token back so the counter stays truthful.
+            let sent = match to {
+                Endpoint::Coordinator => self.coord_tx.send(pkt).is_ok(),
+                Endpoint::Site(i) => self.site_txs[i as usize].send(pkt).is_ok(),
+            };
+            if !sent {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
             }
         }
         if self.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _ = self.quiesce_tx.send(());
         }
+    }
+
+    /// Records a panicking site and wakes the main loop so the run
+    /// aborts promptly.
+    fn report_failure(&self, site: u32, panic: Box<dyn std::any::Any + Send>) {
+        let reason = if let Some(s) = panic.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = panic.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "site handler panicked".to_owned()
+        };
+        let mut failed = self.failed.lock();
+        if failed.is_none() {
+            *failed = Some((site, reason));
+        }
+        drop(failed);
+        let _ = self.quiesce_tx.send(());
     }
 }
 
@@ -72,7 +106,29 @@ impl ThreadedExecutor {
     }
 
     /// Runs the protocol to completion; see [`crate::run`].
-    pub fn run<M, C, S>(&self, mut coordinator: C, mut sites: Vec<S>) -> RunOutcome<C, S>
+    ///
+    /// # Panics
+    /// Panics when a site handler panics — the historical behaviour.
+    /// Use [`Self::try_run`] for a typed [`ExecError::SiteFailed`]
+    /// instead.
+    pub fn run<M, C, S>(&self, coordinator: C, sites: Vec<S>) -> RunOutcome<C, S>
+    where
+        M: WireSize + Send + 'static,
+        C: CoordinatorLogic<M> + Send,
+        S: SiteLogic<M> + Send,
+    {
+        self.try_run(coordinator, sites)
+            .unwrap_or_else(|e| panic!("site thread panicked: {e}"))
+    }
+
+    /// Runs the protocol to completion, surfacing a panicking site
+    /// handler as [`ExecError::SiteFailed`] (naming the site) instead
+    /// of poisoning the run ambiguously.
+    pub fn try_run<M, C, S>(
+        &self,
+        mut coordinator: C,
+        mut sites: Vec<S>,
+    ) -> Result<RunOutcome<C, S>, ExecError>
     where
         M: WireSize + Send + 'static,
         C: CoordinatorLogic<M> + Send,
@@ -98,6 +154,7 @@ impl ThreadedExecutor {
             // quiescence cannot fire before everyone has started.
             inflight: AtomicI64::new(n as i64 + 1),
             metrics: Mutex::new(RunMetrics::new(n)),
+            failed: Mutex::new(None),
         };
 
         let mut rounds = 0u64;
@@ -106,16 +163,36 @@ impl ThreadedExecutor {
                 let shared = &shared;
                 scope.spawn(move |_| {
                     let me = Endpoint::Site(i as u32);
-                    let mut out = Outbox::new(me, n);
-                    site.on_start(&mut out);
-                    shared.flush_and_release(me, out);
-                    while let Ok(pkt) = rx.recv() {
+                    let run_handler = |site: &mut S, pkt: Option<Packet<M>>| -> Option<Outbox<M>> {
                         match pkt {
-                            Packet::Stop => break,
-                            Packet::Msg { from, msg } => {
+                            None => {
+                                let mut out = Outbox::new(me, n);
+                                site.on_start(&mut out);
+                                Some(out)
+                            }
+                            Some(Packet::Stop) => None,
+                            Some(Packet::Msg { from, msg }) => {
                                 let mut out = Outbox::new(me, n);
                                 site.on_message(from, msg, &mut out);
-                                shared.flush_and_release(me, out);
+                                Some(out)
+                            }
+                        }
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| run_handler(site, None))) {
+                        Ok(Some(out)) => shared.flush_and_release(me, out),
+                        Ok(None) => unreachable!("start-up always produces an outbox"),
+                        Err(panic) => {
+                            shared.report_failure(i as u32, panic);
+                            return;
+                        }
+                    }
+                    while let Ok(pkt) = rx.recv() {
+                        match catch_unwind(AssertUnwindSafe(|| run_handler(site, Some(pkt)))) {
+                            Ok(Some(out)) => shared.flush_and_release(me, out),
+                            Ok(None) => break, // Stop
+                            Err(panic) => {
+                                shared.report_failure(i as u32, panic);
+                                return;
                             }
                         }
                     }
@@ -128,6 +205,9 @@ impl ThreadedExecutor {
             shared.flush_and_release(Endpoint::Coordinator, out);
 
             loop {
+                if shared.failed.lock().is_some() {
+                    break;
+                }
                 crossbeam::channel::select! {
                     recv(coord_rx) -> pkt => {
                         if let Ok(Packet::Msg { from, msg }) = pkt {
@@ -137,6 +217,11 @@ impl ThreadedExecutor {
                         }
                     }
                     recv(quiesce_rx) -> _ => {
+                        // The wake may be a failure notice rather than
+                        // true quiescence.
+                        if shared.failed.lock().is_some() {
+                            break;
+                        }
                         // Re-check: a fresh start may have raced the
                         // token; only act on true quiescence.
                         if shared.inflight.load(Ordering::SeqCst) != 0
@@ -168,16 +253,19 @@ impl ThreadedExecutor {
                 let _ = tx.send(Packet::Stop);
             }
         })
-        .expect("site thread panicked");
+        .expect("scoped threads never propagate panics here");
 
+        if let Some((site, reason)) = shared.failed.into_inner() {
+            return Err(ExecError::SiteFailed { site, reason });
+        }
         let mut metrics = shared.metrics.into_inner();
         metrics.quiescence_rounds = rounds;
         metrics.wall_time = wall_start.elapsed();
-        RunOutcome {
+        Ok(RunOutcome {
             coordinator,
             sites,
             metrics,
-        }
+        })
     }
 }
 
@@ -315,6 +403,47 @@ mod tests {
         for s in &outcome.sites {
             assert_eq!(s.received, 3);
         }
+    }
+
+    /// Regression: a panicking site handler used to poison the run
+    /// ambiguously (panic propagated through the thread scope); it is
+    /// now a typed `ExecError::SiteFailed` naming the site.
+    #[test]
+    fn site_panic_is_a_typed_error() {
+        struct PanicSite {
+            idx: u32,
+        }
+        impl SiteLogic<u64> for PanicSite {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _from: Endpoint, _msg: u64, out: &mut Outbox<u64>) {
+                if self.idx == 2 {
+                    panic!("deliberate failure at site S3");
+                }
+                out.send(Endpoint::Coordinator, 1);
+            }
+        }
+        let exec = ThreadedExecutor::new(CostModel::default());
+        let sites: Vec<PanicSite> = (0..4).map(|idx| PanicSite { idx }).collect();
+        let err = match exec.try_run(Scatter { sum: 0, replies: 0 }, sites) {
+            Err(e) => e,
+            Ok(_) => panic!("expected the run to fail"),
+        };
+        match err {
+            ExecError::SiteFailed { site, reason } => {
+                assert_eq!(site, 2);
+                assert!(reason.contains("deliberate failure"), "{reason}");
+            }
+            other => panic!("expected SiteFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_site_message_counts_are_recorded() {
+        let exec = ThreadedExecutor::new(CostModel::default());
+        let sites: Vec<AddSite> = (0..4).map(|i| AddSite { idx: i }).collect();
+        let outcome = exec.run(Scatter { sum: 0, replies: 0 }, sites);
+        // Each site replies exactly once.
+        assert_eq!(outcome.metrics.site_msgs, vec![1; 4]);
     }
 
     #[test]

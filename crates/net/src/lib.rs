@@ -1,12 +1,13 @@
 //! # dgs-net
 //!
-//! A simulated distributed runtime for the graph-simulation algorithms
-//! of Fan et al. (VLDB 2014) — the substitute for the paper's Amazon
-//! EC2 deployment (DESIGN.md §4).
+//! A distributed runtime for the graph-simulation algorithms of Fan
+//! et al. (VLDB 2014) — from a simulated substitute for the paper's
+//! Amazon EC2 deployment (DESIGN.md §4) up to genuinely multi-process
+//! execution.
 //!
 //! Algorithms are written once as message-driven actors
 //! ([`SiteLogic`] per site plus one [`CoordinatorLogic`]) and can then
-//! be driven by either executor:
+//! be driven by any executor:
 //!
 //! * [`cluster::ThreadedExecutor`] — one OS thread per site, crossbeam
 //!   channels, Dijkstra-style quiescence detection; proves the
@@ -17,9 +18,14 @@
 //!   explicit, EC2-like [`CostModel`]. This is what reproduces the
 //!   paper's response-time *shapes* (e.g. PT falling as `|F|` grows)
 //!   on a host with fewer cores than simulated sites.
+//! * [`socket::SocketCluster`] — the coordinator and the sites run in
+//!   **separate OS processes** connected by TCP sockets carrying the
+//!   wire frames of [`wire`]; protocols additionally implement
+//!   [`SocketMsg`] (message codec) and [`RemoteSpec`] (worker-side
+//!   reconstruction). See `crates/net/src/socket.rs`.
 //!
 //! Because graph simulation is a monotone fixpoint computation,
-//! chaotic/asynchronous iteration is confluent: both executors (and
+//! chaotic/asynchronous iteration is confluent: all executors (and
 //! any message interleaving) produce identical answers; only the
 //! timing metrics differ.
 //!
@@ -27,7 +33,9 @@
 //! hand-computed [`WireSize`] and is classified as **data** (the
 //! paper's DS metric), **control** (termination/barrier traffic) or
 //! **result** (final match collection, which the paper's DS figures
-//! exclude); see [`metrics::RunMetrics`].
+//! exclude); see [`metrics::RunMetrics`]. The socket executor ships
+//! the same logical sizes back over the wire, so its metrics are
+//! directly comparable.
 
 pub mod cluster;
 pub mod cost;
@@ -35,7 +43,9 @@ pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod site;
+pub mod socket;
 pub mod virtual_time;
+pub mod wire;
 
 pub use cluster::ThreadedExecutor;
 pub use cost::CostModel;
@@ -43,7 +53,12 @@ pub use fault::FaultPlan;
 pub use message::{Endpoint, MsgClass, WireSize};
 pub use metrics::{LatencyHistogram, RunMetrics, SiteDeltaMetrics};
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
+pub use socket::{
+    ChaosPlan, RemoteSpec, SocketCluster, SocketConfig, SocketMsg, WorkerHost, WorkerMode,
+};
 pub use virtual_time::VirtualExecutor;
+
+use std::fmt;
 
 /// Which executor drives a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,7 +67,64 @@ pub enum ExecutorKind {
     Threaded,
     /// Deterministic discrete-event simulation, virtual timing.
     Virtual,
+    /// Real OS processes connected by sockets (needs a bootstrapped
+    /// [`SocketCluster`]; see [`try_run`]).
+    Socket,
 }
+
+/// Why an executor could not complete a run. The in-process executors
+/// only fail on site panics; the socket executor adds transport-level
+/// failure modes (a dead worker, a silent peer, an unremotable
+/// protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A site failed: its handler panicked (threaded/socket), its
+    /// worker process died, or the worker reported a per-site error.
+    SiteFailed {
+        /// The failed site (0-based).
+        site: u32,
+        /// What happened.
+        reason: String,
+    },
+    /// Messages were in flight but no worker made progress within the
+    /// configured bound — a silent peer, not a protocol error.
+    Timeout {
+        /// The bound that elapsed, in milliseconds.
+        millis: u64,
+        /// What was pending.
+        detail: String,
+    },
+    /// The transport itself failed (connect, handshake, a corrupt
+    /// frame from a worker).
+    Transport {
+        /// What happened.
+        detail: String,
+    },
+    /// The requested execution is not possible: a protocol that is not
+    /// socket-remotable, or a run shape the cluster was not
+    /// bootstrapped for.
+    Unsupported {
+        /// Why.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::SiteFailed { site, reason } => {
+                write!(f, "site S{} failed: {reason}", site + 1)
+            }
+            ExecError::Timeout { millis, detail } => {
+                write!(f, "timed out after {millis} ms: {detail}")
+            }
+            ExecError::Transport { detail } => write!(f, "transport failed: {detail}"),
+            ExecError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Outcome of running a protocol to completion.
 pub struct RunOutcome<C, S> {
@@ -60,13 +132,19 @@ pub struct RunOutcome<C, S> {
     /// assembled.
     pub coordinator: C,
     /// The per-site logics (useful for inspecting local state in
-    /// tests).
+    /// tests). Under the socket executor these are the **unstarted
+    /// local twins** — the live state belongs to the worker processes.
     pub sites: Vec<S>,
     /// Timing and shipment metrics.
     pub metrics: RunMetrics,
 }
 
-/// Runs `coordinator` + `sites` under the chosen executor.
+/// Runs `coordinator` + `sites` under the chosen in-process executor.
+///
+/// This is the historical infallible entry point: a site panic under
+/// the threaded executor propagates as a panic, and
+/// [`ExecutorKind::Socket`] is rejected (it needs a bootstrapped
+/// cluster — use [`try_run`]).
 pub fn run<M, C, S>(
     kind: ExecutorKind,
     cost: &CostModel,
@@ -81,5 +159,37 @@ where
     match kind {
         ExecutorKind::Threaded => ThreadedExecutor::new(cost.clone()).run(coordinator, sites),
         ExecutorKind::Virtual => VirtualExecutor::new(cost.clone()).run(coordinator, sites),
+        ExecutorKind::Socket => {
+            panic!("the socket executor needs a bootstrapped SocketCluster; use dgs_net::try_run")
+        }
+    }
+}
+
+/// Runs `coordinator` + `sites` under any executor, with typed
+/// errors: threaded site panics surface as
+/// [`ExecError::SiteFailed`] instead of poisoning the process, and
+/// [`ExecutorKind::Socket`] dispatches to `cluster` (erroring when
+/// none is supplied).
+pub fn try_run<M, C, S>(
+    kind: ExecutorKind,
+    cost: &CostModel,
+    cluster: Option<&SocketCluster>,
+    coordinator: C,
+    sites: Vec<S>,
+) -> Result<RunOutcome<C, S>, ExecError>
+where
+    M: SocketMsg,
+    C: CoordinatorLogic<M> + Send,
+    S: SiteLogic<M> + RemoteSpec + Send,
+{
+    match kind {
+        ExecutorKind::Threaded => ThreadedExecutor::new(cost.clone()).try_run(coordinator, sites),
+        ExecutorKind::Virtual => Ok(VirtualExecutor::new(cost.clone()).run(coordinator, sites)),
+        ExecutorKind::Socket => match cluster {
+            Some(cluster) => cluster.run(coordinator, sites),
+            None => Err(ExecError::Unsupported {
+                detail: "the socket executor needs a bootstrapped SocketCluster".into(),
+            }),
+        },
     }
 }

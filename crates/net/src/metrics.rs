@@ -23,6 +23,11 @@ pub struct RunMetrics {
     pub total_ops: u64,
     /// Charged operations per worker site.
     pub site_ops: Vec<u64>,
+    /// Messages **sent** by each worker site, all classes (the
+    /// coordinator's sends are the difference to the class totals).
+    /// The conformance suite uses these to bound per-site traffic
+    /// across executors.
+    pub site_msgs: Vec<u64>,
     /// Charged operations at the coordinator.
     pub coordinator_ops: u64,
     /// Virtual response time in ns (0 under the threaded executor).
@@ -78,8 +83,25 @@ impl RunMetrics {
     pub(crate) fn new(num_sites: usize) -> Self {
         RunMetrics {
             site_ops: vec![0; num_sites],
+            site_msgs: vec![0; num_sites],
             ..Default::default()
         }
+    }
+
+    /// Records one sent message, attributing it to the sending
+    /// endpoint's per-site counter.
+    pub(crate) fn record_send_from(
+        &mut self,
+        from: crate::message::Endpoint,
+        class: crate::message::MsgClass,
+        bytes: usize,
+    ) {
+        if let crate::message::Endpoint::Site(i) = from {
+            if let Some(slot) = self.site_msgs.get_mut(i as usize) {
+                *slot += 1;
+            }
+        }
+        self.record_send(class, bytes);
     }
 
     pub(crate) fn record_send(&mut self, class: crate::message::MsgClass, bytes: usize) {
@@ -138,6 +160,7 @@ impl RunMetrics {
             result_messages,
             total_ops,
             site_ops,
+            site_msgs,
             coordinator_ops,
             virtual_time_ns,
             wall_time,
@@ -164,6 +187,12 @@ impl RunMetrics {
             self.site_ops.resize(site_ops.len(), 0);
         }
         for (t, s) in self.site_ops.iter_mut().zip(site_ops) {
+            *t += s;
+        }
+        if self.site_msgs.len() < site_msgs.len() {
+            self.site_msgs.resize(site_msgs.len(), 0);
+        }
+        for (t, s) in self.site_msgs.iter_mut().zip(site_msgs) {
             *t += s;
         }
     }

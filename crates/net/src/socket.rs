@@ -1,0 +1,1705 @@
+//! `SocketExecutor`: the coordinator and the worker sites run in
+//! **separate OS processes**, connected by TCP sockets carrying the
+//! same length-prefixed frames as the serving layer (`docs/PROTOCOL.md`,
+//! "Site frames").
+//!
+//! The in-process executors prove the algorithms; this one proves the
+//! *deployment*: messages really cross a kernel socket, a worker can
+//! really be killed mid-run, and the transport can really reorder and
+//! re-deliver — all of which the conformance and chaos suites
+//! (`tests/executors.rs`) exercise.
+//!
+//! ## Topology
+//!
+//! The coordinator process owns the protocol run. Worker processes
+//! (`dgsd --worker` / `dgsq worker`) each host one or more sites. All
+//! messages are routed **through the coordinator** (a star, exactly
+//! like the paper's `Sc`-centric deployment): when a site handler
+//! finishes, its worker ships the whole outbox back in one `SITE_OUT`
+//! frame and the coordinator forwards each send to its destination
+//! worker as a `SITE_MSG` frame. That lets the coordinator keep the
+//! same Dijkstra-style in-flight count as the threaded executor —
+//! the counter reaching zero proves global quiescence — and account
+//! every message's **logical** [`WireSize`] exactly like the other
+//! executors, so `RunMetrics` are comparable across all three.
+//!
+//! ## Generic dispatch
+//!
+//! The executor is generic over the protocol: messages implement
+//! [`SocketMsg`] (a byte codec on top of [`crate::wire`]) and site
+//! logics implement [`RemoteSpec`] (an opaque per-site bootstrap blob
+//! from which the worker process reconstructs the logic — pattern,
+//! engine configuration, query mode). The worker side is type-erased:
+//! a [`WorkerHost`] turns spec blobs into [`ErasedSite`]s, so one
+//! worker binary serves every protocol.
+//!
+//! ## Faults
+//!
+//! * A worker that **dies** (crash, `kill -9`, dropped connection)
+//!   surfaces as [`ExecError::SiteFailed`] naming a hosted site.
+//! * A worker that goes **silent** is bounded by
+//!   [`SocketConfig::site_timeout`]: the run fails with
+//!   [`ExecError::Timeout`] instead of hanging forever.
+//! * A [`ChaosPlan`] makes the coordinator-side transport adversarial
+//!   (deterministically, per seed): data messages are dropped-then-
+//!   retried, duplicated, delayed and reordered — the at-least-once
+//!   semantics of [`crate::FaultPlan`] over a real socket. Control and
+//!   result frames stay exactly-once, mirroring `FaultPlan`'s contract.
+
+use crate::message::{Endpoint, MsgClass, WireSize};
+use crate::metrics::RunMetrics;
+use crate::site::{CoordinatorLogic, Outbox, SiteLogic};
+use crate::wire::{self, put_bytes, put_str, put_u16, put_u8, put_varint, FrameError, Reader};
+use crate::{ExecError, RunOutcome};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+// ---- frame types (distinct namespace from the serving protocol) -------
+
+/// Handshake, both directions: magic `DGSP` + `u16` version.
+pub const FT_WORKER_HELLO: u8 = 0x50;
+/// Session bootstrap blob (coordinator → worker).
+pub const FT_WORKER_LOAD: u8 = 0x51;
+/// Generic acknowledgement (worker → coordinator).
+pub const FT_WORKER_OK: u8 = 0x52;
+/// Generic failure: a reason string (worker → coordinator).
+pub const FT_WORKER_ERR: u8 = 0x53;
+/// Per-run site bootstrap: run id + the hosted sites' specs.
+pub const FT_SITE_HELLO: u8 = 0x54;
+/// One protocol message delivered to a hosted site.
+pub const FT_SITE_MSG: u8 = 0x55;
+/// One finished handler's outbox: charged ops + buffered sends.
+pub const FT_SITE_OUT: u8 = 0x56;
+/// A hosted site failed (decode error or handler panic).
+pub const FT_SITE_ERR: u8 = 0x57;
+/// End of run: the worker drops the run's site state.
+pub const FT_SITE_DONE: u8 = 0x58;
+/// The worker process should exit cleanly.
+pub const FT_WORKER_SHUTDOWN: u8 = 0x59;
+
+/// Magic of the site-frame handshake.
+pub const SOCKET_MAGIC: &[u8; 4] = b"DGSP";
+/// Protocol version of the site frames.
+pub const SOCKET_VERSION: u16 = 1;
+
+/// The announce line a worker prints once its listener is bound; the
+/// spawn-local bootstrap parses the address after this marker.
+pub const ANNOUNCE_MARKER: &str = "listening on ";
+
+// ---- protocol-side traits ---------------------------------------------
+
+/// A protocol message that can cross a process boundary: a byte codec
+/// on top of the shared [`crate::wire`] primitives.
+///
+/// `encode` may refuse (returning `Err`) for protocols that are not
+/// socket-remotable; [`SocketCluster::run`] surfaces that as
+/// [`ExecError::Unsupported`] before any frame is sent.
+pub trait SocketMsg: WireSize + Clone + Send + 'static {
+    /// Appends the encoded message to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>) -> Result<(), String>;
+    /// Decodes one message; the cursor must consume it exactly.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, String>;
+}
+
+/// A site logic that a worker process can reconstruct from an opaque
+/// spec blob (see `dgs-core`'s `remote` module for the engine specs).
+pub trait RemoteSpec {
+    /// The per-site bootstrap spec, or `Err` when this protocol cannot
+    /// run remotely (e.g. its state cannot be rebuilt worker-side).
+    fn remote_spec(&self) -> Result<Vec<u8>, String>;
+}
+
+// ---- worker-side type erasure -----------------------------------------
+
+/// One buffered send of a finished handler, already encoded.
+pub struct RawSend {
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Shipment accounting class.
+    pub class: MsgClass,
+    /// The message's **logical** wire size ([`WireSize`]) — what the
+    /// metrics record, independent of the physical frame encoding.
+    pub wire_bytes: usize,
+    /// The encoded message payload.
+    pub payload: Vec<u8>,
+}
+
+/// A finished handler's outbox in encoded form.
+pub struct RawOutbox {
+    /// Charged local operations.
+    pub ops: u64,
+    /// Buffered sends.
+    pub sends: Vec<RawSend>,
+}
+
+/// A type-erased remote site: raw bytes in, raw outbox out. One worker
+/// binary hosts any protocol through this interface.
+pub trait ErasedSite: Send {
+    /// Runs the site's `on_start` handler.
+    fn on_start(&mut self) -> Result<RawOutbox, String>;
+    /// Delivers one encoded message.
+    fn on_message(&mut self, from: Endpoint, payload: &[u8]) -> Result<RawOutbox, String>;
+}
+
+struct ErasedAdapter<M, S> {
+    me: Endpoint,
+    num_sites: usize,
+    site: S,
+    _msg: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: SocketMsg, S: SiteLogic<M> + Send> ErasedAdapter<M, S> {
+    fn raw(out: Outbox<M>) -> Result<RawOutbox, String> {
+        let mut sends = Vec::with_capacity(out.sends.len());
+        for (to, class, msg) in out.sends {
+            let wire_bytes = msg.wire_size();
+            let mut payload = Vec::new();
+            msg.encode(&mut payload)?;
+            sends.push(RawSend {
+                to,
+                class,
+                wire_bytes,
+                payload,
+            });
+        }
+        Ok(RawOutbox {
+            ops: out.ops,
+            sends,
+        })
+    }
+}
+
+impl<M: SocketMsg, S: SiteLogic<M> + Send> ErasedSite for ErasedAdapter<M, S> {
+    fn on_start(&mut self) -> Result<RawOutbox, String> {
+        let mut out = Outbox::new(self.me, self.num_sites);
+        self.site.on_start(&mut out);
+        Self::raw(out)
+    }
+
+    fn on_message(&mut self, from: Endpoint, payload: &[u8]) -> Result<RawOutbox, String> {
+        let mut r = Reader::new(payload);
+        let msg = M::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes after message", r.remaining()));
+        }
+        let mut out = Outbox::new(self.me, self.num_sites);
+        self.site.on_message(from, msg, &mut out);
+        Self::raw(out)
+    }
+}
+
+/// Wraps a typed site logic for hosting in a worker process. Worker
+/// hosts call this from their spec factories.
+pub fn erase_site<M, S>(site: S, site_idx: u32, num_sites: usize) -> Box<dyn ErasedSite>
+where
+    M: SocketMsg,
+    S: SiteLogic<M> + Send + 'static,
+{
+    Box::new(ErasedAdapter::<M, S> {
+        me: Endpoint::Site(site_idx),
+        num_sites,
+        site,
+        _msg: std::marker::PhantomData,
+    })
+}
+
+/// The worker process's pluggable brain: absorbs the session bootstrap
+/// (graph + fragmentation) and builds site logics from per-run specs.
+pub trait WorkerHost {
+    /// Absorbs the session bootstrap blob sent at cluster start.
+    fn load(&mut self, blob: &[u8]) -> Result<(), String>;
+    /// Builds the logic of `site` for one run from its spec blob.
+    fn build_site(
+        &self,
+        site: u32,
+        num_sites: usize,
+        spec: &[u8],
+    ) -> Result<Box<dyn ErasedSite>, String>;
+}
+
+// ---- endpoint / frame helpers -----------------------------------------
+
+fn put_endpoint(buf: &mut Vec<u8>, ep: Endpoint) {
+    put_varint(
+        buf,
+        match ep {
+            Endpoint::Coordinator => 0,
+            Endpoint::Site(i) => u64::from(i) + 1,
+        },
+    );
+}
+
+fn read_endpoint(r: &mut Reader<'_>, what: &str) -> Result<Endpoint, FrameError> {
+    let v = r.varint(what)?;
+    Ok(if v == 0 {
+        Endpoint::Coordinator
+    } else {
+        Endpoint::Site((v - 1) as u32)
+    })
+}
+
+fn put_class(buf: &mut Vec<u8>, class: MsgClass) {
+    put_u8(
+        buf,
+        match class {
+            MsgClass::Data => 0,
+            MsgClass::Control => 1,
+            MsgClass::Result => 2,
+        },
+    );
+}
+
+fn read_class(r: &mut Reader<'_>) -> Result<MsgClass, FrameError> {
+    Ok(match r.u8("message class")? {
+        0 => MsgClass::Data,
+        1 => MsgClass::Control,
+        2 => MsgClass::Result,
+        other => {
+            return Err(FrameError::corrupt(format!(
+                "unknown message class {other}"
+            )));
+        }
+    })
+}
+
+// ---- the worker loop ---------------------------------------------------
+
+/// Why [`run_worker`] returned.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator asked the process to exit (`WORKER_SHUTDOWN`).
+    Shutdown,
+    /// The coordinator hung up; the worker can accept a new one.
+    Disconnected,
+}
+
+/// Serves one coordinator connection: handshake, session bootstrap,
+/// then site frames until shutdown or disconnect. Handler panics are
+/// caught and surfaced as `SITE_ERR` frames — a bad query must not
+/// kill the worker process.
+pub fn run_worker(conn: TcpStream, host: &mut dyn WorkerHost) -> Result<WorkerExit, FrameError> {
+    conn.set_nodelay(true).map_err(FrameError::Io)?;
+    let mut rd = BufReader::new(conn.try_clone().map_err(FrameError::Io)?);
+    let mut wr = conn;
+
+    // Handshake: the coordinator speaks first.
+    match wire::read_frame(&mut rd)? {
+        Some((FT_WORKER_HELLO, payload)) => {
+            let mut r = Reader::new(&payload);
+            let magic = r.bytes("handshake magic")?;
+            if magic != SOCKET_MAGIC {
+                return Err(FrameError::corrupt("bad handshake magic"));
+            }
+            let theirs = r.u16("handshake version")?;
+            r.finish("handshake")?;
+            let mut reply = Vec::new();
+            put_bytes(&mut reply, SOCKET_MAGIC);
+            put_u16(&mut reply, theirs.min(SOCKET_VERSION));
+            wire::write_frame(&mut wr, FT_WORKER_HELLO, &reply).map_err(FrameError::Io)?;
+        }
+        Some((ty, _)) => {
+            return Err(FrameError::corrupt(format!(
+                "expected WORKER_HELLO, got frame type {ty:#x}"
+            )));
+        }
+        None => return Ok(WorkerExit::Disconnected),
+    }
+
+    // Site state of the (single) active run, keyed by run id so stale
+    // frames from an aborted run are ignored rather than misdelivered.
+    let mut runs: HashMap<u64, HashMap<u32, Box<dyn ErasedSite>>> = HashMap::new();
+
+    let write_out =
+        |wr: &mut TcpStream, run_id: u64, site: u32, out: RawOutbox| -> Result<(), FrameError> {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, run_id);
+            put_varint(&mut buf, u64::from(site));
+            put_varint(&mut buf, out.ops);
+            put_varint(&mut buf, out.sends.len() as u64);
+            for s in out.sends {
+                put_endpoint(&mut buf, s.to);
+                put_class(&mut buf, s.class);
+                put_varint(&mut buf, s.wire_bytes as u64);
+                put_bytes(&mut buf, &s.payload);
+            }
+            wire::write_frame(wr, FT_SITE_OUT, &buf).map_err(FrameError::Io)
+        };
+    let write_err =
+        |wr: &mut TcpStream, run_id: u64, site: u32, reason: &str| -> Result<(), FrameError> {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, run_id);
+            put_varint(&mut buf, u64::from(site));
+            put_str(&mut buf, reason);
+            wire::write_frame(wr, FT_SITE_ERR, &buf).map_err(FrameError::Io)
+        };
+
+    loop {
+        let Some((ty, payload)) = wire::read_frame(&mut rd)? else {
+            return Ok(WorkerExit::Disconnected);
+        };
+        match ty {
+            FT_WORKER_LOAD => {
+                // A (re-)bootstrap invalidates any lingering run state.
+                runs.clear();
+                match host.load(&payload) {
+                    Ok(()) => {
+                        wire::write_frame(&mut wr, FT_WORKER_OK, &[]).map_err(FrameError::Io)?;
+                    }
+                    Err(reason) => {
+                        let mut buf = Vec::new();
+                        put_str(&mut buf, &reason);
+                        wire::write_frame(&mut wr, FT_WORKER_ERR, &buf).map_err(FrameError::Io)?;
+                    }
+                }
+            }
+            FT_SITE_HELLO => {
+                let mut r = Reader::new(&payload);
+                let run_id = r.varint("run id")?;
+                let num_sites = r.varint("site count")? as usize;
+                let hosted = r.varint("hosted count")?;
+                // One active run per worker: a new hello supersedes
+                // everything older (an aborted run's state included).
+                runs.clear();
+                let mut sites: HashMap<u32, Box<dyn ErasedSite>> = HashMap::new();
+                let mut failed: Vec<(u32, String)> = Vec::new();
+                let mut order = Vec::new();
+                for _ in 0..hosted {
+                    let site = r.varint("site index")? as u32;
+                    let spec = r.bytes("site spec")?;
+                    match host.build_site(site, num_sites, spec) {
+                        Ok(logic) => {
+                            sites.insert(site, logic);
+                            order.push(site);
+                        }
+                        Err(reason) => failed.push((site, reason)),
+                    }
+                }
+                r.finish("SITE_HELLO")?;
+                runs.insert(run_id, sites);
+                for (site, reason) in failed {
+                    write_err(&mut wr, run_id, site, &reason)?;
+                }
+                let run_sites = runs.get_mut(&run_id).expect("just inserted");
+                for site in order {
+                    let logic = run_sites.get_mut(&site).expect("just built");
+                    match catch_unwind(AssertUnwindSafe(|| logic.on_start())) {
+                        Ok(Ok(out)) => write_out(&mut wr, run_id, site, out)?,
+                        Ok(Err(reason)) => write_err(&mut wr, run_id, site, &reason)?,
+                        Err(panic) => {
+                            write_err(&mut wr, run_id, site, &panic_message(&*panic))?;
+                        }
+                    }
+                }
+            }
+            FT_SITE_MSG => {
+                let mut r = Reader::new(&payload);
+                let run_id = r.varint("run id")?;
+                let site = r.varint("destination site")? as u32;
+                let from = read_endpoint(&mut r, "source endpoint")?;
+                let _class = read_class(&mut r)?;
+                let msg = r.bytes("message payload")?;
+                // r.finish checked implicitly: the message is the last
+                // field and `bytes` is length-prefixed.
+                let Some(sites) = runs.get_mut(&run_id) else {
+                    continue; // stale frame of an aborted run
+                };
+                let Some(logic) = sites.get_mut(&site) else {
+                    write_err(
+                        &mut wr,
+                        run_id,
+                        site,
+                        "message for a site this worker does not host",
+                    )?;
+                    continue;
+                };
+                match catch_unwind(AssertUnwindSafe(|| logic.on_message(from, msg))) {
+                    Ok(Ok(out)) => write_out(&mut wr, run_id, site, out)?,
+                    Ok(Err(reason)) => write_err(&mut wr, run_id, site, &reason)?,
+                    Err(panic) => write_err(&mut wr, run_id, site, &panic_message(&*panic))?,
+                }
+            }
+            FT_SITE_DONE => {
+                let mut r = Reader::new(&payload);
+                let run_id = r.varint("run id")?;
+                r.finish("SITE_DONE")?;
+                runs.remove(&run_id);
+            }
+            FT_WORKER_SHUTDOWN => {
+                let _ = wire::write_frame(&mut wr, FT_WORKER_OK, &[]);
+                return Ok(WorkerExit::Shutdown);
+            }
+            other => {
+                return Err(FrameError::corrupt(format!(
+                    "unexpected frame type {other:#x} on a worker connection"
+                )));
+            }
+        }
+    }
+}
+
+/// Accept loop of a worker process: serves coordinator connections one
+/// at a time (each with a fresh host from `host_factory`) until a
+/// coordinator sends `WORKER_SHUTDOWN`.
+pub fn serve_worker_listener<H, F>(
+    listener: &TcpListener,
+    mut host_factory: F,
+) -> std::io::Result<()>
+where
+    H: WorkerHost,
+    F: FnMut() -> H,
+{
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let mut host = host_factory();
+        match run_worker(conn, &mut host) {
+            Ok(WorkerExit::Shutdown) => return Ok(()),
+            Ok(WorkerExit::Disconnected) => continue,
+            Err(e) => {
+                // A corrupt coordinator must not kill the worker; log
+                // and accept the next connection.
+                eprintln!("worker: coordinator connection failed: {e}");
+                continue;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("site handler panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("site handler panicked: {s}")
+    } else {
+        "site handler panicked".to_owned()
+    }
+}
+
+// ---- chaos transport ---------------------------------------------------
+
+/// Deterministic adversarial behaviour of the coordinator-side
+/// transport, applied to **data**-class `SITE_MSG` frames only —
+/// mirroring [`crate::FaultPlan`]: control and result traffic is part
+/// of the phase-barrier contract and a real transport would
+/// deduplicate and order it by sequence number.
+///
+/// Semantics are at-least-once: a "dropped" first copy is always
+/// followed by a retry copy (a transport that loses messages without
+/// retry genuinely changes answers — see `crates/net/src/fault.rs`),
+/// a duplicated message is delivered twice, and delayed copies are
+/// flushed in seeded-shuffled order once the coordinator goes idle —
+/// which both delays and **reorders** them relative to program order.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Fraction of data messages whose first copy is dropped (the
+    /// retry is delivered later), in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Fraction delivered twice (the second copy later), in `[0, 1]`.
+    pub duplicate_rate: f64,
+    /// Fraction whose only copy is deferred to the reorder buffer.
+    pub delay_rate: f64,
+    /// Seed of all per-message decisions and of the flush shuffle.
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// A heavy plan: 20% dropped-then-retried, 20% duplicated, 30%
+    /// delayed/reordered.
+    pub fn heavy(seed: u64) -> Self {
+        ChaosPlan {
+            drop_rate: 0.2,
+            duplicate_rate: 0.2,
+            delay_rate: 0.3,
+            seed,
+        }
+    }
+
+    fn unit(&self, seq: u64, salt: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15))
+            ^ seq.wrapping_mul(0xD1B54A32D192ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// What [`ChaosTransport::route`] decided for one data frame.
+enum ChaosVerdict {
+    /// Deliver now, nothing held.
+    Pass,
+    /// First copy dropped; the retry copy goes to the buffer.
+    DropRetry,
+    /// Deliver now **and** hold a duplicate copy.
+    Duplicate,
+    /// Hold the only copy (delay + reorder).
+    Delay,
+}
+
+/// The coordinator-side wrapper that applies a [`ChaosPlan`] to
+/// outgoing data frames. Held copies are flushed — in seeded-shuffled
+/// order — whenever the event loop runs out of immediate work, so
+/// every message is eventually delivered (at-least-once, never lost).
+pub struct ChaosTransport {
+    plan: ChaosPlan,
+    seq: u64,
+    /// Held frames: `(worker index, frame payload)`.
+    held: Vec<(usize, Vec<u8>)>,
+}
+
+impl ChaosTransport {
+    fn new(plan: ChaosPlan) -> Self {
+        ChaosTransport {
+            plan,
+            seq: 0,
+            held: Vec::new(),
+        }
+    }
+
+    fn verdict(&mut self) -> ChaosVerdict {
+        let seq = self.seq;
+        self.seq += 1;
+        let u = self.plan.unit(seq, 1);
+        let p = &self.plan;
+        if u < p.drop_rate {
+            ChaosVerdict::DropRetry
+        } else if u < p.drop_rate + p.duplicate_rate {
+            ChaosVerdict::Duplicate
+        } else if u < p.drop_rate + p.duplicate_rate + p.delay_rate {
+            ChaosVerdict::Delay
+        } else {
+            ChaosVerdict::Pass
+        }
+    }
+
+    /// Whether any copies are still held back.
+    fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Takes all held frames, in seeded-shuffled order.
+    fn flush(&mut self) -> Vec<(usize, Vec<u8>)> {
+        let mut out = std::mem::take(&mut self.held);
+        // Fisher–Yates with the plan's deterministic unit stream.
+        for i in (1..out.len()).rev() {
+            let j = (self.plan.unit(self.seq, 2 + i as u64) * (i as f64 + 1.0)) as usize;
+            out.swap(i, j.min(i));
+        }
+        self.seq += 1;
+        out
+    }
+}
+
+// ---- the cluster -------------------------------------------------------
+
+/// Where the worker processes come from.
+pub enum WorkerMode {
+    /// Spawn `count` local worker processes (`program args...`), each
+    /// of which must print "`listening on <addr>`" once bound.
+    SpawnLocal {
+        /// The worker executable.
+        program: PathBuf,
+        /// Its arguments (e.g. `["worker", "--listen", "127.0.0.1:0"]`).
+        args: Vec<String>,
+        /// How many processes to spawn.
+        count: usize,
+    },
+    /// Attach to already-running workers (`dgsd --worker`) at these
+    /// `host:port` addresses.
+    Attach {
+        /// Worker addresses.
+        addrs: Vec<String>,
+    },
+}
+
+/// Configuration of a [`SocketCluster`].
+pub struct SocketConfig {
+    /// Worker bootstrap mode.
+    pub mode: WorkerMode,
+    /// Coordinator-side bound on worker silence: if messages are in
+    /// flight and **no** worker frame arrives within this window, the
+    /// run fails with [`ExecError::Timeout`] instead of hanging on a
+    /// silent peer.
+    pub site_timeout: Duration,
+    /// Optional adversarial transport.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl SocketConfig {
+    /// Spawn-local configuration with the default 30 s site timeout.
+    pub fn spawn_local(program: impl Into<PathBuf>, args: Vec<String>, count: usize) -> Self {
+        SocketConfig {
+            mode: WorkerMode::SpawnLocal {
+                program: program.into(),
+                args,
+                count,
+            },
+            site_timeout: Duration::from_secs(30),
+            chaos: None,
+        }
+    }
+
+    /// Attach configuration with the default 30 s site timeout.
+    pub fn attach(addrs: Vec<String>) -> Self {
+        SocketConfig {
+            mode: WorkerMode::Attach { addrs },
+            site_timeout: Duration::from_secs(30),
+            chaos: None,
+        }
+    }
+
+    /// Overrides the per-site silence bound.
+    pub fn site_timeout(mut self, timeout: Duration) -> Self {
+        self.site_timeout = timeout;
+        self
+    }
+
+    /// Enables the adversarial transport.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
+enum WorkerEvent {
+    Frame(u8, Vec<u8>),
+    Closed(String),
+}
+
+struct WorkerLink {
+    stream: TcpStream,
+    addr: String,
+    sites: Vec<u32>,
+    dead: Option<String>,
+}
+
+struct ClusterInner {
+    links: Vec<WorkerLink>,
+    children: Vec<Child>,
+    events: crossbeam::channel::Receiver<(usize, WorkerEvent)>,
+    num_sites: usize,
+    next_run: u64,
+    timeout: Duration,
+    chaos: Option<ChaosTransport>,
+    /// Spawn-local clusters own their workers' lifecycle and ask them
+    /// to exit on shutdown; attached workers are externally managed
+    /// and stay up for the next coordinator.
+    owns_workers: bool,
+    shut_down: bool,
+}
+
+/// A bootstrapped set of worker processes hosting the sites of one
+/// fragmentation, plus the coordinator-side router — the socket
+/// executor's persistent half. Built once per session
+/// (`SimEngineBuilder::build_socket` in `dgs-core`), reused by every
+/// run; runs are serialized internally, so a shared reference is
+/// enough.
+///
+/// Dropping a **spawn-local** cluster asks every spawned worker to
+/// exit and reaps the child processes (kill after a grace period) —
+/// no leaked processes or sockets. Dropping an **attach** cluster
+/// only closes its connections: the externally managed workers stay
+/// up and accept the next coordinator.
+pub struct SocketCluster {
+    inner: Mutex<ClusterInner>,
+}
+
+impl std::fmt::Debug for SocketCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SocketCluster")
+            .field("workers", &inner.links.len())
+            .field("num_sites", &inner.num_sites)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketCluster {
+    /// Spawns (or attaches to) the workers, performs the handshake and
+    /// ships the session bootstrap blob to each.
+    ///
+    /// `bootstrap` is opaque to this layer — the worker's
+    /// [`WorkerHost::load`] interprets it (graph + fragmentation for
+    /// the engine protocols). Sites are placed round-robin:
+    /// site `i` lives on worker `i % workers`.
+    pub fn start(
+        cfg: SocketConfig,
+        bootstrap: &[u8],
+        num_sites: usize,
+    ) -> Result<SocketCluster, ExecError> {
+        let transport = |e: std::io::Error, what: &str| ExecError::Transport {
+            detail: format!("{what}: {e}"),
+        };
+        let mut children = Vec::new();
+        let owns_workers = matches!(cfg.mode, WorkerMode::SpawnLocal { .. });
+        let addrs: Vec<String> = match cfg.mode {
+            WorkerMode::Attach { addrs } => addrs,
+            WorkerMode::SpawnLocal {
+                program,
+                args,
+                count,
+            } => {
+                let mut addrs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut child = Command::new(&program)
+                        .args(&args)
+                        .stdout(Stdio::piped())
+                        .stderr(Stdio::inherit())
+                        .spawn()
+                        .map_err(|e| ExecError::Transport {
+                            detail: format!("cannot spawn worker {}: {e}", program.display()),
+                        })?;
+                    let stdout = child.stdout.take().expect("stdout piped");
+                    let mut lines = BufReader::new(stdout);
+                    let mut addr = None;
+                    let mut line = String::new();
+                    // The worker prints its announce line first; a few
+                    // lines of slack tolerate harness noise.
+                    for _ in 0..32 {
+                        line.clear();
+                        match lines.read_line(&mut line) {
+                            Ok(0) => break,
+                            Ok(_) => {
+                                if let Some(pos) = line.find(ANNOUNCE_MARKER) {
+                                    addr =
+                                        Some(line[pos + ANNOUNCE_MARKER.len()..].trim().to_owned());
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let Some(addr) = addr else {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(ExecError::Transport {
+                            detail: format!(
+                                "worker {} exited without announcing \"{ANNOUNCE_MARKER}<addr>\"",
+                                program.display()
+                            ),
+                        });
+                    };
+                    // Keep draining the pipe so the worker never blocks
+                    // on a full stdout.
+                    std::thread::spawn(move || {
+                        let mut sink = std::io::sink();
+                        let _ = std::io::copy(&mut lines, &mut sink);
+                    });
+                    children.push(child);
+                    addrs.push(addr);
+                }
+                addrs
+            }
+        };
+        if addrs.is_empty() && num_sites > 0 {
+            return Err(ExecError::Unsupported {
+                detail: format!("{num_sites} sites need at least one worker process"),
+            });
+        }
+
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut links = Vec::with_capacity(addrs.len());
+        for (idx, addr) in addrs.iter().enumerate() {
+            // The worker may still be binding; retry briefly.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => {
+                        return Err(transport(e, &format!("cannot connect to worker {addr}")))
+                    }
+                }
+            };
+            stream
+                .set_nodelay(true)
+                .map_err(|e| transport(e, "set_nodelay"))?;
+            let mut wr = stream
+                .try_clone()
+                .map_err(|e| transport(e, "clone stream"))?;
+            let mut rd = stream
+                .try_clone()
+                .map_err(|e| transport(e, "clone stream"))?;
+
+            // Handshake.
+            let mut hello = Vec::new();
+            put_bytes(&mut hello, SOCKET_MAGIC);
+            put_u16(&mut hello, SOCKET_VERSION);
+            wire::write_frame(&mut wr, FT_WORKER_HELLO, &hello)
+                .map_err(|e| transport(e, &format!("handshake with worker {addr}")))?;
+            match wire::read_frame(&mut rd) {
+                Ok(Some((FT_WORKER_HELLO, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let ok = r.bytes("handshake magic").map(|m| m == SOCKET_MAGIC);
+                    if !matches!(ok, Ok(true)) {
+                        return Err(ExecError::Transport {
+                            detail: format!("worker {addr} answered a bad handshake"),
+                        });
+                    }
+                }
+                other => {
+                    return Err(ExecError::Transport {
+                        detail: format!("worker {addr} did not answer the handshake: {other:?}"),
+                    });
+                }
+            }
+
+            // Session bootstrap.
+            wire::write_frame(&mut wr, FT_WORKER_LOAD, bootstrap)
+                .map_err(|e| transport(e, &format!("bootstrap of worker {addr}")))?;
+            match wire::read_frame(&mut rd) {
+                Ok(Some((FT_WORKER_OK, _))) => {}
+                Ok(Some((FT_WORKER_ERR, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let reason = r
+                        .str_("error reason")
+                        .unwrap_or_else(|_| "unreadable reason".into());
+                    return Err(ExecError::Transport {
+                        detail: format!("worker {addr} rejected the session bootstrap: {reason}"),
+                    });
+                }
+                other => {
+                    return Err(ExecError::Transport {
+                        detail: format!(
+                            "worker {addr} did not acknowledge the bootstrap: {other:?}"
+                        ),
+                    });
+                }
+            }
+
+            // From here on, the worker talks asynchronously.
+            let tx = tx.clone();
+            std::thread::spawn(move || loop {
+                match wire::read_frame(&mut rd) {
+                    Ok(Some((ty, payload))) => {
+                        if tx.send((idx, WorkerEvent::Frame(ty, payload))).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => {
+                        let _ = tx.send((idx, WorkerEvent::Closed("connection closed".into())));
+                        break;
+                    }
+                    Err(e) => {
+                        let _ = tx.send((idx, WorkerEvent::Closed(e.to_string())));
+                        break;
+                    }
+                }
+            });
+
+            links.push(WorkerLink {
+                stream: wr,
+                addr: addr.clone(),
+                sites: Vec::new(),
+                dead: None,
+            });
+        }
+        drop(tx);
+
+        for site in 0..num_sites {
+            let w = site % links.len().max(1);
+            links[w].sites.push(site as u32);
+        }
+
+        Ok(SocketCluster {
+            inner: Mutex::new(ClusterInner {
+                links,
+                children,
+                events: rx,
+                num_sites,
+                next_run: 1,
+                timeout: cfg.site_timeout,
+                chaos: cfg.chaos.map(ChaosTransport::new),
+                owns_workers,
+                shut_down: false,
+            }),
+        })
+    }
+
+    /// Number of worker processes.
+    pub fn num_workers(&self) -> usize {
+        self.inner.lock().links.len()
+    }
+
+    /// Number of sites the cluster was bootstrapped for.
+    pub fn num_sites(&self) -> usize {
+        self.inner.lock().num_sites
+    }
+
+    /// Worker addresses, in placement order.
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .links
+            .iter()
+            .map(|l| l.addr.clone())
+            .collect()
+    }
+
+    /// OS pids of the locally spawned workers (empty in attach mode).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.inner.lock().children.iter().map(Child::id).collect()
+    }
+
+    /// Runs one protocol to completion across the worker processes;
+    /// see [`crate::try_run`]. Runs are serialized on the cluster.
+    ///
+    /// The returned [`RunOutcome::sites`] are the **unstarted local
+    /// twins** of the remote sites (their state lives in the worker
+    /// processes); the coordinator and the metrics are authoritative.
+    pub fn run<M, C, S>(&self, coordinator: C, sites: Vec<S>) -> Result<RunOutcome<C, S>, ExecError>
+    where
+        M: SocketMsg,
+        C: CoordinatorLogic<M>,
+        S: SiteLogic<M> + RemoteSpec,
+    {
+        let mut inner = self.inner.lock();
+        inner.run(coordinator, sites)
+    }
+
+    /// Re-ships the session bootstrap to every worker — the engine
+    /// calls this after a graph delta so later runs execute against
+    /// the mutated graph, not the one shipped at cluster start.
+    pub fn rebootstrap(&self, bootstrap: &[u8]) -> Result<(), ExecError> {
+        self.inner.lock().rebootstrap(bootstrap)
+    }
+
+    /// Tears the cluster down: spawn-local workers are asked to exit
+    /// and reaped (kill after a grace period); attached workers just
+    /// lose this coordinator's connection and keep serving others.
+    /// Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.inner.lock().shutdown();
+    }
+}
+
+impl ClusterInner {
+    fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for link in &mut self.links {
+            if self.owns_workers {
+                let _ = wire::write_frame(&mut link.stream, FT_WORKER_SHUTDOWN, &[]);
+            }
+            let _ = link.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Reap: grace period, then kill — zero leaked processes.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// See [`SocketCluster::rebootstrap`]: sends `WORKER_LOAD` to all
+    /// workers and awaits one acknowledgement each over the event
+    /// channel (stale frames of aborted runs are discarded).
+    fn rebootstrap(&mut self, bootstrap: &[u8]) -> Result<(), ExecError> {
+        for (w, link) in self.links.iter().enumerate() {
+            if let Some(reason) = &link.dead {
+                let reason = reason.clone();
+                return Err(self.site_failed(w, reason));
+            }
+        }
+        for w in 0..self.links.len() {
+            self.write_worker(w, FT_WORKER_LOAD, bootstrap)?;
+        }
+        let mut pending = vec![true; self.links.len()];
+        while pending.iter().any(|&p| p) {
+            match self.events.recv_timeout(self.timeout) {
+                Ok((w, WorkerEvent::Frame(FT_WORKER_OK, _))) => pending[w] = false,
+                Ok((w, WorkerEvent::Frame(FT_WORKER_ERR, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let reason = r
+                        .str_("error reason")
+                        .unwrap_or_else(|_| "unreadable reason".into());
+                    return Err(ExecError::Transport {
+                        detail: format!(
+                            "worker {} rejected the session re-bootstrap: {reason}",
+                            self.links[w].addr
+                        ),
+                    });
+                }
+                // Stale frames of a previously aborted run.
+                Ok((_, WorkerEvent::Frame(FT_SITE_OUT | FT_SITE_ERR, _))) => continue,
+                Ok((w, WorkerEvent::Closed(reason))) => {
+                    self.links[w].dead = Some(reason.clone());
+                    return Err(self.site_failed(w, reason));
+                }
+                Ok((_, WorkerEvent::Frame(ty, _))) => {
+                    return Err(ExecError::Transport {
+                        detail: format!("unexpected frame type {ty:#x} during re-bootstrap"),
+                    });
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(ExecError::Timeout {
+                        millis: self.timeout.as_millis() as u64,
+                        detail: "no worker acknowledged the session re-bootstrap".into(),
+                    });
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(ExecError::Transport {
+                        detail: "all worker connections are gone".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn site_failed(&self, worker: usize, reason: String) -> ExecError {
+        let site = self.links[worker].sites.first().copied().unwrap_or(0);
+        ExecError::SiteFailed {
+            site,
+            reason: format!("worker {} ({reason})", self.links[worker].addr),
+        }
+    }
+
+    fn run<M, C, S>(
+        &mut self,
+        mut coordinator: C,
+        sites: Vec<S>,
+    ) -> Result<RunOutcome<C, S>, ExecError>
+    where
+        M: SocketMsg,
+        C: CoordinatorLogic<M>,
+        S: SiteLogic<M> + RemoteSpec,
+    {
+        let n = sites.len();
+        if n != self.num_sites {
+            return Err(ExecError::Unsupported {
+                detail: format!(
+                    "run has {n} sites but the cluster was bootstrapped for {}",
+                    self.num_sites
+                ),
+            });
+        }
+        for (w, link) in self.links.iter().enumerate() {
+            if let Some(reason) = &link.dead {
+                let reason = reason.clone();
+                return Err(self.site_failed(w, reason));
+            }
+        }
+        // Specs first: an unremotable protocol must fail before any
+        // frame is sent.
+        let mut specs = Vec::with_capacity(n);
+        for s in &sites {
+            specs.push(
+                s.remote_spec()
+                    .map_err(|detail| ExecError::Unsupported { detail })?,
+            );
+        }
+
+        let run_id = self.next_run;
+        self.next_run += 1;
+        let wall_start = Instant::now();
+        let mut metrics = RunMetrics::new(n);
+        let mut inflight: i64 = 0;
+        if let Some(chaos) = &mut self.chaos {
+            chaos.held.clear(); // never leak frames across runs
+        }
+
+        // Per-run site bootstrap: every hosted site's `on_start` will
+        // answer with one SITE_OUT.
+        for w in 0..self.links.len() {
+            if self.links[w].sites.is_empty() {
+                continue;
+            }
+            let mut buf = Vec::new();
+            put_varint(&mut buf, run_id);
+            put_varint(&mut buf, n as u64);
+            put_varint(&mut buf, self.links[w].sites.len() as u64);
+            for &site in &self.links[w].sites.clone() {
+                put_varint(&mut buf, u64::from(site));
+                put_bytes(&mut buf, &specs[site as usize]);
+            }
+            inflight += self.links[w].sites.len() as i64;
+            self.write_worker(w, FT_SITE_HELLO, &buf)?;
+        }
+
+        // The coordinator runs in this process; its sends are routed
+        // like any other — through `route_send`.
+        let mut rounds = 0u64;
+        {
+            let mut out = Outbox::new(Endpoint::Coordinator, n);
+            coordinator.on_start(&mut out);
+            self.flush_coordinator(run_id, out, &mut metrics, &mut inflight)?;
+        }
+
+        let done = loop {
+            // Drain everything already received.
+            match self.events.try_recv() {
+                Ok((w, ev)) => {
+                    self.handle_event(
+                        run_id,
+                        w,
+                        ev,
+                        &mut coordinator,
+                        n,
+                        &mut metrics,
+                        &mut inflight,
+                    )?;
+                    continue;
+                }
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    return Err(ExecError::Transport {
+                        detail: "all worker connections are gone".into(),
+                    });
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
+            }
+            // Nothing immediate: release chaos-held frames before the
+            // loop can block or quiesce (this is what delays *and*
+            // reorders them).
+            if self.chaos.as_ref().is_some_and(|c| !c.is_empty()) {
+                let held = self.chaos.as_mut().expect("checked").flush();
+                for (w, frame) in held {
+                    self.write_worker(w, FT_SITE_MSG, &frame)?;
+                }
+                continue;
+            }
+            if inflight == 0 {
+                rounds += 1;
+                let mut out = Outbox::new(Endpoint::Coordinator, n);
+                let done = coordinator.on_quiescent(&mut out);
+                let had_sends = !out.sends.is_empty();
+                self.flush_coordinator(run_id, out, &mut metrics, &mut inflight)?;
+                if done {
+                    break true;
+                }
+                if !had_sends {
+                    return Err(ExecError::Transport {
+                        detail: "protocol stalled: on_quiescent returned false without sending"
+                            .into(),
+                    });
+                }
+                continue;
+            }
+            match self.events.recv_timeout(self.timeout) {
+                Ok((w, ev)) => self.handle_event(
+                    run_id,
+                    w,
+                    ev,
+                    &mut coordinator,
+                    n,
+                    &mut metrics,
+                    &mut inflight,
+                )?,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(ExecError::Timeout {
+                        millis: self.timeout.as_millis() as u64,
+                        detail: format!(
+                            "{inflight} message(s) in flight but no worker frame arrived \
+                             within the per-site timeout"
+                        ),
+                    });
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(ExecError::Transport {
+                        detail: "all worker connections are gone".into(),
+                    });
+                }
+            }
+        };
+        debug_assert!(done);
+
+        // Tell the workers to drop the run's state.
+        let mut fin = Vec::new();
+        put_varint(&mut fin, run_id);
+        for w in 0..self.links.len() {
+            if !self.links[w].sites.is_empty() {
+                self.write_worker(w, FT_SITE_DONE, &fin)?;
+            }
+        }
+
+        metrics.quiescence_rounds = rounds;
+        metrics.wall_time = wall_start.elapsed();
+        Ok(RunOutcome {
+            coordinator,
+            sites,
+            metrics,
+        })
+    }
+
+    fn write_worker(&mut self, w: usize, ty: u8, payload: &[u8]) -> Result<(), ExecError> {
+        if let Err(e) = wire::write_frame(&mut self.links[w].stream, ty, payload) {
+            let reason = format!("write failed: {e}");
+            self.links[w].dead = Some(reason.clone());
+            return Err(self.site_failed(w, reason));
+        }
+        Ok(())
+    }
+
+    /// Routes one logical send. Coordinator-bound messages are decoded
+    /// and queued for local delivery by the caller; site-bound
+    /// messages become `SITE_MSG` frames (through the chaos transport
+    /// for data class).
+    #[allow(clippy::too_many_arguments)]
+    fn route_send<M: SocketMsg>(
+        &mut self,
+        run_id: u64,
+        from: Endpoint,
+        to: Endpoint,
+        class: MsgClass,
+        wire_bytes: usize,
+        payload: &[u8],
+        metrics: &mut RunMetrics,
+        inflight: &mut i64,
+        to_coordinator: &mut VecDeque<(Endpoint, M)>,
+    ) -> Result<(), ExecError> {
+        metrics.record_send_from(from, class, wire_bytes);
+        match to {
+            Endpoint::Coordinator => {
+                let mut r = Reader::new(payload);
+                let msg = M::decode(&mut r).map_err(|e| ExecError::Transport {
+                    detail: format!("cannot decode a coordinator-bound message: {e}"),
+                })?;
+                to_coordinator.push_back((from, msg));
+                Ok(())
+            }
+            Endpoint::Site(site) => {
+                let w = (site as usize) % self.links.len().max(1);
+                let mut frame = Vec::new();
+                put_varint(&mut frame, run_id);
+                put_varint(&mut frame, u64::from(site));
+                put_endpoint(&mut frame, from);
+                put_class(&mut frame, class);
+                put_bytes(&mut frame, payload);
+                *inflight += 1;
+                if class == MsgClass::Data {
+                    if let Some(chaos) = &mut self.chaos {
+                        match chaos.verdict() {
+                            ChaosVerdict::Pass => {}
+                            ChaosVerdict::DropRetry => {
+                                // At-least-once: the retry copy is the
+                                // only delivery; traffic unchanged.
+                                chaos.held.push((w, frame));
+                                return Ok(());
+                            }
+                            ChaosVerdict::Duplicate => {
+                                // Retransmission is real traffic, like
+                                // FaultPlan's accounting.
+                                metrics.record_send_from(from, class, wire_bytes);
+                                metrics.duplicated_messages += 1;
+                                metrics.duplicated_bytes += wire_bytes as u64;
+                                *inflight += 1;
+                                chaos.held.push((w, frame.clone()));
+                            }
+                            ChaosVerdict::Delay => {
+                                chaos.held.push((w, frame));
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                self.write_worker(w, FT_SITE_MSG, &frame)
+            }
+        }
+    }
+
+    /// Flushes a coordinator outbox: accounts its ops, encodes and
+    /// routes its sends, then drains any coordinator-bound messages
+    /// the routing produced (none today — coordinators cannot
+    /// self-send — but the queue keeps the shape uniform).
+    fn flush_coordinator<M: SocketMsg>(
+        &mut self,
+        run_id: u64,
+        out: Outbox<M>,
+        metrics: &mut RunMetrics,
+        inflight: &mut i64,
+    ) -> Result<(), ExecError> {
+        metrics.record_ops(Endpoint::Coordinator, out.ops);
+        let mut local: VecDeque<(Endpoint, M)> = VecDeque::new();
+        for (to, class, msg) in out.sends {
+            let wire_bytes = msg.wire_size();
+            let mut payload = Vec::new();
+            msg.encode(&mut payload)
+                .map_err(|detail| ExecError::Unsupported { detail })?;
+            self.route_send(
+                run_id,
+                Endpoint::Coordinator,
+                to,
+                class,
+                wire_bytes,
+                &payload,
+                metrics,
+                inflight,
+                &mut local,
+            )?;
+        }
+        debug_assert!(local.is_empty(), "coordinator cannot message itself");
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_event<M: SocketMsg, C: CoordinatorLogic<M>>(
+        &mut self,
+        run_id: u64,
+        worker: usize,
+        ev: WorkerEvent,
+        coordinator: &mut C,
+        n: usize,
+        metrics: &mut RunMetrics,
+        inflight: &mut i64,
+    ) -> Result<(), ExecError> {
+        match ev {
+            WorkerEvent::Closed(reason) => {
+                self.links[worker].dead = Some(reason.clone());
+                Err(self.site_failed(worker, format!("worker process disconnected: {reason}")))
+            }
+            WorkerEvent::Frame(FT_SITE_OUT, payload) => {
+                let corrupt = |e: FrameError| ExecError::Transport {
+                    detail: format!("bad SITE_OUT frame: {e}"),
+                };
+                let mut r = Reader::new(&payload);
+                if r.varint("run id").map_err(corrupt)? != run_id {
+                    return Ok(()); // stale frame of an aborted run
+                }
+                let site = r.varint("site").map_err(corrupt)? as u32;
+                if site as usize >= n {
+                    return Err(ExecError::Transport {
+                        detail: format!("SITE_OUT names site {site} of a {n}-site run"),
+                    });
+                }
+                let ops = r.varint("ops").map_err(corrupt)?;
+                metrics.record_ops(Endpoint::Site(site), ops);
+                let nsends = r.varint("send count").map_err(corrupt)?;
+                let mut to_coord: VecDeque<(Endpoint, M)> = VecDeque::new();
+                for _ in 0..nsends {
+                    let to = read_endpoint(&mut r, "destination").map_err(corrupt)?;
+                    let class = read_class(&mut r).map_err(corrupt)?;
+                    let wire_bytes = r.varint("wire size").map_err(corrupt)? as usize;
+                    let msg = r.bytes("message payload").map_err(corrupt)?;
+                    self.route_send(
+                        run_id,
+                        Endpoint::Site(site),
+                        to,
+                        class,
+                        wire_bytes,
+                        msg,
+                        metrics,
+                        inflight,
+                        &mut to_coord,
+                    )?;
+                }
+                r.finish("SITE_OUT").map_err(corrupt)?;
+                // The handler whose outbox this was is now complete.
+                *inflight -= 1;
+                // Deliver coordinator-bound messages synchronously; the
+                // coordinator's own sends route like everyone else's.
+                while let Some((from, msg)) = to_coord.pop_front() {
+                    let mut out = Outbox::new(Endpoint::Coordinator, n);
+                    coordinator.on_message(from, msg, &mut out);
+                    self.flush_coordinator(run_id, out, metrics, inflight)?;
+                }
+                Ok(())
+            }
+            WorkerEvent::Frame(FT_SITE_ERR, payload) => {
+                let corrupt = |e: FrameError| ExecError::Transport {
+                    detail: format!("bad SITE_ERR frame: {e}"),
+                };
+                let mut r = Reader::new(&payload);
+                if r.varint("run id").map_err(corrupt)? != run_id {
+                    return Ok(());
+                }
+                let site = r.varint("site").map_err(corrupt)? as u32;
+                let reason = r.str_("reason").map_err(corrupt)?;
+                Err(ExecError::SiteFailed { site, reason })
+            }
+            WorkerEvent::Frame(ty, _) => Err(ExecError::Transport {
+                detail: format!("unexpected frame type {ty:#x} from worker"),
+            }),
+        }
+    }
+}
+
+impl Drop for SocketCluster {
+    fn drop(&mut self) {
+        self.inner.lock().shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scatter-gather over a real socket pair, with the worker loop
+    /// hosted on a thread of this process — the executor semantics
+    /// without multi-process scaffolding (the engine-level tests and
+    /// `tests/executors.rs` cover real processes).
+    struct Scatter {
+        sum: u64,
+        replies: usize,
+    }
+    #[derive(Clone)]
+    struct AddSite {
+        idx: u64,
+    }
+
+    impl SocketMsg for u64 {
+        fn encode(&self, buf: &mut Vec<u8>) -> Result<(), String> {
+            put_varint(buf, *self);
+            Ok(())
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<Self, String> {
+            r.varint("u64 msg").map_err(|e| e.to_string())
+        }
+    }
+
+    impl CoordinatorLogic<u64> for Scatter {
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            for i in 0..out.num_sites() {
+                out.send(Endpoint::Site(i as u32), 100);
+            }
+        }
+        fn on_message(&mut self, _from: Endpoint, msg: u64, _out: &mut Outbox<u64>) {
+            self.sum += msg;
+            self.replies += 1;
+        }
+        fn on_quiescent(&mut self, _out: &mut Outbox<u64>) -> bool {
+            true
+        }
+    }
+    impl SiteLogic<u64> for AddSite {
+        fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+        fn on_message(&mut self, _from: Endpoint, msg: u64, out: &mut Outbox<u64>) {
+            out.charge_ops(3);
+            out.send(Endpoint::Coordinator, msg + self.idx);
+        }
+    }
+    impl RemoteSpec for AddSite {
+        fn remote_spec(&self) -> Result<Vec<u8>, String> {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, self.idx);
+            Ok(buf)
+        }
+    }
+
+    struct AddHost;
+    impl WorkerHost for AddHost {
+        fn load(&mut self, _blob: &[u8]) -> Result<(), String> {
+            Ok(())
+        }
+        fn build_site(
+            &self,
+            site: u32,
+            num_sites: usize,
+            spec: &[u8],
+        ) -> Result<Box<dyn ErasedSite>, String> {
+            let mut r = Reader::new(spec);
+            let idx = r.varint("idx").map_err(|e| e.to_string())?;
+            Ok(erase_site::<u64, _>(AddSite { idx }, site, num_sites))
+        }
+    }
+
+    /// `unwrap_err` without requiring `Debug` on the outcome.
+    fn expect_err<C, S>(r: Result<RunOutcome<C, S>, ExecError>) -> ExecError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected the run to fail"),
+        }
+    }
+
+    fn local_worker() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = serve_worker_listener(&listener, || AddHost);
+        });
+        addr
+    }
+
+    #[test]
+    fn scatter_gather_over_sockets() {
+        let addrs = vec![local_worker(), local_worker()];
+        let cluster = SocketCluster::start(SocketConfig::attach(addrs), b"", 8).unwrap();
+        let sites: Vec<AddSite> = (0..8).map(|i| AddSite { idx: i }).collect();
+        let outcome = cluster.run(Scatter { sum: 0, replies: 0 }, sites).unwrap();
+        assert_eq!(outcome.coordinator.replies, 8);
+        assert_eq!(outcome.coordinator.sum, 8 * 100 + (0..8).sum::<u64>());
+        assert_eq!(outcome.metrics.data_messages, 16);
+        assert_eq!(outcome.metrics.total_ops, 24);
+        assert_eq!(outcome.metrics.quiescence_rounds, 1);
+        // Per-site accounting flowed back over the wire.
+        assert_eq!(outcome.metrics.site_ops, vec![3; 8]);
+        assert_eq!(outcome.metrics.site_msgs, vec![1; 8]);
+        cluster.shutdown();
+    }
+
+    /// Under the chaos transport every data message may be dropped-
+    /// then-retried, duplicated, delayed or reordered; an idempotent
+    /// protocol (set union, like the simulation algorithms) must still
+    /// converge to the same answer, and at-least-once delivery means
+    /// every site is reached.
+    struct SetUnion {
+        seen: u64,
+    }
+    impl CoordinatorLogic<u64> for SetUnion {
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            for i in 0..out.num_sites() {
+                out.send(Endpoint::Site(i as u32), i as u64);
+            }
+        }
+        fn on_message(&mut self, _from: Endpoint, msg: u64, _out: &mut Outbox<u64>) {
+            self.seen |= 1 << msg; // idempotent under duplication
+        }
+        fn on_quiescent(&mut self, _out: &mut Outbox<u64>) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn runs_are_reusable_and_chaos_preserves_answers() {
+        let addrs = vec![local_worker()];
+        let cfg = SocketConfig::attach(addrs).chaos(ChaosPlan::heavy(7));
+        let cluster = SocketCluster::start(cfg, b"", 4).unwrap();
+        for round in 0..3 {
+            let sites: Vec<AddSite> = (0..4).map(|i| AddSite { idx: i }).collect();
+            let outcome = cluster.run(SetUnion { seen: 0 }, sites).unwrap();
+            // idx i receives i and replies i + i = 2i; bits 0,2,4,6.
+            assert_eq!(outcome.coordinator.seen, 0b0101_0101, "round {round}");
+            // At-least-once: every site replied at least once, and a
+            // heavy plan certainly duplicated something across rounds.
+            assert!(outcome.metrics.data_messages >= 8, "round {round}");
+        }
+    }
+
+    #[test]
+    fn silent_worker_times_out_instead_of_hanging() {
+        // A stub that handshakes and acknowledges the bootstrap, then
+        // swallows every frame — a silent peer.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            let mut rd = BufReader::new(conn.try_clone().unwrap());
+            let mut wr = conn;
+            let (ty, payload) = wire::read_frame(&mut rd).unwrap().unwrap();
+            assert_eq!(ty, FT_WORKER_HELLO);
+            wire::write_frame(&mut wr, FT_WORKER_HELLO, &payload).unwrap();
+            let (ty, _) = wire::read_frame(&mut rd).unwrap().unwrap();
+            assert_eq!(ty, FT_WORKER_LOAD);
+            wire::write_frame(&mut wr, FT_WORKER_OK, &[]).unwrap();
+            // Swallow everything else, replying to nothing.
+            while let Ok(Some(_)) = wire::read_frame(&mut rd) {}
+        });
+        let cfg = SocketConfig::attach(vec![addr]).site_timeout(Duration::from_millis(200));
+        let cluster = SocketCluster::start(cfg, b"", 2).unwrap();
+        let sites: Vec<AddSite> = (0..2).map(|i| AddSite { idx: i }).collect();
+        let err = expect_err(cluster.run(Scatter { sum: 0, replies: 0 }, sites));
+        assert!(matches!(err, ExecError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dead_worker_is_a_typed_site_failure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            let mut rd = BufReader::new(conn.try_clone().unwrap());
+            let mut wr = conn;
+            let (_, payload) = wire::read_frame(&mut rd).unwrap().unwrap();
+            wire::write_frame(&mut wr, FT_WORKER_HELLO, &payload).unwrap();
+            let _ = wire::read_frame(&mut rd).unwrap();
+            wire::write_frame(&mut wr, FT_WORKER_OK, &[]).unwrap();
+            // Die right after the bootstrap: the connection drops.
+            drop(wr);
+        });
+        let cfg = SocketConfig::attach(vec![addr]).site_timeout(Duration::from_secs(5));
+        let cluster = SocketCluster::start(cfg, b"", 3).unwrap();
+        let sites: Vec<AddSite> = (0..3).map(|i| AddSite { idx: i }).collect();
+        let err = expect_err(cluster.run(Scatter { sum: 0, replies: 0 }, sites));
+        assert!(matches!(err, ExecError::SiteFailed { .. }), "{err:?}");
+        // The cluster stays typed-dead: the next run fails fast, too.
+        let sites: Vec<AddSite> = (0..3).map(|i| AddSite { idx: i }).collect();
+        let err = expect_err(cluster.run(Scatter { sum: 0, replies: 0 }, sites));
+        assert!(matches!(err, ExecError::SiteFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_site_err_frame() {
+        #[derive(Clone)]
+        struct Bomb;
+        impl SiteLogic<u64> for Bomb {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _f: Endpoint, _m: u64, _o: &mut Outbox<u64>) {
+                panic!("boom at the remote site");
+            }
+        }
+        impl RemoteSpec for Bomb {
+            fn remote_spec(&self) -> Result<Vec<u8>, String> {
+                Ok(Vec::new())
+            }
+        }
+        struct BombHost;
+        impl WorkerHost for BombHost {
+            fn load(&mut self, _blob: &[u8]) -> Result<(), String> {
+                Ok(())
+            }
+            fn build_site(
+                &self,
+                site: u32,
+                num_sites: usize,
+                _spec: &[u8],
+            ) -> Result<Box<dyn ErasedSite>, String> {
+                Ok(erase_site::<u64, _>(Bomb, site, num_sites))
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = serve_worker_listener(&listener, || BombHost);
+        });
+        let cluster = SocketCluster::start(SocketConfig::attach(vec![addr]), b"", 2).unwrap();
+        let err = expect_err(cluster.run(Scatter { sum: 0, replies: 0 }, vec![Bomb, Bomb]));
+        match err {
+            ExecError::SiteFailed { reason, .. } => {
+                assert!(reason.contains("boom"), "{reason}");
+            }
+            other => panic!("expected SiteFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unremotable_protocols_are_gated_before_any_frame() {
+        #[derive(Clone)]
+        struct Opaque;
+        impl SiteLogic<u64> for Opaque {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _f: Endpoint, _m: u64, _o: &mut Outbox<u64>) {}
+        }
+        impl RemoteSpec for Opaque {
+            fn remote_spec(&self) -> Result<Vec<u8>, String> {
+                Err("this protocol is not socket-remotable".into())
+            }
+        }
+        let addrs = vec![local_worker()];
+        let cluster = SocketCluster::start(SocketConfig::attach(addrs), b"", 1).unwrap();
+        let err = expect_err(cluster.run(Scatter { sum: 0, replies: 0 }, vec![Opaque]));
+        assert!(matches!(err, ExecError::Unsupported { .. }), "{err:?}");
+    }
+}

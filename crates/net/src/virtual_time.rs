@@ -112,7 +112,7 @@ impl VirtualExecutor {
             metrics.record_ops(ep, out.ops);
             for (to, class, msg) in out.sends {
                 let bytes = msg.wire_size();
-                metrics.record_send(class, bytes);
+                metrics.record_send_from(ep, class, bytes);
                 seq += 1;
                 // At-least-once injection: a duplicate copy of a data
                 // message arrives after an extra delay, as if a
@@ -120,7 +120,7 @@ impl VirtualExecutor {
                 if class == MsgClass::Data {
                     if let Some(plan) = &self.faults {
                         if plan.duplicates(seq) {
-                            metrics.record_send(class, bytes);
+                            metrics.record_send_from(ep, class, bytes);
                             metrics.duplicated_messages += 1;
                             metrics.duplicated_bytes += bytes as u64;
                             seq += 1;

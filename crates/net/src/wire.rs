@@ -1,0 +1,343 @@
+//! Framing and primitive codecs shared by every socket protocol in
+//! the workspace: the serving layer (`dgs-serve`) and the
+//! cross-process [`crate::SocketExecutor`] site frames.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! [u32 LE payload length] [u8 frame type] [payload bytes]
+//! ```
+//!
+//! The length covers the payload only (not itself, not the type
+//! byte) and is bounded by [`MAX_FRAME`] — a corrupt length is
+//! refused *before* any allocation. Payloads are built from a handful
+//! of primitives: fixed-width little-endian integers, LEB128 varints,
+//! length-prefixed byte strings and UTF-8 strings. [`Reader`] is a
+//! bounds-checked cursor over a received payload whose every accessor
+//! returns a typed error on truncation — decoding never panics.
+//!
+//! This module used to live in `dgs-serve`; it moved down to `dgs-net`
+//! so the executor layer can reuse the exact codecs (the serving crate
+//! re-exports it with its own error type).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame payload (64 MiB). Large graphs ship in
+/// one bootstrap/`LOAD_GRAPH` frame, so this is sized for tens of
+/// millions of varint-packed edges while still refusing nonsense
+/// lengths cheaply.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Why a frame could not be read or a payload could not be decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket failure (includes the peer hanging up
+    /// mid-frame).
+    Io(io::Error),
+    /// The peer's bytes violate the framing: truncation, a payload
+    /// that does not decode, or trailing garbage.
+    Corrupt {
+        /// What was wrong.
+        message: String,
+    },
+    /// A frame length over [`MAX_FRAME`], refused before allocation.
+    TooLarge {
+        /// The claimed payload length.
+        len: u64,
+        /// The limit it exceeded.
+        max: u64,
+    },
+}
+
+impl FrameError {
+    /// A corruption error with the given description.
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        FrameError::Corrupt {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Corrupt { message } => write!(f, "corrupt frame: {message}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame. A payload over [`MAX_FRAME`] is refused before
+/// any byte hits the socket — silently sending it would make the
+/// receiver kill the connection (and a > 4 GiB payload would wrap
+/// the `u32` length and desync the stream).
+pub fn write_frame<W: Write>(w: &mut W, ty: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(&[ty])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF **before** the first
+/// length byte (the peer closed between frames). EOF anywhere else is
+/// a truncation error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::corrupt("truncated frame length")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len: u64::from(len),
+            max: u64::from(MAX_FRAME),
+        });
+    }
+    let mut ty = [0u8; 1];
+    r.read_exact(&mut ty)
+        .map_err(|_| FrameError::corrupt("truncated frame type"))?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| FrameError::corrupt("truncated frame payload"))?;
+    Ok(Some((ty[0], payload)))
+}
+
+// ---- payload building -------------------------------------------------
+
+/// Appends a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a fixed u16, little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends an `f64` as its IEEE-754 bits, little-endian.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a varint length followed by the raw bytes.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Appends a varint length followed by UTF-8 bytes.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+// ---- payload reading --------------------------------------------------
+
+/// A bounds-checked cursor over one received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::corrupt(format!(
+                "truncated payload: wanted {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Fixed u16, little-endian.
+    pub fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// IEEE-754 `f64`, little-endian bits.
+    pub fn f64(&mut self, what: &str) -> Result<f64, FrameError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    /// LEB128 varint.
+    pub fn varint(&mut self, what: &str) -> Result<u64, FrameError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(FrameError::corrupt(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(FrameError::corrupt(format!("varint too long in {what}")));
+            }
+        }
+    }
+
+    /// A varint that must fit a `usize` count bounded by what the
+    /// payload could possibly hold (one byte per element minimum) —
+    /// the guard that keeps corrupt counts from driving allocations.
+    pub fn count(&mut self, what: &str) -> Result<usize, FrameError> {
+        let v = self.varint(what)?;
+        if v > self.remaining() as u64 {
+            return Err(FrameError::corrupt(format!(
+                "{what} of {v} exceeds the {} bytes left in the frame",
+                self.remaining()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, what: &str) -> Result<&'a [u8], FrameError> {
+        let len = self.count(what)?;
+        self.take(len, what)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str_(&mut self, what: &str) -> Result<String, FrameError> {
+        let b = self.bytes(what)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| FrameError::corrupt(format!("{what} is not UTF-8")))
+    }
+
+    /// Asserts the payload was fully consumed (trailing bytes are a
+    /// protocol violation, they would hide framing bugs).
+    pub fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x42, b"hello").unwrap();
+        let mut r = &buf[..];
+        let (ty, payload) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(ty, 0x42);
+        assert_eq!(payload, b"hello");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_refused_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(0x01);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let mut full = Vec::new();
+        write_frame(&mut full, 0x07, b"abcdef").unwrap();
+        for len in 1..full.len() {
+            let err = read_frame(&mut &full[..len]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Corrupt { .. }),
+                "prefix {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_and_overflow() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint("v").unwrap(), v);
+            r.finish("v").unwrap();
+        }
+        // 10 continuation bytes with a large final byte overflow u64.
+        let bad = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(Reader::new(&bad).varint("v").is_err());
+    }
+
+    #[test]
+    fn reader_guards_counts_and_trailing_bytes() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1_000_000); // count far beyond the payload
+        assert!(Reader::new(&buf).count("items").is_err());
+
+        let mut buf = Vec::new();
+        put_str(&mut buf, "ok");
+        buf.push(0xaa);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str_("s").unwrap(), "ok");
+        assert!(r.finish("s").is_err());
+    }
+}

@@ -6,6 +6,15 @@
 //!      [--max-conns N]
 //! ```
 //!
+//! **Worker mode** (`dgsd --worker [--listen HOST:PORT]`) turns the
+//! process into a socket-executor worker instead of a serving daemon:
+//! it hosts one or more sites of a remote coordinator's runs
+//! (`dgsq query --executor socket --attach ...`, or
+//! `SimEngineBuilder::build_socket` attaching to its address). The
+//! worker announces `listening on <addr>` on stdout once bound and
+//! exits when a coordinator sends a shutdown. See the "Site frames"
+//! section of `docs/PROTOCOL.md`.
+//!
 //! `ADDR` is `tcp:host:port`, bare `host:port`, or `unix:/path.sock`.
 //! The graph file may be text or binary (`dgsq convert`); binary is
 //! the format to cold-load big RMAT graphs from. The session is built
@@ -46,9 +55,24 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  dgsd --listen tcp:HOST:PORT|unix:/PATH.sock --graph FILE\n       \
          [--sites K] [--partition hash|bfs|ldg|tree] [--seed S]\n       \
-         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]"
+         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]\n  \
+         dgsd --worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
     exit(2);
+}
+
+/// `dgsd --worker`: host sites of a remote coordinator's runs (the
+/// bind/announce/serve loop is shared with `dgsq worker`).
+fn run_worker(flags: &HashMap<String, String>) -> ! {
+    let listen = flags
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    if let Err(e) = dgs_core::remote::run_worker_cli("dgsd-worker", listen) {
+        fail(&format!("worker failed: {e}"));
+    }
+    println!("dgsd-worker: shut down cleanly");
+    exit(0);
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -87,9 +111,19 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         usage();
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--worker") {
+        args.remove(pos);
+        let flags = parse_flags(&args);
+        for key in flags.keys() {
+            if key != "listen" {
+                fail(&format!("--{key} does not apply in --worker mode"));
+            }
+        }
+        run_worker(&flags);
     }
     let flags = parse_flags(&args);
     let listen = flags

@@ -61,6 +61,9 @@ impl ErrorCode {
             DgsError::Unsupported { .. } => ErrorCode::Unsupported,
             DgsError::ExecutorFailed { .. } => ErrorCode::ExecutorFailed,
             DgsError::InvalidDelta { .. } => ErrorCode::InvalidDelta,
+            // A failed site is an executor-level failure on the wire;
+            // the reason string names the site.
+            DgsError::SiteFailed { .. } => ErrorCode::ExecutorFailed,
         }
     }
 }

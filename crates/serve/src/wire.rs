@@ -1,5 +1,12 @@
 //! Framing and primitive codecs of the wire protocol.
 //!
+//! The actual implementation lives in [`dgs_net::wire`] — it moved
+//! down a layer so the cross-process `SocketExecutor` site frames and
+//! the serving protocol share one set of codecs (and one set of
+//! bounds checks). This module keeps the serving layer's historical
+//! API: the same functions and [`Reader`], with every decode failure
+//! surfaced as a typed [`ServeError`].
+//!
 //! Every message travels as one **frame**:
 //!
 //! ```text
@@ -8,220 +15,96 @@
 //!
 //! The length covers the payload only (not itself, not the type
 //! byte) and is bounded by [`MAX_FRAME`] — a corrupt length is
-//! refused *before* any allocation. Payloads are built from a handful
-//! of primitives: fixed-width little-endian integers, LEB128 varints,
-//! length-prefixed byte strings and UTF-8 strings. [`Reader`] is a
-//! bounds-checked cursor over a received payload whose every accessor
-//! returns a typed error on truncation — decoding never panics.
+//! refused *before* any allocation.
 
 use crate::error::ServeError;
+use dgs_net::wire::{self, FrameError};
 use std::io::{self, Read, Write};
 
-/// Hard upper bound on a frame payload (64 MiB). Large graphs ship in
-/// one `LOAD_GRAPH` frame, so this is sized for tens of millions of
-/// varint-packed edges while still refusing nonsense lengths cheaply.
-pub const MAX_FRAME: u32 = 64 << 20;
+pub use dgs_net::wire::{put_bytes, put_f64, put_str, put_u16, put_u8, put_varint, MAX_FRAME};
 
-/// Writes one frame. A payload over [`MAX_FRAME`] is refused before
-/// any byte hits the socket — silently sending it would make the
-/// receiver kill the connection (and a > 4 GiB payload would wrap
-/// the `u32` length and desync the stream).
-pub fn write_frame<W: Write>(w: &mut W, ty: u8, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME as usize {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "frame payload of {} bytes exceeds the {MAX_FRAME}-byte limit",
-                payload.len()
-            ),
-        ));
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ServeError::Io(e),
+            FrameError::Corrupt { message } => ServeError::Corrupt { message },
+            FrameError::TooLarge { len, max } => ServeError::FrameTooLarge { len, max },
+        }
     }
-    let len = (payload.len() as u32).to_le_bytes();
-    w.write_all(&len)?;
-    w.write_all(&[ty])?;
-    w.write_all(payload)?;
-    w.flush()
+}
+
+/// Writes one frame; see [`dgs_net::wire::write_frame`].
+pub fn write_frame<W: Write>(w: &mut W, ty: u8, payload: &[u8]) -> io::Result<()> {
+    wire::write_frame(w, ty, payload)
 }
 
 /// Reads one frame; `Ok(None)` on clean EOF **before** the first
 /// length byte (the peer closed between frames). EOF anywhere else is
 /// a truncation error.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
-    let mut len = [0u8; 4];
-    let mut got = 0;
-    while got < len.len() {
-        match r.read(&mut len[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(ServeError::corrupt("truncated frame length")),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(ServeError::Io(e)),
-        }
-    }
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME {
-        return Err(ServeError::FrameTooLarge {
-            len: u64::from(len),
-            max: u64::from(MAX_FRAME),
-        });
-    }
-    let mut ty = [0u8; 1];
-    r.read_exact(&mut ty)
-        .map_err(|_| ServeError::corrupt("truncated frame type"))?;
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|_| ServeError::corrupt("truncated frame payload"))?;
-    Ok(Some((ty[0], payload)))
+    wire::read_frame(r).map_err(ServeError::from)
 }
 
-// ---- payload building -------------------------------------------------
-
-/// Appends a LEB128 varint.
-pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-/// Appends a fixed u16, little-endian.
-pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-/// Appends one byte.
-pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
-    buf.push(v);
-}
-
-/// Appends an `f64` as its IEEE-754 bits, little-endian.
-pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-/// Appends a varint length followed by the raw bytes.
-pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
-    put_varint(buf, b.len() as u64);
-    buf.extend_from_slice(b);
-}
-
-/// Appends a varint length followed by UTF-8 bytes.
-pub fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_bytes(buf, s.as_bytes());
-}
-
-// ---- payload reading --------------------------------------------------
-
-/// A bounds-checked cursor over one received payload.
+/// A bounds-checked cursor over one received payload; every accessor
+/// returns a typed [`ServeError`] on truncation.
 pub struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+    inner: wire::Reader<'a>,
 }
 
 impl<'a> Reader<'a> {
     /// A cursor at the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            inner: wire::Reader::new(buf),
+        }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
-        if self.remaining() < n {
-            return Err(ServeError::corrupt(format!(
-                "truncated payload: wanted {n} bytes for {what}, {} left",
-                self.remaining()
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        self.inner.remaining()
     }
 
     /// One byte.
     pub fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
-        Ok(self.take(1, what)?[0])
+        self.inner.u8(what).map_err(ServeError::from)
     }
 
     /// Fixed u16, little-endian.
     pub fn u16(&mut self, what: &str) -> Result<u16, ServeError> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        self.inner.u16(what).map_err(ServeError::from)
     }
 
     /// IEEE-754 `f64`, little-endian bits.
     pub fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
-        let b = self.take(8, what)?;
-        Ok(f64::from_bits(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ])))
+        self.inner.f64(what).map_err(ServeError::from)
     }
 
     /// LEB128 varint.
     pub fn varint(&mut self, what: &str) -> Result<u64, ServeError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let byte = self.u8(what)?;
-            if shift == 63 && byte > 1 {
-                return Err(ServeError::corrupt(format!("varint overflow in {what}")));
-            }
-            v |= u64::from(byte & 0x7f) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-            if shift > 63 {
-                return Err(ServeError::corrupt(format!("varint too long in {what}")));
-            }
-        }
+        self.inner.varint(what).map_err(ServeError::from)
     }
 
     /// A varint that must fit a `usize` count bounded by what the
     /// payload could possibly hold (one byte per element minimum) —
     /// the guard that keeps corrupt counts from driving allocations.
     pub fn count(&mut self, what: &str) -> Result<usize, ServeError> {
-        let v = self.varint(what)?;
-        if v > self.remaining() as u64 {
-            return Err(ServeError::corrupt(format!(
-                "{what} of {v} exceeds the {} bytes left in the frame",
-                self.remaining()
-            )));
-        }
-        Ok(v as usize)
+        self.inner.count(what).map_err(ServeError::from)
     }
 
     /// Length-prefixed raw bytes.
     pub fn bytes(&mut self, what: &str) -> Result<&'a [u8], ServeError> {
-        let len = self.count(what)?;
-        self.take(len, what)
+        self.inner.bytes(what).map_err(ServeError::from)
     }
 
     /// Length-prefixed UTF-8 string.
     pub fn str_(&mut self, what: &str) -> Result<String, ServeError> {
-        let b = self.bytes(what)?;
-        String::from_utf8(b.to_vec())
-            .map_err(|_| ServeError::corrupt(format!("{what} is not UTF-8")))
+        self.inner.str_(what).map_err(ServeError::from)
     }
 
     /// Asserts the payload was fully consumed (trailing bytes are a
     /// protocol violation, they would hide framing bugs).
     pub fn finish(self, what: &str) -> Result<(), ServeError> {
-        if self.remaining() != 0 {
-            return Err(ServeError::corrupt(format!(
-                "{} trailing bytes after {what}",
-                self.remaining()
-            )));
-        }
-        Ok(())
+        self.inner.finish(what).map_err(ServeError::from)
     }
 }
 

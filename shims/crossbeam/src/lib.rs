@@ -48,6 +48,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Bounded-wait receive failure.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
@@ -122,6 +129,40 @@ pub mod channel {
                 return Err(TryRecvError::Disconnected);
             }
             Err(TryRecvError::Empty)
+        }
+
+        /// Blocks until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, res) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
         }
 
         /// Whether the queue is currently empty.

@@ -14,6 +14,7 @@
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]   (or --remote ADDR)
 //! dgsq stats    --graph FILE                                       (or --remote ADDR)
 //! dgsq shutdown --remote ADDR
+//! dgsq worker   [--listen HOST:PORT]
 //! ```
 //!
 //! Unknown or misspelled `--flags` are rejected against a
@@ -34,6 +35,14 @@
 //! convert` translates between the two. Binary is the format `dgsd`
 //! cold-loads big graphs from.
 //!
+//! **Socket executor**: `--executor socket` runs the query's dGPM
+//! protocol across real OS processes. By default `dgsq` spawns
+//! `--workers N` copies of itself in `dgsq worker` mode (each hosting
+//! `sites/N` sites) and tears them down afterwards; `--attach
+//! HOST:PORT,...` connects to already-running workers (`dgsd --worker`)
+//! instead. Message and visit metrics flow back over the wire into
+//! the same report shape as the in-process executors.
+//!
 //! `--updates OPS.txt` replays a dynamic-graph workload after the
 //! initial pass: the file holds `- u v` (delete edge) and `+ u v`
 //! (insert edge) lines, `#` comments, and blank lines as **batch
@@ -46,7 +55,7 @@
 
 use dgs::core::{Algorithm, CompressionMethod, GraphDelta, SimEngine};
 use dgs::graph::{io, Graph, NodeId, Pattern};
-use dgs::net::ExecutorKind;
+use dgs::net::{ExecutorKind, SocketConfig};
 use dgs::partition::{bfs_partition, hash_partition, tree_partition, Fragmentation};
 use dgs::serve::{DgsClient, ServeAddr, SessionOptions, WireAlgorithm, WirePartitioner};
 use std::collections::HashMap;
@@ -66,13 +75,14 @@ fn usage() -> ! {
          dgsq generate --family web|citation|tree|community|rmat --nodes N [--edges M] [--labels L] [--seed S]\n           \
          (--out FILE | --remote ADDR [--sites K] [--partition P])\n  \
          dgsq query --graph FILE --pattern FILE[,FILE...] [--algorithm auto|dgpm|dgpm-nopt|dgpms|dgpmd|dgpmt|match|dishhk|dmes]\n             \
-         [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded] [--seed S] [--boolean] [--matches]\n             \
+         [--sites K] [--partition hash|bfs|ldg|tree] [--executor virtual|threaded|socket] [--seed S] [--boolean] [--matches]\n             [--workers N | --attach HOST:PORT,...]\n             \
          [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--parallel W] [--repeat R] [--updates OPS.txt]\n  \
          dgsq query --remote ADDR --pattern FILE[,FILE...] [--algorithm NAME] [--boolean] [--matches] [--repeat R] [--updates OPS.txt]\n  \
          dgsq convert --in FILE --out FILE --format text|binary\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]  |  dgsq compress --remote ADDR\n  \
          dgsq stats --graph FILE  |  dgsq stats --remote ADDR\n  \
-         dgsq shutdown --remote ADDR"
+         dgsq shutdown --remote ADDR\n  \
+         dgsq worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
     exit(2);
 }
@@ -112,8 +122,11 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "repeat",
             "updates",
             "remote",
+            "workers",
+            "attach",
         ],
         "convert" => &["in", "out", "format"],
+        "worker" => &["listen"],
         "compress" => &["graph", "method", "out", "remote"],
         "stats" => &["graph", "remote"],
         "shutdown" => &["remote"],
@@ -656,14 +669,21 @@ fn cmd_query(flags: &HashMap<String, String>) {
         other => fail(&format!("unknown partitioner '{other}'")),
     };
     let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
-    let executor = match get(flags, "executor").unwrap_or("virtual") {
-        "virtual" => ExecutorKind::Virtual,
-        "threaded" => ExecutorKind::Threaded,
-        other => fail(&format!("unknown executor '{other}'")),
-    };
+    let executor = get(flags, "executor").unwrap_or("virtual");
+    if !matches!(executor, "virtual" | "threaded" | "socket") {
+        fail(&format!("unknown executor '{executor}'"));
+    }
+    if executor != "socket" && (flags.contains_key("workers") || flags.contains_key("attach")) {
+        fail("--workers/--attach only apply with --executor socket");
+    }
     // Load the fragmented graph into a session once; queries reuse the
     // cached structural facts (and, with --compress, the quotient Gc).
-    let mut builder = SimEngine::builder(&g, frag).executor(executor);
+    let mut builder = SimEngine::builder(&g, Arc::clone(&frag));
+    match executor {
+        "virtual" => builder = builder.executor(ExecutorKind::Virtual),
+        "threaded" => builder = builder.executor(ExecutorKind::Threaded),
+        _ => {} // socket: set by build_socket below
+    }
     if flags.contains_key("cache") {
         builder = builder.cache_capacity(num(flags, "cache", 128));
     }
@@ -685,7 +705,29 @@ fn cmd_query(flags: &HashMap<String, String>) {
     if flags.contains_key("parallel") {
         builder = builder.batch_workers(num(flags, "parallel", 0));
     }
-    let mut engine = builder.build();
+    let mut engine = if executor == "socket" {
+        let cfg = if let Some(attach) = get(flags, "attach") {
+            SocketConfig::attach(attach.split(',').map(str::to_owned).collect())
+        } else {
+            let exe = std::env::current_exe()
+                .unwrap_or_else(|e| fail(&format!("cannot locate my own executable: {e}")));
+            SocketConfig::spawn_local(exe, vec!["worker".into()], num(flags, "workers", 2))
+        };
+        let engine = builder
+            .build_socket(cfg)
+            .unwrap_or_else(|e| fail(&format!("socket cluster bootstrap failed: {e}")));
+        let cluster = engine
+            .socket_cluster()
+            .expect("socket session has a cluster");
+        println!(
+            "socket executor: {k} sites across {} worker process(es) at {}",
+            cluster.num_workers(),
+            cluster.worker_addrs().join(", ")
+        );
+        engine
+    } else {
+        builder.build()
+    };
     let frag = Arc::clone(engine.fragmentation());
 
     println!(
@@ -952,6 +994,17 @@ fn cmd_shutdown(flags: &HashMap<String, String>) {
     println!("daemon acknowledged shutdown");
 }
 
+/// `dgsq worker`: one socket-executor worker process. Binds a TCP
+/// listener (ephemeral port by default), announces it on stdout —
+/// `dgsq --executor socket` parses the "listening on" line — and
+/// serves coordinators until one sends a shutdown.
+fn cmd_worker(flags: &HashMap<String, String>) {
+    let listen = get(flags, "listen").unwrap_or("127.0.0.1:0");
+    if let Err(e) = dgs::core::remote::run_worker_cli("dgsq-worker", listen) {
+        fail(&format!("worker failed: {e}"));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -965,7 +1018,7 @@ fn main() {
     // message with an empty allowlist.
     if !matches!(
         cmd.as_str(),
-        "generate" | "query" | "convert" | "compress" | "stats" | "shutdown"
+        "generate" | "query" | "convert" | "compress" | "stats" | "shutdown" | "worker"
     ) {
         fail(&format!("unknown command '{cmd}'"));
     }
@@ -978,6 +1031,7 @@ fn main() {
         "compress" => cmd_compress(&flags),
         "stats" => cmd_stats(&flags),
         "shutdown" => cmd_shutdown(&flags),
+        "worker" => cmd_worker(&flags),
         _ => unreachable!("command validated above"),
     }
 }
