@@ -177,7 +177,7 @@ fn run_stream(
 
     // Incremental side: one session, warmed once, absorbing deltas.
     let frag = Arc::new(Fragmentation::build(g, assign, cfg.sites));
-    let mut engine = SimEngine::builder(g, frag).build();
+    let engine = SimEngine::builder(g, frag).build();
     engine.query(q).expect("warm-up query");
     let mut post_batch_hits = 0;
     let mut incremental_answers = Vec::new();

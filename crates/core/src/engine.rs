@@ -63,6 +63,19 @@
 //! insertions conservatively invalidate. Generation-tagged cache keys
 //! make stale hits impossible; the structural facts and the compressed
 //! leg refresh lazily.
+//!
+//! ## Snapshot isolation
+//!
+//! The read path is **snapshot-isolated**: every query loads the
+//! current immutable generation snapshot (fragmentation + graph
+//! mirror + planner facts + compressed leg) with a single `Arc` clone
+//! and runs entirely against it, while `apply_delta` builds the next
+//! generation off the read path and publishes it with one pointer
+//! swap. Queries therefore never block behind a writer, and every
+//! answer is computed at exactly one generation — a concurrent delta
+//! can never tear a reader. `apply_delta` and
+//! [`SimEngine::cache_invalidate_all`] take `&self`; concurrent
+//! writers serialize against each other only.
 
 use crate::cache::{self, CacheStats, CachedResult, CanonicalPattern, PatternCache};
 use crate::delta::{self, DeltaReport, DeltaSiteState, GraphDelta};
@@ -387,32 +400,36 @@ impl SimEngineBuilder<'_> {
         let leg = self
             .compression
             .map(|method| build_leg(self.graph, &self.frag, method, self.compression_threshold));
-        SimEngine {
+        let snapshot = GenSnapshot {
+            generation: 0,
+            frag: self.frag,
             graph: Mutex::new(GraphState {
                 graph: Arc::new(self.graph.clone()),
                 pending: Vec::new(),
             }),
-            frag: self.frag,
-            executor: self.executor,
-            cost: self.cost,
-            planner: self.planner,
             facts: Mutex::new(FactsState {
                 facts: Arc::new(facts),
                 dirty: false,
             }),
-            cache: (self.cache_capacity > 0)
-                .then(|| Arc::new(Mutex::new(PatternCache::new(self.cache_capacity)))),
-            batch_workers: self.batch_workers,
             compressed: Mutex::new(CompressedState {
                 method: self.compression,
                 threshold: self.compression_threshold,
                 leg,
                 dirty: false,
             }),
+        };
+        SimEngine {
+            snap: Mutex::new(Arc::new(snapshot)),
+            executor: self.executor,
+            cost: self.cost,
+            planner: self.planner,
+            cache: (self.cache_capacity > 0)
+                .then(|| Arc::new(Mutex::new(PatternCache::new(self.cache_capacity)))),
+            batch_workers: self.batch_workers,
             maintained: Mutex::new(HashMap::new()),
-            generation: 0,
             gen_alloc: Arc::new(AtomicU64::new(1)),
             cluster,
+            cluster_gen: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -541,6 +558,77 @@ struct FactsState {
     dirty: bool,
 }
 
+/// One immutable **generation** of a session: the fragmentation, the
+/// graph mirror, the planner facts and the compressed leg as of one
+/// graph generation. Queries load the current snapshot once (a single
+/// `Arc` clone under a short mutex) and run entirely against it;
+/// [`SimEngine::apply_delta`] builds the *next* snapshot off the read
+/// path and publishes it with one pointer swap — so a writer can never
+/// block or tear a reader, and every answer is computed at exactly one
+/// generation.
+///
+/// The graph mirror, facts and compressed leg stay **lazy** inside the
+/// snapshot (interior mutexes guard one-shot rebuilds shared by the
+/// snapshot's readers): a delete-heavy stream served from maintained
+/// cache entries still never pays their `O(|G|)` cost.
+#[derive(Debug)]
+struct GenSnapshot {
+    generation: u64,
+    frag: Arc<Fragmentation>,
+    graph: Mutex<GraphState>,
+    facts: Mutex<FactsState>,
+    compressed: Mutex<CompressedState>,
+}
+
+impl GenSnapshot {
+    /// This generation's graph (the loaded graph plus every delta
+    /// absorbed up to this generation), materializing pending ops.
+    fn graph(&self) -> Arc<Graph> {
+        self.graph.lock().materialize()
+    }
+
+    /// The planner facts at this generation, rebuilt on first use
+    /// after a delta marked them dirty.
+    fn facts(&self) -> Arc<GraphFacts> {
+        let mut state = self.facts.lock();
+        if state.dirty {
+            state.facts = Arc::new(GraphFacts::compute(&self.graph(), &self.frag));
+            state.dirty = false;
+        }
+        Arc::clone(&state.facts)
+    }
+
+    /// The compressed leg at this generation, rebuilding it first when
+    /// a delta marked it dirty. `None` when compression is off.
+    fn compressed_leg(&self) -> Option<Arc<CompressedLeg>> {
+        let mut state = self.compressed.lock();
+        let method = state.method?;
+        if state.dirty || state.leg.is_none() {
+            state.leg = Some(build_leg(
+                &self.graph(),
+                &self.frag,
+                method,
+                state.threshold,
+            ));
+            state.dirty = false;
+        }
+        state.leg.clone()
+    }
+
+    /// Prefixes a canonical pattern encoding with this snapshot's
+    /// generation. Entries computed before a delta live under an older
+    /// generation and can never be served again from a newer snapshot
+    /// — the stale-hit guarantee clones rely on while sharing one
+    /// cache.
+    fn gen_key(&self, canon_key: &[u32]) -> Vec<u32> {
+        let mut key = Vec::with_capacity(2 + canon_key.len());
+        key.push(self.generation as u32);
+        key.push((self.generation >> 32) as u32);
+        key.extend_from_slice(canon_key);
+        key
+    }
+}
+
 /// An engine the planner resolved a query to (explicit choices
 /// included, so the run path is uniform).
 enum Resolved {
@@ -584,24 +672,24 @@ impl Resolved {
 /// stale hit is impossible even though clones share the cache.
 #[derive(Debug)]
 pub struct SimEngine {
-    /// The engine's own (lazily materialized) copy of the loaded
-    /// graph, kept current by [`SimEngine::apply_delta`].
-    graph: Mutex<GraphState>,
-    frag: Arc<Fragmentation>,
+    /// The current generation snapshot. The mutex is held only long
+    /// enough to clone or swap the `Arc` — readers never hold it
+    /// while running a query, and writers never hold it while
+    /// building the next generation.
+    snap: Mutex<Arc<GenSnapshot>>,
     executor: ExecutorKind,
     cost: CostModel,
     planner: Planner,
-    facts: Mutex<FactsState>,
     cache: Option<Arc<Mutex<PatternCache>>>,
     /// `0` = auto (one worker per available core).
     batch_workers: usize,
-    compressed: Mutex<CompressedState>,
-    /// Per-handle maintenance states of the delta-maintained cache
-    /// entries, keyed by canonical pattern encoding (without the
-    /// generation prefix — the map itself is always current).
+    /// Writer state: serializes [`Self::apply_delta`] /
+    /// [`Self::cache_invalidate_all`] against each other (never
+    /// against readers) and holds the per-handle maintenance states of
+    /// the delta-maintained cache entries, keyed by canonical pattern
+    /// encoding (without the generation prefix — the map itself is
+    /// always current).
     maintained: Mutex<HashMap<Vec<u32>, MaintainedStates>>,
-    /// This handle's graph generation: the prefix its cache keys carry.
-    generation: u64,
     /// Allocator of globally fresh generations, shared by clones so
     /// two diverging handles can never collide on a generation.
     gen_alloc: Arc<AtomicU64>,
@@ -609,28 +697,33 @@ pub struct SimEngine {
     /// ([`SimEngineBuilder::build_socket`]); clones share it (runs are
     /// serialized on the cluster).
     cluster: Option<Arc<SocketCluster>>,
+    /// The generation the shared cluster was last bootstrapped with.
+    /// Socket dispatch requires an exact match, so a query whose
+    /// snapshot a concurrent delta has already re-shipped (or not yet
+    /// re-shipped) falls back to the in-process virtual executor
+    /// instead of computing on the wrong worker graph.
+    cluster_gen: Arc<AtomicU64>,
 }
 
 impl Clone for SimEngine {
-    /// Clones share the pattern-result cache and the generation
-    /// allocator; each clone gets an independent snapshot of the graph
-    /// state, and maintenance states are **not** carried over (the
-    /// clone rebuilds them from cached rows at its next delta).
+    /// Clones share the pattern-result cache, the generation allocator
+    /// and the (immutable) current snapshot; maintenance states are
+    /// **not** carried over (the clone rebuilds them from cached rows
+    /// at its next delta), and each handle publishes its own future
+    /// snapshots — a delta applied through one handle is invisible to
+    /// the other.
     fn clone(&self) -> Self {
         SimEngine {
-            graph: Mutex::new(self.graph.lock().clone()),
-            frag: Arc::clone(&self.frag),
+            snap: Mutex::new(self.snapshot()),
             executor: self.executor,
             cost: self.cost.clone(),
             planner: self.planner.clone(),
-            facts: Mutex::new(self.facts.lock().clone()),
             cache: self.cache.clone(),
             batch_workers: self.batch_workers,
-            compressed: Mutex::new(self.compressed.lock().clone()),
             maintained: Mutex::new(HashMap::new()),
-            generation: self.generation,
             gen_alloc: Arc::clone(&self.gen_alloc),
             cluster: self.cluster.clone(),
+            cluster_gen: Arc::clone(&self.cluster_gen),
         }
     }
 }
@@ -661,33 +754,35 @@ impl SimEngine {
         }
     }
 
+    /// The current generation snapshot: one `Arc` clone under a mutex
+    /// held for just that clone. Every query loads the snapshot
+    /// exactly once and runs entirely against it.
+    fn snapshot(&self) -> Arc<GenSnapshot> {
+        Arc::clone(&self.snap.lock())
+    }
+
     /// The cached structural facts the planner uses, recomputed
     /// lazily after an [`Self::apply_delta`] batch (queries served
     /// from maintained cache entries never pay for them).
     pub fn facts(&self) -> Arc<GraphFacts> {
-        let mut state = self.facts.lock();
-        if state.dirty {
-            state.facts = Arc::new(GraphFacts::compute(&self.graph(), &self.frag));
-            state.dirty = false;
-        }
-        Arc::clone(&state.facts)
+        self.snapshot().facts()
     }
 
-    /// The fragmentation this engine serves.
-    pub fn fragmentation(&self) -> &Arc<Fragmentation> {
-        &self.frag
+    /// The fragmentation of the current generation snapshot.
+    pub fn fragmentation(&self) -> Arc<Fragmentation> {
+        Arc::clone(&self.snapshot().frag)
     }
 
     /// The engine's current graph (the loaded graph plus every applied
     /// delta), materializing any pending delta ops first.
     pub fn graph(&self) -> Arc<Graph> {
-        self.graph.lock().materialize()
+        self.snapshot().graph()
     }
 
     /// This handle's graph generation: bumped by every
     /// [`Self::apply_delta`] and [`Self::cache_invalidate_all`].
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.snapshot().generation
     }
 
     /// Counters of the pattern-result cache; `None` when the cache is
@@ -696,7 +791,7 @@ impl SimEngine {
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| {
             let mut stats = c.lock().stats();
-            stats.generation = self.generation;
+            stats.generation = self.generation();
             stats
         })
     }
@@ -707,49 +802,49 @@ impl SimEngine {
     /// again. Entries stored by diverged clones under their own
     /// generations are untouched — each handle can only ever see its
     /// own generation's entries.
-    pub fn cache_invalidate_all(&mut self) {
+    ///
+    /// Like [`Self::apply_delta`] this is a *writer*: it publishes a
+    /// fresh snapshot and never blocks in-flight queries, which keep
+    /// answering (and hitting the cache) at the generation they
+    /// loaded.
+    pub fn cache_invalidate_all(&self) {
+        let mut maintained = self.maintained.lock();
+        let snap = self.snapshot();
         if let Some(cache) = &self.cache {
-            let prefix = self.gen_key(&[]);
-            cache.lock().remove_with_prefix(&prefix);
+            cache.lock().remove_with_prefix(&snap.gen_key(&[]));
         }
-        self.maintained.lock().clear();
-        self.generation = self.gen_alloc.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// The session's compressed leg, rebuilding it first when a delta
-    /// marked it dirty. `None` when compression is off.
-    fn compressed_leg(&self) -> Option<Arc<CompressedLeg>> {
-        let mut state = self.compressed.lock();
-        let method = state.method?;
-        if state.dirty || state.leg.is_none() {
-            state.leg = Some(build_leg(
-                &self.graph(),
-                &self.frag,
-                method,
-                state.threshold,
-            ));
-            state.dirty = false;
-        }
-        state.leg.clone()
+        maintained.clear();
+        let next = GenSnapshot {
+            generation: self.gen_alloc.fetch_add(1, Ordering::SeqCst),
+            frag: Arc::clone(&snap.frag),
+            graph: Mutex::new(snap.graph.lock().clone()),
+            facts: Mutex::new(snap.facts.lock().clone()),
+            compressed: Mutex::new(snap.compressed.lock().clone()),
+        };
+        *self.snap.lock() = Arc::new(next);
     }
 
     /// The compressed leg built for the session, if any (lazily
     /// rebuilt after graph deltas).
     pub fn compression_note(&self) -> Option<CompressedNote> {
-        self.compressed_leg().map(|leg| leg.note())
+        self.snapshot().compressed_leg().map(|leg| leg.note())
     }
 
     /// Whether [`Algorithm::Auto`] queries currently answer on `Gc`
     /// (a leg was built and its ratio cleared the threshold).
     pub fn compression_active(&self) -> bool {
-        self.compressed_leg().is_some_and(|leg| leg.active)
+        self.snapshot()
+            .compressed_leg()
+            .is_some_and(|leg| leg.active)
     }
 
     /// Plans `q` without running it: which engine would serve it, and
     /// why.
     pub fn plan(&self, q: &Pattern) -> Result<PlanExplanation, DgsError> {
         let qf = PatternFacts::compute(q);
-        self.planner.plan(&self.facts(), &qf).map(|(_, plan)| plan)
+        self.planner
+            .plan(&self.snapshot().facts(), &qf)
+            .map(|(_, plan)| plan)
     }
 
     /// Runs `q` with the planner-chosen engine.
@@ -765,14 +860,15 @@ impl SimEngine {
     /// requests always run — callers asking for a specific engine are
     /// measuring it.
     pub fn query_with(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
-        let (canon, hit) = self.cache_lookup(algorithm, q);
+        let snap = self.snapshot();
+        let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
         if let (Some(canon), Some(cached)) = (&canon, hit) {
             return Ok(Self::report_from_cache(q, canon, &cached));
         }
-        let mut report = self.run_one(algorithm, q)?;
-        Self::charge_broadcast(&mut report.metrics, &self.frag, std::iter::once(q));
+        let mut report = self.run_one(&snap, algorithm, q)?;
+        Self::charge_broadcast(&mut report.metrics, &snap.frag, std::iter::once(q));
         if let Some(canon) = canon {
-            self.cache_store(canon, &report);
+            self.cache_store(&snap, canon, &report);
         }
         Ok(report)
     }
@@ -798,7 +894,8 @@ impl SimEngine {
         algorithm: &Algorithm,
         q: &Pattern,
     ) -> Result<BooleanReport, DgsError> {
-        let (canon, hit) = self.cache_lookup(algorithm, q);
+        let snap = self.snapshot();
+        let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
         if let (Some(canon), Some(cached)) = (&canon, hit) {
             let report = Self::report_from_cache(q, canon, &cached);
             return Ok(BooleanReport {
@@ -808,11 +905,11 @@ impl SimEngine {
                 plan: report.plan,
             });
         }
-        if self.uses_compressed(algorithm) {
-            let mut report = self.run_one(algorithm, q)?;
-            Self::charge_broadcast(&mut report.metrics, &self.frag, std::iter::once(q));
+        if self.uses_compressed(&snap, algorithm) {
+            let mut report = self.run_one(&snap, algorithm, q)?;
+            Self::charge_broadcast(&mut report.metrics, &snap.frag, std::iter::once(q));
             if let Some(canon) = canon {
-                self.cache_store(canon, &report);
+                self.cache_store(&snap, canon, &report);
             }
             return Ok(BooleanReport {
                 is_match: report.is_match,
@@ -821,14 +918,14 @@ impl SimEngine {
                 plan: report.plan,
             });
         }
-        let (resolved, plan) = self.resolve(algorithm, q)?;
+        let (resolved, plan) = self.resolve(&snap, algorithm, q)?;
         let qa = Arc::new(q.clone());
         let (is_match, mut metrics) = match &resolved {
             Resolved::TriviallyEmpty => (false, RunMetrics::default()),
             Resolved::Dgpm(cfg) => {
                 let (coord, sites) =
-                    dgpm::build_with_mode(&self.frag, &qa, cfg.clone(), QueryMode::Boolean);
-                let o = self.drive(&self.frag, resolved.name(), coord, sites)?;
+                    dgpm::build_with_mode(&snap.frag, &qa, cfg.clone(), QueryMode::Boolean);
+                let o = self.drive(&snap, &snap.frag, resolved.name(), coord, sites)?;
                 let b = o
                     .coordinator
                     .boolean
@@ -839,13 +936,13 @@ impl SimEngine {
                 (b, o.metrics)
             }
             other => {
-                let (relation, metrics) = self.run_resolved(&self.frag, other, &qa)?;
+                let (relation, metrics) = self.run_resolved(&snap, &snap.frag, other, &qa)?;
                 (relation.is_total(), metrics)
             }
         };
         // Same uniform accounting as `query` — the Boolean path used
         // to skip the query broadcast.
-        Self::charge_broadcast(&mut metrics, &self.frag, std::iter::once(q));
+        Self::charge_broadcast(&mut metrics, &snap.frag, std::iter::once(q));
         Ok(BooleanReport {
             is_match,
             metrics,
@@ -877,6 +974,11 @@ impl SimEngine {
         let n = patterns.len();
         let mut slots: Vec<Option<Result<RunReport, DgsError>>> = (0..n).map(|_| None).collect();
 
+        // The whole batch runs against one generation snapshot: a
+        // concurrent delta cannot make two queries of the same batch
+        // observe different graphs.
+        let snap = self.snapshot();
+
         // Phase 1 — sequential cache probe against the batch-start
         // cache state (deterministic regardless of worker count).
         // Duplicate patterns within one batch all miss together and
@@ -884,7 +986,7 @@ impl SimEngine {
         // arrived, not by intra-batch scheduling.
         let mut canons: Vec<Option<CanonicalPattern>> = Vec::with_capacity(n);
         for (i, q) in patterns.iter().enumerate() {
-            let (canon, hit) = self.cache_lookup(algorithm, q);
+            let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
             if let (Some(canon), Some(cached)) = (&canon, hit) {
                 slots[i] = Some(Ok(Self::report_from_cache(q, canon, &cached)));
             }
@@ -901,13 +1003,14 @@ impl SimEngine {
         let workers = self.effective_workers(worklist.len());
         if workers <= 1 {
             for &i in &worklist {
-                slots[i] = Some(self.run_one(algorithm, &patterns[i]));
+                slots[i] = Some(self.run_one(&snap, algorithm, &patterns[i]));
             }
         } else {
             let next = AtomicUsize::new(0);
             let (tx, rx) = crossbeam::channel::unbounded();
             let worklist_ref = &worklist;
             let next_ref = &next;
+            let snap_ref = &snap;
             crossbeam::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -917,7 +1020,7 @@ impl SimEngine {
                             break;
                         }
                         let i = worklist_ref[slot];
-                        let report = self.run_one(algorithm, &patterns[i]);
+                        let report = self.run_one(snap_ref, algorithm, &patterns[i]);
                         if tx.send((i, report)).is_err() {
                             break;
                         }
@@ -935,7 +1038,7 @@ impl SimEngine {
         // what a single worker would have inserted).
         for &i in &worklist {
             if let (Some(Some(Ok(report))), Some(canon)) = (slots.get(i), canons[i].take()) {
-                self.cache_store(canon, report);
+                self.cache_store(&snap, canon, report);
             }
         }
 
@@ -956,7 +1059,7 @@ impl SimEngine {
             .map(|&i| &patterns[i])
             .collect();
         if !posted.is_empty() {
-            Self::charge_broadcast(&mut total, &self.frag, posted);
+            Self::charge_broadcast(&mut total, &snap.frag, posted);
         }
         BatchReport { reports, total }
     }
@@ -1006,11 +1109,22 @@ impl SimEngine {
     /// no-op. An edge listed for both insertion and deletion, or one
     /// referencing a node outside the graph, is
     /// [`DgsError::InvalidDelta`].
-    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaReport, DgsError> {
+    ///
+    /// Deltas take `&self`: the next generation snapshot is built
+    /// entirely **off the read path** and published with a single
+    /// pointer swap, so in-flight queries keep answering at the
+    /// generation they loaded and never block behind this writer.
+    /// Concurrent writers on the same handle serialize against each
+    /// other.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaReport, DgsError> {
+        // One writer at a time; readers keep serving the current
+        // snapshot untouched while this builds the next one.
+        let mut maintained = self.maintained.lock();
+        let snap = self.snapshot();
         // Validate and normalize the batch. Presence checks go through
         // the fragmentation (`O(log deg)` per op), so a delta never
         // forces the graph mirror to materialize.
-        let n = self.frag.assignment().len() as u32;
+        let n = snap.frag.assignment().len() as u32;
         for &(u, v) in delta.insert_edges.iter().chain(&delta.delete_edges) {
             if u.0 >= n || v.0 >= n {
                 return Err(DgsError::InvalidDelta {
@@ -1030,8 +1144,8 @@ impl SimEngine {
             });
         }
         let listed = inserts.len() + deletes.len();
-        inserts.retain(|&(u, v)| !self.frag.has_edge(u, v));
-        deletes.retain(|&(u, v)| self.frag.has_edge(u, v));
+        inserts.retain(|&(u, v)| !snap.frag.has_edge(u, v));
+        deletes.retain(|&(u, v)| snap.frag.has_edge(u, v));
 
         let mut report = DeltaReport {
             inserted: inserts.len(),
@@ -1044,9 +1158,9 @@ impl SimEngine {
             maintained_entries: 0,
             invalidated_entries: 0,
             revoked_pairs: 0,
-            generation: self.generation,
+            generation: snap.generation,
             metrics: RunMetrics::default(),
-            per_site: (0..self.frag.num_sites())
+            per_site: (0..snap.frag.num_sites())
                 .map(|site| SiteDeltaMetrics {
                     site,
                     ..SiteDeltaMetrics::default()
@@ -1060,7 +1174,7 @@ impl SimEngine {
             return Ok(report);
         }
         let delete_only = inserts.is_empty();
-        let old_prefix = self.gen_key(&[]);
+        let old_prefix = snap.gen_key(&[]);
 
         // Promote current-generation cache entries to maintenance
         // (deletion-only batches), building missing per-site counter
@@ -1069,7 +1183,6 @@ impl SimEngine {
         if delete_only {
             if let Some(cache) = &self.cache {
                 let entries = cache.lock().entries_with_prefix(&old_prefix);
-                let mut maintained = self.maintained.lock();
                 let live: HashSet<&[u32]> = entries.iter().map(|(k, _)| &k[2..]).collect();
                 // States whose entry the LRU evicted have no rows left
                 // to maintain.
@@ -1078,9 +1191,9 @@ impl SimEngine {
                     let canon_key = key[2..].to_vec();
                     let pattern = cache::decode_pattern(&canon_key);
                     if !maintained.contains_key(&canon_key) {
-                        let sites = (0..self.frag.num_sites())
+                        let sites = (0..snap.frag.num_sites())
                             .map(|s| {
-                                DeltaSiteState::from_relation(&self.frag, s, &pattern, &entry.rows)
+                                DeltaSiteState::from_relation(&snap.frag, s, &pattern, &entry.rows)
                             })
                             .collect();
                         maintained.insert(
@@ -1097,36 +1210,49 @@ impl SimEngine {
             }
         }
 
-        // Mutate the fragmentation, the graph mirror and the facts;
-        // move to a fresh generation and dirty the compressed leg.
+        // Build the **next generation** entirely off the read path:
+        // a fresh fragmentation with the ops applied, the graph mirror
+        // with the ops pending, dirty facts and a dirty compressed leg
+        // (all rebuilt lazily — a delete-heavy stream served from
+        // maintained entries never pays their `O(|G|)` cost).
         let ops: Vec<EdgeOp> = inserts
             .iter()
             .map(|&(u, v)| EdgeOp::Insert(u, v))
             .chain(deletes.iter().map(|&(u, v)| EdgeOp::Delete(u, v)))
             .collect();
-        let frag_stats = Arc::make_mut(&mut self.frag).apply_delta(&ops);
+        let mut next_frag = (*snap.frag).clone();
+        let frag_stats = next_frag.apply_delta(&ops);
+        let next_frag = Arc::new(next_frag);
         report.crossing_inserted = frag_stats.crossing_inserts;
         report.crossing_deleted = frag_stats.crossing_deletes;
         report.virtuals_created = frag_stats.virtuals_created;
         report.virtuals_retired = frag_stats.virtuals_retired;
-        // The graph mirror and the structural facts refresh lazily:
-        // a delete-heavy stream served from maintained entries never
-        // pays their `O(|G|)` cost.
-        self.graph.lock().pending.extend_from_slice(&ops);
-        self.facts.lock().dirty = true;
-        self.generation = self.gen_alloc.fetch_add(1, Ordering::SeqCst);
-        report.generation = self.generation;
-        self.compressed.lock().dirty = true;
+        let mut graph_state = snap.graph.lock().clone();
+        graph_state.pending.extend_from_slice(&ops);
+        let generation = self.gen_alloc.fetch_add(1, Ordering::SeqCst);
+        report.generation = generation;
+        let next = Arc::new(GenSnapshot {
+            generation,
+            frag: Arc::clone(&next_frag),
+            graph: Mutex::new(graph_state),
+            facts: Mutex::new(FactsState {
+                facts: Arc::clone(&snap.facts.lock().facts),
+                dirty: true,
+            }),
+            compressed: Mutex::new(CompressedState {
+                dirty: true,
+                ..snap.compressed.lock().clone()
+            }),
+        });
 
         if delete_only {
             // Distributed incremental maintenance per cached entry: the
             // relation only shrinks, so revoking the falsified pairs
             // from the stored rows keeps every entry exact.
-            let mut maintained = self.maintained.lock();
             for (canon_key, pattern, entry) in promoted {
                 let states = maintained.remove(&canon_key).expect("promoted above");
                 let (coord, sites) =
-                    delta::build_maintenance(&self.frag, &pattern, states.sites, &deletes);
+                    delta::build_maintenance(&next_frag, &pattern, states.sites, &deletes);
                 // Maintenance stays in-process even on socket sessions:
                 // the per-site counter states must come back into the
                 // session, and remote state does not.
@@ -1165,7 +1291,7 @@ impl SimEngine {
                 });
                 if let Some(cache) = &self.cache {
                     cache.lock().insert(
-                        self.gen_key(&canon_key),
+                        next.gen_key(&canon_key),
                         Arc::new(CachedResult {
                             rows,
                             algorithm: entry.algorithm,
@@ -1191,19 +1317,28 @@ impl SimEngine {
             if let Some(cache) = &self.cache {
                 report.invalidated_entries = cache.lock().entries_with_prefix(&old_prefix).len();
             }
-            self.maintained.lock().clear();
+            maintained.clear();
         }
 
         // A socket session's workers were bootstrapped with the
         // pre-delta graph: re-ship the session so later runs execute
         // against the mutated graph (this materializes the graph
         // mirror — delta batches on socket sessions pay the reship).
+        // The cluster generation flips **before** the snapshot
+        // publishes: in the window between the two, queries still on
+        // the old snapshot fall back to the in-process executor
+        // instead of running on the freshly re-shipped worker graph.
         if let Some(cluster) = &self.cluster {
-            let blob = crate::remote::encode_bootstrap(&self.graph(), &self.frag);
+            let blob = crate::remote::encode_bootstrap(&next.graph(), &next_frag);
             cluster
                 .rebootstrap(&blob)
                 .map_err(|e| DgsError::from_exec("socket-cluster", e))?;
+            self.cluster_gen.store(generation, Ordering::SeqCst);
         }
+
+        // Publish: a single pointer swap makes the next generation the
+        // one every subsequent query loads.
+        *self.snap.lock() = next;
         Ok(report)
     }
 
@@ -1212,11 +1347,12 @@ impl SimEngine {
     /// cached facts (the old API `assert!`ed these).
     fn resolve(
         &self,
+        snap: &GenSnapshot,
         algorithm: &Algorithm,
         q: &Pattern,
     ) -> Result<(Resolved, PlanExplanation), DgsError> {
         let qf = PatternFacts::compute(q);
-        let facts = self.facts();
+        let facts = snap.facts();
         match algorithm {
             Algorithm::Auto => {
                 let (choice, plan) = self.planner.plan(&facts, &qf)?;
@@ -1289,17 +1425,22 @@ impl SimEngine {
     }
 
     /// Whether this query will be answered on the compressed leg.
-    fn uses_compressed(&self, algorithm: &Algorithm) -> bool {
-        matches!(algorithm, Algorithm::Auto) && self.compressed_leg().is_some_and(|leg| leg.active)
+    fn uses_compressed(&self, snap: &GenSnapshot, algorithm: &Algorithm) -> bool {
+        matches!(algorithm, Algorithm::Auto) && snap.compressed_leg().is_some_and(|leg| leg.active)
     }
 
     /// Resolves and runs one query without the broadcast charge (the
     /// caller accounts it: per-query for [`Self::query_with`], once
     /// per batch for [`Self::query_batch_with`]). `Auto` queries route
     /// to the compressed leg when it is active.
-    fn run_one(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
+    fn run_one(
+        &self,
+        snap: &GenSnapshot,
+        algorithm: &Algorithm,
+        q: &Pattern,
+    ) -> Result<RunReport, DgsError> {
         let leg = if matches!(algorithm, Algorithm::Auto) {
-            self.compressed_leg()
+            snap.compressed_leg()
         } else {
             None
         };
@@ -1317,7 +1458,7 @@ impl SimEngine {
             ));
             let resolved = Self::resolved_from_choice(choice);
             let qa = Arc::new(q.clone());
-            let (class_relation, metrics) = self.run_resolved(&leg.frag, &resolved, &qa)?;
+            let (class_relation, metrics) = self.run_resolved(snap, &leg.frag, &resolved, &qa)?;
             let relation = leg.graph.expand(&class_relation);
             return Ok(RunReport::assemble(
                 relation,
@@ -1326,7 +1467,7 @@ impl SimEngine {
                 plan,
             ));
         }
-        let (resolved, mut plan) = self.resolve(algorithm, q)?;
+        let (resolved, mut plan) = self.resolve(snap, algorithm, q)?;
         if let Some(leg) = leg.filter(|leg| !leg.active) {
             plan.reasons.push(format!(
                 "compressed leg built ({} classes via {}) but ratio {:.2} exceeds \
@@ -1338,7 +1479,7 @@ impl SimEngine {
             ));
         }
         let qa = Arc::new(q.clone());
-        let (relation, metrics) = self.run_resolved(&self.frag, &resolved, &qa)?;
+        let (relation, metrics) = self.run_resolved(snap, &snap.frag, &resolved, &qa)?;
         Ok(RunReport::assemble(
             relation,
             metrics,
@@ -1347,22 +1488,12 @@ impl SimEngine {
         ))
     }
 
-    /// Prefixes a canonical pattern encoding with this handle's graph
-    /// generation. Entries computed before a delta live under an older
-    /// generation and can never be served again by this handle — the
-    /// stale-hit guarantee clones rely on while sharing one cache.
-    fn gen_key(&self, canon_key: &[u32]) -> Vec<u32> {
-        let mut key = Vec::with_capacity(2 + canon_key.len());
-        key.push(self.generation as u32);
-        key.push((self.generation >> 32) as u32);
-        key.extend_from_slice(canon_key);
-        key
-    }
-
-    /// Canonicalizes `q` and probes the cache. Returns `(None, None)`
-    /// when caching does not apply (explicit engine, or cache off).
+    /// Canonicalizes `q` and probes the cache at `snap`'s generation.
+    /// Returns `(None, None)` when caching does not apply (explicit
+    /// engine, or cache off).
     fn cache_lookup(
         &self,
+        snap: &GenSnapshot,
         algorithm: &Algorithm,
         q: &Pattern,
     ) -> (Option<CanonicalPattern>, Option<Arc<CachedResult>>) {
@@ -1373,7 +1504,7 @@ impl SimEngine {
             return (None, None);
         };
         let canon = cache::canonicalize(q);
-        let hit = cache.lock().get(&self.gen_key(&canon.key));
+        let hit = cache.lock().get(&snap.gen_key(&canon.key));
         (Some(canon), hit)
     }
 
@@ -1403,9 +1534,9 @@ impl SimEngine {
         )
     }
 
-    /// Stores a freshly computed answer under its canonical key, rows
-    /// permuted into canonical node order.
-    fn cache_store(&self, canon: CanonicalPattern, report: &RunReport) {
+    /// Stores a freshly computed answer under its canonical key at
+    /// `snap`'s generation, rows permuted into canonical node order.
+    fn cache_store(&self, snap: &GenSnapshot, canon: CanonicalPattern, report: &RunReport) {
         let Some(cache) = &self.cache else {
             return;
         };
@@ -1415,7 +1546,7 @@ impl SimEngine {
             .map(|&u| report.relation.matches_of(dgs_graph::QNodeId(u)).to_vec())
             .collect();
         cache.lock().insert(
-            self.gen_key(&canon.key),
+            snap.gen_key(&canon.key),
             Arc::new(CachedResult {
                 rows,
                 algorithm: report.algorithm,
@@ -1432,11 +1563,15 @@ impl SimEngine {
 
     /// Runs one protocol under the session's executor, with typed
     /// errors. Socket sessions dispatch to the bootstrapped cluster —
-    /// but only for the session fragmentation: the compressed leg's
-    /// `Gc` was never shipped to the workers, so its runs stay
-    /// in-process (virtual executor).
+    /// but only for the snapshot's session fragmentation at the
+    /// generation the cluster was last bootstrapped with: the
+    /// compressed leg's `Gc` was never shipped to the workers, and a
+    /// snapshot a concurrent delta has already (or not yet) re-shipped
+    /// must not run on the wrong worker graph — both fall back to the
+    /// in-process virtual executor.
     fn drive<M, C, S>(
         &self,
+        snap: &GenSnapshot,
         frag: &Arc<Fragmentation>,
         algorithm: &'static str,
         coordinator: C,
@@ -1447,10 +1582,10 @@ impl SimEngine {
         C: CoordinatorLogic<M> + Send,
         S: SiteLogic<M> + RemoteSpec + Send,
     {
+        let dispatchable = Arc::ptr_eq(frag, &snap.frag)
+            && self.cluster_gen.load(Ordering::SeqCst) == snap.generation;
         let (kind, cluster) = match (self.executor, &self.cluster) {
-            (ExecutorKind::Socket, Some(cl)) if Arc::ptr_eq(frag, &self.frag) => {
-                (ExecutorKind::Socket, Some(&**cl))
-            }
+            (ExecutorKind::Socket, Some(cl)) if dispatchable => (ExecutorKind::Socket, Some(&**cl)),
             (ExecutorKind::Socket, _) => (ExecutorKind::Virtual, None),
             (kind, _) => (kind, None),
         };
@@ -1462,6 +1597,7 @@ impl SimEngine {
     /// `(relation, metrics)`.
     fn run_resolved(
         &self,
+        snap: &GenSnapshot,
         frag: &Arc<Fragmentation>,
         resolved: &Resolved,
         q: &Arc<Pattern>,
@@ -1471,7 +1607,7 @@ impl SimEngine {
         macro_rules! drive {
             ($build:expr) => {{
                 let (coord, sites) = $build;
-                let o = self.drive(frag, resolved.name(), coord, sites)?;
+                let o = self.drive(snap, frag, resolved.name(), coord, sites)?;
                 let answer = o
                     .coordinator
                     .answer
@@ -1886,7 +2022,7 @@ mod tests {
         let g = random::uniform(120, 480, 4, 31);
         let assign = hash_partition(g.node_count(), 3, 31);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-        let mut engine = SimEngine::builder(&g, frag).build();
+        let engine = SimEngine::builder(&g, frag).build();
         let q = patterns::random_cyclic(3, 6, 4, 31);
         let cold = engine.query(&q).unwrap();
         assert_eq!(cold.metrics.cache_hits, 0);
@@ -1932,7 +2068,7 @@ mod tests {
         let g = dag::citation_like(80, 200, 4, 32);
         let assign = hash_partition(g.node_count(), 3, 32);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-        let mut engine = SimEngine::builder(&g, frag).build();
+        let engine = SimEngine::builder(&g, frag).build();
         let q = patterns::random_cyclic(3, 5, 4, 32);
         let cold = engine.query(&q).unwrap();
         assert_eq!(cold.algorithm, "trivial-∅");
@@ -1967,7 +2103,7 @@ mod tests {
         let g = random::uniform(40, 160, 4, 33);
         let assign = hash_partition(g.node_count(), 2, 33);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
-        let mut engine = SimEngine::builder(&g, frag).build();
+        let engine = SimEngine::builder(&g, frag).build();
 
         // Out-of-range endpoint.
         let bad = GraphDelta::deletions([(dgs_graph::NodeId(0), dgs_graph::NodeId(999))]);
@@ -2003,7 +2139,7 @@ mod tests {
     #[test]
     fn cache_invalidate_all_moves_to_a_fresh_generation() {
         let g = random::uniform(80, 320, 4, 34);
-        let mut engine = engine_for(&g, 3, 34);
+        let engine = engine_for(&g, 3, 34);
         let q = patterns::random_cyclic(3, 6, 4, 34);
         engine.query(&q).unwrap();
         assert_eq!(engine.query(&q).unwrap().metrics.cache_hits, 1);
@@ -2021,7 +2157,7 @@ mod tests {
         let g = random::uniform(90, 360, 4, 35);
         let assign = hash_partition(g.node_count(), 3, 35);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-        let mut engine = SimEngine::builder(&g, frag).build();
+        let engine = SimEngine::builder(&g, frag).build();
         let clone = engine.clone();
         let q = patterns::random_cyclic(3, 6, 4, 35);
         engine.query(&q).unwrap();
@@ -2045,7 +2181,7 @@ mod tests {
         let g = random::uniform(100, 400, 3, 36);
         let assign = hash_partition(g.node_count(), 3, 36);
         let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-        let mut engine = SimEngine::builder(&g, frag)
+        let engine = SimEngine::builder(&g, frag)
             .compress(CompressionMethod::SimEq)
             .compression_threshold(1.0)
             .cache(false)

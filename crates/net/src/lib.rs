@@ -51,7 +51,9 @@ pub use cluster::ThreadedExecutor;
 pub use cost::CostModel;
 pub use fault::FaultPlan;
 pub use message::{Endpoint, MsgClass, WireSize};
-pub use metrics::{LatencyHistogram, RunMetrics, SiteDeltaMetrics};
+pub use metrics::{
+    LatencyHistogram, RunMetrics, ServingSnapshot, SiteDeltaMetrics, SERVING_SNAPSHOT_VERSION,
+};
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
 pub use socket::{
     ChaosPlan, RemoteSpec, SocketCluster, SocketConfig, SocketMsg, WorkerHost, WorkerMode,

@@ -369,6 +369,152 @@ impl std::fmt::Debug for LatencyHistogram {
     }
 }
 
+/// Format version of [`ServingSnapshot::to_json`]. Bump when the
+/// schema changes; parsers refuse other versions so a stale committed
+/// baseline is treated as "no baseline" instead of misread.
+pub const SERVING_SNAPSHOT_VERSION: u32 = 1;
+
+/// A serving-benchmark snapshot: the committed-artifact form of one
+/// load run (throughput + latency quantiles), written as a small flat
+/// JSON file (`BENCH_serving.json`) and compared across runs to catch
+/// serving-path regressions in CI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServingSnapshot {
+    /// Schema version ([`SERVING_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed.
+    pub errors: u64,
+}
+
+impl ServingSnapshot {
+    /// A snapshot of one run: quantiles from `histogram` (recorded in
+    /// nanoseconds), throughput from `completed / elapsed`.
+    pub fn of_run(
+        histogram: &LatencyHistogram,
+        completed: u64,
+        errors: u64,
+        elapsed_secs: f64,
+    ) -> ServingSnapshot {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        ServingSnapshot {
+            version: SERVING_SNAPSHOT_VERSION,
+            throughput: if elapsed_secs > 0.0 {
+                completed as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            p50_us: us(histogram.p50()),
+            p95_us: us(histogram.p95()),
+            p99_us: us(histogram.p99()),
+            completed,
+            errors,
+        }
+    }
+
+    /// The committed-artifact form (flat JSON, stable key order,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_us\": {:.1},\n  \
+             \"p95_us\": {:.1},\n  \"p99_us\": {:.1},\n  \"completed\": {},\n  \"errors\": {}\n}}\n",
+            self.version,
+            self.throughput,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.completed,
+            self.errors
+        )
+    }
+
+    /// Parses [`ServingSnapshot::to_json`] output (any flat JSON with
+    /// the same keys, whitespace-insensitive). `None` on a missing
+    /// key or a version this build does not speak.
+    pub fn parse_json(s: &str) -> Option<ServingSnapshot> {
+        let num = |key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\"");
+            let at = s.find(&pat)? + pat.len();
+            let rest = s[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let version = num("version")? as u32;
+        if version != SERVING_SNAPSHOT_VERSION {
+            return None;
+        }
+        Some(ServingSnapshot {
+            version,
+            throughput: num("throughput_rps")?,
+            p50_us: num("p50_us")?,
+            p95_us: num("p95_us")?,
+            p99_us: num("p99_us")?,
+            completed: num("completed")? as u64,
+            errors: num("errors")? as u64,
+        })
+    }
+
+    /// Human-readable regression verdicts of `self` (the new run)
+    /// against `baseline`, empty when the run is acceptable.
+    ///
+    /// `tolerance` is the relative slack (CI gates on `0.20` = 20%);
+    /// latency additionally gets `latency_floor_us` of absolute slack
+    /// so sub-millisecond micro-noise on shared runners cannot trip
+    /// the gate — the regressions this guards against (a reintroduced
+    /// write barrier on the serve path) cost milliseconds, not tens of
+    /// microseconds.
+    pub fn regressions(
+        &self,
+        baseline: &ServingSnapshot,
+        tolerance: f64,
+        latency_floor_us: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.errors > 0 {
+            out.push(format!(
+                "{} requests errored (baseline gate: 0)",
+                self.errors
+            ));
+        }
+        let floor = baseline.throughput / (1.0 + tolerance);
+        if self.throughput < floor {
+            out.push(format!(
+                "throughput {:.1} req/s fell below {:.1} (baseline {:.1} / {:.0}% tolerance)",
+                self.throughput,
+                floor,
+                baseline.throughput,
+                tolerance * 100.0
+            ));
+        }
+        for (name, new, base) in [
+            ("p50", self.p50_us, baseline.p50_us),
+            ("p95", self.p95_us, baseline.p95_us),
+            ("p99", self.p99_us, baseline.p99_us),
+        ] {
+            let ceiling = (base * (1.0 + tolerance)).max(base + latency_floor_us);
+            if new > ceiling {
+                out.push(format!(
+                    "{name} {new:.1}us exceeds {ceiling:.1}us (baseline {base:.1}us + {:.0}% \
+                     tolerance, {latency_floor_us:.0}us floor)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,5 +635,67 @@ mod tests {
         h.record_duration(Duration::from_nanos(17));
         assert_eq!(h.min(), 17);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn serving_snapshot_json_roundtrips() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(i * 10_000); // 10µs .. 1ms
+        }
+        let snap = ServingSnapshot::of_run(&h, 100, 0, 2.0);
+        assert!((snap.throughput - 50.0).abs() < 1e-9);
+        let parsed = ServingSnapshot::parse_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed.version, SERVING_SNAPSHOT_VERSION);
+        assert_eq!(parsed.completed, 100);
+        assert_eq!(parsed.errors, 0);
+        // The JSON rounds to 1 decimal of a microsecond.
+        assert!((parsed.p99_us - snap.p99_us).abs() < 0.1);
+        assert!((parsed.throughput - snap.throughput).abs() < 0.01);
+    }
+
+    #[test]
+    fn serving_snapshot_rejects_other_versions_and_garbage() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        let json = ServingSnapshot::of_run(&h, 1, 0, 1.0)
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 999");
+        assert_eq!(ServingSnapshot::parse_json(&json), None);
+        assert_eq!(ServingSnapshot::parse_json("not json at all"), None);
+        assert_eq!(ServingSnapshot::parse_json("{\"version\": 1}"), None);
+    }
+
+    #[test]
+    fn serving_snapshot_regression_gate() {
+        let base = ServingSnapshot {
+            version: SERVING_SNAPSHOT_VERSION,
+            throughput: 1000.0,
+            p50_us: 200.0,
+            p95_us: 400.0,
+            p99_us: 800.0,
+            completed: 500,
+            errors: 0,
+        };
+        // Within tolerance: quantiles float inside the absolute floor.
+        let ok = ServingSnapshot {
+            throughput: 900.0,
+            p99_us: 1100.0,
+            ..base.clone()
+        };
+        assert!(ok.regressions(&base, 0.20, 500.0).is_empty());
+        // A real regression (milliseconds, as a reintroduced write
+        // barrier would cost) trips both gates.
+        let bad = ServingSnapshot {
+            throughput: 400.0,
+            p99_us: 9000.0,
+            errors: 3,
+            ..base.clone()
+        };
+        let verdicts = bad.regressions(&base, 0.20, 500.0);
+        assert_eq!(verdicts.len(), 3, "{verdicts:?}");
+        assert!(verdicts[0].contains("errored"));
+        assert!(verdicts[1].contains("throughput"));
+        assert!(verdicts[2].contains("p99"));
     }
 }

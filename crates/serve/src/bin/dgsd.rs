@@ -3,7 +3,7 @@
 //! ```text
 //! dgsd --listen ADDR --graph FILE [--sites K] [--partition hash|bfs|ldg|tree]
 //!      [--seed S] [--cache N] [--compress simeq|bisim] [--compress-threshold X]
-//!      [--max-conns N]
+//!      [--max-conns N] [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS]
 //! ```
 //!
 //! **Worker mode** (`dgsd --worker [--listen HOST:PORT]`) turns the
@@ -20,9 +20,15 @@
 //! the format to cold-load big RMAT graphs from. The session is built
 //! once at startup exactly like `SimEngine::builder` in-process —
 //! structural facts, optional compression leg, pattern-result cache —
-//! and then served to every connection. Stop it with
-//! `dgsq shutdown --remote ADDR` (or SIGKILL; a stale Unix socket
-//! file is reclaimed on the next start).
+//! and then served to every connection as the `"default"` session.
+//! `--sessions` hosts additional named sessions (each built from its
+//! own graph file with the same sites/partition/cache options);
+//! clients pick one with `SESSION_ROUTE` (`dgsq --session NAME`,
+//! `dgsload --session NAME`) or create/drop more at runtime. Stop the
+//! daemon with `dgsq shutdown --remote ADDR` — in-flight requests
+//! drain for up to `--grace` milliseconds (default 5000) before
+//! stragglers are cut — or SIGKILL; a stale Unix socket file is
+//! reclaimed on the next start.
 
 use dgs_core::{CompressionMethod, SimEngine};
 use dgs_graph::io as gio;
@@ -49,13 +55,16 @@ const ALLOWED: &[&str] = &[
     "compress",
     "compress-threshold",
     "max-conns",
+    "sessions",
+    "grace",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dgsd --listen tcp:HOST:PORT|unix:/PATH.sock --graph FILE\n       \
          [--sites K] [--partition hash|bfs|ldg|tree] [--seed S]\n       \
-         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]\n  \
+         [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]\n       \
+         [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS]\n  \
          dgsd --worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
     exit(2);
@@ -110,6 +119,48 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
     }
 }
 
+/// Loads a graph file and builds one serving session from the shared
+/// CLI options (partitioner, cache, compression).
+fn build_engine(
+    graph_path: &str,
+    flags: &HashMap<String, String>,
+) -> (dgs_graph::Graph, SimEngine) {
+    let f =
+        File::open(graph_path).unwrap_or_else(|e| fail(&format!("cannot open {graph_path}: {e}")));
+    let g = gio::read_graph_auto(BufReader::new(f))
+        .unwrap_or_else(|e| fail(&format!("{graph_path}: {e}")));
+
+    let k: usize = num(flags, "sites", 4);
+    let seed: u64 = num(flags, "seed", 1);
+    if k == 0 {
+        fail("--sites must be >= 1");
+    }
+    let assignment = match flags.get("partition").map(String::as_str).unwrap_or("hash") {
+        "hash" => hash_partition(g.node_count(), k, seed),
+        "bfs" => bfs_partition(&g, k, seed),
+        "ldg" => ldg_partition(&g, k, 0.1, seed),
+        "tree" => tree_partition(&g, k),
+        other => fail(&format!("unknown partitioner '{other}'")),
+    };
+    let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
+    let mut builder = SimEngine::builder(&g, frag).cache_capacity(num(flags, "cache", 128));
+    if let Some(method) = flags.get("compress") {
+        builder = builder.compress(match method.as_str() {
+            "simeq" => {
+                if g.node_count() > 20_000 {
+                    fail("simeq compression holds an O(|V|^2) table; use --compress bisim for graphs this large");
+                }
+                CompressionMethod::SimEq
+            }
+            "bisim" => CompressionMethod::Bisim,
+            other => fail(&format!("unknown compression method '{other}'")),
+        });
+        builder = builder.compression_threshold(num(flags, "compress-threshold", 0.5));
+    }
+    let engine = builder.build();
+    (g, engine)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -135,45 +186,39 @@ fn main() {
         .get("graph")
         .unwrap_or_else(|| fail("--graph required"));
 
-    let f =
-        File::open(graph_path).unwrap_or_else(|e| fail(&format!("cannot open {graph_path}: {e}")));
-    let g = gio::read_graph_auto(BufReader::new(f))
-        .unwrap_or_else(|e| fail(&format!("{graph_path}: {e}")));
-
+    let (g, engine) = build_engine(graph_path, &flags);
     let k: usize = num(&flags, "sites", 4);
-    let seed: u64 = num(&flags, "seed", 1);
-    if k == 0 {
-        fail("--sites must be >= 1");
-    }
-    let assignment = match flags.get("partition").map(String::as_str).unwrap_or("hash") {
-        "hash" => hash_partition(g.node_count(), k, seed),
-        "bfs" => bfs_partition(&g, k, seed),
-        "ldg" => ldg_partition(&g, k, 0.1, seed),
-        "tree" => tree_partition(&g, k),
-        other => fail(&format!("unknown partitioner '{other}'")),
-    };
-    let frag = Arc::new(Fragmentation::build(&g, &assignment, k));
-    let mut builder = SimEngine::builder(&g, frag).cache_capacity(num(&flags, "cache", 128));
-    if let Some(method) = flags.get("compress") {
-        builder = builder.compress(match method.as_str() {
-            "simeq" => {
-                if g.node_count() > 20_000 {
-                    fail("simeq compression holds an O(|V|^2) table; use --compress bisim for graphs this large");
-                }
-                CompressionMethod::SimEq
-            }
-            "bisim" => CompressionMethod::Bisim,
-            other => fail(&format!("unknown compression method '{other}'")),
-        });
-        builder = builder.compression_threshold(num(&flags, "compress-threshold", 0.5));
-    }
-    let engine = builder.build();
 
     let cfg = ServerConfig {
         max_connections: num(&flags, "max-conns", 64),
+        drain_grace: std::time::Duration::from_millis(num(&flags, "grace", 5000)),
     };
     let server = Server::bind(&addr, engine, cfg)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+
+    // Additional named sessions, each from its own graph file but
+    // sharing the partition/cache/compression options.
+    if let Some(spec) = flags.get("sessions") {
+        let sessions = server.sessions();
+        for entry in spec.split(',') {
+            let (name, path) = entry
+                .split_once('=')
+                .unwrap_or_else(|| fail(&format!("--sessions: '{entry}' is not NAME=FILE")));
+            if name.is_empty() || name == "default" {
+                fail(&format!(
+                    "--sessions: '{name}' is not a usable session name"
+                ));
+            }
+            let (sg, sengine) = build_engine(path, &flags);
+            sessions.insert(name, sengine);
+            println!(
+                "dgsd: session '{name}' <- {path} (|V| = {}, |E| = {})",
+                sg.node_count(),
+                sg.edge_count()
+            );
+        }
+    }
+
     println!(
         "dgsd: serving {graph_path} (|V| = {}, |E| = {}, {k} sites) on {}",
         g.node_count(),

@@ -16,8 +16,16 @@
 //! p50/p95/p99/max latency from the merged per-client
 //! `LatencyHistogram`s. Exit status is nonzero when any request
 //! errored, which is what the CI smoke job asserts on.
+//!
+//! `--session NAME` routes every client at a named server session.
+//! `--json PATH` additionally writes the run as a versioned
+//! `ServingSnapshot` (the `BENCH_serving.json` artifact), and
+//! `--baseline PATH` compares against a committed snapshot, exiting
+//! nonzero when throughput or a latency quantile regressed more than
+//! 20% — that is the CI perf gate.
 
 use dgs_graph::io as gio;
+use dgs_net::ServingSnapshot;
 use dgs_serve::{run_load, LoadConfig, LoadMode, ServeAddr};
 use std::collections::HashMap;
 use std::fs::File;
@@ -30,14 +38,16 @@ fn fail(msg: &str) -> ! {
 }
 
 const ALLOWED: &[&str] = &[
-    "addr", "clients", "requests", "mode", "rate", "batch", "deltas", "pattern", "seed",
+    "addr", "clients", "requests", "mode", "rate", "batch", "deltas", "pattern", "seed", "session",
+    "json", "baseline",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dgsload --addr tcp:HOST:PORT|unix:/PATH.sock [--clients N] [--requests R]\n          \
          [--mode closed|open] [--rate RPS] [--batch B] [--deltas EVERY]\n          \
-         [--pattern FILE[,FILE...]] [--seed S]"
+         [--pattern FILE[,FILE...]] [--seed S] [--session NAME]\n          \
+         [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]"
     );
     exit(2);
 }
@@ -123,12 +133,13 @@ fn main() {
         batch_size: num(&flags, "batch", 1),
         seed: num(&flags, "seed", 1),
         patterns,
+        session: flags.get("session").cloned(),
     };
     if cfg.clients == 0 || cfg.requests_per_client == 0 {
         fail("--clients and --requests must be >= 1");
     }
     println!(
-        "dgsload: {} clients x {} requests, {} mode{} -> {}",
+        "dgsload: {} clients x {} requests, {} mode{}{} -> {}",
         cfg.clients,
         cfg.requests_per_client,
         match cfg.mode {
@@ -139,6 +150,10 @@ fn main() {
             format!(", delta every {} requests", cfg.delta_every)
         } else {
             String::new()
+        },
+        match &cfg.session {
+            Some(name) => format!(", session '{name}'"),
+            None => String::new(),
         },
         addr_s
     );
@@ -164,8 +179,39 @@ fn main() {
     if report.failed_connects > 0 {
         println!("  failed connects: {}", report.failed_connects);
     }
+
+    let snapshot = ServingSnapshot::of_run(
+        h,
+        report.completed,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  snapshot written to {path}");
+    }
+    let mut regressed = false;
+    if let Some(path) = flags.get("baseline") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        let baseline = ServingSnapshot::parse_json(&text)
+            .unwrap_or_else(|| fail(&format!("{path}: not a serving snapshot this build reads")));
+        let verdicts = snapshot.regressions(&baseline, 0.20, 500.0);
+        if verdicts.is_empty() {
+            println!("  baseline {path}: within tolerance");
+        } else {
+            for v in &verdicts {
+                eprintln!("dgsload: REGRESSION vs {path}: {v}");
+            }
+            regressed = true;
+        }
+    }
     if report.errors > 0 {
         eprintln!("dgsload: {} requests errored", report.errors);
+        exit(1);
+    }
+    if regressed {
         exit(1);
     }
 }

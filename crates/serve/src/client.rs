@@ -12,8 +12,8 @@
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::{
-    frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireAlgorithm,
-    WireCacheStats, WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
+    frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionInfo, SessionOptions,
+    WireAlgorithm, WireCacheStats, WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::transport::{Conn, ServeAddr};
 use crate::wire::{read_frame, write_frame};
@@ -45,7 +45,7 @@ impl DgsClient {
                     return Err(ServeError::corrupt("malformed WELCOME"));
                 }
                 let version = payload[4];
-                if version < 1 || version > WIRE_VERSION {
+                if !(1..=WIRE_VERSION).contains(&version) {
                     return Err(ServeError::UnsupportedVersion {
                         ours: WIRE_VERSION,
                         theirs: version,
@@ -210,6 +210,55 @@ impl DgsClient {
                 sites,
             } => Ok((nodes, edges, sites)),
             _ => Self::unexpected("LOAD_GRAPH"),
+        }
+    }
+
+    /// Creates (or replaces) a named session on the server.
+    pub fn session_create(
+        &mut self,
+        name: &str,
+        graph: &Graph,
+        options: &SessionOptions,
+    ) -> Result<SessionInfo, ServeError> {
+        match self.call(&Request::SessionCreate {
+            name: name.to_owned(),
+            graph: graph.clone(),
+            options: options.clone(),
+        })? {
+            Response::SessionCreated(info) => Ok(info),
+            _ => Self::unexpected("SESSION_CREATE"),
+        }
+    }
+
+    /// Every session the server hosts, sorted by name.
+    pub fn session_list(&mut self) -> Result<Vec<SessionInfo>, ServeError> {
+        match self.call(&Request::SessionList)? {
+            Response::Sessions(infos) => Ok(infos),
+            _ => Self::unexpected("SESSION_LIST"),
+        }
+    }
+
+    /// Drops a named session ([`ErrorCode::NoSuchSession`] when the
+    /// server does not host it).
+    pub fn session_drop(&mut self, name: &str) -> Result<(), ServeError> {
+        match self.call(&Request::SessionDrop {
+            name: name.to_owned(),
+        })? {
+            Response::SessionDropped => Ok(()),
+            _ => Self::unexpected("SESSION_DROP"),
+        }
+    }
+
+    /// Points this connection at the named sessions: one name routes
+    /// every request there; several fan queries out with merged
+    /// answers; an **empty list** fans out over all hosted sessions.
+    /// Returns how many sessions the route resolves to right now.
+    pub fn session_route<S: AsRef<str>>(&mut self, sessions: &[S]) -> Result<u64, ServeError> {
+        match self.call(&Request::SessionRoute {
+            sessions: sessions.iter().map(|s| s.as_ref().to_owned()).collect(),
+        })? {
+            Response::SessionRouted { sessions } => Ok(sessions),
+            _ => Self::unexpected("SESSION_ROUTE"),
         }
     }
 

@@ -31,6 +31,9 @@ pub enum ErrorCode {
     ShuttingDown = 7,
     /// Any other server-side failure.
     Internal = 8,
+    /// The request named (or the connection is routed to) a session
+    /// the server does not host.
+    NoSuchSession = 9,
 }
 
 impl ErrorCode {
@@ -50,6 +53,7 @@ impl ErrorCode {
             5 => ErrorCode::Malformed,
             6 => ErrorCode::Busy,
             7 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::NoSuchSession,
             _ => ErrorCode::Internal,
         }
     }
@@ -167,6 +171,7 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::NoSuchSession,
         ] {
             assert_eq!(ErrorCode::from_u16(code.to_u16()), code);
         }

@@ -17,9 +17,17 @@
 //! | [`wire`] | framing + primitive codecs; bounds-checked [`wire::Reader`] |
 //! | [`proto`] | [`Request`]/[`Response`] frames, [`Answer`], version handshake |
 //! | [`transport`] | [`ServeAddr`] (`tcp:`/`unix:` spellings), stream + listener |
-//! | [`server`] | [`Server`]: thread-per-connection daemon core with admission control |
+//! | [`session`] | [`SessionManager`]: named sessions, routing, fan-out merge |
+//! | [`server`] | [`Server`]: thread-per-connection daemon core with admission control and drain shutdown |
 //! | [`client`] | [`DgsClient`]: the typed blocking client |
 //! | [`load`] | [`run_load`]: open-/closed-loop traffic generation |
+//!
+//! Queries never block behind a writer: every engine is
+//! snapshot-isolated (reads run against an immutable, atomically
+//! swapped generation snapshot), and a daemon hosts many engines as
+//! named **sessions** — `SESSION_CREATE`/`SESSION_DROP` manage them,
+//! `SESSION_ROUTE` points a connection at one or fans queries out
+//! across several with per-query-node relation merge.
 //!
 //! Two binaries ship with the crate: **`dgsd`**, the daemon, and
 //! **`dgsload`**, the traffic generator (throughput + p50/p95/p99
@@ -62,6 +70,7 @@ pub mod error;
 pub mod load;
 pub mod proto;
 pub mod server;
+pub mod session;
 pub mod transport;
 pub mod wire;
 
@@ -69,8 +78,9 @@ pub use client::DgsClient;
 pub use error::{ErrorCode, ServeError};
 pub use load::{mixed_pattern_pool, run_load, LoadConfig, LoadMode, LoadReport};
 pub use proto::{
-    Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireAlgorithm,
+    Answer, DeltaSummary, GraphInfo, Request, Response, SessionInfo, SessionOptions, WireAlgorithm,
     WireCacheStats, WireCompression, WireMetrics, WirePartitioner, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::{merge_answers, Route, SessionManager, DEFAULT_SESSION};
 pub use transport::{Conn, Listener, ServeAddr};

@@ -56,6 +56,9 @@ pub struct LoadConfig {
     /// The query pool, cycled per request. When empty, [`run_load`]
     /// generates a mixed pool from the daemon's graph info.
     pub patterns: Vec<Pattern>,
+    /// The named session to hammer (`None` = the server default).
+    /// Every client issues a `SESSION_ROUTE` right after connecting.
+    pub session: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -69,6 +72,7 @@ impl Default for LoadConfig {
             batch_size: 1,
             seed: 1,
             patterns: Vec::new(),
+            session: None,
         }
     }
 }
@@ -132,6 +136,9 @@ pub fn mixed_pattern_pool(pool: usize, labels: usize, seed: u64) -> Vec<Pattern>
 pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     let probe_info = {
         let mut probe = DgsClient::connect(&cfg.addr)?;
+        if let Some(session) = &cfg.session {
+            probe.session_route(&[session.as_str()])?;
+        }
         probe.graph_info()?
     };
     let nodes = probe_info.nodes.max(1);
@@ -206,6 +213,15 @@ fn run_client(
             return out;
         }
     };
+    if let Some(session) = &cfg.session {
+        // A client that cannot reach its session fails its quota the
+        // same way (every request would hit NoSuchSession anyway).
+        if client.session_route(&[session.as_str()]).is_err() {
+            out.failed_connect = true;
+            out.errors = cfg.requests_per_client as u64;
+            return out;
+        }
+    }
     let mut rng = cfg
         .seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)

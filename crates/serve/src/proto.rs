@@ -5,7 +5,9 @@
 //! `QUERY`/`QUERY_BATCH` (answers ship the match relation, the plan
 //! explanation and the run metrics), `APPLY_DELTA`, `CACHE_STATS`,
 //! `COMPRESSION_INFO`, `GRAPH_INFO`, `LOAD_GRAPH` (session
-//! replacement) and the `SHUTDOWN` admin frame. Graphs and patterns
+//! replacement), the v2 `SESSION_*` frames (named-session hosting,
+//! per-connection routing and query fan-out) and the `SHUTDOWN`
+//! admin frame. Graphs and patterns
 //! reuse the binary encoding of `dgs_graph::io` verbatim, so a file
 //! written by `dgsq convert` is byte-for-byte what `LOAD_GRAPH`
 //! ships.
@@ -23,8 +25,10 @@ use dgs_sim::MatchRelation;
 
 /// Magic the handshake frames carry ("DGSW": dgs wire).
 pub const WIRE_MAGIC: [u8; 4] = *b"DGSW";
-/// The highest protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The highest protocol version this build speaks. v2 added the
+/// `SESSION_*` frames (multi-session hosting + routing); v1 peers
+/// negotiate down and simply never see them.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame type bytes. Requests are `0x1x`, responses `0x2x`, the error
 /// response is `0x3f`; handshake frames are `0x0x`.
@@ -41,6 +45,10 @@ pub mod frame {
     pub const COMPRESSION_INFO: u8 = 0x16;
     pub const LOAD_GRAPH: u8 = 0x17;
     pub const SHUTDOWN: u8 = 0x18;
+    pub const SESSION_CREATE: u8 = 0x19;
+    pub const SESSION_LIST: u8 = 0x1a;
+    pub const SESSION_DROP: u8 = 0x1b;
+    pub const SESSION_ROUTE: u8 = 0x1c;
 
     pub const PONG: u8 = 0x20;
     pub const GRAPH_INFO_R: u8 = 0x21;
@@ -51,6 +59,10 @@ pub mod frame {
     pub const COMPRESSION_INFO_R: u8 = 0x26;
     pub const LOADED: u8 = 0x27;
     pub const SHUTTING_DOWN: u8 = 0x28;
+    pub const SESSION_CREATED: u8 = 0x29;
+    pub const SESSION_LIST_R: u8 = 0x2a;
+    pub const SESSION_DROPPED: u8 = 0x2b;
+    pub const SESSION_ROUTED: u8 = 0x2c;
 
     pub const ERROR: u8 = 0x3f;
 }
@@ -223,7 +235,7 @@ pub enum Request {
     CacheStats,
     /// The session's compressed-leg summary.
     CompressionInfo,
-    /// Replace the served session with a freshly built one (admin).
+    /// Replace the routed session with a freshly built one (admin).
     LoadGraph {
         /// The new data graph.
         graph: Graph,
@@ -232,6 +244,30 @@ pub enum Request {
     },
     /// Stop the daemon (admin).
     Shutdown,
+    /// Create (or replace) a named session built from a shipped graph.
+    SessionCreate {
+        /// The session name (routing key).
+        name: String,
+        /// The session's data graph.
+        graph: Graph,
+        /// Session build options.
+        options: SessionOptions,
+    },
+    /// List the hosted sessions.
+    SessionList,
+    /// Drop a named session.
+    SessionDrop {
+        /// The session to drop.
+        name: String,
+    },
+    /// Point this connection's subsequent requests at `sessions`:
+    /// one name routes to that session; several fan queries out
+    /// across them; an **empty** list fans out across every session
+    /// the server hosts at query time.
+    SessionRoute {
+        /// Target sessions (empty = all, resolved per request).
+        sessions: Vec<String>,
+    },
 }
 
 /// Metric counters shipped back with every answer — the wire subset
@@ -462,6 +498,42 @@ pub struct WireCompression {
     pub active: bool,
 }
 
+/// One hosted session as reported by `SESSION_LIST` /
+/// `SESSION_CREATED`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The routing key.
+    pub name: String,
+    /// Data-graph nodes.
+    pub nodes: u64,
+    /// Data-graph edges.
+    pub edges: u64,
+    /// Fragmentation sites.
+    pub sites: u16,
+    /// The session's current graph generation.
+    pub generation: u64,
+}
+
+impl SessionInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, &self.name);
+        put_varint(buf, self.nodes);
+        put_varint(buf, self.edges);
+        put_u16(buf, self.sites);
+        put_varint(buf, self.generation);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<SessionInfo, ServeError> {
+        Ok(SessionInfo {
+            name: r.str_("session name")?,
+            nodes: r.varint("nodes")?,
+            edges: r.varint("edges")?,
+            sites: r.u16("sites")?,
+            generation: r.varint("generation")?,
+        })
+    }
+}
+
 /// A server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -484,6 +556,18 @@ pub enum Response {
         sites: u16,
     },
     ShuttingDown,
+    /// The created (or replaced) session's summary.
+    SessionCreated(SessionInfo),
+    /// Every hosted session, sorted by name.
+    Sessions(Vec<SessionInfo>),
+    /// The named session is gone.
+    SessionDropped,
+    /// The route was installed; `sessions` is how many sessions it
+    /// resolved to at install time (for the empty fan-out-all route,
+    /// the count hosted right now).
+    SessionRouted {
+        sessions: u64,
+    },
     Error {
         code: ErrorCode,
         message: String,
@@ -521,6 +605,65 @@ fn decode_edges(r: &mut Reader<'_>, what: &str) -> Result<Vec<(u32, u32)>, Serve
         edges.push((u as u32, v as u32));
     }
     Ok(edges)
+}
+
+/// The options + graph-blob tail shared by `LOAD_GRAPH` and
+/// `SESSION_CREATE`.
+fn encode_options_and_graph(buf: &mut Vec<u8>, options: &SessionOptions, graph: &Graph) {
+    put_u16(buf, options.sites);
+    put_u8(buf, options.partitioner as u8);
+    put_varint(buf, options.seed);
+    put_varint(buf, u64::from(options.cache_capacity));
+    put_u8(
+        buf,
+        match options.compression {
+            None => 0,
+            Some(CompressionMethod::SimEq) => 1,
+            Some(CompressionMethod::Bisim) => 2,
+        },
+    );
+    put_f64(buf, options.compression_threshold);
+    let mut g = Vec::new();
+    gio::write_graph_binary(graph, &mut g).expect("infallible Vec write");
+    put_bytes(buf, &g);
+}
+
+fn decode_options_and_graph(r: &mut Reader<'_>) -> Result<(SessionOptions, Graph), ServeError> {
+    let sites = r.u16("sites")?;
+    let partitioner = WirePartitioner::from_u8(r.u8("partitioner")?)?;
+    let seed = r.varint("seed")?;
+    let cache_capacity = r.varint("cache capacity")?;
+    if cache_capacity > u64::from(u32::MAX) {
+        return Err(ServeError::corrupt("cache capacity exceeds u32"));
+    }
+    let compression = match r.u8("compression")? {
+        0 => None,
+        1 => Some(CompressionMethod::SimEq),
+        2 => Some(CompressionMethod::Bisim),
+        other => {
+            return Err(ServeError::corrupt(format!(
+                "unknown compression byte {other}"
+            )));
+        }
+    };
+    let compression_threshold = r.f64("compression threshold")?;
+    if !compression_threshold.is_finite() {
+        return Err(ServeError::corrupt("compression threshold is not finite"));
+    }
+    let g = r.bytes("graph")?;
+    let graph =
+        gio::read_graph_binary(g).map_err(|e| ServeError::corrupt(format!("bad graph: {e}")))?;
+    Ok((
+        SessionOptions {
+            sites,
+            partitioner,
+            seed,
+            cache_capacity: cache_capacity as u32,
+            compression,
+            compression_threshold,
+        },
+        graph,
+    ))
 }
 
 impl Request {
@@ -562,25 +705,31 @@ impl Request {
             Request::CacheStats => frame::CACHE_STATS,
             Request::CompressionInfo => frame::COMPRESSION_INFO,
             Request::LoadGraph { graph, options } => {
-                put_u16(&mut buf, options.sites);
-                put_u8(&mut buf, options.partitioner as u8);
-                put_varint(&mut buf, options.seed);
-                put_varint(&mut buf, u64::from(options.cache_capacity));
-                put_u8(
-                    &mut buf,
-                    match options.compression {
-                        None => 0,
-                        Some(CompressionMethod::SimEq) => 1,
-                        Some(CompressionMethod::Bisim) => 2,
-                    },
-                );
-                put_f64(&mut buf, options.compression_threshold);
-                let mut g = Vec::new();
-                gio::write_graph_binary(graph, &mut g).expect("infallible Vec write");
-                put_bytes(&mut buf, &g);
+                encode_options_and_graph(&mut buf, options, graph);
                 frame::LOAD_GRAPH
             }
             Request::Shutdown => frame::SHUTDOWN,
+            Request::SessionCreate {
+                name,
+                graph,
+                options,
+            } => {
+                put_str(&mut buf, name);
+                encode_options_and_graph(&mut buf, options, graph);
+                frame::SESSION_CREATE
+            }
+            Request::SessionList => frame::SESSION_LIST,
+            Request::SessionDrop { name } => {
+                put_str(&mut buf, name);
+                frame::SESSION_DROP
+            }
+            Request::SessionRoute { sessions } => {
+                put_varint(&mut buf, sessions.len() as u64);
+                for name in sessions {
+                    put_str(&mut buf, name);
+                }
+                frame::SESSION_ROUTE
+            }
         };
         (ty, buf)
     }
@@ -624,43 +773,32 @@ impl Request {
             frame::CACHE_STATS => Request::CacheStats,
             frame::COMPRESSION_INFO => Request::CompressionInfo,
             frame::LOAD_GRAPH => {
-                let sites = r.u16("sites")?;
-                let partitioner = WirePartitioner::from_u8(r.u8("partitioner")?)?;
-                let seed = r.varint("seed")?;
-                let cache_capacity = r.varint("cache capacity")?;
-                if cache_capacity > u64::from(u32::MAX) {
-                    return Err(ServeError::corrupt("cache capacity exceeds u32"));
-                }
-                let compression = match r.u8("compression")? {
-                    0 => None,
-                    1 => Some(CompressionMethod::SimEq),
-                    2 => Some(CompressionMethod::Bisim),
-                    other => {
-                        return Err(ServeError::corrupt(format!(
-                            "unknown compression byte {other}"
-                        )));
-                    }
-                };
-                let compression_threshold = r.f64("compression threshold")?;
-                if !compression_threshold.is_finite() {
-                    return Err(ServeError::corrupt("compression threshold is not finite"));
-                }
-                let g = r.bytes("graph")?;
-                let graph = gio::read_graph_binary(g)
-                    .map_err(|e| ServeError::corrupt(format!("bad graph: {e}")))?;
-                Request::LoadGraph {
-                    graph,
-                    options: SessionOptions {
-                        sites,
-                        partitioner,
-                        seed,
-                        cache_capacity: cache_capacity as u32,
-                        compression,
-                        compression_threshold,
-                    },
-                }
+                let (options, graph) = decode_options_and_graph(&mut r)?;
+                Request::LoadGraph { graph, options }
             }
             frame::SHUTDOWN => Request::Shutdown,
+            frame::SESSION_CREATE => {
+                let name = r.str_("session name")?;
+                let (options, graph) = decode_options_and_graph(&mut r)?;
+                Request::SessionCreate {
+                    name,
+                    graph,
+                    options,
+                }
+            }
+            frame::SESSION_LIST => Request::SessionList,
+            frame::SESSION_DROP => {
+                let name = r.str_("session name")?;
+                Request::SessionDrop { name }
+            }
+            frame::SESSION_ROUTE => {
+                let n = r.count("route size")?;
+                let mut sessions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sessions.push(r.str_("session name")?);
+                }
+                Request::SessionRoute { sessions }
+            }
             other => {
                 return Err(ServeError::corrupt(format!(
                     "unknown request frame type {other:#04x}"
@@ -771,6 +909,22 @@ impl Response {
                 frame::LOADED
             }
             Response::ShuttingDown => frame::SHUTTING_DOWN,
+            Response::SessionCreated(info) => {
+                info.encode(&mut buf);
+                frame::SESSION_CREATED
+            }
+            Response::Sessions(infos) => {
+                put_varint(&mut buf, infos.len() as u64);
+                for info in infos {
+                    info.encode(&mut buf);
+                }
+                frame::SESSION_LIST_R
+            }
+            Response::SessionDropped => frame::SESSION_DROPPED,
+            Response::SessionRouted { sessions } => {
+                put_varint(&mut buf, *sessions);
+                frame::SESSION_ROUTED
+            }
             Response::Error { code, message } => {
                 put_u16(&mut buf, code.to_u16());
                 put_str(&mut buf, message);
@@ -898,6 +1052,19 @@ impl Response {
                 }
             }
             frame::SHUTTING_DOWN => Response::ShuttingDown,
+            frame::SESSION_CREATED => Response::SessionCreated(SessionInfo::decode(&mut r)?),
+            frame::SESSION_LIST_R => {
+                let n = r.count("session count")?;
+                let mut infos = Vec::with_capacity(n);
+                for _ in 0..n {
+                    infos.push(SessionInfo::decode(&mut r)?);
+                }
+                Response::Sessions(infos)
+            }
+            frame::SESSION_DROPPED => Response::SessionDropped,
+            frame::SESSION_ROUTED => Response::SessionRouted {
+                sessions: r.varint("routed session count")?,
+            },
             frame::ERROR => {
                 let code = ErrorCode::from_u16(r.u16("error code")?);
                 let message = r.str_("error message")?;

@@ -1,10 +1,19 @@
-//! The serving daemon core: a thread-per-connection server wrapping
-//! one shared [`SimEngine`] session.
+//! The serving daemon core: a thread-per-connection server hosting
+//! named [`SimEngine`] sessions behind a [`SessionManager`].
 //!
-//! * **Sharing** — the engine sits behind an `RwLock`: queries and
-//!   stats take the read lock and run concurrently (the engine is
-//!   `Send + Sync`); `APPLY_DELTA` and `LOAD_GRAPH` take the write
-//!   lock, so a delta is a barrier exactly like it is in-process.
+//! * **Sharing** — there is no lock around the engines on the serve
+//!   path. Each engine is snapshot-isolated: queries clone the
+//!   published generation snapshot and run lock-free; `APPLY_DELTA`
+//!   builds the next generation off the read path and publishes it
+//!   with an atomic swap. A delta is **not** a barrier — queries
+//!   admitted before, during and after it all complete against
+//!   exactly one generation.
+//! * **Sessions** — the daemon hosts any number of named sessions
+//!   (`SESSION_CREATE` / `SESSION_DROP`); every connection carries a
+//!   route (default: the `"default"` session) that `SESSION_ROUTE`
+//!   repoints, possibly at several sessions at once, in which case
+//!   queries fan out and the per-shard relations are merged (see
+//!   [`crate::session`]).
 //! * **Admission control** — at most
 //!   [`ServerConfig::max_connections`] connections are served at
 //!   once. A connection over the limit still gets a well-formed
@@ -13,26 +22,30 @@
 //!   backpressure ([`crate::ServeError::is_busy`]) instead of a
 //!   hang-up, and can retry elsewhere/later.
 //! * **Shutdown** — the `SHUTDOWN` frame (or
-//!   [`ServerHandle::shutdown`]) stops the acceptor, force-closes the
-//!   remaining sockets and joins every connection thread before
-//!   [`Server::run`] returns.
+//!   [`ServerHandle::shutdown`]) stops the acceptor, then **drains**:
+//!   in-flight requests finish and their responses are written in
+//!   full; idle connections get a typed `ShuttingDown` error frame.
+//!   Only connections still busy after [`ServerConfig::drain_grace`]
+//!   are force-closed. A client mid-request therefore sees its answer
+//!   or a typed error — never a short read.
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::{
     frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireCacheStats,
     WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
 };
+use crate::session::{merge_answers, merge_metrics, session_info, Route, SessionManager};
 use crate::transport::{Conn, Listener, ServeAddr};
 use crate::wire::{read_frame, write_frame};
-use dgs_core::{DgsError, GraphDelta, RunReport, SimEngine};
-use dgs_graph::{Graph, NodeId, QNodeId};
+use dgs_core::{Algorithm, DgsError, GraphDelta, RunReport, SimEngine};
+use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
 use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -40,29 +53,35 @@ pub struct ServerConfig {
     /// Connections served concurrently; further clients get a typed
     /// `Busy` rejection (admission-control backpressure).
     pub max_connections: usize,
+    /// How long shutdown waits for in-flight requests to drain before
+    /// force-closing the remaining sockets.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_connections: 64,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
 
 /// State shared between the acceptor and the connection threads.
 struct Shared {
-    engine: Arc<RwLock<SimEngine>>,
+    sessions: Arc<SessionManager>,
     shutdown: AtomicBool,
     active: AtomicUsize,
     served: AtomicU64,
     rejected: AtomicU64,
     next_conn: AtomicU64,
-    /// Socket clones of the live connections, force-closed on
-    /// shutdown so blocked readers unblock.
+    /// Socket clones of the live connections; shutdown uses them to
+    /// impose read timeouts (drain) and, past the grace period, to
+    /// force-close blocked readers.
     conns: Mutex<HashMap<u64, Conn>>,
     addr: ServeAddr,
     max_connections: usize,
+    drain_grace: Duration,
 }
 
 impl Shared {
@@ -82,14 +101,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` and wraps `engine` for serving.
+    /// Binds `addr` and hosts `engine` as the `"default"` session.
     pub fn bind(addr: &ServeAddr, engine: SimEngine, cfg: ServerConfig) -> io::Result<Server> {
         let listener = Listener::bind(addr)?;
         let resolved = listener.local_addr()?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                engine: Arc::new(RwLock::new(engine)),
+                sessions: Arc::new(SessionManager::new(engine)),
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
@@ -98,6 +117,7 @@ impl Server {
                 conns: Mutex::new(HashMap::new()),
                 addr: resolved,
                 max_connections: cfg.max_connections,
+                drain_grace: cfg.drain_grace,
             }),
         })
     }
@@ -107,10 +127,22 @@ impl Server {
         self.shared.addr.clone()
     }
 
-    /// The served session, shared with every connection (tests use
-    /// this as the in-process oracle handle).
-    pub fn engine(&self) -> Arc<RwLock<SimEngine>> {
-        Arc::clone(&self.shared.engine)
+    /// The `"default"` session's engine, shared with every connection
+    /// (tests use this as the in-process oracle handle).
+    ///
+    /// # Panics
+    /// If the default session was dropped or replaced via the wire.
+    pub fn engine(&self) -> Arc<SimEngine> {
+        self.shared
+            .sessions
+            .get(crate::session::DEFAULT_SESSION)
+            .expect("default session is hosted")
+    }
+
+    /// The session registry (add sessions before `run`/`spawn`, or
+    /// concurrently — the map is its own synchronization).
+    pub fn sessions(&self) -> Arc<SessionManager> {
+        Arc::clone(&self.shared.sessions)
     }
 
     /// Serves until a `SHUTDOWN` frame arrives (or
@@ -162,7 +194,21 @@ impl Server {
                 });
             }
         }
-        // Unblock readers, then wait for the connection threads.
+        // Drain: in-flight requests finish and their responses go out
+        // in full. Blocked readers get a short read timeout (set on
+        // the socket clone, which shares the underlying socket) so
+        // they observe the shutdown flag and answer a typed
+        // ShuttingDown error instead of being cut off mid-frame. The
+        // timeout is re-imposed each pass because connections may
+        // still be inside a long request when an earlier pass ran.
+        let deadline = Instant::now() + shared.drain_grace;
+        while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            for (_, conn) in shared.conns.lock().iter() {
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Stragglers past the grace period get force-closed.
         for (_, conn) in shared.conns.lock().iter() {
             let _ = conn.shutdown();
         }
@@ -201,9 +247,20 @@ impl ServerHandle {
         &self.addr
     }
 
-    /// The shared session (the tests' oracle handle).
-    pub fn engine(&self) -> Arc<RwLock<SimEngine>> {
-        Arc::clone(&self.shared.engine)
+    /// The `"default"` session's engine (the tests' oracle handle).
+    ///
+    /// # Panics
+    /// If the default session was dropped or replaced via the wire.
+    pub fn engine(&self) -> Arc<SimEngine> {
+        self.shared
+            .sessions
+            .get(crate::session::DEFAULT_SESSION)
+            .expect("default session is hosted")
+    }
+
+    /// The session registry.
+    pub fn sessions(&self) -> Arc<SessionManager> {
+        Arc::clone(&self.shared.sessions)
     }
 
     /// Connections rejected by admission control so far.
@@ -216,7 +273,7 @@ impl ServerHandle {
         self.shared.served.load(Ordering::SeqCst)
     }
 
-    /// Stops the server and joins it.
+    /// Stops the server (drain, then force-close) and joins it.
     pub fn shutdown(self) -> io::Result<()> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake_acceptor();
@@ -237,6 +294,15 @@ fn reject_busy(mut conn: Conn) {
         .encode();
         let _ = write_frame(&mut conn, ty, &payload);
     }
+}
+
+/// True for the read-timeout kinds a drain-imposed `SO_RCVTIMEO`
+/// produces (platform-dependently one or the other).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Performs the handshake, then serves request frames until the peer
@@ -279,9 +345,31 @@ fn serve_connection(mut conn: Conn, shared: &Shared) -> Result<(), ServeError> {
     write_frame(&mut conn, frame::WELCOME, &welcome)?;
     conn.set_read_timeout(None)?;
 
+    // Where this connection's requests go; SESSION_ROUTE repoints it.
+    let mut route = Route::default();
+
     loop {
-        let Some((ty, payload)) = read_frame(&mut conn)? else {
-            return Ok(());
+        let (ty, payload) = match read_frame(&mut conn) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()),
+            // A read timeout only ever fires while shutdown is
+            // draining (the drain loop imposes it); tell the peer and
+            // hang up cleanly — the response stream is framed and only
+            // this thread writes it, so the error arrives intact.
+            Err(ServeError::Io(e)) if is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    send(
+                        &mut conn,
+                        Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is shutting down".into(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             send(
@@ -309,7 +397,7 @@ fn serve_connection(mut conn: Conn, shared: &Shared) -> Result<(), ServeError> {
             }
         };
         let wants_shutdown = matches!(req, Request::Shutdown);
-        let resp = execute(&req, shared);
+        let resp = execute(&req, shared, &mut route);
         shared.served.fetch_add(1, Ordering::SeqCst);
         send(&mut conn, resp)?;
         if wants_shutdown {
@@ -330,6 +418,23 @@ fn dgs_error(e: &DgsError) -> Response {
     Response::Error {
         code: ErrorCode::of_dgs(e),
         message: e.to_string(),
+    }
+}
+
+fn no_such_session(name: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::NoSuchSession,
+        message: format!("no session named {name:?} is hosted"),
+    }
+}
+
+fn single_target_only(what: &str, n: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Unsupported,
+        message: format!(
+            "{what} needs a single-session route, but this connection is routed to {n} sessions; \
+             SESSION_ROUTE to one session first"
+        ),
     }
 }
 
@@ -354,12 +459,97 @@ fn answer_of_report(report: &RunReport) -> Answer {
     }
 }
 
-/// Runs one request against the shared session.
-fn execute(req: &Request, shared: &Shared) -> Response {
+/// Resolves the connection's route, mapping a missing session to its
+/// typed error (boxed: the happy path should not pay for the error
+/// variant's size).
+#[allow(clippy::type_complexity)]
+fn resolve(shared: &Shared, route: &Route) -> Result<Vec<(String, Arc<SimEngine>)>, Box<Response>> {
+    match shared.sessions.resolve(route) {
+        Ok(engines) if engines.is_empty() => Err(Box::new(Response::Error {
+            code: ErrorCode::NoSuchSession,
+            message: "no sessions are hosted (all were dropped)".into(),
+        })),
+        Ok(engines) => Ok(engines),
+        Err(name) => Err(Box::new(no_such_session(&name))),
+    }
+}
+
+/// Runs one data-selecting query on every routed shard concurrently
+/// and merges the relations (see [`crate::session::merge_answers`]).
+fn fan_out_query(
+    engines: &[(String, Arc<SimEngine>)],
+    algo: &Algorithm,
+    pattern: &Pattern,
+) -> Result<Answer, DgsError> {
+    let parts: Result<Vec<Answer>, DgsError> = std::thread::scope(|s| {
+        let handles: Vec<_> = engines
+            .iter()
+            .map(|(_, engine)| {
+                s.spawn(move || {
+                    engine
+                        .query_with(algo, pattern)
+                        .map(|r| answer_of_report(&r))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard query thread panicked"))
+            .collect()
+    });
+    parts.map(|parts| merge_answers(&parts))
+}
+
+/// Runs a batch on every routed shard concurrently and merges
+/// item-wise; a shard error on an item wins over other shards'
+/// answers for it (partial unions would be silently wrong).
+fn fan_out_batch(
+    engines: &[(String, Arc<SimEngine>)],
+    algo: &Algorithm,
+    patterns: &[Pattern],
+) -> Response {
+    let shard_batches: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = engines
+            .iter()
+            .map(|(_, engine)| s.spawn(move || engine.query_batch_with(algo, patterns)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard batch thread panicked"))
+            .collect()
+    });
+    let mut total = WireMetrics::default();
+    for batch in &shard_batches {
+        merge_metrics(&mut total, &WireMetrics::of_run(&batch.total));
+    }
+    let items = (0..patterns.len())
+        .map(|i| {
+            let mut parts = Vec::with_capacity(shard_batches.len());
+            for batch in &shard_batches {
+                match &batch.reports[i] {
+                    Ok(report) => parts.push(answer_of_report(report)),
+                    Err(e) => return Err((ErrorCode::of_dgs(e), e.to_string())),
+                }
+            }
+            Ok(merge_answers(&parts))
+        })
+        .collect();
+    Response::BatchAnswer { items, total }
+}
+
+/// Runs one request against the routed session(s).
+fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::GraphInfo => {
-            let engine = shared.engine.read();
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            if engines.len() > 1 {
+                return single_target_only("GRAPH_INFO", engines.len());
+            }
+            let engine = &engines[0].1;
             let g = engine.graph();
             let frag = engine.fragmentation();
             Response::GraphInfo(GraphInfo {
@@ -377,8 +567,27 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             algorithm,
             boolean,
         } => {
-            let engine = shared.engine.read();
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
             let algo = algorithm.to_algorithm();
+            if engines.len() > 1 {
+                // Fan-out runs data-selecting even for Boolean
+                // queries: is_match must come from the *merged*
+                // relation's totality — OR-ing per-shard flags would
+                // claim matches no union supports per query node.
+                return match fan_out_query(&engines, &algo, pattern) {
+                    Ok(mut answer) => {
+                        if *boolean {
+                            answer.rows = Vec::new();
+                        }
+                        Response::Answer(answer)
+                    }
+                    Err(e) => dgs_error(&e),
+                };
+            }
+            let engine = &engines[0].1;
             if *boolean {
                 match engine.query_boolean_with(&algo, pattern) {
                     Ok(report) => Response::Answer(Answer {
@@ -401,8 +610,15 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             patterns,
             algorithm,
         } => {
-            let engine = shared.engine.read();
-            let batch = engine.query_batch_with(&algorithm.to_algorithm(), patterns);
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            let algo = algorithm.to_algorithm();
+            if engines.len() > 1 {
+                return fan_out_batch(&engines, &algo, patterns);
+            }
+            let batch = engines[0].1.query_batch_with(&algo, patterns);
             let items = batch
                 .reports
                 .iter()
@@ -420,6 +636,13 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             insert_edges,
             delete_edges,
         } => {
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            if engines.len() > 1 {
+                return single_target_only("APPLY_DELTA", engines.len());
+            }
             let delta = GraphDelta {
                 insert_edges: insert_edges
                     .iter()
@@ -430,8 +653,10 @@ fn execute(req: &Request, shared: &Shared) -> Response {
                     .map(|&(u, v)| (NodeId(u), NodeId(v)))
                     .collect(),
             };
-            let mut engine = shared.engine.write();
-            match engine.apply_delta(&delta) {
+            // No lock: the engine serializes writers internally and
+            // queries keep running against the published snapshot
+            // while the next generation is built.
+            match engines[0].1.apply_delta(&delta) {
                 Ok(report) => Response::DeltaApplied(DeltaSummary {
                     inserted: report.inserted as u64,
                     deleted: report.deleted as u64,
@@ -449,8 +674,14 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             }
         }
         Request::CacheStats => {
-            let engine = shared.engine.read();
-            Response::CacheStats(engine.cache_stats().map(|s| WireCacheStats {
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            if engines.len() > 1 {
+                return single_target_only("CACHE_STATS", engines.len());
+            }
+            Response::CacheStats(engines[0].1.cache_stats().map(|s| WireCacheStats {
                 entries: s.entries as u64,
                 capacity: s.capacity as u64,
                 hits: s.hits,
@@ -460,7 +691,14 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             }))
         }
         Request::CompressionInfo => {
-            let engine = shared.engine.read();
+            let engines = match resolve(shared, route) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            if engines.len() > 1 {
+                return single_target_only("COMPRESSION_INFO", engines.len());
+            }
+            let engine = &engines[0].1;
             let active = engine.compression_active();
             Response::CompressionInfo(engine.compression_note().map(|n| WireCompression {
                 classes: n.classes as u64,
@@ -469,27 +707,72 @@ fn execute(req: &Request, shared: &Shared) -> Response {
                 active,
             }))
         }
-        Request::LoadGraph { graph, options } => match build_session(graph, options) {
-            Ok(engine) => {
-                let (nodes, edges) = (graph.node_count() as u64, graph.edge_count() as u64);
-                *shared.engine.write() = engine;
-                Response::Loaded {
-                    nodes,
-                    edges,
-                    sites: options.sites,
+        Request::LoadGraph { graph, options } => {
+            let name = match route {
+                Route::Single(name) => name.clone(),
+                Route::Many(_) | Route::All => {
+                    return single_target_only("LOAD_GRAPH", shared.sessions.len())
                 }
+            };
+            // Build off-path; only the map swap is synchronized.
+            match build_session(graph, options) {
+                Ok(engine) => {
+                    let (nodes, edges) = (graph.node_count() as u64, graph.edge_count() as u64);
+                    shared.sessions.insert(&name, engine);
+                    Response::Loaded {
+                        nodes,
+                        edges,
+                        sites: options.sites,
+                    }
+                }
+                Err(message) => Response::Error {
+                    code: ErrorCode::Malformed,
+                    message,
+                },
+            }
+        }
+        Request::SessionCreate {
+            name,
+            graph,
+            options,
+        } => match build_session(graph, options) {
+            Ok(engine) => {
+                let engine = shared.sessions.insert(name, engine);
+                Response::SessionCreated(session_info(name, &engine))
             }
             Err(message) => Response::Error {
                 code: ErrorCode::Malformed,
                 message,
             },
         },
+        Request::SessionList => Response::Sessions(shared.sessions.infos()),
+        Request::SessionDrop { name } => {
+            if shared.sessions.remove(name) {
+                Response::SessionDropped
+            } else {
+                no_such_session(name)
+            }
+        }
+        Request::SessionRoute { sessions } => {
+            let new_route = Route::of_names(sessions.clone());
+            // Named routes are validated now (typed error instead of a
+            // silently broken connection); Route::All re-resolves on
+            // every request by design.
+            match shared.sessions.resolve(&new_route) {
+                Ok(engines) => {
+                    let n = engines.len() as u64;
+                    *route = new_route;
+                    Response::SessionRouted { sessions: n }
+                }
+                Err(name) => no_such_session(&name),
+            }
+        }
         Request::Shutdown => Response::ShuttingDown,
     }
 }
 
-/// Builds a fresh session per `LOAD_GRAPH` options (outside the
-/// engine lock — only the swap blocks traffic).
+/// Builds a fresh session per `LOAD_GRAPH` / `SESSION_CREATE` options
+/// (off any lock — only the registry swap is synchronized).
 pub(crate) fn build_session(graph: &Graph, options: &SessionOptions) -> Result<SimEngine, String> {
     use crate::proto::WirePartitioner;
     let k = usize::from(options.sites);

@@ -22,7 +22,7 @@ fn main() {
     let graph = dgs::graph::generate::social::social_network(n, 4 * n, 8, &pattern, 25, 7);
     let assign = hash_partition(graph.node_count(), 4, 7);
     let frag = Arc::new(Fragmentation::build(&graph, &assign, 4));
-    let mut engine = SimEngine::builder(&graph, frag).build();
+    let engine = SimEngine::builder(&graph, frag).build();
     println!(
         "session: |V| = {}, |E| = {}, |F| = 4, |Ef| = {}",
         graph.node_count(),

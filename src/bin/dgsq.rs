@@ -13,6 +13,7 @@
 //! dgsq convert  --in FILE --out FILE --format text|binary
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]   (or --remote ADDR)
 //! dgsq stats    --graph FILE                                       (or --remote ADDR)
+//! dgsq session  --remote ADDR [--create NAME --graph FILE [--sites K] ...| --drop NAME]
 //! dgsq shutdown --remote ADDR
 //! dgsq worker   [--listen HOST:PORT]
 //! ```
@@ -29,6 +30,14 @@
 //! daemon as a fresh session, `compress` reports the daemon session's
 //! compressed leg, `stats` prints the served graph/fragmentation
 //! summary, and `shutdown` stops the daemon.
+//!
+//! **Sessions**: a daemon hosts named sessions. `dgsq session` lists,
+//! creates (`--create NAME --graph FILE`, with the same
+//! sites/partition/cache/compress options as `generate --remote`) and
+//! drops them; `--session NAME` on `query`/`stats`/`compress` routes
+//! the connection at that session instead of `"default"`, and on
+//! `generate --remote` loads the generated graph **as** that named
+//! session (creating or replacing it).
 //!
 //! Graphs and patterns load in either the line-oriented text format
 //! of `dgs_graph::io` or its binary twin (magic `DGSB`); `dgsq
@@ -81,6 +90,7 @@ fn usage() -> ! {
          dgsq convert --in FILE --out FILE --format text|binary\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]  |  dgsq compress --remote ADDR\n  \
          dgsq stats --graph FILE  |  dgsq stats --remote ADDR\n  \
+         dgsq session --remote ADDR [--create NAME --graph FILE [--sites K] [--partition P] ... | --drop NAME]\n  \
          dgsq shutdown --remote ADDR\n  \
          dgsq worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
@@ -104,6 +114,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "cache",
             "compress",
             "compress-threshold",
+            "session",
         ],
         "query" => &[
             "graph",
@@ -124,11 +135,24 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "remote",
             "workers",
             "attach",
+            "session",
         ],
         "convert" => &["in", "out", "format"],
         "worker" => &["listen"],
-        "compress" => &["graph", "method", "out", "remote"],
-        "stats" => &["graph", "remote"],
+        "compress" => &["graph", "method", "out", "remote", "session"],
+        "stats" => &["graph", "remote", "session"],
+        "session" => &[
+            "remote",
+            "create",
+            "drop",
+            "graph",
+            "sites",
+            "partition",
+            "seed",
+            "cache",
+            "compress",
+            "compress-threshold",
+        ],
         "shutdown" => &["remote"],
         _ => &[],
     }
@@ -226,6 +250,47 @@ fn connect(flags: &HashMap<String, String>) -> DgsClient {
     DgsClient::connect(&addr).unwrap_or_else(|e| fail(&format!("cannot reach {addr}: {e}")))
 }
 
+/// Connects and, with `--session NAME`, routes the connection at that
+/// named daemon session (a missing session fails typed, here).
+fn connect_routed(flags: &HashMap<String, String>) -> DgsClient {
+    let mut client = connect(flags);
+    if let Some(name) = get(flags, "session") {
+        client
+            .session_route(&[name])
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    }
+    client
+}
+
+/// Rejects `--session` on a local invocation (it names a daemon
+/// session, so it only means something with `--remote`).
+fn reject_session_without_remote(flags: &HashMap<String, String>) {
+    if flags.contains_key("session") {
+        fail("--session only applies with --remote (it names a daemon session)");
+    }
+}
+
+/// The session-build options shared by `generate --remote` and
+/// `session --create`.
+fn session_options(flags: &HashMap<String, String>) -> SessionOptions {
+    let partitioner = get(flags, "partition").unwrap_or("hash");
+    let compression = match get(flags, "compress") {
+        None => None,
+        Some("simeq") => Some(CompressionMethod::SimEq),
+        Some("bisim") => Some(CompressionMethod::Bisim),
+        Some(other) => fail(&format!("unknown compression method '{other}'")),
+    };
+    SessionOptions {
+        sites: num(flags, "sites", 4),
+        partitioner: WirePartitioner::parse(partitioner)
+            .unwrap_or_else(|| fail(&format!("unknown partitioner '{partitioner}'"))),
+        seed: num(flags, "seed", 1),
+        cache_capacity: num(flags, "cache", 128),
+        compression,
+        compression_threshold: num(flags, "compress-threshold", 0.5),
+    }
+}
+
 /// Rejects session-building flags that have no effect against a
 /// daemon (its session was configured at `dgsd` startup).
 fn reject_local_only(flags: &HashMap<String, String>, local_only: &[&str]) {
@@ -295,7 +360,7 @@ fn load_updates(path: &str) -> Vec<GraphDelta> {
 /// Replays update batches against the session, re-running the query
 /// stream after each batch so the maintenance/invalidation behaviour
 /// is visible.
-fn replay_updates(engine: &mut SimEngine, algo: &Algorithm, qs: &[Pattern], path: &str) {
+fn replay_updates(engine: &SimEngine, algo: &Algorithm, qs: &[Pattern], path: &str) {
     let batches = load_updates(path);
     if batches.is_empty() {
         fail(&format!("{path}: no update ops found"));
@@ -445,6 +510,7 @@ fn cmd_generate(flags: &HashMap<String, String>) {
             "cache",
             "compress",
             "compress-threshold",
+            "session",
         ] {
             if flags.contains_key(key) {
                 fail(&format!(
@@ -487,28 +553,25 @@ fn cmd_generate(flags: &HashMap<String, String>) {
     }
     if remote.is_some() {
         let mut client = connect(flags);
-        let partitioner = get(flags, "partition").unwrap_or("hash");
-        let compression = match get(flags, "compress") {
-            None => None,
-            Some("simeq") => Some(CompressionMethod::SimEq),
-            Some("bisim") => Some(CompressionMethod::Bisim),
-            Some(other) => fail(&format!("unknown compression method '{other}'")),
-        };
-        let options = SessionOptions {
-            sites: num(flags, "sites", 4),
-            partitioner: WirePartitioner::parse(partitioner)
-                .unwrap_or_else(|| fail(&format!("unknown partitioner '{partitioner}'"))),
-            seed,
-            cache_capacity: num(flags, "cache", 128),
-            compression,
-            compression_threshold: num(flags, "compress-threshold", 0.5),
-        };
-        let (nodes, edges, sites) = client
-            .load_graph(&g, &options)
-            .unwrap_or_else(|e| fail(&e.to_string()));
-        println!(
-            "loaded {family} graph into daemon: {nodes} nodes, {edges} edges over {sites} sites"
-        );
+        let options = session_options(flags);
+        if let Some(name) = get(flags, "session") {
+            // Load as (create or replace) a named session instead of
+            // swapping the daemon's default one.
+            let info = client
+                .session_create(name, &g, &options)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "loaded {family} graph into daemon session '{}': {} nodes, {} edges over {} sites",
+                info.name, info.nodes, info.edges, info.sites
+            );
+        } else {
+            let (nodes, edges, sites) = client
+                .load_graph(&g, &options)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "loaded {family} graph into daemon: {nodes} nodes, {edges} edges over {sites} sites"
+            );
+        }
     }
 }
 
@@ -530,7 +593,7 @@ fn cmd_query_remote(flags: &HashMap<String, String>, qs: &[Pattern]) {
         ],
     );
     let algo = wire_algorithm(flags);
-    let mut client = connect(flags);
+    let mut client = connect_routed(flags);
     let info = client.graph_info().unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "remote graph |V|={} |E|={}  fragmentation |F|={} |Vf|={} |Ef|={}  queries: {}",
@@ -646,6 +709,7 @@ fn cmd_query(flags: &HashMap<String, String>) {
         cmd_query_remote(flags, &qs);
         return;
     }
+    reject_session_without_remote(flags);
     let g = load_graph(get(flags, "graph").unwrap_or_else(|| fail("--graph required")));
     let k: usize = num(flags, "sites", 4);
     let seed: u64 = num(flags, "seed", 1);
@@ -705,7 +769,7 @@ fn cmd_query(flags: &HashMap<String, String>) {
     if flags.contains_key("parallel") {
         builder = builder.batch_workers(num(flags, "parallel", 0));
     }
-    let mut engine = if executor == "socket" {
+    let engine = if executor == "socket" {
         let cfg = if let Some(attach) = get(flags, "attach") {
             SocketConfig::attach(attach.split(',').map(str::to_owned).collect())
         } else {
@@ -728,7 +792,7 @@ fn cmd_query(flags: &HashMap<String, String>) {
     } else {
         builder.build()
     };
-    let frag = Arc::clone(engine.fragmentation());
+    let frag = engine.fragmentation();
 
     println!(
         "graph |V|={} |E|={}  fragmentation |F|={k} |Vf|={} |Ef|={}  queries: {}",
@@ -808,7 +872,7 @@ fn cmd_query(flags: &HashMap<String, String>) {
             }
         }
         if let Some(path) = get(flags, "updates") {
-            replay_updates(&mut engine, &algo, &qs, path);
+            replay_updates(&engine, &algo, &qs, path);
         }
         return;
     }
@@ -849,7 +913,7 @@ fn cmd_query(flags: &HashMap<String, String>) {
         );
     }
     if let Some(path) = get(flags, "updates") {
-        replay_updates(&mut engine, &algo, &qs, path);
+        replay_updates(&engine, &algo, &qs, path);
     }
 }
 
@@ -903,7 +967,7 @@ fn cmd_compress(flags: &HashMap<String, String>) {
     use dgs::sim::{compress_bisim, compress_simeq};
     if flags.contains_key("remote") {
         reject_local_only(flags, &["graph", "method", "out"]);
-        let mut client = connect(flags);
+        let mut client = connect_routed(flags);
         match client
             .compression_info()
             .unwrap_or_else(|e| fail(&e.to_string()))
@@ -923,6 +987,7 @@ fn cmd_compress(flags: &HashMap<String, String>) {
         }
         return;
     }
+    reject_session_without_remote(flags);
     let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
     let g = load_graph(path);
     let method = get(flags, "method").unwrap_or("bisim");
@@ -955,7 +1020,7 @@ fn cmd_stats(flags: &HashMap<String, String>) {
     use dgs::graph::GraphStats;
     if flags.contains_key("remote") {
         reject_local_only(flags, &["graph"]);
-        let mut client = connect(flags);
+        let mut client = connect_routed(flags);
         let info = client.graph_info().unwrap_or_else(|e| fail(&e.to_string()));
         println!(
             "remote session: |V| = {}, |E| = {}, {} labels, generation {}",
@@ -975,6 +1040,7 @@ fn cmd_stats(flags: &HashMap<String, String>) {
         }
         return;
     }
+    reject_session_without_remote(flags);
     let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
     let g = load_graph(path);
     println!("graph {path}");
@@ -983,6 +1049,64 @@ fn cmd_stats(flags: &HashMap<String, String>) {
         "top-1% hubs carry {:.1}% of edges",
         100.0 * GraphStats::top1pct_edge_share(&g)
     );
+}
+
+/// `dgsq session`: manage a daemon's named sessions. With no action
+/// flag the hosted sessions are listed; `--create NAME --graph FILE`
+/// builds and hosts (or replaces) one with the `generate --remote`
+/// option set; `--drop NAME` removes one.
+fn cmd_session(flags: &HashMap<String, String>) {
+    if !flags.contains_key("remote") {
+        fail("--remote ADDR required");
+    }
+    if flags.contains_key("create") && flags.contains_key("drop") {
+        fail("--create and --drop are mutually exclusive");
+    }
+    let mut client = connect(flags);
+    if let Some(name) = get(flags, "drop") {
+        client
+            .session_drop(name)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!("dropped session '{name}'");
+        return;
+    }
+    if let Some(name) = get(flags, "create") {
+        let path =
+            get(flags, "graph").unwrap_or_else(|| fail("--graph FILE required with --create"));
+        let g = load_graph(path);
+        let options = session_options(flags);
+        let info = client
+            .session_create(name, &g, &options)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "created session '{}': |V| = {}, |E| = {} over {} sites (generation {})",
+            info.name, info.nodes, info.edges, info.sites, info.generation
+        );
+        return;
+    }
+    for key in [
+        "graph",
+        "sites",
+        "partition",
+        "seed",
+        "cache",
+        "compress",
+        "compress-threshold",
+    ] {
+        if flags.contains_key(key) {
+            fail(&format!("--{key} only applies with --create"));
+        }
+    }
+    let infos = client
+        .session_list()
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    println!("{} session(s) hosted:", infos.len());
+    for s in infos {
+        println!(
+            "  {:<16} |V| = {:<9} |E| = {:<9} sites = {:<3} generation = {}",
+            s.name, s.nodes, s.edges, s.sites, s.generation
+        );
+    }
 }
 
 fn cmd_shutdown(flags: &HashMap<String, String>) {
@@ -1018,7 +1142,7 @@ fn main() {
     // message with an empty allowlist.
     if !matches!(
         cmd.as_str(),
-        "generate" | "query" | "convert" | "compress" | "stats" | "shutdown" | "worker"
+        "generate" | "query" | "convert" | "compress" | "stats" | "session" | "shutdown" | "worker"
     ) {
         fail(&format!("unknown command '{cmd}'"));
     }
@@ -1030,6 +1154,7 @@ fn main() {
         "convert" => cmd_convert(&flags),
         "compress" => cmd_compress(&flags),
         "stats" => cmd_stats(&flags),
+        "session" => cmd_session(&flags),
         "shutdown" => cmd_shutdown(&flags),
         "worker" => cmd_worker(&flags),
         _ => unreachable!("command validated above"),

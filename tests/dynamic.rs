@@ -103,7 +103,7 @@ proptest! {
         let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x51);
         let assign = hash_partition(n, k, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
         let delta = op_stream(&g, nops, false, seed ^ 0xD17A);
         engine.apply_delta(&delta).unwrap();
         let g2 = mutated(&g, &delta);
@@ -126,7 +126,7 @@ proptest! {
         let q = patterns::random_dag_with_depth(3, 4, 2, 4, seed ^ 0x7E3);
         let assign = tree_partition(&g, k);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
         let delta = op_stream(&g, nops, true, seed ^ 0x17EE);
         engine.apply_delta(&delta).unwrap();
         let g2 = mutated(&g, &delta);
@@ -153,7 +153,7 @@ proptest! {
         let qc = patterns::random_cyclic(3, 5, 4, seed ^ 0xA2);
         let assign = hash_partition(n, k, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        let mut engine = SimEngine::builder(&g, frag).cache(false).build();
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
         let delta = op_stream(&g, nops, false, seed ^ 0xDA6);
         engine.apply_delta(&delta).unwrap();
         let g2 = mutated(&g, &delta);
@@ -178,7 +178,7 @@ proptest! {
         let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x99);
         let assign = hash_partition(n, k, seed);
         let frag = Arc::new(Fragmentation::build(&g, &assign, k));
-        let mut engine = SimEngine::builder(&g, frag).build();
+        let engine = SimEngine::builder(&g, frag).build();
         engine.query(&q).unwrap();
 
         let mut current = g.clone();
@@ -230,7 +230,7 @@ fn cross_fragment_delta_round_trip() {
     }
     assert!(!crossing.is_empty(), "community graph must cross sites");
 
-    let mut engine = SimEngine::builder(&g, frag).build();
+    let engine = SimEngine::builder(&g, frag).build();
     let ef_before = engine.fragmentation().ef();
     let report = engine
         .apply_delta(&GraphDelta::deletions(crossing.iter().copied()))
@@ -259,7 +259,8 @@ fn cross_fragment_delta_round_trip() {
     let rebuilt = Fragmentation::build(&g, &assign, 3);
     assert_eq!(engine.fragmentation().vf(), rebuilt.vf());
     for site in 0..3 {
-        let fd = engine.fragmentation().fragment(site);
+        let frag_now = engine.fragmentation();
+        let fd = frag_now.fragment(site);
         let fr = rebuilt.fragment(site);
         assert_eq!(fd.n_edges(), fr.n_edges());
         assert_eq!(fd.live_virtuals(), fr.n_virtual());
@@ -279,7 +280,7 @@ fn batch_queries_serve_maintained_entries() {
     let g = random::uniform(100, 400, 4, 77);
     let assign = hash_partition(100, 3, 77);
     let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-    let mut engine = SimEngine::builder(&g, frag).build();
+    let engine = SimEngine::builder(&g, frag).build();
     let warmed = patterns::random_cyclic(3, 6, 4, 770);
     let fresh = patterns::random_cyclic(3, 6, 4, 771);
     engine.query(&warmed).unwrap();
@@ -310,7 +311,7 @@ fn isomorphic_resubmission_hits_maintained_entry() {
     let g = random::uniform(90, 360, 4, 88);
     let assign = hash_partition(90, 3, 88);
     let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-    let mut engine = SimEngine::builder(&g, frag).build();
+    let engine = SimEngine::builder(&g, frag).build();
 
     let mut b = PatternBuilder::new();
     let a = b.add_node(Label(0));

@@ -310,7 +310,7 @@ fn delta_rebootstraps_socket_workers() {
     let g = random::uniform(100, 400, 4, 67);
     let assign = hash_partition(g.node_count(), 3, 67);
     let frag = Arc::new(Fragmentation::build(&g, &assign, 3));
-    let mut engine = SimEngine::builder(&g, frag)
+    let engine = SimEngine::builder(&g, frag)
         .cache(false)
         .build_socket(spawn_cfg(2))
         .unwrap();

@@ -158,7 +158,7 @@ fn ten_pattern_batch_against_one_engine() {
     // Exactly one fragmentation build for the whole batch.
     let frag = Arc::new(Fragmentation::build(&g, &assign, k));
     let engine = SimEngine::builder(&g, Arc::clone(&frag)).build();
-    assert!(Arc::ptr_eq(engine.fragmentation(), &frag));
+    assert!(Arc::ptr_eq(&engine.fragmentation(), &frag));
 
     let qs: Vec<Pattern> = (0..10)
         .map(|i| patterns::random_cyclic(3, 6, 5, 1000 + i))

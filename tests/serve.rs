@@ -1,8 +1,9 @@
 //! Serving-layer tests: wire-codec totality (roundtrip + corruption,
 //! never a panic), the end-to-end daemon with ≥ 8 concurrent clients
 //! mixing queries and deltas against an in-process `SimEngine`
-//! oracle, admission-control backpressure, version negotiation and
-//! session replacement.
+//! oracle, admission-control backpressure, version negotiation,
+//! session replacement, multi-session routing with fan-out merge,
+//! snapshot isolation under a delta storm, and drain-on-shutdown.
 
 use dgs::core::{GraphDelta, SimEngine};
 use dgs::graph::generate::{patterns, random};
@@ -11,10 +12,12 @@ use dgs::serve::proto::frame;
 use dgs::serve::wire::{read_frame, write_frame};
 use dgs::serve::{
     Answer, Conn, DgsClient, ErrorCode, Request, Response, ServeError, Server, ServerConfig,
-    SessionOptions, WireAlgorithm, WireMetrics, WirePartitioner, WIRE_MAGIC,
+    SessionInfo, SessionOptions, WireAlgorithm, WireMetrics, WirePartitioner, WIRE_MAGIC,
 };
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---- helpers ----------------------------------------------------------
 
@@ -50,6 +53,24 @@ fn rows_of(relation: &MatchRelation) -> Vec<Vec<u32>> {
                 .iter()
                 .map(|v| v.0)
                 .collect()
+        })
+        .collect()
+}
+
+/// What a fan-out answer must contain: the per-query-node sorted
+/// dedup union of the shard relations (graph simulation distributes
+/// over disjoint union, so this *is* the combined graph's relation).
+fn fan_out_rows(parts: &[Vec<Vec<u32>>]) -> Vec<Vec<u32>> {
+    let nq = parts.iter().map(|p| p.len()).max().unwrap_or(0);
+    (0..nq)
+        .map(|u| {
+            let mut row: Vec<u32> = parts
+                .iter()
+                .flat_map(|p| p.get(u).into_iter().flatten().copied())
+                .collect();
+            row.sort_unstable();
+            row.dedup();
+            row
         })
         .collect()
 }
@@ -117,6 +138,18 @@ fn all_requests() -> Vec<Request> {
             },
         },
         Request::Shutdown,
+        Request::SessionCreate {
+            name: "shard-a".into(),
+            graph: random::uniform(10, 24, 3, 6),
+            options: SessionOptions::default(),
+        },
+        Request::SessionList,
+        Request::SessionDrop {
+            name: "shard-a".into(),
+        },
+        Request::SessionRoute {
+            sessions: vec!["shard-a".into(), "shard-b".into()],
+        },
     ]
 }
 
@@ -183,6 +216,31 @@ fn all_responses() -> Vec<Response> {
             code: ErrorCode::Busy,
             message: "at capacity".into(),
         },
+        Response::SessionCreated(SessionInfo {
+            name: "shard-a".into(),
+            nodes: 10,
+            edges: 24,
+            sites: 4,
+            generation: 0,
+        }),
+        Response::Sessions(vec![
+            SessionInfo {
+                name: "default".into(),
+                nodes: 100,
+                edges: 400,
+                sites: 4,
+                generation: 3,
+            },
+            SessionInfo {
+                name: "shard-a".into(),
+                nodes: 10,
+                edges: 24,
+                sites: 2,
+                generation: 0,
+            },
+        ]),
+        Response::SessionDropped,
+        Response::SessionRouted { sessions: 2 },
     ]
 }
 
@@ -291,7 +349,7 @@ fn eight_concurrent_clients_mixing_queries_and_deltas_match_oracle() {
     let addr = handle.addr().clone();
 
     // The oracle: an identically configured in-process session.
-    let mut oracle = build_engine(&g, 4, 31);
+    let oracle = build_engine(&g, 4, 31);
     let pool: Vec<Pattern> = (0..10).map(|i| mixed_pattern(i, LABELS)).collect();
     let expected: Vec<MatchRelation> = pool
         .iter()
@@ -415,7 +473,15 @@ fn eight_concurrent_clients_mixing_queries_and_deltas_match_oracle() {
 #[test]
 fn admission_control_rejects_with_typed_busy_then_recovers() {
     let g = random::uniform(40, 120, 3, 7);
-    let handle = spawn_server(&g, 2, 7, ServerConfig { max_connections: 2 });
+    let handle = spawn_server(
+        &g,
+        2,
+        7,
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    );
     let addr = handle.addr().clone();
 
     let c1 = DgsClient::connect(&addr).expect("first");
@@ -453,14 +519,14 @@ fn handshake_negotiates_down_and_rejects_garbage() {
     let handle = spawn_server(&g, 2, 5, ServerConfig::default());
     let addr = handle.addr().clone();
 
-    // A future client offering v9 gets our v1 back.
+    // A future client offering v9 gets our v2 back.
     let mut conn = Conn::connect(&addr).unwrap();
     let mut hello = WIRE_MAGIC.to_vec();
     hello.push(9);
     write_frame(&mut conn, frame::HELLO, &hello).unwrap();
     let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
     assert_eq!(ty, frame::WELCOME);
-    assert_eq!(payload, [b'D', b'G', b'S', b'W', 1]);
+    assert_eq!(payload, [b'D', b'G', b'S', b'W', 2]);
 
     // A malformed request frame gets a typed error and the connection
     // survives (frames are length-delimited, the stream stays in
@@ -542,6 +608,362 @@ fn unix_socket_serving_works_end_to_end() {
     drop(client);
     handle.shutdown().expect("shutdown");
     assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+// ---- multi-session routing + fan-out ----------------------------------
+
+/// Create/list/drop/route over the wire. Fan-out answers must be the
+/// per-query-node sorted dedup union of what identically configured
+/// per-shard oracles produce, single-target admin frames on a
+/// multi-session route fail with a typed `Unsupported`, and the empty
+/// ("all sessions") route re-resolves per request.
+#[test]
+fn multi_session_routing_and_fan_out_merge_match_per_shard_oracles() {
+    const LABELS: usize = 3;
+    let g0 = random::uniform(60, 180, LABELS, 21);
+    let handle = spawn_server(&g0, 2, 21, ServerConfig::default());
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+
+    let ga = random::uniform(50, 150, LABELS, 22);
+    let gb = random::uniform(70, 210, LABELS, 23);
+    let options = SessionOptions {
+        sites: 2,
+        seed: 5,
+        ..SessionOptions::default()
+    };
+    let info = client
+        .session_create("shard-a", &ga, &options)
+        .expect("create shard-a");
+    assert_eq!(
+        (info.name.as_str(), info.nodes, info.sites),
+        ("shard-a", 50, 2)
+    );
+    client
+        .session_create("shard-b", &gb, &options)
+        .expect("create shard-b");
+    let names: Vec<String> = client
+        .session_list()
+        .expect("list")
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(names, ["default", "shard-a", "shard-b"]);
+
+    // Oracles built exactly like the server built its shards.
+    let oracle_a = build_engine(&ga, 2, 5);
+    let oracle_b = build_engine(&gb, 2, 5);
+
+    // A single-name route behaves like a dedicated server for that
+    // shard.
+    assert_eq!(client.session_route(&["shard-a"]).expect("route"), 1);
+    let q = mixed_pattern(1, LABELS);
+    let a = client.query(&q, WireAlgorithm::Auto).expect("routed query");
+    assert_eq!(a.rows, rows_of(&oracle_a.query(&q).unwrap().relation));
+
+    // Fan-out over both shards.
+    assert_eq!(client.session_route(&["shard-a", "shard-b"]).unwrap(), 2);
+    let pool: Vec<Pattern> = (0..6).map(|i| mixed_pattern(i, LABELS)).collect();
+    let expected: Vec<Vec<Vec<u32>>> = pool
+        .iter()
+        .map(|q| {
+            fan_out_rows(&[
+                rows_of(&oracle_a.query(q).unwrap().relation),
+                rows_of(&oracle_b.query(q).unwrap().relation),
+            ])
+        })
+        .collect();
+    for (qi, q) in pool.iter().enumerate() {
+        let a = client.query(q, WireAlgorithm::Auto).expect("fan-out query");
+        assert_eq!(a.rows, expected[qi], "fan-out pattern {qi}");
+        let total = !a.rows.is_empty() && a.rows.iter().all(|r| !r.is_empty());
+        assert_eq!(a.is_match, total, "is_match recomputed from the merge");
+        assert!(a.algorithm.starts_with("fanout"), "got {}", a.algorithm);
+    }
+    // Batches fan out item-wise.
+    let (items, _) = client
+        .query_batch(&pool, WireAlgorithm::Auto)
+        .expect("fan-out batch");
+    for (qi, item) in items.iter().enumerate() {
+        let a = item.as_ref().expect("batch item");
+        assert_eq!(a.rows, expected[qi], "batch item {qi}");
+    }
+    // Single-target frames refuse a two-session route, typed.
+    let delta = GraphDelta::insertions([(NodeId(0), NodeId(1))]);
+    for (what, err) in [
+        (
+            "GRAPH_INFO",
+            client.graph_info().err().map(|e| e.to_string()),
+        ),
+        (
+            "APPLY_DELTA",
+            client.apply_delta(&delta).err().map(|e| e.to_string()),
+        ),
+        (
+            "CACHE_STATS",
+            client.cache_stats().err().map(|e| e.to_string()),
+        ),
+    ] {
+        let msg = err.unwrap_or_else(|| panic!("{what} must fail on a fan-out route"));
+        assert!(msg.contains("single"), "{what}: {msg}");
+    }
+
+    // The empty route means "all sessions", re-resolved per request:
+    // dropping a shard shrinks the fan-out without re-routing.
+    assert_eq!(client.session_route::<&str>(&[]).unwrap(), 3);
+    client.session_drop("shard-b").expect("drop shard-b");
+    let oracle_0 = build_engine(&g0, 2, 21);
+    let q = mixed_pattern(2, LABELS);
+    let want = fan_out_rows(&[
+        rows_of(&oracle_0.query(&q).unwrap().relation),
+        rows_of(&oracle_a.query(&q).unwrap().relation),
+    ]);
+    let a = client
+        .query(&q, WireAlgorithm::Auto)
+        .expect("all-route query");
+    assert_eq!(a.rows, want, "all-route re-resolves after a drop");
+
+    // Unknown names are typed NoSuchSession — at route and drop time.
+    for err in [
+        client.session_route(&["nope"]).err(),
+        client.session_drop("nope").err(),
+    ] {
+        match err {
+            Some(ServeError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::NoSuchSession)
+            }
+            other => panic!("expected Remote(NoSuchSession), got {other:?}"),
+        }
+    }
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- snapshot isolation under fire ------------------------------------
+
+/// A storm of writers continuously applying deltas must not push
+/// query tail latency past 2x the quiet baseline — reads run against
+/// an immutable generation snapshot and never block behind a writer.
+/// Sub-millisecond baselines are floored at 1 ms so the bound tests
+/// isolation, not scheduler jitter on a busy CI box.
+#[test]
+fn delta_storm_keeps_query_p99_within_2x_of_quiet_baseline() {
+    const QUERIES: usize = 150;
+    const WRITERS: usize = 3;
+    let g = random::uniform(250, 1000, 4, 41);
+    let handle = spawn_server(&g, 4, 41, ServerConfig::default());
+    let addr = handle.addr().clone();
+    let pool: Vec<Pattern> = (0..6).map(|i| mixed_pattern(i, 4)).collect();
+
+    let p99_of = |label: &str| -> u64 {
+        let mut client = DgsClient::connect(&addr).expect(label);
+        let mut lat: Vec<u64> = Vec::with_capacity(QUERIES);
+        for i in 0..QUERIES {
+            let t = Instant::now();
+            client
+                .query(&pool[i % pool.len()], WireAlgorithm::Auto)
+                .unwrap_or_else(|e| panic!("{label} query {i}: {e}"));
+            lat.push(t.elapsed().as_nanos() as u64);
+        }
+        lat.sort_unstable();
+        lat[lat.len() * 99 / 100]
+    };
+
+    p99_of("warm-up");
+    let quiet = p99_of("quiet");
+
+    // Writers churn generations for the whole measured pass: each
+    // delta really flips edges, so every one swaps in a new snapshot.
+    let all_edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let stop = AtomicBool::new(false);
+    let storm = std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let (addr, all_edges, stop) = (&addr, &all_edges, &stop);
+            s.spawn(move || {
+                let mut c = DgsClient::connect(addr).expect("writer connect");
+                let slice: Vec<(NodeId, NodeId)> = all_edges
+                    .iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(47)
+                    .take(8)
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    c.apply_delta(&GraphDelta::deletions(slice.iter().copied()))
+                        .expect("storm delete");
+                    c.apply_delta(&GraphDelta::insertions(slice.iter().copied()))
+                        .expect("storm insert");
+                }
+            });
+        }
+        let p = p99_of("storm");
+        stop.store(true, Ordering::Relaxed);
+        p
+    });
+
+    let baseline = quiet.max(1_000_000);
+    assert!(
+        storm <= 2 * baseline,
+        "delta storm pushed query p99 to {:.3} ms, over 2x the quiet baseline {:.3} ms",
+        storm as f64 / 1e6,
+        baseline as f64 / 1e6,
+    );
+    handle.shutdown().expect("shutdown");
+}
+
+/// Generation atomicity: one batched delta applied while readers
+/// hammer means every concurrent answer equals the pre-delta oracle
+/// relation or the post-delta one — never a mix of the two (the
+/// snapshot swap is atomic and queries pin a snapshot).
+#[test]
+fn concurrent_answers_observe_exactly_one_generation() {
+    const READERS: usize = 4;
+    let g = random::uniform(120, 480, 3, 51);
+    let handle = spawn_server(&g, 3, 51, ServerConfig::default());
+    let addr = handle.addr().clone();
+
+    let q = mixed_pattern(2, 3);
+    let oracle = build_engine(&g, 3, 51);
+    let pre = rows_of(&oracle.query(&q).unwrap().relation);
+    let dels: Vec<(NodeId, NodeId)> = g.edges().step_by(5).take(60).collect();
+    oracle
+        .apply_delta(&GraphDelta::deletions(dels.iter().copied()))
+        .expect("oracle delta");
+    let post = rows_of(&oracle.query(&q).unwrap().relation);
+    assert_ne!(pre, post, "the delta must change the relation to bite");
+
+    std::thread::scope(|s| {
+        for t in 0..READERS {
+            let (addr, q, pre, post) = (&addr, &q, &pre, &post);
+            s.spawn(move || {
+                let mut c = DgsClient::connect(addr).expect("reader connect");
+                for i in 0..50 {
+                    let a = c
+                        .query(q, WireAlgorithm::Auto)
+                        .unwrap_or_else(|e| panic!("reader {t} query {i}: {e}"));
+                    assert!(
+                        &a.rows == pre || &a.rows == post,
+                        "reader {t} answer {i} matches neither generation: torn snapshot"
+                    );
+                }
+            });
+        }
+        let (addr, dels) = (&addr, &dels);
+        s.spawn(move || {
+            let mut c = DgsClient::connect(addr).expect("writer connect");
+            std::thread::sleep(Duration::from_millis(10));
+            // One batch, one swap: exactly two generations ever serve.
+            c.apply_delta(&GraphDelta::deletions(dels.iter().copied()))
+                .expect("delta");
+        });
+    });
+
+    // After the scope the swap has happened; only `post` serves.
+    let mut c = DgsClient::connect(&addr).expect("connect");
+    assert_eq!(c.query(&q, WireAlgorithm::Auto).unwrap().rows, post);
+    drop(c);
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- drain on shutdown -------------------------------------------------
+
+/// Shutdown drains: once a `QUERY_BATCH` request is fully written,
+/// the client gets its complete answer or a typed `ShuttingDown`
+/// error — never a torn frame or a short read. Raw framing is used so
+/// the test can distinguish the send phase (where a hang-up is
+/// legitimate socket behaviour) from the awaiting-response phase
+/// (where it is the bug this test exists to catch).
+#[test]
+fn shutdown_drains_in_flight_batches_instead_of_cutting_sockets() {
+    const WORKERS: usize = 4;
+    let g = random::uniform(150, 600, 3, 61);
+    let handle = spawn_server(
+        &g,
+        3,
+        61,
+        ServerConfig {
+            drain_grace: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().clone();
+    let patterns: Vec<Pattern> = (0..32).map(|i| mixed_pattern(i, 3)).collect();
+
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let (addr, patterns) = (&addr, &patterns);
+                s.spawn(move || {
+                    let mut conn = Conn::connect(addr).expect("dial");
+                    let mut hello = WIRE_MAGIC.to_vec();
+                    hello.push(2);
+                    write_frame(&mut conn, frame::HELLO, &hello).expect("hello");
+                    let (ty, _) = read_frame(&mut conn).expect("welcome").expect("welcome");
+                    assert_eq!(ty, frame::WELCOME);
+
+                    let (req_ty, req_payload) = Request::QueryBatch {
+                        patterns: patterns.clone(),
+                        algorithm: WireAlgorithm::Auto,
+                    }
+                    .encode();
+                    let mut completed = 0usize;
+                    loop {
+                        if write_frame(&mut conn, req_ty, &req_payload).is_err() {
+                            // The server hung up between requests; its
+                            // final typed error must still be readable.
+                            if let Ok(Some((ty, payload))) = read_frame(&mut conn) {
+                                match Response::decode(ty, &payload) {
+                                    Ok(Response::Error { code, .. }) => {
+                                        assert_eq!(code, ErrorCode::ShuttingDown, "worker {t}")
+                                    }
+                                    other => panic!("worker {t}: expected typed error, {other:?}"),
+                                }
+                            }
+                            return completed;
+                        }
+                        // The request is on the wire: from here the
+                        // answer must arrive whole or as a typed error.
+                        match read_frame(&mut conn) {
+                            Ok(Some((ty, payload))) => {
+                                match Response::decode(ty, &payload)
+                                    .unwrap_or_else(|e| panic!("worker {t}: torn frame: {e}"))
+                                {
+                                    Response::BatchAnswer { items, .. } => {
+                                        assert_eq!(
+                                            items.len(),
+                                            patterns.len(),
+                                            "worker {t}: short batch"
+                                        );
+                                        completed += 1;
+                                    }
+                                    Response::Error { code, .. } => {
+                                        assert_eq!(
+                                            code,
+                                            ErrorCode::ShuttingDown,
+                                            "worker {t}: wrong typed error"
+                                        );
+                                        return completed;
+                                    }
+                                    other => panic!("worker {t}: unexpected frame {other:?}"),
+                                }
+                            }
+                            Ok(None) => panic!(
+                                "worker {t}: clean EOF while awaiting a batch answer — \
+                                 the in-flight response was dropped"
+                            ),
+                            Err(e) => panic!("worker {t}: short read mid-answer: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Let every worker get batches in flight, then pull the plug.
+        std::thread::sleep(Duration::from_millis(100));
+        handle.shutdown().expect("shutdown");
+        for (t, w) in workers.into_iter().enumerate() {
+            let completed = w.join().expect("worker panicked");
+            assert!(completed >= 1, "worker {t} never completed a batch");
+        }
+    });
 }
 
 #[test]
