@@ -52,7 +52,8 @@ pub use cost::CostModel;
 pub use fault::FaultPlan;
 pub use message::{Endpoint, MsgClass, WireSize};
 pub use metrics::{
-    LatencyHistogram, RunMetrics, ServingSnapshot, SiteDeltaMetrics, SERVING_SNAPSHOT_VERSION,
+    ConnSweepSnapshot, ConnSweepStep, LatencyHistogram, RunMetrics, ServingSnapshot,
+    SiteDeltaMetrics, CONN_SWEEP_SNAPSHOT_VERSION, SERVING_SNAPSHOT_VERSION,
 };
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
 pub use socket::{

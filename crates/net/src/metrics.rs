@@ -515,6 +515,144 @@ impl ServingSnapshot {
     }
 }
 
+/// Format version of [`ConnSweepSnapshot::to_json`]; same bump/refuse
+/// discipline as [`SERVING_SNAPSHOT_VERSION`].
+pub const CONN_SWEEP_SNAPSHOT_VERSION: u32 = 1;
+
+/// One step of a connection-count sweep: the server held
+/// `connections` concurrent connections while a bounded subset drove
+/// open-loop traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnSweepStep {
+    /// Concurrent connections held open during this step.
+    pub connections: u64,
+    /// Completed requests per second over the step.
+    pub throughput: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests (or connects) that failed.
+    pub errors: u64,
+}
+
+/// A connection-count sweep snapshot (`BENCH_connsweep.json`): the
+/// committed-artifact form of one `dgsload --sweep` run, one
+/// [`ConnSweepStep`] per connection count. The CI gate compares steps
+/// by connection count against a committed conservative envelope —
+/// the property it guards is that p99 stays *flat* as idle
+/// connections pile up (connections must cost buffers, not threads).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnSweepSnapshot {
+    /// Schema version ([`CONN_SWEEP_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Steps in ascending connection-count order.
+    pub steps: Vec<ConnSweepStep>,
+}
+
+impl ConnSweepSnapshot {
+    /// The committed-artifact form (one step object per line, stable
+    /// key order, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"version\": {},\n  \"steps\": [\n", self.version);
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"connections\": {}, \"throughput_rps\": {:.2}, \"p99_us\": {:.1}, \
+                 \"completed\": {}, \"errors\": {}}}{}\n",
+                s.connections,
+                s.throughput,
+                s.p99_us,
+                s.completed,
+                s.errors,
+                if i + 1 < self.steps.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses [`ConnSweepSnapshot::to_json`] output. `None` on a
+    /// missing key, an empty sweep, or a version this build does not
+    /// speak.
+    pub fn parse_json(s: &str) -> Option<ConnSweepSnapshot> {
+        let field = |obj: &str, key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\"");
+            let at = obj.find(&pat)? + pat.len();
+            let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let head = &s[..s.find('[')?];
+        let version = field(head, "version")? as u32;
+        if version != CONN_SWEEP_SNAPSHOT_VERSION {
+            return None;
+        }
+        let body = &s[s.find('[')? + 1..s.rfind(']')?];
+        let mut steps = Vec::new();
+        for obj in body.split('{').skip(1) {
+            let obj = &obj[..obj.find('}')?];
+            steps.push(ConnSweepStep {
+                connections: field(obj, "connections")? as u64,
+                throughput: field(obj, "throughput_rps")?,
+                p99_us: field(obj, "p99_us")?,
+                completed: field(obj, "completed")? as u64,
+                errors: field(obj, "errors")? as u64,
+            });
+        }
+        if steps.is_empty() {
+            return None;
+        }
+        Some(ConnSweepSnapshot { version, steps })
+    }
+
+    /// Regression verdicts of `self` (the new sweep) against
+    /// `baseline`, matched by connection count; empty when acceptable.
+    /// Any errored step fails outright; per-step throughput and p99
+    /// get the same `tolerance` + `latency_floor_us` slack as
+    /// [`ServingSnapshot::regressions`]. Steps without a baseline
+    /// counterpart (a widened sweep) are gated on errors only.
+    pub fn regressions(
+        &self,
+        baseline: &ConnSweepSnapshot,
+        tolerance: f64,
+        latency_floor_us: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            if step.errors > 0 {
+                out.push(format!(
+                    "{} errors at {} connections (sweep gate: 0)",
+                    step.errors, step.connections
+                ));
+            }
+            let Some(base) = baseline
+                .steps
+                .iter()
+                .find(|b| b.connections == step.connections)
+            else {
+                continue;
+            };
+            let floor = base.throughput / (1.0 + tolerance);
+            if step.throughput < floor {
+                out.push(format!(
+                    "throughput {:.1} req/s at {} connections fell below {:.1} (baseline {:.1})",
+                    step.throughput, step.connections, floor, base.throughput
+                ));
+            }
+            let ceiling = (base.p99_us * (1.0 + tolerance)).max(base.p99_us + latency_floor_us);
+            if step.p99_us > ceiling {
+                out.push(format!(
+                    "p99 {:.1}us at {} connections exceeds {:.1}us (baseline {:.1}us)",
+                    step.p99_us, step.connections, ceiling, base.p99_us
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +833,65 @@ mod tests {
         let verdicts = bad.regressions(&base, 0.20, 500.0);
         assert_eq!(verdicts.len(), 3, "{verdicts:?}");
         assert!(verdicts[0].contains("errored"));
+        assert!(verdicts[1].contains("throughput"));
+        assert!(verdicts[2].contains("p99"));
+    }
+
+    fn sweep(steps: &[(u64, f64, f64, u64)]) -> ConnSweepSnapshot {
+        ConnSweepSnapshot {
+            version: CONN_SWEEP_SNAPSHOT_VERSION,
+            steps: steps
+                .iter()
+                .map(|&(connections, throughput, p99_us, errors)| ConnSweepStep {
+                    connections,
+                    throughput,
+                    p99_us,
+                    completed: 100,
+                    errors,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn conn_sweep_snapshot_json_roundtrip() {
+        let snap = sweep(&[(1, 5000.0, 300.0, 0), (100, 4800.5, 450.25, 0)]);
+        let parsed = ConnSweepSnapshot::parse_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed.steps.len(), 2);
+        assert_eq!(parsed.steps[1].connections, 100);
+        assert!((parsed.steps[1].throughput - 4800.5).abs() < 0.01);
+        assert!((parsed.steps[1].p99_us - 450.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn conn_sweep_snapshot_rejects_other_versions_and_garbage() {
+        let json = sweep(&[(1, 1.0, 1.0, 0)])
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 7");
+        assert_eq!(ConnSweepSnapshot::parse_json(&json), None);
+        assert_eq!(ConnSweepSnapshot::parse_json("nope"), None);
+        assert_eq!(
+            ConnSweepSnapshot::parse_json("{\"version\": 1, \"steps\": []}"),
+            None
+        );
+    }
+
+    #[test]
+    fn conn_sweep_regression_gate_matches_steps_by_connection_count() {
+        let base = sweep(&[(1, 1000.0, 500.0, 0), (1000, 900.0, 600.0, 0)]);
+        // Flat-and-fast run passes; a step the baseline lacks is only
+        // gated on errors.
+        let ok = sweep(&[
+            (1, 1000.0, 500.0, 0),
+            (1000, 950.0, 650.0, 0),
+            (5000, 100.0, 9e6, 0),
+        ]);
+        assert!(ok.regressions(&base, 0.20, 500.0).is_empty());
+        // Errors anywhere, or a blown-up p99 at a matched step, fail.
+        let bad = sweep(&[(1, 1000.0, 500.0, 0), (1000, 200.0, 50_000.0, 3)]);
+        let verdicts = bad.regressions(&base, 0.20, 500.0);
+        assert_eq!(verdicts.len(), 3, "{verdicts:?}");
+        assert!(verdicts[0].contains("errors at 1000 connections"));
         assert!(verdicts[1].contains("throughput"));
         assert!(verdicts[2].contains("p99"));
     }

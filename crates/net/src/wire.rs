@@ -125,6 +125,76 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, FrameErro
     Ok(Some((ty[0], payload)))
 }
 
+/// An incremental frame decoder: bytes go in as they arrive off a
+/// nonblocking socket (or between blocking-read timeouts), complete
+/// frames come out. Partial frames — a length prefix without its
+/// payload, half a payload — stay buffered across calls, so a read
+/// that stops mid-frame can resume exactly where it left off instead
+/// of desyncing the stream. This is the framing primitive behind both
+/// the readiness-loop server (partial reads are routine there) and
+/// the resumable blocking reader in `dgs-serve`.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames (a nonzero value
+    /// after EOF means the peer died mid-frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer, so the
+    /// allocation stays proportional to the unparsed tail.
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` when more bytes
+    /// are needed. A length over [`MAX_FRAME`] is refused before any
+    /// allocation, exactly like [`read_frame`].
+    #[allow(clippy::type_complexity)]
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge {
+                len: u64::from(len),
+                max: u64::from(MAX_FRAME),
+            });
+        }
+        let total = 4 + 1 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let ty = avail[4];
+        let payload = avail[5..total].to_vec();
+        self.pos += total;
+        self.compact();
+        Ok(Some((ty, payload)))
+    }
+}
+
 // ---- payload building -------------------------------------------------
 
 /// Appends a LEB128 varint.
@@ -311,6 +381,51 @@ mod tests {
                 "prefix {len}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn frame_buffer_resumes_across_arbitrary_splits() {
+        let mut full = Vec::new();
+        write_frame(&mut full, 0x11, b"first").unwrap();
+        write_frame(&mut full, 0x22, b"second payload").unwrap();
+        // Feed the byte stream one byte at a time: every partial state
+        // must hold the frame until it completes.
+        for chunk in [1usize, 2, 3, 7] {
+            let mut fb = FrameBuffer::new();
+            let mut frames = Vec::new();
+            for piece in full.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(f) = fb.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            assert_eq!(
+                frames,
+                vec![
+                    (0x11, b"first".to_vec()),
+                    (0x22, b"second payload".to_vec())
+                ],
+                "chunk size {chunk}"
+            );
+            assert_eq!(fb.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_refuses_oversized_lengths() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn frame_buffer_reports_mid_frame_bytes() {
+        let mut full = Vec::new();
+        write_frame(&mut full, 0x07, b"abcdef").unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&full[..6]); // length + type + one payload byte
+        assert!(fb.next_frame().unwrap().is_none());
+        assert_eq!(fb.buffered(), 6);
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //! dgsd --listen ADDR --graph FILE [--sites K] [--partition hash|bfs|ldg|tree]
 //!      [--seed S] [--cache N] [--compress simeq|bisim] [--compress-threshold X]
 //!      [--max-conns N] [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS]
+//!      [--workers N]
 //! ```
+//!
+//! The daemon runs one event thread multiplexing every connection
+//! over nonblocking sockets plus `--workers` request-execution
+//! threads (default 0 = derived from the host's parallelism), so
+//! `--max-conns` bounds admission, not the thread count.
 //!
 //! **Worker mode** (`dgsd --worker [--listen HOST:PORT]`) turns the
 //! process into a socket-executor worker instead of a serving daemon:
@@ -57,6 +63,7 @@ const ALLOWED: &[&str] = &[
     "max-conns",
     "sessions",
     "grace",
+    "workers",
 ];
 
 fn usage() -> ! {
@@ -64,7 +71,7 @@ fn usage() -> ! {
         "usage:\n  dgsd --listen tcp:HOST:PORT|unix:/PATH.sock --graph FILE\n       \
          [--sites K] [--partition hash|bfs|ldg|tree] [--seed S]\n       \
          [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]\n       \
-         [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS]\n  \
+         [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS] [--workers N]\n  \
          dgsd --worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
     exit(2);
@@ -192,6 +199,8 @@ fn main() {
     let cfg = ServerConfig {
         max_connections: num(&flags, "max-conns", 64),
         drain_grace: std::time::Duration::from_millis(num(&flags, "grace", 5000)),
+        worker_threads: num(&flags, "workers", 0),
+        ..ServerConfig::default()
     };
     let server = Server::bind(&addr, engine, cfg)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));

@@ -17,16 +17,25 @@
 //! `LatencyHistogram`s. Exit status is nonzero when any request
 //! errored, which is what the CI smoke job asserts on.
 //!
-//! `--session NAME` routes every client at a named server session.
-//! `--json PATH` additionally writes the run as a versioned
-//! `ServingSnapshot` (the `BENCH_serving.json` artifact), and
-//! `--baseline PATH` compares against a committed snapshot, exiting
-//! nonzero when throughput or a latency quantile regressed more than
-//! 20% — that is the CI perf gate.
+//! `--session NAME` routes every client at a named server session,
+//! and `--pipeline D` keeps `D` requests in flight per connection
+//! (wire v3). `--ping 1` swaps queries for `PING`s — the pure
+//! protocol microbenchmark the CI pipelining gate measures. `--json PATH` additionally writes the run as a
+//! versioned `ServingSnapshot` (the `BENCH_serving.json` artifact),
+//! and `--baseline PATH` compares against a committed snapshot,
+//! exiting nonzero when throughput or a latency quantile regressed
+//! more than 20% — that is the CI perf gate.
+//!
+//! **Sweep mode** (`--sweep N1,N2,...`) replaces the load run with
+//! the open-loop connection-count sweep: per step it holds that many
+//! connections open, drives a constant-rate `PING` schedule through
+//! at most `--senders` of them, and reports throughput + p99. The
+//! snapshot is a `ConnSweepSnapshot` (the `BENCH_connsweep.json`
+//! artifact); `--json`/`--baseline` gate it the same way.
 
 use dgs_graph::io as gio;
-use dgs_net::ServingSnapshot;
-use dgs_serve::{run_load, LoadConfig, LoadMode, ServeAddr};
+use dgs_net::{ConnSweepSnapshot, ServingSnapshot};
+use dgs_serve::{run_conn_sweep, run_load, ConnSweepConfig, LoadConfig, LoadMode, ServeAddr};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -39,17 +48,87 @@ fn fail(msg: &str) -> ! {
 
 const ALLOWED: &[&str] = &[
     "addr", "clients", "requests", "mode", "rate", "batch", "deltas", "pattern", "seed", "session",
-    "json", "baseline",
+    "json", "baseline", "pipeline", "sweep", "senders", "ping",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dgsload --addr tcp:HOST:PORT|unix:/PATH.sock [--clients N] [--requests R]\n          \
          [--mode closed|open] [--rate RPS] [--batch B] [--deltas EVERY]\n          \
-         [--pattern FILE[,FILE...]] [--seed S] [--session NAME]\n          \
-         [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]"
+         [--pattern FILE[,FILE...]] [--seed S] [--session NAME] [--pipeline D]\n          \
+         [--ping 1] [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]\n  \
+         dgsload --addr ADDR --sweep N1,N2,... [--rate RPS] [--requests R] [--senders N]\n          \
+         [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]   (connection-count sweep)"
     );
     exit(2);
+}
+
+/// `dgsload --sweep`: the connection-count sweep, with its own
+/// snapshot artifact and regression gate.
+fn run_sweep_mode(flags: &HashMap<String, String>, addr: ServeAddr, spec: &str) -> ! {
+    let steps: Vec<usize> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("--sweep: '{s}' is not a connection count")))
+        })
+        .collect();
+    if steps.is_empty() || steps.contains(&0) {
+        fail("--sweep needs a comma-separated list of counts >= 1");
+    }
+    let cfg = ConnSweepConfig {
+        addr,
+        steps,
+        rate: num(flags, "rate", 2000.0),
+        requests_per_step: num(flags, "requests", 4000),
+        active_senders: num(flags, "senders", 64),
+    };
+    if cfg.rate <= 0.0 {
+        fail("--rate must be positive");
+    }
+    println!(
+        "dgsload: connection sweep over {:?} ({:.0} req/s open loop, {} requests/step, <= {} senders)",
+        cfg.steps, cfg.rate, cfg.requests_per_step, cfg.active_senders
+    );
+    let snapshot = run_conn_sweep(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut errored = false;
+    for s in &snapshot.steps {
+        println!(
+            "  {:>6} conns: {:>8.1} req/s  p99 {:>9.1} us  ({} completed, {} errors)",
+            s.connections, s.throughput, s.p99_us, s.completed, s.errors
+        );
+        errored |= s.errors > 0;
+    }
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  snapshot written to {path}");
+    }
+    let mut regressed = false;
+    if let Some(path) = flags.get("baseline") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        let baseline = ConnSweepSnapshot::parse_json(&text).unwrap_or_else(|| {
+            fail(&format!(
+                "{path}: not a conn-sweep snapshot this build reads"
+            ))
+        });
+        let verdicts = snapshot.regressions(&baseline, 0.25, 2000.0);
+        if verdicts.is_empty() {
+            println!("  baseline {path}: within tolerance");
+        } else {
+            for v in &verdicts {
+                eprintln!("dgsload: REGRESSION vs {path}: {v}");
+            }
+            regressed = true;
+        }
+    }
+    if errored {
+        eprintln!("dgsload: sweep steps reported errors");
+        exit(1);
+    }
+    exit(i32::from(regressed));
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -100,6 +179,9 @@ fn main() {
     let addr_s = flags.get("addr").unwrap_or_else(|| fail("--addr required"));
     let addr =
         ServeAddr::parse(addr_s).unwrap_or_else(|| fail(&format!("unparseable --addr '{addr_s}'")));
+    if let Some(spec) = flags.get("sweep") {
+        run_sweep_mode(&flags, addr, spec);
+    }
     let mode = match flags.get("mode").map(String::as_str).unwrap_or("closed") {
         "closed" => LoadMode::Closed,
         "open" => {
@@ -134,12 +216,17 @@ fn main() {
         seed: num(&flags, "seed", 1),
         patterns,
         session: flags.get("session").cloned(),
+        pipeline: num(&flags, "pipeline", 1),
+        pings: num::<usize>(&flags, "ping", 0) != 0,
     };
     if cfg.clients == 0 || cfg.requests_per_client == 0 {
         fail("--clients and --requests must be >= 1");
     }
+    if cfg.pipeline == 0 {
+        fail("--pipeline must be >= 1");
+    }
     println!(
-        "dgsload: {} clients x {} requests, {} mode{}{} -> {}",
+        "dgsload: {} clients x {} requests, {} mode{}{}{}{} -> {}",
         cfg.clients,
         cfg.requests_per_client,
         match cfg.mode {
@@ -155,6 +242,12 @@ fn main() {
             Some(name) => format!(", session '{name}'"),
             None => String::new(),
         },
+        if cfg.pipeline > 1 {
+            format!(", pipeline depth {}", cfg.pipeline)
+        } else {
+            String::new()
+        },
+        if cfg.pings { ", pings" } else { "" },
         addr_s
     );
 

@@ -1,5 +1,7 @@
-//! The typed remote client: one blocking connection speaking the
-//! frame protocol, with a method per request.
+//! The typed remote client: one connection speaking the frame
+//! protocol, with a method per request — and, at wire v3, a
+//! **pipelined** submit/await API that keeps many requests in flight
+//! on the one connection.
 //!
 //! ```no_run
 //! use dgs_serve::{DgsClient, ServeAddr};
@@ -8,6 +10,14 @@
 //! let mut client = DgsClient::connect(&addr).unwrap();
 //! let info = client.graph_info().unwrap();
 //! println!("serving |V| = {}, |E| = {}", info.nodes, info.edges);
+//!
+//! // Pipelined: submit a window, then await in any order.
+//! let ids: Vec<_> = (0..16)
+//!     .map(|_| client.submit(&dgs_serve::Request::Ping).unwrap())
+//!     .collect();
+//! for id in ids {
+//!     client.await_response(id).unwrap();
+//! }
 //! ```
 
 use crate::error::{ErrorCode, ServeError};
@@ -16,15 +26,35 @@ use crate::proto::{
     WireAlgorithm, WireCacheStats, WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::transport::{Conn, ServeAddr};
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{put_varint, split_request_id, write_frame, FrameReader};
 use dgs_core::GraphDelta;
 use dgs_graph::{Graph, Pattern};
+use std::collections::{HashMap, HashSet};
 
 /// A connected client session.
 pub struct DgsClient {
     conn: Conn,
     version: u8,
+    /// Resumable reader: a timeout mid-frame keeps the partial bytes
+    /// buffered instead of desyncing the stream.
+    reader: FrameReader,
+    /// The next request id to assign (v3; ids start at 1 — the server
+    /// reserves 0 for connection-level frames).
+    next_id: u64,
+    /// Ids submitted but not yet awaited.
+    outstanding: HashSet<u64>,
+    /// Responses that arrived while awaiting a different id.
+    stash: HashMap<u64, Response>,
+    /// Encoded submits not yet handed to the kernel: a pipelined
+    /// burst goes out as one write when an await needs the wire (or
+    /// the buffer passes [`SUBMIT_FLUSH_BYTES`]), not one syscall per
+    /// request.
+    wbuf: Vec<u8>,
 }
+
+/// Pending submits flush to the socket once the batch buffer reaches
+/// this size, even before any await.
+const SUBMIT_FLUSH_BYTES: usize = 64 * 1024;
 
 impl DgsClient {
     /// Dials `addr` and performs the version handshake. A server at
@@ -32,16 +62,21 @@ impl DgsClient {
     /// ([`ServeError::is_busy`]).
     pub fn connect(addr: &ServeAddr) -> Result<DgsClient, ServeError> {
         let mut conn = Conn::connect(addr)?;
+        let _ = conn.set_nodelay();
         let mut hello = Vec::with_capacity(5);
         hello.extend_from_slice(&WIRE_MAGIC);
         hello.push(WIRE_VERSION);
         write_frame(&mut conn, frame::HELLO, &hello)?;
-        let Some((ty, payload)) = read_frame(&mut conn)? else {
+        let mut reader = FrameReader::new();
+        let Some((ty, payload)) = reader.read_frame(&mut conn)? else {
             return Err(ServeError::corrupt("server closed during handshake"));
         };
         match ty {
             frame::WELCOME => {
-                if payload.len() != 5 || payload[..4] != WIRE_MAGIC {
+                // Tolerate trailing bytes after the version — a
+                // future server's extensions, same stance the server
+                // takes on HELLO.
+                if payload.len() < 5 || payload[..4] != WIRE_MAGIC {
                     return Err(ServeError::corrupt("malformed WELCOME"));
                 }
                 let version = payload[4];
@@ -51,7 +86,15 @@ impl DgsClient {
                         theirs: version,
                     });
                 }
-                Ok(DgsClient { conn, version })
+                Ok(DgsClient {
+                    conn,
+                    version,
+                    reader,
+                    next_id: 1,
+                    outstanding: HashSet::new(),
+                    stash: HashMap::new(),
+                    wbuf: Vec::new(),
+                })
             }
             frame::ERROR => match Response::decode(ty, &payload)? {
                 Response::Error { code, message } => Err(ServeError::Remote { code, message }),
@@ -76,12 +119,114 @@ impl DgsClient {
         self.version
     }
 
+    /// Requests submitted but not yet awaited.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// **Pipelined** submit (wire v3 only): encodes the request under
+    /// a fresh id and returns immediately — the server may answer
+    /// this and other submitted requests in any order; collect each
+    /// with [`DgsClient::await_response`]. Submits are batched: the
+    /// bytes reach the kernel at the next `await_response` (which
+    /// always flushes first) or once the batch passes 64 KiB, so a
+    /// burst of submits costs one syscall. A submit never awaited
+    /// *and* never followed by an await may therefore never be sent.
+    pub fn submit(&mut self, req: &Request) -> Result<u64, ServeError> {
+        if self.version < 3 {
+            return Err(ServeError::UnsupportedVersion {
+                ours: WIRE_VERSION,
+                theirs: self.version,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        // Encode straight into the batch buffer: the frame reaches
+        // the kernel at the next await (or when the buffer fills),
+        // so a burst of submits costs one syscall, not one each.
+        let start = self.wbuf.len();
+        self.wbuf.extend_from_slice(&[0, 0, 0, 0, 0]);
+        put_varint(&mut self.wbuf, id);
+        let ty = req.encode_into(&mut self.wbuf);
+        let len = (self.wbuf.len() - start - 5) as u32;
+        self.wbuf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        self.wbuf[start + 4] = ty;
+        self.outstanding.insert(id);
+        if self.wbuf.len() >= SUBMIT_FLUSH_BYTES {
+            self.flush_submits()?;
+        }
+        Ok(id)
+    }
+
+    /// Hands every batched submit to the kernel.
+    fn flush_submits(&mut self) -> Result<(), ServeError> {
+        if !self.wbuf.is_empty() {
+            std::io::Write::write_all(&mut self.conn, &self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Blocks for the response to a submitted `id`, reading (and
+    /// stashing) other responses that arrive first. Server `ERROR`
+    /// frames for this id become [`ServeError::Remote`]; a response
+    /// carrying an id this client never submitted is a protocol
+    /// violation and surfaces as a typed corrupt error.
+    pub fn await_response(&mut self, id: u64) -> Result<Response, ServeError> {
+        if !self.outstanding.contains(&id) && !self.stash.contains_key(&id) {
+            return Err(ServeError::corrupt(format!(
+                "request id {id} was never submitted (or already awaited)"
+            )));
+        }
+        self.flush_submits()?;
+        loop {
+            if let Some(resp) = self.stash.remove(&id) {
+                self.outstanding.remove(&id);
+                return match resp {
+                    Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+                    resp => Ok(resp),
+                };
+            }
+            let Some((ty, payload)) = self.reader.read_frame(&mut self.conn)? else {
+                return Err(ServeError::corrupt("server closed mid-request"));
+            };
+            let (got, body) = split_request_id(&payload)?;
+            if got != 0 && !self.outstanding.contains(&got) {
+                return Err(ServeError::corrupt(format!(
+                    "server answered unknown request id {got}"
+                )));
+            }
+            let resp = Response::decode(ty, body)?;
+            if got == 0 {
+                // A connection-level frame (id 0): the server is
+                // telling this connection something outside any one
+                // request — a drain notice, typically. Surface it on
+                // whatever await is active.
+                self.outstanding.remove(&id);
+                return match resp {
+                    Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+                    resp => Ok(resp),
+                };
+            }
+            self.stash.insert(got, resp);
+        }
+    }
+
     /// One request/response exchange; server `ERROR` frames become
-    /// [`ServeError::Remote`].
+    /// [`ServeError::Remote`]. At v3 this is submit + await of one
+    /// id; at v1/v2 it is the classic id-less exchange.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.call(req)
+    }
+
     fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        if self.version >= 3 {
+            let id = self.submit(req)?;
+            return self.await_response(id);
+        }
         let (ty, payload) = req.encode();
         write_frame(&mut self.conn, ty, &payload)?;
-        let Some((ty, payload)) = read_frame(&mut self.conn)? else {
+        let Some((ty, payload)) = self.reader.read_frame(&mut self.conn)? else {
             return Err(ServeError::corrupt("server closed mid-request"));
         };
         match Response::decode(ty, &payload)? {

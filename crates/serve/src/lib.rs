@@ -17,9 +17,10 @@
 //! | [`wire`] | framing + primitive codecs; bounds-checked [`wire::Reader`] |
 //! | [`proto`] | [`Request`]/[`Response`] frames, [`Answer`], version handshake |
 //! | [`transport`] | [`ServeAddr`] (`tcp:`/`unix:` spellings), stream + listener |
+//! | [`poll`] | the `poll(2)` readiness shim + self-pipe waker (std only) |
 //! | [`session`] | [`SessionManager`]: named sessions, routing, fan-out merge |
-//! | [`server`] | [`Server`]: thread-per-connection daemon core with admission control and drain shutdown |
-//! | [`client`] | [`DgsClient`]: the typed blocking client |
+//! | [`server`] | [`Server`]: readiness-loop daemon core (event thread + worker pool) with pipelining, admission control and drain shutdown |
+//! | [`client`] | [`DgsClient`]: the typed client — blocking calls or pipelined submit/await |
 //! | [`load`] | [`run_load`]: open-/closed-loop traffic generation |
 //!
 //! Queries never block behind a writer: every engine is
@@ -68,6 +69,7 @@
 pub mod client;
 pub mod error;
 pub mod load;
+pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -76,7 +78,9 @@ pub mod wire;
 
 pub use client::DgsClient;
 pub use error::{ErrorCode, ServeError};
-pub use load::{mixed_pattern_pool, run_load, LoadConfig, LoadMode, LoadReport};
+pub use load::{
+    mixed_pattern_pool, run_conn_sweep, run_load, ConnSweepConfig, LoadConfig, LoadMode, LoadReport,
+};
 pub use proto::{
     Answer, DeltaSummary, GraphInfo, Request, Response, SessionInfo, SessionOptions, WireAlgorithm,
     WireCacheStats, WireCompression, WireMetrics, WirePartitioner, WIRE_MAGIC, WIRE_VERSION,

@@ -15,11 +15,11 @@
 
 use crate::client::DgsClient;
 use crate::error::ServeError;
-use crate::proto::WireAlgorithm;
+use crate::proto::{Request, Response, WireAlgorithm};
 use crate::transport::ServeAddr;
-use dgs_core::GraphDelta;
-use dgs_graph::{generate::patterns, NodeId, Pattern};
-use dgs_net::LatencyHistogram;
+use dgs_graph::{generate::patterns, Pattern};
+use dgs_net::{ConnSweepSnapshot, ConnSweepStep, LatencyHistogram, CONN_SWEEP_SNAPSHOT_VERSION};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// How the generator paces requests.
@@ -59,6 +59,17 @@ pub struct LoadConfig {
     /// The named session to hammer (`None` = the server default).
     /// Every client issues a `SESSION_ROUTE` right after connecting.
     pub session: Option<String>,
+    /// Requests each client keeps in flight on its one connection
+    /// (`1` = classic blocking round trips; more requires wire v3
+    /// pipelining). Closed-loop throughput scales with the window
+    /// because the server overlaps service time with the round trip.
+    pub pipeline: usize,
+    /// Issue `PING`s instead of queries — the pure protocol
+    /// microbenchmark: with near-zero execution cost per request,
+    /// throughput measures framing, syscalls, and scheduling, which
+    /// is exactly what pipelining amortizes. (`delta_every` still
+    /// applies; `batch_size` and `patterns` are ignored.)
+    pub pings: bool,
 }
 
 impl Default for LoadConfig {
@@ -73,6 +84,8 @@ impl Default for LoadConfig {
             seed: 1,
             patterns: Vec::new(),
             session: None,
+            pipeline: 1,
+            pings: false,
         }
     }
 }
@@ -227,6 +240,15 @@ fn run_client(
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(client_idx as u64 + 1);
     let batch = cfg.batch_size.max(1);
+    let depth = if client.version() >= 3 {
+        cfg.pipeline.max(1)
+    } else {
+        1
+    };
+    // The pipeline window: submitted requests awaiting their answers,
+    // oldest first (awaited in submit order — the server may finish
+    // them in any order, the client stash reorders).
+    let mut window: VecDeque<(u64, Instant)> = VecDeque::with_capacity(depth);
 
     for i in 0..cfg.requests_per_client {
         let scheduled = if let LoadMode::Open { rate } = cfg.mode {
@@ -243,53 +265,215 @@ fn run_client(
             None
         };
         let is_delta = cfg.delta_every > 0 && i % cfg.delta_every == cfg.delta_every - 1;
+        let req = if is_delta {
+            // Alternate inserting and deleting one pseudo-random edge;
+            // already-satisfied ops are "ignored", never errors.
+            let u = (splitmix64(&mut rng) % nodes) as u32;
+            let v = (splitmix64(&mut rng) % nodes) as u32;
+            if splitmix64(&mut rng).is_multiple_of(2) {
+                Request::ApplyDelta {
+                    insert_edges: vec![(u, v)],
+                    delete_edges: Vec::new(),
+                }
+            } else {
+                Request::ApplyDelta {
+                    insert_edges: Vec::new(),
+                    delete_edges: vec![(u, v)],
+                }
+            }
+        } else if cfg.pings {
+            Request::Ping
+        } else if batch > 1 {
+            Request::QueryBatch {
+                patterns: (0..batch)
+                    .map(|_| patterns[(splitmix64(&mut rng) as usize) % patterns.len()].clone())
+                    .collect(),
+                algorithm: WireAlgorithm::Auto,
+            }
+        } else {
+            Request::Query {
+                pattern: patterns[(splitmix64(&mut rng) as usize) % patterns.len()].clone(),
+                algorithm: WireAlgorithm::Auto,
+                boolean: false,
+            }
+        };
         // Open-loop latency is measured from the *scheduled* arrival,
         // not the actual send: when the server falls behind and sends
         // go out late, the wait-behind-schedule is queueing delay and
         // must land in the tail percentiles (avoiding coordinated
         // omission). Closed loop measures from the send.
         let sent = scheduled.unwrap_or_else(Instant::now);
-        let outcome: Result<u64, ServeError> = if is_delta {
-            // Alternate inserting and deleting one pseudo-random edge;
-            // already-satisfied ops are "ignored", never errors.
-            let u = NodeId((splitmix64(&mut rng) % nodes) as u32);
-            let v = NodeId((splitmix64(&mut rng) % nodes) as u32);
-            let delta = if splitmix64(&mut rng).is_multiple_of(2) {
-                GraphDelta::insertions([(u, v)])
-            } else {
-                GraphDelta::deletions([(u, v)])
-            };
-            client.apply_delta(&delta).map(|_| 0)
-        } else if batch > 1 {
-            let qs: Vec<Pattern> = (0..batch)
-                .map(|_| patterns[(splitmix64(&mut rng) as usize) % patterns.len()].clone())
-                .collect();
-            client
-                .query_batch(&qs, WireAlgorithm::Auto)
-                .and_then(|(items, total)| {
-                    // A per-item engine error inside an otherwise-
-                    // delivered batch counts as an errored request.
-                    for item in items {
-                        if let Err((code, message)) = item {
-                            return Err(ServeError::Remote { code, message });
-                        }
-                    }
-                    Ok(total.cache_hits)
-                })
-        } else {
-            let q = &patterns[(splitmix64(&mut rng) as usize) % patterns.len()];
-            client
-                .query(q, WireAlgorithm::Auto)
-                .map(|a| a.metrics.cache_hits)
-        };
-        match outcome {
+        if client.version() < 3 {
+            // Legacy id-less wire: one blocking exchange at a time.
+            let result = client.request(&req);
+            fold(result, sent, &mut out);
+            continue;
+        }
+        match client.submit(&req) {
+            Ok(id) => window.push_back((id, sent)),
             Err(_) => out.errors += 1,
-            Ok(hits) => {
-                out.histogram.record_duration(sent.elapsed());
-                out.cache_hits += hits;
-                out.completed += 1;
+        }
+        while window.len() >= depth {
+            let (id, sent) = window.pop_front().expect("window nonempty");
+            let result = client.await_response(id);
+            fold(result, sent, &mut out);
+        }
+    }
+    // Drain the tail of the window.
+    while let Some((id, sent)) = window.pop_front() {
+        let result = client.await_response(id);
+        fold(result, sent, &mut out);
+    }
+    out
+}
+
+/// Folds one response (pipelined or blocking) into the outcome.
+fn fold(result: Result<Response, ServeError>, sent: Instant, out: &mut ClientOutcome) {
+    match result {
+        Err(_) => out.errors += 1,
+        Ok(resp) => {
+            // A per-item engine error inside an otherwise-delivered
+            // batch counts as an errored request.
+            let hits = match &resp {
+                Response::Answer(a) => Some(a.metrics.cache_hits),
+                Response::BatchAnswer { items, total } => {
+                    if items.iter().any(|item| item.is_err()) {
+                        None
+                    } else {
+                        Some(total.cache_hits)
+                    }
+                }
+                _ => Some(0),
+            };
+            match hits {
+                None => out.errors += 1,
+                Some(hits) => {
+                    out.histogram.record_duration(sent.elapsed());
+                    out.cache_hits += hits;
+                    out.completed += 1;
+                }
             }
         }
     }
-    out
+}
+
+// ---- the connection-count sweep ---------------------------------------
+
+/// Configuration of [`run_conn_sweep`]: the open-loop
+/// connections-vs-latency experiment behind `BENCH_connsweep.json`.
+#[derive(Clone, Debug)]
+pub struct ConnSweepConfig {
+    /// The daemon to sweep (its `--max-conns` must admit the largest
+    /// step).
+    pub addr: ServeAddr,
+    /// Connection counts to hold open, one step each (e.g.
+    /// `[1, 10, 100, 1000, 10000]`).
+    pub steps: Vec<usize>,
+    /// Fleet-wide open-loop arrival rate (req/s) at every step — held
+    /// **constant** across steps, so a p99 that climbs with the
+    /// connection count is pure per-connection overhead in the
+    /// serving core, not extra load.
+    pub rate: f64,
+    /// Requests issued per step (across the whole fleet).
+    pub requests_per_step: usize,
+    /// How many of a step's connections actively send (the rest sit
+    /// idle, which is the point: idle connections must cost buffers,
+    /// not threads or latency). Also bounds the sender thread count.
+    pub active_senders: usize,
+}
+
+impl Default for ConnSweepConfig {
+    fn default() -> Self {
+        ConnSweepConfig {
+            addr: ServeAddr::Tcp("127.0.0.1:7311".into()),
+            steps: vec![1, 10, 100, 1000, 10_000],
+            rate: 2000.0,
+            requests_per_step: 4000,
+            active_senders: 64,
+        }
+    }
+}
+
+/// Runs the sweep: per step, hold `n` connections open, drive the
+/// same open-loop `PING` schedule through a bounded subset of them,
+/// and record throughput and p99. `PING` isolates the serving core —
+/// readiness loop, framing, dispatch — from query cost, which
+/// `BENCH_serving.json` already tracks.
+pub fn run_conn_sweep(cfg: &ConnSweepConfig) -> Result<ConnSweepSnapshot, ServeError> {
+    let mut steps = Vec::with_capacity(cfg.steps.len());
+    for &n in &cfg.steps {
+        steps.push(run_sweep_step(cfg, n)?);
+    }
+    Ok(ConnSweepSnapshot {
+        version: CONN_SWEEP_SNAPSHOT_VERSION,
+        steps,
+    })
+}
+
+fn run_sweep_step(cfg: &ConnSweepConfig, n: usize) -> Result<ConnSweepStep, ServeError> {
+    let n = n.max(1);
+    // Open and hold every connection first; a failed connect is a
+    // step error the gate must see, not a silent shrink of the fleet.
+    let mut clients = Vec::with_capacity(n);
+    let mut connect_errors = 0u64;
+    for _ in 0..n {
+        match DgsClient::connect(&cfg.addr) {
+            Ok(c) => clients.push(c),
+            Err(_) => connect_errors += 1,
+        }
+    }
+    let senders = clients.len().min(cfg.active_senders.max(1));
+    let quota_total = cfg.requests_per_step.max(1);
+    let start = Instant::now();
+    let mut outcomes: Vec<ClientOutcome> = Vec::with_capacity(senders);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(senders);
+        // Senders take the *front* of the fleet; the rest stay
+        // connected and silent for the whole step.
+        for (j, client) in clients.iter_mut().take(senders).enumerate() {
+            let rate = cfg.rate;
+            handles.push(s.spawn(move || {
+                let mut out = ClientOutcome {
+                    completed: 0,
+                    errors: 0,
+                    cache_hits: 0,
+                    histogram: LatencyHistogram::new(),
+                    failed_connect: false,
+                };
+                // Fleet-wide schedule: sender j owns arrival slots
+                // j, j + senders, ... at 1/rate spacing.
+                let mut i = j;
+                while i < quota_total {
+                    let due = start + Duration::from_secs_f64(i as f64 / rate.max(1e-9));
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    fold(client.request(&Request::Ping), due, &mut out);
+                    i += senders;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            outcomes.push(h.join().expect("sweep sender thread panicked"));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut completed = 0u64;
+    let mut errors = connect_errors;
+    let mut histogram = LatencyHistogram::new();
+    for out in &outcomes {
+        completed += out.completed;
+        errors += out.errors;
+        histogram.merge(&out.histogram);
+    }
+    Ok(ConnSweepStep {
+        connections: n as u64,
+        throughput: completed as f64 / elapsed,
+        p99_us: histogram.p99() as f64 / 1000.0,
+        completed,
+        errors,
+    })
 }

@@ -26,9 +26,12 @@ use dgs_sim::MatchRelation;
 /// Magic the handshake frames carry ("DGSW": dgs wire).
 pub const WIRE_MAGIC: [u8; 4] = *b"DGSW";
 /// The highest protocol version this build speaks. v2 added the
-/// `SESSION_*` frames (multi-session hosting + routing); v1 peers
-/// negotiate down and simply never see them.
-pub const WIRE_VERSION: u8 = 2;
+/// `SESSION_*` frames (multi-session hosting + routing); v3 prefixes
+/// every post-handshake payload with a varint **request id** echoed
+/// in the matching response, so one connection can pipeline requests
+/// and take responses out of order. v1/v2 peers negotiate down and
+/// keep the id-less one-at-a-time framing.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame type bytes. Requests are `0x1x`, responses `0x2x`, the error
 /// response is `0x3f`; handshake frames are `0x0x`.
@@ -670,7 +673,14 @@ impl Request {
     /// Serializes to `(frame type, payload)`.
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut buf = Vec::new();
-        let ty = match self {
+        let ty = self.encode_into(&mut buf);
+        (ty, buf)
+    }
+
+    /// Appends the payload to `buf` (which may carry a frame header
+    /// or a v3 request-id prefix already) and returns the frame type.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> u8 {
+        match self {
             Request::Ping => frame::PING,
             Request::GraphInfo => frame::GRAPH_INFO,
             Request::Query {
@@ -678,19 +688,19 @@ impl Request {
                 algorithm,
                 boolean,
             } => {
-                put_u8(&mut buf, *algorithm as u8);
-                put_u8(&mut buf, u8::from(*boolean));
-                encode_pattern(&mut buf, pattern);
+                put_u8(buf, *algorithm as u8);
+                put_u8(buf, u8::from(*boolean));
+                encode_pattern(buf, pattern);
                 frame::QUERY
             }
             Request::QueryBatch {
                 patterns,
                 algorithm,
             } => {
-                put_u8(&mut buf, *algorithm as u8);
-                put_varint(&mut buf, patterns.len() as u64);
+                put_u8(buf, *algorithm as u8);
+                put_varint(buf, patterns.len() as u64);
                 for q in patterns {
-                    encode_pattern(&mut buf, q);
+                    encode_pattern(buf, q);
                 }
                 frame::QUERY_BATCH
             }
@@ -698,14 +708,14 @@ impl Request {
                 insert_edges,
                 delete_edges,
             } => {
-                encode_edges(&mut buf, insert_edges);
-                encode_edges(&mut buf, delete_edges);
+                encode_edges(buf, insert_edges);
+                encode_edges(buf, delete_edges);
                 frame::APPLY_DELTA
             }
             Request::CacheStats => frame::CACHE_STATS,
             Request::CompressionInfo => frame::COMPRESSION_INFO,
             Request::LoadGraph { graph, options } => {
-                encode_options_and_graph(&mut buf, options, graph);
+                encode_options_and_graph(buf, options, graph);
                 frame::LOAD_GRAPH
             }
             Request::Shutdown => frame::SHUTDOWN,
@@ -714,24 +724,23 @@ impl Request {
                 graph,
                 options,
             } => {
-                put_str(&mut buf, name);
-                encode_options_and_graph(&mut buf, options, graph);
+                put_str(buf, name);
+                encode_options_and_graph(buf, options, graph);
                 frame::SESSION_CREATE
             }
             Request::SessionList => frame::SESSION_LIST,
             Request::SessionDrop { name } => {
-                put_str(&mut buf, name);
+                put_str(buf, name);
                 frame::SESSION_DROP
             }
             Request::SessionRoute { sessions } => {
-                put_varint(&mut buf, sessions.len() as u64);
+                put_varint(buf, sessions.len() as u64);
                 for name in sessions {
-                    put_str(&mut buf, name);
+                    put_str(buf, name);
                 }
                 frame::SESSION_ROUTE
             }
-        };
-        (ty, buf)
+        }
     }
 
     /// Decodes a request frame.
@@ -814,38 +823,47 @@ impl Response {
     /// Serializes to `(frame type, payload)`.
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut buf = Vec::new();
-        let ty = match self {
+        let ty = self.encode_into(&mut buf);
+        (ty, buf)
+    }
+
+    /// Appends the payload to `buf` (which may carry a frame header
+    /// or a v3 request-id prefix already — this is what lets the
+    /// server encode straight into a pooled frame buffer) and returns
+    /// the frame type.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> u8 {
+        match self {
             Response::Pong => frame::PONG,
             Response::GraphInfo(info) => {
                 for v in [info.nodes, info.edges] {
-                    put_varint(&mut buf, v);
+                    put_varint(buf, v);
                 }
-                put_u16(&mut buf, info.sites);
+                put_u16(buf, info.sites);
                 for v in [info.vf, info.ef, info.label_bound, info.generation] {
-                    put_varint(&mut buf, v);
+                    put_varint(buf, v);
                 }
                 frame::GRAPH_INFO_R
             }
             Response::Answer(a) => {
-                a.encode(&mut buf);
+                a.encode(buf);
                 frame::ANSWER
             }
             Response::BatchAnswer { items, total } => {
-                put_varint(&mut buf, items.len() as u64);
+                put_varint(buf, items.len() as u64);
                 for item in items {
                     match item {
                         Ok(a) => {
-                            put_u8(&mut buf, 1);
-                            a.encode(&mut buf);
+                            put_u8(buf, 1);
+                            a.encode(buf);
                         }
                         Err((code, message)) => {
-                            put_u8(&mut buf, 0);
-                            put_u16(&mut buf, code.to_u16());
-                            put_str(&mut buf, message);
+                            put_u8(buf, 0);
+                            put_u16(buf, code.to_u16());
+                            put_str(buf, message);
                         }
                     }
                 }
-                total.encode(&mut buf);
+                total.encode(buf);
                 frame::BATCH_ANSWER
             }
             Response::DeltaApplied(d) => {
@@ -862,15 +880,15 @@ impl Response {
                     d.revoked_pairs,
                     d.generation,
                 ] {
-                    put_varint(&mut buf, v);
+                    put_varint(buf, v);
                 }
                 frame::DELTA_APPLIED
             }
             Response::CacheStats(stats) => {
                 match stats {
-                    None => put_u8(&mut buf, 0),
+                    None => put_u8(buf, 0),
                     Some(s) => {
-                        put_u8(&mut buf, 1);
+                        put_u8(buf, 1);
                         for v in [
                             s.entries,
                             s.capacity,
@@ -879,7 +897,7 @@ impl Response {
                             s.evictions,
                             s.generation,
                         ] {
-                            put_varint(&mut buf, v);
+                            put_varint(buf, v);
                         }
                     }
                 }
@@ -887,13 +905,13 @@ impl Response {
             }
             Response::CompressionInfo(info) => {
                 match info {
-                    None => put_u8(&mut buf, 0),
+                    None => put_u8(buf, 0),
                     Some(c) => {
-                        put_u8(&mut buf, 1);
-                        put_varint(&mut buf, c.classes);
-                        put_f64(&mut buf, c.ratio);
-                        put_str(&mut buf, &c.method);
-                        put_u8(&mut buf, u8::from(c.active));
+                        put_u8(buf, 1);
+                        put_varint(buf, c.classes);
+                        put_f64(buf, c.ratio);
+                        put_str(buf, &c.method);
+                        put_u8(buf, u8::from(c.active));
                     }
                 }
                 frame::COMPRESSION_INFO_R
@@ -903,35 +921,34 @@ impl Response {
                 edges,
                 sites,
             } => {
-                put_varint(&mut buf, *nodes);
-                put_varint(&mut buf, *edges);
-                put_u16(&mut buf, *sites);
+                put_varint(buf, *nodes);
+                put_varint(buf, *edges);
+                put_u16(buf, *sites);
                 frame::LOADED
             }
             Response::ShuttingDown => frame::SHUTTING_DOWN,
             Response::SessionCreated(info) => {
-                info.encode(&mut buf);
+                info.encode(buf);
                 frame::SESSION_CREATED
             }
             Response::Sessions(infos) => {
-                put_varint(&mut buf, infos.len() as u64);
+                put_varint(buf, infos.len() as u64);
                 for info in infos {
-                    info.encode(&mut buf);
+                    info.encode(buf);
                 }
                 frame::SESSION_LIST_R
             }
             Response::SessionDropped => frame::SESSION_DROPPED,
             Response::SessionRouted { sessions } => {
-                put_varint(&mut buf, *sessions);
+                put_varint(buf, *sessions);
                 frame::SESSION_ROUTED
             }
             Response::Error { code, message } => {
-                put_u16(&mut buf, code.to_u16());
-                put_str(&mut buf, message);
+                put_u16(buf, code.to_u16());
+                put_str(buf, message);
                 frame::ERROR
             }
-        };
-        (ty, buf)
+        }
     }
 
     /// Decodes a response frame.

@@ -1,50 +1,64 @@
-//! The serving daemon core: a thread-per-connection server hosting
-//! named [`SimEngine`] sessions behind a [`SessionManager`].
+//! The serving daemon core: a nonblocking readiness-loop server
+//! hosting named [`SimEngine`] sessions behind a [`SessionManager`].
 //!
+//! * **Architecture** — one **event thread** owns every socket: it
+//!   accepts, reads request frames into per-connection incremental
+//!   buffers ([`crate::wire::FrameBuffer`]), and flushes encoded
+//!   responses from per-connection write queues, multiplexed with the
+//!   `poll(2)` shim in [`crate::poll`]. A small fixed **worker pool**
+//!   decodes and executes requests and hands encoded response frames
+//!   back through a completion queue (waking the poller via a
+//!   self-pipe). A connection therefore costs two buffers, not an OS
+//!   thread — 10k idle-or-bursty clients are just 10k pollfds.
+//! * **Pipelining** — at wire v3 every request carries a varint id
+//!   the response echoes, so one connection can keep many requests in
+//!   flight and take answers out of order as workers finish them.
+//!   `SESSION_ROUTE` and `SHUTDOWN` are ordering **barriers**: they
+//!   wait for the connection's in-flight requests and block later
+//!   ones until done, so a pipelined route change still applies to
+//!   exactly the requests after it. v1/v2 connections (no ids on the
+//!   wire) are serialized per connection — responses match requests
+//!   by order, as before.
 //! * **Sharing** — there is no lock around the engines on the serve
 //!   path. Each engine is snapshot-isolated: queries clone the
 //!   published generation snapshot and run lock-free; `APPLY_DELTA`
 //!   builds the next generation off the read path and publishes it
-//!   with an atomic swap. A delta is **not** a barrier — queries
-//!   admitted before, during and after it all complete against
-//!   exactly one generation.
-//! * **Sessions** — the daemon hosts any number of named sessions
-//!   (`SESSION_CREATE` / `SESSION_DROP`); every connection carries a
-//!   route (default: the `"default"` session) that `SESSION_ROUTE`
-//!   repoints, possibly at several sessions at once, in which case
-//!   queries fan out and the per-shard relations are merged (see
-//!   [`crate::session`]).
+//!   with an atomic swap.
 //! * **Admission control** — at most
 //!   [`ServerConfig::max_connections`] connections are served at
 //!   once. A connection over the limit still gets a well-formed
 //!   answer: the server completes the handshake read and replies with
-//!   an `ERROR (Busy)` frame before closing, so clients see typed
-//!   backpressure ([`crate::ServeError::is_busy`]) instead of a
-//!   hang-up, and can retry elsewhere/later.
+//!   an `ERROR (Busy)` frame before closing — and that rejection is
+//!   tracked like any other connection, so shutdown drains the `Busy`
+//!   frame out in full instead of racing process exit.
 //! * **Shutdown** — the `SHUTDOWN` frame (or
-//!   [`ServerHandle::shutdown`]) stops the acceptor, then **drains**:
+//!   [`ServerHandle::shutdown`]) stops accepting, then **drains**:
 //!   in-flight requests finish and their responses are written in
-//!   full; idle connections get a typed `ShuttingDown` error frame.
-//!   Only connections still busy after [`ServerConfig::drain_grace`]
-//!   are force-closed. A client mid-request therefore sees its answer
-//!   or a typed error — never a short read.
+//!   full; requests not yet started and idle connections get a typed
+//!   `ShuttingDown` error frame. Only connections still unflushed
+//!   after [`ServerConfig::drain_grace`] are force-closed. A client
+//!   mid-request therefore sees its answer or a typed error — never a
+//!   short read.
 
 use crate::error::{ErrorCode, ServeError};
+use crate::poll::{PollSet, WakeHandle, WakePipe};
 use crate::proto::{
     frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireCacheStats,
     WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::session::{merge_answers, merge_metrics, session_info, Route, SessionManager};
 use crate::transport::{Conn, Listener, ServeAddr};
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{encode_frame_into, split_request_id, FrameBuffer};
 use dgs_core::{Algorithm, DgsError, GraphDelta, RunReport, SimEngine};
 use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
 use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Server tunables.
@@ -53,9 +67,16 @@ pub struct ServerConfig {
     /// Connections served concurrently; further clients get a typed
     /// `Busy` rejection (admission-control backpressure).
     pub max_connections: usize,
-    /// How long shutdown waits for in-flight requests to drain before
-    /// force-closing the remaining sockets.
+    /// How long shutdown waits for in-flight requests and unflushed
+    /// responses to drain before force-closing the remaining sockets.
     pub drain_grace: Duration,
+    /// Threads in the request-execution worker pool (`0` = derive
+    /// from the host's parallelism, clamped to 2..=8).
+    pub worker_threads: usize,
+    /// Requests one v3 connection may have in flight or queued before
+    /// the event loop stops reading from it (TCP backpressure).
+    /// v1/v2 connections are always serialized at 1.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,33 +84,139 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             drain_grace: Duration::from_secs(5),
+            worker_threads: 0,
+            max_pipeline: 128,
         }
     }
 }
 
-/// State shared between the acceptor and the connection threads.
+// Workers oversubscribe cores: requests block on I/O-ish work
+// (scoped fan-out joins, delta maintenance) and a floor of 4 keeps a
+// short query from queueing behind slow writes even on a 1-core box.
+fn default_workers() -> usize {
+    (std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        * 2)
+    .clamp(4, 16)
+}
+
+/// One decoded-enough request handed to the worker pool: the frame
+/// body stays raw so even `LOAD_GRAPH`-sized decodes happen off the
+/// event thread.
+struct Job {
+    conn_id: u64,
+    request_id: u64,
+    version: u8,
+    ty: u8,
+    body: Vec<u8>,
+    route: Arc<Mutex<Route>>,
+    /// True for barrier frames (`SESSION_ROUTE`/`SHUTDOWN`): the
+    /// completion reopens the connection's dispatch.
+    release_barrier: bool,
+}
+
+/// One finished request: a fully encoded response frame ready for the
+/// connection's write queue.
+struct Completion {
+    conn_id: u64,
+    frame: Vec<u8>,
+    release_barrier: bool,
+    wants_shutdown: bool,
+}
+
+/// The worker pool's job queue (std mutex + condvar — the only
+/// blocking wait in the server).
+struct JobQueue {
+    inner: StdMutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            inner: StdMutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut g = self.inner.lock().expect("job queue poisoned");
+        g.0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and empty.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = g.0.pop_front() {
+                return Some(job);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.cv.wait(g).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Recycled response-frame buffers: workers encode into a pooled
+/// `Vec`, the event thread returns it after the flush — steady-state
+/// serving allocates nothing per response.
+struct BufferPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Don't hoard buffers that ballooned on one giant answer.
+const POOL_MAX_BUF: usize = 1 << 20;
+/// Enough pooled buffers to cover every worker plus queued flushes.
+const POOL_MAX_LEN: usize = 64;
+
+impl BufferPool {
+    fn new() -> BufferPool {
+        BufferPool {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self) -> Vec<u8> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > POOL_MAX_BUF {
+            return;
+        }
+        buf.clear();
+        let mut g = self.bufs.lock();
+        if g.len() < POOL_MAX_LEN {
+            g.push(buf);
+        }
+    }
+}
+
+/// State shared between the event thread, the worker pool and
+/// [`ServerHandle`]s.
 struct Shared {
     sessions: Arc<SessionManager>,
     shutdown: AtomicBool,
-    active: AtomicUsize,
     served: AtomicU64,
     rejected: AtomicU64,
-    next_conn: AtomicU64,
-    /// Socket clones of the live connections; shutdown uses them to
-    /// impose read timeouts (drain) and, past the grace period, to
-    /// force-close blocked readers.
-    conns: Mutex<HashMap<u64, Conn>>,
     addr: ServeAddr,
     max_connections: usize,
     drain_grace: Duration,
-}
-
-impl Shared {
-    /// Wakes the acceptor (blocked in `accept`) with a throwaway
-    /// connection so it observes the shutdown flag.
-    fn wake_acceptor(&self) {
-        let _ = Conn::connect(&self.addr);
-    }
+    max_pipeline: usize,
+    worker_threads: usize,
+    jobs: JobQueue,
+    completions: Mutex<Vec<Completion>>,
+    pool: BufferPool,
+    wake: WakeHandle,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks;
@@ -97,6 +224,7 @@ impl Shared {
 /// [`ServerHandle`].
 pub struct Server {
     listener: Listener,
+    wake_pipe: WakePipe,
     shared: Arc<Shared>,
 }
 
@@ -105,19 +233,29 @@ impl Server {
     pub fn bind(addr: &ServeAddr, engine: SimEngine, cfg: ServerConfig) -> io::Result<Server> {
         let listener = Listener::bind(addr)?;
         let resolved = listener.local_addr()?;
+        let wake_pipe = WakePipe::new()?;
+        let wake = wake_pipe.handle();
         Ok(Server {
             listener,
+            wake_pipe,
             shared: Arc::new(Shared {
                 sessions: Arc::new(SessionManager::new(engine)),
                 shutdown: AtomicBool::new(false),
-                active: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
-                next_conn: AtomicU64::new(0),
-                conns: Mutex::new(HashMap::new()),
                 addr: resolved,
                 max_connections: cfg.max_connections,
                 drain_grace: cfg.drain_grace,
+                max_pipeline: cfg.max_pipeline.max(1),
+                worker_threads: if cfg.worker_threads == 0 {
+                    default_workers()
+                } else {
+                    cfg.worker_threads
+                },
+                jobs: JobQueue::new(),
+                completions: Mutex::new(Vec::new()),
+                pool: BufferPool::new(),
+                wake,
             }),
         })
     }
@@ -147,78 +285,24 @@ impl Server {
 
     /// Serves until a `SHUTDOWN` frame arrives (or
     /// [`ServerHandle::shutdown`] is called on a spawned server).
-    /// Returns after every connection thread has exited.
+    /// Returns after the drain completes and the worker pool exits.
     pub fn run(self) -> io::Result<()> {
         let shared = self.shared;
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let conn = match self.listener.accept() {
-                Ok(c) => c,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => {
-                    // Transient accept failures (fd exhaustion under
-                    // churn, aborted connections) must not take the
-                    // whole daemon down with every in-flight session:
-                    // back off briefly and keep accepting.
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    eprintln!("dgs-serve: accept failed ({e}); retrying");
-                    std::thread::sleep(Duration::from_millis(100));
-                    continue;
-                }
-            };
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
-            let shared = Arc::clone(&shared);
-            if active > shared.max_connections {
-                // Admission control: answer the handshake with a typed
-                // Busy rejection on a short-lived thread (never block
-                // the acceptor on a slow client).
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-                shared.rejected.fetch_add(1, Ordering::SeqCst);
-                std::thread::spawn(move || reject_busy(conn));
-            } else {
-                std::thread::spawn(move || {
-                    let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                    if let Ok(clone) = conn.try_clone() {
-                        shared.conns.lock().insert(id, clone);
-                    }
-                    let _ = serve_connection(conn, &shared);
-                    shared.conns.lock().remove(&id);
-                    shared.active.fetch_sub(1, Ordering::SeqCst);
-                });
-            }
-        }
-        // Drain: in-flight requests finish and their responses go out
-        // in full. Blocked readers get a short read timeout (set on
-        // the socket clone, which shares the underlying socket) so
-        // they observe the shutdown flag and answer a typed
-        // ShuttingDown error instead of being cut off mid-frame. The
-        // timeout is re-imposed each pass because connections may
-        // still be inside a long request when an earlier pass ran.
-        let deadline = Instant::now() + shared.drain_grace;
-        while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            for (_, conn) in shared.conns.lock().iter() {
-                let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // Stragglers past the grace period get force-closed.
-        for (_, conn) in shared.conns.lock().iter() {
-            let _ = conn.shutdown();
-        }
-        while shared.active.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(Duration::from_millis(2));
+        let workers: Vec<_> = (0..shared.worker_threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let result = event_loop(&self.listener, self.wake_pipe, &shared);
+        shared.jobs.close();
+        for w in workers {
+            let _ = w.join();
         }
         if let ServeAddr::Unix(path) = &shared.addr {
             let _ = std::fs::remove_file(path);
         }
-        Ok(())
+        result
     }
 
     /// Runs the server on a background thread.
@@ -276,143 +360,616 @@ impl ServerHandle {
     /// Stops the server (drain, then force-close) and joins it.
     pub fn shutdown(self) -> io::Result<()> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.wake_acceptor();
+        self.shared.wake.wake();
         self.thread
             .join()
             .map_err(|_| io::Error::other("server thread panicked"))?
     }
 }
 
-/// Reads the handshake and answers `Busy` (over-capacity path).
-fn reject_busy(mut conn: Conn) {
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
-    if let Ok(Some((frame::HELLO, _))) = read_frame(&mut conn) {
-        let (ty, payload) = Response::Error {
-            code: ErrorCode::Busy,
-            message: "server at connection capacity, retry later".into(),
+// ---- the worker pool --------------------------------------------------
+
+/// Pulls jobs until the queue closes: decode, execute, encode the
+/// response into a pooled frame buffer, hand it back, wake the
+/// poller. A panicking request (a shard bug, a pathological pattern)
+/// becomes a typed `Internal` error instead of a dead worker.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.jobs.pop() {
+        let (resp, wants_shutdown) = match Request::decode(job.ty, &job.body) {
+            Ok(req) => {
+                let wants_shutdown = matches!(req, Request::Shutdown);
+                let resp = catch_unwind(AssertUnwindSafe(|| execute(&req, shared, &job.route)))
+                    .unwrap_or_else(|_| Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "request execution panicked on the server".into(),
+                    });
+                (resp, wants_shutdown)
+            }
+            // Frames are length-delimited, so the stream is still in
+            // sync: report and keep serving.
+            Err(e) => (
+                Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        };
+        let mut buf = shared.pool.get();
+        let id = (job.version >= 3).then_some(job.request_id);
+        if encode_frame_into(&mut buf, id, |b| resp.encode_into(b)).is_err() {
+            // The answer outgrew MAX_FRAME; the error that replaces it
+            // cannot (it is a short string).
+            let resp = Response::Error {
+                code: ErrorCode::Internal,
+                message: "response exceeded the maximum frame size".into(),
+            };
+            encode_frame_into(&mut buf, id, |b| resp.encode_into(b))
+                .expect("error frame fits MAX_FRAME");
         }
-        .encode();
-        let _ = write_frame(&mut conn, ty, &payload);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        shared.completions.lock().push(Completion {
+            conn_id: job.conn_id,
+            frame: buf,
+            release_barrier: job.release_barrier,
+            wants_shutdown,
+        });
+        shared.wake.wake();
     }
 }
 
-/// True for the read-timeout kinds a drain-imposed `SO_RCVTIMEO`
-/// produces (platform-dependently one or the other).
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+// ---- the event loop ---------------------------------------------------
+
+/// How long a fresh connection may sit before completing the
+/// handshake (slow-loris guard; pre-handshake sockets hold no route
+/// or session state, so cutting them is free).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum Phase {
+    /// Waiting for `HELLO`; cut at `deadline`. `reject` marks an
+    /// over-capacity connection whose `HELLO` gets `Busy`.
+    Handshake { deadline: Instant, reject: bool },
+    /// Handshake done, version negotiated.
+    Serving,
 }
 
-/// Performs the handshake, then serves request frames until the peer
-/// closes or the server shuts down.
-fn serve_connection(mut conn: Conn, shared: &Shared) -> Result<(), ServeError> {
-    // Handshake: HELLO(magic, client max version) -> WELCOME(magic,
-    // negotiated version). A bad magic means the peer is not speaking
-    // this protocol at all — answer with a typed error and hang up.
-    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let Some((ty, payload)) = read_frame(&mut conn)? else {
-        return Ok(());
-    };
-    if ty != frame::HELLO || payload.len() != 5 || payload[..4] != WIRE_MAGIC {
-        send(
-            &mut conn,
-            Response::Error {
-                code: ErrorCode::Malformed,
-                message: "expected HELLO(magic, version)".into(),
-            },
-        )?;
-        return Ok(());
-    }
-    let theirs = payload[4];
-    if theirs < 1 {
-        send(
-            &mut conn,
-            Response::Error {
-                code: ErrorCode::Malformed,
-                message: format!(
-                    "peer offered protocol v{theirs}; this server speaks v1..=v{WIRE_VERSION}"
-                ),
-            },
-        )?;
-        return Ok(());
-    }
-    let version = theirs.min(WIRE_VERSION);
-    let mut welcome = Vec::with_capacity(5);
-    welcome.extend_from_slice(&WIRE_MAGIC);
-    welcome.push(version);
-    write_frame(&mut conn, frame::WELCOME, &welcome)?;
-    conn.set_read_timeout(None)?;
+/// Per-connection event-loop state: buffers, not a thread.
+struct ConnState {
+    conn: Conn,
+    phase: Phase,
+    version: u8,
+    rbuf: FrameBuffer,
+    /// Encoded frames awaiting flush; `out_pos` indexes into the
+    /// front frame (partial writes are routine under poll).
+    out: VecDeque<Vec<u8>>,
+    out_pos: usize,
+    /// Parsed requests not yet dispatched to the worker pool.
+    pending: VecDeque<(u64, u8, Vec<u8>)>,
+    in_flight: usize,
+    /// A barrier frame (`SESSION_ROUTE`/`SHUTDOWN`) is executing;
+    /// dispatch is paused until its completion releases it.
+    barrier: bool,
+    route: Arc<Mutex<Route>>,
+    /// No more reads; flush `out` and whatever is in flight, then
+    /// close.
+    closing: bool,
+    /// The final drain-time `ShuttingDown` notice was queued.
+    notified_shutdown: bool,
+}
 
-    // Where this connection's requests go; SESSION_ROUTE repoints it.
-    let mut route = Route::default();
+impl ConnState {
+    fn new(conn: Conn, reject: bool) -> ConnState {
+        ConnState {
+            conn,
+            phase: Phase::Handshake {
+                deadline: Instant::now() + HANDSHAKE_TIMEOUT,
+                reject,
+            },
+            version: 0,
+            rbuf: FrameBuffer::new(),
+            out: VecDeque::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            in_flight: 0,
+            barrier: false,
+            route: Arc::new(Mutex::new(Route::default())),
+            closing: false,
+            notified_shutdown: false,
+        }
+    }
+
+    fn rejecting(&self) -> bool {
+        matches!(self.phase, Phase::Handshake { reject: true, .. })
+    }
+
+    /// Work left that the drain must wait for.
+    fn draining(&self) -> bool {
+        self.in_flight > 0 || !self.pending.is_empty() || !self.out.is_empty()
+    }
+
+    /// Queues one encoded response frame (an owned, non-pooled error
+    /// or handshake frame).
+    fn push_frame(&mut self, id: Option<u64>, resp: &Response) {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, id, |b| resp.encode_into(b)).expect("small frame fits");
+        self.out.push_back(buf);
+    }
+
+    /// The connection-level id for unsolicited server frames: v3
+    /// reserves 0; pre-v3 frames carry no id at all.
+    fn conn_level_id(&self) -> Option<u64> {
+        (self.version >= 3).then_some(0)
+    }
+}
+
+enum Token {
+    Wake,
+    Listener,
+    Conn(u64),
+}
+
+fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    // Admitted (non-rejecting) connections, tracked incrementally so
+    // admission control is O(1) per accept.
+    let mut admitted: usize = 0;
+    let mut poll = PollSet::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    // Connections whose queues changed this iteration and want an
+    // opportunistic flush without waiting for the next poll round.
+    let mut touched: Vec<u64> = Vec::new();
 
     loop {
-        let (ty, payload) = match read_frame(&mut conn) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return Ok(()),
-            // A read timeout only ever fires while shutdown is
-            // draining (the drain loop imposes it); tell the peer and
-            // hang up cleanly — the response stream is framed and only
-            // this thread writes it, so the error arrives intact.
-            Err(ServeError::Io(e)) if is_timeout(&e) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    send(
-                        &mut conn,
-                        Response::Error {
-                            code: ErrorCode::ShuttingDown,
-                            message: "server is shutting down".into(),
-                        },
-                    )?;
-                    return Ok(());
-                }
-                continue;
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + shared.drain_grace);
+            // One final accept sweep: peers whose connect() already
+            // succeeded against the kernel backlog deserve a typed
+            // `Busy`/`ShuttingDown` answer to their HELLO, not the
+            // reset they would get when the listener closes.
+            accept_burst(listener, shared, &mut conns, &mut next_conn, &mut admitted);
+            for c in conns.values_mut() {
+                begin_drain(c);
             }
-            Err(e) => return Err(e),
+        }
+        // Sweep: drop connections that finished (or died), answer the
+        // drain notice once a draining connection's last response
+        // lands, and enforce deadlines.
+        let now = Instant::now();
+        let force_close = matches!(drain_deadline, Some(dl) if now >= dl);
+        conns.retain(|_, c| {
+            if shutting && !c.notified_shutdown && c.in_flight == 0 && c.pending.is_empty() {
+                begin_drain(c);
+            }
+            let expired = match c.phase {
+                Phase::Handshake { deadline, .. } => now >= deadline,
+                Phase::Serving => false,
+            };
+            let done = c.closing && !c.draining();
+            if force_close || expired || done {
+                if !c.rejecting() {
+                    admitted -= 1;
+                }
+                for buf in c.out.drain(..) {
+                    shared.pool.put(buf);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if shutting && conns.is_empty() {
+            return Ok(());
+        }
+
+        poll.clear();
+        tokens.clear();
+        poll.push(wake_pipe.poll_fd(), true, false);
+        tokens.push(Token::Wake);
+        if !shutting {
+            poll.push(listener.as_raw_fd(), true, false);
+            tokens.push(Token::Listener);
+        }
+        for (&id, c) in conns.iter() {
+            let cap = if c.version >= 3 {
+                shared.max_pipeline
+            } else {
+                1
+            };
+            let want_read = !c.closing && c.pending.len() + c.in_flight < cap;
+            let want_write = !c.out.is_empty();
+            if want_read || want_write {
+                poll.push(c.conn.as_raw_fd(), want_read, want_write);
+                tokens.push(Token::Conn(id));
+            }
+        }
+        // Deadlines (handshake cutoffs, the drain grace) need the
+        // poller to wake without fd activity.
+        let timeout = if drain_deadline.is_some()
+            || conns
+                .values()
+                .any(|c| matches!(c.phase, Phase::Handshake { .. }))
+        {
+            Some(Duration::from_millis(100))
+        } else {
+            None
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            send(
-                &mut conn,
-                Response::Error {
+        poll.poll(timeout)?;
+
+        touched.clear();
+        for (idx, tok) in tokens.iter().enumerate() {
+            match tok {
+                Token::Wake => {
+                    if poll.readable(idx) {
+                        wake_pipe.drain();
+                    }
+                }
+                Token::Listener => {
+                    if poll.readable(idx) {
+                        accept_burst(listener, shared, &mut conns, &mut next_conn, &mut admitted);
+                    }
+                }
+                Token::Conn(id) => {
+                    if poll.readable(idx) {
+                        if let Some(c) = conns.get_mut(id) {
+                            handle_read(*id, c, shared, shutting);
+                        }
+                    }
+                    touched.push(*id);
+                }
+            }
+        }
+        // Completions: append encoded responses to their connections'
+        // write queues (responses for connections that died mid-query
+        // recycle straight back to the pool).
+        for comp in shared.completions.lock().drain(..) {
+            if comp.wants_shutdown {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            match conns.get_mut(&comp.conn_id) {
+                Some(c) => {
+                    c.in_flight -= 1;
+                    if comp.release_barrier {
+                        c.barrier = false;
+                    }
+                    c.out.push_back(comp.frame);
+                    pump_dispatch(comp.conn_id, c, shared, shutting);
+                    touched.push(comp.conn_id);
+                }
+                None => shared.pool.put(comp.frame),
+            }
+        }
+        // Opportunistic flush: most responses go out here, in the
+        // same iteration they were produced, saving a poll round.
+        for id in touched.drain(..) {
+            if let Some(c) = conns.get_mut(&id) {
+                if flush_writes(c, shared).is_err() {
+                    c.closing = true;
+                    c.out.clear();
+                    c.pending.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Accepts until `WouldBlock`; over-capacity connections are admitted
+/// far enough to answer their handshake with `Busy`.
+fn accept_burst(
+    listener: &Listener,
+    shared: &Shared,
+    conns: &mut HashMap<u64, ConnState>,
+    next_conn: &mut u64,
+    admitted: &mut usize,
+) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // Transient accept failures (fd exhaustion under
+                // churn, aborted connections) must not take the whole
+                // daemon down with every in-flight session.
+                eprintln!("dgs-serve: accept failed ({e}); continuing");
+                return;
+            }
+        };
+        if conn.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = conn.set_nodelay();
+        let reject = *admitted >= shared.max_connections;
+        if !reject {
+            *admitted += 1;
+        }
+        let id = *next_conn;
+        *next_conn += 1;
+        conns.insert(id, ConnState::new(conn, reject));
+    }
+}
+
+/// Reads everything the socket has, then parses and routes the
+/// complete frames.
+fn handle_read(conn_id: u64, c: &mut ConnState, shared: &Shared, shutting: bool) {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match c.conn.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed its write side: no more requests, but
+                // in-flight responses still flush.
+                c.closing = true;
+                break;
+            }
+            Ok(n) => {
+                c.rbuf.extend(&chunk[..n]);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.closing = true;
+                c.out.clear();
+                c.pending.clear();
+                return;
+            }
+        }
+    }
+    loop {
+        match c.rbuf.next_frame() {
+            Ok(Some((ty, payload))) => process_frame(conn_id, c, shared, shutting, ty, &payload),
+            Ok(None) => break,
+            Err(e) => {
+                // Framing-level corruption (an oversized length):
+                // unlike a bad payload, the stream cannot resync —
+                // report once and hang up.
+                c.push_frame(
+                    c.conn_level_id(),
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: ServeError::from(e).to_string(),
+                    },
+                );
+                c.closing = true;
+                break;
+            }
+        }
+        if c.closing {
+            break;
+        }
+    }
+}
+
+/// Handles one complete inbound frame: handshake, or queue-and-pump.
+fn process_frame(
+    conn_id: u64,
+    c: &mut ConnState,
+    shared: &Shared,
+    shutting: bool,
+    ty: u8,
+    payload: &[u8],
+) {
+    match c.phase {
+        Phase::Handshake { reject, .. } => {
+            // HELLO(magic, client max version). Trailing bytes after
+            // the version are *tolerated* (a future client's
+            // extensions), not rejected: forward compatibility is the
+            // whole point of the version byte.
+            if ty != frame::HELLO || payload.len() < 5 || payload[..4] != WIRE_MAGIC {
+                c.push_frame(
+                    None,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "expected HELLO(magic, version)".into(),
+                    },
+                );
+                c.closing = true;
+                return;
+            }
+            let theirs = payload[4];
+            if theirs < 1 {
+                c.push_frame(
+                    None,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: format!(
+                            "peer offered protocol v{theirs}; this server speaks v1..=v{WIRE_VERSION}"
+                        ),
+                    },
+                );
+                c.closing = true;
+                return;
+            }
+            if reject {
+                // Admission control: a typed Busy answer, drained in
+                // full even when shutdown races the flush.
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                c.push_frame(
+                    None,
+                    &Response::Error {
+                        code: ErrorCode::Busy,
+                        message: "server at connection capacity, retry later".into(),
+                    },
+                );
+                c.closing = true;
+                return;
+            }
+            if shutting {
+                c.push_frame(
+                    None,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                );
+                c.closing = true;
+                return;
+            }
+            c.version = theirs.min(WIRE_VERSION);
+            let mut welcome = Vec::with_capacity(5);
+            welcome.extend_from_slice(&WIRE_MAGIC);
+            welcome.push(c.version);
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(welcome.len() as u32).to_le_bytes());
+            buf.push(frame::WELCOME);
+            buf.extend_from_slice(&welcome);
+            c.out.push_back(buf);
+            c.phase = Phase::Serving;
+        }
+        Phase::Serving => {
+            let (id, body) = if c.version >= 3 {
+                match split_request_id(payload) {
+                    Ok((id, rest)) => (id, rest.to_vec()),
+                    Err(e) => {
+                        c.push_frame(
+                            c.conn_level_id(),
+                            &Response::Error {
+                                code: ErrorCode::Malformed,
+                                message: e.to_string(),
+                            },
+                        );
+                        c.closing = true;
+                        return;
+                    }
+                }
+            } else {
+                (0, payload.to_vec())
+            };
+            c.pending.push_back((id, ty, body));
+            pump_dispatch(conn_id, c, shared, shutting);
+        }
+    }
+}
+
+/// Moves pending requests into the worker pool, respecting the
+/// pipeline cap and barrier frames. During a drain, undispatched
+/// requests are answered with a typed `ShuttingDown` instead.
+fn pump_dispatch(conn_id: u64, c: &mut ConnState, shared: &Shared, shutting: bool) {
+    if shutting {
+        while let Some((id, _, _)) = c.pending.pop_front() {
+            let id = (c.version >= 3).then_some(id);
+            c.push_frame(
+                id,
+                &Response::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server is shutting down".into(),
                 },
-            )?;
-            return Ok(());
+            );
         }
-        let req = match Request::decode(ty, &payload) {
-            Ok(req) => req,
-            Err(e) => {
-                // Frames are length-delimited, so the stream is still
-                // in sync: report and keep serving.
-                send(
-                    &mut conn,
-                    Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    },
-                )?;
-                continue;
-            }
+        return;
+    }
+    let cap = if c.version >= 3 {
+        shared.max_pipeline
+    } else {
+        1
+    };
+    while !c.barrier && c.in_flight < cap {
+        let Some(&(_, ty, _)) = c.pending.front() else {
+            break;
         };
-        let wants_shutdown = matches!(req, Request::Shutdown);
-        let resp = execute(&req, shared, &mut route);
-        shared.served.fetch_add(1, Ordering::SeqCst);
-        send(&mut conn, resp)?;
-        if wants_shutdown {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            shared.wake_acceptor();
-            return Ok(());
+        // Barriers serialize against everything on this connection:
+        // a pipelined SESSION_ROUTE applies to exactly the requests
+        // behind it, and a SHUTDOWN response follows the answers of
+        // the requests ahead of it.
+        let is_barrier = ty == frame::SESSION_ROUTE || ty == frame::SHUTDOWN;
+        if is_barrier && c.in_flight > 0 {
+            break;
+        }
+        let (id, ty, body) = c.pending.pop_front().expect("front exists");
+        c.in_flight += 1;
+        c.barrier = is_barrier;
+        shared.jobs.push(Job {
+            conn_id,
+            request_id: id,
+            version: c.version,
+            ty,
+            body,
+            route: Arc::clone(&c.route),
+            release_barrier: is_barrier,
+        });
+    }
+}
+
+/// Marks a connection for drain: undispatched requests answer
+/// `ShuttingDown`; once nothing is in flight, one final
+/// connection-level `ShuttingDown` notice goes out and the
+/// connection closes after the flush.
+fn begin_drain(c: &mut ConnState) {
+    match c.phase {
+        Phase::Handshake { reject, .. } => {
+            // Nothing was promised yet — except a queued Busy frame,
+            // which `draining()` keeps alive until flushed.
+            if !reject {
+                c.closing = true;
+            }
+        }
+        Phase::Serving => {
+            while let Some((id, _, _)) = c.pending.pop_front() {
+                let id = (c.version >= 3).then_some(id);
+                c.push_frame(
+                    id,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                );
+            }
+            if c.in_flight == 0 && !c.notified_shutdown {
+                c.notified_shutdown = true;
+                c.push_frame(
+                    c.conn_level_id(),
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                );
+                c.closing = true;
+            }
         }
     }
 }
 
-fn send(conn: &mut Conn, resp: Response) -> Result<(), ServeError> {
-    let (ty, payload) = resp.encode();
-    write_frame(conn, ty, &payload)?;
+/// Writes as much of the out queue as the socket takes; fully flushed
+/// frames recycle to the buffer pool. Queued frames go to the kernel
+/// as one gather-write (`writev`) — under pipelining a burst of
+/// responses costs one syscall, not one per frame.
+fn flush_writes(c: &mut ConnState, shared: &Shared) -> io::Result<()> {
+    const IOV_BATCH: usize = 64;
+    while !c.out.is_empty() {
+        let mut iov: Vec<io::IoSlice<'_>> = Vec::with_capacity(c.out.len().min(IOV_BATCH));
+        for (i, buf) in c.out.iter().take(IOV_BATCH).enumerate() {
+            let skip = if i == 0 { c.out_pos } else { 0 };
+            iov.push(io::IoSlice::new(&buf[skip..]));
+        }
+        match c.conn.write_vectored(&iov) {
+            Ok(0) => return Err(io::Error::other("socket write returned 0")),
+            Ok(mut n) => {
+                n += c.out_pos;
+                c.out_pos = 0;
+                while let Some(front) = c.out.front() {
+                    if n < front.len() {
+                        c.out_pos = n;
+                        break;
+                    }
+                    n -= front.len();
+                    let buf = c.out.pop_front().expect("front exists");
+                    shared.pool.put(buf);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
     Ok(())
 }
+
+// ---- request execution ------------------------------------------------
 
 fn dgs_error(e: &DgsError) -> Response {
     Response::Error {
@@ -459,8 +1016,8 @@ fn answer_of_report(report: &RunReport) -> Answer {
     }
 }
 
-/// Resolves the connection's route, mapping a missing session to its
-/// typed error (boxed: the happy path should not pay for the error
+/// Resolves a route snapshot, mapping a missing session to its typed
+/// error (boxed: the happy path should not pay for the error
 /// variant's size).
 #[allow(clippy::type_complexity)]
 fn resolve(shared: &Shared, route: &Route) -> Result<Vec<(String, Arc<SimEngine>)>, Box<Response>> {
@@ -474,30 +1031,52 @@ fn resolve(shared: &Shared, route: &Route) -> Result<Vec<(String, Arc<SimEngine>
     }
 }
 
+/// Runs `f` once per routed shard concurrently. A shard error — or a
+/// shard *panic*, which must answer a typed error rather than kill
+/// the connection — wins over the other shards' answers.
+fn fan_out<T, F>(engines: &[(String, Arc<SimEngine>)], f: F) -> Result<Vec<T>, Box<Response>>
+where
+    T: Send,
+    F: Fn(&SimEngine) -> Result<T, DgsError> + Sync,
+{
+    let joined: Vec<std::thread::Result<Result<T, DgsError>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = engines
+            .iter()
+            .map(|(_, engine)| s.spawn(|| f(engine)))
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::with_capacity(joined.len());
+    for (result, (name, _)) in joined.into_iter().zip(engines) {
+        match result {
+            Ok(Ok(v)) => out.push(v),
+            Ok(Err(e)) => return Err(Box::new(dgs_error(&e))),
+            Err(_) => {
+                return Err(Box::new(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("shard query panicked in session {name:?}"),
+                }));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Runs one data-selecting query on every routed shard concurrently
 /// and merges the relations (see [`crate::session::merge_answers`]).
 fn fan_out_query(
     engines: &[(String, Arc<SimEngine>)],
     algo: &Algorithm,
     pattern: &Pattern,
-) -> Result<Answer, DgsError> {
-    let parts: Result<Vec<Answer>, DgsError> = std::thread::scope(|s| {
-        let handles: Vec<_> = engines
-            .iter()
-            .map(|(_, engine)| {
-                s.spawn(move || {
-                    engine
-                        .query_with(algo, pattern)
-                        .map(|r| answer_of_report(&r))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard query thread panicked"))
-            .collect()
-    });
-    parts.map(|parts| merge_answers(&parts))
+) -> Response {
+    match fan_out(engines, |engine| {
+        engine
+            .query_with(algo, pattern)
+            .map(|r| answer_of_report(&r))
+    }) {
+        Ok(parts) => Response::Answer(merge_answers(&parts)),
+        Err(resp) => *resp,
+    }
 }
 
 /// Runs a batch on every routed shard concurrently and merges
@@ -508,16 +1087,13 @@ fn fan_out_batch(
     algo: &Algorithm,
     patterns: &[Pattern],
 ) -> Response {
-    let shard_batches: Vec<_> = std::thread::scope(|s| {
-        let handles: Vec<_> = engines
-            .iter()
-            .map(|(_, engine)| s.spawn(move || engine.query_batch_with(algo, patterns)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard batch thread panicked"))
-            .collect()
-    });
+    let shard_batches = match fan_out(
+        engines,
+        |engine| Ok(engine.query_batch_with(algo, patterns)),
+    ) {
+        Ok(batches) => batches,
+        Err(resp) => return *resp,
+    };
     let mut total = WireMetrics::default();
     for batch in &shard_batches {
         merge_metrics(&mut total, &WireMetrics::of_run(&batch.total));
@@ -537,12 +1113,15 @@ fn fan_out_batch(
     Response::BatchAnswer { items, total }
 }
 
-/// Runs one request against the routed session(s).
-fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
+/// Runs one request against the routed session(s). `route` is the
+/// connection's shared route cell; barrier dispatch in the event loop
+/// guarantees `SESSION_ROUTE` never executes concurrently with other
+/// requests on the same connection.
+fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::GraphInfo => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -567,7 +1146,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             algorithm,
             boolean,
         } => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -578,13 +1157,13 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
                 // relation's totality — OR-ing per-shard flags would
                 // claim matches no union supports per query node.
                 return match fan_out_query(&engines, &algo, pattern) {
-                    Ok(mut answer) => {
+                    Response::Answer(mut answer) => {
                         if *boolean {
                             answer.rows = Vec::new();
                         }
                         Response::Answer(answer)
                     }
-                    Err(e) => dgs_error(&e),
+                    resp => resp,
                 };
             }
             let engine = &engines[0].1;
@@ -610,7 +1189,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             patterns,
             algorithm,
         } => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -636,7 +1215,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             insert_edges,
             delete_edges,
         } => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -674,7 +1253,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             }
         }
         Request::CacheStats => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -691,7 +1270,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             }))
         }
         Request::CompressionInfo => {
-            let engines = match resolve(shared, route) {
+            let engines = match resolve(shared, &route.lock().clone()) {
                 Ok(e) => e,
                 Err(resp) => return *resp,
             };
@@ -708,11 +1287,13 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             }))
         }
         Request::LoadGraph { graph, options } => {
-            let name = match route {
+            let name = match &*route.lock() {
                 Route::Single(name) => name.clone(),
-                Route::Many(_) | Route::All => {
-                    return single_target_only("LOAD_GRAPH", shared.sessions.len())
-                }
+                // The error names the *route's* target count, not the
+                // server-wide session count — Route::All resolves at
+                // request time, so only it consults the registry.
+                Route::Many(names) => return single_target_only("LOAD_GRAPH", names.len()),
+                Route::All => return single_target_only("LOAD_GRAPH", shared.sessions.len()),
             };
             // Build off-path; only the map swap is synchronized.
             match build_session(graph, options) {
@@ -761,7 +1342,7 @@ fn execute(req: &Request, shared: &Shared, route: &mut Route) -> Response {
             match shared.sessions.resolve(&new_route) {
                 Ok(engines) => {
                     let n = engines.len() as u64;
-                    *route = new_route;
+                    *route.lock() = new_route;
                     Response::SessionRouted { sessions: n }
                 }
                 Err(name) => no_such_session(&name),
@@ -797,4 +1378,76 @@ pub(crate) fn build_session(graph: &Graph, options: &SessionOptions) -> Result<S
             .compression_threshold(options.compression_threshold);
     }
     Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_graph::generate::social::fig1;
+
+    fn shard_engines(n: usize) -> Vec<(String, Arc<SimEngine>)> {
+        (0..n)
+            .map(|i| {
+                let w = fig1();
+                let frag = Arc::new(Fragmentation::build(&w.graph, &w.assignment, 3));
+                (
+                    format!("shard{i}"),
+                    Arc::new(SimEngine::builder(&w.graph, frag).build()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fan_out_answers_a_typed_error_when_a_shard_panics() {
+        let engines = shard_engines(3);
+        let mut calls = 0usize;
+        let calls_ptr = std::sync::atomic::AtomicUsize::new(0);
+        let result: Result<Vec<u32>, Box<Response>> = fan_out(&engines, |_| {
+            if calls_ptr.fetch_add(1, Ordering::SeqCst) == 1 {
+                panic!("injected shard failure");
+            }
+            Ok(7)
+        });
+        calls += calls_ptr.load(Ordering::SeqCst);
+        assert!(calls >= 2);
+        match result {
+            Err(resp) => match *resp {
+                Response::Error { code, message } => {
+                    assert_eq!(code, ErrorCode::Internal);
+                    assert!(message.contains("panicked"), "{message}");
+                    assert!(message.contains("shard"), "names the session: {message}");
+                }
+                other => panic!("expected Response::Error, got {other:?}"),
+            },
+            Ok(_) => panic!("a panicking shard must not produce an answer"),
+        }
+    }
+
+    #[test]
+    fn fan_out_typed_dgs_errors_win_over_panics_only_when_first() {
+        let engines = shard_engines(2);
+        let result: Result<Vec<u32>, Box<Response>> = fan_out(&engines, |_| {
+            Err(DgsError::Unsupported {
+                algorithm: "injected",
+                reason: "test".into(),
+            })
+        });
+        match result {
+            Err(resp) => match *resp {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unsupported),
+                other => panic!("expected Response::Error, got {other:?}"),
+            },
+            Ok(_) => panic!("shard errors must propagate"),
+        }
+    }
+
+    #[test]
+    fn fan_out_collects_per_shard_values_in_engine_order() {
+        let engines = shard_engines(3);
+        let idx = std::sync::atomic::AtomicUsize::new(0);
+        let got: Vec<usize> =
+            fan_out(&engines, |_| Ok(idx.fetch_add(1, Ordering::SeqCst))).unwrap();
+        assert_eq!(got.len(), 3);
+    }
 }

@@ -1,10 +1,12 @@
 //! The transport layer: one address type and one stream type over
 //! both TCP and Unix-domain sockets (std only, no async runtime —
-//! the server is thread-per-connection).
+//! the server multiplexes nonblocking sockets over a `poll(2)` shim,
+//! the client blocks).
 
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -88,6 +90,34 @@ impl Conn {
             Conn::Unix(s) => s.set_read_timeout(d),
         }
     }
+
+    /// Switches the socket between blocking and nonblocking mode (the
+    /// server's event loop runs every connection nonblocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Disables Nagle batching on TCP (no-op for Unix sockets):
+    /// request/response frames are latency-sensitive and already
+    /// written coalesced.
+    pub fn set_nodelay(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nodelay(true),
+            Conn::Unix(_) => Ok(()),
+        }
+    }
+}
+
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -104,6 +134,16 @@ impl Write for Conn {
         match self {
             Conn::Tcp(s) => s.write(buf),
             Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    /// Gather-write (`writev`): the server's flush path hands a whole
+    /// queue of pipelined response frames to the kernel in one
+    /// syscall instead of one per frame.
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write_vectored(bufs),
+            Conn::Unix(s) => s.write_vectored(bufs),
         }
     }
 
@@ -146,6 +186,14 @@ impl Listener {
         }
     }
 
+    /// Switches the listener between blocking and nonblocking accept.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
     /// The bound address with any ephemeral port resolved — what a
     /// client should dial.
     pub fn local_addr(&self) -> io::Result<ServeAddr> {
@@ -158,6 +206,15 @@ impl Listener {
                     .ok_or_else(|| io::Error::other("unnamed unix socket"))?;
                 Ok(ServeAddr::Unix(path.to_path_buf()))
             }
+        }
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
         }
     }
 }

@@ -21,7 +21,9 @@ use crate::error::ServeError;
 use dgs_net::wire::{self, FrameError};
 use std::io::{self, Read, Write};
 
-pub use dgs_net::wire::{put_bytes, put_f64, put_str, put_u16, put_u8, put_varint, MAX_FRAME};
+pub use dgs_net::wire::{
+    put_bytes, put_f64, put_str, put_u16, put_u8, put_varint, FrameBuffer, MAX_FRAME,
+};
 
 impl From<FrameError> for ServeError {
     fn from(e: FrameError) -> Self {
@@ -43,6 +45,92 @@ pub fn write_frame<W: Write>(w: &mut W, ty: u8, payload: &[u8]) -> io::Result<()
 /// a truncation error.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
     wire::read_frame(r).map_err(ServeError::from)
+}
+
+/// A **resumable** blocking frame reader: a [`FrameBuffer`] fed from
+/// an [`io::Read`]. Unlike the one-shot [`read_frame`], a read that
+/// stops mid-frame — a `SO_RCVTIMEO` timeout between the length
+/// prefix and the payload, say — returns the io error but *keeps the
+/// partial frame buffered*; the next call resumes exactly where the
+/// stream stopped instead of desyncing on the payload bytes.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: FrameBuffer,
+}
+
+impl FrameReader {
+    /// A reader with no buffered bytes.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reads until one complete frame is available; `Ok(None)` on a
+    /// clean EOF at a frame boundary. `WouldBlock`/`TimedOut` surface
+    /// as [`ServeError::Io`] with all partial state preserved — call
+    /// again to resume.
+    #[allow(clippy::type_complexity)]
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
+        loop {
+            if let Some(f) = self.buf.next_frame()? {
+                return Ok(Some(f));
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.buffered() == 0 {
+                        return Ok(None);
+                    }
+                    return Err(ServeError::corrupt("peer closed mid-frame"));
+                }
+                Ok(n) => self.buf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+
+    /// Complete frames already buffered but not yet returned can make
+    /// this nonzero even between requests; mid-frame bytes always do.
+    pub fn buffered(&self) -> usize {
+        self.buf.buffered()
+    }
+}
+
+/// Builds one complete wire frame — `[u32 LE len][u8 type]` followed
+/// by an optional varint request id (negotiated v3) and the payload —
+/// into `buf`, which is cleared first. Encoding straight into a
+/// caller-owned (pooled) buffer is what keeps the server's response
+/// path allocation-free in steady state.
+pub fn encode_frame_into<F: FnOnce(&mut Vec<u8>) -> u8>(
+    buf: &mut Vec<u8>,
+    request_id: Option<u64>,
+    encode: F,
+) -> Result<(), ServeError> {
+    buf.clear();
+    buf.extend_from_slice(&[0, 0, 0, 0, 0]);
+    if let Some(id) = request_id {
+        put_varint(buf, id);
+    }
+    let ty = encode(buf);
+    let len = buf.len() - 5;
+    if len > MAX_FRAME as usize {
+        return Err(ServeError::FrameTooLarge {
+            len: len as u64,
+            max: u64::from(MAX_FRAME),
+        });
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    buf[4] = ty;
+    Ok(())
+}
+
+/// Splits the varint request-id prefix off a v3 frame payload,
+/// returning `(id, rest-of-payload)`.
+pub fn split_request_id(payload: &[u8]) -> Result<(u64, &[u8]), ServeError> {
+    let mut r = wire::Reader::new(payload);
+    let id = r.varint("request id").map_err(ServeError::from)?;
+    let rest = &payload[payload.len() - r.remaining()..];
+    Ok((id, rest))
 }
 
 /// A bounds-checked cursor over one received payload; every accessor
