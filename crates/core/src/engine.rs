@@ -505,6 +505,7 @@ struct CompressedState {
 struct MaintainedStates {
     sites: Vec<DeltaSiteState>,
     deletions_absorbed: u64,
+    insertions_absorbed: u64,
     maintenance_runs: u64,
 }
 
@@ -783,6 +784,18 @@ impl SimEngine {
     /// [`Self::apply_delta`] and [`Self::cache_invalidate_all`].
     pub fn generation(&self) -> u64 {
         self.snapshot().generation
+    }
+
+    /// The canonical cache key of `q` plus the canonical position of
+    /// every original query node (`pos_of[u]` is where node `u`
+    /// landed). [`crate::delta::MaintainedDiff`] tags entries with
+    /// exactly this key and speaks canonical positions, so consumers
+    /// of [`DeltaReport::maintained_diffs`] (live match subscriptions)
+    /// use this to translate per-entry diffs back into a submitted
+    /// pattern's numbering.
+    pub fn pattern_canon(q: &Pattern) -> (Vec<u32>, Vec<u16>) {
+        let canon = cache::canonicalize(q);
+        (canon.key, canon.pos_of)
     }
 
     /// Counters of the pattern-result cache; `None` when the cache is
@@ -1086,19 +1099,29 @@ impl SimEngine {
     ///   fragment owning its source node, virtual nodes are
     ///   created/retired and in-node subscriptions added/dropped as
     ///   crossing edges appear and disappear.
-    /// * **Deletion-only batches** keep the cached answers *valid*:
-    ///   every current-generation cache entry is promoted to
-    ///   distributed incremental maintenance — each site replays the
-    ///   HHK counter update on its fragment ([`delta::DeltaSiteState`])
-    ///   and ships in-node falsifications to its subscribers exactly
-    ///   like dGPM data messages — and re-stored under the fresh
-    ///   generation with [`PlanExplanation::incremental`] recording the
-    ///   leg. A follow-up query is a cache hit: zero full
-    ///   re-evaluations.
-    /// * **Batches with insertions** conservatively invalidate the
-    ///   cached answers (insertions can revive candidates from above);
-    ///   the next query re-plans against the recomputed
-    ///   [`GraphFacts`].
+    /// * **Every non-empty batch** keeps the cached answers *valid*:
+    ///   each current-generation cache entry is promoted to
+    ///   distributed incremental maintenance and re-stored under the
+    ///   fresh generation with [`PlanExplanation::incremental`]
+    ///   recording the leg. A follow-up query is a cache hit: zero
+    ///   full re-evaluations.
+    ///   - *Deletions* shrink the relation: each site replays the HHK
+    ///     counter update on its fragment ([`delta::DeltaSiteState`])
+    ///     and ships in-node falsifications to its subscribers exactly
+    ///     like dGPM data messages, and the revoked pairs leave the
+    ///     stored rows. A deletion-only batch runs just this phase.
+    ///   - *Insertions* grow it: the sites mark the affected area,
+    ///     optimistically revive label-compatible pairs, and re-refine
+    ///     with non-affected candidacy frozen; resurrected pairs
+    ///     rejoin the stored rows. An insertion-only batch passes
+    ///     through an empty deletion phase; a mixed batch composes
+    ///     both (deletions first, on the pre-insertion adjacency).
+    ///
+    /// The exact per-entry diffs land in
+    /// [`DeltaReport::maintained_diffs`] — the feed a live match
+    /// subscription pushes. Nothing is conservatively invalidated
+    /// anymore; [`DeltaReport::invalidated_entries`] stays `0` for
+    /// every accepted batch shape.
     ///
     /// The compressed leg, if configured, is marked dirty and lazily
     /// rebuilt by the next query that wants it.
@@ -1158,7 +1181,9 @@ impl SimEngine {
             maintained_entries: 0,
             invalidated_entries: 0,
             revoked_pairs: 0,
+            resurrected_pairs: 0,
             generation: snap.generation,
+            prev_generation: snap.generation,
             metrics: RunMetrics::default(),
             per_site: (0..snap.frag.num_sites())
                 .map(|site| SiteDeltaMetrics {
@@ -1166,6 +1191,7 @@ impl SimEngine {
                     ..SiteDeltaMetrics::default()
                 })
                 .collect(),
+            maintained_diffs: Vec::new(),
         };
         if inserts.is_empty() && deletes.is_empty() {
             // Everything was already satisfied: the graph is unchanged,
@@ -1173,40 +1199,39 @@ impl SimEngine {
             // valid.
             return Ok(report);
         }
-        let delete_only = inserts.is_empty();
         let old_prefix = snap.gen_key(&[]);
 
-        // Promote current-generation cache entries to maintenance
-        // (deletion-only batches), building missing per-site counter
-        // states from the *pre-delta* fragments and the cached rows.
+        // Promote current-generation cache entries to maintenance —
+        // every batch shape is maintainable — building missing
+        // per-site counter states from the *pre-delta* fragments and
+        // the cached rows.
         let mut promoted: Vec<(Vec<u32>, Pattern, Arc<CachedResult>)> = Vec::new();
-        if delete_only {
-            if let Some(cache) = &self.cache {
-                let entries = cache.lock().entries_with_prefix(&old_prefix);
-                let live: HashSet<&[u32]> = entries.iter().map(|(k, _)| &k[2..]).collect();
-                // States whose entry the LRU evicted have no rows left
-                // to maintain.
-                maintained.retain(|k, _| live.contains(k.as_slice()));
-                for (key, entry) in entries {
-                    let canon_key = key[2..].to_vec();
-                    let pattern = cache::decode_pattern(&canon_key);
-                    if !maintained.contains_key(&canon_key) {
-                        let sites = (0..snap.frag.num_sites())
-                            .map(|s| {
-                                DeltaSiteState::from_relation(&snap.frag, s, &pattern, &entry.rows)
-                            })
-                            .collect();
-                        maintained.insert(
-                            canon_key.clone(),
-                            MaintainedStates {
-                                sites,
-                                deletions_absorbed: 0,
-                                maintenance_runs: 0,
-                            },
-                        );
-                    }
-                    promoted.push((canon_key, pattern, entry));
+        if let Some(cache) = &self.cache {
+            let entries = cache.lock().entries_with_prefix(&old_prefix);
+            let live: HashSet<&[u32]> = entries.iter().map(|(k, _)| &k[2..]).collect();
+            // States whose entry the LRU evicted have no rows left
+            // to maintain.
+            maintained.retain(|k, _| live.contains(k.as_slice()));
+            for (key, entry) in entries {
+                let canon_key = key[2..].to_vec();
+                let pattern = cache::decode_pattern(&canon_key);
+                if !maintained.contains_key(&canon_key) {
+                    let sites = (0..snap.frag.num_sites())
+                        .map(|s| {
+                            DeltaSiteState::from_relation(&snap.frag, s, &pattern, &entry.rows)
+                        })
+                        .collect();
+                    maintained.insert(
+                        canon_key.clone(),
+                        MaintainedStates {
+                            sites,
+                            deletions_absorbed: 0,
+                            insertions_absorbed: 0,
+                            maintenance_runs: 0,
+                        },
+                    );
                 }
+                promoted.push((canon_key, pattern, entry));
             }
         }
 
@@ -1245,79 +1270,84 @@ impl SimEngine {
             }),
         });
 
-        if delete_only {
-            // Distributed incremental maintenance per cached entry: the
-            // relation only shrinks, so revoking the falsified pairs
-            // from the stored rows keeps every entry exact.
-            for (canon_key, pattern, entry) in promoted {
-                let states = maintained.remove(&canon_key).expect("promoted above");
-                let (coord, sites) =
-                    delta::build_maintenance(&next_frag, &pattern, states.sites, &deletes);
-                // Maintenance stays in-process even on socket sessions:
-                // the per-site counter states must come back into the
-                // session, and remote state does not.
-                let kind = match self.executor {
-                    ExecutorKind::Socket => ExecutorKind::Virtual,
-                    k => k,
-                };
-                let o = dgs_net::run(kind, &self.cost, coord, sites);
-                let mut rows = entry.rows.clone();
-                for var in &o.coordinator.revoked {
-                    let row = &mut rows[var.q as usize];
-                    if let Ok(pos) = row.binary_search(&var.node_id()) {
-                        row.remove(pos);
-                    }
+        // Distributed incremental maintenance per cached entry:
+        // revoking the falsified pairs from the stored rows and
+        // re-inserting the resurrected ones keeps every entry exact,
+        // whatever the batch shape.
+        for (canon_key, pattern, entry) in promoted {
+            let states = maintained.remove(&canon_key).expect("promoted above");
+            let (coord, sites) =
+                delta::build_maintenance(&next_frag, &pattern, states.sites, &deletes, &inserts);
+            // Maintenance stays in-process even on socket sessions:
+            // the per-site counter states must come back into the
+            // session, and remote state does not.
+            let kind = match self.executor {
+                ExecutorKind::Socket => ExecutorKind::Virtual,
+                k => k,
+            };
+            let o = dgs_net::run(kind, &self.cost, coord, sites);
+            let mut rows = entry.rows.clone();
+            for var in &o.coordinator.revoked {
+                let row = &mut rows[var.q as usize];
+                if let Ok(pos) = row.binary_search(&var.node_id()) {
+                    row.remove(pos);
                 }
-                report.revoked_pairs += o.coordinator.revoked.len() as u64;
-                report.metrics.merge(&o.metrics);
-                let mut sites_back = Vec::with_capacity(o.sites.len());
-                for site in o.sites {
-                    report.per_site[site.stats().site].merge(site.stats());
-                    sites_back.push(site.into_state());
+            }
+            for var in &o.coordinator.resurrected {
+                let row = &mut rows[var.q as usize];
+                if let Err(pos) = row.binary_search(&var.node_id()) {
+                    row.insert(pos, var.node_id());
                 }
-                let absorbed = states.deletions_absorbed + deletes.len() as u64;
-                let runs = states.maintenance_runs + 1;
-                let mut plan = entry.plan.clone();
-                if plan.incremental.is_none() {
-                    plan.reasons.push(
-                        "maintained under edge deletions by the distributed incremental \
-                         update (no full re-evaluation)"
-                            .into(),
-                    );
-                }
-                plan.incremental = Some(IncrementalNote {
-                    deletions_absorbed: absorbed,
-                    maintenance_runs: runs,
-                });
-                if let Some(cache) = &self.cache {
-                    cache.lock().insert(
-                        next.gen_key(&canon_key),
-                        Arc::new(CachedResult {
-                            rows,
-                            algorithm: entry.algorithm,
-                            plan,
-                        }),
-                    );
-                }
-                maintained.insert(
-                    canon_key,
-                    MaintainedStates {
-                        sites: sites_back,
-                        deletions_absorbed: absorbed,
-                        maintenance_runs: runs,
-                    },
+            }
+            report.revoked_pairs += o.coordinator.revoked.len() as u64;
+            report.resurrected_pairs += o.coordinator.resurrected.len() as u64;
+            report.maintained_diffs.push(delta::MaintainedDiff {
+                canon_key: canon_key.clone(),
+                revoked: o.coordinator.revoked.clone(),
+                resurrected: o.coordinator.resurrected.clone(),
+            });
+            report.metrics.merge(&o.metrics);
+            let mut sites_back = Vec::with_capacity(o.sites.len());
+            for site in o.sites {
+                report.per_site[site.stats().site].merge(site.stats());
+                sites_back.push(site.into_state());
+            }
+            let absorbed = states.deletions_absorbed + deletes.len() as u64;
+            let ins_absorbed = states.insertions_absorbed + inserts.len() as u64;
+            let runs = states.maintenance_runs + 1;
+            let mut plan = entry.plan.clone();
+            if plan.incremental.is_none() {
+                plan.reasons.push(
+                    "maintained under edge updates by the distributed incremental \
+                     update (no full re-evaluation)"
+                        .into(),
                 );
-                report.maintained_entries += 1;
             }
-        } else {
-            // Insertions can revive candidates from above: invalidate
-            // conservatively. The generation bump already made every
-            // old entry unreachable; dropping the maintenance states
-            // finishes the job.
+            plan.incremental = Some(IncrementalNote {
+                deletions_absorbed: absorbed,
+                insertions_absorbed: ins_absorbed,
+                maintenance_runs: runs,
+            });
             if let Some(cache) = &self.cache {
-                report.invalidated_entries = cache.lock().entries_with_prefix(&old_prefix).len();
+                cache.lock().insert(
+                    next.gen_key(&canon_key),
+                    Arc::new(CachedResult {
+                        rows,
+                        algorithm: entry.algorithm,
+                        plan,
+                    }),
+                );
             }
-            maintained.clear();
+            maintained.insert(
+                canon_key,
+                MaintainedStates {
+                    sites: sites_back,
+                    deletions_absorbed: absorbed,
+                    insertions_absorbed: ins_absorbed,
+                    maintenance_runs: runs,
+                },
+            );
+            report.maintained_entries += 1;
         }
 
         // A socket session's workers were bootstrapped with the
@@ -2063,7 +2093,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_delta_invalidates_and_replans() {
+    fn insert_delta_maintains_even_the_empty_shortcircuit() {
         // A DAG graph: the cyclic pattern short-circuits to ∅ ...
         let g = dag::citation_like(80, 200, 4, 32);
         let assign = hash_partition(g.node_count(), 3, 32);
@@ -2073,8 +2103,11 @@ mod tests {
         let cold = engine.query(&q).unwrap();
         assert_eq!(cold.algorithm, "trivial-∅");
 
-        // ... until insertions close a cycle; the facts are recomputed
-        // and the planner stops short-circuiting.
+        // ... until insertions close a cycle. The cached ∅ entry is
+        // *maintained*, not invalidated: insertion-side refinement
+        // resurrects whatever the back edges revive, and the facts
+        // still recompute (the planner would no longer short-circuit a
+        // fresh query).
         let mut back_edges = Vec::new();
         for v in g.nodes() {
             for &w in g.successors(v) {
@@ -2088,14 +2121,28 @@ mod tests {
             .apply_delta(&GraphDelta::insertions(back_edges))
             .unwrap();
         assert_eq!(report.inserted, 5);
-        assert_eq!(report.maintained_entries, 0);
-        assert_eq!(report.invalidated_entries, 1);
+        assert_eq!(report.maintained_entries, 1);
+        assert_eq!(report.invalidated_entries, 0);
+        assert_eq!(report.maintained_diffs.len(), 1);
         assert!(!engine.facts().is_dag);
 
-        let fresh = engine.query(&q).unwrap();
-        assert_eq!(fresh.metrics.cache_hits, 0, "stale hit after insertion");
-        assert_eq!(fresh.algorithm, "dGPMs");
-        assert_eq!(fresh.relation, hhk_simulation(&q, &engine.graph()).relation);
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 1, "maintained entry hit");
+        assert_eq!(warm.metrics.data_messages, 0);
+        let note = warm.plan.incremental.expect("incremental leg recorded");
+        assert_eq!(note.insertions_absorbed, 5);
+        assert_eq!(note.deletions_absorbed, 0);
+        assert_eq!(note.maintenance_runs, 1);
+        assert_eq!(warm.relation, hhk_simulation(&q, &engine.graph()).relation);
+        // The resurrected pairs reported in the diff are exactly the
+        // relation's pairs (the entry started empty).
+        let diff = &report.maintained_diffs[0];
+        assert!(diff.revoked.is_empty());
+        assert_eq!(
+            diff.resurrected.len() as u64,
+            report.resurrected_pairs,
+            "single entry accounts for all resurrections"
+        );
     }
 
     #[test]

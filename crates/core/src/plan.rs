@@ -159,14 +159,17 @@ pub struct CompressedNote {
 }
 
 /// The incremental leg of a plan: the answer was **maintained** under
-/// edge deletions by the distributed counter update (the paper's
-/// incremental `lEval`, §4.2, run site-by-site with falsifications
+/// edge deletions and insertions by the distributed counter update
+/// (the paper's incremental `lEval`, §4.2, run site-by-site with
+/// falsifications — and, for insertions, affected-area resurrections —
 /// exchanged like dGPM data messages) instead of being re-evaluated
 /// from scratch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IncrementalNote {
     /// Edge deletions absorbed since the entry was computed.
     pub deletions_absorbed: u64,
+    /// Edge insertions absorbed since the entry was computed.
+    pub insertions_absorbed: u64,
     /// Distributed maintenance runs that kept the entry current.
     pub maintenance_runs: u64,
 }
@@ -220,8 +223,8 @@ impl std::fmt::Display for PlanExplanation {
         if let Some(i) = &self.incremental {
             write!(
                 f,
-                ", incremental: {} deletions over {} maintenance runs",
-                i.deletions_absorbed, i.maintenance_runs
+                ", incremental: {} deletions + {} insertions over {} maintenance runs",
+                i.deletions_absorbed, i.insertions_absorbed, i.maintenance_runs
             )?;
         }
         write!(f, "): {}", self.reasons.join("; "))

@@ -53,7 +53,8 @@ pub use fault::FaultPlan;
 pub use message::{Endpoint, MsgClass, WireSize};
 pub use metrics::{
     ConnSweepSnapshot, ConnSweepStep, LatencyHistogram, RunMetrics, ServingSnapshot,
-    SiteDeltaMetrics, CONN_SWEEP_SNAPSHOT_VERSION, SERVING_SNAPSHOT_VERSION,
+    SiteDeltaMetrics, SubscribeSnapshot, CONN_SWEEP_SNAPSHOT_VERSION, SERVING_SNAPSHOT_VERSION,
+    SUBSCRIBE_SNAPSHOT_VERSION,
 };
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
 pub use socket::{

@@ -66,6 +66,8 @@ pub struct SiteDeltaMetrics {
     pub falsifications_shipped: u64,
     /// Local match pairs revoked by incremental maintenance.
     pub pairs_revoked: u64,
+    /// Local match pairs resurrected by insertion-side maintenance.
+    pub pairs_resurrected: u64,
 }
 
 impl SiteDeltaMetrics {
@@ -76,6 +78,7 @@ impl SiteDeltaMetrics {
         self.ops_applied += other.ops_applied;
         self.falsifications_shipped += other.falsifications_shipped;
         self.pairs_revoked += other.pairs_revoked;
+        self.pairs_resurrected += other.pairs_resurrected;
     }
 }
 
@@ -653,6 +656,148 @@ impl ConnSweepSnapshot {
     }
 }
 
+/// Format version of [`SubscribeSnapshot::to_json`]; same bump/refuse
+/// discipline as [`SERVING_SNAPSHOT_VERSION`].
+pub const SUBSCRIBE_SNAPSHOT_VERSION: u32 = 1;
+
+/// A live-subscription benchmark snapshot (`BENCH_subscribe.json`):
+/// the committed-artifact form of one `dgsload --subscribe` run. A
+/// writer storms one session with delta batches while subscribers on
+/// every session hold open `MATCH_DIFF` streams; each diff's latency
+/// is the span from the writer handing the batch to the wire to the
+/// subscriber decoding the push that carries that batch's generation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubscribeSnapshot {
+    /// Schema version ([`SUBSCRIBE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Diff pushes delivered across every subscriber.
+    pub diffs: u64,
+    /// Delta batches the writer applied.
+    pub batches: u64,
+    /// Median diff delivery latency, microseconds.
+    pub diff_p50_us: f64,
+    /// 95th-percentile diff delivery latency, microseconds.
+    pub diff_p95_us: f64,
+    /// 99th-percentile diff delivery latency, microseconds.
+    pub diff_p99_us: f64,
+    /// Anything that went wrong: failed connects or subscribes,
+    /// unexpected terminal events, cross-session leakage, or a
+    /// reconstructed match set diverging from the final re-query.
+    pub errors: u64,
+}
+
+impl SubscribeSnapshot {
+    /// A snapshot of one run: diff-latency quantiles from `histogram`
+    /// (recorded in nanoseconds).
+    pub fn of_run(
+        histogram: &LatencyHistogram,
+        diffs: u64,
+        batches: u64,
+        errors: u64,
+    ) -> SubscribeSnapshot {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        SubscribeSnapshot {
+            version: SUBSCRIBE_SNAPSHOT_VERSION,
+            diffs,
+            batches,
+            diff_p50_us: us(histogram.p50()),
+            diff_p95_us: us(histogram.p95()),
+            diff_p99_us: us(histogram.p99()),
+            errors,
+        }
+    }
+
+    /// The committed-artifact form (flat JSON, stable key order,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {},\n  \"diffs\": {},\n  \"batches\": {},\n  \
+             \"diff_p50_us\": {:.1},\n  \"diff_p95_us\": {:.1},\n  \"diff_p99_us\": {:.1},\n  \
+             \"errors\": {}\n}}\n",
+            self.version,
+            self.diffs,
+            self.batches,
+            self.diff_p50_us,
+            self.diff_p95_us,
+            self.diff_p99_us,
+            self.errors
+        )
+    }
+
+    /// Parses [`SubscribeSnapshot::to_json`] output (any flat JSON
+    /// with the same keys, whitespace-insensitive). `None` on a
+    /// missing key or a version this build does not speak.
+    pub fn parse_json(s: &str) -> Option<SubscribeSnapshot> {
+        let num = |key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\"");
+            let at = s.find(&pat)? + pat.len();
+            let rest = s[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let version = num("version")? as u32;
+        if version != SUBSCRIBE_SNAPSHOT_VERSION {
+            return None;
+        }
+        Some(SubscribeSnapshot {
+            version,
+            diffs: num("diffs")? as u64,
+            batches: num("batches")? as u64,
+            diff_p50_us: num("diff_p50_us")?,
+            diff_p95_us: num("diff_p95_us")?,
+            diff_p99_us: num("diff_p99_us")?,
+            errors: num("errors")?.round() as u64,
+        })
+    }
+
+    /// Regression verdicts of `self` (the new run) against `baseline`,
+    /// empty when acceptable. Errors fail outright; a delivered-diff
+    /// count below the baseline floor means pushes were lost or
+    /// coalesced away; diff-latency quantiles get the usual
+    /// `tolerance` + `latency_floor_us` slack.
+    pub fn regressions(
+        &self,
+        baseline: &SubscribeSnapshot,
+        tolerance: f64,
+        latency_floor_us: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.errors > 0 {
+            out.push(format!(
+                "{} subscription errors (baseline gate: 0)",
+                self.errors
+            ));
+        }
+        let floor = (baseline.diffs as f64 / (1.0 + tolerance)).floor() as u64;
+        if self.diffs < floor {
+            out.push(format!(
+                "delivered {} diffs, below {} (baseline {} / {:.0}% tolerance)",
+                self.diffs,
+                floor,
+                baseline.diffs,
+                tolerance * 100.0
+            ));
+        }
+        for (name, new, base) in [
+            ("diff p50", self.diff_p50_us, baseline.diff_p50_us),
+            ("diff p95", self.diff_p95_us, baseline.diff_p95_us),
+            ("diff p99", self.diff_p99_us, baseline.diff_p99_us),
+        ] {
+            let ceiling = (base * (1.0 + tolerance)).max(base + latency_floor_us);
+            if new > ceiling {
+                out.push(format!(
+                    "{name} {new:.1}us exceeds {ceiling:.1}us (baseline {base:.1}us + {:.0}% \
+                     tolerance, {latency_floor_us:.0}us floor)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +1019,58 @@ mod tests {
             ConnSweepSnapshot::parse_json("{\"version\": 1, \"steps\": []}"),
             None
         );
+    }
+
+    #[test]
+    fn subscribe_snapshot_json_roundtrips_and_rejects_other_versions() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=50u64 {
+            h.record(i * 20_000); // 20µs .. 1ms
+        }
+        let snap = SubscribeSnapshot::of_run(&h, 200, 64, 0);
+        let parsed = SubscribeSnapshot::parse_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed.version, SUBSCRIBE_SNAPSHOT_VERSION);
+        assert_eq!(parsed.diffs, 200);
+        assert_eq!(parsed.batches, 64);
+        assert_eq!(parsed.errors, 0);
+        assert!((parsed.diff_p99_us - snap.diff_p99_us).abs() < 0.1);
+        let stale = snap.to_json().replace("\"version\": 1", "\"version\": 12");
+        assert_eq!(SubscribeSnapshot::parse_json(&stale), None);
+        assert_eq!(SubscribeSnapshot::parse_json("junk"), None);
+    }
+
+    #[test]
+    fn subscribe_regression_gate() {
+        let base = SubscribeSnapshot {
+            version: SUBSCRIBE_SNAPSHOT_VERSION,
+            diffs: 100,
+            batches: 50,
+            diff_p50_us: 300.0,
+            diff_p95_us: 900.0,
+            diff_p99_us: 1500.0,
+            errors: 0,
+        };
+        // Micro-noise inside the floor and a slightly lower diff count
+        // pass.
+        let ok = SubscribeSnapshot {
+            diffs: 90,
+            diff_p99_us: 1900.0,
+            ..base.clone()
+        };
+        assert!(ok.regressions(&base, 0.25, 500.0).is_empty());
+        // Errors, lost pushes, and millisecond-scale latency blowups
+        // each trip their own verdict.
+        let bad = SubscribeSnapshot {
+            diffs: 40,
+            diff_p99_us: 50_000.0,
+            errors: 2,
+            ..base.clone()
+        };
+        let verdicts = bad.regressions(&base, 0.25, 500.0);
+        assert_eq!(verdicts.len(), 3, "{verdicts:?}");
+        assert!(verdicts[0].contains("errors"));
+        assert!(verdicts[1].contains("diffs"));
+        assert!(verdicts[2].contains("p99"));
     }
 
     #[test]

@@ -32,10 +32,24 @@
 //! at most `--senders` of them, and reports throughput + p99. The
 //! snapshot is a `ConnSweepSnapshot` (the `BENCH_connsweep.json`
 //! artifact); `--json`/`--baseline` gate it the same way.
+//!
+//! **Subscribe mode** (`--subscribe 1`) runs the live-subscription
+//! churn experiment instead: `--sessions` sessions are created, each
+//! with `--subscribers` subscribers holding open `MATCH_DIFF` streams
+//! (wire v4), and a writer storms the first session with `--batches`
+//! delta batches of `--ops` edge ops. Each subscriber reconstructs
+//! the match set from its diffs and checks it against a final
+//! re-query, so the run is self-verifying; the report is diff count
+//! plus delivery-latency percentiles, snapshotted as a
+//! `SubscribeSnapshot` (the `BENCH_subscribe.json` artifact) and
+//! gated by `--json`/`--baseline` the same way.
 
 use dgs_graph::io as gio;
-use dgs_net::{ConnSweepSnapshot, ServingSnapshot};
-use dgs_serve::{run_conn_sweep, run_load, ConnSweepConfig, LoadConfig, LoadMode, ServeAddr};
+use dgs_net::{ConnSweepSnapshot, ServingSnapshot, SubscribeSnapshot};
+use dgs_serve::{
+    run_conn_sweep, run_load, run_subscribe, ConnSweepConfig, LoadConfig, LoadMode, ServeAddr,
+    SubscribeConfig,
+};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -47,8 +61,28 @@ fn fail(msg: &str) -> ! {
 }
 
 const ALLOWED: &[&str] = &[
-    "addr", "clients", "requests", "mode", "rate", "batch", "deltas", "pattern", "seed", "session",
-    "json", "baseline", "pipeline", "sweep", "senders", "ping",
+    "addr",
+    "clients",
+    "requests",
+    "mode",
+    "rate",
+    "batch",
+    "deltas",
+    "pattern",
+    "seed",
+    "session",
+    "json",
+    "baseline",
+    "pipeline",
+    "sweep",
+    "senders",
+    "ping",
+    "subscribe",
+    "sessions",
+    "subscribers",
+    "nodes",
+    "batches",
+    "ops",
 ];
 
 fn usage() -> ! {
@@ -58,9 +92,80 @@ fn usage() -> ! {
          [--pattern FILE[,FILE...]] [--seed S] [--session NAME] [--pipeline D]\n          \
          [--ping 1] [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]\n  \
          dgsload --addr ADDR --sweep N1,N2,... [--rate RPS] [--requests R] [--senders N]\n          \
-         [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]   (connection-count sweep)"
+         [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]   (connection-count sweep)\n  \
+         dgsload --addr ADDR --subscribe 1 [--sessions N] [--subscribers N] [--nodes N]\n          \
+         [--batches N] [--ops N] [--seed S] [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]\n          \
+         (live-subscription churn: writer storms one session, subscribers verify the diff stream)"
     );
     exit(2);
+}
+
+/// `dgsload --subscribe`: the live-subscription churn run, with its
+/// own snapshot artifact and regression gate.
+fn run_subscribe_mode(flags: &HashMap<String, String>, addr: ServeAddr) -> ! {
+    let cfg = SubscribeConfig {
+        addr,
+        sessions: num(flags, "sessions", 2),
+        subscribers: num(flags, "subscribers", 2),
+        nodes: num(flags, "nodes", 600),
+        batches: num(flags, "batches", 40),
+        ops_per_batch: num(flags, "ops", 20),
+        seed: num(flags, "seed", 7),
+    };
+    if cfg.sessions == 0 || cfg.subscribers == 0 || cfg.batches == 0 {
+        fail("--sessions, --subscribers and --batches must be >= 1");
+    }
+    println!(
+        "dgsload: subscription churn — {} sessions x {} subscribers, {} batches x {} ops \
+         storming churn-0",
+        cfg.sessions, cfg.subscribers, cfg.batches, cfg.ops_per_batch
+    );
+    let report = run_subscribe(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let h = &report.histogram;
+    println!(
+        "  {} diffs delivered over {} batches in {:.2} s  ({} errors)",
+        report.diffs,
+        report.batches,
+        report.elapsed.as_secs_f64(),
+        report.errors
+    );
+    println!(
+        "  diff latency: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        ms(h.p50()),
+        ms(h.p95()),
+        ms(h.p99()),
+        ms(h.max())
+    );
+    let snapshot = SubscribeSnapshot::of_run(h, report.diffs, report.batches, report.errors);
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  snapshot written to {path}");
+    }
+    let mut regressed = false;
+    if let Some(path) = flags.get("baseline") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        let baseline = SubscribeSnapshot::parse_json(&text).unwrap_or_else(|| {
+            fail(&format!(
+                "{path}: not a subscription snapshot this build reads"
+            ))
+        });
+        let verdicts = snapshot.regressions(&baseline, 0.25, 2000.0);
+        if verdicts.is_empty() {
+            println!("  baseline {path}: within tolerance");
+        } else {
+            for v in &verdicts {
+                eprintln!("dgsload: REGRESSION vs {path}: {v}");
+            }
+            regressed = true;
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("dgsload: {} subscription errors", report.errors);
+        exit(1);
+    }
+    exit(i32::from(regressed));
 }
 
 /// `dgsload --sweep`: the connection-count sweep, with its own
@@ -181,6 +286,9 @@ fn main() {
         ServeAddr::parse(addr_s).unwrap_or_else(|| fail(&format!("unparseable --addr '{addr_s}'")));
     if let Some(spec) = flags.get("sweep") {
         run_sweep_mode(&flags, addr, spec);
+    }
+    if num::<usize>(&flags, "subscribe", 0) != 0 {
+        run_subscribe_mode(&flags, addr);
     }
     let mode = match flags.get("mode").map(String::as_str).unwrap_or("closed") {
         "closed" => LoadMode::Closed,

@@ -22,14 +22,34 @@
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::{
-    frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionInfo, SessionOptions,
-    WireAlgorithm, WireCacheStats, WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
+    frame, Answer, DeltaSummary, GraphInfo, MatchDiff, Request, Response, SessionInfo,
+    SessionOptions, SubEventKind, WireAlgorithm, WireCacheStats, WireCompression, WireMetrics,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::transport::{Conn, ServeAddr};
 use crate::wire::{put_varint, split_request_id, write_frame, FrameReader};
 use dgs_core::GraphDelta;
 use dgs_graph::{Graph, Pattern};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One push from a live subscription (wire v4): a match-set diff, or
+/// a typed lifecycle event ending the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubscriptionEvent {
+    /// The subscribed pattern's match set changed: `added`/`removed`
+    /// `(query node, data node)` pairs, tagged with the generation the
+    /// stream is now at.
+    Diff(MatchDiff),
+    /// The subscription ended (overflow, the session was dropped, or
+    /// the server is draining). No further frames follow for this
+    /// `sub_id`.
+    Event {
+        /// Which subscription.
+        sub_id: u64,
+        /// Why it ended.
+        kind: SubEventKind,
+    },
+}
 
 /// A connected client session.
 pub struct DgsClient {
@@ -45,6 +65,10 @@ pub struct DgsClient {
     outstanding: HashSet<u64>,
     /// Responses that arrived while awaiting a different id.
     stash: HashMap<u64, Response>,
+    /// Subscription pushes (id-0 `MATCH_DIFF`/`SUB_EVENT` frames) that
+    /// arrived while awaiting a response; drained by
+    /// [`DgsClient::poll_event`]/[`DgsClient::next_event`].
+    events: VecDeque<SubscriptionEvent>,
     /// Encoded submits not yet handed to the kernel: a pipelined
     /// burst goes out as one write when an await needs the wire (or
     /// the buffer passes [`SUBMIT_FLUSH_BYTES`]), not one syscall per
@@ -93,6 +117,7 @@ impl DgsClient {
                     next_id: 1,
                     outstanding: HashSet::new(),
                     stash: HashMap::new(),
+                    events: VecDeque::new(),
                     wbuf: Vec::new(),
                 })
             }
@@ -117,6 +142,16 @@ impl DgsClient {
     /// The negotiated protocol version.
     pub fn version(&self) -> u8 {
         self.version
+    }
+
+    /// Bounds how long a blocking read may wait (`None` = forever).
+    /// A timed-out [`DgsClient::next_event`] surfaces as
+    /// [`ServeError::Io`] with kind `WouldBlock`/`TimedOut`; the
+    /// resumable frame reader keeps any partial bytes, so the
+    /// connection stays usable afterwards — this is how a subscriber
+    /// polls a stream that may have gone quiet.
+    pub fn set_read_timeout(&self, d: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.conn.set_read_timeout(d)
     }
 
     /// Requests submitted but not yet awaited.
@@ -198,10 +233,23 @@ impl DgsClient {
             }
             let resp = Response::decode(ty, body)?;
             if got == 0 {
-                // A connection-level frame (id 0): the server is
-                // telling this connection something outside any one
-                // request — a drain notice, typically. Surface it on
-                // whatever await is active.
+                // A connection-level frame (id 0). Subscription pushes
+                // interleave with pipelined responses by design: queue
+                // them for `poll_event`/`next_event` and keep waiting
+                // for the awaited id. Anything else — a drain notice,
+                // typically — surfaces on whatever await is active.
+                match resp {
+                    Response::MatchDiff(diff) => {
+                        self.events.push_back(SubscriptionEvent::Diff(diff));
+                        continue;
+                    }
+                    Response::SubEvent { sub_id, kind } => {
+                        self.events
+                            .push_back(SubscriptionEvent::Event { sub_id, kind });
+                        continue;
+                    }
+                    _ => {}
+                }
                 self.outstanding.remove(&id);
                 return match resp {
                     Response::Error { code, message } => Err(ServeError::Remote { code, message }),
@@ -404,6 +452,100 @@ impl DgsClient {
         })? {
             Response::SessionRouted { sessions } => Ok(sessions),
             _ => Self::unexpected("SESSION_ROUTE"),
+        }
+    }
+
+    /// Registers a live subscription on the routed session (wire v4).
+    /// Returns `(sub_id, generation, rows)`: the subscription id, the
+    /// generation label of the snapshot, and the pattern's current
+    /// match rows (one sorted node list per query node). From then on
+    /// the server pushes [`SubscriptionEvent`]s as deltas apply —
+    /// collect them with [`DgsClient::poll_event`] /
+    /// [`DgsClient::next_event`]; applying each diff to the snapshot
+    /// reproduces every generation's exact match set.
+    #[allow(clippy::type_complexity)]
+    pub fn subscribe(
+        &mut self,
+        q: &Pattern,
+        algorithm: WireAlgorithm,
+    ) -> Result<(u64, u64, Vec<Vec<u32>>), ServeError> {
+        if self.version < 4 {
+            return Err(ServeError::UnsupportedVersion {
+                ours: WIRE_VERSION,
+                theirs: self.version,
+            });
+        }
+        match self.call(&Request::Subscribe {
+            pattern: q.clone(),
+            algorithm,
+        })? {
+            Response::Subscribed {
+                sub_id,
+                generation,
+                rows,
+            } => Ok((sub_id, generation, rows)),
+            _ => Self::unexpected("SUBSCRIBE"),
+        }
+    }
+
+    /// Tears down a subscription. Diffs already pushed may still be
+    /// queued locally (or in flight) and remain readable; no new ones
+    /// follow the acknowledgement.
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<(), ServeError> {
+        match self.call(&Request::Unsubscribe { sub_id })? {
+            Response::Unsubscribed => Ok(()),
+            _ => Self::unexpected("UNSUBSCRIBE"),
+        }
+    }
+
+    /// Pops the next already-received subscription push, if any.
+    /// Never touches the socket — pushes land in this queue while
+    /// responses are awaited.
+    pub fn poll_event(&mut self) -> Option<SubscriptionEvent> {
+        self.events.pop_front()
+    }
+
+    /// Blocks for the next subscription push, reading frames until
+    /// one arrives. Responses to outstanding pipelined requests that
+    /// arrive first are stashed for their `await_response`; an id-0
+    /// error (a drain notice) surfaces as [`ServeError::Remote`].
+    pub fn next_event(&mut self) -> Result<SubscriptionEvent, ServeError> {
+        self.flush_submits()?;
+        loop {
+            if let Some(ev) = self.events.pop_front() {
+                return Ok(ev);
+            }
+            let Some((ty, payload)) = self.reader.read_frame(&mut self.conn)? else {
+                return Err(ServeError::corrupt("server closed mid-stream"));
+            };
+            let (got, body) = split_request_id(&payload)?;
+            if got != 0 && !self.outstanding.contains(&got) {
+                return Err(ServeError::corrupt(format!(
+                    "server answered unknown request id {got}"
+                )));
+            }
+            let resp = Response::decode(ty, body)?;
+            if got == 0 {
+                match resp {
+                    Response::MatchDiff(diff) => {
+                        self.events.push_back(SubscriptionEvent::Diff(diff));
+                    }
+                    Response::SubEvent { sub_id, kind } => {
+                        self.events
+                            .push_back(SubscriptionEvent::Event { sub_id, kind });
+                    }
+                    Response::Error { code, message } => {
+                        return Err(ServeError::Remote { code, message });
+                    }
+                    other => {
+                        return Err(ServeError::corrupt(format!(
+                            "unexpected connection-level frame while waiting for a push: {other:?}"
+                        )));
+                    }
+                }
+            } else {
+                self.stash.insert(got, resp);
+            }
         }
     }
 

@@ -34,6 +34,10 @@ pub enum ErrorCode {
     /// The request named (or the connection is routed to) a session
     /// the server does not host.
     NoSuchSession = 9,
+    /// `UNSUBSCRIBE` named a subscription this connection does not
+    /// hold (never registered, already torn down, or another
+    /// connection's).
+    NoSuchSubscription = 10,
 }
 
 impl ErrorCode {
@@ -54,6 +58,7 @@ impl ErrorCode {
             6 => ErrorCode::Busy,
             7 => ErrorCode::ShuttingDown,
             9 => ErrorCode::NoSuchSession,
+            10 => ErrorCode::NoSuchSubscription,
             _ => ErrorCode::Internal,
         }
     }

@@ -73,17 +73,20 @@ pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod subscribe;
 pub mod transport;
 pub mod wire;
 
-pub use client::DgsClient;
+pub use client::{DgsClient, SubscriptionEvent};
 pub use error::{ErrorCode, ServeError};
 pub use load::{
-    mixed_pattern_pool, run_conn_sweep, run_load, ConnSweepConfig, LoadConfig, LoadMode, LoadReport,
+    mixed_pattern_pool, run_conn_sweep, run_load, run_subscribe, ConnSweepConfig, LoadConfig,
+    LoadMode, LoadReport, SubscribeConfig, SubscribeReport,
 };
 pub use proto::{
-    Answer, DeltaSummary, GraphInfo, Request, Response, SessionInfo, SessionOptions, WireAlgorithm,
-    WireCacheStats, WireCompression, WireMetrics, WirePartitioner, WIRE_MAGIC, WIRE_VERSION,
+    Answer, DeltaSummary, GraphInfo, MatchDiff, Request, Response, SessionInfo, SessionOptions,
+    SubEventKind, WireAlgorithm, WireCacheStats, WireCompression, WireMetrics, WirePartitioner,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{merge_answers, Route, SessionManager, DEFAULT_SESSION};

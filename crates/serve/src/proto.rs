@@ -30,8 +30,15 @@ pub const WIRE_MAGIC: [u8; 4] = *b"DGSW";
 /// every post-handshake payload with a varint **request id** echoed
 /// in the matching response, so one connection can pipeline requests
 /// and take responses out of order. v1/v2 peers negotiate down and
-/// keep the id-less one-at-a-time framing.
-pub const WIRE_VERSION: u8 = 3;
+/// keep the id-less one-at-a-time framing. v4 adds **live match
+/// subscriptions**: `SUBSCRIBE`/`UNSUBSCRIBE` requests plus the
+/// server-pushed `MATCH_DIFF`/`SUB_EVENT` frames, which travel under
+/// the reserved request id 0 and interleave with pipelined responses
+/// on the same connection; `DELTA_APPLIED` grows a trailing
+/// `resurrected_pairs` counter. v≤3 peers negotiate down: they never
+/// see push frames or the trailing counter, and a `SUBSCRIBE` from
+/// them is refused with a typed `Unsupported` error.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Frame type bytes. Requests are `0x1x`, responses `0x2x`, the error
 /// response is `0x3f`; handshake frames are `0x0x`.
@@ -52,6 +59,8 @@ pub mod frame {
     pub const SESSION_LIST: u8 = 0x1a;
     pub const SESSION_DROP: u8 = 0x1b;
     pub const SESSION_ROUTE: u8 = 0x1c;
+    pub const SUBSCRIBE: u8 = 0x1d;
+    pub const UNSUBSCRIBE: u8 = 0x1e;
 
     pub const PONG: u8 = 0x20;
     pub const GRAPH_INFO_R: u8 = 0x21;
@@ -66,6 +75,15 @@ pub mod frame {
     pub const SESSION_LIST_R: u8 = 0x2a;
     pub const SESSION_DROPPED: u8 = 0x2b;
     pub const SESSION_ROUTED: u8 = 0x2c;
+    pub const SUBSCRIBED: u8 = 0x2d;
+    pub const UNSUBSCRIBED: u8 = 0x2e;
+
+    /// Server-pushed (v4): a subscription's match-set delta. Travels
+    /// under request id 0, never in answer to a request.
+    pub const MATCH_DIFF: u8 = 0x30;
+    /// Server-pushed (v4): a subscription lifecycle event (overflow,
+    /// session dropped, server draining). Travels under request id 0.
+    pub const SUB_EVENT: u8 = 0x31;
 
     pub const ERROR: u8 = 0x3f;
 }
@@ -271,6 +289,22 @@ pub enum Request {
         /// Target sessions (empty = all, resolved per request).
         sessions: Vec<String>,
     },
+    /// Register a live match subscription on the routed session
+    /// (wire v4; needs a single-session route). The response carries
+    /// the initial snapshot; the server then pushes `MATCH_DIFF`
+    /// frames as deltas apply.
+    Subscribe {
+        /// The pattern to watch.
+        pattern: Pattern,
+        /// Which engine answers the snapshot (and any maintenance
+        /// fallback re-query).
+        algorithm: WireAlgorithm,
+    },
+    /// Tear down a subscription this connection registered (wire v4).
+    Unsubscribe {
+        /// The id `SUBSCRIBED` returned.
+        sub_id: u64,
+    },
 }
 
 /// Metric counters shipped back with every answer — the wire subset
@@ -392,19 +426,7 @@ impl Answer {
     }
 
     fn encode(&self, buf: &mut Vec<u8>) {
-        put_varint(buf, self.rows.len() as u64);
-        for row in &self.rows {
-            put_varint(buf, row.len() as u64);
-            let mut prev = 0u32;
-            for (i, &v) in row.iter().enumerate() {
-                if i == 0 {
-                    put_varint(buf, u64::from(v));
-                } else {
-                    put_varint(buf, u64::from(v.wrapping_sub(prev)));
-                }
-                prev = v;
-            }
-        }
+        encode_rows(buf, &self.rows);
         put_u8(buf, u8::from(self.is_match));
         put_str(buf, &self.algorithm);
         put_str(buf, &self.plan);
@@ -412,28 +434,7 @@ impl Answer {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Answer, ServeError> {
-        let nq = r.count("query-node count")?;
-        let mut rows = Vec::with_capacity(nq);
-        for _ in 0..nq {
-            let len = r.count("row length")?;
-            let mut row = Vec::with_capacity(len);
-            let mut prev = 0u64;
-            for i in 0..len {
-                let raw = r.varint("match id")?;
-                let v = if i == 0 {
-                    raw
-                } else {
-                    prev.checked_add(raw)
-                        .ok_or_else(|| ServeError::corrupt("match-id gap overflows"))?
-                };
-                if v > u64::from(u32::MAX) {
-                    return Err(ServeError::corrupt("match id exceeds u32"));
-                }
-                prev = v;
-                row.push(v as u32);
-            }
-            rows.push(row);
-        }
+        let rows = decode_rows(r)?;
         let is_match = r.u8("is_match")? != 0;
         let algorithm = r.str_("algorithm")?;
         let plan = r.str_("plan")?;
@@ -479,6 +480,94 @@ pub struct DeltaSummary {
     pub invalidated_entries: u64,
     pub revoked_pairs: u64,
     pub generation: u64,
+    /// Pairs the insertion-side maintenance revived (v4 extension:
+    /// encoded only to v4 peers, decoded from the trailing bytes when
+    /// present — a v3 server's 11-counter payload leaves it 0).
+    pub resurrected_pairs: u64,
+}
+
+/// One subscription's match-set delta as pushed in a `MATCH_DIFF`
+/// frame: the pairs that entered and left the match relation at
+/// `generation`, in the *subscriber's* pattern numbering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchDiff {
+    /// Which subscription this diff belongs to.
+    pub sub_id: u64,
+    /// The graph generation whose delta produced this diff.
+    pub generation: u64,
+    /// `(query node, data node)` pairs that entered the match set.
+    pub added: Vec<(u16, u32)>,
+    /// `(query node, data node)` pairs that left the match set.
+    pub removed: Vec<(u16, u32)>,
+}
+
+impl MatchDiff {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.sub_id);
+        put_varint(buf, self.generation);
+        for pairs in [&self.added, &self.removed] {
+            put_varint(buf, pairs.len() as u64);
+            for &(q, v) in pairs.iter() {
+                put_u16(buf, q);
+                put_varint(buf, u64::from(v));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<MatchDiff, ServeError> {
+        let sub_id = r.varint("sub id")?;
+        let generation = r.varint("generation")?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for pairs in &mut lists {
+            let n = r.count("diff pair count")?;
+            pairs.reserve(n);
+            for _ in 0..n {
+                let q = r.u16("diff query node")?;
+                let v = r.varint("diff data node")?;
+                if v > u64::from(u32::MAX) {
+                    return Err(ServeError::corrupt("diff data node exceeds u32"));
+                }
+                pairs.push((q, v as u32));
+            }
+        }
+        let [added, removed] = lists;
+        Ok(MatchDiff {
+            sub_id,
+            generation,
+            added,
+            removed,
+        })
+    }
+}
+
+/// Why the server pushed a `SUB_EVENT` frame for a subscription. All
+/// three terminate the subscription: no further `MATCH_DIFF` frames
+/// follow for its id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubEventKind {
+    /// The subscriber fell too far behind: its bounded diff queue
+    /// overflowed and the queued diffs were discarded. Re-subscribe
+    /// for a fresh snapshot.
+    Overflow = 0,
+    /// The subscribed session was dropped (or replaced wholesale).
+    SessionDropped = 1,
+    /// The server is draining for shutdown.
+    Draining = 2,
+}
+
+impl SubEventKind {
+    fn from_u8(v: u8) -> Result<SubEventKind, ServeError> {
+        Ok(match v {
+            0 => SubEventKind::Overflow,
+            1 => SubEventKind::SessionDropped,
+            2 => SubEventKind::Draining,
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "unknown subscription event byte {other}"
+                )));
+            }
+        })
+    }
 }
 
 /// Pattern-result cache counters (`CACHE_STATS`).
@@ -571,10 +660,73 @@ pub enum Response {
     SessionRouted {
         sessions: u64,
     },
+    /// The subscription is live: its id, the generation of the
+    /// initial snapshot, and the snapshot's match rows (one sorted
+    /// list per query node, the submitted pattern's numbering). Every
+    /// later `MATCH_DIFF` for `sub_id` applies on top of these rows.
+    Subscribed {
+        sub_id: u64,
+        generation: u64,
+        rows: Vec<Vec<u32>>,
+    },
+    /// The subscription is gone; no further pushes for its id.
+    Unsubscribed,
+    /// Server-pushed (request id 0): one subscription's match-set
+    /// delta.
+    MatchDiff(MatchDiff),
+    /// Server-pushed (request id 0): a subscription terminated.
+    SubEvent {
+        sub_id: u64,
+        kind: SubEventKind,
+    },
     Error {
         code: ErrorCode,
         message: String,
     },
+}
+
+/// Sorted match rows, delta-encoded per row (the `ANSWER` layout,
+/// shared with `SUBSCRIBED`).
+fn encode_rows(buf: &mut Vec<u8>, rows: &[Vec<u32>]) {
+    put_varint(buf, rows.len() as u64);
+    for row in rows {
+        put_varint(buf, row.len() as u64);
+        let mut prev = 0u32;
+        for (i, &v) in row.iter().enumerate() {
+            if i == 0 {
+                put_varint(buf, u64::from(v));
+            } else {
+                put_varint(buf, u64::from(v.wrapping_sub(prev)));
+            }
+            prev = v;
+        }
+    }
+}
+
+fn decode_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<u32>>, ServeError> {
+    let nq = r.count("query-node count")?;
+    let mut rows = Vec::with_capacity(nq);
+    for _ in 0..nq {
+        let len = r.count("row length")?;
+        let mut row = Vec::with_capacity(len);
+        let mut prev = 0u64;
+        for i in 0..len {
+            let raw = r.varint("match id")?;
+            let v = if i == 0 {
+                raw
+            } else {
+                prev.checked_add(raw)
+                    .ok_or_else(|| ServeError::corrupt("match-id gap overflows"))?
+            };
+            if v > u64::from(u32::MAX) {
+                return Err(ServeError::corrupt("match id exceeds u32"));
+            }
+            prev = v;
+            row.push(v as u32);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 fn encode_pattern(buf: &mut Vec<u8>, q: &Pattern) {
@@ -740,6 +892,15 @@ impl Request {
                 }
                 frame::SESSION_ROUTE
             }
+            Request::Subscribe { pattern, algorithm } => {
+                put_u8(buf, *algorithm as u8);
+                encode_pattern(buf, pattern);
+                frame::SUBSCRIBE
+            }
+            Request::Unsubscribe { sub_id } => {
+                put_varint(buf, *sub_id);
+                frame::UNSUBSCRIBE
+            }
         }
     }
 
@@ -808,6 +969,14 @@ impl Request {
                 }
                 Request::SessionRoute { sessions }
             }
+            frame::SUBSCRIBE => {
+                let algorithm = WireAlgorithm::from_u8(r.u8("algorithm")?)?;
+                let pattern = decode_pattern(&mut r)?;
+                Request::Subscribe { pattern, algorithm }
+            }
+            frame::UNSUBSCRIBE => Request::Unsubscribe {
+                sub_id: r.varint("sub id")?,
+            },
             other => {
                 return Err(ServeError::corrupt(format!(
                     "unknown request frame type {other:#04x}"
@@ -830,8 +999,17 @@ impl Response {
     /// Appends the payload to `buf` (which may carry a frame header
     /// or a v3 request-id prefix already — this is what lets the
     /// server encode straight into a pooled frame buffer) and returns
-    /// the frame type.
+    /// the frame type. Encodes at this build's own wire version; the
+    /// server uses [`Response::encode_into_v`] with the connection's
+    /// negotiated version instead.
     pub fn encode_into(&self, buf: &mut Vec<u8>) -> u8 {
+        self.encode_into_v(buf, WIRE_VERSION)
+    }
+
+    /// Version-aware [`Response::encode_into`]: `wire_version` is the
+    /// peer's negotiated version, so v≤3 peers never see the v4
+    /// `DELTA_APPLIED` trailing extension their decoder would reject.
+    pub fn encode_into_v(&self, buf: &mut Vec<u8>, wire_version: u8) -> u8 {
         match self {
             Response::Pong => frame::PONG,
             Response::GraphInfo(info) => {
@@ -881,6 +1059,9 @@ impl Response {
                     d.generation,
                 ] {
                     put_varint(buf, v);
+                }
+                if wire_version >= 4 {
+                    put_varint(buf, d.resurrected_pairs);
                 }
                 frame::DELTA_APPLIED
             }
@@ -943,6 +1124,26 @@ impl Response {
                 put_varint(buf, *sessions);
                 frame::SESSION_ROUTED
             }
+            Response::Subscribed {
+                sub_id,
+                generation,
+                rows,
+            } => {
+                put_varint(buf, *sub_id);
+                put_varint(buf, *generation);
+                encode_rows(buf, rows);
+                frame::SUBSCRIBED
+            }
+            Response::Unsubscribed => frame::UNSUBSCRIBED,
+            Response::MatchDiff(diff) => {
+                diff.encode(buf);
+                frame::MATCH_DIFF
+            }
+            Response::SubEvent { sub_id, kind } => {
+                put_varint(buf, *sub_id);
+                put_u8(buf, *kind as u8);
+                frame::SUB_EVENT
+            }
             Response::Error { code, message } => {
                 put_u16(buf, code.to_u16());
                 put_str(buf, message);
@@ -1003,6 +1204,13 @@ impl Response {
                 }
                 let [inserted, deleted, ignored, crossing_inserted, crossing_deleted, virtuals_created, virtuals_retired, maintained_entries, invalidated_entries, revoked_pairs, generation] =
                     vals;
+                // v4 extension: a trailing resurrected-pairs counter.
+                // A v3 server's 11-counter payload leaves it 0.
+                let resurrected_pairs = if r.remaining() > 0 {
+                    r.varint("resurrected pairs")?
+                } else {
+                    0
+                };
                 Response::DeltaApplied(DeltaSummary {
                     inserted,
                     deleted,
@@ -1015,6 +1223,7 @@ impl Response {
                     invalidated_entries,
                     revoked_pairs,
                     generation,
+                    resurrected_pairs,
                 })
             }
             frame::CACHE_STATS_R => match r.u8("cache flag")? {
@@ -1082,6 +1291,23 @@ impl Response {
             frame::SESSION_ROUTED => Response::SessionRouted {
                 sessions: r.varint("routed session count")?,
             },
+            frame::SUBSCRIBED => {
+                let sub_id = r.varint("sub id")?;
+                let generation = r.varint("generation")?;
+                let rows = decode_rows(&mut r)?;
+                Response::Subscribed {
+                    sub_id,
+                    generation,
+                    rows,
+                }
+            }
+            frame::UNSUBSCRIBED => Response::Unsubscribed,
+            frame::MATCH_DIFF => Response::MatchDiff(MatchDiff::decode(&mut r)?),
+            frame::SUB_EVENT => {
+                let sub_id = r.varint("sub id")?;
+                let kind = SubEventKind::from_u8(r.u8("event kind")?)?;
+                Response::SubEvent { sub_id, kind }
+            }
             frame::ERROR => {
                 let code = ErrorCode::from_u16(r.u16("error code")?);
                 let message = r.str_("error message")?;
@@ -1155,6 +1381,90 @@ mod tests {
             &[NodeId(5), NodeId(9)]
         );
         assert_eq!(a.answer_pairs(), 3);
+    }
+
+    #[test]
+    fn subscribe_roundtrips() {
+        let req = Request::Subscribe {
+            pattern: sample_pattern(),
+            algorithm: WireAlgorithm::Auto,
+        };
+        let (ty, payload) = req.encode();
+        assert_eq!(ty, frame::SUBSCRIBE);
+        assert_eq!(Request::decode(ty, &payload).unwrap(), req);
+
+        let req = Request::Unsubscribe { sub_id: 9000 };
+        let (ty, payload) = req.encode();
+        assert_eq!(Request::decode(ty, &payload).unwrap(), req);
+
+        let resp = Response::Subscribed {
+            sub_id: 7,
+            generation: 42,
+            rows: vec![vec![3, 4, 100], vec![]],
+        };
+        let (ty, payload) = resp.encode();
+        assert_eq!(ty, frame::SUBSCRIBED);
+        assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+
+        let (ty, payload) = Response::Unsubscribed.encode();
+        assert_eq!(
+            Response::decode(ty, &payload).unwrap(),
+            Response::Unsubscribed
+        );
+    }
+
+    #[test]
+    fn push_frames_roundtrip() {
+        let resp = Response::MatchDiff(MatchDiff {
+            sub_id: 3,
+            generation: 17,
+            added: vec![(0, 5), (2, 9)],
+            removed: vec![(1, 1)],
+        });
+        let (ty, payload) = resp.encode();
+        assert_eq!(ty, frame::MATCH_DIFF);
+        assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+
+        for kind in [
+            SubEventKind::Overflow,
+            SubEventKind::SessionDropped,
+            SubEventKind::Draining,
+        ] {
+            let resp = Response::SubEvent { sub_id: 12, kind };
+            let (ty, payload) = resp.encode();
+            assert_eq!(ty, frame::SUB_EVENT);
+            assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn delta_summary_extension_is_version_gated() {
+        let d = DeltaSummary {
+            inserted: 5,
+            revoked_pairs: 2,
+            resurrected_pairs: 11,
+            generation: 3,
+            ..DeltaSummary::default()
+        };
+        // A v3 peer gets the classic 11-counter payload; decoding it
+        // leaves the extension 0.
+        let mut v3 = Vec::new();
+        let ty = Response::DeltaApplied(d.clone()).encode_into_v(&mut v3, 3);
+        match Response::decode(ty, &v3).unwrap() {
+            Response::DeltaApplied(got) => {
+                assert_eq!(got.resurrected_pairs, 0);
+                assert_eq!(got.inserted, 5);
+            }
+            other => panic!("expected DeltaApplied, got {other:?}"),
+        }
+        // A v4 peer sees the trailing counter.
+        let mut v4 = Vec::new();
+        let ty = Response::DeltaApplied(d.clone()).encode_into_v(&mut v4, 4);
+        assert!(v4.len() > v3.len());
+        match Response::decode(ty, &v4).unwrap() {
+            Response::DeltaApplied(got) => assert_eq!(got, d),
+            other => panic!("expected DeltaApplied, got {other:?}"),
+        }
     }
 
     #[test]

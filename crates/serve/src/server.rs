@@ -47,6 +47,7 @@ use crate::proto::{
     WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::session::{merge_answers, merge_metrics, session_info, Route, SessionManager};
+use crate::subscribe::{SubscriptionRegistry, DEFAULT_SUB_QUEUE_MAX};
 use crate::transport::{Conn, Listener, ServeAddr};
 use crate::wire::{encode_frame_into, split_request_id, FrameBuffer};
 use dgs_core::{Algorithm, DgsError, GraphDelta, RunReport, SimEngine};
@@ -77,6 +78,11 @@ pub struct ServerConfig {
     /// the event loop stops reading from it (TCP backpressure).
     /// v1/v2 connections are always serialized at 1.
     pub max_pipeline: usize,
+    /// Push frames one subscription may have queued before it
+    /// overflows: the backlog is discarded and replaced by a single
+    /// terminal `SUB_EVENT(overflow)`, so a subscriber that stops
+    /// reading never grows server memory unboundedly.
+    pub max_sub_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +92,7 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_secs(5),
             worker_threads: 0,
             max_pipeline: 128,
+            max_sub_queue: DEFAULT_SUB_QUEUE_MAX,
         }
     }
 }
@@ -217,6 +224,11 @@ struct Shared {
     completions: Mutex<Vec<Completion>>,
     pool: BufferPool,
     wake: WakeHandle,
+    /// Live match subscriptions (wire v4).
+    subs: SubscriptionRegistry,
+    /// Connections that gained queued push frames since the event
+    /// loop last looked; workers push here and wake the poller.
+    sub_dirty: Mutex<Vec<u64>>,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks;
@@ -256,6 +268,8 @@ impl Server {
                 completions: Mutex::new(Vec::new()),
                 pool: BufferPool::new(),
                 wake,
+                subs: SubscriptionRegistry::new(cfg.max_sub_queue),
+                sub_dirty: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -357,6 +371,12 @@ impl ServerHandle {
         self.shared.served.load(Ordering::SeqCst)
     }
 
+    /// Subscriptions currently live across every connection
+    /// (overflowed-but-undrained ones no longer count).
+    pub fn live_subscriptions(&self) -> usize {
+        self.shared.subs.live_count()
+    }
+
     /// Stops the server (drain, then force-close) and joins it.
     pub fn shutdown(self) -> io::Result<()> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -378,11 +398,13 @@ fn worker_loop(shared: &Shared) {
         let (resp, wants_shutdown) = match Request::decode(job.ty, &job.body) {
             Ok(req) => {
                 let wants_shutdown = matches!(req, Request::Shutdown);
-                let resp = catch_unwind(AssertUnwindSafe(|| execute(&req, shared, &job.route)))
-                    .unwrap_or_else(|_| Response::Error {
-                        code: ErrorCode::Internal,
-                        message: "request execution panicked on the server".into(),
-                    });
+                let resp = catch_unwind(AssertUnwindSafe(|| {
+                    execute(&req, shared, &job.route, job.conn_id, job.version)
+                }))
+                .unwrap_or_else(|_| Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "request execution panicked on the server".into(),
+                });
                 (resp, wants_shutdown)
             }
             // Frames are length-delimited, so the stream is still in
@@ -397,14 +419,16 @@ fn worker_loop(shared: &Shared) {
         };
         let mut buf = shared.pool.get();
         let id = (job.version >= 3).then_some(job.request_id);
-        if encode_frame_into(&mut buf, id, |b| resp.encode_into(b)).is_err() {
+        // Encode at the *connection's* version: a v3 peer must not see
+        // the v4 DELTA_APPLIED extension.
+        if encode_frame_into(&mut buf, id, |b| resp.encode_into_v(b, job.version)).is_err() {
             // The answer outgrew MAX_FRAME; the error that replaces it
             // cannot (it is a short string).
             let resp = Response::Error {
                 code: ErrorCode::Internal,
                 message: "response exceeded the maximum frame size".into(),
             };
-            encode_frame_into(&mut buf, id, |b| resp.encode_into(b))
+            encode_frame_into(&mut buf, id, |b| resp.encode_into_v(b, job.version))
                 .expect("error frame fits MAX_FRAME");
         }
         shared.served.fetch_add(1, Ordering::SeqCst);
@@ -531,8 +555,8 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
             // `Busy`/`ShuttingDown` answer to their HELLO, not the
             // reset they would get when the listener closes.
             accept_burst(listener, shared, &mut conns, &mut next_conn, &mut admitted);
-            for c in conns.values_mut() {
-                begin_drain(c);
+            for (&id, c) in conns.iter_mut() {
+                begin_drain(id, c, shared);
             }
         }
         // Sweep: drop connections that finished (or died), answer the
@@ -540,9 +564,9 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
         // lands, and enforce deadlines.
         let now = Instant::now();
         let force_close = matches!(drain_deadline, Some(dl) if now >= dl);
-        conns.retain(|_, c| {
+        conns.retain(|&id, c| {
             if shutting && !c.notified_shutdown && c.in_flight == 0 && c.pending.is_empty() {
-                begin_drain(c);
+                begin_drain(id, c, shared);
             }
             let expired = match c.phase {
                 Phase::Handshake { deadline, .. } => now >= deadline,
@@ -556,6 +580,9 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
                 for buf in c.out.drain(..) {
                     shared.pool.put(buf);
                 }
+                // A dead socket's subscriptions go with it (nothing to
+                // notify — there is no peer left to read the event).
+                shared.subs.drop_conn(id);
                 false
             } else {
                 true
@@ -642,17 +669,60 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
                 None => shared.pool.put(comp.frame),
             }
         }
+        // Subscription pushes: workers queued MATCH_DIFF/SUB_EVENT
+        // frames in the registry and marked their connections dirty;
+        // move them into the write queues here (the event thread is
+        // the only socket writer).
+        let dirty: Vec<u64> = std::mem::take(&mut *shared.sub_dirty.lock());
+        for id in dirty {
+            match conns.get_mut(&id) {
+                Some(c) if !c.closing => {
+                    pump_subscriptions(id, c, shared);
+                    touched.push(id);
+                }
+                _ => shared.subs.drop_conn(id),
+            }
+        }
         // Opportunistic flush: most responses go out here, in the
         // same iteration they were produced, saving a poll round.
+        // After a full flush, pull any push frames still parked in
+        // the registry (they were gated on the out-queue length) and
+        // flush again, so a draining socket keeps its diff stream
+        // moving without waiting for the next delta.
         for id in touched.drain(..) {
             if let Some(c) = conns.get_mut(&id) {
-                if flush_writes(c, shared).is_err() {
-                    c.closing = true;
-                    c.out.clear();
-                    c.pending.clear();
+                loop {
+                    if flush_writes(c, shared).is_err() {
+                        c.closing = true;
+                        c.out.clear();
+                        c.pending.clear();
+                        break;
+                    }
+                    if c.closing || !c.out.is_empty() || !shared.subs.has_frames(id) {
+                        break;
+                    }
+                    pump_subscriptions(id, c, shared);
                 }
             }
         }
+    }
+}
+
+/// Write-queue gate for push frames: a subscription burst fills the
+/// out queue at most this far, leaving the rest parked in the
+/// registry's bounded per-subscription queues.
+const SUB_PUMP_GATE: usize = 64;
+
+/// Moves queued push frames of `conn_id` into its write queue, up to
+/// the gate.
+fn pump_subscriptions(conn_id: u64, c: &mut ConnState, shared: &Shared) {
+    while c.out.len() < SUB_PUMP_GATE {
+        let budget = SUB_PUMP_GATE - c.out.len();
+        let frames = shared.subs.take_frames(conn_id, budget);
+        if frames.is_empty() {
+            return;
+        }
+        c.out.extend(frames);
     }
 }
 
@@ -896,10 +966,11 @@ fn pump_dispatch(conn_id: u64, c: &mut ConnState, shared: &Shared, shutting: boo
 }
 
 /// Marks a connection for drain: undispatched requests answer
-/// `ShuttingDown`; once nothing is in flight, one final
+/// `ShuttingDown`; once nothing is in flight, every live
+/// subscription gets a terminal `SUB_EVENT(draining)`, then one final
 /// connection-level `ShuttingDown` notice goes out and the
 /// connection closes after the flush.
-fn begin_drain(c: &mut ConnState) {
+fn begin_drain(conn_id: u64, c: &mut ConnState, shared: &Shared) {
     match c.phase {
         Phase::Handshake { reject, .. } => {
             // Nothing was promised yet — except a queued Busy frame,
@@ -921,6 +992,13 @@ fn begin_drain(c: &mut ConnState) {
             }
             if c.in_flight == 0 && !c.notified_shutdown {
                 c.notified_shutdown = true;
+                // Pending diffs first, then the typed drain event per
+                // subscription, then the connection-level notice — the
+                // client sees a complete, terminated stream.
+                pump_subscriptions(conn_id, c, shared);
+                for frame in shared.subs.drain_conn(conn_id) {
+                    c.out.push_back(frame);
+                }
                 c.push_frame(
                     c.conn_level_id(),
                     &Response::Error {
@@ -1113,11 +1191,28 @@ fn fan_out_batch(
     Response::BatchAnswer { items, total }
 }
 
+/// Queues subscription push activity for the event loop: remembers
+/// which connections gained frames and wakes the poller.
+fn note_sub_dirty(shared: &Shared, dirty: Vec<u64>) {
+    if dirty.is_empty() {
+        return;
+    }
+    shared.sub_dirty.lock().extend(dirty);
+    shared.wake.wake();
+}
+
 /// Runs one request against the routed session(s). `route` is the
 /// connection's shared route cell; barrier dispatch in the event loop
 /// guarantees `SESSION_ROUTE` never executes concurrently with other
-/// requests on the same connection.
-fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
+/// requests on the same connection. `conn_id`/`version` identify the
+/// connection for subscription ownership and version gating.
+fn execute(
+    req: &Request,
+    shared: &Shared,
+    route: &Mutex<Route>,
+    conn_id: u64,
+    version: u8,
+) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::GraphInfo => {
@@ -1236,19 +1331,27 @@ fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
             // queries keep running against the published snapshot
             // while the next generation is built.
             match engines[0].1.apply_delta(&delta) {
-                Ok(report) => Response::DeltaApplied(DeltaSummary {
-                    inserted: report.inserted as u64,
-                    deleted: report.deleted as u64,
-                    ignored: report.ignored as u64,
-                    crossing_inserted: report.crossing_inserted as u64,
-                    crossing_deleted: report.crossing_deleted as u64,
-                    virtuals_created: report.virtuals_created as u64,
-                    virtuals_retired: report.virtuals_retired as u64,
-                    maintained_entries: report.maintained_entries as u64,
-                    invalidated_entries: report.invalidated_entries as u64,
-                    revoked_pairs: report.revoked_pairs,
-                    generation: report.generation,
-                }),
+                Ok(report) => {
+                    // Feed the digest to live subscriptions before
+                    // answering: the diff frames queue behind this
+                    // response in the connection's write order.
+                    let dirty = shared.subs.on_delta(&engines[0].0, &engines[0].1, &report);
+                    note_sub_dirty(shared, dirty);
+                    Response::DeltaApplied(DeltaSummary {
+                        inserted: report.inserted as u64,
+                        deleted: report.deleted as u64,
+                        ignored: report.ignored as u64,
+                        crossing_inserted: report.crossing_inserted as u64,
+                        crossing_deleted: report.crossing_deleted as u64,
+                        virtuals_created: report.virtuals_created as u64,
+                        virtuals_retired: report.virtuals_retired as u64,
+                        maintained_entries: report.maintained_entries as u64,
+                        invalidated_entries: report.invalidated_entries as u64,
+                        revoked_pairs: report.revoked_pairs,
+                        generation: report.generation,
+                        resurrected_pairs: report.resurrected_pairs,
+                    })
+                }
                 Err(e) => dgs_error(&e),
             }
         }
@@ -1300,6 +1403,11 @@ fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
                 Ok(engine) => {
                     let (nodes, edges) = (graph.node_count() as u64, graph.edge_count() as u64);
                     shared.sessions.insert(&name, engine);
+                    // A replaced session's subscriptions refer to the
+                    // old engine's state: terminate them with a typed
+                    // event rather than stream diffs against a graph
+                    // the subscriber never saw.
+                    note_sub_dirty(shared, shared.subs.drop_session(&name));
                     Response::Loaded {
                         nodes,
                         edges,
@@ -1319,6 +1427,7 @@ fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
         } => match build_session(graph, options) {
             Ok(engine) => {
                 let engine = shared.sessions.insert(name, engine);
+                note_sub_dirty(shared, shared.subs.drop_session(name));
                 Response::SessionCreated(session_info(name, &engine))
             }
             Err(message) => Response::Error {
@@ -1329,6 +1438,9 @@ fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
         Request::SessionList => Response::Sessions(shared.sessions.infos()),
         Request::SessionDrop { name } => {
             if shared.sessions.remove(name) {
+                // Every subscription on the dropped session ends with
+                // a typed SUB_EVENT(session_dropped) push.
+                note_sub_dirty(shared, shared.subs.drop_session(name));
                 Response::SessionDropped
             } else {
                 no_such_session(name)
@@ -1346,6 +1458,45 @@ fn execute(req: &Request, shared: &Shared, route: &Mutex<Route>) -> Response {
                     Response::SessionRouted { sessions: n }
                 }
                 Err(name) => no_such_session(&name),
+            }
+        }
+        Request::Subscribe { pattern, algorithm } => {
+            if version < 4 {
+                return Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "SUBSCRIBE needs wire v4, but this connection negotiated v{version}"
+                    ),
+                };
+            }
+            let engines = match resolve(shared, &route.lock().clone()) {
+                Ok(e) => e,
+                Err(resp) => return *resp,
+            };
+            if engines.len() > 1 {
+                return single_target_only("SUBSCRIBE", engines.len());
+            }
+            let (name, engine) = &engines[0];
+            match shared
+                .subs
+                .subscribe(conn_id, name, engine, pattern, *algorithm)
+            {
+                Ok((sub_id, generation, rows)) => Response::Subscribed {
+                    sub_id,
+                    generation,
+                    rows,
+                },
+                Err(e) => dgs_error(&e),
+            }
+        }
+        Request::Unsubscribe { sub_id } => {
+            if shared.subs.unsubscribe(conn_id, *sub_id) {
+                Response::Unsubscribed
+            } else {
+                Response::Error {
+                    code: ErrorCode::NoSuchSubscription,
+                    message: format!("this connection holds no subscription with id {sub_id}"),
+                }
             }
         }
         Request::Shutdown => Response::ShuttingDown,

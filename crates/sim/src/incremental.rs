@@ -8,11 +8,23 @@
 //! rather than to `|G|`.
 //!
 //! [`IncrementalSim`] maintains the counter state of the HHK
-//! algorithm across a stream of **edge deletions** (the only
-//! single-sided update under downward-monotone semantics: insertions
-//! can revive candidates and require re-evaluation from above). This
-//! is the centralized analogue of what every `dGPM` site does when a
-//! falsification message arrives.
+//! algorithm across streams of **edge deletions and insertions**.
+//! Deletions only shrink the maximum simulation (each one is a local
+//! counter decrement plus a falsification cascade); insertions only
+//! *grow* it, and are repaired by a bounded re-refinement: the
+//! affected area `AFF` is the backward closure (over predecessors, in
+//! the post-insertion graph) of the inserted edges' source nodes —
+//! every pair outside `AFF` keeps both its candidacy and its
+//! counters, because its successors are also outside `AFF`. Inside
+//! `AFF`, candidacy is optimistically reset to label compatibility,
+//! counters are rebuilt, and the standard downward refinement runs
+//! with the non-affected pairs frozen as a boundary. (A naive upward
+//! cascade from the inserted edge is *not* sound for cyclic patterns:
+//! two mutually-supporting pairs of a pattern 2-cycle must revive
+//! together or not at all, which only a fixpoint from optimistic
+//! truth decides correctly.) This is the centralized analogue of what
+//! every `dGPM` site does when falsification / resurrection messages
+//! arrive.
 
 use crate::match_relation::{MatchRelation, SimResult};
 use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
@@ -28,6 +40,10 @@ pub struct IncrementalSim {
     qedges: Vec<(QNodeId, QNodeId)>,
     parent_edges: Vec<Vec<(usize, QNodeId)>>,
     cand: Vec<bool>,
+    /// Label compatibility — the pre-refinement candidate matrix. An
+    /// insertion may resurrect any label-compatible pair, so this is
+    /// the optimistic starting point for re-refinement of `AFF`.
+    label_ok: Vec<bool>,
     cnt: Vec<u32>,
     /// Operations performed by the **last** update — counter touches
     /// during the falsification cascade, a proxy for the paper's
@@ -57,12 +73,13 @@ impl IncrementalSim {
         let succ: Vec<Vec<NodeId>> = g.nodes().map(|v| g.successors(v).to_vec()).collect();
         let pred: Vec<Vec<NodeId>> = g.nodes().map(|v| g.predecessors(v).to_vec()).collect();
 
-        let mut cand = vec![false; nq * n];
+        let mut label_ok = vec![false; nq * n];
         for u in q.nodes() {
             for v in 0..n {
-                cand[u.index() * n + v] = q.label(u) == g.label(NodeId(v as u32));
+                label_ok[u.index() * n + v] = q.label(u) == g.label(NodeId(v as u32));
             }
         }
+        let cand = label_ok.clone();
         let mut cnt = vec![0u32; ne * n];
         for v in 0..n {
             for (e, &(_, uc)) in qedges.iter().enumerate() {
@@ -81,6 +98,7 @@ impl IncrementalSim {
             qedges,
             parent_edges,
             cand,
+            label_ok,
             cnt,
             last_update_ops: 0,
             total_update_ops: 0,
@@ -202,6 +220,127 @@ impl IncrementalSim {
         }
         self.last_update_ops = batch_ops;
         removed
+    }
+
+    /// Inserts edge `(u, v)` and incrementally repairs the relation.
+    /// Returns the pairs *resurrected* by this insertion (pairs that
+    /// were out of the relation before and are in it afterwards —
+    /// insertions are upward-monotone, so no pair is ever falsified).
+    ///
+    /// # Panics
+    /// Panics if the edge already exists (double insertion is a caller
+    /// bug).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Vec<(QNodeId, NodeId)> {
+        self.insert_edges(&[(u, v)])
+    }
+
+    /// Inserts a batch of edges and repairs the relation in one
+    /// bounded re-refinement, returning all resurrected pairs.
+    /// [`Self::last_update_ops`] afterwards covers the whole batch.
+    ///
+    /// The affected area is the backward closure (over predecessors,
+    /// in the post-insertion graph) of the inserted edges' source
+    /// nodes: candidacy of nodes outside it cannot change, and their
+    /// counters only reference successors that are also outside it.
+    /// Affected pairs are optimistically reset to label
+    /// compatibility, their counters rebuilt, and the standard
+    /// downward refinement re-run with non-affected candidacy frozen
+    /// as the boundary.
+    ///
+    /// # Panics
+    /// Panics if any edge already exists.
+    pub fn insert_edges(&mut self, ops: &[(NodeId, NodeId)]) -> Vec<(QNodeId, NodeId)> {
+        self.last_update_ops = 0;
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let n = self.n;
+        for &(u, v) in ops {
+            assert!(
+                !self.succ[u.index()].contains(&v),
+                "edge to insert must be absent"
+            );
+            self.succ[u.index()].push(v);
+            self.pred[v.index()].push(u);
+        }
+
+        // AFF: backward closure of the insertion sources. Pred-closed
+        // by construction, so every successor of a non-affected node
+        // is non-affected and the refinement below stays inside AFF.
+        let mut marked = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for &(u, _) in ops {
+            if !marked[u.index()] {
+                marked[u.index()] = true;
+                stack.push(u.index());
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for i in 0..self.pred[v].len() {
+                let p = self.pred[v][i].index();
+                self.last_update_ops += 1;
+                if !marked[p] {
+                    marked[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let aff: Vec<usize> = (0..n).filter(|&v| marked[v]).collect();
+
+        // Snapshot, then optimistically revive every label-compatible
+        // affected pair. (cand ⊆ label_ok always, so truth is kept.)
+        let orig = self.cand.clone();
+        for &v in &aff {
+            for u in 0..self.nq {
+                self.cand[u * n + v] = self.label_ok[u * n + v];
+            }
+        }
+        // Rebuild affected counters against the revived candidacy.
+        for &v in &aff {
+            for (e, &(_, uc)) in self.qedges.iter().enumerate() {
+                self.last_update_ops += 1;
+                self.cnt[e * n + v] = self.succ[v]
+                    .iter()
+                    .filter(|&&w| self.cand[uc.index() * n + w.index()])
+                    .count() as u32;
+            }
+        }
+        // Seed the worklist from affected pairs that already lack
+        // support, then run the usual cascade. It cannot escape AFF
+        // (predecessors of affected nodes are affected), and it cannot
+        // falsify a pair that was true before the batch (insertions
+        // only grow the relation).
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); self.nq];
+        for (e, &(s, _)) in self.qedges.iter().enumerate() {
+            out_edges[s.index()].push(e);
+        }
+        let mut worklist = Vec::new();
+        for &v in &aff {
+            for (u, u_edges) in out_edges.iter().enumerate() {
+                if self.cand[u * n + v] && u_edges.iter().any(|&e| self.cnt[e * n + v] == 0) {
+                    self.cand[u * n + v] = false;
+                    worklist.push((QNodeId(u as u16), v as u32));
+                }
+            }
+        }
+        let refuted = self.propagate(worklist);
+        debug_assert!(
+            refuted
+                .iter()
+                .all(|&(u, v)| !orig[u.index() * n + v.index()]),
+            "insertion refinement falsified a previously-true pair"
+        );
+
+        let mut resurrected = Vec::new();
+        for &v in &aff {
+            for u in 0..self.nq {
+                if self.cand[u * n + v] && !orig[u * n + v] {
+                    resurrected.push((QNodeId(u as u16), NodeId(v as u32)));
+                }
+            }
+        }
+        self.total_update_ops += self.last_update_ops;
+        resurrected
     }
 
     /// The current maximum simulation relation.
@@ -406,6 +545,156 @@ mod tests {
         removed_s.sort();
         removed_b.sort();
         assert_eq!(removed_b, removed_s);
+    }
+
+    /// Rebuilds the graph plus a set of inserted edges.
+    fn graph_with(g: &Graph, inserted: &[(NodeId, NodeId)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for v in g.nodes() {
+            b.add_node(g.label(v));
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        for &(u, v) in inserted {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Every edge absent from `g`, in a deterministic order.
+    fn absent_edges(g: &Graph) -> Vec<(NodeId, NodeId)> {
+        let present: std::collections::HashSet<(NodeId, NodeId)> = g.edges().collect();
+        let mut out = Vec::new();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if !present.contains(&(u, v)) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn insertion_stream_matches_recompute() {
+        for seed in 0..8 {
+            let g = random::uniform(40, 80, 4, seed + 200);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 201);
+            let mut inc = IncrementalSim::new(&q, &g);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut pool = absent_edges(&g);
+            let mut inserted = Vec::new();
+            for _ in 0..25.min(pool.len()) {
+                let i = rng.gen_range(0..pool.len());
+                let (u, v) = pool.swap_remove(i);
+                inc.insert_edge(u, v);
+                inserted.push((u, v));
+                let expect = hhk_simulation(&q, &graph_with(&g, &inserted)).relation;
+                assert_eq!(inc.relation(), expect, "seed {seed} after {inserted:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_stream_matches_recompute() {
+        for seed in 0..8 {
+            let g = random::uniform(40, 120, 4, seed + 300);
+            let q = patterns::random_cyclic(4, 7, 4, seed + 301);
+            let mut inc = IncrementalSim::new(&q, &g);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut present: Vec<(NodeId, NodeId)> = g.edges().collect();
+            let mut absent = absent_edges(&g);
+            for step in 0..30 {
+                if rng.gen_bool(0.5) && !absent.is_empty() {
+                    let i = rng.gen_range(0..absent.len());
+                    let (u, v) = absent.swap_remove(i);
+                    inc.insert_edge(u, v);
+                    present.push((u, v));
+                } else if !present.is_empty() {
+                    let i = rng.gen_range(0..present.len());
+                    let (u, v) = present.swap_remove(i);
+                    inc.delete_edge(u, v);
+                    absent.push((u, v));
+                }
+                let mut b = GraphBuilder::new();
+                for v in g.nodes() {
+                    b.add_node(g.label(v));
+                }
+                for &(u, v) in &present {
+                    b.add_edge(u, v);
+                }
+                let expect = hhk_simulation(&q, &b.build()).relation;
+                assert_eq!(inc.relation(), expect, "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mend_resurrects_everything() {
+        // The converse of `ring_break_cascades_through_aff`: breaking
+        // the adversarial ring kills every pair, and re-inserting the
+        // same edge must resurrect all of them. This is exactly the
+        // case a naive upward cascade gets wrong — the revived pairs
+        // support each other in a cycle, so only the optimistic
+        // re-refinement over AFF finds the fixpoint from above.
+        let n = 20;
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(n);
+        let mut inc = IncrementalSim::new(&q, &g);
+        let removed = inc.delete_edge(adversarial::b_node(n), adversarial::a_node(1));
+        assert_eq!(removed.len(), 2 * n);
+        assert!(inc.relation().is_empty());
+        let revived = inc.insert_edge(adversarial::b_node(n), adversarial::a_node(1));
+        assert_eq!(revived.len(), 2 * n);
+        assert!(inc.relation().is_total());
+        assert_eq!(inc.relation(), hhk_simulation(&q, &g).relation);
+    }
+
+    #[test]
+    fn batch_insertion_matches_streamed() {
+        let g = random::uniform(40, 80, 4, 920);
+        let q = patterns::random_cyclic(4, 6, 4, 921);
+        let edges: Vec<(NodeId, NodeId)> = absent_edges(&g).into_iter().take(8).collect();
+
+        let mut streamed = IncrementalSim::new(&q, &g);
+        let mut revived_s = Vec::new();
+        for &(u, v) in &edges {
+            revived_s.extend(streamed.insert_edge(u, v));
+        }
+
+        let mut batched = IncrementalSim::new(&q, &g);
+        let mut revived_b = batched.insert_edges(&edges);
+        assert_eq!(batched.relation(), streamed.relation());
+        // Streamed resurrection can transiently revive and re-kill
+        // nothing (monotone), so the sets agree exactly.
+        revived_s.sort();
+        revived_b.sort();
+        assert_eq!(revived_b, revived_s);
+        assert_eq!(
+            batched.relation(),
+            hhk_simulation(&q, &graph_with(&g, &edges)).relation
+        );
+    }
+
+    #[test]
+    fn insertion_charges_update_ops() {
+        let g = random::uniform(40, 80, 4, 930);
+        let q = patterns::random_cyclic(4, 6, 4, 931);
+        let mut inc = IncrementalSim::new(&q, &g);
+        let (u, v) = absent_edges(&g)[0];
+        inc.insert_edge(u, v);
+        assert!(inc.last_update_ops > 0);
+        assert_eq!(inc.total_update_ops, inc.last_update_ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge to insert must be absent")]
+    fn duplicate_insertion_panics() {
+        let q = adversarial::q0();
+        let g = adversarial::cycle_graph(3);
+        let mut inc = IncrementalSim::new(&q, &g);
+        inc.insert_edge(adversarial::a_node(1), adversarial::b_node(1));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]   (or --remote ADDR)
 //! dgsq stats    --graph FILE                                       (or --remote ADDR)
 //! dgsq session  --remote ADDR [--create NAME --graph FILE [--sites K] ...| --drop NAME]
+//! dgsq subscribe PATTERN --remote ADDR [--session NAME] [--count N] [--algorithm NAME]
 //! dgsq shutdown --remote ADDR
 //! dgsq worker   [--listen HOST:PORT]
 //! ```
@@ -51,6 +52,15 @@
 //! HOST:PORT,...` connects to already-running workers (`dgsd --worker`)
 //! instead. Message and visit metrics flow back over the wire into
 //! the same report shape as the in-process executors.
+//!
+//! **Live subscriptions** (wire v4): `dgsq subscribe PATTERN --remote
+//! ADDR` registers the pattern with the daemon and prints the initial
+//! match snapshot, then streams `MATCH_DIFF` pushes — the
+//! `(query node, data node)` pairs that entered or left the match set
+//! as other connections apply deltas — until `--count N` diffs have
+//! arrived (then it unsubscribes cleanly) or the server ends the
+//! stream with a typed event (overflow, session dropped, draining).
+//! The pattern file is positional, but `--pattern FILE` works too.
 //!
 //! `--updates OPS.txt` replays a dynamic-graph workload after the
 //! initial pass: the file holds `- u v` (delete edge) and `+ u v`
@@ -91,6 +101,7 @@ fn usage() -> ! {
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]  |  dgsq compress --remote ADDR\n  \
          dgsq stats --graph FILE  |  dgsq stats --remote ADDR\n  \
          dgsq session --remote ADDR [--create NAME --graph FILE [--sites K] [--partition P] ... | --drop NAME]\n  \
+         dgsq subscribe PATTERN --remote ADDR [--session NAME] [--count N] [--algorithm NAME]\n  \
          dgsq shutdown --remote ADDR\n  \
          dgsq worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
@@ -153,6 +164,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "compress",
             "compress-threshold",
         ],
+        "subscribe" => &["remote", "pattern", "session", "count", "algorithm"],
         "shutdown" => &["remote"],
         _ => &[],
     }
@@ -1109,6 +1121,90 @@ fn cmd_session(flags: &HashMap<String, String>) {
     }
 }
 
+/// `dgsq subscribe`: register a live match subscription (wire v4) and
+/// stream diffs to stdout as other connections mutate the graph. The
+/// local row mirror is kept current so the running pair count printed
+/// with each diff is truthful, not just a delta tally.
+fn cmd_subscribe(flags: &HashMap<String, String>) {
+    use dgs::serve::SubscriptionEvent;
+    if !flags.contains_key("remote") {
+        fail("--remote ADDR required (subscriptions live on a dgsd daemon)");
+    }
+    let path = get(flags, "pattern")
+        .unwrap_or_else(|| fail("PATTERN file required (positional or --pattern FILE)"));
+    let q = load_pattern(path);
+    let count: usize = num(flags, "count", 0);
+    let algo = wire_algorithm(flags);
+    let mut client = connect_routed(flags);
+    let (sub_id, generation, mut rows) = client
+        .subscribe(&q, algo)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let pairs: usize = rows.iter().map(Vec::len).sum();
+    println!("subscription #{sub_id} at generation {generation}: snapshot has {pairs} (query node, data node) pairs");
+    for (u, col) in rows.iter().enumerate() {
+        let shown: Vec<String> = col.iter().take(20).map(u32::to_string).collect();
+        let ellipsis = if col.len() > 20 { ", ..." } else { "" };
+        println!(
+            "  u{u}: {} matches [{}{}]",
+            col.len(),
+            shown.join(", "),
+            ellipsis
+        );
+    }
+    let mut diffs = 0usize;
+    loop {
+        match client.next_event() {
+            Ok(SubscriptionEvent::Diff(diff)) => {
+                if diff.sub_id != sub_id {
+                    continue;
+                }
+                for &(var, node) in &diff.removed {
+                    let col = &mut rows[var as usize];
+                    if let Ok(i) = col.binary_search(&node) {
+                        col.remove(i);
+                    }
+                }
+                for &(var, node) in &diff.added {
+                    let col = &mut rows[var as usize];
+                    if let Err(i) = col.binary_search(&node) {
+                        col.insert(i, node);
+                    }
+                }
+                let pairs: usize = rows.iter().map(Vec::len).sum();
+                println!(
+                    "diff @ generation {}: +{} -{} (match set now {pairs} pairs)",
+                    diff.generation,
+                    diff.added.len(),
+                    diff.removed.len()
+                );
+                let detail = |sign: char, changes: &[(u16, u32)]| {
+                    for &(var, node) in changes.iter().take(10) {
+                        println!("  {sign} (u{var}, {node})");
+                    }
+                    if changes.len() > 10 {
+                        println!("  {sign} ... {} more", changes.len() - 10);
+                    }
+                };
+                detail('+', &diff.added);
+                detail('-', &diff.removed);
+                diffs += 1;
+                if count != 0 && diffs >= count {
+                    client
+                        .unsubscribe(sub_id)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    println!("unsubscribed after {diffs} diff(s)");
+                    return;
+                }
+            }
+            Ok(SubscriptionEvent::Event { kind, .. }) => {
+                println!("subscription ended by the server: {kind:?}");
+                return;
+            }
+            Err(e) => fail(&e.to_string()),
+        }
+    }
+}
+
 fn cmd_shutdown(flags: &HashMap<String, String>) {
     if !flags.contains_key("remote") {
         fail("--remote ADDR required");
@@ -1142,11 +1238,32 @@ fn main() {
     // message with an empty allowlist.
     if !matches!(
         cmd.as_str(),
-        "generate" | "query" | "convert" | "compress" | "stats" | "session" | "shutdown" | "worker"
+        "generate"
+            | "query"
+            | "convert"
+            | "compress"
+            | "stats"
+            | "session"
+            | "subscribe"
+            | "shutdown"
+            | "worker"
     ) {
         fail(&format!("unknown command '{cmd}'"));
     }
-    let flags = parse_flags(rest);
+    // `subscribe` takes its pattern file positionally (`dgsq subscribe
+    // q.pat --remote ...`); fold it into the flag map before the
+    // allowlist check so both spellings validate identically.
+    let mut rest: Vec<String> = rest.to_vec();
+    if cmd == "subscribe" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                let positional = rest.remove(0);
+                rest.insert(0, "--pattern".to_owned());
+                rest.insert(1, positional);
+            }
+        }
+    }
+    let flags = parse_flags(&rest);
     validate_flags(cmd, &flags);
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -1155,6 +1272,7 @@ fn main() {
         "compress" => cmd_compress(&flags),
         "stats" => cmd_stats(&flags),
         "session" => cmd_session(&flags),
+        "subscribe" => cmd_subscribe(&flags),
         "shutdown" => cmd_shutdown(&flags),
         "worker" => cmd_worker(&flags),
         _ => unreachable!("command validated above"),

@@ -56,6 +56,42 @@ fn op_stream(g: &Graph, nops: usize, deletions_only: bool, seed: u64) -> GraphDe
     delta
 }
 
+/// Insertion-only op stream: absent edges picked uniformly, disjoint
+/// from the original edge set and from each other.
+fn insert_stream(g: &Graph, nops: usize, seed: u64) -> GraphDelta {
+    let n = g.node_count() as u64;
+    let mut touched: std::collections::HashSet<(NodeId, NodeId)> = g.edges().collect();
+    let mut delta = GraphDelta::default();
+    let mut s = seed;
+    for _ in 0..nops * 20 {
+        if delta.insert_edges.len() >= nops {
+            break;
+        }
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = NodeId(((s >> 20) % n) as u32);
+        let v = NodeId(((s >> 40) % n) as u32);
+        if touched.insert((u, v)) {
+            delta.insert_edges.push((u, v));
+        }
+    }
+    delta
+}
+
+/// The wire-row view of a relation (sorted node list per query node).
+fn relation_rows(relation: &MatchRelation) -> Vec<Vec<u32>> {
+    (0..relation.query_nodes())
+        .map(|u| {
+            relation
+                .matches_of(QNodeId(u as u16))
+                .iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect()
+}
+
 /// Asserts that the delta-applied engine answers `q` exactly like a
 /// fresh engine over the mutated graph, for every given algorithm.
 fn assert_delta_equals_scratch(
@@ -163,6 +199,180 @@ proptest! {
         );
         // The cyclic pattern exercises the trivial-∅ flip.
         assert_delta_equals_scratch(&engine, &g2, &assign, k, &qc, &[Algorithm::Auto]);
+    }
+
+    /// Insertion-only streams on cyclic workloads: the resurrection
+    /// side of maintenance alone must agree with a scratch rebuild.
+    #[test]
+    fn delta_equals_scratch_insertions_only_cyclic(
+        n in 20usize..70,
+        em in 2usize..5,
+        k in 2usize..5,
+        nops in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x61);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = insert_stream(&g, nops, seed ^ 0x1A5);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &q,
+            &[Algorithm::Auto, Algorithm::Dgpms, Algorithm::dgpm()],
+        );
+    }
+
+    /// Insertion-only streams on tree workloads: random insertions
+    /// usually break the rooted tree, so dGPMt's precondition must
+    /// fail identically on the delta-applied and scratch engines.
+    #[test]
+    fn delta_equals_scratch_insertions_only_tree(
+        n in 20usize..90,
+        k in 2usize..5,
+        nops in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let g = tree::random_tree(n, 4, seed);
+        let q = patterns::random_dag_with_depth(3, 4, 2, 4, seed ^ 0x63);
+        let assign = tree_partition(&g, k);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = insert_stream(&g, nops, seed ^ 0x1A7);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &q,
+            &[Algorithm::Auto, Algorithm::Dgpmt, Algorithm::Dgpmd],
+        );
+    }
+
+    /// Insertion-only streams on DAG workloads, where an insertion can
+    /// close a cycle and flip the planner's short-circuit.
+    #[test]
+    fn delta_equals_scratch_insertions_only_dag(
+        n in 20usize..80,
+        k in 2usize..5,
+        nops in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = dag::citation_like(n, 3 * n, 4, seed);
+        let qd = patterns::random_dag_with_depth(3, 5, 2, 4, seed ^ 0x65);
+        let qc = patterns::random_cyclic(3, 5, 4, seed ^ 0x66);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
+        let delta = insert_stream(&g, nops, seed ^ 0x1A9);
+        engine.apply_delta(&delta).unwrap();
+        let g2 = mutated(&g, &delta);
+        assert_delta_equals_scratch(
+            &engine, &g2, &assign, k, &qd,
+            &[Algorithm::Auto, Algorithm::Dgpmd],
+        );
+        assert_delta_equals_scratch(&engine, &g2, &assign, k, &qc, &[Algorithm::Auto]);
+    }
+
+    /// With the cache on, an insertion-only stream keeps every
+    /// maintained entry exact: zero invalidations, and the warm
+    /// re-query is a pure cache hit with no protocol messages.
+    #[test]
+    fn maintained_entries_stay_exact_across_insertion_batches(
+        n in 30usize..70,
+        em in 2usize..5,
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x9A);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).build();
+        engine.query(&q).unwrap();
+
+        let mut current = g.clone();
+        let mut absorbed = 0u64;
+        for batch in 0..3u64 {
+            let delta = insert_stream(&current, 6, seed ^ (0xC00 + batch));
+            if delta.insert_edges.is_empty() {
+                break;
+            }
+            absorbed += delta.insert_edges.len() as u64;
+            let report = engine.apply_delta(&delta).unwrap();
+            prop_assert_eq!(report.maintained_entries, 1);
+            prop_assert_eq!(report.invalidated_entries, 0, "insertions never invalidate");
+            current = mutated(&current, &delta);
+
+            let warm = engine.query(&q).unwrap();
+            prop_assert_eq!(warm.metrics.cache_hits, 1);
+            prop_assert_eq!(warm.metrics.data_messages, 0);
+            prop_assert_eq!(warm.metrics.control_messages, 0);
+            let note = warm.plan.incremental.expect("incremental leg");
+            prop_assert_eq!(note.insertions_absorbed, absorbed);
+            prop_assert_eq!(note.maintenance_runs, batch + 1);
+            prop_assert_eq!(&warm.relation, &hhk_simulation(&q, &current).relation);
+        }
+    }
+
+    /// The subscription invariant, checked at the engine layer: a warm
+    /// snapshot plus the per-batch `maintained_diffs` (translated
+    /// through the canonical node mapping) reproduces the oracle
+    /// relation at *every* generation of a mixed delta stream, and the
+    /// reports chain on `prev_generation → generation` edges.
+    #[test]
+    fn maintained_diffs_reconstruct_every_generation(
+        n in 30usize..70,
+        em in 2usize..5,
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = random::uniform(n, n * em, 4, seed);
+        let q = patterns::random_cyclic(3, 6, 4, seed ^ 0x4D);
+        let assign = hash_partition(n, k, seed);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).build();
+        let first = engine.query(&q).unwrap();
+        let mut rows = relation_rows(&first.relation);
+        let (canon_key, pos_of) = SimEngine::pattern_canon(&q);
+        let mut node_at = vec![0usize; pos_of.len()];
+        for (u, &p) in pos_of.iter().enumerate() {
+            node_at[p as usize] = u;
+        }
+
+        let mut cursor = engine.generation();
+        let mut current = g.clone();
+        for batch in 0..3u64 {
+            let delta = op_stream(&current, 8, false, seed ^ (0xD1F + batch));
+            if delta.is_empty() {
+                break;
+            }
+            let report = engine.apply_delta(&delta).unwrap();
+            prop_assert_eq!(report.prev_generation, cursor, "reports chain prev → gen");
+            prop_assert!(report.generation > report.prev_generation);
+            cursor = report.generation;
+            current = mutated(&current, &delta);
+
+            let diff = report
+                .maintained_diffs
+                .iter()
+                .find(|d| d.canon_key == canon_key)
+                .expect("the maintained entry ships its diff in the report");
+            for var in &diff.revoked {
+                let row = &mut rows[node_at[var.q as usize]];
+                if let Ok(i) = row.binary_search(&var.node) {
+                    row.remove(i);
+                }
+            }
+            for var in &diff.resurrected {
+                let row = &mut rows[node_at[var.q as usize]];
+                if let Err(i) = row.binary_search(&var.node) {
+                    row.insert(i, var.node);
+                }
+            }
+            let want = relation_rows(&hhk_simulation(&q, &current).relation);
+            prop_assert_eq!(&rows, &want, "replayed diffs diverge at batch {}", batch);
+        }
     }
 
     /// With the cache on, a delete-only stream keeps serving from the

@@ -13,9 +13,9 @@ use dgs::serve::wire::{
     encode_frame_into, put_varint, read_frame, split_request_id, write_frame, FrameReader,
 };
 use dgs::serve::{
-    run_conn_sweep, Answer, Conn, ConnSweepConfig, DgsClient, ErrorCode, Request, Response,
-    ServeError, Server, ServerConfig, SessionInfo, SessionOptions, WireAlgorithm, WireMetrics,
-    WirePartitioner, WIRE_MAGIC,
+    run_conn_sweep, Answer, Conn, ConnSweepConfig, DgsClient, ErrorCode, MatchDiff, Request,
+    Response, ServeError, Server, ServerConfig, SessionInfo, SessionOptions, SubEventKind,
+    SubscriptionEvent, WireAlgorithm, WireMetrics, WirePartitioner, WIRE_MAGIC,
 };
 use proptest::prelude::*;
 use std::io::Write;
@@ -154,6 +154,11 @@ fn all_requests() -> Vec<Request> {
         Request::SessionRoute {
             sessions: vec!["shard-a".into(), "shard-b".into()],
         },
+        Request::Subscribe {
+            pattern: mixed_pattern(2, 3),
+            algorithm: WireAlgorithm::Auto,
+        },
+        Request::Unsubscribe { sub_id: 42 },
     ]
 }
 
@@ -193,6 +198,7 @@ fn all_responses() -> Vec<Response> {
             invalidated_entries: 9,
             revoked_pairs: 10,
             generation: 11,
+            resurrected_pairs: 12,
         }),
         Response::CacheStats(None),
         Response::CacheStats(Some(dgs::serve::WireCacheStats {
@@ -245,6 +251,22 @@ fn all_responses() -> Vec<Response> {
         ]),
         Response::SessionDropped,
         Response::SessionRouted { sessions: 2 },
+        Response::Subscribed {
+            sub_id: 5,
+            generation: 17,
+            rows: vec![vec![1, 2, 3], vec![], vec![9]],
+        },
+        Response::Unsubscribed,
+        Response::MatchDiff(MatchDiff {
+            sub_id: 5,
+            generation: 18,
+            added: vec![(0, 4), (2, 11)],
+            removed: vec![(1, 7)],
+        }),
+        Response::SubEvent {
+            sub_id: 5,
+            kind: SubEventKind::SessionDropped,
+        },
     ]
 }
 
@@ -287,10 +309,30 @@ fn every_truncated_frame_is_a_typed_error() {
     for resp in all_responses() {
         let (ty, payload) = resp.encode();
         for len in 0..payload.len() {
-            assert!(
-                Response::decode(ty, &payload[..len]).is_err(),
-                "response frame {ty:#04x} decoded from a strict prefix of {len} bytes"
-            );
+            match Response::decode(ty, &payload[..len]) {
+                Err(_) => {}
+                // One deliberate exception: DELTA_APPLIED's trailing
+                // `resurrected_pairs` is a v4 extension a v3 decoder
+                // never sees, so the exact v3-length prefix decodes —
+                // to the same summary with the extension zeroed, never
+                // to garbage.
+                Ok(Response::DeltaApplied(got)) if ty == frame::DELTA_APPLIED => {
+                    let Response::DeltaApplied(want) = &resp else {
+                        unreachable!()
+                    };
+                    assert_eq!(
+                        got,
+                        dgs::serve::DeltaSummary {
+                            resurrected_pairs: 0,
+                            ..want.clone()
+                        },
+                        "the only decodable prefix is the v3 payload"
+                    );
+                }
+                Ok(_) => {
+                    panic!("response frame {ty:#04x} decoded from a strict prefix of {len} bytes")
+                }
+            }
         }
     }
 }
@@ -523,14 +565,14 @@ fn handshake_negotiates_down_and_rejects_garbage() {
     let handle = spawn_server(&g, 2, 5, ServerConfig::default());
     let addr = handle.addr().clone();
 
-    // A future client offering v9 gets our v3 back.
+    // A future client offering v9 gets our v4 back.
     let mut conn = Conn::connect(&addr).unwrap();
     let mut hello = WIRE_MAGIC.to_vec();
     hello.push(9);
     write_frame(&mut conn, frame::HELLO, &hello).unwrap();
     let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
     assert_eq!(ty, frame::WELCOME);
-    assert_eq!(payload, [b'D', b'G', b'S', b'W', 3]);
+    assert_eq!(payload, [b'D', b'G', b'S', b'W', 4]);
 
     // At v3 every request carries a varint id the response echoes. A
     // malformed request frame gets a typed error and the connection
@@ -1393,5 +1435,355 @@ fn pipelined_connection_triples_blocking_throughput() {
         "pipelining must amortize round trips: blocking {blocking:.0} req/s, \
          pipelined {pipelined:.0} req/s ({best:.1}x)"
     );
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- live subscriptions (wire v4) -------------------------------------
+
+/// Replays one pushed diff onto a row table — the client-side
+/// contract: snapshot + streamed diffs == the server's rows at the
+/// diff's generation.
+fn apply_diff(rows: &mut [Vec<u32>], diff: &MatchDiff) {
+    for &(u, v) in &diff.removed {
+        let row = &mut rows[u as usize];
+        if let Ok(i) = row.binary_search(&v) {
+            row.remove(i);
+        }
+    }
+    for &(u, v) in &diff.added {
+        let row = &mut rows[u as usize];
+        if let Err(i) = row.binary_search(&v) {
+            row.insert(i, v);
+        }
+    }
+}
+
+/// The tentpole end-to-end property: a subscriber's snapshot plus its
+/// streamed diffs reproduces the engine's exact match rows at every
+/// delta batch — deletions, re-insertions and mixed batches alike —
+/// while the same connection keeps issuing pipelined requests whose
+/// responses interleave with the id-0 pushes.
+#[test]
+fn live_subscription_streams_exact_diffs_under_churn() {
+    let g = random::uniform(60, 220, 3, 41);
+    let handle = spawn_server(&g, 3, 41, ServerConfig::default());
+    let oracle = handle.engine();
+    let mut subscriber = DgsClient::connect(handle.addr()).expect("connect");
+    let mut writer = DgsClient::connect(handle.addr()).expect("connect");
+
+    let q = mixed_pattern(2, 3);
+    let (sub_id, mut last_gen, mut rows) = subscriber
+        .subscribe(&q, WireAlgorithm::Auto)
+        .expect("subscribe");
+    assert_eq!(
+        rows,
+        rows_of(&oracle.query(&q).expect("oracle").relation),
+        "the snapshot is the engine's current rows"
+    );
+    assert!(
+        rows.iter().any(|r| !r.is_empty()),
+        "the pattern must match for churn to exercise diffs"
+    );
+    assert_eq!(handle.live_subscriptions(), 1);
+
+    // Slices 0/1/2 are deleted, then 0/1 re-inserted, then a mixed
+    // batch re-inserts slice 2 while deleting slice 0 again.
+    let edges: Vec<_> = g.edges().collect();
+    let slice = |i: usize| edges[i * 25..(i + 1) * 25].to_vec();
+    let batches = [
+        GraphDelta::deletions(slice(0)),
+        GraphDelta::deletions(slice(1)),
+        GraphDelta::deletions(slice(2)),
+        GraphDelta::insertions(slice(0)),
+        GraphDelta::insertions(slice(1)),
+        GraphDelta {
+            insert_edges: slice(2),
+            delete_edges: slice(0),
+        },
+    ];
+    let mut saw_diff = false;
+    for (step, delta) in batches.iter().enumerate() {
+        let summary = writer.apply_delta(delta).expect("delta");
+        // A pipelined request on the subscribing connection: its
+        // response must interleave cleanly with any pushes.
+        let answer = subscriber.query(&q, WireAlgorithm::Auto).expect("query");
+        let expected = rows_of(&oracle.query(&q).expect("oracle").relation);
+        assert_eq!(answer.rows, expected, "step {step}");
+        while rows != expected {
+            match subscriber.next_event().expect("push") {
+                SubscriptionEvent::Diff(d) => {
+                    assert_eq!(d.sub_id, sub_id, "step {step}");
+                    assert!(
+                        d.generation > last_gen,
+                        "step {step}: generations strictly increase"
+                    );
+                    assert!(d.generation <= summary.generation, "step {step}");
+                    last_gen = d.generation;
+                    saw_diff = true;
+                    apply_diff(&mut rows, &d);
+                }
+                other => panic!("step {step}: unexpected push {other:?}"),
+            }
+        }
+    }
+    assert!(saw_diff, "the churn produced at least one pushed diff");
+
+    // UNSUBSCRIBE stops the stream: a later delta pushes nothing.
+    subscriber.unsubscribe(sub_id).expect("unsubscribe");
+    assert_eq!(handle.live_subscriptions(), 0);
+    writer
+        .apply_delta(&GraphDelta::deletions(slice(1)))
+        .expect("post-unsubscribe delta");
+    subscriber.ping().expect("ping");
+    assert_eq!(
+        subscriber.poll_event(),
+        None,
+        "no pushes after UNSUBSCRIBE was acknowledged"
+    );
+
+    // Unknown ids are typed.
+    match subscriber.unsubscribe(777) {
+        Err(ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NoSuchSubscription)
+        }
+        other => panic!("expected NoSuchSubscription, got {other:?}"),
+    }
+
+    drop((subscriber, writer));
+    handle.shutdown().expect("shutdown");
+}
+
+/// Satellite: a live `Route::Many` that names a dropped session is
+/// *stale*, not broken — the next request gets a typed
+/// `NoSuchSession` (raw frames, so the regression pins the wire
+/// behaviour), and the dropped session's subscriptions end with a
+/// typed `SessionDropped` event.
+#[test]
+fn dropping_a_routed_session_is_typed_stale_and_terminates_its_subscriptions() {
+    let g = random::uniform(40, 120, 3, 51);
+    let handle = spawn_server(&g, 2, 51, ServerConfig::default());
+    let opts = SessionOptions {
+        sites: 2,
+        seed: 51,
+        ..SessionOptions::default()
+    };
+    let mut admin = DgsClient::connect(handle.addr()).expect("connect");
+    admin.session_create("a", &g, &opts).expect("session a");
+    admin.session_create("b", &g, &opts).expect("session b");
+
+    // Raw v4 client routed across ["default", "a"].
+    let mut conn = Conn::connect(handle.addr()).unwrap();
+    let mut hello = WIRE_MAGIC.to_vec();
+    hello.push(4);
+    write_frame(&mut conn, frame::HELLO, &hello).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(ty, frame::WELCOME);
+    assert_eq!(payload[4], 4);
+    let send = |conn: &mut Conn, id: u8, req: &Request| {
+        let (ty, body) = req.encode();
+        let mut p = vec![id];
+        p.extend_from_slice(&body);
+        write_frame(conn, ty, &p).unwrap();
+        let (ty, payload) = read_frame(conn).unwrap().unwrap();
+        let (got, rest) = split_request_id(&payload).unwrap();
+        assert_eq!(got, u64::from(id));
+        Response::decode(ty, rest).unwrap()
+    };
+    let routed = send(
+        &mut conn,
+        1,
+        &Request::SessionRoute {
+            sessions: vec!["default".into(), "a".into()],
+        },
+    );
+    assert_eq!(routed, Response::SessionRouted { sessions: 2 });
+
+    admin.session_drop("a").expect("drop a");
+
+    // The stale route answers typed on the very next request.
+    let stale = send(
+        &mut conn,
+        2,
+        &Request::Query {
+            pattern: mixed_pattern(0, 3),
+            algorithm: WireAlgorithm::Auto,
+            boolean: false,
+        },
+    );
+    match stale {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSuchSession),
+        other => panic!("expected NoSuchSession on the stale route, got {other:?}"),
+    }
+
+    // SUBSCRIBE needs a single-session route; fan-out is refused typed.
+    let mut wide = DgsClient::connect(handle.addr()).expect("connect");
+    wide.session_route(&["default", "b"]).expect("route");
+    match wide.subscribe(&mixed_pattern(1, 3), WireAlgorithm::Auto) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Unsupported),
+        other => panic!("expected Unsupported on a fan-out SUBSCRIBE, got {other:?}"),
+    }
+
+    // A subscription on "b" dies with a typed event when "b" drops,
+    // and the subscriber's stale single route answers typed too.
+    let mut sub = DgsClient::connect(handle.addr()).expect("connect");
+    sub.session_route(&["b"]).expect("route b");
+    let q = mixed_pattern(2, 3);
+    let (sub_id, _, _) = sub.subscribe(&q, WireAlgorithm::Auto).expect("subscribe");
+    assert_eq!(handle.live_subscriptions(), 1);
+    admin.session_drop("b").expect("drop b");
+    assert_eq!(handle.live_subscriptions(), 0);
+    match sub.next_event().expect("terminal event") {
+        SubscriptionEvent::Event { sub_id: id, kind } => {
+            assert_eq!(id, sub_id);
+            assert_eq!(kind, SubEventKind::SessionDropped);
+        }
+        other => panic!("expected SessionDropped, got {other:?}"),
+    }
+    match sub.query(&q, WireAlgorithm::Auto) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::NoSuchSession),
+        other => panic!("stale single route must answer typed, got {other:?}"),
+    }
+
+    drop((admin, conn, wide, sub));
+    handle.shutdown().expect("shutdown");
+}
+
+/// SUBSCRIBE on a connection that negotiated below v4 is refused with
+/// a typed error and the connection keeps serving.
+#[test]
+fn subscribe_below_v4_is_refused_typed() {
+    let g = random::uniform(30, 80, 3, 61);
+    let handle = spawn_server(&g, 2, 61, ServerConfig::default());
+    let mut conn = Conn::connect(handle.addr()).unwrap();
+    let mut hello = WIRE_MAGIC.to_vec();
+    hello.push(3);
+    write_frame(&mut conn, frame::HELLO, &hello).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(ty, frame::WELCOME);
+    assert_eq!(payload[4], 3, "the server accepted v3");
+
+    let (ty, body) = Request::Subscribe {
+        pattern: mixed_pattern(0, 3),
+        algorithm: WireAlgorithm::Auto,
+    }
+    .encode();
+    let mut p = vec![9u8];
+    p.extend_from_slice(&body);
+    write_frame(&mut conn, ty, &p).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    let (id, rest) = split_request_id(&payload).unwrap();
+    assert_eq!(id, 9);
+    match Response::decode(ty, rest).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Unsupported);
+            assert!(
+                message.contains("v4"),
+                "the refusal names the version: {message}"
+            );
+        }
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+
+    // The connection survives the refusal.
+    let (ty, body) = Request::Ping.encode();
+    let mut p = vec![10u8];
+    p.extend_from_slice(&body);
+    write_frame(&mut conn, ty, &p).unwrap();
+    let (ty, payload) = read_frame(&mut conn).unwrap().unwrap();
+    let (id, rest) = split_request_id(&payload).unwrap();
+    assert_eq!(id, 10);
+    assert_eq!(Response::decode(ty, rest).unwrap(), Response::Pong);
+
+    drop(conn);
+    handle.shutdown().expect("shutdown");
+}
+
+/// Drain-on-shutdown ends every live subscription with a typed
+/// `Draining` event *before* the connection-level shutdown notice.
+#[test]
+fn shutdown_drain_terminates_subscriptions_with_draining_event() {
+    let g = random::uniform(40, 120, 3, 71);
+    let handle = spawn_server(&g, 2, 71, ServerConfig::default());
+    let mut sub = DgsClient::connect(handle.addr()).expect("connect");
+    let q = mixed_pattern(1, 3);
+    let (sub_id, _, _) = sub.subscribe(&q, WireAlgorithm::Auto).expect("subscribe");
+    assert_eq!(handle.live_subscriptions(), 1);
+
+    std::thread::scope(|s| {
+        let reader = s.spawn(move || {
+            match sub.next_event().expect("draining event") {
+                SubscriptionEvent::Event { sub_id: id, kind } => {
+                    assert_eq!(id, sub_id);
+                    assert_eq!(kind, SubEventKind::Draining);
+                }
+                other => panic!("expected Draining first, got {other:?}"),
+            }
+            match sub.next_event() {
+                Err(ServeError::Remote { code, .. }) => {
+                    assert_eq!(code, ErrorCode::ShuttingDown)
+                }
+                other => panic!("expected the shutdown notice next, got {other:?}"),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        handle.shutdown().expect("shutdown");
+        reader.join().expect("subscriber thread");
+    });
+}
+
+/// The `dgsload --subscribe` machinery end to end: sessions created,
+/// a subscriber fleet on open streams, one session stormed. The run
+/// is self-verifying (each subscriber replays its diffs and compares
+/// against a final re-query), so a clean report — zero errors, every
+/// diff latency-joined to a writer batch — is the assertion.
+#[test]
+fn the_subscribe_load_run_is_clean_and_self_verifying() {
+    let g = random::uniform(60, 180, 4, 81);
+    let handle = spawn_server(&g, 2, 81, ServerConfig::default());
+    let cfg = dgs::serve::SubscribeConfig {
+        addr: handle.addr().clone(),
+        sessions: 2,
+        subscribers: 2,
+        nodes: 150,
+        batches: 12,
+        ops_per_batch: 10,
+        seed: 9,
+    };
+    let report = dgs::serve::run_subscribe(&cfg).expect("subscribe run");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.batches, 12);
+    // Only the stormed session's two subscribers may receive pushes
+    // (at most one per batch each), and every push was joined against
+    // the writer's send log.
+    assert!(report.diffs <= 24, "{report:?}");
+    assert_eq!(report.histogram.count(), report.diffs);
+
+    // The artifact the CI gate commits and compares.
+    let snap = dgs::net::SubscribeSnapshot::of_run(
+        &report.histogram,
+        report.diffs,
+        report.batches,
+        report.errors,
+    );
+    let parsed = dgs::net::SubscribeSnapshot::parse_json(&snap.to_json()).expect("parses");
+    assert_eq!(parsed.diffs, snap.diffs);
+    assert_eq!(parsed.batches, snap.batches);
+    assert_eq!(parsed.errors, 0);
+    assert!((parsed.diff_p99_us - snap.diff_p99_us).abs() < 0.1);
+    assert!(snap.regressions(&parsed, 0.25, 500.0).is_empty());
+
+    // The generator dropped its own sessions on the way out.
+    let mut admin = DgsClient::connect(handle.addr()).expect("connect");
+    let names: Vec<String> = admin
+        .session_list()
+        .expect("list")
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    assert!(
+        !names.iter().any(|n| n.starts_with("churn-")),
+        "leftover sessions: {names:?}"
+    );
+    drop(admin);
     handle.shutdown().expect("shutdown");
 }
