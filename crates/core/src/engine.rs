@@ -430,6 +430,7 @@ impl SimEngineBuilder<'_> {
             gen_alloc: Arc::new(AtomicU64::new(1)),
             cluster,
             cluster_gen: Arc::new(AtomicU64::new(0)),
+            stats: Arc::new(EngineStats::default()),
         }
     }
 }
@@ -667,6 +668,48 @@ impl Resolved {
 /// Sessions are **mutable**: [`SimEngine::apply_delta`] absorbs a
 /// batch of edge updates in place. Deletions drive distributed
 /// incremental maintenance of the cached answers; insertions
+/// Cumulative serving counters of one engine, shared by clones (one
+/// cell per hosted session no matter how many handles serve it). The
+/// serving layer scrapes these into its per-session metrics; the
+/// engine itself only ever increments.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    deltas: AtomicU64,
+}
+
+impl EngineStats {
+    /// Queries answered (Boolean and batched queries included; a batch
+    /// of `n` patterns counts `n`).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered from the pattern-result cache without a
+    /// protocol run.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Delta batches applied (validation failures excluded).
+    pub fn deltas(&self) -> u64 {
+        self.deltas.load(Ordering::Relaxed)
+    }
+
+    fn add_queries(&self, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_deltas(&self, n: u64) {
+        self.deltas.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// conservatively invalidate them and the next query re-plans. Every
 /// delta moves the session to a fresh graph **generation**; cache
 /// entries are keyed under the generation they were computed at, so a
@@ -704,6 +747,8 @@ pub struct SimEngine {
     /// re-shipped) falls back to the in-process virtual executor
     /// instead of computing on the wrong worker graph.
     cluster_gen: Arc<AtomicU64>,
+    /// Cumulative serving counters, shared by clones.
+    stats: Arc<EngineStats>,
 }
 
 impl Clone for SimEngine {
@@ -725,6 +770,7 @@ impl Clone for SimEngine {
             gen_alloc: Arc::clone(&self.gen_alloc),
             cluster: self.cluster.clone(),
             cluster_gen: Arc::clone(&self.cluster_gen),
+            stats: Arc::clone(&self.stats),
         }
     }
 }
@@ -784,6 +830,12 @@ impl SimEngine {
     /// [`Self::apply_delta`] and [`Self::cache_invalidate_all`].
     pub fn generation(&self) -> u64 {
         self.snapshot().generation
+    }
+
+    /// Cumulative serving counters, shared with every clone of this
+    /// handle.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     /// The canonical cache key of `q` plus the canonical position of
@@ -873,9 +925,11 @@ impl SimEngine {
     /// requests always run — callers asking for a specific engine are
     /// measuring it.
     pub fn query_with(&self, algorithm: &Algorithm, q: &Pattern) -> Result<RunReport, DgsError> {
+        self.stats.add_queries(1);
         let snap = self.snapshot();
         let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
         if let (Some(canon), Some(cached)) = (&canon, hit) {
+            self.stats.add_cache_hits(1);
             return Ok(Self::report_from_cache(q, canon, &cached));
         }
         let mut report = self.run_one(&snap, algorithm, q)?;
@@ -907,9 +961,11 @@ impl SimEngine {
         algorithm: &Algorithm,
         q: &Pattern,
     ) -> Result<BooleanReport, DgsError> {
+        self.stats.add_queries(1);
         let snap = self.snapshot();
         let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
         if let (Some(canon), Some(cached)) = (&canon, hit) {
+            self.stats.add_cache_hits(1);
             let report = Self::report_from_cache(q, canon, &cached);
             return Ok(BooleanReport {
                 is_match: report.is_match,
@@ -985,6 +1041,7 @@ impl SimEngine {
     /// Batched run with an explicit engine; see [`Self::query_batch`].
     pub fn query_batch_with(&self, algorithm: &Algorithm, patterns: &[Pattern]) -> BatchReport {
         let n = patterns.len();
+        self.stats.add_queries(n as u64);
         let mut slots: Vec<Option<Result<RunReport, DgsError>>> = (0..n).map(|_| None).collect();
 
         // The whole batch runs against one generation snapshot: a
@@ -1001,6 +1058,7 @@ impl SimEngine {
         for (i, q) in patterns.iter().enumerate() {
             let (canon, hit) = self.cache_lookup(&snap, algorithm, q);
             if let (Some(canon), Some(cached)) = (&canon, hit) {
+                self.stats.add_cache_hits(1);
                 slots[i] = Some(Ok(Self::report_from_cache(q, canon, &cached)));
             }
             canons.push(canon);
@@ -1197,6 +1255,7 @@ impl SimEngine {
             // Everything was already satisfied: the graph is unchanged,
             // so the generation — and every cached answer — stays
             // valid.
+            self.stats.add_deltas(1);
             return Ok(report);
         }
         let old_prefix = snap.gen_key(&[]);
@@ -1369,6 +1428,7 @@ impl SimEngine {
         // Publish: a single pointer swap makes the next generation the
         // one every subsequent query loads.
         *self.snap.lock() = next;
+        self.stats.add_deltas(1);
         Ok(report)
     }
 

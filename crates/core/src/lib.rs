@@ -86,7 +86,7 @@ pub use api::DistributedSim;
 pub use cache::CacheStats;
 pub use delta::{DeltaReport, GraphDelta, UpdateMsg};
 pub use engine::{
-    Algorithm, BatchReport, BooleanReport, CompressionMethod, RunReport, SimEngine,
+    Algorithm, BatchReport, BooleanReport, CompressionMethod, EngineStats, RunReport, SimEngine,
     SimEngineBuilder,
 };
 pub use error::DgsError;

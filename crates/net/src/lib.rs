@@ -42,6 +42,7 @@ pub mod cost;
 pub mod fault;
 pub mod message;
 pub mod metrics;
+pub mod obs;
 pub mod site;
 pub mod socket;
 pub mod virtual_time;
@@ -55,6 +56,10 @@ pub use metrics::{
     ConnSweepSnapshot, ConnSweepStep, LatencyHistogram, RunMetrics, ServingSnapshot,
     SiteDeltaMetrics, SubscribeSnapshot, CONN_SWEEP_SNAPSHOT_VERSION, SERVING_SNAPSHOT_VERSION,
     SUBSCRIBE_SNAPSHOT_VERSION,
+};
+pub use obs::{
+    Counter, Gauge, Histo, HistogramSummary, LogLevel, Logger, MetricsRegistry, MetricsSnapshot,
+    ObsSnapshot, METRICS_SNAPSHOT_VERSION, OBS_SNAPSHOT_VERSION,
 };
 pub use site::{CoordinatorLogic, Outbox, SiteLogic};
 pub use socket::{

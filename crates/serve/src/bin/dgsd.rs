@@ -38,6 +38,7 @@
 
 use dgs_core::{CompressionMethod, SimEngine};
 use dgs_graph::io as gio;
+use dgs_net::LogLevel;
 use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
 use dgs_serve::{ServeAddr, Server, ServerConfig};
 use std::collections::HashMap;
@@ -64,6 +65,10 @@ const ALLOWED: &[&str] = &[
     "sessions",
     "grace",
     "workers",
+    "metrics",
+    "metrics-addr",
+    "slow-ms",
+    "log-level",
 ];
 
 fn usage() -> ! {
@@ -71,7 +76,9 @@ fn usage() -> ! {
         "usage:\n  dgsd --listen tcp:HOST:PORT|unix:/PATH.sock --graph FILE\n       \
          [--sites K] [--partition hash|bfs|ldg|tree] [--seed S]\n       \
          [--cache N] [--compress simeq|bisim] [--compress-threshold X] [--max-conns N]\n       \
-         [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS] [--workers N]\n  \
+         [--sessions NAME=FILE[,NAME=FILE...]] [--grace MS] [--workers N]\n       \
+         [--metrics on|off] [--metrics-addr tcp:HOST:PORT] [--slow-ms MS]\n       \
+         [--log-level error|warn|info|debug]\n  \
          dgsd --worker [--listen HOST:PORT]   (socket-executor worker process)"
     );
     exit(2);
@@ -196,10 +203,31 @@ fn main() {
     let (g, engine) = build_engine(graph_path, &flags);
     let k: usize = num(&flags, "sites", 4);
 
+    let metrics_enabled = match flags.get("metrics").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => fail(&format!("--metrics takes on|off, got '{other}'")),
+    };
+    let metrics_addr = flags.get("metrics-addr").map(|s| {
+        ServeAddr::parse(s)
+            .unwrap_or_else(|| fail(&format!("unparseable --metrics-addr address '{s}'")))
+    });
+    let log_level = match flags.get("log-level") {
+        None => LogLevel::Warn,
+        Some(s) => LogLevel::parse(s).unwrap_or_else(|| {
+            fail(&format!(
+                "--log-level takes error|warn|info|debug, got '{s}'"
+            ))
+        }),
+    };
     let cfg = ServerConfig {
         max_connections: num(&flags, "max-conns", 64),
         drain_grace: std::time::Duration::from_millis(num(&flags, "grace", 5000)),
         worker_threads: num(&flags, "workers", 0),
+        metrics_enabled,
+        metrics_addr,
+        slow_ms: num(&flags, "slow-ms", 0),
+        log_level,
         ..ServerConfig::default()
     };
     let server = Server::bind(&addr, engine, cfg)
@@ -234,6 +262,9 @@ fn main() {
         g.edge_count(),
         server.local_addr()
     );
+    if let Some(maddr) = server.metrics_addr() {
+        println!("dgsd: metrics exposition on {maddr}");
+    }
     if let Err(e) = server.run() {
         fail(&format!("server failed: {e}"));
     }

@@ -45,7 +45,7 @@
 //! gated by `--json`/`--baseline` the same way.
 
 use dgs_graph::io as gio;
-use dgs_net::{ConnSweepSnapshot, ServingSnapshot, SubscribeSnapshot};
+use dgs_net::{ConnSweepSnapshot, ObsSnapshot, ServingSnapshot, SubscribeSnapshot};
 use dgs_serve::{
     run_conn_sweep, run_load, run_subscribe, ConnSweepConfig, LoadConfig, LoadMode, ServeAddr,
     SubscribeConfig,
@@ -83,6 +83,9 @@ const ALLOWED: &[&str] = &[
     "nodes",
     "batches",
     "ops",
+    "obs-on",
+    "obs-off",
+    "max-overhead",
 ];
 
 fn usage() -> ! {
@@ -95,9 +98,49 @@ fn usage() -> ! {
          [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]   (connection-count sweep)\n  \
          dgsload --addr ADDR --subscribe 1 [--sessions N] [--subscribers N] [--nodes N]\n          \
          [--batches N] [--ops N] [--seed S] [--json SNAPSHOT.json] [--baseline SNAPSHOT.json]\n          \
-         (live-subscription churn: writer storms one session, subscribers verify the diff stream)"
+         (live-subscription churn: writer storms one session, subscribers verify the diff stream)\n  \
+         dgsload --obs-on ON.json --obs-off OFF.json [--json BENCH_obs.json] [--max-overhead PCT]\n          \
+         (gate the instrumentation overhead between two quiet-ping serving snapshots)"
     );
     exit(2);
+}
+
+/// `dgsload --obs-on/--obs-off`: compare two quiet-ping serving
+/// snapshots — one taken against a daemon with metrics on, one with
+/// `--metrics off` — and gate the instrumentation overhead (the
+/// `BENCH_obs.json` artifact).
+fn run_obs_mode(flags: &HashMap<String, String>) -> ! {
+    let read = |key: &str| {
+        let path = flags
+            .get(key)
+            .unwrap_or_else(|| fail(&format!("--{key} SNAPSHOT.json required in obs mode")));
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        ServingSnapshot::parse_json(&text)
+            .unwrap_or_else(|| fail(&format!("{path}: not a serving snapshot this build reads")))
+    };
+    let on = read("obs-on");
+    let off = read("obs-off");
+    let snapshot = ObsSnapshot::of_runs(&on, &off);
+    println!(
+        "dgsload: instrumentation overhead — p50 {:.1} us (metrics on) vs {:.1} us (off): {:+.2}%",
+        snapshot.p50_on_us, snapshot.p50_off_us, snapshot.overhead_pct
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  snapshot written to {path}");
+    }
+    let max_pct: f64 = num(flags, "max-overhead", 10.0);
+    let verdicts = snapshot.gate(max_pct, 25.0);
+    if verdicts.is_empty() {
+        println!("  within the {max_pct:.0}% overhead gate");
+        exit(0);
+    }
+    for v in &verdicts {
+        eprintln!("dgsload: OVERHEAD: {v}");
+    }
+    exit(1);
 }
 
 /// `dgsload --subscribe`: the live-subscription churn run, with its
@@ -281,6 +324,11 @@ fn main() {
         usage();
     }
     let flags = parse_flags(&args);
+    // Obs mode compares two already-written snapshots; no daemon
+    // involved, so it runs before --addr is required.
+    if flags.contains_key("obs-on") || flags.contains_key("obs-off") {
+        run_obs_mode(&flags);
+    }
     let addr_s = flags.get("addr").unwrap_or_else(|| fail("--addr required"));
     let addr =
         ServeAddr::parse(addr_s).unwrap_or_else(|| fail(&format!("unparseable --addr '{addr_s}'")));

@@ -24,12 +24,13 @@ use crate::error::{ErrorCode, ServeError};
 use crate::proto::{
     frame, Answer, DeltaSummary, GraphInfo, MatchDiff, Request, Response, SessionInfo,
     SessionOptions, SubEventKind, WireAlgorithm, WireCacheStats, WireCompression, WireMetrics,
-    WIRE_MAGIC, WIRE_VERSION,
+    WireTrace, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::transport::{Conn, ServeAddr};
 use crate::wire::{put_varint, split_request_id, write_frame, FrameReader};
 use dgs_core::GraphDelta;
 use dgs_graph::{Graph, Pattern};
+use dgs_net::MetricsSnapshot;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One push from a live subscription (wire v4): a match-set diff, or
@@ -485,6 +486,37 @@ impl DgsClient {
                 rows,
             } => Ok((sub_id, generation, rows)),
             _ => Self::unexpected("SUBSCRIBE"),
+        }
+    }
+
+    /// A snapshot of the server's metrics registry (wire v4). Empty
+    /// when the server runs with metrics disabled.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        if self.version < 4 {
+            return Err(ServeError::UnsupportedVersion {
+                ours: WIRE_VERSION,
+                theirs: self.version,
+            });
+        }
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            _ => Self::unexpected("METRICS"),
+        }
+    }
+
+    /// The server's slow-query log, newest first (wire v4). Empty
+    /// unless the server runs with `--slow-ms` and something tripped
+    /// it.
+    pub fn trace(&mut self) -> Result<Vec<WireTrace>, ServeError> {
+        if self.version < 4 {
+            return Err(ServeError::UnsupportedVersion {
+                ours: WIRE_VERSION,
+                theirs: self.version,
+            });
+        }
+        match self.call(&Request::Trace)? {
+            Response::Trace(traces) => Ok(traces),
+            _ => Self::unexpected("TRACE"),
         }
     }
 

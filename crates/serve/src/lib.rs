@@ -86,7 +86,7 @@ pub use load::{
 pub use proto::{
     Answer, DeltaSummary, GraphInfo, MatchDiff, Request, Response, SessionInfo, SessionOptions,
     SubEventKind, WireAlgorithm, WireCacheStats, WireCompression, WireMetrics, WirePartitioner,
-    WIRE_MAGIC, WIRE_VERSION,
+    WireTrace, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{merge_answers, Route, SessionManager, DEFAULT_SESSION};

@@ -20,7 +20,7 @@ use crate::error::{ErrorCode, ServeError};
 use crate::wire::{put_bytes, put_f64, put_str, put_u16, put_u8, put_varint, Reader};
 use dgs_core::{Algorithm, CompressionMethod};
 use dgs_graph::{io as gio, Graph, NodeId, Pattern};
-use dgs_net::RunMetrics;
+use dgs_net::{HistogramSummary, MetricsSnapshot, RunMetrics};
 use dgs_sim::MatchRelation;
 
 /// Magic the handshake frames carry ("DGSW": dgs wire).
@@ -61,6 +61,7 @@ pub mod frame {
     pub const SESSION_ROUTE: u8 = 0x1c;
     pub const SUBSCRIBE: u8 = 0x1d;
     pub const UNSUBSCRIBE: u8 = 0x1e;
+    pub const METRICS: u8 = 0x1f;
 
     pub const PONG: u8 = 0x20;
     pub const GRAPH_INFO_R: u8 = 0x21;
@@ -77,6 +78,7 @@ pub mod frame {
     pub const SESSION_ROUTED: u8 = 0x2c;
     pub const SUBSCRIBED: u8 = 0x2d;
     pub const UNSUBSCRIBED: u8 = 0x2e;
+    pub const METRICS_R: u8 = 0x2f;
 
     /// Server-pushed (v4): a subscription's match-set delta. Travels
     /// under request id 0, never in answer to a request.
@@ -84,6 +86,11 @@ pub mod frame {
     /// Server-pushed (v4): a subscription lifecycle event (overflow,
     /// session dropped, server draining). Travels under request id 0.
     pub const SUB_EVENT: u8 = 0x31;
+
+    /// Request (v4): dump the server's slow-query trace ring.
+    pub const TRACE: u8 = 0x32;
+    /// Response to [`TRACE`].
+    pub const TRACE_R: u8 = 0x33;
 
     pub const ERROR: u8 = 0x3f;
 }
@@ -305,6 +312,12 @@ pub enum Request {
         /// The id `SUBSCRIBED` returned.
         sub_id: u64,
     },
+    /// Fetch a point-in-time snapshot of the server's metrics
+    /// registry (wire v4).
+    Metrics,
+    /// Dump the server's slow-query trace ring, newest first
+    /// (wire v4).
+    Trace,
 }
 
 /// Metric counters shipped back with every answer — the wire subset
@@ -540,6 +553,166 @@ impl MatchDiff {
     }
 }
 
+/// One traced request from the server's slow-query ring (`TRACE_R`):
+/// where its wall-clock went (decode+queue wait, execute, encode) and
+/// — for query frames — the plan explanation and the per-site
+/// op/message breakdown the answer's [`WireMetrics`] discards.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTrace {
+    /// The server-side connection id the request arrived on.
+    pub conn_id: u64,
+    /// The pipelined request id (0 on a v1/v2 connection).
+    pub request_id: u64,
+    /// The request's frame type byte.
+    pub ty: u8,
+    /// The routed session the request executed against.
+    pub session: String,
+    /// Nanoseconds from socket read to a worker picking the job up.
+    pub queue_ns: u64,
+    /// Nanoseconds spent executing (plan + run for queries).
+    pub exec_ns: u64,
+    /// Nanoseconds spent encoding the response frame.
+    pub encode_ns: u64,
+    /// Total nanoseconds from socket read to response handoff.
+    pub total_ns: u64,
+    /// Display name of the engine that ran (queries; empty otherwise).
+    pub algorithm: String,
+    /// The rendered plan explanation (queries; empty otherwise).
+    pub plan: String,
+    /// Charged operations per worker site (queries).
+    pub site_ops: Vec<u64>,
+    /// Messages sent per worker site (queries).
+    pub site_msgs: Vec<u64>,
+    /// The session's graph generation when the request ran.
+    pub generation: u64,
+}
+
+impl WireTrace {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.conn_id);
+        put_varint(buf, self.request_id);
+        put_u8(buf, self.ty);
+        put_str(buf, &self.session);
+        for v in [self.queue_ns, self.exec_ns, self.encode_ns, self.total_ns] {
+            put_varint(buf, v);
+        }
+        put_str(buf, &self.algorithm);
+        put_str(buf, &self.plan);
+        for list in [&self.site_ops, &self.site_msgs] {
+            put_varint(buf, list.len() as u64);
+            for &v in list.iter() {
+                put_varint(buf, v);
+            }
+        }
+        put_varint(buf, self.generation);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireTrace, ServeError> {
+        let conn_id = r.varint("trace conn id")?;
+        let request_id = r.varint("trace request id")?;
+        let ty = r.u8("trace frame type")?;
+        let session = r.str_("trace session")?;
+        let queue_ns = r.varint("trace queue ns")?;
+        let exec_ns = r.varint("trace exec ns")?;
+        let encode_ns = r.varint("trace encode ns")?;
+        let total_ns = r.varint("trace total ns")?;
+        let algorithm = r.str_("trace algorithm")?;
+        let plan = r.str_("trace plan")?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = r.count("trace site count")?;
+            list.reserve(n);
+            for _ in 0..n {
+                list.push(r.varint("trace site value")?);
+            }
+        }
+        let [site_ops, site_msgs] = lists;
+        let generation = r.varint("trace generation")?;
+        Ok(WireTrace {
+            conn_id,
+            request_id,
+            ty,
+            session,
+            queue_ns,
+            exec_ns,
+            encode_ns,
+            total_ns,
+            algorithm,
+            plan,
+            site_ops,
+            site_msgs,
+            generation,
+        })
+    }
+}
+
+/// [`MetricsSnapshot`] codec for the `METRICS_R` frame: the schema
+/// version, then three counted `(name, values...)` lists.
+fn encode_metrics_snapshot(buf: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    put_varint(buf, u64::from(snap.version));
+    put_varint(buf, snap.counters.len() as u64);
+    for (name, value) in &snap.counters {
+        put_str(buf, name);
+        put_varint(buf, *value);
+    }
+    put_varint(buf, snap.gauges.len() as u64);
+    for (name, value) in &snap.gauges {
+        put_str(buf, name);
+        put_varint(buf, *value);
+    }
+    put_varint(buf, snap.histograms.len() as u64);
+    for h in &snap.histograms {
+        put_str(buf, &h.name);
+        for v in [h.count, h.min, h.max, h.p50, h.p95, h.p99] {
+            put_varint(buf, v);
+        }
+    }
+}
+
+fn decode_metrics_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, ServeError> {
+    let version = r.varint("metrics version")?;
+    if version > u64::from(u32::MAX) {
+        return Err(ServeError::corrupt("metrics version exceeds u32"));
+    }
+    let n = r.count("metrics counter count")?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str_("counter name")?;
+        counters.push((name, r.varint("counter value")?));
+    }
+    let n = r.count("metrics gauge count")?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str_("gauge name")?;
+        gauges.push((name, r.varint("gauge value")?));
+    }
+    let n = r.count("metrics histogram count")?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str_("histogram name")?;
+        let mut vals = [0u64; 6];
+        for v in &mut vals {
+            *v = r.varint("histogram summary value")?;
+        }
+        let [count, min, max, p50, p95, p99] = vals;
+        histograms.push(HistogramSummary {
+            name,
+            count,
+            min,
+            max,
+            p50,
+            p95,
+            p99,
+        });
+    }
+    Ok(MetricsSnapshot {
+        version: version as u32,
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 /// Why the server pushed a `SUB_EVENT` frame for a subscription. All
 /// three terminate the subscription: no further `MATCH_DIFF` frames
 /// follow for its id.
@@ -671,6 +844,11 @@ pub enum Response {
     },
     /// The subscription is gone; no further pushes for its id.
     Unsubscribed,
+    /// A point-in-time snapshot of the server's metrics registry
+    /// (empty when the registry is disabled).
+    Metrics(MetricsSnapshot),
+    /// The slow-query trace ring, newest first.
+    Trace(Vec<WireTrace>),
     /// Server-pushed (request id 0): one subscription's match-set
     /// delta.
     MatchDiff(MatchDiff),
@@ -901,6 +1079,8 @@ impl Request {
                 put_varint(buf, *sub_id);
                 frame::UNSUBSCRIBE
             }
+            Request::Metrics => frame::METRICS,
+            Request::Trace => frame::TRACE,
         }
     }
 
@@ -977,6 +1157,8 @@ impl Request {
             frame::UNSUBSCRIBE => Request::Unsubscribe {
                 sub_id: r.varint("sub id")?,
             },
+            frame::METRICS => Request::Metrics,
+            frame::TRACE => Request::Trace,
             other => {
                 return Err(ServeError::corrupt(format!(
                     "unknown request frame type {other:#04x}"
@@ -1135,6 +1317,17 @@ impl Response {
                 frame::SUBSCRIBED
             }
             Response::Unsubscribed => frame::UNSUBSCRIBED,
+            Response::Metrics(snap) => {
+                encode_metrics_snapshot(buf, snap);
+                frame::METRICS_R
+            }
+            Response::Trace(traces) => {
+                put_varint(buf, traces.len() as u64);
+                for t in traces {
+                    t.encode(buf);
+                }
+                frame::TRACE_R
+            }
             Response::MatchDiff(diff) => {
                 diff.encode(buf);
                 frame::MATCH_DIFF
@@ -1302,6 +1495,15 @@ impl Response {
                 }
             }
             frame::UNSUBSCRIBED => Response::Unsubscribed,
+            frame::METRICS_R => Response::Metrics(decode_metrics_snapshot(&mut r)?),
+            frame::TRACE_R => {
+                let n = r.count("trace count")?;
+                let mut traces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    traces.push(WireTrace::decode(&mut r)?);
+                }
+                Response::Trace(traces)
+            }
             frame::MATCH_DIFF => Response::MatchDiff(MatchDiff::decode(&mut r)?),
             frame::SUB_EVENT => {
                 let sub_id = r.varint("sub id")?;
@@ -1465,6 +1667,64 @@ mod tests {
             Response::DeltaApplied(got) => assert_eq!(got, d),
             other => panic!("expected DeltaApplied, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        for req in [Request::Metrics, Request::Trace] {
+            let (ty, payload) = req.encode();
+            assert!(payload.is_empty());
+            assert_eq!(Request::decode(ty, &payload).unwrap(), req);
+        }
+        let resp = Response::Metrics(MetricsSnapshot {
+            version: 1,
+            counters: vec![
+                ("dgsd_connections_accepted_total".into(), 4),
+                ("dgsd_requests_total{frame=\"QUERY\"}".into(), 17),
+            ],
+            gauges: vec![("dgsd_queue_depth".into(), 2)],
+            histograms: vec![HistogramSummary {
+                name: "dgsd_request_ns{frame=\"PING\"}".into(),
+                count: 9,
+                min: 100,
+                max: 9000,
+                p50: 300,
+                p95: 7000,
+                p99: 8500,
+            }],
+        });
+        let (ty, payload) = resp.encode();
+        assert_eq!(ty, frame::METRICS_R);
+        assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
+        // The disabled-registry snapshot travels too.
+        let empty = Response::Metrics(MetricsSnapshot::default());
+        let (ty, payload) = empty.encode();
+        assert_eq!(Response::decode(ty, &payload).unwrap(), empty);
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        let resp = Response::Trace(vec![
+            WireTrace {
+                conn_id: 3,
+                request_id: 41,
+                ty: frame::QUERY,
+                session: "default".into(),
+                queue_ns: 1200,
+                exec_ns: 2_400_000,
+                encode_ns: 800,
+                total_ns: 2_402_000,
+                algorithm: "dGPM".into(),
+                plan: "dGPM (auto)".into(),
+                site_ops: vec![10, 20, 30],
+                site_msgs: vec![1, 2, 3],
+                generation: 7,
+            },
+            WireTrace::default(),
+        ]);
+        let (ty, payload) = resp.encode();
+        assert_eq!(ty, frame::TRACE_R);
+        assert_eq!(Response::decode(ty, &payload).unwrap(), resp);
     }
 
     #[test]

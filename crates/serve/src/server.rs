@@ -44,14 +44,15 @@ use crate::error::{ErrorCode, ServeError};
 use crate::poll::{PollSet, WakeHandle, WakePipe};
 use crate::proto::{
     frame, Answer, DeltaSummary, GraphInfo, Request, Response, SessionOptions, WireCacheStats,
-    WireCompression, WireMetrics, WIRE_MAGIC, WIRE_VERSION,
+    WireCompression, WireMetrics, WireTrace, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::session::{merge_answers, merge_metrics, session_info, Route, SessionManager};
-use crate::subscribe::{SubscriptionRegistry, DEFAULT_SUB_QUEUE_MAX};
+use crate::subscribe::{SubObs, SubscriptionRegistry, DEFAULT_SUB_QUEUE_MAX};
 use crate::transport::{Conn, Listener, ServeAddr};
 use crate::wire::{encode_frame_into, split_request_id, FrameBuffer};
 use dgs_core::{Algorithm, DgsError, GraphDelta, RunReport, SimEngine};
 use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
+use dgs_net::{Counter, Gauge, Histo, LogLevel, Logger, MetricsRegistry, MetricsSnapshot};
 use dgs_partition::{bfs_partition, hash_partition, ldg_partition, tree_partition, Fragmentation};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -83,6 +84,20 @@ pub struct ServerConfig {
     /// terminal `SUB_EVENT(overflow)`, so a subscriber that stops
     /// reading never grows server memory unboundedly.
     pub max_sub_queue: usize,
+    /// Host a live metrics registry (`METRICS` frame, text endpoint,
+    /// per-request latency histograms). `false` turns every handle
+    /// into a no-op and snapshots come back empty.
+    pub metrics_enabled: bool,
+    /// When set, a second plain-TCP listener serves the Prometheus
+    /// text exposition (`GET` anything → `text/plain; version=0.0.4`)
+    /// from the same event loop.
+    pub metrics_addr: Option<ServeAddr>,
+    /// Requests slower than this many milliseconds land in the
+    /// slow-query ring dumped by the `TRACE` frame; `0` disables
+    /// capture.
+    pub slow_ms: u64,
+    /// Stderr log verbosity (leveled, per-target rate-limited).
+    pub log_level: LogLevel,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +108,10 @@ impl Default for ServerConfig {
             worker_threads: 0,
             max_pipeline: 128,
             max_sub_queue: DEFAULT_SUB_QUEUE_MAX,
+            metrics_enabled: true,
+            metrics_addr: None,
+            slow_ms: 0,
+            log_level: LogLevel::Warn,
         }
     }
 }
@@ -121,6 +140,8 @@ struct Job {
     /// True for barrier frames (`SESSION_ROUTE`/`SHUTDOWN`): the
     /// completion reopens the connection's dispatch.
     release_barrier: bool,
+    /// When the event thread queued the job (worker-pool wait time).
+    enqueued: Instant,
 }
 
 /// One finished request: a fully encoded response frame ready for the
@@ -208,6 +229,180 @@ impl BufferPool {
     }
 }
 
+// ---- observability ----------------------------------------------------
+
+/// The label value for a request frame type.
+fn frame_name(ty: u8) -> &'static str {
+    match ty {
+        frame::PING => "PING",
+        frame::GRAPH_INFO => "GRAPH_INFO",
+        frame::QUERY => "QUERY",
+        frame::QUERY_BATCH => "QUERY_BATCH",
+        frame::APPLY_DELTA => "APPLY_DELTA",
+        frame::CACHE_STATS => "CACHE_STATS",
+        frame::COMPRESSION_INFO => "COMPRESSION_INFO",
+        frame::LOAD_GRAPH => "LOAD_GRAPH",
+        frame::SHUTDOWN => "SHUTDOWN",
+        frame::SESSION_CREATE => "SESSION_CREATE",
+        frame::SESSION_LIST => "SESSION_LIST",
+        frame::SESSION_DROP => "SESSION_DROP",
+        frame::SESSION_ROUTE => "SESSION_ROUTE",
+        frame::SUBSCRIBE => "SUBSCRIBE",
+        frame::UNSUBSCRIBE => "UNSUBSCRIBE",
+        frame::METRICS => "METRICS",
+        frame::TRACE => "TRACE",
+        _ => "OTHER",
+    }
+}
+
+/// Every request frame type that gets its own latency series.
+const REQUEST_FRAMES: [u8; 17] = [
+    frame::PING,
+    frame::GRAPH_INFO,
+    frame::QUERY,
+    frame::QUERY_BATCH,
+    frame::APPLY_DELTA,
+    frame::CACHE_STATS,
+    frame::COMPRESSION_INFO,
+    frame::LOAD_GRAPH,
+    frame::SHUTDOWN,
+    frame::SESSION_CREATE,
+    frame::SESSION_LIST,
+    frame::SESSION_DROP,
+    frame::SESSION_ROUTE,
+    frame::SUBSCRIBE,
+    frame::UNSUBSCRIBE,
+    frame::METRICS,
+    frame::TRACE,
+];
+
+/// Pre-resolved metric handles for the serving hot path: every
+/// increment is one atomic op on an `Arc` fixed at bind time — no
+/// registry lookup per request, and a disabled registry makes each
+/// handle a no-op.
+struct ServerObs {
+    conns_accepted: Counter,
+    conns_rejected: Counter,
+    accept_errors: Counter,
+    requests_total: Counter,
+    /// Jobs queued for the worker pool right now.
+    queue_depth: Gauge,
+    /// Time a job sat queued before a worker picked it up.
+    worker_wait_ns: Histo,
+    /// Queue + execute + encode latency, one series per frame type.
+    request_ns: HashMap<u8, Histo>,
+    request_ns_other: Histo,
+    deltas_applied: Counter,
+    delta_maintained: Counter,
+    delta_invalidated: Counter,
+    slow_queries: Counter,
+    /// Push frames parked across every subscription queue (synced at
+    /// scrape time).
+    sub_queue_frames: Gauge,
+}
+
+impl ServerObs {
+    fn new(reg: &MetricsRegistry) -> ServerObs {
+        let request_ns = REQUEST_FRAMES
+            .iter()
+            .map(|&ty| {
+                let name = format!("dgsd_request_ns{{frame=\"{}\"}}", frame_name(ty));
+                (ty, reg.histogram(&name))
+            })
+            .collect();
+        ServerObs {
+            conns_accepted: reg.counter("dgsd_connections_accepted_total"),
+            conns_rejected: reg.counter("dgsd_connections_rejected_total"),
+            accept_errors: reg.counter("dgsd_accept_errors_total"),
+            requests_total: reg.counter("dgsd_requests_total"),
+            queue_depth: reg.gauge("dgsd_job_queue_depth"),
+            worker_wait_ns: reg.histogram("dgsd_worker_wait_ns"),
+            request_ns,
+            request_ns_other: reg.histogram("dgsd_request_ns{frame=\"OTHER\"}"),
+            deltas_applied: reg.counter("dgsd_deltas_applied_total"),
+            delta_maintained: reg.counter("dgsd_delta_maintained_entries_total"),
+            delta_invalidated: reg.counter("dgsd_delta_invalidated_entries_total"),
+            slow_queries: reg.counter("dgsd_slow_queries_total"),
+            sub_queue_frames: reg.gauge("dgsd_sub_queue_frames"),
+        }
+    }
+
+    fn request_histo(&self, ty: u8) -> &Histo {
+        self.request_ns.get(&ty).unwrap_or(&self.request_ns_other)
+    }
+
+    /// The subscription registry's counter handles, resolved from the
+    /// same registry so they appear in the same exposition.
+    fn sub_obs(reg: &MetricsRegistry) -> SubObs {
+        SubObs {
+            active: reg.gauge("dgsd_subscriptions_active"),
+            pushed: reg.counter("dgsd_sub_diffs_pushed_total"),
+            overflows: reg.counter("dgsd_sub_overflows_total"),
+        }
+    }
+}
+
+/// Slow requests kept for the `TRACE` frame (oldest evicted first).
+const SLOW_LOG_CAP: usize = 256;
+
+/// What `execute` learned about a request, threaded back to the
+/// worker loop for the slow-query log.
+#[derive(Default)]
+struct TraceCapture {
+    session: String,
+    algorithm: String,
+    plan: String,
+    site_ops: Vec<u64>,
+    site_msgs: Vec<u64>,
+    generation: u64,
+}
+
+/// Records what the slow-query log wants from a completed run.
+fn note_trace(trace: &mut TraceCapture, session: &str, report: &RunReport) {
+    trace.session = session.to_owned();
+    trace.algorithm = report.algorithm.to_owned();
+    trace.plan = report.plan.to_string();
+    trace.site_ops = report.metrics.site_ops.clone();
+    trace.site_msgs = report.metrics.site_msgs.clone();
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A session name as a Prometheus label value (quotes and
+/// backslashes escaped).
+fn label_escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Refreshes scrape-time gauges: per-session engine counters (the
+/// engines own them; the registry mirrors them when someone looks)
+/// and subscription queue occupancy.
+fn refresh_gauges(shared: &Shared) {
+    if !shared.registry.is_enabled() {
+        return;
+    }
+    for (name, engine) in shared.sessions.list() {
+        let stats = engine.stats();
+        let label = label_escape(&name);
+        let set = |family: &str, v: u64| {
+            shared
+                .registry
+                .gauge(&format!("{family}{{session=\"{label}\"}}"))
+                .set(v);
+        };
+        set("dgsd_session_generation", engine.generation());
+        set("dgsd_session_queries", stats.queries());
+        set("dgsd_session_cache_hits", stats.cache_hits());
+        set("dgsd_session_deltas", stats.deltas());
+    }
+    shared
+        .obs
+        .sub_queue_frames
+        .set(shared.subs.queued_frames() as u64);
+}
+
 /// State shared between the event thread, the worker pool and
 /// [`ServerHandle`]s.
 struct Shared {
@@ -229,6 +424,19 @@ struct Shared {
     /// Connections that gained queued push frames since the event
     /// loop last looked; workers push here and wake the poller.
     sub_dirty: Mutex<Vec<u64>>,
+    /// The server-wide metrics registry (`disabled()` when metrics
+    /// are off — every handle is then a no-op).
+    registry: MetricsRegistry,
+    /// Pre-resolved hot-path handles into `registry`.
+    obs: ServerObs,
+    /// The slow-query ring (bounded at [`SLOW_LOG_CAP`]).
+    slow_log: Mutex<VecDeque<WireTrace>>,
+    /// Slow-query threshold in nanoseconds; `0` = capture off.
+    slow_ns: u64,
+    /// Leveled, rate-limited stderr logger.
+    log: Logger,
+    /// The text-exposition endpoint's resolved address, when bound.
+    metrics_addr: Option<ServeAddr>,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks;
@@ -236,6 +444,9 @@ struct Shared {
 /// [`ServerHandle`].
 pub struct Server {
     listener: Listener,
+    /// The optional Prometheus text-exposition listener, polled by
+    /// the same event loop.
+    metrics_listener: Option<Listener>,
     wake_pipe: WakePipe,
     shared: Arc<Shared>,
 }
@@ -245,10 +456,26 @@ impl Server {
     pub fn bind(addr: &ServeAddr, engine: SimEngine, cfg: ServerConfig) -> io::Result<Server> {
         let listener = Listener::bind(addr)?;
         let resolved = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(maddr) => Some(Listener::bind(maddr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let registry = if cfg.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let obs = ServerObs::new(&registry);
+        let sub_obs = ServerObs::sub_obs(&registry);
         let wake_pipe = WakePipe::new()?;
         let wake = wake_pipe.handle();
         Ok(Server {
             listener,
+            metrics_listener,
             wake_pipe,
             shared: Arc::new(Shared {
                 sessions: Arc::new(SessionManager::new(engine)),
@@ -268,8 +495,14 @@ impl Server {
                 completions: Mutex::new(Vec::new()),
                 pool: BufferPool::new(),
                 wake,
-                subs: SubscriptionRegistry::new(cfg.max_sub_queue),
+                subs: SubscriptionRegistry::with_obs(cfg.max_sub_queue, sub_obs),
                 sub_dirty: Mutex::new(Vec::new()),
+                registry,
+                obs,
+                slow_log: Mutex::new(VecDeque::new()),
+                slow_ns: cfg.slow_ms.saturating_mul(1_000_000),
+                log: Logger::new(cfg.log_level),
+                metrics_addr,
             }),
         })
     }
@@ -297,6 +530,13 @@ impl Server {
         Arc::clone(&self.shared.sessions)
     }
 
+    /// Where the Prometheus text exposition will be served, when
+    /// [`ServerConfig::metrics_addr`] was set (ephemeral port
+    /// resolved).
+    pub fn metrics_addr(&self) -> Option<&ServeAddr> {
+        self.shared.metrics_addr.as_ref()
+    }
+
     /// Serves until a `SHUTDOWN` frame arrives (or
     /// [`ServerHandle::shutdown`] is called on a spawned server).
     /// Returns after the drain completes and the worker pool exits.
@@ -308,7 +548,12 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        let result = event_loop(&self.listener, self.wake_pipe, &shared);
+        let result = event_loop(
+            &self.listener,
+            self.metrics_listener.as_ref(),
+            self.wake_pipe,
+            &shared,
+        );
         shared.jobs.close();
         for w in workers {
             let _ = w.join();
@@ -377,6 +622,22 @@ impl ServerHandle {
         self.shared.subs.live_count()
     }
 
+    /// A live snapshot of the server metrics registry, with the
+    /// scrape-time gauges (per-session engine counters, subscription
+    /// queue occupancy) refreshed first. Empty when metrics are
+    /// disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        refresh_gauges(&self.shared);
+        self.shared.registry.snapshot()
+    }
+
+    /// Where the Prometheus text exposition is served, when
+    /// [`ServerConfig::metrics_addr`] was set (ephemeral port
+    /// resolved).
+    pub fn metrics_addr(&self) -> Option<&ServeAddr> {
+        self.shared.metrics_addr.as_ref()
+    }
+
     /// Stops the server (drain, then force-close) and joins it.
     pub fn shutdown(self) -> io::Result<()> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -395,11 +656,23 @@ impl ServerHandle {
 /// becomes a typed `Internal` error instead of a dead worker.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.jobs.pop() {
+        let queue_ns = elapsed_ns(job.enqueued);
+        shared.obs.queue_depth.dec();
+        shared.obs.worker_wait_ns.record(queue_ns);
+        let exec_start = Instant::now();
+        let mut trace = TraceCapture::default();
         let (resp, wants_shutdown) = match Request::decode(job.ty, &job.body) {
             Ok(req) => {
                 let wants_shutdown = matches!(req, Request::Shutdown);
                 let resp = catch_unwind(AssertUnwindSafe(|| {
-                    execute(&req, shared, &job.route, job.conn_id, job.version)
+                    execute(
+                        &req,
+                        shared,
+                        &job.route,
+                        job.conn_id,
+                        job.version,
+                        &mut trace,
+                    )
                 }))
                 .unwrap_or_else(|_| Response::Error {
                     code: ErrorCode::Internal,
@@ -417,6 +690,8 @@ fn worker_loop(shared: &Shared) {
                 false,
             ),
         };
+        let exec_ns = elapsed_ns(exec_start);
+        let encode_start = Instant::now();
         let mut buf = shared.pool.get();
         let id = (job.version >= 3).then_some(job.request_id);
         // Encode at the *connection's* version: a v3 peer must not see
@@ -430,6 +705,43 @@ fn worker_loop(shared: &Shared) {
             };
             encode_frame_into(&mut buf, id, |b| resp.encode_into_v(b, job.version))
                 .expect("error frame fits MAX_FRAME");
+        }
+        let encode_ns = elapsed_ns(encode_start);
+        let total_ns = queue_ns.saturating_add(exec_ns).saturating_add(encode_ns);
+        shared.obs.requests_total.inc();
+        shared.obs.request_histo(job.ty).record(total_ns);
+        if shared.slow_ns > 0 && total_ns >= shared.slow_ns {
+            shared.obs.slow_queries.inc();
+            shared.log.warn(
+                "slow",
+                &format!(
+                    "{} took {:.1} ms (queue {:.1} ms, exec {:.1} ms) on conn {}",
+                    frame_name(job.ty),
+                    total_ns as f64 / 1e6,
+                    queue_ns as f64 / 1e6,
+                    exec_ns as f64 / 1e6,
+                    job.conn_id
+                ),
+            );
+            let mut slow = shared.slow_log.lock();
+            if slow.len() == SLOW_LOG_CAP {
+                slow.pop_front();
+            }
+            slow.push_back(WireTrace {
+                conn_id: job.conn_id,
+                request_id: job.request_id,
+                ty: job.ty,
+                session: trace.session,
+                queue_ns,
+                exec_ns,
+                encode_ns,
+                total_ns,
+                algorithm: trace.algorithm,
+                plan: trace.plan,
+                site_ops: trace.site_ops,
+                site_msgs: trace.site_msgs,
+                generation: trace.generation,
+            });
         }
         shared.served.fetch_add(1, Ordering::SeqCst);
         shared.completions.lock().push(Completion {
@@ -530,11 +842,36 @@ enum Token {
     Wake,
     Listener,
     Conn(u64),
+    MetricsListener,
+    MetricsConn(u64),
 }
 
-fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> io::Result<()> {
+/// One plain-HTTP scrape connection on the metrics endpoint: read
+/// until the header terminator (or EOF), write one `text/plain`
+/// exposition, close. No keep-alive — scrapers open a fresh
+/// connection per scrape, and a half-open peer is cut at `deadline`.
+struct MetricsConn {
+    conn: Conn,
+    rbuf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    deadline: Instant,
+    responded: bool,
+}
+
+fn event_loop(
+    listener: &Listener,
+    metrics: Option<&Listener>,
+    mut wake_pipe: WakePipe,
+    shared: &Shared,
+) -> io::Result<()> {
     listener.set_nonblocking(true)?;
+    if let Some(m) = metrics {
+        m.set_nonblocking(true)?;
+    }
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut mconns: HashMap<u64, MetricsConn> = HashMap::new();
+    let mut next_mconn: u64 = 0;
     let mut next_conn: u64 = 0;
     // Admitted (non-rejecting) connections, tracked incrementally so
     // admission control is O(1) per accept.
@@ -588,6 +925,13 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
                 true
             }
         });
+        // Scrape connections never block shutdown: they are dropped
+        // once draining starts, finished ones leave, half-open ones
+        // are cut at their deadline.
+        mconns.retain(|_, m| {
+            let done = m.responded && m.out_pos >= m.out.len() && !m.out.is_empty();
+            !(shutting || done || now >= m.deadline)
+        });
         if shutting && conns.is_empty() {
             return Ok(());
         }
@@ -599,6 +943,14 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
         if !shutting {
             poll.push(listener.as_raw_fd(), true, false);
             tokens.push(Token::Listener);
+            if let Some(m) = metrics {
+                poll.push(m.as_raw_fd(), true, false);
+                tokens.push(Token::MetricsListener);
+            }
+        }
+        for (&id, m) in mconns.iter() {
+            poll.push(m.conn.as_raw_fd(), !m.responded, !m.out.is_empty());
+            tokens.push(Token::MetricsConn(id));
         }
         for (&id, c) in conns.iter() {
             let cap = if c.version >= 3 {
@@ -616,6 +968,7 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
         // Deadlines (handshake cutoffs, the drain grace) need the
         // poller to wake without fd activity.
         let timeout = if drain_deadline.is_some()
+            || !mconns.is_empty()
             || conns
                 .values()
                 .any(|c| matches!(c.phase, Phase::Handshake { .. }))
@@ -646,6 +999,20 @@ fn event_loop(listener: &Listener, mut wake_pipe: WakePipe, shared: &Shared) -> 
                         }
                     }
                     touched.push(*id);
+                }
+                Token::MetricsListener => {
+                    if poll.readable(idx) {
+                        if let Some(m) = metrics {
+                            accept_metrics(m, &mut mconns, &mut next_mconn);
+                        }
+                    }
+                }
+                Token::MetricsConn(id) => {
+                    if let Some(m) = mconns.get_mut(id) {
+                        if service_metrics_conn(m, shared, poll.readable(idx)).is_err() {
+                            mconns.remove(id);
+                        }
+                    }
                 }
             }
         }
@@ -726,6 +1093,96 @@ fn pump_subscriptions(conn_id: u64, c: &mut ConnState, shared: &Shared) {
     }
 }
 
+/// Accepts pending scrape connections on the metrics listener.
+fn accept_metrics(listener: &Listener, mconns: &mut HashMap<u64, MetricsConn>, next: &mut u64) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // WouldBlock or a transient failure: the next poll round
+            // retries; scrapes are best-effort.
+            Err(_) => return,
+        };
+        if conn.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let id = *next;
+        *next += 1;
+        mconns.insert(
+            id,
+            MetricsConn {
+                conn,
+                rbuf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                deadline: Instant::now() + HANDSHAKE_TIMEOUT,
+                responded: false,
+            },
+        );
+    }
+}
+
+/// Drives one scrape connection: read until the request headers end
+/// (or EOF), render the exposition once, flush. `Err` means the
+/// socket is finished — flushed in full or failed — and should be
+/// dropped either way.
+fn service_metrics_conn(m: &mut MetricsConn, shared: &Shared, readable: bool) -> Result<(), ()> {
+    if readable && !m.responded {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match m.conn.read(&mut chunk) {
+                // EOF before the headers ended: answer what we have —
+                // `nc addr port < /dev/null` still gets the text.
+                Ok(0) => {
+                    m.responded = true;
+                    break;
+                }
+                Ok(n) => {
+                    m.rbuf.extend_from_slice(&chunk[..n]);
+                    if m.rbuf.len() > 16 * 1024 {
+                        return Err(()); // not a scrape request
+                    }
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if m.rbuf.windows(4).any(|w| w == b"\r\n\r\n") {
+            m.responded = true;
+        }
+        if m.responded {
+            refresh_gauges(shared);
+            let body = shared.registry.snapshot().to_text();
+            m.out = format!(
+                "HTTP/1.0 200 OK\r\n\
+                 Content-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes();
+        }
+    }
+    while m.out_pos < m.out.len() {
+        match m.conn.write(&m.out[m.out_pos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => m.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    if m.responded && !m.out.is_empty() {
+        Err(()) // fully flushed: close
+    } else {
+        Ok(())
+    }
+}
+
 /// Accepts until `WouldBlock`; over-capacity connections are admitted
 /// far enough to answer their handshake with `Busy`.
 fn accept_burst(
@@ -744,7 +1201,10 @@ fn accept_burst(
                 // Transient accept failures (fd exhaustion under
                 // churn, aborted connections) must not take the whole
                 // daemon down with every in-flight session.
-                eprintln!("dgs-serve: accept failed ({e}); continuing");
+                shared.obs.accept_errors.inc();
+                shared
+                    .log
+                    .warn("accept", &format!("accept failed ({e}); continuing"));
                 return;
             }
         };
@@ -756,6 +1216,7 @@ fn accept_burst(
         if !reject {
             *admitted += 1;
         }
+        shared.obs.conns_accepted.inc();
         let id = *next_conn;
         *next_conn += 1;
         conns.insert(id, ConnState::new(conn, reject));
@@ -859,6 +1320,7 @@ fn process_frame(
                 // Admission control: a typed Busy answer, drained in
                 // full even when shutdown races the flush.
                 shared.rejected.fetch_add(1, Ordering::SeqCst);
+                shared.obs.conns_rejected.inc();
                 c.push_frame(
                     None,
                     &Response::Error {
@@ -953,6 +1415,7 @@ fn pump_dispatch(conn_id: u64, c: &mut ConnState, shared: &Shared, shutting: boo
         let (id, ty, body) = c.pending.pop_front().expect("front exists");
         c.in_flight += 1;
         c.barrier = is_barrier;
+        shared.obs.queue_depth.inc();
         shared.jobs.push(Job {
             conn_id,
             request_id: id,
@@ -961,6 +1424,7 @@ fn pump_dispatch(conn_id: u64, c: &mut ConnState, shared: &Shared, shutting: boo
             body,
             route: Arc::clone(&c.route),
             release_barrier: is_barrier,
+            enqueued: Instant::now(),
         });
     }
 }
@@ -1205,13 +1669,15 @@ fn note_sub_dirty(shared: &Shared, dirty: Vec<u64>) {
 /// connection's shared route cell; barrier dispatch in the event loop
 /// guarantees `SESSION_ROUTE` never executes concurrently with other
 /// requests on the same connection. `conn_id`/`version` identify the
-/// connection for subscription ownership and version gating.
+/// connection for subscription ownership and version gating. `trace`
+/// collects plan/per-site details for the slow-query log.
 fn execute(
     req: &Request,
     shared: &Shared,
     route: &Mutex<Route>,
     conn_id: u64,
     version: u8,
+    trace: &mut TraceCapture,
 ) -> Response {
     match req {
         Request::Ping => Response::Pong,
@@ -1262,20 +1728,31 @@ fn execute(
                 };
             }
             let engine = &engines[0].1;
+            trace.generation = engine.generation();
             if *boolean {
                 match engine.query_boolean_with(&algo, pattern) {
-                    Ok(report) => Response::Answer(Answer {
-                        rows: Vec::new(),
-                        is_match: report.is_match,
-                        algorithm: report.algorithm.to_owned(),
-                        plan: report.plan.to_string(),
-                        metrics: WireMetrics::of_run(&report.metrics),
-                    }),
+                    Ok(report) => {
+                        trace.session = engines[0].0.clone();
+                        trace.algorithm = report.algorithm.to_owned();
+                        trace.plan = report.plan.to_string();
+                        trace.site_ops = report.metrics.site_ops.clone();
+                        trace.site_msgs = report.metrics.site_msgs.clone();
+                        Response::Answer(Answer {
+                            rows: Vec::new(),
+                            is_match: report.is_match,
+                            algorithm: report.algorithm.to_owned(),
+                            plan: report.plan.to_string(),
+                            metrics: WireMetrics::of_run(&report.metrics),
+                        })
+                    }
                     Err(e) => dgs_error(&e),
                 }
             } else {
                 match engine.query_with(&algo, pattern) {
-                    Ok(report) => Response::Answer(answer_of_report(&report)),
+                    Ok(report) => {
+                        note_trace(trace, &engines[0].0, &report);
+                        Response::Answer(answer_of_report(&report))
+                    }
                     Err(e) => dgs_error(&e),
                 }
             }
@@ -1293,6 +1770,10 @@ fn execute(
                 return fan_out_batch(&engines, &algo, patterns);
             }
             let batch = engines[0].1.query_batch_with(&algo, patterns);
+            trace.session = engines[0].0.clone();
+            trace.generation = engines[0].1.generation();
+            trace.site_ops = batch.total.site_ops.clone();
+            trace.site_msgs = batch.total.site_msgs.clone();
             let items = batch
                 .reports
                 .iter()
@@ -1332,6 +1813,17 @@ fn execute(
             // while the next generation is built.
             match engines[0].1.apply_delta(&delta) {
                 Ok(report) => {
+                    shared.obs.deltas_applied.inc();
+                    shared
+                        .obs
+                        .delta_maintained
+                        .add(report.maintained_entries as u64);
+                    shared
+                        .obs
+                        .delta_invalidated
+                        .add(report.invalidated_entries as u64);
+                    trace.session = engines[0].0.clone();
+                    trace.generation = report.generation;
                     // Feed the digest to live subscriptions before
                     // answering: the diff frames queue behind this
                     // response in the connection's write order.
@@ -1498,6 +1990,31 @@ fn execute(
                     message: format!("this connection holds no subscription with id {sub_id}"),
                 }
             }
+        }
+        Request::Metrics => {
+            if version < 4 {
+                return Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "METRICS needs wire v4, but this connection negotiated v{version}"
+                    ),
+                };
+            }
+            refresh_gauges(shared);
+            Response::Metrics(shared.registry.snapshot())
+        }
+        Request::Trace => {
+            if version < 4 {
+                return Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "TRACE needs wire v4, but this connection negotiated v{version}"
+                    ),
+                };
+            }
+            // Newest first: the request someone is chasing is almost
+            // always the latest one.
+            Response::Trace(shared.slow_log.lock().iter().rev().cloned().collect())
         }
         Request::Shutdown => Response::ShuttingDown,
     }

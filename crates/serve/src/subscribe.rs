@@ -49,6 +49,7 @@ use crate::wire::encode_frame_into;
 use dgs_core::delta::MaintainedDiff;
 use dgs_core::{DgsError, SimEngine};
 use dgs_graph::{Pattern, QNodeId};
+use dgs_net::{Counter, Gauge};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -110,6 +111,20 @@ struct Inner {
     by_session: HashMap<String, SessionChain>,
 }
 
+/// Subscription lifecycle handles into the server's metrics registry.
+/// The default (disabled) handles are no-ops, so the registry works
+/// unchanged when metrics are off.
+#[derive(Clone, Default)]
+pub(crate) struct SubObs {
+    /// Live subscriptions right now (mirrors
+    /// [`SubscriptionRegistry::live_count`]).
+    pub active: Gauge,
+    /// `MATCH_DIFF` frames queued for push, cumulative.
+    pub pushed: Counter,
+    /// Subscriptions terminated because their push queue overflowed.
+    pub overflows: Counter,
+}
+
 /// The server's subscription table. One per daemon, shared by the
 /// worker pool (which registers subscriptions and feeds delta
 /// digests) and the event loop (which moves queued frames into
@@ -117,14 +132,27 @@ struct Inner {
 pub(crate) struct SubscriptionRegistry {
     inner: Mutex<Inner>,
     max_queue: usize,
+    obs: SubObs,
 }
 
 impl SubscriptionRegistry {
-    pub fn new(max_queue: usize) -> SubscriptionRegistry {
+    /// A registry whose lifecycle changes tick `obs` (pass
+    /// `SubObs::default()` for no-op handles).
+    pub fn with_obs(max_queue: usize, obs: SubObs) -> SubscriptionRegistry {
         SubscriptionRegistry {
             inner: Mutex::new(Inner::default()),
             max_queue: max_queue.max(1),
+            obs,
         }
+    }
+
+    /// Re-publishes the live-subscription gauge from the table (called
+    /// under the lock after every liveness-changing mutation, so the
+    /// gauge can never drift from [`Self::live_count`]).
+    fn sync_active(&self, g: &Inner) {
+        self.obs
+            .active
+            .set(g.subs.values().filter(|s| !s.dead).count() as u64);
     }
 
     /// Registers a subscription and snapshots its rows. The snapshot
@@ -185,6 +213,7 @@ impl SubscriptionRegistry {
                 dead: false,
             },
         );
+        self.sync_active(&g);
         Ok((id, generation, rows))
     }
 
@@ -194,6 +223,7 @@ impl SubscriptionRegistry {
         match g.subs.get(&sub_id) {
             Some(sub) if sub.conn_id == conn_id => {
                 g.remove_sub(sub_id);
+                self.sync_active(&g);
                 true
             }
             _ => false,
@@ -236,7 +266,7 @@ impl SubscriptionRegistry {
                 let ids = session_chain.ids.clone();
                 session_chain.cursor = gen;
                 for id in ids {
-                    g.apply_digest(id, &digest, engine, self.max_queue, &mut dirty);
+                    g.apply_digest(id, &digest, engine, self.max_queue, &self.obs, &mut dirty);
                 }
             } else if g.by_session.get(session).expect("chain exists").stash.len() > STASH_MAX {
                 // The chain stalled (a writer bypassed the wire, or a
@@ -254,13 +284,14 @@ impl SubscriptionRegistry {
                 chain.cursor = newest;
                 let ids = chain.ids.clone();
                 for id in ids {
-                    g.resync_sub(id, newest, engine, self.max_queue, &mut dirty);
+                    g.resync_sub(id, newest, engine, self.max_queue, &self.obs, &mut dirty);
                 }
                 break;
             } else {
                 break;
             }
         }
+        self.sync_active(&g);
         dirty.sort_unstable();
         dirty.dedup();
         dirty
@@ -280,6 +311,7 @@ impl SubscriptionRegistry {
         for id in ids {
             g.kill_sub(id, SubEventKind::SessionDropped, &mut dirty);
         }
+        self.sync_active(&g);
         dirty.sort_unstable();
         dirty.dedup();
         dirty
@@ -297,6 +329,7 @@ impl SubscriptionRegistry {
                 }
             }
         }
+        self.sync_active(&g);
     }
 
     /// Shutdown drain: replaces every subscription of `conn_id` with
@@ -315,6 +348,7 @@ impl SubscriptionRegistry {
                 g.remove_sub(id);
             }
         }
+        self.sync_active(&g);
         frames
     }
 
@@ -363,6 +397,13 @@ impl SubscriptionRegistry {
         let g = self.inner.lock();
         g.subs.values().filter(|s| !s.dead).count()
     }
+
+    /// Push frames currently parked across every subscription queue
+    /// (the metrics scrape's occupancy gauge).
+    pub fn queued_frames(&self) -> usize {
+        let g = self.inner.lock();
+        g.subs.values().map(|s| s.queue.len()).sum()
+    }
 }
 
 /// Encodes a response as an id-0 push frame.
@@ -391,7 +432,14 @@ impl Inner {
 
     /// Queues one encoded frame on `sub_id`, overflowing to a
     /// terminal event when the bound is hit.
-    fn enqueue(&mut self, sub_id: u64, frame: Vec<u8>, max_queue: usize, dirty: &mut Vec<u64>) {
+    fn enqueue(
+        &mut self,
+        sub_id: u64,
+        frame: Vec<u8>,
+        max_queue: usize,
+        obs: &SubObs,
+        dirty: &mut Vec<u64>,
+    ) {
         let mut overflowed_session = None;
         {
             let Some(sub) = self.subs.get_mut(&sub_id) else {
@@ -410,9 +458,11 @@ impl Inner {
                     kind: SubEventKind::Overflow,
                 }));
                 sub.dead = true;
+                obs.overflows.inc();
                 overflowed_session = Some(sub.session.clone());
             } else {
                 sub.queue.push_back(frame);
+                obs.pushed.inc();
             }
             dirty.push(sub.conn_id);
         }
@@ -455,6 +505,7 @@ impl Inner {
         digest: &Digest,
         engine: &SimEngine,
         max_queue: usize,
+        obs: &SubObs,
         dirty: &mut Vec<u64>,
     ) {
         let Some(sub) = self.subs.get_mut(&sub_id) else {
@@ -535,7 +586,7 @@ impl Inner {
             added,
             removed,
         }));
-        self.enqueue(sub_id, frame, max_queue, dirty);
+        self.enqueue(sub_id, frame, max_queue, obs, dirty);
     }
 
     /// Chain-stall recovery: re-query one subscription and emit the
@@ -546,6 +597,7 @@ impl Inner {
         generation: u64,
         engine: &SimEngine,
         max_queue: usize,
+        obs: &SubObs,
         dirty: &mut Vec<u64>,
     ) {
         let Some(sub) = self.subs.get(&sub_id) else {
@@ -581,7 +633,7 @@ impl Inner {
                     added,
                     removed,
                 }));
-                self.enqueue(sub_id, frame, max_queue, dirty);
+                self.enqueue(sub_id, frame, max_queue, obs, dirty);
             }
             Err(_) => self.kill_sub(sub_id, SubEventKind::Overflow, dirty),
         }
@@ -645,6 +697,18 @@ mod tests {
         SimEngine::builder(g, frag).build()
     }
 
+    /// A live `SubObs` backed by a real registry, returned alongside
+    /// the registry so the handles stay readable after the move.
+    fn live_obs() -> (SubObs, dgs_net::MetricsRegistry) {
+        let mreg = dgs_net::MetricsRegistry::new();
+        let obs = SubObs {
+            active: mreg.gauge("dgsd_subscriptions_active"),
+            pushed: mreg.counter("dgsd_sub_diffs_pushed_total"),
+            overflows: mreg.counter("dgsd_sub_overflows_total"),
+        };
+        (obs, mreg)
+    }
+
     fn fresh_rows(engine: &SimEngine, q: &Pattern) -> Vec<Vec<u32>> {
         let report = engine.query(q).expect("query");
         (0..report.relation.query_nodes())
@@ -688,10 +752,12 @@ mod tests {
         let g = random::uniform(40, 140, 3, 31);
         let q = patterns::random_cyclic(3, 5, 3, 731);
         let engine = engine_for(&g, 2, 31);
-        let reg = SubscriptionRegistry::new(DEFAULT_SUB_QUEUE_MAX);
+        let (obs, _mreg) = live_obs();
+        let reg = SubscriptionRegistry::with_obs(DEFAULT_SUB_QUEUE_MAX, obs.clone());
         let (sub_id, _, snapshot) = reg
             .subscribe(1, "default", &engine, &q, WireAlgorithm::Auto)
             .expect("subscribe");
+        assert_eq!(obs.active.get(), 1, "the gauge tracks the live sub");
 
         let dels: Vec<_> = g.edges().take(10).collect();
         let r1 = engine
@@ -733,6 +799,12 @@ mod tests {
         assert_eq!(rows, fresh_rows(&engine, &q));
         assert!(!reg.has_frames(1));
         assert_eq!(reg.live_count(), 1);
+        assert_eq!(obs.active.get(), 1);
+        assert!(
+            obs.pushed.get() >= 1,
+            "every queued MATCH_DIFF ticks the counter"
+        );
+        assert_eq!(obs.overflows.get(), 0);
     }
 
     #[test]
@@ -740,7 +812,7 @@ mod tests {
         let g = random::uniform(40, 140, 3, 33);
         let q = patterns::random_cyclic(3, 5, 3, 733);
         let engine = engine_for(&g, 2, 33);
-        let reg = SubscriptionRegistry::new(DEFAULT_SUB_QUEUE_MAX);
+        let reg = SubscriptionRegistry::with_obs(DEFAULT_SUB_QUEUE_MAX, SubObs::default());
         let (_, _, snapshot) = reg
             .subscribe(1, "default", &engine, &q, WireAlgorithm::Auto)
             .expect("subscribe");
@@ -783,11 +855,13 @@ mod tests {
         let g = random::uniform(40, 140, 3, 35);
         let q = patterns::random_cyclic(3, 5, 3, 735);
         let engine = engine_for(&g, 2, 35);
-        let reg = SubscriptionRegistry::new(2);
+        let (obs, _mreg) = live_obs();
+        let reg = SubscriptionRegistry::with_obs(2, obs.clone());
         let (sub_id, _, _) = reg
             .subscribe(9, "default", &engine, &q, WireAlgorithm::Auto)
             .expect("subscribe");
         assert_eq!(reg.live_count(), 1);
+        assert_eq!(obs.active.get(), 1);
 
         // Queue past the bound without the event loop draining.
         {
@@ -795,12 +869,14 @@ mod tests {
             let mut dirty = Vec::new();
             for i in 0..5u8 {
                 let frame = vec![0, 0, 0, 0, frame::MATCH_DIFF, i];
-                inner.enqueue(sub_id, frame, 2, &mut dirty);
+                inner.enqueue(sub_id, frame, 2, &obs, &mut dirty);
             }
             // 2 queued + the overflow transition; dead drops the rest.
             assert_eq!(dirty, vec![9, 9, 9]);
         }
         assert_eq!(reg.live_count(), 0, "an overflowed subscription is dead");
+        assert_eq!(obs.pushed.get(), 2, "only the pre-overflow pushes count");
+        assert_eq!(obs.overflows.get(), 1, "the overflow transition ticks once");
 
         // Exactly one frame survives: the terminal Overflow event.
         let frames = reg.take_frames(9, 64);

@@ -99,7 +99,8 @@ fn usage() -> ! {
          dgsq query --remote ADDR --pattern FILE[,FILE...] [--algorithm NAME] [--boolean] [--matches] [--repeat R] [--updates OPS.txt]\n  \
          dgsq convert --in FILE --out FILE --format text|binary\n  \
          dgsq compress --graph FILE [--method simeq|bisim] [--out FILE]  |  dgsq compress --remote ADDR\n  \
-         dgsq stats --graph FILE  |  dgsq stats --remote ADDR\n  \
+         dgsq stats --graph FILE  |  dgsq stats --remote ADDR [--metrics]\n  \
+         dgsq trace --remote ADDR   (dump the daemon's slow-query log)\n  \
          dgsq session --remote ADDR [--create NAME --graph FILE [--sites K] [--partition P] ... | --drop NAME]\n  \
          dgsq subscribe PATTERN --remote ADDR [--session NAME] [--count N] [--algorithm NAME]\n  \
          dgsq shutdown --remote ADDR\n  \
@@ -151,7 +152,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "convert" => &["in", "out", "format"],
         "worker" => &["listen"],
         "compress" => &["graph", "method", "out", "remote", "session"],
-        "stats" => &["graph", "remote", "session"],
+        "stats" => &["graph", "remote", "session", "metrics"],
+        "trace" => &["remote"],
         "session" => &[
             "remote",
             "create",
@@ -179,7 +181,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             .strip_prefix("--")
             .unwrap_or_else(|| fail(&format!("expected a --flag, got '{}'", args[i])));
         // Boolean flags take no value.
-        if matches!(key, "boolean" | "matches") {
+        if matches!(key, "boolean" | "matches" | "metrics") {
             flags.insert(key.to_owned(), "true".to_owned());
             i += 1;
             continue;
@@ -1033,6 +1035,26 @@ fn cmd_stats(flags: &HashMap<String, String>) {
     if flags.contains_key("remote") {
         reject_local_only(flags, &["graph"]);
         let mut client = connect_routed(flags);
+        if flags.contains_key("metrics") {
+            let snap = client.metrics().unwrap_or_else(|e| fail(&e.to_string()));
+            println!("server metrics (snapshot v{}):", snap.version);
+            for (name, v) in &snap.counters {
+                println!("  {name} = {v}");
+            }
+            for (name, v) in &snap.gauges {
+                println!("  {name} = {v}");
+            }
+            for h in &snap.histograms {
+                println!(
+                    "  {}: count {}  min {}  p50 {}  p95 {}  p99 {}  max {}",
+                    h.name, h.count, h.min, h.p50, h.p95, h.p99, h.max
+                );
+            }
+            if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+                println!("  (empty — the daemon runs with --metrics off)");
+            }
+            return;
+        }
         let info = client.graph_info().unwrap_or_else(|e| fail(&e.to_string()));
         println!(
             "remote session: |V| = {}, |E| = {}, {} labels, generation {}",
@@ -1052,6 +1074,9 @@ fn cmd_stats(flags: &HashMap<String, String>) {
         }
         return;
     }
+    if flags.contains_key("metrics") {
+        fail("--metrics needs --remote ADDR (metrics live in the daemon)");
+    }
     reject_session_without_remote(flags);
     let path = get(flags, "graph").unwrap_or_else(|| fail("--graph required"));
     let g = load_graph(path);
@@ -1061,6 +1086,50 @@ fn cmd_stats(flags: &HashMap<String, String>) {
         "top-1% hubs carry {:.1}% of edges",
         100.0 * GraphStats::top1pct_edge_share(&g)
     );
+}
+
+/// `dgsq trace`: dump the daemon's slow-query ring, newest first,
+/// with the plan explanation and per-site work attached to each
+/// entry.
+fn cmd_trace(flags: &HashMap<String, String>) {
+    if !flags.contains_key("remote") {
+        fail("--remote ADDR required");
+    }
+    let mut client = connect(flags);
+    let traces = client.trace().unwrap_or_else(|e| fail(&e.to_string()));
+    if traces.is_empty() {
+        println!("slow-query log is empty (is the daemon running with --slow-ms?)");
+        return;
+    }
+    println!("{} slow request(s), newest first:", traces.len());
+    for t in &traces {
+        println!(
+            "conn {} request {} frame 0x{:02x}  session '{}'  generation {}",
+            t.conn_id, t.request_id, t.ty, t.session, t.generation
+        );
+        println!(
+            "  total {:.3} ms = queue {:.3} + exec {:.3} + encode {:.3}",
+            t.total_ns as f64 / 1e6,
+            t.queue_ns as f64 / 1e6,
+            t.exec_ns as f64 / 1e6,
+            t.encode_ns as f64 / 1e6
+        );
+        if !t.algorithm.is_empty() {
+            println!("  algorithm {}", t.algorithm);
+        }
+        if !t.plan.is_empty() {
+            println!("  plan: {}", t.plan);
+        }
+        if !t.site_ops.is_empty() {
+            let ops: Vec<String> = t.site_ops.iter().map(u64::to_string).collect();
+            let msgs: Vec<String> = t.site_msgs.iter().map(u64::to_string).collect();
+            println!(
+                "  site ops [{}]  site msgs [{}]",
+                ops.join(", "),
+                msgs.join(", ")
+            );
+        }
+    }
 }
 
 /// `dgsq session`: manage a daemon's named sessions. With no action
@@ -1243,6 +1312,7 @@ fn main() {
             | "convert"
             | "compress"
             | "stats"
+            | "trace"
             | "session"
             | "subscribe"
             | "shutdown"
@@ -1271,6 +1341,7 @@ fn main() {
         "convert" => cmd_convert(&flags),
         "compress" => cmd_compress(&flags),
         "stats" => cmd_stats(&flags),
+        "trace" => cmd_trace(&flags),
         "session" => cmd_session(&flags),
         "subscribe" => cmd_subscribe(&flags),
         "shutdown" => cmd_shutdown(&flags),

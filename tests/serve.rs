@@ -15,7 +15,7 @@ use dgs::serve::wire::{
 use dgs::serve::{
     run_conn_sweep, Answer, Conn, ConnSweepConfig, DgsClient, ErrorCode, MatchDiff, Request,
     Response, ServeError, Server, ServerConfig, SessionInfo, SessionOptions, SubEventKind,
-    SubscriptionEvent, WireAlgorithm, WireMetrics, WirePartitioner, WIRE_MAGIC,
+    SubscriptionEvent, WireAlgorithm, WireMetrics, WirePartitioner, WireTrace, WIRE_MAGIC,
 };
 use proptest::prelude::*;
 use std::io::Write;
@@ -159,7 +159,50 @@ fn all_requests() -> Vec<Request> {
             algorithm: WireAlgorithm::Auto,
         },
         Request::Unsubscribe { sub_id: 42 },
+        Request::Metrics,
+        Request::Trace,
     ]
+}
+
+fn sample_metrics_snapshot() -> dgs::net::MetricsSnapshot {
+    dgs::net::MetricsSnapshot {
+        version: 1,
+        counters: vec![
+            ("dgsd_requests_total".into(), 7),
+            ("dgsd_conns_accepted_total".into(), 3),
+        ],
+        gauges: vec![
+            ("dgsd_queue_depth".into(), 2),
+            ("dgsd_session_generation{session=\"default\"}".into(), 5),
+        ],
+        histograms: vec![dgs::net::HistogramSummary {
+            name: "dgsd_request_ns{frame=\"QUERY\"}".into(),
+            count: 9,
+            min: 1_200,
+            max: 8_000_000,
+            p50: 40_000,
+            p95: 900_000,
+            p99: 7_000_000,
+        }],
+    }
+}
+
+fn sample_trace() -> WireTrace {
+    WireTrace {
+        conn_id: 3,
+        request_id: 17,
+        ty: 0x12,
+        session: "default".into(),
+        queue_ns: 12_000,
+        exec_ns: 4_000_000,
+        encode_ns: 8_000,
+        total_ns: 4_020_000,
+        algorithm: "dGPM".into(),
+        plan: "bounded: cyclic pattern".into(),
+        site_ops: vec![10, 20, 0, 5],
+        site_msgs: vec![2, 4, 0, 1],
+        generation: 6,
+    }
 }
 
 fn all_responses() -> Vec<Response> {
@@ -267,6 +310,10 @@ fn all_responses() -> Vec<Response> {
             sub_id: 5,
             kind: SubEventKind::SessionDropped,
         },
+        Response::Metrics(sample_metrics_snapshot()),
+        Response::Metrics(dgs::net::MetricsSnapshot::default()),
+        Response::Trace(vec![sample_trace(), WireTrace::default()]),
+        Response::Trace(vec![]),
     ]
 }
 
@@ -1785,5 +1832,191 @@ fn the_subscribe_load_run_is_clean_and_self_verifying() {
         "leftover sessions: {names:?}"
     );
     drop(admin);
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- observability: metrics, exposition, slow-query traces ------------
+
+/// The METRICS frame end to end: counters exist, grow monotonically
+/// under a mixed workload, and agree with the workload (every delta
+/// applied is counted, the subscription gauge tracks the live set).
+#[test]
+fn metrics_counters_are_monotone_and_consistent_over_the_wire() {
+    let g = random::uniform(80, 240, 3, 91);
+    let handle = spawn_server(&g, 2, 91, ServerConfig::default());
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+
+    let before = client.metrics().expect("metrics");
+    assert_eq!(before.version, 1);
+    let req0 = before.counter("dgsd_requests_total").expect("counter");
+    let del0 = before
+        .counter("dgsd_deltas_applied_total")
+        .expect("counter");
+
+    const QUERIES: u64 = 5;
+    for i in 0..QUERIES as usize {
+        client
+            .query(&mixed_pattern(i, 3), WireAlgorithm::Auto)
+            .expect("query");
+    }
+    client
+        .apply_delta(&GraphDelta::insertions([
+            (NodeId(0), NodeId(1)),
+            (NodeId(2), NodeId(3)),
+        ]))
+        .expect("apply delta");
+    let (sub_id, _, _) = client
+        .subscribe(&mixed_pattern(0, 3), WireAlgorithm::Auto)
+        .expect("subscribe");
+
+    let mid = client.metrics().expect("metrics");
+    let req1 = mid.counter("dgsd_requests_total").expect("counter");
+    // At least the queries, the delta, the subscribe and the first
+    // METRICS call landed between the two snapshots.
+    assert!(
+        req1 >= req0 + QUERIES + 2,
+        "requests_total {req0} -> {req1} after {QUERIES} queries + delta + subscribe"
+    );
+    assert_eq!(
+        mid.counter("dgsd_deltas_applied_total"),
+        Some(del0 + 1),
+        "exactly one delta applied"
+    );
+    assert_eq!(mid.gauge("dgsd_subscriptions_active"), Some(1));
+    assert!(mid.counter("dgsd_connections_accepted_total").unwrap() >= 1);
+    assert_eq!(mid.counter("dgsd_accept_errors_total"), Some(0));
+    // The scraped per-session engine gauges mirror the workload.
+    assert!(
+        mid.gauge("dgsd_session_queries{session=\"default\"}")
+            .unwrap()
+            >= QUERIES
+    );
+    assert_eq!(
+        mid.gauge("dgsd_session_deltas{session=\"default\"}"),
+        Some(1)
+    );
+    // The per-frame latency histogram saw every query.
+    let qh = mid
+        .histograms
+        .iter()
+        .find(|h| h.name == "dgsd_request_ns{frame=\"QUERY\"}")
+        .expect("QUERY histogram");
+    assert!(qh.count >= QUERIES);
+    assert!(qh.min <= qh.p50 && qh.p50 <= qh.max);
+
+    client.unsubscribe(sub_id).expect("unsubscribe");
+    let after = client.metrics().expect("metrics");
+    assert_eq!(after.gauge("dgsd_subscriptions_active"), Some(0));
+    assert!(
+        after.counter("dgsd_requests_total").unwrap() > req1,
+        "counters stay monotone"
+    );
+
+    // The in-process snapshot agrees with the wire snapshot.
+    let local = handle.metrics_snapshot();
+    assert_eq!(
+        local.counter("dgsd_deltas_applied_total"),
+        after.counter("dgsd_deltas_applied_total")
+    );
+
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+/// The plain-TCP text endpoint: a bare HTTP/1.0 GET gets a 0.0.4
+/// exposition with the expected series and no NaN, consistent with
+/// the METRICS frame taken over the main port.
+#[test]
+fn metrics_text_endpoint_serves_the_exposition_format() {
+    let g = random::uniform(60, 180, 3, 93);
+    let cfg = ServerConfig {
+        metrics_addr: Some(ServeAddr::parse("127.0.0.1:0").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(&g, 2, 93, cfg);
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+    for i in 0..3 {
+        client
+            .query(&mixed_pattern(i, 3), WireAlgorithm::Auto)
+            .expect("query");
+    }
+
+    let maddr = handle.metrics_addr().expect("metrics addr").clone();
+    let mut http = Conn::connect(&maddr).expect("connect metrics port");
+    http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send request");
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut http, &mut body).expect("read response");
+
+    assert!(body.starts_with("HTTP/1.0 200 OK\r\n"), "{body}");
+    assert!(body.contains("text/plain; version=0.0.4"), "{body}");
+    for series in [
+        "dgsd_requests_total",
+        "dgsd_connections_accepted_total",
+        "dgsd_job_queue_depth",
+        "dgsd_subscriptions_active",
+        "dgsd_request_ns",
+    ] {
+        assert!(body.contains(series), "missing series {series}: {body}");
+    }
+    assert!(!body.contains("NaN"), "{body}");
+
+    // The text body and the wire frame report the same delta counter.
+    let snap = client.metrics().expect("metrics");
+    let wire_deltas = snap.counter("dgsd_deltas_applied_total").unwrap();
+    assert!(
+        body.contains(&format!("dgsd_deltas_applied_total {wire_deltas}")),
+        "{body}"
+    );
+
+    drop(http);
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+/// Requests over `--slow-ms` land in the slow-query ring with their
+/// timing breakdown, plan explanation and per-site work attached, and
+/// `TRACE` ships them newest-first.
+#[test]
+fn slow_queries_are_traced_with_plan_and_per_site_work() {
+    // A graph big enough that a query reliably exceeds 1 ms.
+    let g = random::uniform(4000, 16000, 4, 95);
+    let cfg = ServerConfig {
+        slow_ms: 1,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(&g, 3, 95, cfg);
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+
+    let mut traces = Vec::new();
+    for i in 0..20 {
+        client
+            .query(&mixed_pattern(i, 4), WireAlgorithm::Auto)
+            .expect("query");
+        traces = client.trace().expect("trace");
+        if !traces.is_empty() {
+            break;
+        }
+    }
+    assert!(!traces.is_empty(), "no query exceeded 1 ms on a 4k graph");
+
+    let t = &traces[0];
+    assert_eq!(t.session, "default");
+    assert!(t.total_ns >= 1_000_000, "{t:?}");
+    assert_eq!(
+        t.total_ns,
+        t.queue_ns + t.exec_ns + t.encode_ns,
+        "the breakdown sums to the total: {t:?}"
+    );
+    assert!(!t.plan.is_empty(), "the plan explanation rides along");
+    assert!(!t.algorithm.is_empty());
+    assert_eq!(t.site_ops.len(), 3, "one ops entry per site: {t:?}");
+    assert_eq!(t.site_msgs.len(), 3);
+
+    // The slow counter agrees with the ring.
+    let snap = client.metrics().expect("metrics");
+    assert!(snap.counter("dgsd_slow_queries_total").unwrap() >= traces.len() as u64);
+
+    drop(client);
     handle.shutdown().expect("shutdown");
 }
