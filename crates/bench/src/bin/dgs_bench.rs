@@ -1,0 +1,178 @@
+//! The unified trajectory driver:
+//!
+//! ```text
+//! dgs-bench --area executors|update|serving
+//!           [--json FILE] [--baseline FILE] [--test]
+//!           [--nodes N] [--queries N] [--seed S] [--iters N]
+//! ```
+//!
+//! `--area executors` re-measures the single-query hot path (bitset
+//! kernels vs the HashSet reference, intra-query fragment parallelism
+//! vs the sequential site loop), prints the trajectory report, and
+//! with `--json` writes the versioned `BENCH_executors.json` artifact.
+//! `--baseline FILE` compares the fresh run against a committed
+//! snapshot and **exits nonzero** when any measure regressed more
+//! than 20% past the envelope — this is the CI gate.
+//!
+//! `--area update` and `--area serving` run the existing throughput
+//! workloads under the same front door (`--test` shrinks them to CI
+//! smoke size).
+
+use dgs_bench::trajectory::{compare, render_executors, run_executors, TrajectoryConfig};
+use std::path::PathBuf;
+
+struct Args {
+    area: String,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    test: bool,
+    nodes: Option<usize>,
+    queries: Option<usize>,
+    seed: Option<u64>,
+    iters: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        area: "executors".into(),
+        json: None,
+        baseline: None,
+        test: false,
+        nodes: None,
+        queries: None,
+        seed: None,
+        iters: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--area" => out.area = val("--area").to_ascii_lowercase(),
+            "--json" => out.json = Some(PathBuf::from(val("--json"))),
+            "--baseline" => out.baseline = Some(PathBuf::from(val("--baseline"))),
+            "--test" => out.test = true,
+            "--nodes" => out.nodes = val("--nodes").parse().ok(),
+            "--queries" => out.queries = val("--queries").parse().ok(),
+            "--seed" => out.seed = val("--seed").parse().ok(),
+            "--iters" => out.iters = val("--iters").parse().ok(),
+            "--help" | "-h" => {
+                println!(
+                    "dgs-bench --area executors|update|serving [--json FILE] [--baseline FILE]\n\
+                     \x20         [--test] [--nodes N] [--queries N] [--seed S] [--iters N]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
+        }
+    }
+    out
+}
+
+fn run_executors_area(args: &Args) {
+    let mut cfg = if args.test {
+        TrajectoryConfig::smoke()
+    } else {
+        TrajectoryConfig::default()
+    };
+    if let Some(n) = args.nodes {
+        cfg.nodes = n;
+    }
+    if let Some(q) = args.queries {
+        cfg.queries = q;
+    }
+    if let Some(s) = args.seed {
+        cfg.seed = s;
+    }
+    if let Some(i) = args.iters {
+        cfg.kernel_iters = i;
+    }
+
+    let snap = run_executors(&cfg);
+    print!("{}", render_executors(&snap));
+    println!();
+
+    if let Some(path) = &args.json {
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => println!("executors snapshot -> {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.baseline {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: could not read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        match compare(&snap, &baseline, 0.20) {
+            Ok(()) => println!("within envelope of {}", path.display()),
+            Err(verdicts) => {
+                eprintln!("REGRESSION against {}:", path.display());
+                for v in verdicts {
+                    eprintln!("  - {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_update_area(args: &Args) {
+    use dgs_bench::update::{run_update, UpdateConfig};
+    let cfg = if args.test {
+        UpdateConfig::smoke()
+    } else {
+        UpdateConfig::default()
+    };
+    println!("## trajectory: update\n");
+    for r in run_update(&cfg) {
+        println!(
+            "{:<13} {:>6} ops  incremental {:>8.2} ms ({:>9.0} ops/s)  baseline {:>8.2} ms  x{:.2}",
+            r.label, r.ops, r.incremental_ms, r.ops_per_sec, r.rebuild_ms, r.speedup
+        );
+    }
+}
+
+fn run_serving_area(args: &Args) {
+    use dgs_bench::serving::{run_serving, ServingConfig};
+    let cfg = if args.test {
+        ServingConfig {
+            nodes: 120,
+            batch: 9,
+            ..ServingConfig::default()
+        }
+    } else {
+        ServingConfig::default()
+    };
+    let r = run_serving(&cfg);
+    println!("## trajectory: serving\n");
+    println!(
+        "batch {} over {} workers: sequential {:.1} ms, parallel {:.1} ms (x{:.2}), \
+         warm cache {:.2} ms ({} hits, {} messages)",
+        r.batch,
+        r.workers,
+        r.sequential_ms,
+        r.parallel_ms,
+        r.speedup,
+        r.cached_ms,
+        r.cache_hits,
+        r.cached_messages
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.area.as_str() {
+        "executors" => run_executors_area(&args),
+        "update" => run_update_area(&args),
+        "serving" => run_serving_area(&args),
+        other => {
+            eprintln!("unknown area {other}: expected executors|update|serving");
+            std::process::exit(2);
+        }
+    }
+}

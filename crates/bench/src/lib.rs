@@ -22,6 +22,7 @@ pub mod figures;
 pub mod plot;
 pub mod report;
 pub mod serving;
+pub mod trajectory;
 pub mod update;
 pub mod workloads;
 
@@ -30,5 +31,6 @@ pub use figures::{Sweep, SweepSeries};
 pub use plot::render_plot;
 pub use report::{print_sweep, write_csv};
 pub use serving::{run_serving, ServingConfig, ServingReport};
+pub use trajectory::{run_executors, TrajectoryConfig};
 pub use update::{run_update, StreamReport, UpdateConfig};
 pub use workloads::Workloads;

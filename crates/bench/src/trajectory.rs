@@ -1,0 +1,254 @@
+//! The trajectory driver behind the `dgs-bench` binary: one command
+//! that re-measures an *area* of the codebase's hot path and compares
+//! the run against a committed baseline snapshot, so performance wins
+//! are recorded once and then defended by CI.
+//!
+//! Areas:
+//!
+//! * `executors` — the single-query hot path. Times the
+//!   HashSet-of-pairs reference kernel
+//!   ([`dgs_sim::hashset_simulation`]) against the flat bitset kernel
+//!   ([`dgs_sim::hhk_simulation`]) on the same query stream (the
+//!   representation win, gated ≥ 2×), and the distributed engine with
+//!   one intra-query worker against the pooled fan-out (the
+//!   parallelism win). Every timed pair is also checked for answer
+//!   equality, so the trajectory run doubles as a conformance pass.
+//!   Emits a versioned [`ExecutorsSnapshot`] (`BENCH_executors.json`).
+//! * `update` — the delta-maintenance throughput streams of
+//!   [`crate::update`].
+//! * `serving` — the shared-session batch/cache workload of
+//!   [`crate::serving`].
+//!
+//! `compare` implements `--baseline`: parse the committed artifact,
+//! collect [`ExecutorsSnapshot::regressions`] verdicts, and let the
+//! binary exit nonzero when any are found.
+
+use crate::serving::mixed_patterns;
+use dgs_graph::generate::random;
+use dgs_graph::{Graph, Pattern};
+use dgs_net::{ExecutorsSnapshot, LatencyHistogram};
+use dgs_partition::{hash_partition, Fragmentation};
+use dgs_sim::{hashset_simulation, hhk_simulation};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the executors-area trajectory run.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Data-graph nodes (edges are 4×).
+    pub nodes: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Queries in the measured stream.
+    pub queries: usize,
+    /// Distinct labels.
+    pub labels: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Timed repetitions of the kernel leg (the per-query kernels are
+    /// fast; repeating keeps the measurement out of clock noise).
+    pub kernel_iters: usize,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            nodes: 3_000,
+            sites: 4,
+            queries: 24,
+            labels: 4,
+            seed: 17,
+            kernel_iters: 3,
+        }
+    }
+}
+
+impl TrajectoryConfig {
+    /// The CI smoke configuration (`--test`): small enough for a debug
+    /// build, still running every leg.
+    pub fn smoke() -> Self {
+        TrajectoryConfig {
+            nodes: 300,
+            queries: 6,
+            kernel_iters: 1,
+            ..TrajectoryConfig::default()
+        }
+    }
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times one centralized kernel over the whole query stream,
+/// `iters` times, returning the per-pass mean and the last pass's
+/// relations (for the conformance check).
+fn time_kernel(
+    g: &Graph,
+    queries: &[Pattern],
+    iters: usize,
+    kernel: impl Fn(&Pattern, &Graph) -> dgs_sim::SimResult,
+) -> (Vec<dgs_sim::SimResult>, f64) {
+    // Warmup pass: fault the graph into cache before timing.
+    for q in queries {
+        let _ = kernel(q, g);
+    }
+    let (results, total_ms) = time_ms(|| {
+        let mut last = Vec::new();
+        for _ in 0..iters.max(1) {
+            last = queries.iter().map(|q| kernel(q, g)).collect();
+        }
+        last
+    });
+    (results, total_ms / iters.max(1) as f64)
+}
+
+/// Runs the executors-area trajectory: kernel representation win +
+/// intra-query parallelism win, with answer-equality asserts
+/// throughout. Panics if any pair of legs disagrees on an answer —
+/// a trajectory number for a wrong answer is worthless.
+pub fn run_executors(cfg: &TrajectoryConfig) -> ExecutorsSnapshot {
+    let g = random::uniform(cfg.nodes, 4 * cfg.nodes, cfg.labels, cfg.seed);
+    let queries = mixed_patterns(cfg.queries, cfg.labels, cfg.seed);
+
+    // Leg 1 — representation win: HashSet-of-pairs reference kernel
+    // vs the flat bitset kernel, same stream, centralized.
+    let (hs, hashset_kernel_ms) = time_kernel(&g, &queries, cfg.kernel_iters, |q, g| {
+        hashset_simulation(q, g)
+    });
+    let (bs, bitset_kernel_ms) = time_kernel(&g, &queries, cfg.kernel_iters, hhk_simulation);
+    for (i, (a, b)) in hs.iter().zip(&bs).enumerate() {
+        assert_eq!(
+            a.relation, b.relation,
+            "kernel answers diverge on query {i}"
+        );
+    }
+
+    // Leg 2 — intra-query parallelism: the same distributed session,
+    // queried one pattern at a time, with the per-fragment Phase-1
+    // fan-out forced off (1 worker) and then on (the builder default).
+    let assign = hash_partition(g.node_count(), cfg.sites, cfg.seed);
+    let frag = Arc::new(Fragmentation::build(&g, &assign, cfg.sites));
+    let sequential = dgs_core::SimEngine::builder(&g, Arc::clone(&frag))
+        .batch_workers(1)
+        .cache(false)
+        .build();
+    let parallel = dgs_core::SimEngine::builder(&g, frag).cache(false).build();
+
+    let (seq_reports, seq_query_ms) = time_ms(|| {
+        queries
+            .iter()
+            .map(|q| sequential.query(q).expect("trajectory query"))
+            .collect::<Vec<_>>()
+    });
+    let mut latency = LatencyHistogram::new();
+    let (par_reports, par_query_ms) = time_ms(|| {
+        queries
+            .iter()
+            .map(|q| {
+                let t0 = Instant::now();
+                let r = parallel.query(q).expect("trajectory query");
+                latency.record_duration(t0.elapsed());
+                r
+            })
+            .collect::<Vec<_>>()
+    });
+    for (i, (a, b)) in seq_reports.iter().zip(&par_reports).enumerate() {
+        assert_eq!(
+            a.relation, b.relation,
+            "intra-query parallel answer diverges on query {i}"
+        );
+        assert_eq!(
+            bs[i].relation, b.relation,
+            "distributed answer diverges from the centralized kernel on query {i}"
+        );
+    }
+
+    ExecutorsSnapshot::of_run(
+        hashset_kernel_ms,
+        bitset_kernel_ms,
+        seq_query_ms,
+        par_query_ms,
+        &latency,
+    )
+}
+
+/// Renders an executors snapshot as the human-readable trajectory
+/// report printed by the binary.
+pub fn render_executors(s: &ExecutorsSnapshot) -> String {
+    format!(
+        "## trajectory: executors\n\n\
+         kernel (centralized, {q} queries/pass): HashSet {hk:.2} ms, bitset {bk:.2} ms  \
+         -> x{ks:.2} representation win\n\
+         engine (distributed, per-query): sequential {sq:.2} ms, pooled {pq:.2} ms  \
+         -> x{is:.2} intra-query win\n\
+         per-query latency (pooled): p50 {p50:.1} us  p99 {p99:.1} us\n",
+        q = s.queries,
+        hk = s.hashset_kernel_ms,
+        bk = s.bitset_kernel_ms,
+        ks = s.kernel_speedup,
+        sq = s.seq_query_ms,
+        pq = s.par_query_ms,
+        is = s.intra_speedup,
+        p50 = s.query_p50_us,
+        p99 = s.query_p99_us,
+    )
+}
+
+/// Compares a fresh snapshot against the committed baseline file.
+/// `Ok(())` when within the envelope; `Err` carries one line per
+/// verdict. `tolerance` is relative slack on the within-run ratios
+/// (0.20 = "20% worse than the committed envelope fails CI").
+pub fn compare(
+    snap: &ExecutorsSnapshot,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<(), Vec<String>> {
+    let Some(base) = ExecutorsSnapshot::parse_json(baseline_json) else {
+        return Err(vec![
+            "baseline is not a parsable ExecutorsSnapshot (wrong version or corrupt file)".into(),
+        ]);
+    };
+    // 200 µs absolute latency floor: debug-vs-release and runner
+    // jitter dwarf sub-millisecond percentiles.
+    let verdicts = snap.regressions(&base, tolerance, 200.0);
+    if verdicts.is_empty() {
+        Ok(())
+    } else {
+        Err(verdicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executors_trajectory_is_consistent() {
+        let snap = run_executors(&TrajectoryConfig::smoke());
+        assert_eq!(snap.queries, 6);
+        assert!(snap.hashset_kernel_ms > 0.0);
+        assert!(snap.bitset_kernel_ms > 0.0);
+        assert!(snap.kernel_speedup > 0.0);
+        assert!(snap.query_p99_us >= snap.query_p50_us);
+        // Round-trips through the committed-artifact form.
+        let back = ExecutorsSnapshot::parse_json(&snap.to_json()).unwrap();
+        assert_eq!(back.queries, snap.queries);
+    }
+
+    #[test]
+    fn compare_flags_regressions() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(50_000);
+        }
+        let good = ExecutorsSnapshot::of_run(80.0, 10.0, 40.0, 20.0, &h);
+        assert!(compare(&good, &good.to_json(), 0.2).is_ok());
+        let slow = ExecutorsSnapshot::of_run(80.0, 60.0, 40.0, 20.0, &h);
+        let err = compare(&slow, &good.to_json(), 0.2).unwrap_err();
+        assert!(!err.is_empty());
+        assert!(compare(&good, "not json", 0.2).is_err());
+    }
+}

@@ -118,11 +118,12 @@ pub struct DeltaReport {
     /// deletion-only, insertion-only, and mixed alike.
     pub maintained_entries: usize,
     /// Cached entries dropped without maintenance. Since insertion-side
-    /// maintenance landed this is `0` for every batch the engine
-    /// accepts; it stays in the report (and on the wire) so clients
-    /// can distinguish "maintained" from "invalidated" against older
-    /// servers, and as the place future unmaintainable shapes would be
-    /// accounted.
+    /// maintenance landed, the only entries counted here are
+    /// `trivial-∅` short-circuits whose pattern has nodes that cannot
+    /// reach a cycle of `Q`: their stored `∅` rows are the answer
+    /// convention rather than the maximum fixpoint, so an insertion
+    /// batch has no valid baseline to repair from and the entry is
+    /// dropped instead (the next query re-evaluates fresh).
     pub invalidated_entries: usize,
     /// Match pairs revoked across all maintained entries (deletion
     /// side of the batch).

@@ -32,6 +32,7 @@ use crate::vars::{AnswerBuilder, MatchLists, Var};
 use dgs_graph::Pattern;
 use dgs_net::{CoordinatorLogic, Endpoint, Outbox, SiteLogic, WireSize};
 use dgs_partition::{Fragmentation, SiteId};
+use dgs_sim::matchset::MatchSet;
 use dgs_sim::MatchRelation;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -146,8 +147,8 @@ pub struct DgpmSite {
     /// from-scratch rebuilds of `dGPMNOpt`).
     known_false_virtuals: HashSet<Var>,
     /// In-node falsifications already shipped (idempotence for the
-    /// from-scratch path).
-    sent: HashSet<Var>,
+    /// from-scratch path): one bit per `(query var, local index)`.
+    sent: MatchSet,
     /// Push state: equations inlined *at* this site.
     inlined: InlinedEquations,
     /// Push state: extra subscribers registered at this site.
@@ -170,6 +171,7 @@ impl DgpmSite {
         cfg: DgpmConfig,
         mode: QueryMode,
     ) -> Self {
+        let sent = MatchSet::new(q.node_count(), frag.fragment(site).n_total());
         DgpmSite {
             site,
             frag,
@@ -177,7 +179,7 @@ impl DgpmSite {
             cfg,
             eval: None,
             known_false_virtuals: HashSet::new(),
-            sent: HashSet::new(),
+            sent,
             inlined: InlinedEquations::new(),
             extra_subs: ExtraSubscribers::new(),
             pushed: false,
@@ -195,10 +197,10 @@ impl DgpmSite {
         // BTreeMap: deterministic destination order.
         let mut per_site: BTreeMap<SiteId, Vec<Var>> = BTreeMap::new();
         for var in vars {
-            if !self.sent.insert(var) {
+            let idx = f.index_of(var.node_id()).expect("in-node var is local");
+            if !self.sent.insert(var.q as usize, idx) {
                 continue;
             }
-            let idx = f.index_of(var.node_id()).expect("in-node var is local");
             let pos = f.in_node_pos(idx).expect("falsified var is an in-node");
             for &s in f.in_node_subscribers(pos) {
                 per_site.entry(s).or_default().push(var);

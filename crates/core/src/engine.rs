@@ -932,7 +932,10 @@ impl SimEngine {
             self.stats.add_cache_hits(1);
             return Ok(Self::report_from_cache(q, canon, &cached));
         }
-        let mut report = self.run_one(&snap, algorithm, q)?;
+        // A single query gets the whole worker budget for intra-query
+        // (per-fragment) parallelism.
+        let intra = self.effective_workers(snap.frag.num_sites());
+        let mut report = self.run_one(&snap, algorithm, q, intra)?;
         Self::charge_broadcast(&mut report.metrics, &snap.frag, std::iter::once(q));
         if let Some(canon) = canon {
             self.cache_store(&snap, canon, &report);
@@ -974,8 +977,9 @@ impl SimEngine {
                 plan: report.plan,
             });
         }
+        let intra = self.effective_workers(snap.frag.num_sites());
         if self.uses_compressed(&snap, algorithm) {
-            let mut report = self.run_one(&snap, algorithm, q)?;
+            let mut report = self.run_one(&snap, algorithm, q, intra)?;
             Self::charge_broadcast(&mut report.metrics, &snap.frag, std::iter::once(q));
             if let Some(canon) = canon {
                 self.cache_store(&snap, canon, &report);
@@ -994,7 +998,7 @@ impl SimEngine {
             Resolved::Dgpm(cfg) => {
                 let (coord, sites) =
                     dgpm::build_with_mode(&snap.frag, &qa, cfg.clone(), QueryMode::Boolean);
-                let o = self.drive(&snap, &snap.frag, resolved.name(), coord, sites)?;
+                let o = self.drive(&snap, &snap.frag, resolved.name(), intra, coord, sites)?;
                 let b = o
                     .coordinator
                     .boolean
@@ -1005,7 +1009,8 @@ impl SimEngine {
                 (b, o.metrics)
             }
             other => {
-                let (relation, metrics) = self.run_resolved(&snap, &snap.frag, other, &qa)?;
+                let (relation, metrics) =
+                    self.run_resolved(&snap, &snap.frag, other, &qa, intra)?;
                 (relation.is_total(), metrics)
             }
         };
@@ -1072,9 +1077,12 @@ impl SimEngine {
             .map(|(i, _)| i)
             .collect();
         let workers = self.effective_workers(worklist.len());
+        // Inside a batch the pool is spent *across* entries; each run
+        // keeps `intra = 1` so the two levels never oversubscribe and
+        // a 1-worker batch stays the fully sequential baseline.
         if workers <= 1 {
             for &i in &worklist {
-                slots[i] = Some(self.run_one(&snap, algorithm, &patterns[i]));
+                slots[i] = Some(self.run_one(&snap, algorithm, &patterns[i], 1));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -1091,7 +1099,7 @@ impl SimEngine {
                             break;
                         }
                         let i = worklist_ref[slot];
-                        let report = self.run_one(snap_ref, algorithm, &patterns[i]);
+                        let report = self.run_one(snap_ref, algorithm, &patterns[i], 1);
                         if tx.send((i, report)).is_err() {
                             break;
                         }
@@ -1177,9 +1185,16 @@ impl SimEngine {
     ///
     /// The exact per-entry diffs land in
     /// [`DeltaReport::maintained_diffs`] — the feed a live match
-    /// subscription pushes. Nothing is conservatively invalidated
-    /// anymore; [`DeltaReport::invalidated_entries`] stays `0` for
-    /// every accepted batch shape.
+    /// subscription pushes. The one exception to "everything
+    /// maintains": a `trivial-∅` entry whose pattern has nodes that
+    /// cannot reach a cycle of `Q`. Its stored `∅` rows are the
+    /// answer convention, **not** the maximum fixpoint (sink-reaching
+    /// nodes keep label-compatible matches on any graph), so an
+    /// insertion batch — which may close a graph cycle — has no
+    /// valid baseline to repair from. Such entries are dropped and
+    /// counted in [`DeltaReport::invalidated_entries`]; the next
+    /// query re-evaluates under fresh facts (and a live subscription
+    /// falls back to re-query + set-diff, staying exact).
     ///
     /// The compressed leg, if configured, is marked dirty and lazily
     /// rebuilt by the next query that wants it.
@@ -1274,6 +1289,24 @@ impl SimEngine {
             for (key, entry) in entries {
                 let canon_key = key[2..].to_vec();
                 let pattern = cache::decode_pattern(&canon_key);
+                // A `trivial-∅` entry stores the answer *convention*,
+                // not the maximum fixpoint. When every pattern node
+                // reaches a cycle of `Q` the two coincide (the
+                // fixpoint on an acyclic graph is genuinely empty)
+                // and the entry maintains like any other; otherwise
+                // sink-reaching nodes keep label-compatible matches
+                // the `∅` rows never held, so insertions — which may
+                // close a graph cycle — have no valid baseline to
+                // repair from. Drop the entry and let the next query
+                // re-evaluate under fresh facts.
+                if !inserts.is_empty()
+                    && entry.algorithm == EngineChoice::TriviallyEmpty.name()
+                    && !crate::plan::empty_rows_are_fixpoint(&pattern)
+                {
+                    maintained.remove(&canon_key);
+                    report.invalidated_entries += 1;
+                    continue;
+                }
                 if !maintained.contains_key(&canon_key) {
                     let sites = (0..snap.frag.num_sites())
                         .map(|s| {
@@ -1528,6 +1561,7 @@ impl SimEngine {
         snap: &GenSnapshot,
         algorithm: &Algorithm,
         q: &Pattern,
+        intra: usize,
     ) -> Result<RunReport, DgsError> {
         let leg = if matches!(algorithm, Algorithm::Auto) {
             snap.compressed_leg()
@@ -1548,7 +1582,8 @@ impl SimEngine {
             ));
             let resolved = Self::resolved_from_choice(choice);
             let qa = Arc::new(q.clone());
-            let (class_relation, metrics) = self.run_resolved(snap, &leg.frag, &resolved, &qa)?;
+            let (class_relation, metrics) =
+                self.run_resolved(snap, &leg.frag, &resolved, &qa, intra)?;
             let relation = leg.graph.expand(&class_relation);
             return Ok(RunReport::assemble(
                 relation,
@@ -1569,7 +1604,7 @@ impl SimEngine {
             ));
         }
         let qa = Arc::new(q.clone());
-        let (relation, metrics) = self.run_resolved(snap, &snap.frag, &resolved, &qa)?;
+        let (relation, metrics) = self.run_resolved(snap, &snap.frag, &resolved, &qa, intra)?;
         Ok(RunReport::assemble(
             relation,
             metrics,
@@ -1659,11 +1694,17 @@ impl SimEngine {
     /// snapshot a concurrent delta has already (or not yet) re-shipped
     /// must not run on the wrong worker graph — both fall back to the
     /// in-process virtual executor.
+    /// `intra` is the intra-query worker budget: the virtual
+    /// executor's Phase-1 site evaluations fan out over up to that
+    /// many threads ([`dgs_net::try_run_pooled`]); reports stay
+    /// bit-identical to an `intra = 1` run. The threaded and socket
+    /// executors are inherently per-site parallel and ignore it.
     fn drive<M, C, S>(
         &self,
         snap: &GenSnapshot,
         frag: &Arc<Fragmentation>,
         algorithm: &'static str,
+        intra: usize,
         coordinator: C,
         sites: Vec<S>,
     ) -> Result<RunOutcome<C, S>, DgsError>
@@ -1679,7 +1720,7 @@ impl SimEngine {
             (ExecutorKind::Socket, _) => (ExecutorKind::Virtual, None),
             (kind, _) => (kind, None),
         };
-        dgs_net::try_run(kind, &self.cost, cluster, coordinator, sites)
+        dgs_net::try_run_pooled(kind, &self.cost, cluster, intra, coordinator, sites)
             .map_err(|e| DgsError::from_exec(algorithm, e))
     }
 
@@ -1691,13 +1732,14 @@ impl SimEngine {
         frag: &Arc<Fragmentation>,
         resolved: &Resolved,
         q: &Arc<Pattern>,
+        intra: usize,
     ) -> Result<(MatchRelation, RunMetrics), DgsError> {
         // One shape per engine: build the actors, run them, take the
         // coordinator's answer.
         macro_rules! drive {
             ($build:expr) => {{
                 let (coord, sites) = $build;
-                let o = self.drive(snap, frag, resolved.name(), coord, sites)?;
+                let o = self.drive(snap, frag, resolved.name(), intra, coord, sites)?;
                 let answer = o
                     .coordinator
                     .answer
@@ -2203,6 +2245,76 @@ mod tests {
             report.resurrected_pairs,
             "single entry accounts for all resurrections"
         );
+    }
+
+    #[test]
+    fn insert_delta_invalidates_empty_shortcircuit_with_sink_nodes() {
+        use dgs_graph::Label;
+        // A cyclic pattern with a childless sink: u0 ⇄ u1 plus
+        // u0 → u2. On any graph the true fixpoint keeps u2's
+        // label-compatible matches, so the `trivial-∅` entry's rows
+        // are the answer convention, NOT the fixpoint — maintaining
+        // them through a cycle-closing insertion would resurrect only
+        // the affected area and leave the entry neither ∅ nor exact.
+        let mut qb = dgs_graph::PatternBuilder::new();
+        let u0 = qb.add_node(Label(0));
+        let u1 = qb.add_node(Label(0));
+        let u2 = qb.add_node(Label(0));
+        qb.add_edge(u0, u1);
+        qb.add_edge(u1, u0);
+        qb.add_edge(u0, u2);
+        let q = qb.build();
+        assert!(!crate::plan::empty_rows_are_fixpoint(&q));
+
+        // Acyclic path v0 → v1 → v2 plus two leaf nodes, all label 0.
+        let mut b = dgs_graph::GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_node(Label(0))).collect();
+        b.add_edge(vs[0], vs[1]);
+        b.add_edge(vs[1], vs[2]);
+        let g = b.build();
+        let assign = hash_partition(g.node_count(), 2, 7);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, 2));
+        let engine = SimEngine::builder(&g, frag).build();
+        let cold = engine.query(&q).unwrap();
+        assert_eq!(cold.algorithm, "trivial-∅");
+
+        // Deletion-only batches keep maintaining: the graph stays
+        // acyclic, ∅ stays the answer, nothing can resurrect.
+        let del = engine
+            .apply_delta(&GraphDelta::deletions([(vs[1], vs[2])]))
+            .unwrap();
+        assert_eq!(del.maintained_entries, 1);
+        assert_eq!(del.invalidated_entries, 0);
+        let back = engine
+            .apply_delta(&GraphDelta::insertions([(vs[1], vs[2])]))
+            .unwrap();
+
+        // An insertion batch drops the entry instead of repairing it
+        // from the unsound ∅ baseline.
+        assert_eq!(back.maintained_entries, 0);
+        assert_eq!(back.invalidated_entries, 1);
+        assert!(back.maintained_diffs.is_empty());
+
+        // The follow-up query re-evaluates fresh (no stale cache
+        // hit); the graph is still acyclic, so the planner
+        // short-circuits again and the ∅ *convention* is the answer.
+        let warm = engine.query(&q).unwrap();
+        assert_eq!(warm.metrics.cache_hits, 0, "entry was dropped");
+        assert_eq!(warm.algorithm, "trivial-∅");
+        assert!(!warm.is_match);
+
+        let closed = engine
+            .apply_delta(&GraphDelta::insertions([(vs[2], vs[0])]))
+            .unwrap();
+        assert_eq!(closed.invalidated_entries, 1);
+        assert!(!engine.facts().is_dag);
+        let cyclic = engine.query(&q).unwrap();
+        let oracle = hhk_simulation(&q, &engine.graph());
+        assert_eq!(cyclic.relation, oracle.relation);
+        // The cycle v0→v1→v2→v0 now carries u0/u1; u2 matches every
+        // label-0 node, leaves included.
+        assert_eq!(cyclic.relation.matches_of(u0), &vs[..3]);
+        assert_eq!(cyclic.relation.matches_of(u2), &vs[..]);
     }
 
     #[test]

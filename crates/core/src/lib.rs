@@ -76,6 +76,10 @@ pub mod dgpmt;
 pub mod engine;
 pub mod error;
 pub mod local_eval;
+/// Flat bitset candidate sets shared by the centralized and
+/// distributed kernels (re-exported from `dgs-sim`, where the
+/// centralized HHK kernel lives).
+pub use dgs_sim::matchset;
 pub mod plan;
 pub mod push;
 pub mod remote;

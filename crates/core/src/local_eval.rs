@@ -31,6 +31,7 @@
 use crate::vars::Var;
 use dgs_graph::{Pattern, QNodeId};
 use dgs_partition::{Fragmentation, SiteId};
+use dgs_sim::matchset::{MatchSet, SetBits};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -47,8 +48,9 @@ pub struct LocalEval {
     parent_edges: Vec<Vec<(usize, u16)>>,
     /// Per query node: indices of outgoing query edges.
     out_edges: Vec<Vec<usize>>,
-    /// Candidacy of `X(u, v)`: `cand[idx * nq + u]`.
-    cand: Vec<bool>,
+    /// Candidacy of `X(u, v)`: one bitset row per query variable over
+    /// the fragment index arena (locals first, then virtuals).
+    cand: MatchSet,
     /// Support counters: `cnt[e * n + idx]` (meaningful for local
     /// indices only).
     cnt: Vec<u32>,
@@ -89,35 +91,57 @@ impl LocalEval {
 
         let mut ops: u64 = 0;
 
-        // Candidacy by label; virtual pairs additionally respect the
-        // pinned-false set.
-        let mut cand = vec![false; n * nq];
+        // Candidacy by label: one bitset row of label-matched indices
+        // per label (single pass over the fragment), then candidate
+        // rows are word-at-a-time copies. Virtual pairs additionally
+        // respect the pinned-false set.
+        let label_bound = q
+            .labels()
+            .iter()
+            .map(|l| l.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(
+                (0..n as u32)
+                    .map(|idx| f.label(idx).index() + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+        let mut by_label = MatchSet::new(label_bound, n);
         for idx in 0..n as u32 {
-            let label = f.label(idx);
-            for u in q.nodes() {
-                ops += 1;
-                if q.label(u) != label {
-                    continue;
+            ops += 1;
+            by_label.set(f.label(idx).index(), idx);
+        }
+        let mut cand = MatchSet::new(nq, n);
+        for u in q.nodes() {
+            ops += cand.words_per_row() as u64;
+            cand.copy_row_from(u.index(), by_label.row(q.label(u).index()));
+        }
+        for var in pinned_false {
+            ops += 1;
+            if (var.q as usize) < nq {
+                if let Some(idx) = f.index_of(var.node_id()) {
+                    if f.is_virtual(idx) {
+                        cand.remove(var.q as usize, idx);
+                    }
                 }
-                let pinned = f.is_virtual(idx)
-                    && pinned_false.contains(&Var {
-                        q: u.0,
-                        node: f.global_id(idx).0,
-                    });
-                cand[idx as usize * nq + u.index()] = !pinned;
             }
         }
 
-        // Seed counters from current candidacy.
+        // Seed counters from current candidacy: per query edge, a
+        // contiguous sorted-slice sweep over each local node's
+        // successors against the child's candidate row.
         let mut cnt = vec![0u32; ne * n];
-        for idx in 0..n_local as u32 {
-            for &s in f.successors(idx) {
-                for (e, &(_, uc)) in qedges.iter().enumerate() {
+        for (e, &(_, uc)) in qedges.iter().enumerate() {
+            for idx in 0..n_local as u32 {
+                let mut c = 0u32;
+                for &s in f.successors(idx) {
                     ops += 1;
-                    if cand[s as usize * nq + uc as usize] {
-                        cnt[e * n + idx as usize] += 1;
+                    if cand.test(uc as usize, s) {
+                        c += 1;
                     }
                 }
+                cnt[e * n + idx as usize] = c;
             }
         }
 
@@ -136,19 +160,21 @@ impl LocalEval {
         };
 
         // Initial worklist: local label-candidates with an unsupported
-        // query edge.
+        // query edge — walk only the set bits of each row, which are
+        // ascending, so the scan stops at the first virtual index.
         let mut worklist: Vec<(u16, u32)> = Vec::new();
-        for idx in 0..n_local as u32 {
-            for u in 0..nq as u16 {
-                if !ev.cand[idx as usize * nq + u as usize] {
-                    continue;
+        for u in 0..nq as u16 {
+            let row = ev.cand.row(u as usize).to_vec();
+            for idx in SetBits::new(&row) {
+                if idx as usize >= n_local {
+                    break;
                 }
                 ev.ops += 1;
                 let dead = ev.out_edges[u as usize]
                     .iter()
                     .any(|&e| ev.cnt[e * n + idx as usize] == 0);
                 if dead {
-                    ev.cand[idx as usize * nq + u as usize] = false;
+                    ev.cand.remove(u as usize, idx);
                     worklist.push((u, idx));
                 }
             }
@@ -166,7 +192,7 @@ impl LocalEval {
     /// index.)
     #[inline]
     pub fn is_candidate(&self, u: u16, idx: u32) -> bool {
-        self.cand[idx as usize * self.nq + u as usize]
+        self.cand.test(u as usize, idx)
     }
 
     /// The pattern this evaluation runs.
@@ -203,9 +229,7 @@ impl LocalEval {
                 "falsification for a non-virtual node {:?}",
                 var
             );
-            let slot = idx as usize * self.nq + var.q as usize;
-            if self.cand[slot] {
-                self.cand[slot] = false;
+            if (var.q as usize) < self.nq && self.cand.remove(var.q as usize, idx) {
                 worklist.push((var.q, idx));
             }
         }
@@ -216,11 +240,9 @@ impl LocalEval {
     /// used by `dGPMt` when the coordinator returns solved root
     /// variables. Returns newly falsified in-node variables.
     pub fn falsify_pair(&mut self, u: u16, idx: u32) -> Vec<Var> {
-        let slot = idx as usize * self.nq + u as usize;
-        if !self.cand[slot] {
+        if !self.cand.remove(u as usize, idx) {
             return Vec::new();
         }
-        self.cand[slot] = false;
         self.run_worklist(vec![(u, idx)])
     }
 
@@ -229,7 +251,6 @@ impl LocalEval {
     fn run_worklist(&mut self, mut worklist: Vec<(u16, u32)>) -> Vec<Var> {
         let frag = Arc::clone(&self.frag);
         let f = frag.fragment(self.site);
-        let nq = self.nq;
         let n = self.n;
         let mut falsified_in_nodes = Vec::new();
         while let Some((uq, idx)) = worklist.pop() {
@@ -245,12 +266,8 @@ impl LocalEval {
                     let c = &mut self.cnt[e * n + vp as usize];
                     debug_assert!(*c > 0, "support counter underflow");
                     *c -= 1;
-                    if *c == 0 {
-                        let slot = vp as usize * nq + up as usize;
-                        if self.cand[slot] {
-                            self.cand[slot] = false;
-                            worklist.push((up, vp));
-                        }
+                    if *c == 0 && self.cand.remove(up as usize, vp) {
+                        worklist.push((up, vp));
                     }
                 }
             }
@@ -265,12 +282,16 @@ impl LocalEval {
         let f = frag.fragment(self.site);
         let mut out = Vec::with_capacity(self.nq);
         for u in 0..self.nq as u16 {
+            // Set bits come out ascending, so locals ([0, n_local))
+            // form a prefix of the row walk.
             let mut l = Vec::new();
-            for idx in 0..self.n_local as u32 {
-                self.ops += 1;
-                if self.is_candidate(u, idx) {
-                    l.push(f.global_id(idx).0);
+            self.ops += self.cand.words_per_row() as u64;
+            for idx in self.cand.iter_row(u as usize) {
+                if idx as usize >= self.n_local {
+                    break;
                 }
+                self.ops += 1;
+                l.push(f.global_id(idx).0);
             }
             out.push((u, l));
         }
@@ -282,11 +303,7 @@ impl LocalEval {
     pub fn unevaluated_virtuals(&self) -> usize {
         let f = self.fragment();
         f.virtual_indices()
-            .map(|idx| {
-                (0..self.nq)
-                    .filter(|&u| self.cand[idx as usize * self.nq + u])
-                    .count()
-            })
+            .map(|idx| (0..self.nq).filter(|&u| self.cand.test(u, idx)).count())
             .sum()
     }
 
@@ -295,11 +312,7 @@ impl LocalEval {
         let f = self.fragment();
         f.in_nodes()
             .iter()
-            .map(|&idx| {
-                (0..self.nq)
-                    .filter(|&u| self.cand[idx as usize * self.nq + u])
-                    .count()
-            })
+            .map(|&idx| (0..self.nq).filter(|&u| self.cand.test(u, idx)).count())
             .sum()
     }
 

@@ -94,6 +94,37 @@ impl PatternFacts {
     }
 }
 
+/// Whether the `trivial-∅` short-circuit's all-empty relation is also
+/// the **maximum simulation fixpoint** on an acyclic graph — true
+/// exactly when every pattern node can reach a cycle of `Q`.
+///
+/// A node that cannot (a childless sink, or an ancestor whose only
+/// descendants are such sinks) keeps its label-compatible matches in
+/// the true fixpoint on *any* graph; for those patterns `∅` is only
+/// the answer convention, not the fixpoint, so cached `∅` rows are
+/// not a valid baseline for incremental maintenance once insertions
+/// may close a graph cycle.
+pub(crate) fn empty_rows_are_fixpoint(q: &Pattern) -> bool {
+    // Iteratively trim nodes whose successors are all trimmed
+    // (childless sinks first); survivors are exactly the nodes that
+    // can reach a cycle.
+    let n = q.node_count();
+    let mut trimmed = vec![false; n];
+    loop {
+        let mut changed = false;
+        for u in q.nodes() {
+            if !trimmed[u.0 as usize] && q.children(u).iter().all(|c| trimmed[c.0 as usize]) {
+                trimmed[u.0 as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    trimmed.iter().all(|t| !t)
+}
+
 /// The engine the planner resolved a query to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineChoice {

@@ -272,11 +272,15 @@ impl LatencyHistogram {
         (1u64 << (bits - 1)) | (sub << shift) | ((1u64 << shift) - 1)
     }
 
-    /// Records one observation.
+    /// Records one observation. Counts and the running sum saturate
+    /// instead of overflowing: a histogram that has absorbed `u64::MAX`
+    /// observations keeps reporting (slightly pessimistic) quantiles
+    /// rather than panicking or wrapping.
     pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
+        let b = &mut self.counts[Self::bucket_of(v)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v as u128);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -314,13 +318,15 @@ impl LatencyHistogram {
         }
     }
 
-    /// Adds every observation of `other` into `self` (exact).
+    /// Adds every observation of `other` into `self` (exact; bucket
+    /// counts add). Merging an empty histogram — in either direction —
+    /// is the identity, and counts saturate instead of overflowing.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (t, s) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *t += s;
+            *t = t.saturating_add(*s);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -798,6 +804,188 @@ impl SubscribeSnapshot {
     }
 }
 
+/// Format version of [`ExecutorsSnapshot::to_json`]; same bump/refuse
+/// discipline as [`SERVING_SNAPSHOT_VERSION`].
+pub const EXECUTORS_SNAPSHOT_VERSION: u32 = 1;
+
+/// An executors-area trajectory snapshot (`dgs-bench --area
+/// executors`): the committed-artifact form of the single-query hot
+/// path — bitset kernels vs the old HashSet-of-pairs representation,
+/// and intra-query fragment parallelism vs the sequential site loop.
+/// Written as `BENCH_executors.json` and compared in CI, so the
+/// bitset win is recorded and *stays* won.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutorsSnapshot {
+    /// Schema version ([`EXECUTORS_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Centralized single-query time of the HashSet-of-pairs
+    /// reference kernel, milliseconds.
+    pub hashset_kernel_ms: f64,
+    /// Centralized single-query time of the bitset kernel over the
+    /// same workload, milliseconds.
+    pub bitset_kernel_ms: f64,
+    /// `hashset_kernel_ms / bitset_kernel_ms` — the representation
+    /// win; gated to stay ≥ 2× (the PR's acceptance target).
+    pub kernel_speedup: f64,
+    /// Distributed single-query engine time, sequential site loop
+    /// (1 intra-query worker), milliseconds.
+    pub seq_query_ms: f64,
+    /// Distributed single-query engine time with the intra-query pool,
+    /// milliseconds.
+    pub par_query_ms: f64,
+    /// `seq_query_ms / par_query_ms` — the intra-query parallelism
+    /// win (≈ 1.0 on single-core runners, higher with cores).
+    pub intra_speedup: f64,
+    /// Median per-query latency over the measured stream
+    /// (parallel path), microseconds.
+    pub query_p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub query_p99_us: f64,
+    /// Queries timed into the latency histogram.
+    pub queries: u64,
+}
+
+impl ExecutorsSnapshot {
+    /// A snapshot of one trajectory run; per-query latencies come from
+    /// `histogram` (recorded in nanoseconds).
+    pub fn of_run(
+        hashset_kernel_ms: f64,
+        bitset_kernel_ms: f64,
+        seq_query_ms: f64,
+        par_query_ms: f64,
+        histogram: &LatencyHistogram,
+    ) -> ExecutorsSnapshot {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+        ExecutorsSnapshot {
+            version: EXECUTORS_SNAPSHOT_VERSION,
+            hashset_kernel_ms,
+            bitset_kernel_ms,
+            kernel_speedup: ratio(hashset_kernel_ms, bitset_kernel_ms),
+            seq_query_ms,
+            par_query_ms,
+            intra_speedup: ratio(seq_query_ms, par_query_ms),
+            query_p50_us: us(histogram.p50()),
+            query_p99_us: us(histogram.p99()),
+            queries: histogram.count(),
+        }
+    }
+
+    /// The committed-artifact form (flat JSON, stable key order,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {},\n  \"hashset_kernel_ms\": {:.3},\n  \
+             \"bitset_kernel_ms\": {:.3},\n  \"kernel_speedup\": {:.2},\n  \
+             \"seq_query_ms\": {:.3},\n  \"par_query_ms\": {:.3},\n  \
+             \"intra_speedup\": {:.2},\n  \"query_p50_us\": {:.1},\n  \
+             \"query_p99_us\": {:.1},\n  \"queries\": {}\n}}\n",
+            self.version,
+            self.hashset_kernel_ms,
+            self.bitset_kernel_ms,
+            self.kernel_speedup,
+            self.seq_query_ms,
+            self.par_query_ms,
+            self.intra_speedup,
+            self.query_p50_us,
+            self.query_p99_us,
+            self.queries
+        )
+    }
+
+    /// Parses [`ExecutorsSnapshot::to_json`] output (any flat JSON
+    /// with the same keys, whitespace-insensitive). `None` on a
+    /// missing key or a version this build does not speak.
+    pub fn parse_json(s: &str) -> Option<ExecutorsSnapshot> {
+        let num = |key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\"");
+            let at = s.find(&pat)? + pat.len();
+            let rest = s[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let version = num("version")? as u32;
+        if version != EXECUTORS_SNAPSHOT_VERSION {
+            return None;
+        }
+        Some(ExecutorsSnapshot {
+            version,
+            hashset_kernel_ms: num("hashset_kernel_ms")?,
+            bitset_kernel_ms: num("bitset_kernel_ms")?,
+            kernel_speedup: num("kernel_speedup")?,
+            seq_query_ms: num("seq_query_ms")?,
+            par_query_ms: num("par_query_ms")?,
+            intra_speedup: num("intra_speedup")?,
+            query_p50_us: num("query_p50_us")?,
+            query_p99_us: num("query_p99_us")?,
+            queries: num("queries")? as u64,
+        })
+    }
+
+    /// Regression verdicts of `self` (the new run) against `baseline`,
+    /// empty when acceptable.
+    ///
+    /// Speedups are *ratios measured within one run*, so they are
+    /// robust to runner speed: the kernel speedup is gated against
+    /// both the committed baseline (with `tolerance` slack) and the
+    /// hard 2× representation-win target; the intra-query speedup
+    /// only against the baseline (it is legitimately ≈ 1.0 on
+    /// single-core runners, and the committed envelope says so).
+    /// Absolute per-query latency gets `tolerance` + `latency_floor_us`
+    /// slack like every other snapshot.
+    pub fn regressions(
+        &self,
+        baseline: &ExecutorsSnapshot,
+        tolerance: f64,
+        latency_floor_us: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.kernel_speedup < 2.0 {
+            out.push(format!(
+                "bitset kernel speedup {:.2}x fell below the 2x representation-win target",
+                self.kernel_speedup
+            ));
+        }
+        for (name, new, base) in [
+            (
+                "kernel speedup",
+                self.kernel_speedup,
+                baseline.kernel_speedup,
+            ),
+            (
+                "intra-query speedup",
+                self.intra_speedup,
+                baseline.intra_speedup,
+            ),
+        ] {
+            let floor = base / (1.0 + tolerance);
+            if new < floor {
+                out.push(format!(
+                    "{name} {new:.2}x fell below {floor:.2}x (baseline {base:.2}x / {:.0}% \
+                     tolerance)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        for (name, new, base) in [
+            ("query p50", self.query_p50_us, baseline.query_p50_us),
+            ("query p99", self.query_p99_us, baseline.query_p99_us),
+        ] {
+            let ceiling = (base * (1.0 + tolerance)).max(base + latency_floor_us);
+            if new > ceiling {
+                out.push(format!(
+                    "{name} {new:.1}us exceeds {ceiling:.1}us (baseline {base:.1}us + {:.0}% \
+                     tolerance, {latency_floor_us:.0}us floor)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1091,5 +1279,123 @@ mod tests {
         assert!(verdicts[0].contains("errors at 1000 connections"));
         assert!(verdicts[1].contains("throughput"));
         assert!(verdicts[2].contains("p99"));
+    }
+
+    /// Satellite hardening: the edge cases the bench driver leans on.
+    #[test]
+    fn histogram_empty_merge_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.p99(), 0);
+        assert_eq!(a.mean(), 0.0);
+
+        // Empty into non-empty and non-empty into empty agree.
+        let mut src = LatencyHistogram::new();
+        src.record(1_234);
+        let mut ne = src.clone();
+        ne.merge(&LatencyHistogram::new());
+        let mut e = LatencyHistogram::new();
+        e.merge(&src);
+        for h in [&ne, &e] {
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), 1_234);
+            assert_eq!(h.max(), 1_234);
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_the_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p95(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.quantile(0.0), 777);
+        assert_eq!(h.quantile(1.0), 777);
+        assert!(!h.mean().is_nan());
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_overflowing() {
+        // Extreme values record without panicking...
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        // ...and a count already at the u64 ceiling saturates on both
+        // the record and merge paths instead of wrapping.
+        let mut big = LatencyHistogram::new();
+        big.record(5);
+        big.count = u64::MAX;
+        big.counts[LatencyHistogram::bucket_of(5)] = u64::MAX;
+        big.sum = u128::MAX;
+        big.record(5);
+        assert_eq!(big.count(), u64::MAX);
+        let mut other = LatencyHistogram::new();
+        other.record(5);
+        big.merge(&other);
+        assert_eq!(big.count(), u64::MAX);
+        // Quantiles stay finite, non-NaN numbers.
+        assert!(big.p99() >= 5);
+        assert!(!big.mean().is_nan());
+    }
+
+    fn exec_snapshot() -> ExecutorsSnapshot {
+        let mut h = LatencyHistogram::new();
+        for i in 0..100u64 {
+            h.record(1_000_000 + i * 10_000);
+        }
+        ExecutorsSnapshot::of_run(80.0, 8.0, 40.0, 16.0, &h)
+    }
+
+    #[test]
+    fn executors_snapshot_roundtrip() {
+        let snap = exec_snapshot();
+        assert!((snap.kernel_speedup - 10.0).abs() < 1e-9);
+        assert!((snap.intra_speedup - 2.5).abs() < 1e-9);
+        assert_eq!(snap.queries, 100);
+        let parsed = ExecutorsSnapshot::parse_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed.version, EXECUTORS_SNAPSHOT_VERSION);
+        assert!((parsed.kernel_speedup - 10.0).abs() < 0.01);
+        assert_eq!(parsed.queries, 100);
+    }
+
+    #[test]
+    fn executors_snapshot_rejects_other_versions() {
+        let other = exec_snapshot()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(ExecutorsSnapshot::parse_json(&other).is_none());
+    }
+
+    #[test]
+    fn executors_regression_gate() {
+        let base = exec_snapshot();
+        // Identical run passes.
+        assert!(exec_snapshot().regressions(&base, 0.20, 200.0).is_empty());
+        // The hard 2x kernel target fires independently of the baseline.
+        let slow_kernel = ExecutorsSnapshot {
+            kernel_speedup: 1.5,
+            ..exec_snapshot()
+        };
+        let verdicts = slow_kernel.regressions(&base, 0.20, 200.0);
+        assert_eq!(verdicts.len(), 2, "{verdicts:?}");
+        assert!(verdicts[0].contains("2x representation-win target"));
+        assert!(verdicts[1].contains("kernel speedup"));
+        // A collapsed intra-query speedup and a blown-up latency fail.
+        let bad = ExecutorsSnapshot {
+            intra_speedup: 1.0,
+            query_p99_us: 1e6,
+            ..exec_snapshot()
+        };
+        let verdicts = bad.regressions(&base, 0.20, 200.0);
+        assert_eq!(verdicts.len(), 2, "{verdicts:?}");
+        assert!(verdicts[0].contains("intra-query speedup"));
+        assert!(verdicts[1].contains("query p99"));
     }
 }

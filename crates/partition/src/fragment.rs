@@ -922,3 +922,186 @@ mod tests {
         f.apply_delta(&[EdgeOp::Insert(NodeId(0), NodeId(1))]);
     }
 }
+
+/// The retired-slot revival audit: random interleavings of crossing
+/// and local edge deletes, re-inserts of previously deleted edges
+/// (the revival path) and fresh inserts, with the delta-maintained
+/// fragmentation compared against a from-scratch rebuild of the
+/// final graph after every burst. Indices are append-only, so the
+/// comparison is by **global-id sets** (a rebuild lays out virtuals
+/// densely; the maintained side keeps retired slots in place), plus
+/// the invariant that no existing slot ever moves.
+#[cfg(test)]
+mod delta_proptests {
+    use super::*;
+    use dgs_graph::{GraphBuilder, Label, NodeId};
+    use proptest::prelude::*;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    fn build_graph(n: usize, edges: &BTreeSet<(u32, u32)>, labels: &[Label]) -> dgs_graph::Graph {
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        for &l in labels {
+            b.add_node(l);
+        }
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Per-site observable state, in global ids: locals, live
+    /// virtuals, edges (from local sources), and in-node subscriber
+    /// sets (only non-empty ones — the maintained side keeps empty
+    /// subscription slots around, a rebuild never creates them).
+    #[allow(clippy::type_complexity)]
+    fn observe(
+        f: &Fragmentation,
+    ) -> Vec<(
+        BTreeSet<u32>,
+        BTreeSet<u32>,
+        BTreeSet<(u32, u32)>,
+        BTreeMap<u32, BTreeSet<usize>>,
+    )> {
+        f.fragments()
+            .iter()
+            .map(|frag| {
+                let locals: BTreeSet<u32> =
+                    frag.local_indices().map(|i| frag.global_id(i).0).collect();
+                let live: BTreeSet<u32> = frag
+                    .virtual_indices()
+                    .filter(|&i| frag.is_live_virtual(i))
+                    .map(|i| frag.global_id(i).0)
+                    .collect();
+                let edges: BTreeSet<(u32, u32)> = frag
+                    .local_indices()
+                    .flat_map(|u| {
+                        frag.successors(u)
+                            .iter()
+                            .map(move |&t| (frag.global_id(u).0, frag.global_id(t).0))
+                    })
+                    .collect();
+                let subs: BTreeMap<u32, BTreeSet<usize>> = frag
+                    .in_nodes()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pos, &idx)| {
+                        let subscribers: BTreeSet<usize> =
+                            frag.in_node_subscribers(pos).iter().copied().collect();
+                        (!subscribers.is_empty()).then(|| (frag.global_id(idx).0, subscribers))
+                    })
+                    .collect();
+                (locals, live, edges, subs)
+            })
+            .collect()
+    }
+
+    fn check(seed: u64, n: usize, sites: usize, steps: usize) {
+        let mut s = seed | 1;
+        let labels: Vec<Label> = (0..n)
+            .map(|_| Label((xorshift(&mut s) % 3) as u16))
+            .collect();
+        let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for _ in 0..2 * n {
+            let u = (xorshift(&mut s) % n as u64) as u32;
+            let v = (xorshift(&mut s) % n as u64) as u32;
+            if u != v {
+                edges.insert((u, v));
+            }
+        }
+        let assignment = crate::hash_partition(n, sites, seed);
+        let g = build_graph(n, &edges, &labels);
+        let mut maintained = Fragmentation::build(&g, &assignment, sites);
+
+        // Every slot that exists now must keep its index forever.
+        let pinned: Vec<Vec<(NodeId, u32)>> = maintained
+            .fragments()
+            .iter()
+            .map(|frag| {
+                (0..frag.n_total() as u32)
+                    .map(|i| (frag.global_id(i), i))
+                    .collect()
+            })
+            .collect();
+
+        let mut deleted: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..steps {
+            let op = match xorshift(&mut s) % 3 {
+                // Revival path: put back an edge we deleted earlier.
+                0 if !deleted.is_empty() => {
+                    let e = deleted.swap_remove((xorshift(&mut s) % deleted.len() as u64) as usize);
+                    if edges.contains(&e) {
+                        continue; // re-inserted already by the fresh-insert arm
+                    }
+                    edges.insert(e);
+                    EdgeOp::Insert(NodeId(e.0), NodeId(e.1))
+                }
+                1 if !edges.is_empty() => {
+                    let k = (xorshift(&mut s) % edges.len() as u64) as usize;
+                    let e = *edges.iter().nth(k).unwrap();
+                    edges.remove(&e);
+                    deleted.push(e);
+                    EdgeOp::Delete(NodeId(e.0), NodeId(e.1))
+                }
+                _ => {
+                    let u = (xorshift(&mut s) % n as u64) as u32;
+                    let v = (xorshift(&mut s) % n as u64) as u32;
+                    if u == v || edges.contains(&(u, v)) {
+                        continue;
+                    }
+                    edges.insert((u, v));
+                    EdgeOp::Insert(NodeId(u), NodeId(v))
+                }
+            };
+            maintained.apply_delta(&[op]);
+        }
+
+        let rebuilt = Fragmentation::build(&build_graph(n, &edges, &labels), &assignment, sites);
+        assert_eq!(maintained.vf(), rebuilt.vf(), "|Vf| diverged");
+        assert_eq!(maintained.ef(), rebuilt.ef(), "|Ef| diverged");
+        assert_eq!(observe(&maintained), observe(&rebuilt));
+
+        // Index stability: locals and old virtual slots never moved,
+        // revived slots were revived in place.
+        for (site, pins) in pinned.iter().enumerate() {
+            let frag = maintained.fragment(site);
+            for &(v, idx) in pins {
+                assert_eq!(frag.index_of(v), Some(idx), "slot moved at site {site}");
+            }
+        }
+
+        // The maintained edge view agrees with the mutated edge set.
+        let sample: Vec<(u32, u32)> = edges.iter().copied().take(20).collect();
+        for (u, v) in sample {
+            assert!(maintained.has_edge(NodeId(u), NodeId(v)));
+        }
+        let mut absent_probe = HashSet::new();
+        while absent_probe.len() < 10 {
+            let u = (xorshift(&mut s) % n as u64) as u32;
+            let v = (xorshift(&mut s) % n as u64) as u32;
+            if u != v && !edges.contains(&(u, v)) && absent_probe.insert((u, v)) {
+                assert!(!maintained.has_edge(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn delta_maintained_fragmentation_matches_rebuild(
+            seed in any::<u64>(),
+            n in 8usize..40,
+            sites in 2usize..5,
+            steps in 1usize..80,
+        ) {
+            check(seed, n, sites, steps);
+        }
+    }
+}

@@ -226,7 +226,12 @@ fn main() {
         worker_threads: num(&flags, "workers", 0),
         metrics_enabled,
         metrics_addr,
-        slow_ms: num(&flags, "slow-ms", 0),
+        // `--slow-ms 0` traces every request; omitting the flag
+        // leaves capture off.
+        slow_ms: flags.get("slow-ms").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("--slow-ms: cannot parse '{v}'")))
+        }),
         log_level,
         ..ServerConfig::default()
     };

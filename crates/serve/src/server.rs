@@ -93,9 +93,11 @@ pub struct ServerConfig {
     /// from the same event loop.
     pub metrics_addr: Option<ServeAddr>,
     /// Requests slower than this many milliseconds land in the
-    /// slow-query ring dumped by the `TRACE` frame; `0` disables
-    /// capture.
-    pub slow_ms: u64,
+    /// slow-query ring dumped by the `TRACE` frame. `None` disables
+    /// capture (the default); `Some(0)` traces **every** request —
+    /// the ring is bounded, so that is cheap and is how `dgsq trace`
+    /// is used as a flight recorder.
+    pub slow_ms: Option<u64>,
     /// Stderr log verbosity (leveled, per-target rate-limited).
     pub log_level: LogLevel,
 }
@@ -110,7 +112,7 @@ impl Default for ServerConfig {
             max_sub_queue: DEFAULT_SUB_QUEUE_MAX,
             metrics_enabled: true,
             metrics_addr: None,
-            slow_ms: 0,
+            slow_ms: None,
             log_level: LogLevel::Warn,
         }
     }
@@ -431,8 +433,9 @@ struct Shared {
     obs: ServerObs,
     /// The slow-query ring (bounded at [`SLOW_LOG_CAP`]).
     slow_log: Mutex<VecDeque<WireTrace>>,
-    /// Slow-query threshold in nanoseconds; `0` = capture off.
-    slow_ns: u64,
+    /// Slow-query threshold in nanoseconds; `None` = capture off,
+    /// `Some(0)` = trace everything.
+    slow_ns: Option<u64>,
     /// Leveled, rate-limited stderr logger.
     log: Logger,
     /// The text-exposition endpoint's resolved address, when bound.
@@ -500,7 +503,7 @@ impl Server {
                 registry,
                 obs,
                 slow_log: Mutex::new(VecDeque::new()),
-                slow_ns: cfg.slow_ms.saturating_mul(1_000_000),
+                slow_ns: cfg.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
                 log: Logger::new(cfg.log_level),
                 metrics_addr,
             }),
@@ -710,7 +713,7 @@ fn worker_loop(shared: &Shared) {
         let total_ns = queue_ns.saturating_add(exec_ns).saturating_add(encode_ns);
         shared.obs.requests_total.inc();
         shared.obs.request_histo(job.ty).record(total_ns);
-        if shared.slow_ns > 0 && total_ns >= shared.slow_ns {
+        if shared.slow_ns.is_some_and(|ns| total_ns >= ns) {
             shared.obs.slow_queries.inc();
             shared.log.warn(
                 "slow",

@@ -13,6 +13,7 @@
 //! of the distributed algorithms (`dgs-core::local_eval`).
 
 use crate::match_relation::{MatchRelation, SimResult};
+use crate::matchset::MatchSet;
 use dgs_graph::{Graph, NodeId, Pattern, QNodeId};
 
 /// Computes the maximum simulation relation with the counter-based
@@ -31,20 +32,9 @@ pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
         parent_edges[uc.index()].push((e, u));
     }
 
-    // cand[u * n + v]
-    let mut cand = vec![false; nq * n];
-    for u in q.nodes() {
-        let lu = q.label(u);
-        for v in 0..n {
-            ops += 1;
-            cand[u.index() * n + v] = g.label(NodeId(v as u32)) == lu;
-        }
-    }
-
-    // cnt[e * n + v] = |{v' in succ(v) : cand(uc, v')}| for e = (u, uc).
-    // Initial candidates of uc are exactly the label-matched nodes, so
-    // seed counters from a per-node successor label tally.
-    let mut cnt = vec![0u32; ne * n];
+    // One bitset row of label-matched nodes per label, built in a
+    // single pass over the graph; candidate rows are then word-at-a-
+    // time copies instead of n per-pair label probes.
     let label_bound = q
         .labels()
         .iter()
@@ -52,6 +42,24 @@ pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
         .max()
         .unwrap_or(0)
         .max(g.label_bound());
+    let mut by_label = MatchSet::new(label_bound, n);
+    for v in 0..n {
+        ops += 1;
+        by_label.set(g.label(NodeId(v as u32)).index(), v as u32);
+    }
+
+    // cand: one bitset row per pattern variable over the node arena.
+    let mut cand = MatchSet::new(nq, n);
+    for u in q.nodes() {
+        ops += cand.words_per_row() as u64;
+        cand.copy_row_from(u.index(), by_label.row(q.label(u).index()));
+    }
+
+    // cnt[e * n + v] = |{v' in succ(v) : cand(uc, v')}| for e = (u, uc).
+    // Initial candidates of uc are exactly the label-matched nodes, so
+    // seed counters from a per-node successor label tally; the
+    // successor scan is a contiguous sorted-slice sweep.
+    let mut cnt = vec![0u32; ne * n];
     let mut tally = vec![0u32; label_bound];
     for v in 0..n {
         let vid = NodeId(v as u32);
@@ -81,14 +89,13 @@ pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
             .enumerate()
             .filter_map(|(e, &(src, _))| (src == u).then_some(e))
             .collect();
-        for v in 0..n {
-            if !cand[u.index() * n + v] {
-                continue;
-            }
+        // Walk only the set bits of u's candidate row.
+        let row = cand.row(u.index()).to_vec();
+        for v in crate::matchset::SetBits::new(&row) {
             ops += 1;
-            if out_edges.iter().any(|&e| cnt[e * n + v] == 0) {
-                cand[u.index() * n + v] = false;
-                worklist.push((u, v as u32));
+            if out_edges.iter().any(|&e| cnt[e * n + v as usize] == 0) {
+                cand.remove(u.index(), v);
+                worklist.push((u, v));
             }
         }
     }
@@ -101,8 +108,7 @@ pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
                 let c = &mut cnt[e * n + vp.index()];
                 debug_assert!(*c > 0, "counter underflow");
                 *c -= 1;
-                if *c == 0 && cand[u.index() * n + vp.index()] {
-                    cand[u.index() * n + vp.index()] = false;
+                if *c == 0 && cand.remove(u.index(), vp.0) {
                     worklist.push((u, vp.0));
                 }
             }
@@ -110,11 +116,7 @@ pub fn hhk_simulation(q: &Pattern, g: &Graph) -> SimResult {
     }
 
     let lists: Vec<Vec<NodeId>> = (0..nq)
-        .map(|u| {
-            (0..n)
-                .filter_map(|v| cand[u * n + v].then_some(NodeId(v as u32)))
-                .collect()
-        })
+        .map(|u| cand.iter_row(u).map(NodeId).collect())
         .collect();
     SimResult {
         relation: MatchRelation::from_lists(lists),

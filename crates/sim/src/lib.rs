@@ -50,8 +50,10 @@ pub mod hhk;
 pub mod incremental;
 pub mod iso;
 pub mod match_relation;
+pub mod matchset;
 pub mod naive;
 pub mod preorder;
+pub mod reference;
 pub mod strong;
 
 pub use bisim::{bisimulation_partition, BisimPartition};
@@ -63,6 +65,8 @@ pub use hhk::hhk_simulation;
 pub use incremental::IncrementalSim;
 pub use iso::{embedding_relation, enumerate_embeddings, find_embedding};
 pub use match_relation::{MatchRelation, SimResult};
+pub use matchset::{MatchSet, SetBits};
 pub use naive::naive_simulation;
 pub use preorder::SimPreorder;
+pub use reference::hashset_simulation;
 pub use strong::strong_simulation;

@@ -110,8 +110,8 @@ pub mod prelude {
     };
     pub use dgs_sim::{
         boolean_matches, bounded_simulation, compress_bisim, compress_simeq, dual_simulation,
-        find_embedding, hhk_simulation, naive_simulation, strong_simulation, BoundedPattern,
-        CompressedGraph, MatchRelation, SimPreorder,
+        find_embedding, hashset_simulation, hhk_simulation, naive_simulation, strong_simulation,
+        BoundedPattern, CompressedGraph, MatchRelation, MatchSet, SimPreorder,
     };
 }
 

@@ -187,3 +187,168 @@ proptest! {
         }
     }
 }
+
+// ---- bitset kernels vs the HashSet-of-pairs reference -----------------
+//
+// The flat `MatchSet` representation inside `hhk_simulation` and the
+// engines' `lEval` has zero iteration-order freedom, so it must
+// reproduce the HashSet reference kernel (`dgs_sim::hashset_simulation`)
+// *exactly* — on trees, DAGs and cyclic graphs, under every engine,
+// and across the delta-maintenance path.
+
+/// Strategy: a (graph shape × pattern shape) workload — tree, DAG or
+/// cyclic data, tree-ish/DAG/cyclic query — plus a fragmentation.
+fn shaped_workload_strategy() -> impl Strategy<Value = (Graph, Pattern, Vec<usize>, usize, u64)> {
+    (
+        0usize..3,    // graph family: tree | DAG | cyclic
+        0usize..2,    // pattern family: DAG | cyclic
+        12usize..70,  // nodes
+        2usize..5,    // labels
+        2usize..5,    // sites
+        any::<u64>(), // seed
+    )
+        .prop_map(|(gf, qf, n, labels, k, seed)| {
+            let g = match gf {
+                0 => dgs::graph::generate::tree::random_tree(n, labels, seed),
+                1 => dgs::graph::generate::dag::citation_like(n, 3 * n, labels, seed),
+                _ => random::uniform(n, 3 * n, labels, seed),
+            };
+            let q = match qf {
+                0 => patterns::random_dag_with_depth(4, 6, 2, labels, seed ^ 0x5bd1),
+                _ => patterns::random_cyclic(4, 7, labels, seed ^ 0x5bd1),
+            };
+            let assign = hash_partition(g.node_count(), k, seed);
+            (g, q, assign, k, seed)
+        })
+}
+
+/// Pseudo-random mixed delta over `g`: deletions of distinct present
+/// edges, insertions of distinct absent ones.
+fn random_delta(g: &Graph, nops: usize, seed: u64) -> GraphDelta {
+    let n = g.node_count() as u64;
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut touched: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut delta = GraphDelta::default();
+    let mut s = seed | 1;
+    for i in 0..nops {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if i % 2 == 0 && !edges.is_empty() {
+            let at = (s >> 33) as usize % edges.len();
+            delta.delete_edges.push(edges.swap_remove(at));
+        } else {
+            let u = NodeId(((s >> 20) % n) as u32);
+            let v = NodeId(((s >> 40) % n) as u32);
+            if touched.insert((u, v)) {
+                delta.insert_edges.push((u, v));
+            }
+        }
+    }
+    delta
+}
+
+/// `g` after `delta`, rebuilt the slow way for the oracle.
+fn apply_to_graph(g: &Graph, delta: &GraphDelta) -> Graph {
+    let deleted: std::collections::HashSet<(NodeId, NodeId)> =
+        delta.delete_edges.iter().copied().collect();
+    let mut b = GraphBuilder::new();
+    for v in g.nodes() {
+        b.add_node(g.label(v));
+    }
+    for (u, v) in g.edges() {
+        if !deleted.contains(&(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    for &(u, v) in &delta.insert_edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The bitset kernel equals the HashSet reference kernel exactly,
+    /// on every graph/pattern shape.
+    #[test]
+    fn bitset_kernel_equals_hashset_reference(
+        (g, q, _assign, _k, _seed) in shaped_workload_strategy()
+    ) {
+        prop_assert_eq!(
+            hhk_simulation(&q, &g).relation,
+            hashset_simulation(&q, &g).relation
+        );
+    }
+
+    /// Every engine whose plan accepts the workload reproduces the
+    /// HashSet reference: the bitset `lEval`/`MatchSet` conversions
+    /// changed no answers anywhere in dGPM/dGPMd/dGPMs/dGPMt. The one
+    /// sanctioned divergence is the planner's `trivial-∅`
+    /// short-circuit (cyclic `Q` on an acyclic `G`), whose relation
+    /// is the ∅ answer convention rather than the raw fixpoint — for
+    /// that case the reference must agree there is no total match.
+    #[test]
+    fn engines_equal_hashset_reference_on_shaped_workloads(
+        (g, q, assign, k, _seed) in shaped_workload_strategy()
+    ) {
+        let oracle = hashset_simulation(&q, &g);
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).cache(false).build();
+        for algo in [
+            Algorithm::dgpm(),
+            Algorithm::Dgpmd,
+            Algorithm::Dgpms,
+            Algorithm::Dgpmt,
+            Algorithm::Auto,
+        ] {
+            // Shape-restricted engines may decline (e.g. dGPMt off a
+            // tree); a produced answer must match the reference.
+            if let Ok(report) = engine.query_with(&algo, &q) {
+                prop_assert_eq!(report.is_match, oracle.relation.is_total());
+                if report.algorithm == "trivial-∅" {
+                    prop_assert!(!oracle.relation.is_total());
+                } else {
+                    prop_assert_eq!(
+                        &report.relation,
+                        &oracle.relation,
+                        "{:?} diverges from the HashSet reference",
+                        algo
+                    );
+                }
+            }
+        }
+    }
+
+    /// The delta path too: after a mixed insert/delete batch the
+    /// maintained (or, for an invalidated `trivial-∅` entry,
+    /// re-evaluated) session answers exactly what the HashSet
+    /// reference computes on the mutated graph.
+    #[test]
+    fn delta_path_equals_hashset_reference(
+        (g, q, assign, k, seed) in shaped_workload_strategy()
+    ) {
+        let frag = Arc::new(Fragmentation::build(&g, &assign, k));
+        let engine = SimEngine::builder(&g, frag).build();
+        // Warm the cached answer so maintenance has something to keep
+        // current.
+        engine.query(&q).expect("pre-delta query");
+        let delta = random_delta(&g, 8, seed ^ 0xd1f7);
+        if !delta.is_empty() {
+            engine.apply_delta(&delta).expect("apply delta");
+            let oracle = hashset_simulation(&q, &apply_to_graph(&g, &delta));
+            let got = engine.query(&q).expect("post-delta query");
+            prop_assert_eq!(got.is_match, oracle.relation.is_total());
+            if got.algorithm == "trivial-∅" {
+                prop_assert!(!oracle.relation.is_total());
+            } else {
+                prop_assert_eq!(
+                    &got.relation,
+                    &oracle.relation,
+                    "delta path diverges from the HashSet reference on the mutated graph"
+                );
+            }
+        }
+    }
+}

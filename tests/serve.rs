@@ -1982,7 +1982,7 @@ fn slow_queries_are_traced_with_plan_and_per_site_work() {
     // A graph big enough that a query reliably exceeds 1 ms.
     let g = random::uniform(4000, 16000, 4, 95);
     let cfg = ServerConfig {
-        slow_ms: 1,
+        slow_ms: Some(1),
         ..ServerConfig::default()
     };
     let handle = spawn_server(&g, 3, 95, cfg);
@@ -2016,6 +2016,69 @@ fn slow_queries_are_traced_with_plan_and_per_site_work() {
     // The slow counter agrees with the ring.
     let snap = client.metrics().expect("metrics");
     assert!(snap.counter("dgsd_slow_queries_total").unwrap() >= traces.len() as u64);
+
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+/// `slow_ms: Some(0)` is the flight-recorder setting: **every**
+/// request is traced, the ring caps at 256 entries (oldest evicted),
+/// and `TRACE` ships them newest-first even after wraparound.
+/// `slow_ms: None` (the default) captures nothing at all.
+#[test]
+fn trace_everything_ring_wraps_at_cap_and_ships_newest_first() {
+    let g = random::uniform(60, 240, 4, 7);
+
+    // Default config: no threshold, no capture — even after traffic.
+    let off = spawn_server(&g, 2, 7, ServerConfig::default());
+    let mut client = DgsClient::connect(off.addr()).expect("connect");
+    for _ in 0..5 {
+        client.ping().expect("ping");
+    }
+    assert_eq!(client.trace().expect("trace"), vec![]);
+    drop(client);
+    off.shutdown().expect("shutdown");
+
+    // Some(0): every request lands in the ring.
+    let cfg = ServerConfig {
+        slow_ms: Some(0),
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(&g, 2, 7, cfg);
+    let mut client = DgsClient::connect(handle.addr()).expect("connect");
+
+    // More pings than the ring holds, all on one connection, so the
+    // request ids form one strictly increasing sequence.
+    const SENT: usize = 300;
+    let mut last_id = 0;
+    for _ in 0..SENT {
+        let id = client.submit(&Request::Ping).expect("submit");
+        match client.await_response(id).expect("pong") {
+            Response::Pong => {}
+            other => panic!("expected PONG, got {other:?}"),
+        }
+        last_id = id;
+    }
+
+    let traces = client.trace().expect("trace");
+    // Exactly the cap survives: the oldest 300 - 256 pings were
+    // evicted by the wraparound.
+    assert_eq!(traces.len(), 256);
+    // Newest-first across the wrap: the head is the most recent ping
+    // and the request ids descend strictly from there.
+    assert_eq!(traces[0].request_id, last_id);
+    for w in traces.windows(2) {
+        assert!(
+            w[0].request_id > w[1].request_id,
+            "not newest-first: {} then {}",
+            w[0].request_id,
+            w[1].request_id
+        );
+    }
+    // The evicted prefix is really gone: the oldest surviving entry
+    // is newer than the first 300 - 256 requests.
+    let oldest = traces.last().unwrap();
+    assert!(oldest.request_id > traces[0].request_id - 256);
 
     drop(client);
     handle.shutdown().expect("shutdown");
